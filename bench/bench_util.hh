@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Helpers shared by the figure/table reproduction binaries.
+ */
+
+#ifndef SVF_BENCH_BENCH_UTIL_HH
+#define SVF_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/config.hh"
+#include "workloads/registry.hh"
+
+namespace svf::bench
+{
+
+/** One benchmark/input pair to run. */
+struct BenchInput
+{
+    std::string workload;
+    std::string input;
+
+    /** "bzip2.graphic"-style display name. */
+    std::string
+    display() const
+    {
+        return workload + "." + input;
+    }
+};
+
+/** All benchmark/input pairs of Table 1, or the first input of each
+ *  benchmark when @p first_input_only. */
+inline std::vector<BenchInput>
+allInputs(bool first_input_only = false)
+{
+    std::vector<BenchInput> out;
+    for (const auto &w : workloads::allWorkloads()) {
+        for (const auto &in : w.inputs) {
+            out.push_back({w.name, in});
+            if (first_input_only)
+                break;
+        }
+    }
+    return out;
+}
+
+/** Per-run instruction budget from the command line (insts=N). */
+inline std::uint64_t
+instBudget(const Config &cfg, std::uint64_t def = 300'000)
+{
+    return cfg.getUint("insts", def);
+}
+
+/** Warn about config typos; call at the end of main(). */
+inline void
+finishConfig(const Config &cfg)
+{
+    for (const auto &key : cfg.unusedKeys())
+        std::fprintf(stderr, "warn: unused config key '%s'\n",
+                     key.c_str());
+}
+
+} // namespace svf::bench
+
+#endif // SVF_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 3: cumulative distribution of stack reference offsets from
+ * the top of stack (the paper plots this per function on a log10
+ * axis; we report the same CDF at power-of-two byte boundaries).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/reporting.hh"
+#include "stats/table.hh"
+#include "workloads/calibration.hh"
+
+using namespace svf;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::fromArgs(argc, argv);
+    std::uint64_t budget = bench::instBudget(cfg, 1'000'000);
+    bool csv = cfg.getBool("csv", false);
+
+    harness::banner("Figure 3: Offset Locality within a Function",
+                    "Figure 3");
+
+    stats::Table t({"benchmark", "avg offset (B)", "<64B %",
+                    "<256B %", "<1KB %", "<=8KB %", "below TOS"});
+
+    for (const auto &bi : bench::allInputs()) {
+        const auto &w = workloads::workload(bi.workload);
+        workloads::StackProfile p = workloads::profileProgram(
+            w.build(bi.input, w.defaultScale), budget);
+
+        // offsetCdf[b] is the fraction of references at offsets
+        // strictly below 2^b bytes.
+        auto cdf_at = [&](unsigned log2b) {
+            if (p.offsetCdf.empty())
+                return 0.0;
+            unsigned idx = std::min<unsigned>(
+                log2b, unsigned(p.offsetCdf.size() - 1));
+            return 100.0 * p.offsetCdf[idx];
+        };
+
+        t.addRow();
+        t.cell(bi.display());
+        t.cell(p.avgOffsetBytes, 1);
+        t.cell(cdf_at(6), 2);
+        t.cell(cdf_at(8), 2);
+        t.cell(cdf_at(10), 2);
+        t.cell(100.0 * p.within8k, 2);
+        t.cell(p.belowTos);
+    }
+
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    std::printf("\npaper: average distance from TOS ranges from 2.5 "
+                "bytes (bzip2) to 380 bytes (gcc); over 99%% of "
+                "references within 8KB of TOS except gcc; no "
+                "references below the TOS.\n");
+    bench::finishConfig(cfg);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 6: progressive performance analysis on the 16-wide machine.
+ * Starting from the Table 2 baseline, each configuration relaxes one
+ * constraint: doubled L1 (128KB), removed stack address computation
+ * (no_addr_cal_op), then a real 8KB SVF with 1, 2 and 16 ports.
+ * Speedups are relative to the common baseline, as in the paper.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "stats/table.hh"
+
+using namespace svf;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::fromArgs(argc, argv);
+    std::uint64_t budget = bench::instBudget(cfg);
+
+    harness::banner("Figure 6: Progressive Performance Analysis "
+                    "(16-wide)", "Figure 6");
+
+    using Mutator = void (*)(uarch::MachineConfig &);
+    struct Column
+    {
+        const char *name;
+        Mutator mutate;
+    };
+    const Column columns[] = {
+        {"128KB_L1", [](uarch::MachineConfig &m) {
+             m.hier.dl1.size = 128 * 1024;
+         }},
+        {"no_addr_cal_op", [](uarch::MachineConfig &m) {
+             m.noAddrCalcOp = true;
+         }},
+        {"svf_1p", [](uarch::MachineConfig &m) {
+             harness::applySvf(m, 1024, 1);
+         }},
+        {"svf_2p", [](uarch::MachineConfig &m) {
+             harness::applySvf(m, 1024, 2);
+         }},
+        {"svf_16p", [](uarch::MachineConfig &m) {
+             harness::applySvf(m, 1024, 16);
+         }},
+    };
+
+    stats::Table t({"benchmark", "128KB_L1", "no_addr_cal_op",
+                    "svf_1p", "svf_2p", "svf_16p"});
+    std::vector<std::vector<double>> cols(5);
+
+    for (const auto &bi : bench::allInputs(true)) {
+        harness::RunSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = budget;
+        s.machine = harness::baselineConfig(16, 2);
+        harness::RunResult base = harness::runExperiment(s);
+
+        t.addRow();
+        t.cell(bi.display());
+        for (size_t c = 0; c < 5; ++c) {
+            harness::RunSetup s2 = s;
+            columns[c].mutate(s2.machine);
+            harness::RunResult r = harness::runExperiment(s2);
+            double sp = harness::speedupPct(base, r);
+            cols[c].push_back(sp);
+            t.cell(harness::pct(sp));
+        }
+    }
+
+    t.addRow();
+    t.cell(std::string("average"));
+    for (size_t c = 0; c < 5; ++c)
+        t.cell(harness::pct(harness::mean(cols[c])));
+
+    t.print(std::cout);
+    std::printf("\npaper: enlarging the L1 gains almost nothing; "
+                "no_addr_cal_op about 3%% (out-of-order execution "
+                "hides address calculation); the SVF provides the "
+                "bulk (28%% at 16 ports) and 2 SVF ports capture "
+                "nearly all of it except for eon and gcc.\n");
+    bench::finishConfig(cfg);
+    return 0;
+}

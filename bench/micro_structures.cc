@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's core data
+ * structures: SVF window operations, cache probes, the functional
+ * emulator and the full cycle model. These bound the simulator's
+ * own performance (simulated instructions per host second), not the
+ * paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/svf.hh"
+#include "harness/experiment.hh"
+#include "mem/cache.hh"
+#include "sim/emulator.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+
+namespace
+{
+
+void
+BM_SvfWindowSlide(benchmark::State &state)
+{
+    core::SvfParams p;
+    p.entries = static_cast<std::uint32_t>(state.range(0));
+    core::StackValueFile f(p, isa::layout::StackBase);
+    Addr sp = isa::layout::StackBase;
+    for (auto _ : state) {
+        sp -= 64;
+        f.onSpUpdate(sp);
+        f.store(sp, 8);
+        sp += 64;
+        f.onSpUpdate(sp);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SvfWindowSlide)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_SvfLoadHit(benchmark::State &state)
+{
+    core::SvfParams p;
+    core::StackValueFile f(p, isa::layout::StackBase);
+    Addr sp = isa::layout::StackBase - 512;
+    f.onSpUpdate(sp);
+    for (Addr a = sp; a < sp + 512; a += 8)
+        f.store(a, 8);
+    Addr a = sp;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.load(a, 8));
+        a = sp + ((a - sp + 8) & 511);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SvfLoadHit);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache c(mem::CacheParams{"bench", 64 * 1024,
+                                  static_cast<unsigned>(
+                                      state.range(0)), 32, 3});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false));
+        a = (a + 32) & 0xfffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_FunctionalEmulation(benchmark::State &state)
+{
+    const auto &w = workloads::workload("gzip");
+    isa::Program prog = w.build("log", w.testScale);
+    for (auto _ : state) {
+        sim::Emulator emu(prog);
+        emu.run(50'000);
+        benchmark::DoNotOptimize(emu.instCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_FunctionalEmulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleModel(benchmark::State &state)
+{
+    const auto &w = workloads::workload("gzip");
+    isa::Program prog = w.build("log", w.testScale);
+    uarch::MachineConfig cfg =
+        harness::baselineConfig(static_cast<unsigned>(
+            state.range(0)), 2);
+    for (auto _ : state) {
+        sim::Emulator oracle(prog);
+        uarch::OooCore core(cfg, oracle);
+        core.run(50'000);
+        benchmark::DoNotOptimize(core.stats().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_CycleModel)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleModelWithSvf(benchmark::State &state)
+{
+    const auto &w = workloads::workload("crafty");
+    isa::Program prog = w.build("ref", w.testScale);
+    uarch::MachineConfig cfg = harness::baselineConfig(16, 2);
+    harness::applySvf(cfg, 1024, 2);
+    for (auto _ : state) {
+        sim::Emulator oracle(prog);
+        uarch::OooCore core(cfg, oracle);
+        core.run(50'000);
+        benchmark::DoNotOptimize(core.stats().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_CycleModelWithSvf)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

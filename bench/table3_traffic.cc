@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 3: memory traffic (quadwords in / quadwords out) for the
+ * stack cache and SVF schemes at 2KB, 4KB and 8KB capacities.
+ *
+ * Traffic is an architectural property of the reference stream, so
+ * this table replays the full workloads functionally (see
+ * harness/traffic.hh) rather than through the cycle model.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/reporting.hh"
+#include "harness/traffic.hh"
+#include "stats/table.hh"
+
+using namespace svf;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::fromArgs(argc, argv);
+    std::uint64_t budget = cfg.getUint("insts", 3'000'000);
+    bool csv = cfg.getBool("csv", false);
+
+    harness::banner("Table 3: Memory Traffic for Stack Cache and "
+                    "SVF Schemes", "Table 3");
+
+    for (std::uint64_t kb : {2, 4, 8}) {
+        std::printf("\n--- %llu KB structures ---\n",
+                    (unsigned long long)kb);
+        stats::Table t({"benchmark", "stack$ qw-in", "svf qw-in",
+                        "stack$ qw-out", "svf qw-out"});
+        for (const auto &bi : bench::allInputs()) {
+            harness::TrafficSetup s;
+            s.workload = bi.workload;
+            s.input = bi.input;
+            s.maxInsts = budget;
+            s.capacityBytes = kb * 1024;
+            harness::TrafficResult r = harness::measureTraffic(s);
+
+            t.addRow();
+            t.cell(bi.display());
+            t.cell(r.scQuadsIn);
+            t.cell(r.svfQuadsIn);
+            t.cell(r.scQuadsOut);
+            t.cell(r.svfQuadsOut);
+        }
+        if (csv)
+            t.printCsv(std::cout);
+        else
+            t.print(std::cout);
+    }
+
+    std::printf("\npaper: the SVF reduces traffic by many orders of "
+                "magnitude in most scenarios — it never reads on "
+                "allocation and never writes back deallocated "
+                "frames; only gcc (whose working set exceeds the "
+                "SVF) retains meaningful traffic at 8KB.\n");
+    bench::finishConfig(cfg);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: assemble a small SVA program from text, run it on the
+ * functional emulator, then compare the cycle model with and
+ * without a Stack Value File.
+ *
+ * Build and run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+
+using namespace svf;
+
+namespace
+{
+
+// A recursive factorial with a classic frame: the kind of code the
+// SVF accelerates. Every call spills its argument and $ra to the
+// stack and reloads them after the recursive call returns.
+const char *kProgram = R"(
+main:
+    lda $sp, -16($sp)
+    stq $ra, 8($sp)
+    li  $a0, 15
+    call fact
+    mov $v0, $a0
+    putint              ; prints 15! = 1307674368000
+    ldq $ra, 8($sp)
+    lda $sp, 16($sp)
+    halt
+
+fact:                   ; v0 = a0!
+    lda $sp, -32($sp)
+    stq $ra, 24($sp)
+    stq $a0, 0($sp)     ; spill n
+    li  $v0, 1
+    ble $a0, base       ; n <= 0 -> 1
+    subq $a0, 1, $a0
+    call fact           ; v0 = (n-1)!
+    ldq $t0, 0($sp)     ; reload n
+    mulq $v0, $t0, $v0  ; v0 = n * (n-1)!
+base:
+    ldq $ra, 24($sp)
+    lda $sp, 32($sp)
+    ret
+)";
+
+void
+runTiming(const isa::Program &prog, bool with_svf)
+{
+    uarch::MachineConfig cfg = harness::baselineConfig(16, 2);
+    if (with_svf)
+        harness::applySvf(cfg, 1024, 2);
+
+    sim::Emulator oracle(prog);
+    uarch::OooCore core(cfg, oracle);
+    core.run();
+
+    const uarch::CoreStats &s = core.stats();
+    std::printf("  %-12s %6llu cycles  %5.2f IPC",
+                with_svf ? "with SVF:" : "baseline:",
+                static_cast<unsigned long long>(s.cycles), s.ipc());
+    if (with_svf) {
+        std::printf("  (%llu refs morphed to register moves)",
+                    static_cast<unsigned long long>(
+                        core.svfUnit().fastLoads() +
+                        core.svfUnit().fastStores()));
+    }
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    // 1. Assemble.
+    isa::Program prog = isa::assemble(kProgram, "quickstart");
+    std::printf("assembled '%s': %llu bytes of text\n",
+                prog.name.c_str(),
+                static_cast<unsigned long long>(prog.textSize));
+
+    // 2. Functional run: the architectural reference.
+    sim::Emulator emu(prog);
+    emu.run(1'000'000);
+    std::printf("functional run: %llu instructions, output: %s",
+                static_cast<unsigned long long>(emu.instCount()),
+                emu.output().c_str());
+
+    // 3. Timing runs: Table 2's 16-wide machine, with and without
+    //    the paper's 8KB / 2-port stack value file.
+    std::printf("cycle model (16-wide, Table 2):\n");
+    runTiming(prog, false);
+    runTiming(prog, true);
+
+    std::printf("\nThe SVF turns each spill/reload pair in 'fact' "
+                "into renamed register moves,\nshort-circuiting the "
+                "3-cycle store-forward path and freeing DL1 ports."
+                "\n");
+    return 0;
+}

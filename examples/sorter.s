@@ -1,0 +1,80 @@
+; sorter.s — insertion sort over a stack-allocated array.
+;
+; A hand-written SVA program demonstrating the stack idioms the SVF
+; accelerates: a frame allocated with lda $sp, -N($sp), locals
+; addressed $sp-relative, an address-taken array walked through
+; general-purpose registers, and a helper call that spills/reloads
+; its argument.
+;
+; Run it:
+;     ./build/tools/svf-sim asm=examples/sorter.s svf=1
+;     ./build/examples/run_asm file=examples/sorter.s
+
+main:
+    lda $sp, -144($sp)      ; frame: 16 quadword slots + $ra
+    stq $ra, 136($sp)
+
+    ; Fill slots 0..15 with a descending sequence scrambled by a
+    ; small LCG: a[i] = (i * 37 + 11) & 63.
+    li $t0, 0               ; i
+fill:
+    mulq $t0, 37, $t1
+    addq $t1, 11, $t1
+    and  $t1, 63, $t1
+    sll  $t0, 3, $t2
+    addq $sp, $t2, $t2      ; &a[i]  (address-taken local)
+    stq  $t1, 0($t2)
+    addq $t0, 1, $t0
+    cmplt $t0, 16, $t3
+    bne  $t3, fill
+
+    ; Insertion sort: for i in 1..15, sink a[i] left.
+    li $t0, 1               ; i
+outer:
+    sll  $t0, 3, $t2
+    addq $sp, $t2, $t2
+    ldq  $t4, 0($t2)        ; key = a[i]
+    mov  $t0, $t5           ; j = i
+inner:
+    ble  $t5, place         ; j == 0 -> place
+    sll  $t5, 3, $t2
+    addq $sp, $t2, $t2
+    ldq  $t6, -8($t2)       ; a[j-1]
+    cmple $t6, $t4, $t7     ; a[j-1] <= key -> place
+    bne  $t7, place
+    stq  $t6, 0($t2)        ; a[j] = a[j-1]
+    subq $t5, 1, $t5
+    br   inner
+place:
+    sll  $t5, 3, $t2
+    addq $sp, $t2, $t2
+    stq  $t4, 0($t2)        ; a[j] = key
+    addq $t0, 1, $t0
+    cmplt $t0, 16, $t3
+    bne  $t3, outer
+
+    ; Print the sorted array through a helper that spills its
+    ; argument (a classic morphable store/load pair).
+    li $t0, 0
+print:
+    sll  $t0, 3, $t2
+    addq $sp, $t2, $t2
+    ldq  $a0, 0($t2)
+    mov  $t0, $s0
+    call emit
+    mov  $s0, $t0
+    addq $t0, 1, $t0
+    cmplt $t0, 16, $t3
+    bne  $t3, print
+
+    ldq $ra, 136($sp)
+    lda $sp, 144($sp)
+    halt
+
+emit:                       ; print $a0 as a decimal line
+    lda $sp, -16($sp)
+    stq $a0, 0($sp)         ; spill
+    ldq $a0, 0($sp)         ; reload (renamed to a move by the SVF)
+    putint
+    lda $sp, 16($sp)
+    ret

@@ -1,0 +1,18 @@
+#include "base/bitfield.hh"
+
+#include "base/logging.hh"
+
+namespace svf
+{
+
+unsigned
+floorLog2(std::uint64_t v)
+{
+    svf_assert(v != 0);
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace svf

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bit manipulation helpers used throughout the ISA and cache models.
+ */
+
+#ifndef SVF_BASE_BITFIELD_HH
+#define SVF_BASE_BITFIELD_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace svf
+{
+
+/** Return a mask with the low @p nbits bits set. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t(0)
+                       : ((std::uint64_t(1) << nbits) - 1);
+}
+
+/** Extract bits [last:first] (inclusive) of @p val, right-justified. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Insert @p val into bits [last:first] of a zero word. */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned last, unsigned first)
+{
+    return (val & mask(last - first + 1)) << first;
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t val, unsigned nbits)
+{
+    std::uint64_t m = std::uint64_t(1) << (nbits - 1);
+    std::uint64_t v = val & mask(nbits);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/** Is @p v a power of two (zero is not)? */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 of @p v; panics on zero via caller contract. */
+unsigned floorLog2(std::uint64_t v);
+
+/** Round @p addr down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+} // namespace svf
+
+#endif // SVF_BASE_BITFIELD_HH

@@ -1,0 +1,121 @@
+#include "base/config.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+
+namespace svf
+{
+
+Config
+Config::fromArgs(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            fatal("bad argument '%s': expected key=value",
+                  arg.c_str());
+        }
+        cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    touched.insert(key);
+    return values.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    touched.insert(key);
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    touched.insert(key);
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    std::uint64_t v = 0;
+    if (!parseUint(it->second, v)) {
+        fatal("config key '%s': '%s' is not an unsigned integer",
+              key.c_str(), it->second.c_str());
+    }
+    return v;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    touched.insert(key);
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    std::int64_t v = 0;
+    if (!parseInt(it->second, v)) {
+        fatal("config key '%s': '%s' is not an integer",
+              key.c_str(), it->second.c_str());
+    }
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    touched.insert(key);
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    std::string v = toLower(it->second);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean",
+          key.c_str(), it->second.c_str());
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    touched.insert(key);
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str() + it->second.size()) {
+        fatal("config key '%s': '%s' is not a number",
+              key.c_str(), it->second.c_str());
+    }
+    return v;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : values) {
+        if (!touched.count(kv.first))
+            out.push_back(kv.first);
+    }
+    return out;
+}
+
+} // namespace svf

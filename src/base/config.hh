@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A flat key=value configuration store.
+ *
+ * Bench binaries and examples accept "key=value" command-line
+ * overrides (e.g. "insts=2000000 svf.ports=2"); this class parses and
+ * types them. Unknown keys are detected at the end of a run so typos
+ * fail loudly rather than silently using defaults.
+ */
+
+#ifndef SVF_BASE_CONFIG_HH
+#define SVF_BASE_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace svf
+{
+
+/** Parsed key=value overrides with typed, defaulted accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse argv-style overrides.
+     *
+     * Each argument must look like key=value; anything else is a
+     * fatal() user error.
+     */
+    static Config fromArgs(int argc, char **argv);
+
+    /** Set one key, overwriting any previous value. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Is @p key present? */
+    bool has(const std::string &key) const;
+
+    /** String value of @p key, or @p def when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    /** Unsigned integer value of @p key, or @p def when absent. */
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def) const;
+
+    /** Signed integer value of @p key, or @p def when absent. */
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+
+    /** Boolean value (true/false/1/0) of @p key, or @p def. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Double value of @p key, or @p def when absent. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Keys that were set but never read; use to catch typos. */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> values;
+    mutable std::set<std::string> touched;
+};
+
+} // namespace svf
+
+#endif // SVF_BASE_CONFIG_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error and status reporting helpers in the gem5 idiom.
+ *
+ * panic() is for internal simulator bugs (conditions that should never
+ * occur regardless of user input); fatal() is for user-caused
+ * conditions (bad configuration, malformed assembly) that prevent the
+ * simulation from continuing; warn()/inform() report status without
+ * stopping the run.
+ */
+
+#ifndef SVF_BASE_LOGGING_HH
+#define SVF_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace svf
+{
+
+/** Format a printf-style message into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message from a va_list. */
+std::string vcsprintf(const char *fmt, va_list args);
+
+/**
+ * Report an internal simulator bug and abort.
+ *
+ * @param fmt printf-style format string describing the bug.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused unrecoverable condition and exit(1).
+ *
+ * @param fmt printf-style format string describing the problem.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Panic when a condition that must hold does not.
+ *
+ * Unlike assert() this is always compiled in; simulators are routinely
+ * built optimized and invariant violations must still be caught.
+ */
+#define svf_assert(cond, ...)                                         \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::svf::panic("assertion '%s' failed at %s:%d",            \
+                         #cond, __FILE__, __LINE__);                  \
+        }                                                             \
+    } while (0)
+
+} // namespace svf
+
+#endif // SVF_BASE_LOGGING_HH

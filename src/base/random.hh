@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload inputs and property tests must be reproducible across runs
+ * and platforms, so all randomness flows through this splitmix64 /
+ * xoshiro256** generator rather than std::mt19937 (whose distributions
+ * are not bit-identical across standard libraries).
+ */
+
+#ifndef SVF_BASE_RANDOM_HH
+#define SVF_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace svf
+{
+
+/**
+ * A small, fast, deterministic PRNG (xoshiro256**) with splitmix64
+ * seeding.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** True with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace svf
+
+#endif // SVF_BASE_RANDOM_HH

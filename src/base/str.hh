@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small string helpers used by the assembler and config parsing.
+ */
+
+#ifndef SVF_BASE_STR_HH
+#define SVF_BASE_STR_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svf
+{
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split @p s on @p sep, trimming each piece; empty pieces kept. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Split @p s on runs of whitespace; empty pieces dropped. */
+std::vector<std::string> tokenize(std::string_view s);
+
+/** Case-sensitive prefix test. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/**
+ * Parse a signed integer with optional 0x prefix and sign.
+ *
+ * @param s text to parse (whole string must be consumed).
+ * @param out receives the value on success.
+ * @retval true on success, false on malformed input.
+ */
+bool parseInt(std::string_view s, std::int64_t &out);
+
+/** Parse an unsigned 64-bit integer with optional 0x prefix. */
+bool parseUint(std::string_view s, std::uint64_t &out);
+
+} // namespace svf
+
+#endif // SVF_BASE_STR_HH

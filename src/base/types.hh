@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the simulator.
+ */
+
+#ifndef SVF_BASE_TYPES_HH
+#define SVF_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace svf
+{
+
+/** A byte address in the simulated 64-bit virtual address space. */
+using Addr = std::uint64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A dynamic instruction sequence number (program order). */
+using InstSeq = std::uint64_t;
+
+/** A 64-bit architectural register value. */
+using RegVal = std::uint64_t;
+
+/** An architectural register index (0..31). */
+using RegIndex = std::uint8_t;
+
+} // namespace svf
+
+#endif // SVF_BASE_TYPES_HH

@@ -1,0 +1,24 @@
+#include "core/spec_sp.hh"
+
+namespace svf::core
+{
+
+bool
+SpecSpTracker::onDispatch(const isa::DecodedInst &di, InstSeq seq)
+{
+    if (!di.writesSp() || di.isSpAdjust())
+        return false;
+    pendingValid = true;
+    pendingSeq = seq;
+    ++nInterlocks;
+    return true;
+}
+
+void
+SpecSpTracker::onComplete(InstSeq seq)
+{
+    if (pendingValid && seq == pendingSeq)
+        pendingValid = false;
+}
+
+} // namespace svf::core

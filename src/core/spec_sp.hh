@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Decode-stage speculative stack-pointer tracking (Section 3.1).
+ *
+ * Almost all $sp updates are immediate adjustments
+ * (lda $sp, imm($sp)); the decode stage applies those to a speculative
+ * $sp copy so later $sp-relative references can resolve their SVF
+ * index without waiting. Any other $sp write trips an interlock that
+ * stalls decode until the writer completes, preventing younger
+ * references from reading a stale TOS.
+ */
+
+#ifndef SVF_CORE_SPEC_SP_HH
+#define SVF_CORE_SPEC_SP_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+
+namespace svf::core
+{
+
+/** Tracks the decode-stage $sp interlock state. */
+class SpecSpTracker
+{
+  public:
+    /** Is dispatch currently blocked behind a non-immediate writer? */
+    bool blocked() const { return pendingValid; }
+
+    /** Sequence number of the blocking writer (when blocked()). */
+    InstSeq pendingWriter() const { return pendingSeq; }
+
+    /**
+     * Observe one dispatched instruction.
+     *
+     * @param di the instruction.
+     * @param seq its sequence number.
+     * @retval true when the instruction starts an interlock (it
+     *         writes $sp by means other than an immediate adjust).
+     */
+    bool onDispatch(const isa::DecodedInst &di, InstSeq seq);
+
+    /** Observe completion of @p seq; releases a matching interlock. */
+    void onComplete(InstSeq seq);
+
+    /** Number of interlock episodes observed. */
+    std::uint64_t interlocks() const { return nInterlocks; }
+
+  private:
+    bool pendingValid = false;
+    InstSeq pendingSeq = 0;
+    std::uint64_t nInterlocks = 0;
+};
+
+} // namespace svf::core
+
+#endif // SVF_CORE_SPEC_SP_HH

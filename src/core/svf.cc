@@ -1,0 +1,174 @@
+#include "core/svf.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace svf::core
+{
+
+StackValueFile::StackValueFile(const SvfParams &params, Addr initial_sp)
+    : _params(params)
+{
+    if (!isPow2(_params.entries))
+        fatal("SVF entry count must be a power of two");
+    if (_params.dirtyGranule < 8 || !isPow2(_params.dirtyGranule) ||
+        capacityBytes() % _params.dirtyGranule != 0) {
+        fatal("SVF dirty granule must be a power of two >= 8 dividing "
+              "the capacity");
+    }
+    words.resize(_params.entries);
+    windowLo = alignDown(initial_sp, 8);
+    windowHi = windowLo + capacityBytes();
+}
+
+void
+StackValueFile::dropRange(Addr lo, Addr hi, bool writeback_dirty)
+{
+    if (hi <= lo)
+        return;
+    // A range at least as large as the window touches every word.
+    if (hi - lo >= capacityBytes()) {
+        lo = 0;
+        hi = capacityBytes();
+        // Fall through using index-space addresses: indexOf() on
+        // [0, capacity) enumerates every word exactly once.
+    }
+
+    unsigned granule_words = _params.dirtyGranule / 8;
+    Addr a = lo;
+    while (a < hi) {
+        // Process one granule-aligned chunk.
+        Addr chunk_end = std::min(hi, alignDown(a, _params.dirtyGranule)
+                                      + _params.dirtyGranule);
+        bool any_dirty = false;
+        for (Addr w = a; w < chunk_end; w += 8) {
+            Word &word = words[indexOf(w)];
+            if (word.valid && word.dirty) {
+                any_dirty = true;
+                if (!writeback_dirty)
+                    ++nKilled;
+            }
+            word.valid = false;
+            word.dirty = false;
+        }
+        if (any_dirty && writeback_dirty) {
+            trafficOut += granule_words;
+            ++nSlideWb;
+        }
+        a = chunk_end;
+    }
+}
+
+void
+StackValueFile::onSpUpdate(Addr new_sp)
+{
+    Addr new_lo = alignDown(new_sp, 8);
+    if (new_lo == windowLo)
+        return;
+    Addr new_hi = new_lo + capacityBytes();
+
+    if (new_lo < windowLo) {
+        // Stack grows down. Words leaving coverage at the top are
+        // ordinary live data and must be written back if dirty.
+        Addr leave_lo = std::max(new_hi, windowLo);
+        dropRange(leave_lo, windowHi, true);
+
+        // Words entering at the bottom are newly allocated and dead.
+        Addr enter_hi = std::min(windowLo, new_hi);
+        dropRange(new_lo, enter_hi, false);
+        if (_params.fillOnAlloc) {
+            // Ablation: fill allocated words like a cache would.
+            for (Addr a = new_lo; a < enter_hi; a += 8) {
+                words[indexOf(a)].valid = true;
+                ++trafficIn;
+            }
+        }
+    } else {
+        // Stack shrinks. Deallocated words are semantically dead:
+        // the paper's SVF drops them without writeback.
+        Addr dead_hi = std::min(new_lo, windowHi);
+        dropRange(windowLo, dead_hi, !_params.killOnShrink);
+
+        // Words entering at the top may hold live caller-frame data
+        // not currently cached; they start invalid (demand fill).
+        Addr enter_lo = std::max(windowHi, new_lo);
+        dropRange(enter_lo, new_hi, false);
+    }
+
+    windowLo = new_lo;
+    windowHi = new_hi;
+}
+
+SvfLookup
+StackValueFile::load(Addr addr, unsigned size)
+{
+    (void)size;
+    if (!inWindow(addr))
+        return SvfLookup::Outside;
+    Word &w = wordAt(addr);
+    if (w.valid)
+        return SvfLookup::Hit;
+    // Demand fill of exactly one quadword.
+    w.valid = true;
+    ++trafficIn;
+    ++nDemandFills;
+    return SvfLookup::Miss;
+}
+
+SvfLookup
+StackValueFile::store(Addr addr, unsigned size)
+{
+    if (!inWindow(addr))
+        return SvfLookup::Outside;
+    Word &w = wordAt(addr);
+    bool filled = false;
+    if (!w.valid && size < 8) {
+        // Partial-word store to an invalid word: the rest of the
+        // word may be live, so read-modify-write.
+        ++trafficIn;
+        ++nDemandFills;
+        filled = true;
+    }
+    w.valid = true;
+    w.dirty = true;
+    return filled ? SvfLookup::Miss : SvfLookup::Hit;
+}
+
+std::uint64_t
+StackValueFile::contextSwitchFlush()
+{
+    unsigned granule_words = _params.dirtyGranule / 8;
+    std::uint64_t bytes = 0;
+    for (std::uint32_t i = 0; i < _params.entries;
+         i += granule_words) {
+        bool any_dirty = false;
+        for (unsigned j = 0; j < granule_words; ++j) {
+            Word &w = words[i + j];
+            if (w.valid && w.dirty)
+                any_dirty = true;
+            w.valid = false;
+            w.dirty = false;
+        }
+        if (any_dirty) {
+            trafficOut += granule_words;
+            bytes += _params.dirtyGranule;
+        }
+    }
+    return bytes;
+}
+
+bool
+StackValueFile::validAt(Addr addr) const
+{
+    svf_assert(inWindow(addr));
+    return words[indexOf(addr)].valid;
+}
+
+bool
+StackValueFile::dirtyAt(Addr addr) const
+{
+    svf_assert(inWindow(addr));
+    return words[indexOf(addr)].dirty;
+}
+
+} // namespace svf::core

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The Stack Value File (SVF) — the paper's core contribution.
+ *
+ * A non-architected, tag-free circular register file covering the
+ * contiguous region of memory at the top of the run-time stack.
+ * Entries are 64-bit words with per-word valid and dirty bits.
+ * Because the covered region is guaranteed contiguous and tracks the
+ * stack pointer, two semantic facts become exploitable (Section 5.3.2
+ * of the paper):
+ *
+ *   1. Allocations (stack grows): newly covered words are dead by
+ *      definition — no fill is performed and a first-touch store
+ *      completes without reading memory.
+ *   2. Dirty replacements (stack shrinks): deallocated words are dead
+ *      — dirty data above the new TOS is dropped without writeback.
+ *
+ * The timing model is value-free (architectural values come from the
+ * execute-ahead oracle), so this structure tracks window bounds,
+ * valid/dirty state and the quadword traffic exchanged with the L1.
+ */
+
+#ifndef SVF_CORE_SVF_HH
+#define SVF_CORE_SVF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace svf::core
+{
+
+/** SVF shape and policy knobs (ablations included). */
+struct SvfParams
+{
+    /** Number of 64-bit entries (1024 = the paper's 8KB). */
+    std::uint32_t entries = 1024;
+
+    /** Read/write ports available per cycle. */
+    unsigned ports = 2;
+
+    /** Access latency in cycles (a register-file read). */
+    unsigned hitLatency = 1;
+
+    /**
+     * Drop dirty data when the frame holding it is deallocated
+     * (the paper's semantics). Disabled for ablation: deallocated
+     * dirty words are written back like a cache would.
+     */
+    bool killOnShrink = true;
+
+    /**
+     * Fill newly allocated words from memory (ablation). The paper's
+     * SVF never does: allocated data is dead by definition.
+     */
+    bool fillOnAlloc = false;
+
+    /**
+     * Dirty/valid tracking granularity in bytes (8 = the paper's
+     * per-word bits). Coarser granularities model the line-grain
+     * bits of a stack cache for the Table 4 ablation.
+     */
+    unsigned dirtyGranule = 8;
+};
+
+/** How an address relates to the SVF window. */
+enum class SvfLookup
+{
+    Outside,                    //!< not covered; use the normal cache
+    Hit,                        //!< covered and valid
+    Miss,                       //!< covered but invalid (demand fill)
+};
+
+/**
+ * The stack value file storage and window manager.
+ */
+class StackValueFile
+{
+  public:
+    /**
+     * @param params shape and policy.
+     * @param initial_sp initial stack pointer (window top).
+     */
+    StackValueFile(const SvfParams &params, Addr initial_sp);
+
+    /** Capacity in bytes. */
+    std::uint64_t capacityBytes() const
+    {
+        return std::uint64_t(_params.entries) * 8;
+    }
+
+    /** Is @p addr inside the covered window? */
+    bool inWindow(Addr addr) const
+    {
+        return addr >= windowLo && addr < windowHi;
+    }
+
+    /** Lowest covered address (aligned TOS). */
+    Addr windowBase() const { return windowLo; }
+
+    /** One past the highest covered address. */
+    Addr windowTop() const { return windowHi; }
+
+    /** Entry index covering @p addr (valid only when inWindow). */
+    std::uint32_t indexOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>((addr >> 3) &
+                                          (_params.entries - 1));
+    }
+
+    /**
+     * Slide the window for a stack-pointer update, applying the
+     * allocation/deallocation semantics.
+     *
+     * @param new_sp the new stack pointer value.
+     */
+    void onSpUpdate(Addr new_sp);
+
+    /**
+     * Look up a load.
+     *
+     * On Miss the word is demand-filled (1 quadword of read traffic)
+     * and becomes valid; the caller charges the fill latency.
+     */
+    SvfLookup load(Addr addr, unsigned size);
+
+    /**
+     * Look up a store.
+     *
+     * A full-quadword store to an invalid word validates it without
+     * any fill (the no-read-on-allocate benefit). A sub-quadword
+     * store to an invalid word must read-modify-write (1 quadword of
+     * fill traffic), since the rest of the word may be live.
+     *
+     * @return Hit when no fill was needed, Miss when a fill happened,
+     *         Outside when not covered.
+     */
+    SvfLookup store(Addr addr, unsigned size);
+
+    /**
+     * Context switch: write back all valid+dirty granules and
+     * invalidate everything.
+     *
+     * @return bytes written back (the per-word dirty bits make this
+     *         the fine-grained traffic Table 4 credits the SVF for).
+     */
+    std::uint64_t contextSwitchFlush();
+
+    /** @name Traffic and event statistics */
+    /// @{
+    std::uint64_t quadsIn() const { return trafficIn; }
+    std::uint64_t quadsOut() const { return trafficOut; }
+    std::uint64_t demandFills() const { return nDemandFills; }
+    std::uint64_t slideWritebacks() const { return nSlideWb; }
+    std::uint64_t killedWords() const { return nKilled; }
+    /// @}
+
+    const SvfParams &params() const { return _params; }
+
+    /** Valid bit of the entry covering @p addr (test hook). */
+    bool validAt(Addr addr) const;
+
+    /** Dirty bit of the entry covering @p addr (test hook). */
+    bool dirtyAt(Addr addr) const;
+
+  private:
+    struct Word
+    {
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Word &wordAt(Addr addr) { return words[indexOf(addr)]; }
+
+    /** Invalidate [lo, hi), optionally writing dirty words back. */
+    void dropRange(Addr lo, Addr hi, bool writeback_dirty);
+
+    SvfParams _params;
+    std::vector<Word> words;
+    Addr windowLo;
+    Addr windowHi;
+
+    std::uint64_t trafficIn = 0;
+    std::uint64_t trafficOut = 0;
+    std::uint64_t nDemandFills = 0;
+    std::uint64_t nSlideWb = 0;
+    std::uint64_t nKilled = 0;
+};
+
+} // namespace svf::core
+
+#endif // SVF_CORE_SVF_HH

@@ -1,0 +1,114 @@
+#include "core/svf_unit.hh"
+
+namespace svf::core
+{
+
+SvfUnit::SvfUnit(const SvfUnitParams &params, Addr initial_sp)
+    : _params(params)
+{
+    if (_params.enabled)
+        file = std::make_unique<StackValueFile>(_params.svf,
+                                                initial_sp);
+}
+
+StackRefInfo
+SvfUnit::classifyAndApply(const sim::ExecInfo &info)
+{
+    StackRefInfo out;
+    if (!_params.enabled)
+        return out;
+
+    if (info.spWritten)
+        file->onSpUpdate(info.newSp);
+
+    const isa::DecodedInst &di = *info.di;
+    if (!di.memRef)
+        return out;
+
+    bool is_stack = sim::classify(info.ea) == sim::Region::Stack;
+
+    if (is_stack && disabledRefsLeft > 0) {
+        // Cooling off: everything rides the normal cache path.
+        ++nDisabledRefs;
+        if (--disabledRefsLeft == 0) {
+            monitorCount = 0;
+            monitorMisses = 0;
+        }
+        return out;
+    }
+
+    bool morph_eligible =
+        (di.isSpBased() && _params.morphSpRefs) ||
+        (_params.morphAllStackRefs && is_stack);
+
+    if (morph_eligible && file->inWindow(info.ea)) {
+        out.entry = file->indexOf(info.ea);
+        if (di.load) {
+            out.kind = StackRefKind::MorphLoad;
+            out.fill = file->load(info.ea, di.memSize) ==
+                SvfLookup::Miss;
+            ++nFastLoads;
+        } else {
+            out.kind = StackRefKind::MorphStore;
+            out.fill = file->store(info.ea, di.memSize) ==
+                SvfLookup::Miss;
+            ++nFastStores;
+        }
+        monitorRef(out.fill);
+        return out;
+    }
+
+    if (is_stack && file->inWindow(info.ea)) {
+        out.entry = file->indexOf(info.ea);
+        if (di.load) {
+            out.kind = StackRefKind::RerouteLoad;
+            out.fill = file->load(info.ea, di.memSize) ==
+                SvfLookup::Miss;
+            ++nRerouteLoads;
+        } else {
+            out.kind = StackRefKind::RerouteStore;
+            out.fill = file->store(info.ea, di.memSize) ==
+                SvfLookup::Miss;
+            ++nRerouteStores;
+        }
+        monitorRef(out.fill);
+        return out;
+    }
+
+    if (is_stack) {
+        ++nWindowMiss;
+        monitorRef(true);
+    }
+    return out;
+}
+
+void
+SvfUnit::monitorRef(bool went_badly)
+{
+    if (!_params.dynamicDisable)
+        return;
+    ++monitorCount;
+    if (went_badly)
+        ++monitorMisses;
+    if (monitorCount < _params.monitorRefs)
+        return;
+    double miss_rate = static_cast<double>(monitorMisses) /
+                       static_cast<double>(monitorCount);
+    monitorCount = 0;
+    monitorMisses = 0;
+    if (miss_rate > _params.missRateThreshold) {
+        // Poor locality: flush (the SVF holds the only copy of its
+        // dirty words) and cool off on the cache path.
+        file->contextSwitchFlush();
+        disabledRefsLeft = _params.disableRefs;
+        ++nDisables;
+    }
+}
+
+std::uint64_t
+SvfUnit::contextSwitchFlush()
+{
+    return _params.enabled ? file->contextSwitchFlush() : 0;
+}
+
+} // namespace svf::core

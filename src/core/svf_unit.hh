@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Pipeline-facing SVF unit: reference classification and morphing.
+ *
+ * The unit decides, for every memory reference in program order, how
+ * the SVF-equipped pipeline handles it (Sections 3.1-3.2):
+ *
+ *   - MorphLoad/MorphStore: a $sp-relative reference whose address
+ *     (speculative $sp + imm) falls in the SVF window. Morphed into a
+ *     register move at decode; renamed; never touches the DL1.
+ *   - RerouteLoad/RerouteStore: a reference through $fp or a $gpr
+ *     whose computed address bounds-checks into the SVF window.
+ *     Diverted to the SVF after address generation.
+ *   - None: everything else; serviced by the normal cache path.
+ *
+ * It also applies the window-sliding semantics for $sp updates and
+ * tracks the reference-type breakdown of Figure 8.
+ */
+
+#ifndef SVF_CORE_SVF_UNIT_HH
+#define SVF_CORE_SVF_UNIT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/svf.hh"
+#include "sim/emulator.hh"
+#include "sim/region.hh"
+
+namespace svf::core
+{
+
+/** How the pipeline services one memory reference. */
+enum class StackRefKind : std::uint8_t
+{
+    None,
+    MorphLoad,
+    MorphStore,
+    RerouteLoad,
+    RerouteStore,
+};
+
+/** Classification result for one reference. */
+struct StackRefInfo
+{
+    StackRefKind kind = StackRefKind::None;
+
+    /** The SVF word was invalid: a demand fill was performed. */
+    bool fill = false;
+
+    /** SVF word index (valid when kind != None). */
+    std::uint32_t entry = 0;
+};
+
+/** SVF unit configuration. */
+struct SvfUnitParams
+{
+    /** Master enable; when false every reference classifies None. */
+    bool enabled = false;
+
+    /** The underlying register file's shape and policies. */
+    SvfParams svf;
+
+    /**
+     * Figure 5's idealization: morph every stack-region reference
+     * (regardless of base register) at decode. Combine with a huge
+     * entry count and port count for the "infinite SVF" experiment.
+     */
+    bool morphAllStackRefs = false;
+
+    /**
+     * Morph $sp-relative references at decode (the paper's design).
+     * Disabled for ablation: every stack reference takes the
+     * bounds-check reroute path after address generation, isolating
+     * the SVF's bandwidth benefit from its latency benefit.
+     */
+    bool morphSpRefs = true;
+
+    /**
+     * Model the SVF-aware code generator of Section 5.3.1: the
+     * $gpr-store/$sp-load collision pattern is compiled away, so no
+     * squashes occur (and colliding loads are instead ordered after
+     * the store through an LSQ forward).
+     */
+    bool noSquash = false;
+
+    /**
+     * Pipeline flush penalty charged per collision squash: the
+     * front-end refill time while the squashed instructions are
+     * refetched (the replay itself re-pays issue slots and ports).
+     */
+    unsigned squashPenalty = 48;
+
+    /**
+     * @name Dynamic disable (Section 3.3)
+     * "If shown to be necessary because of localized poor SVF
+     * performance, the SVF can be dynamically disabled for a period
+     * of time." When the window-miss rate over a monitoring
+     * interval exceeds the threshold, the SVF flushes itself and
+     * routes everything to the cache for a cooling-off period.
+     */
+    /// @{
+    bool dynamicDisable = false;
+
+    /** Stack references per monitoring interval. */
+    unsigned monitorRefs = 4096;
+
+    /**
+     * Fraction of stack references going badly (window misses or
+     * demand fills — i.e., the window is either too small or
+     * thrashing) that triggers a disable.
+     */
+    double missRateThreshold = 0.5;
+
+    /** Stack references to stay disabled before re-arming. */
+    unsigned disableRefs = 16384;
+    /// @}
+};
+
+/**
+ * The SVF plus its classification logic and statistics.
+ */
+class SvfUnit
+{
+  public:
+    /**
+     * @param params configuration.
+     * @param initial_sp the program's initial stack pointer.
+     */
+    SvfUnit(const SvfUnitParams &params, Addr initial_sp);
+
+    bool enabled() const { return _params.enabled; }
+    const SvfUnitParams &params() const { return _params; }
+
+    /**
+     * Classify one retired-stream instruction in program order and
+     * apply its architectural SVF effects ($sp window slides,
+     * valid/dirty updates, fill/writeback traffic).
+     */
+    StackRefInfo classifyAndApply(const sim::ExecInfo &info);
+
+    /** Context switch: flush the SVF; returns bytes written back. */
+    std::uint64_t contextSwitchFlush();
+
+    /** The underlying storage (stats and test access). */
+    const StackValueFile &svf() const { return *file; }
+    StackValueFile &svf() { return *file; }
+
+    /** @name Figure 8 reference breakdown */
+    /// @{
+    std::uint64_t fastLoads() const { return nFastLoads; }
+    std::uint64_t fastStores() const { return nFastStores; }
+    std::uint64_t reroutedLoads() const { return nRerouteLoads; }
+    std::uint64_t reroutedStores() const { return nRerouteStores; }
+
+    /** Stack refs that fell outside the window (normal cache). */
+    std::uint64_t windowMisses() const { return nWindowMiss; }
+    /// @}
+
+    /** @name Dynamic-disable state and statistics */
+    /// @{
+    /** Is the SVF currently in a disabled cooling-off period? */
+    bool dynamicallyDisabled() const { return disabledRefsLeft > 0; }
+
+    /** Number of disable episodes triggered. */
+    std::uint64_t disableEpisodes() const { return nDisables; }
+
+    /** Stack references serviced by the cache while disabled. */
+    std::uint64_t refsWhileDisabled() const { return nDisabledRefs; }
+    /// @}
+
+  private:
+    /** Dynamic-disable bookkeeping for one stack reference. */
+    void monitorRef(bool went_badly);
+
+    SvfUnitParams _params;
+    std::unique_ptr<StackValueFile> file;
+
+    std::uint64_t monitorCount = 0;
+    std::uint64_t monitorMisses = 0;
+    std::uint64_t disabledRefsLeft = 0;
+    std::uint64_t nDisables = 0;
+    std::uint64_t nDisabledRefs = 0;
+
+    std::uint64_t nFastLoads = 0;
+    std::uint64_t nFastStores = 0;
+    std::uint64_t nRerouteLoads = 0;
+    std::uint64_t nRerouteStores = 0;
+    std::uint64_t nWindowMiss = 0;
+};
+
+} // namespace svf::core
+
+#endif // SVF_CORE_SVF_UNIT_HH

@@ -1,0 +1,105 @@
+#include "harness/experiment.hh"
+
+#include "base/logging.hh"
+#include "sim/emulator.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+
+RunResult
+runExperiment(const RunSetup &setup)
+{
+    const workloads::WorkloadSpec &spec =
+        workloads::workload(setup.workload);
+    std::uint64_t scale = setup.scale ? setup.scale
+                                      : spec.defaultScale;
+    isa::Program prog = spec.build(setup.input, scale);
+
+    sim::Emulator oracle(prog);
+    uarch::OooCore core(setup.machine, oracle);
+    core.run(setup.maxInsts);
+
+    RunResult r;
+    r.core = core.stats();
+    r.completed = oracle.halted();
+    if (r.completed) {
+        std::string expected = spec.expected(setup.input, scale);
+        r.outputOk = oracle.output() == expected;
+        if (!r.outputOk) {
+            warn("workload %s.%s output mismatch (got '%s', want "
+                 "'%s')", setup.workload.c_str(),
+                 setup.input.c_str(), oracle.output().c_str(),
+                 expected.c_str());
+        }
+    }
+
+    const core::SvfUnit &svf = core.svfUnit();
+    if (svf.enabled()) {
+        r.svfQuadsIn = svf.svf().quadsIn();
+        r.svfQuadsOut = svf.svf().quadsOut();
+        r.svfFastLoads = svf.fastLoads();
+        r.svfFastStores = svf.fastStores();
+        r.svfReroutedLoads = svf.reroutedLoads();
+        r.svfReroutedStores = svf.reroutedStores();
+        r.svfWindowMisses = svf.windowMisses();
+    }
+    if (const mem::StackCache *sc = core.stackCache()) {
+        r.scQuadsIn = sc->quadsIn();
+        r.scQuadsOut = sc->quadsOut();
+        r.scHits = sc->hits();
+        r.scMisses = sc->misses();
+    }
+    r.dl1Hits = core.hier().dl1().hits();
+    r.dl1Misses = core.hier().dl1().misses();
+    return r;
+}
+
+uarch::MachineConfig
+baselineConfig(unsigned width, unsigned dl1_ports,
+               const std::string &bpred)
+{
+    uarch::MachineConfig cfg = uarch::MachineConfig::wide(width);
+    cfg.dl1Ports = dl1_ports;
+    cfg.bpred = bpred;
+    return cfg;
+}
+
+void
+applySvf(uarch::MachineConfig &cfg, std::uint32_t entries,
+         unsigned ports)
+{
+    cfg.svf.enabled = true;
+    cfg.svf.svf.entries = entries;
+    cfg.svf.svf.ports = ports;
+    cfg.stackCacheEnabled = false;
+}
+
+void
+applyInfiniteSvf(uarch::MachineConfig &cfg)
+{
+    applySvf(cfg, 1u << 20, 64);
+    cfg.svf.morphAllStackRefs = true;
+    cfg.svf.noSquash = true;
+}
+
+void
+applyStackCache(uarch::MachineConfig &cfg, std::uint64_t size,
+                unsigned ports)
+{
+    cfg.stackCacheEnabled = true;
+    cfg.stackCache.size = size;
+    cfg.stackCache.ports = ports;
+    cfg.svf.enabled = false;
+}
+
+double
+speedupPct(const RunResult &base, const RunResult &opt)
+{
+    if (opt.core.cycles == 0)
+        return 0.0;
+    return (static_cast<double>(base.core.cycles) /
+            static_cast<double>(opt.core.cycles) - 1.0) * 100.0;
+}
+
+} // namespace svf::harness

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Experiment harness: builds a workload + machine pair, runs the
+ * timing model and returns the statistics every bench binary needs.
+ */
+
+#ifndef SVF_HARNESS_EXPERIMENT_HH
+#define SVF_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "uarch/machine_config.hh"
+#include "uarch/ooo_core.hh"
+
+namespace svf::harness
+{
+
+/** One simulation to run. */
+struct RunSetup
+{
+    std::string workload;       //!< registry short name
+    std::string input;          //!< input variant
+    std::uint64_t scale = 0;    //!< 0 = the registry default scale
+    std::uint64_t maxInsts = 500'000;
+    uarch::MachineConfig machine;
+};
+
+/** Everything measured by one simulation. */
+struct RunResult
+{
+    uarch::CoreStats core;
+
+    /** @name SVF statistics */
+    /// @{
+    std::uint64_t svfQuadsIn = 0;
+    std::uint64_t svfQuadsOut = 0;
+    std::uint64_t svfFastLoads = 0;
+    std::uint64_t svfFastStores = 0;
+    std::uint64_t svfReroutedLoads = 0;
+    std::uint64_t svfReroutedStores = 0;
+    std::uint64_t svfWindowMisses = 0;
+    /// @}
+
+    /** @name Stack cache statistics */
+    /// @{
+    std::uint64_t scQuadsIn = 0;
+    std::uint64_t scQuadsOut = 0;
+    std::uint64_t scHits = 0;
+    std::uint64_t scMisses = 0;
+    /// @}
+
+    /** @name DL1 statistics */
+    /// @{
+    std::uint64_t dl1Hits = 0;
+    std::uint64_t dl1Misses = 0;
+    /// @}
+
+    /**
+     * Output check: true when the program ran to completion within
+     * the budget and printed exactly the golden model's output, or
+     * ran out of budget before halting (in which case there is
+     * nothing to compare).
+     */
+    bool outputOk = true;
+
+    /** Did the program halt within the instruction budget? */
+    bool completed = false;
+
+    double ipc() const { return core.ipc(); }
+};
+
+/** Run one experiment. */
+RunResult runExperiment(const RunSetup &setup);
+
+/**
+ * The paper's baseline machine: Table 2 shape at @p width with
+ * @p dl1_ports universal first-level ports.
+ */
+uarch::MachineConfig baselineConfig(unsigned width,
+                                    unsigned dl1_ports = 2,
+                                    const std::string &bpred =
+                                        "perfect");
+
+/** Enable an SVF of @p entries words and @p ports ports. */
+void applySvf(uarch::MachineConfig &cfg, std::uint32_t entries,
+              unsigned ports);
+
+/**
+ * Figure 5's idealization: effectively infinite SVF (1M entries)
+ * with unlimited ports, morphing every stack reference.
+ */
+void applyInfiniteSvf(uarch::MachineConfig &cfg);
+
+/** Enable a decoupled stack cache of @p size bytes, @p ports ports. */
+void applyStackCache(uarch::MachineConfig &cfg, std::uint64_t size,
+                     unsigned ports);
+
+/** Percentage speedup of @p opt over @p base (same work). */
+double speedupPct(const RunResult &base, const RunResult &opt);
+
+} // namespace svf::harness
+
+#endif // SVF_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,52 @@
+#include "harness/reporting.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace svf::harness
+{
+
+double
+geomeanPct(const std::vector<double> &pcts)
+{
+    if (pcts.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double p : pcts)
+        log_sum += std::log(1.0 + p / 100.0);
+    return (std::exp(log_sum / static_cast<double>(pcts.size())) -
+            1.0) * 100.0;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+std::string
+pct(double v, int prec)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v);
+    return buf;
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("======================================================"
+                "==========\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s (Lee et al., HPCA 2001)\n",
+                paper_ref.c_str());
+    std::printf("======================================================"
+                "==========\n");
+}
+
+} // namespace svf::harness

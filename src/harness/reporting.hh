@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared reporting helpers for the bench binaries.
+ */
+
+#ifndef SVF_HARNESS_REPORTING_HH
+#define SVF_HARNESS_REPORTING_HH
+
+#include <string>
+#include <vector>
+
+namespace svf::harness
+{
+
+/** Geometric mean of (1 + pct/100) values, returned as a percent. */
+double geomeanPct(const std::vector<double> &pcts);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** "12.3%" style rendering. */
+std::string pct(double v, int prec = 1);
+
+/** Standard bench banner with the paper reference. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+} // namespace svf::harness
+
+#endif // SVF_HARNESS_REPORTING_HH

@@ -1,0 +1,61 @@
+#include "harness/traffic.hh"
+
+#include "core/svf_unit.hh"
+#include "mem/hierarchy.hh"
+#include "mem/stack_cache.hh"
+#include "sim/emulator.hh"
+#include "sim/region.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+
+TrafficResult
+measureTraffic(const TrafficSetup &setup)
+{
+    const workloads::WorkloadSpec &spec =
+        workloads::workload(setup.workload);
+    std::uint64_t scale = setup.scale ? setup.scale
+                                      : spec.defaultScale;
+    isa::Program prog = spec.build(setup.input, scale);
+    sim::Emulator emu(prog);
+
+    core::SvfUnitParams svf_params;
+    svf_params.enabled = true;
+    svf_params.svf.entries =
+        static_cast<std::uint32_t>(setup.capacityBytes / 8);
+    svf_params.svf.dirtyGranule = setup.svfDirtyGranule;
+    svf_params.svf.killOnShrink = setup.svfKillOnShrink;
+    svf_params.svf.fillOnAlloc = setup.svfFillOnAlloc;
+    core::SvfUnit svf(svf_params, isa::layout::StackBase);
+
+    mem::MemHierarchy hier{mem::HierarchyParams()};
+    mem::StackCacheParams sc_params;
+    sc_params.size = setup.capacityBytes;
+    mem::StackCache sc(sc_params, hier);
+
+    TrafficResult out;
+    sim::ExecInfo info;
+    while (out.insts < setup.maxInsts && emu.step(info)) {
+        ++out.insts;
+        svf.classifyAndApply(info);
+        if (info.di->memRef &&
+            sim::classify(info.ea) == sim::Region::Stack) {
+            sc.access(info.ea, info.di->store);
+        }
+        if (setup.ctxSwitchPeriod &&
+            out.insts % setup.ctxSwitchPeriod == 0) {
+            ++out.ctxSwitches;
+            out.svfCtxBytes += svf.contextSwitchFlush();
+            out.scCtxBytes += sc.contextSwitchFlush();
+        }
+    }
+
+    out.svfQuadsIn = svf.svf().quadsIn();
+    out.svfQuadsOut = svf.svf().quadsOut();
+    out.scQuadsIn = sc.quadsIn();
+    out.scQuadsOut = sc.quadsOut();
+    return out;
+}
+
+} // namespace svf::harness

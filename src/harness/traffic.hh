@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Architectural traffic measurement (Tables 3 and 4).
+ *
+ * Traffic between a stack structure and the next memory level is an
+ * architectural property of the reference stream — it does not
+ * depend on pipeline timing. This driver replays the functional
+ * stream through an SVF and a decoupled stack cache side by side,
+ * which is orders of magnitude faster than the cycle model and lets
+ * the traffic tables run the full workloads.
+ */
+
+#ifndef SVF_HARNESS_TRAFFIC_HH
+#define SVF_HARNESS_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace svf::harness
+{
+
+/** Traffic measured for one workload at one capacity. */
+struct TrafficResult
+{
+    std::uint64_t insts = 0;
+
+    /** @name Table 3: quadwords in/out of each structure */
+    /// @{
+    std::uint64_t svfQuadsIn = 0;
+    std::uint64_t svfQuadsOut = 0;
+    std::uint64_t scQuadsIn = 0;
+    std::uint64_t scQuadsOut = 0;
+    /// @}
+
+    /** @name Table 4: context switch writeback traffic */
+    /// @{
+    std::uint64_t ctxSwitches = 0;
+    std::uint64_t svfCtxBytes = 0;
+    std::uint64_t scCtxBytes = 0;
+    /// @}
+};
+
+/** Configuration for a traffic measurement. */
+struct TrafficSetup
+{
+    std::string workload;
+    std::string input;
+    std::uint64_t scale = 0;            //!< 0 = registry default
+    std::uint64_t maxInsts = 5'000'000;
+
+    /** Capacity in bytes for both structures (2/4/8KB in Table 3). */
+    std::uint64_t capacityBytes = 8192;
+
+    /** Instructions between context switches; 0 disables. */
+    std::uint64_t ctxSwitchPeriod = 0;
+
+    /** SVF dirty-bit granularity (8 = paper). */
+    unsigned svfDirtyGranule = 8;
+
+    /** Ablations (see DESIGN.md section 5). */
+    bool svfKillOnShrink = true;
+    bool svfFillOnAlloc = false;
+};
+
+/** Replay the stream and measure both structures' traffic. */
+TrafficResult measureTraffic(const TrafficSetup &setup);
+
+} // namespace svf::harness
+
+#endif // SVF_HARNESS_TRAFFIC_HH

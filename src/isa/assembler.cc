@@ -1,0 +1,572 @@
+#include "isa/assembler.hh"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "isa/encode.hh"
+
+namespace svf::isa
+{
+
+AsmError::AsmError(unsigned line, const std::string &msg)
+    : std::runtime_error(csprintf("line %u: %s", line, msg.c_str())),
+      _line(line)
+{
+}
+
+namespace
+{
+
+/** One source line reduced to label / mnemonic / operand strings. */
+struct SrcLine
+{
+    unsigned line_no = 0;
+    std::string label;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+[[noreturn]] void
+err(unsigned line, const std::string &msg)
+{
+    throw AsmError(line, msg);
+}
+
+/** Strip comments and split "label: mnemonic op1, op2" pieces. */
+std::optional<SrcLine>
+parseLine(unsigned line_no, std::string_view text)
+{
+    auto cut = text.find_first_of(";#");
+    if (cut != std::string_view::npos)
+        text = text.substr(0, cut);
+    text = trim(text);
+
+    SrcLine out;
+    out.line_no = line_no;
+
+    auto colon = text.find(':');
+    if (colon != std::string_view::npos &&
+        text.substr(0, colon).find('"') == std::string_view::npos) {
+        out.label = std::string(trim(text.substr(0, colon)));
+        if (out.label.empty())
+            err(line_no, "empty label");
+        text = trim(text.substr(colon + 1));
+    }
+    if (text.empty()) {
+        if (out.label.empty())
+            return std::nullopt;
+        return out;
+    }
+
+    auto sp = text.find_first_of(" \t");
+    out.mnemonic = toLower(std::string(
+        sp == std::string_view::npos ? text : text.substr(0, sp)));
+    if (sp != std::string_view::npos) {
+        std::string_view rest = trim(text.substr(sp + 1));
+        // Operands split on commas, but not inside string literals.
+        std::string cur;
+        bool in_str = false;
+        for (char c : rest) {
+            if (c == '"')
+                in_str = !in_str;
+            if (c == ',' && !in_str) {
+                out.operands.emplace_back(trim(cur));
+                cur.clear();
+            } else {
+                cur.push_back(c);
+            }
+        }
+        if (!trim(cur).empty() || !out.operands.empty())
+            out.operands.emplace_back(trim(cur));
+    }
+    return out;
+}
+
+/** Size in bytes one parsed line contributes to its section. */
+struct Assembler
+{
+    explicit Assembler(const std::string &name) { prog.name = name; }
+
+    Program run(const std::string &source);
+
+    // Pass 1 helpers.
+    std::uint64_t instCount(const SrcLine &l) const;
+    std::uint64_t dataSize(const SrcLine &l) const;
+
+    // Pass 2 helpers.
+    void emitInst(const SrcLine &l);
+    void emitData(const SrcLine &l);
+
+    std::int64_t evalInt(const SrcLine &l, const std::string &tok,
+                         bool allow_label) const;
+    RegIndex reqReg(const SrcLine &l, const std::string &tok) const;
+    void parseMemOperand(const SrcLine &l, const std::string &tok,
+                         std::int32_t &disp, RegIndex &base) const;
+    std::int32_t branchDisp(const SrcLine &l,
+                            const std::string &tok) const;
+
+    Program prog;
+    std::map<std::string, Addr> symbols;
+    std::vector<std::uint32_t> text;
+    std::vector<std::uint8_t> data;
+    Addr textCursor = layout::TextBase;
+    Addr dataCursor = layout::DataBase;
+    bool inText = true;
+};
+
+bool
+isDirective(const std::string &m)
+{
+    return !m.empty() && m[0] == '.';
+}
+
+std::uint64_t
+parseEscapedString(const SrcLine &l, const std::string &tok,
+                   std::vector<std::uint8_t> *out)
+{
+    if (tok.size() < 2 || tok.front() != '"' || tok.back() != '"')
+        err(l.line_no, "expected quoted string");
+    std::uint64_t n = 0;
+    for (size_t i = 1; i + 1 < tok.size(); ++i) {
+        char c = tok[i];
+        if (c == '\\' && i + 2 < tok.size()) {
+            ++i;
+            switch (tok[i]) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case '0': c = '\0'; break;
+              case '\\': c = '\\'; break;
+              case '"': c = '"'; break;
+              default:
+                err(l.line_no, "bad escape in string");
+            }
+        }
+        if (out)
+            out->push_back(static_cast<std::uint8_t>(c));
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+Assembler::instCount(const SrcLine &l) const
+{
+    const std::string &m = l.mnemonic;
+    if (m == "li") {
+        if (l.operands.size() != 2)
+            err(l.line_no, "li needs 2 operands");
+        // Labels always get the 2-instruction ldah/lda form; numbers
+        // are sized exactly.
+        std::int64_t v = 0;
+        if (!parseInt(l.operands[1], v))
+            return 2;
+        if (v >= -32768 && v <= 32767)
+            return 1;
+        std::uint64_t uv = static_cast<std::uint64_t>(v);
+        std::int64_t lo = sext(uv, 16);
+        std::int64_t rem = v - lo;
+        if (rem % 65536 == 0 &&
+            (rem >> 16) >= -32768 && (rem >> 16) <= 32767) {
+            return lo == 0 ? 1 : 2;
+        }
+        err(l.line_no, "li constant too wide (use data + ldq)");
+    }
+    if (m == "la")
+        return 2;
+    return 1;
+}
+
+std::uint64_t
+Assembler::dataSize(const SrcLine &l) const
+{
+    const std::string &m = l.mnemonic;
+    const auto &ops = l.operands;
+    if (m == ".quad")
+        return 8 * ops.size();
+    if (m == ".long")
+        return 4 * ops.size();
+    if (m == ".byte")
+        return ops.size();
+    if (m == ".space") {
+        std::int64_t n = 0;
+        if (ops.size() != 1 || !parseInt(ops[0], n) || n < 0)
+            err(l.line_no, ".space needs a nonnegative size");
+        return static_cast<std::uint64_t>(n);
+    }
+    if (m == ".ascii" || m == ".asciz") {
+        if (ops.size() != 1)
+            err(l.line_no, "string directive needs 1 operand");
+        std::uint64_t n = parseEscapedString(l, ops[0], nullptr);
+        return m == ".asciz" ? n + 1 : n;
+    }
+    err(l.line_no, "unknown directive '" + m + "' in .data");
+}
+
+std::int64_t
+Assembler::evalInt(const SrcLine &l, const std::string &tok,
+                   bool allow_label) const
+{
+    std::int64_t v = 0;
+    if (parseInt(tok, v))
+        return v;
+    if (allow_label) {
+        auto it = symbols.find(tok);
+        if (it != symbols.end())
+            return static_cast<std::int64_t>(it->second);
+    }
+    err(l.line_no, "bad integer or unknown symbol '" + tok + "'");
+}
+
+RegIndex
+Assembler::reqReg(const SrcLine &l, const std::string &tok) const
+{
+    RegIndex r = parseReg(tok.c_str());
+    if (r == NoReg)
+        err(l.line_no, "expected register, got '" + tok + "'");
+    return r;
+}
+
+void
+Assembler::parseMemOperand(const SrcLine &l, const std::string &tok,
+                           std::int32_t &disp, RegIndex &base) const
+{
+    auto open = tok.find('(');
+    auto close = tok.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        err(l.line_no, "expected disp(reg), got '" + tok + "'");
+    }
+    std::string disp_s(trim(std::string_view(tok).substr(0, open)));
+    std::string reg_s(trim(std::string_view(tok).substr(
+        open + 1, close - open - 1)));
+    std::int64_t d = disp_s.empty() ? 0 : evalInt(l, disp_s, false);
+    if (d < -32768 || d > 32767)
+        err(l.line_no, "displacement out of range");
+    disp = static_cast<std::int32_t>(d);
+    base = reqReg(l, reg_s);
+}
+
+std::int32_t
+Assembler::branchDisp(const SrcLine &l, const std::string &tok) const
+{
+    std::int64_t target = evalInt(l, tok, true);
+    std::int64_t disp =
+        (target - (static_cast<std::int64_t>(textCursor) + 4)) / 4;
+    if ((target - (static_cast<std::int64_t>(textCursor) + 4)) % 4)
+        err(l.line_no, "misaligned branch target");
+    if (disp < -(1 << 20) || disp >= (1 << 20))
+        err(l.line_no, "branch target out of range");
+    return static_cast<std::int32_t>(disp);
+}
+
+void
+Assembler::emitInst(const SrcLine &l)
+{
+    const std::string &m = l.mnemonic;
+    const auto &ops = l.operands;
+    auto need = [&](size_t n) {
+        if (ops.size() != n) {
+            err(l.line_no, csprintf("'%s' needs %zu operands, got %zu",
+                                    m.c_str(), n, ops.size()));
+        }
+    };
+    auto push = [&](std::uint32_t raw) {
+        text.push_back(raw);
+        textCursor += 4;
+    };
+
+    static const std::map<std::string, Opcode> mem_ops = {
+        {"lda", Opcode::Lda}, {"ldah", Opcode::Ldah},
+        {"ldq", Opcode::Ldq}, {"stq", Opcode::Stq},
+        {"ldl", Opcode::Ldl}, {"stl", Opcode::Stl},
+        {"ldbu", Opcode::Ldbu}, {"stb", Opcode::Stb},
+    };
+    static const std::map<std::string, IntFunct> int_ops = {
+        {"addq", IntFunct::Addq}, {"subq", IntFunct::Subq},
+        {"mulq", IntFunct::Mulq}, {"and", IntFunct::And},
+        {"bis", IntFunct::Bis}, {"or", IntFunct::Bis},
+        {"xor", IntFunct::Xor}, {"sll", IntFunct::Sll},
+        {"srl", IntFunct::Srl}, {"sra", IntFunct::Sra},
+        {"cmpeq", IntFunct::Cmpeq}, {"cmplt", IntFunct::Cmplt},
+        {"cmple", IntFunct::Cmple}, {"cmpult", IntFunct::Cmpult},
+        {"cmpule", IntFunct::Cmpule}, {"umulh", IntFunct::Umulh},
+    };
+    static const std::map<std::string, Opcode> cond_br = {
+        {"beq", Opcode::Beq}, {"bne", Opcode::Bne},
+        {"blt", Opcode::Blt}, {"ble", Opcode::Ble},
+        {"bgt", Opcode::Bgt}, {"bge", Opcode::Bge},
+    };
+
+    if (auto it = mem_ops.find(m); it != mem_ops.end()) {
+        need(2);
+        RegIndex ra = reqReg(l, ops[0]);
+        std::int32_t disp = 0;
+        RegIndex rb = RegZero;
+        parseMemOperand(l, ops[1], disp, rb);
+        push(encodeMem(it->second, ra, rb, disp));
+        return;
+    }
+    if (auto it = int_ops.find(m); it != int_ops.end()) {
+        need(3);
+        RegIndex ra = reqReg(l, ops[0]);
+        RegIndex rc = reqReg(l, ops[2]);
+        RegIndex rb = parseReg(ops[1].c_str());
+        if (rb != NoReg) {
+            push(encodeOp(it->second, ra, rb, rc));
+        } else {
+            std::int64_t lit = evalInt(l, ops[1], false);
+            if (lit < 0 || lit > 255)
+                err(l.line_no, "literal operand must be 0..255");
+            push(encodeOpLit(it->second, ra,
+                             static_cast<std::uint8_t>(lit), rc));
+        }
+        return;
+    }
+    if (auto it = cond_br.find(m); it != cond_br.end()) {
+        need(2);
+        RegIndex ra = reqReg(l, ops[0]);
+        push(encodeBranch(it->second, ra, branchDisp(l, ops[1])));
+        return;
+    }
+    if (m == "br" || m == "bsr" || m == "call") {
+        need(1);
+        Opcode op = m == "br" ? Opcode::Br : Opcode::Bsr;
+        RegIndex ra = m == "br" ? RegZero : RegRA;
+        push(encodeBranch(op, ra, branchDisp(l, ops[0])));
+        return;
+    }
+    if (m == "jsr") {
+        need(2);
+        RegIndex ra = reqReg(l, ops[0]);
+        std::string t = ops[1];
+        if (t.size() >= 2 && t.front() == '(' && t.back() == ')')
+            t = std::string(trim(
+                std::string_view(t).substr(1, t.size() - 2)));
+        push(encodeJsr(ra, reqReg(l, t)));
+        return;
+    }
+    if (m == "ret") {
+        need(0);
+        push(encodeJsr(RegZero, RegRA));
+        return;
+    }
+    if (m == "halt" || m == "putint" || m == "putc") {
+        need(0);
+        SysFunct f = m == "halt" ? SysFunct::Halt
+                   : m == "putint" ? SysFunct::Putint : SysFunct::Putc;
+        push(encodeSys(f));
+        return;
+    }
+    if (m == "nop") {
+        need(0);
+        push(encodeOp(IntFunct::Bis, RegZero, RegZero, RegZero));
+        return;
+    }
+    if (m == "mov") {
+        need(2);
+        RegIndex src = reqReg(l, ops[0]);
+        RegIndex dst = reqReg(l, ops[1]);
+        push(encodeOp(IntFunct::Bis, src, src, dst));
+        return;
+    }
+    if (m == "li" || m == "la") {
+        need(2);
+        RegIndex rc = reqReg(l, ops[0]);
+        std::int64_t v = 0;
+        bool is_num = parseInt(ops[1], v);
+        if (!is_num)
+            v = evalInt(l, ops[1], true);
+        if (is_num && v >= -32768 && v <= 32767 && m == "li") {
+            push(encodeMem(Opcode::Lda, rc, RegZero,
+                           static_cast<std::int32_t>(v)));
+            return;
+        }
+        std::uint64_t uv = static_cast<std::uint64_t>(v);
+        std::int64_t lo = sext(uv, 16);
+        std::int64_t rem = v - lo;
+        std::int64_t hi = rem >> 16;
+        if (rem % 65536 != 0 || hi < -32768 || hi > 32767)
+            err(l.line_no, "constant too wide for li/la");
+        push(encodeMem(Opcode::Ldah, rc, RegZero,
+                       static_cast<std::int32_t>(hi)));
+        // Symbolic li was sized at 2 instructions in pass 1, so the
+        // lda half must be emitted even when lo == 0.
+        if (lo != 0 || m == "la" || !is_num) {
+            push(encodeMem(Opcode::Lda, rc, rc,
+                           static_cast<std::int32_t>(lo)));
+        }
+        return;
+    }
+    err(l.line_no, "unknown mnemonic '" + m + "'");
+}
+
+void
+Assembler::emitData(const SrcLine &l)
+{
+    const std::string &m = l.mnemonic;
+    const auto &ops = l.operands;
+    auto emit_int = [&](std::uint64_t v, unsigned bytes) {
+        for (unsigned i = 0; i < bytes; ++i)
+            data.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        dataCursor += bytes;
+    };
+
+    if (m == ".quad" || m == ".long" || m == ".byte") {
+        unsigned width = m == ".quad" ? 8 : m == ".long" ? 4 : 1;
+        for (const auto &tok : ops) {
+            emit_int(static_cast<std::uint64_t>(evalInt(l, tok, true)),
+                     width);
+        }
+        return;
+    }
+    if (m == ".space") {
+        std::uint64_t n = dataSize(l);
+        data.insert(data.end(), n, 0);
+        dataCursor += n;
+        return;
+    }
+    if (m == ".ascii" || m == ".asciz") {
+        std::vector<std::uint8_t> bytes;
+        parseEscapedString(l, ops[0], &bytes);
+        if (m == ".asciz")
+            bytes.push_back(0);
+        data.insert(data.end(), bytes.begin(), bytes.end());
+        dataCursor += bytes.size();
+        return;
+    }
+    err(l.line_no, "unknown directive '" + m + "'");
+}
+
+Program
+Assembler::run(const std::string &source)
+{
+    std::vector<SrcLine> lines;
+    {
+        std::istringstream is(source);
+        std::string raw;
+        unsigned n = 0;
+        while (std::getline(is, raw)) {
+            ++n;
+            if (auto l = parseLine(n, raw))
+                lines.push_back(std::move(*l));
+        }
+    }
+
+    // Pass 1: assign addresses to labels.
+    bool p1_text = true;
+    Addr p1_text_cur = layout::TextBase;
+    Addr p1_data_cur = layout::DataBase;
+    for (const SrcLine &l : lines) {
+        Addr &cur = p1_text ? p1_text_cur : p1_data_cur;
+        if (!l.label.empty()) {
+            if (symbols.count(l.label))
+                err(l.line_no, "duplicate label '" + l.label + "'");
+            symbols[l.label] = cur;
+        }
+        if (l.mnemonic.empty())
+            continue;
+        if (l.mnemonic == ".text") {
+            p1_text = true;
+            continue;
+        }
+        if (l.mnemonic == ".data") {
+            p1_text = false;
+            continue;
+        }
+        if (l.mnemonic == ".align") {
+            std::int64_t a = 0;
+            if (l.operands.size() != 1 ||
+                !parseInt(l.operands[0], a) || !isPow2(
+                    static_cast<std::uint64_t>(a))) {
+                err(l.line_no, ".align needs a power of two");
+            }
+            cur = alignUp(cur, static_cast<std::uint64_t>(a));
+            if (!l.label.empty())
+                symbols[l.label] = cur;
+            continue;
+        }
+        if (isDirective(l.mnemonic)) {
+            if (p1_text)
+                err(l.line_no, "data directive in .text");
+            cur += dataSize(l);
+        } else {
+            if (!p1_text)
+                err(l.line_no, "instruction in .data");
+            cur += 4 * instCount(l);
+        }
+        // A label on a sized line points at the line's start, which
+        // symbols[] already holds.
+    }
+
+    // Pass 2: encode.
+    inText = true;
+    for (const SrcLine &l : lines) {
+        if (l.mnemonic.empty())
+            continue;
+        if (l.mnemonic == ".text") {
+            inText = true;
+            continue;
+        }
+        if (l.mnemonic == ".data") {
+            inText = false;
+            continue;
+        }
+        if (l.mnemonic == ".align") {
+            std::int64_t a = 0;
+            parseInt(l.operands[0], a);
+            Addr &cur = inText ? textCursor : dataCursor;
+            Addr target = alignUp(cur, static_cast<std::uint64_t>(a));
+            while (cur < target) {
+                if (inText) {
+                    text.push_back(encodeOp(IntFunct::Bis, RegZero,
+                                            RegZero, RegZero));
+                    cur += 4;
+                } else {
+                    data.push_back(0);
+                    cur += 1;
+                }
+            }
+            continue;
+        }
+        if (isDirective(l.mnemonic))
+            emitData(l);
+        else
+            emitInst(l);
+    }
+
+    if (text.empty())
+        err(1, "program has no instructions");
+
+    prog.textBase = layout::TextBase;
+    prog.textSize = text.size() * 4;
+    auto entry_it = symbols.find("main");
+    prog.entry = entry_it != symbols.end() ? entry_it->second
+                                           : layout::TextBase;
+
+    std::vector<std::uint8_t> text_bytes;
+    text_bytes.reserve(text.size() * 4);
+    for (std::uint32_t w : text) {
+        for (int i = 0; i < 4; ++i)
+            text_bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+    prog.addSection(layout::TextBase, std::move(text_bytes));
+    if (!data.empty())
+        prog.addSection(layout::DataBase, data);
+    return prog;
+}
+
+} // anonymous namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    Assembler as(name);
+    return as.run(source);
+}
+
+} // namespace svf::isa

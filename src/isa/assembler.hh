@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Two-pass text assembler for SVA.
+ *
+ * The assembler exists so examples and tests can express programs in
+ * readable assembly; workload kernels use ProgramBuilder directly.
+ *
+ * Syntax summary:
+ *
+ *     ; comment (also #)
+ *     .text / .data          section switch
+ *     .align N               align cursor (power of two)
+ *     .quad v[, v...]        64-bit values (numbers or labels)
+ *     .long v[, v...]        32-bit values
+ *     .byte v[, v...]        8-bit values
+ *     .space N               N zero bytes
+ *     .ascii "str" /.asciz
+ *     label:
+ *     ldq $a0, 8($sp)        memory ops: ldq stq ldl stl ldbu stb
+ *     lda $sp, -32($sp)      address arithmetic: lda ldah
+ *     addq $a0, $a1, $v0     operates (reg or 0..255 literal 2nd op)
+ *     beq $a0, label         branches: beq bne blt ble bgt bge br bsr
+ *     jsr $ra, ($pv)         indirect jump; ret
+ *     halt / putint / putc   system ops
+ *     mov $a0, $v0           pseudos: mov li la nop call ret
+ *     li  $a0, 0x1234
+ *     la  $a0, label
+ */
+
+#ifndef SVF_ISA_ASSEMBLER_HH
+#define SVF_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace svf::isa
+{
+
+/** Raised on malformed assembly; message includes the line number. */
+class AsmError : public std::runtime_error
+{
+  public:
+    /**
+     * @param line 1-based source line.
+     * @param msg what went wrong.
+     */
+    AsmError(unsigned line, const std::string &msg);
+
+    /** Source line the error was found on. */
+    unsigned line() const { return _line; }
+
+  private:
+    unsigned _line;
+};
+
+/**
+ * Assemble SVA source text into a linked Program.
+ *
+ * @param source the assembly text.
+ * @param name program name for reporting.
+ * @throws AsmError on any syntax or semantic error.
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "asm");
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_ASSEMBLER_HH

@@ -1,0 +1,536 @@
+#include "isa/builder.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace svf::isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : progName(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    Label l{static_cast<int>(labelPos.size())};
+    labelPos.push_back(-1);
+    return l;
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    svf_assert(l.valid() &&
+               static_cast<size_t>(l.id) < labelPos.size());
+    if (labelPos[l.id] >= 0)
+        panic("label %d bound twice", l.id);
+    labelPos[l.id] = static_cast<std::int64_t>(insts.size());
+}
+
+Label
+ProgramBuilder::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+ProgramBuilder::emit(std::uint32_t raw)
+{
+    svf_assert(!finished);
+    insts.push_back(raw);
+}
+
+void
+ProgramBuilder::lda(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Lda, ra, rb, disp));
+}
+
+void
+ProgramBuilder::ldah(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Ldah, ra, rb, disp));
+}
+
+void
+ProgramBuilder::ldq(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Ldq, ra, rb, disp));
+}
+
+void
+ProgramBuilder::stq(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Stq, ra, rb, disp));
+}
+
+void
+ProgramBuilder::ldl(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Ldl, ra, rb, disp));
+}
+
+void
+ProgramBuilder::stl(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Stl, ra, rb, disp));
+}
+
+void
+ProgramBuilder::ldbu(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Ldbu, ra, rb, disp));
+}
+
+void
+ProgramBuilder::stb(RegIndex ra, std::int32_t disp, RegIndex rb)
+{
+    emit(encodeMem(Opcode::Stb, ra, rb, disp));
+}
+
+void
+ProgramBuilder::op(IntFunct f, RegIndex ra, RegIndex rb, RegIndex rc)
+{
+    emit(encodeOp(f, ra, rb, rc));
+}
+
+void
+ProgramBuilder::opi(IntFunct f, RegIndex ra, std::uint8_t lit,
+                    RegIndex rc)
+{
+    emit(encodeOpLit(f, ra, lit, rc));
+}
+
+void ProgramBuilder::addq(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Addq, a, b, c); }
+void ProgramBuilder::addqi(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Addq, a, l, c); }
+void ProgramBuilder::subq(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Subq, a, b, c); }
+void ProgramBuilder::subqi(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Subq, a, l, c); }
+void ProgramBuilder::mulq(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Mulq, a, b, c); }
+void ProgramBuilder::mulqi(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Mulq, a, l, c); }
+void ProgramBuilder::and_(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::And, a, b, c); }
+void ProgramBuilder::andi(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::And, a, l, c); }
+void ProgramBuilder::bis(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Bis, a, b, c); }
+void ProgramBuilder::xor_(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Xor, a, b, c); }
+void ProgramBuilder::xori(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Xor, a, l, c); }
+void ProgramBuilder::sll(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Sll, a, b, c); }
+void ProgramBuilder::slli(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Sll, a, l, c); }
+void ProgramBuilder::srl(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Srl, a, b, c); }
+void ProgramBuilder::srli(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Srl, a, l, c); }
+void ProgramBuilder::srai(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Sra, a, l, c); }
+void ProgramBuilder::cmpeq(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Cmpeq, a, b, c); }
+void ProgramBuilder::cmpeqi(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Cmpeq, a, l, c); }
+void ProgramBuilder::cmplt(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Cmplt, a, b, c); }
+void ProgramBuilder::cmplti(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Cmplt, a, l, c); }
+void ProgramBuilder::cmple(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Cmple, a, b, c); }
+void ProgramBuilder::cmplei(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Cmple, a, l, c); }
+void ProgramBuilder::cmpult(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Cmpult, a, b, c); }
+void ProgramBuilder::cmpulti(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Cmpult, a, l, c); }
+void ProgramBuilder::cmpule(RegIndex a, RegIndex b, RegIndex c)
+{ op(IntFunct::Cmpule, a, b, c); }
+void ProgramBuilder::cmpulei(RegIndex a, std::uint8_t l, RegIndex c)
+{ opi(IntFunct::Cmpule, a, l, c); }
+
+void
+ProgramBuilder::emitBranch(Opcode op, RegIndex ra, Label target)
+{
+    svf_assert(target.valid());
+    fixups.push_back(Fixup{insts.size(), target.id,
+                           Fixup::Kind::Branch21});
+    emit(encodeBranch(op, ra, 0));
+}
+
+void ProgramBuilder::br(Label t)
+{ emitBranch(Opcode::Br, RegZero, t); }
+void ProgramBuilder::bsr(Label t)
+{ emitBranch(Opcode::Bsr, RegRA, t); }
+void ProgramBuilder::beq(RegIndex ra, Label t)
+{ emitBranch(Opcode::Beq, ra, t); }
+void ProgramBuilder::bne(RegIndex ra, Label t)
+{ emitBranch(Opcode::Bne, ra, t); }
+void ProgramBuilder::blt(RegIndex ra, Label t)
+{ emitBranch(Opcode::Blt, ra, t); }
+void ProgramBuilder::ble(RegIndex ra, Label t)
+{ emitBranch(Opcode::Ble, ra, t); }
+void ProgramBuilder::bgt(RegIndex ra, Label t)
+{ emitBranch(Opcode::Bgt, ra, t); }
+void ProgramBuilder::bge(RegIndex ra, Label t)
+{ emitBranch(Opcode::Bge, ra, t); }
+
+void
+ProgramBuilder::jsr(RegIndex ra, RegIndex rb)
+{
+    emit(encodeJsr(ra, rb));
+}
+
+void
+ProgramBuilder::ret()
+{
+    emit(encodeJsr(RegZero, RegRA));
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit(encodeSys(SysFunct::Halt));
+}
+
+void
+ProgramBuilder::putint()
+{
+    emit(encodeSys(SysFunct::Putint));
+}
+
+void
+ProgramBuilder::putc()
+{
+    emit(encodeSys(SysFunct::Putc));
+}
+
+void
+ProgramBuilder::mov(RegIndex src, RegIndex dst)
+{
+    bis(src, src, dst);
+}
+
+void
+ProgramBuilder::nop()
+{
+    bis(RegZero, RegZero, RegZero);
+}
+
+namespace
+{
+
+/** Can @p v be produced by an lda/ldah pair off $zero? */
+bool
+fitsLdaPair(std::uint64_t v, std::int32_t &hi, std::int32_t &lo)
+{
+    auto sv = static_cast<std::int64_t>(v);
+    lo = static_cast<std::int32_t>(sext(v, 16));
+    std::int64_t rem = sv - lo;
+    if (rem % 65536 != 0)
+        return false;
+    std::int64_t h = rem >> 16;
+    if (h < -32768 || h > 32767)
+        return false;
+    hi = static_cast<std::int32_t>(h);
+    return true;
+}
+
+} // anonymous namespace
+
+void
+ProgramBuilder::li32(RegIndex rc, std::int32_t v32)
+{
+    auto v = static_cast<std::int64_t>(v32);
+    if (v >= -32768 && v <= 32767) {
+        lda(rc, static_cast<std::int32_t>(v), RegZero);
+        return;
+    }
+    std::int32_t hi = 0;
+    std::int32_t lo = 0;
+    if (fitsLdaPair(static_cast<std::uint64_t>(v), hi, lo)) {
+        ldah(rc, hi, RegZero);
+        if (lo != 0)
+            lda(rc, lo, rc);
+        return;
+    }
+    // Only values in [0x7fff8000, 0x7fffffff] reach here: the lda
+    // sign extension cannot be cancelled by the ldah half. Build
+    // them as 0x7fff0000 plus up to three positive lda steps.
+    std::int32_t low = v32 & 0xffff;    // 0x8000..0xffff
+    ldah(rc, 0x7fff, RegZero);
+    lda(rc, 0x7fff, rc);
+    lda(rc, 0x7fff, rc);
+    lda(rc, low - 0xfffe, rc);
+}
+
+void
+ProgramBuilder::li(RegIndex rc, std::uint64_t value)
+{
+    auto sv = static_cast<std::int64_t>(value);
+    if (sv == static_cast<std::int64_t>(
+            static_cast<std::int32_t>(value))) {
+        li32(rc, static_cast<std::int32_t>(value));
+        return;
+    }
+    // Wide constant: build the halves separately; clobbers $at.
+    svf_assert(rc != RegAT);
+    std::uint64_t hi32 = value >> 32;
+    std::uint64_t lo32 = value & 0xffffffffULL;
+    li32(rc, static_cast<std::int32_t>(hi32));
+    slli(rc, 32, rc);
+    li32(RegAT, static_cast<std::int32_t>(lo32));
+    slli(RegAT, 32, RegAT);
+    srli(RegAT, 32, RegAT);
+    bis(rc, RegAT, rc);
+}
+
+void
+ProgramBuilder::la(RegIndex rc, Label l)
+{
+    svf_assert(l.valid());
+    // Addresses always fit an lda/ldah pair in our layout; reserve
+    // the pair now and patch at finish().
+    fixups.push_back(Fixup{insts.size(), l.id, Fixup::Kind::LiAddr});
+    ldah(rc, 0, RegZero);
+    lda(rc, 0, rc);
+}
+
+void
+ProgramBuilder::call(Label target)
+{
+    bsr(target);
+}
+
+Addr
+ProgramBuilder::allocData(const std::vector<std::uint8_t> &bytes,
+                          unsigned align)
+{
+    svf_assert(isPow2(align));
+    Addr addr = alignUp(dataCursor, align);
+    std::uint64_t pad = addr - layout::DataBase;
+    dataBytes.resize(pad, 0);
+    dataBytes.insert(dataBytes.end(), bytes.begin(), bytes.end());
+    dataCursor = addr + bytes.size();
+    return addr;
+}
+
+Addr
+ProgramBuilder::allocDataQuads(const std::vector<std::uint64_t> &quads)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(quads.size() * 8);
+    for (std::uint64_t q : quads) {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(q >> (8 * i)));
+    }
+    return allocData(bytes, 8);
+}
+
+Addr
+ProgramBuilder::allocDataZero(std::uint64_t size, unsigned align)
+{
+    return allocData(std::vector<std::uint8_t>(size, 0), align);
+}
+
+Addr
+ProgramBuilder::allocHeap(std::uint64_t size, unsigned align)
+{
+    svf_assert(isPow2(align));
+    Addr addr = alignUp(heapCursor, align);
+    heapCursor = addr + size;
+    if (heapCursor > layout::HeapLimit)
+        fatal("heap allocation overflows the heap region");
+    return addr;
+}
+
+Addr
+ProgramBuilder::allocHeapQuads(const std::vector<std::uint64_t> &quads)
+{
+    Addr addr = allocHeap(quads.size() * 8, 8);
+    heapInit.emplace_back(addr, quads);
+    return addr;
+}
+
+Program
+ProgramBuilder::finish(Label entry)
+{
+    svf_assert(!finished);
+    svf_assert(entry.valid() && labelPos[entry.id] >= 0);
+    finished = true;
+
+    for (const Fixup &f : fixups) {
+        std::int64_t pos = labelPos[f.label_id];
+        if (pos < 0)
+            panic("unbound label %d referenced", f.label_id);
+        if (f.kind == Fixup::Kind::Branch21) {
+            std::int64_t disp =
+                pos - (static_cast<std::int64_t>(f.inst_index) + 1);
+            std::uint32_t &raw = insts[f.inst_index];
+            auto op = static_cast<Opcode>(bits(raw, 31, 26));
+            auto ra = static_cast<RegIndex>(bits(raw, 25, 21));
+            raw = encodeBranch(op, ra,
+                               static_cast<std::int32_t>(disp));
+        } else {
+            Addr target = layout::TextBase +
+                static_cast<Addr>(pos) * 4;
+            std::int32_t hi = 0;
+            std::int32_t lo = 0;
+            if (!fitsLdaPair(target, hi, lo))
+                panic("label address 0x%llx not lda-pair encodable",
+                      static_cast<unsigned long long>(target));
+            auto ldah_raw = insts[f.inst_index];
+            auto lda_raw = insts[f.inst_index + 1];
+            auto ra = static_cast<RegIndex>(bits(ldah_raw, 25, 21));
+            svf_assert(static_cast<RegIndex>(bits(lda_raw, 25, 21))
+                       == ra);
+            insts[f.inst_index] =
+                encodeMem(Opcode::Ldah, ra, RegZero, hi);
+            insts[f.inst_index + 1] =
+                encodeMem(Opcode::Lda, ra, ra, lo);
+        }
+    }
+
+    Program prog;
+    prog.name = progName;
+    prog.entry = layout::TextBase +
+        static_cast<Addr>(labelPos[entry.id]) * 4;
+    prog.textBase = layout::TextBase;
+    prog.textSize = insts.size() * 4;
+
+    std::vector<std::uint8_t> text;
+    text.reserve(insts.size() * 4);
+    for (std::uint32_t w : insts) {
+        for (int i = 0; i < 4; ++i)
+            text.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+    prog.addSection(layout::TextBase, std::move(text));
+    if (!dataBytes.empty())
+        prog.addSection(layout::DataBase, dataBytes);
+    for (const auto &hi_pair : heapInit) {
+        std::vector<std::uint8_t> bytes;
+        bytes.reserve(hi_pair.second.size() * 8);
+        for (std::uint64_t q : hi_pair.second) {
+            for (int i = 0; i < 8; ++i)
+                bytes.push_back(
+                    static_cast<std::uint8_t>(q >> (8 * i)));
+        }
+        prog.addSection(hi_pair.first, std::move(bytes));
+    }
+    return prog;
+}
+
+FunctionBuilder::FunctionBuilder(ProgramBuilder &pb, FrameSpec spec)
+    : pb(pb), spec(std::move(spec))
+{
+    if (this->spec.useFp)
+        this->spec.saveFp = true;
+    std::uint32_t sz = alignUp(this->spec.localBytes, 8);
+    sz += 8 * this->spec.saveRegs.size();
+    if (this->spec.saveFp)
+        sz += 8;
+    if (this->spec.saveRa)
+        sz += 8;
+    frame = static_cast<std::uint32_t>(alignUp(sz, 16));
+}
+
+void
+FunctionBuilder::prologue()
+{
+    if (frame == 0)
+        return;
+    pb.lda(RegSP, -static_cast<std::int32_t>(frame), RegSP);
+    std::int32_t off = static_cast<std::int32_t>(frame);
+    if (spec.saveRa) {
+        off -= 8;
+        pb.stq(RegRA, off, RegSP);
+    }
+    if (spec.saveFp) {
+        off -= 8;
+        pb.stq(RegFP, off, RegSP);
+    }
+    for (RegIndex r : spec.saveRegs) {
+        off -= 8;
+        pb.stq(r, off, RegSP);
+    }
+    if (spec.useFp) {
+        // $fp points at the caller's frame base (the entry $sp).
+        pb.lda(RegFP, static_cast<std::int32_t>(frame), RegSP);
+    }
+}
+
+void
+FunctionBuilder::epilogueRet()
+{
+    if (frame != 0) {
+        std::int32_t off = static_cast<std::int32_t>(frame);
+        if (spec.saveRa) {
+            off -= 8;
+            pb.ldq(RegRA, off, RegSP);
+        }
+        if (spec.saveFp) {
+            off -= 8;
+            pb.ldq(RegFP, off, RegSP);
+        }
+        for (RegIndex r : spec.saveRegs) {
+            off -= 8;
+            pb.ldq(r, off, RegSP);
+        }
+        pb.lda(RegSP, static_cast<std::int32_t>(frame), RegSP);
+    }
+    pb.ret();
+}
+
+std::int32_t
+FunctionBuilder::localOff(std::uint32_t slot) const
+{
+    std::int32_t off = static_cast<std::int32_t>(slot * 8);
+    svf_assert(off + 8 <= static_cast<std::int32_t>(
+                   alignUp(spec.localBytes, 8)));
+    return off;
+}
+
+void
+FunctionBuilder::ldLocal(RegIndex r, std::uint32_t slot)
+{
+    pb.ldq(r, localOff(slot), RegSP);
+}
+
+void
+FunctionBuilder::stLocal(RegIndex r, std::uint32_t slot)
+{
+    pb.stq(r, localOff(slot), RegSP);
+}
+
+void
+FunctionBuilder::ldLocalFp(RegIndex r, std::uint32_t slot)
+{
+    svf_assert(spec.useFp);
+    pb.ldq(r, localOff(slot) - static_cast<std::int32_t>(frame),
+           RegFP);
+}
+
+void
+FunctionBuilder::stLocalFp(RegIndex r, std::uint32_t slot)
+{
+    svf_assert(spec.useFp);
+    pb.stq(r, localOff(slot) - static_cast<std::int32_t>(frame),
+           RegFP);
+}
+
+void
+FunctionBuilder::addrOfLocal(RegIndex r, std::uint32_t slot)
+{
+    pb.lda(r, localOff(slot), RegSP);
+}
+
+} // namespace svf::isa

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Programmatic code generation for SVA programs.
+ *
+ * ProgramBuilder is the codegen API the workload kernels use: it emits
+ * instructions with automatic label fixups, allocates static data and
+ * heap space, and materializes constants. FunctionBuilder layers the
+ * software calling convention on top (frame allocation via
+ * lda $sp, -N($sp), callee saves, $sp- or $fp-relative locals,
+ * address-taken locals) so kernels produce exactly the stack reference
+ * patterns the SVF paper characterizes.
+ */
+
+#ifndef SVF_ISA_BUILDER_HH
+#define SVF_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encode.hh"
+#include "isa/program.hh"
+
+namespace svf::isa
+{
+
+/** An opaque code label handle. */
+struct Label
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/**
+ * Emits an SVA program: instructions, labels, data and heap layout.
+ */
+class ProgramBuilder
+{
+  public:
+    /** @param name program name carried into the Program. */
+    explicit ProgramBuilder(std::string name);
+
+    /** @name Labels */
+    /// @{
+    /** Create a new unbound label. */
+    Label newLabel();
+
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    /** Create and immediately bind a label (function entry idiom). */
+    Label here();
+    /// @}
+
+    /** @name Memory-format instructions */
+    /// @{
+    void lda(RegIndex ra, std::int32_t disp, RegIndex rb);
+    void ldah(RegIndex ra, std::int32_t disp, RegIndex rb);
+    void ldq(RegIndex ra, std::int32_t disp, RegIndex rb);
+    void stq(RegIndex ra, std::int32_t disp, RegIndex rb);
+    void ldl(RegIndex ra, std::int32_t disp, RegIndex rb);
+    void stl(RegIndex ra, std::int32_t disp, RegIndex rb);
+    void ldbu(RegIndex ra, std::int32_t disp, RegIndex rb);
+    void stb(RegIndex ra, std::int32_t disp, RegIndex rb);
+    /// @}
+
+    /** @name Integer operates (register and literal forms) */
+    /// @{
+    void op(IntFunct f, RegIndex ra, RegIndex rb, RegIndex rc);
+    void opi(IntFunct f, RegIndex ra, std::uint8_t lit, RegIndex rc);
+
+    void addq(RegIndex ra, RegIndex rb, RegIndex rc);
+    void addqi(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void subq(RegIndex ra, RegIndex rb, RegIndex rc);
+    void subqi(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void mulq(RegIndex ra, RegIndex rb, RegIndex rc);
+    void mulqi(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void and_(RegIndex ra, RegIndex rb, RegIndex rc);
+    void andi(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void bis(RegIndex ra, RegIndex rb, RegIndex rc);
+    void xor_(RegIndex ra, RegIndex rb, RegIndex rc);
+    void xori(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void sll(RegIndex ra, RegIndex rb, RegIndex rc);
+    void slli(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void srl(RegIndex ra, RegIndex rb, RegIndex rc);
+    void srli(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void srai(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void cmpeq(RegIndex ra, RegIndex rb, RegIndex rc);
+    void cmpeqi(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void cmplt(RegIndex ra, RegIndex rb, RegIndex rc);
+    void cmplti(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void cmple(RegIndex ra, RegIndex rb, RegIndex rc);
+    void cmplei(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void cmpult(RegIndex ra, RegIndex rb, RegIndex rc);
+    void cmpulti(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    void cmpule(RegIndex ra, RegIndex rb, RegIndex rc);
+    void cmpulei(RegIndex ra, std::uint8_t lit, RegIndex rc);
+    /// @}
+
+    /** @name Control transfers */
+    /// @{
+    void br(Label target);
+    void bsr(Label target);             //!< link into $ra
+    void beq(RegIndex ra, Label target);
+    void bne(RegIndex ra, Label target);
+    void blt(RegIndex ra, Label target);
+    void ble(RegIndex ra, Label target);
+    void bgt(RegIndex ra, Label target);
+    void bge(RegIndex ra, Label target);
+    void jsr(RegIndex ra, RegIndex rb);
+    void ret();                         //!< jsr $zero, ($ra)
+    /// @}
+
+    /** @name System operations */
+    /// @{
+    void halt();
+    void putint();                      //!< print $a0 as decimal
+    void putc();                        //!< print low byte of $a0
+    /// @}
+
+    /** @name Composite idioms */
+    /// @{
+    /** Register move (bis ra, ra, rc). */
+    void mov(RegIndex src, RegIndex dst);
+
+    /** No-operation. */
+    void nop();
+
+    /**
+     * Materialize a 64-bit constant into @p rc.
+     *
+     * Emits 1-2 instructions for values representable as a signed
+     * 32-bit lda/ldah pair; larger values use a longer sequence that
+     * clobbers $at.
+     */
+    void li(RegIndex rc, std::uint64_t value);
+
+    /** Materialize the (eventual) address of a code label. */
+    void la(RegIndex rc, Label l);
+
+    /** Call a label (bsr $ra, target). */
+    void call(Label target);
+
+    /** Materialize a sign-extended 32-bit constant into @p rc. */
+    void li32(RegIndex rc, std::int32_t value);
+    /// @}
+
+    /** @name Static data and heap allocation */
+    /// @{
+    /** Allocate initialized bytes in the global data region. */
+    Addr allocData(const std::vector<std::uint8_t> &bytes,
+                   unsigned align = 8);
+
+    /** Allocate initialized quadwords in the global data region. */
+    Addr allocDataQuads(const std::vector<std::uint64_t> &quads);
+
+    /** Reserve zero-initialized space in the global data region. */
+    Addr allocDataZero(std::uint64_t size, unsigned align = 8);
+
+    /**
+     * Reserve zero-initialized space in the heap region.
+     *
+     * The heap has no initialized image; untouched memory reads as
+     * zero in the simulator, matching a demand-zero allocation.
+     */
+    Addr allocHeap(std::uint64_t size, unsigned align = 8);
+
+    /** Allocate initialized quadwords in the heap region. */
+    Addr allocHeapQuads(const std::vector<std::uint64_t> &quads);
+    /// @}
+
+    /** Number of instructions emitted so far. */
+    std::uint64_t numInsts() const { return insts.size(); }
+
+    /**
+     * Resolve all fixups and produce the linked Program.
+     *
+     * @param entry label of the first instruction to execute.
+     */
+    Program finish(Label entry);
+
+  private:
+    struct Fixup
+    {
+        std::uint64_t inst_index;
+        int label_id;
+        enum class Kind { Branch21, LiAddr } kind;
+    };
+
+    void emit(std::uint32_t raw);
+    void emitBranch(Opcode op, RegIndex ra, Label target);
+
+    std::string progName;
+    std::vector<std::uint32_t> insts;
+    std::vector<std::int64_t> labelPos;     //!< inst index or -1
+    std::vector<Fixup> fixups;
+
+    std::vector<std::uint8_t> dataBytes;
+    Addr dataCursor = layout::DataBase;
+    Addr heapCursor = layout::HeapBase;
+    std::vector<std::pair<Addr, std::vector<std::uint64_t>>> heapInit;
+    bool finished = false;
+};
+
+/**
+ * Frame layout of one function under the SVA calling convention.
+ *
+ * Frame picture (offsets from the post-prologue $sp):
+ *
+ *     frameSize-8          saved $ra        (if saveRa)
+ *     frameSize-16         saved $fp        (if saveFp)
+ *     ...                  saved callee regs
+ *     0 .. localBytes      locals (slot i at byte 8*i)
+ */
+struct FrameSpec
+{
+    std::uint32_t localBytes = 0;
+    bool saveRa = true;
+    bool saveFp = false;
+    bool useFp = false;         //!< implies saveFp; $fp = caller $sp
+    std::vector<RegIndex> saveRegs;
+};
+
+/**
+ * Emits prologue/epilogue and local-variable accesses for one
+ * function, producing the canonical Alpha-style stack idioms.
+ */
+class FunctionBuilder
+{
+  public:
+    /**
+     * @param pb builder to emit into.
+     * @param spec frame shape.
+     */
+    FunctionBuilder(ProgramBuilder &pb, FrameSpec spec);
+
+    /** Emit frame allocation and callee saves. */
+    void prologue();
+
+    /** Emit restores, frame release and return. */
+    void epilogueRet();
+
+    /** Byte offset of local quadword slot @p slot from $sp. */
+    std::int32_t localOff(std::uint32_t slot) const;
+
+    /** Load local slot via $sp-relative addressing. */
+    void ldLocal(RegIndex r, std::uint32_t slot);
+
+    /** Store local slot via $sp-relative addressing. */
+    void stLocal(RegIndex r, std::uint32_t slot);
+
+    /** Load local slot via $fp-relative addressing (needs useFp). */
+    void ldLocalFp(RegIndex r, std::uint32_t slot);
+
+    /** Store local slot via $fp-relative addressing (needs useFp). */
+    void stLocalFp(RegIndex r, std::uint32_t slot);
+
+    /**
+     * Take the address of a local (the C & operator); subsequent
+     * accesses through the produced register are the $gpr-addressed
+     * stack references of Figure 1.
+     */
+    void addrOfLocal(RegIndex r, std::uint32_t slot);
+
+    /** Total frame size in bytes (16-byte aligned). */
+    std::uint32_t frameSize() const { return frame; }
+
+  private:
+    ProgramBuilder &pb;
+    FrameSpec spec;
+    std::uint32_t frame;
+};
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_BUILDER_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Instruction decoder and register-name tables.
+ */
+
+#include "isa/inst.hh"
+
+#include <cstring>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "isa/decode.hh"
+
+namespace svf::isa
+{
+
+namespace
+{
+
+const char *const regNames[NumRegs] = {
+    "$v0", "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6",
+    "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6",
+    "$a0", "$a1", "$a2", "$a3", "$a4", "$a5", "$t8", "$t9",
+    "$t10", "$t11", "$ra", "$pv", "$at", "$fp", "$sp", "$zero",
+};
+
+} // anonymous namespace
+
+const char *
+regName(RegIndex r)
+{
+    if (r >= NumRegs)
+        return "$??";
+    return regNames[r];
+}
+
+RegIndex
+parseReg(const char *name)
+{
+    if (!name || name[0] != '$')
+        return NoReg;
+    for (RegIndex i = 0; i < NumRegs; ++i) {
+        if (std::strcmp(name, regNames[i]) == 0)
+            return i;
+    }
+    // Numeric forms: $rN and $N.
+    const char *digits = name + 1;
+    if (digits[0] == 'r')
+        ++digits;
+    if (digits[0] == '\0')
+        return NoReg;
+    unsigned v = 0;
+    for (const char *p = digits; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return NoReg;
+        v = v * 10 + static_cast<unsigned>(*p - '0');
+        if (v >= NumRegs)
+            return NoReg;
+    }
+    return static_cast<RegIndex>(v);
+}
+
+bool
+decode(std::uint32_t raw, DecodedInst &di)
+{
+    di = DecodedInst();
+    di.raw = raw;
+    auto opbits = static_cast<std::uint8_t>(bits(raw, 31, 26));
+    di.op = static_cast<Opcode>(opbits);
+    di.ra = static_cast<RegIndex>(bits(raw, 25, 21));
+
+    switch (di.op) {
+      case Opcode::Lda:
+      case Opcode::Ldah:
+        di.rb = static_cast<RegIndex>(bits(raw, 20, 16));
+        di.disp = static_cast<std::int32_t>(sext(bits(raw, 15, 0), 16));
+        di.cls = InstClass::IntAlu;
+        return true;
+
+      case Opcode::Ldbu:
+      case Opcode::Ldl:
+      case Opcode::Ldq:
+        di.rb = static_cast<RegIndex>(bits(raw, 20, 16));
+        di.disp = static_cast<std::int32_t>(sext(bits(raw, 15, 0), 16));
+        di.cls = InstClass::Load;
+        di.memRef = di.load = true;
+        di.memSize = di.op == Opcode::Ldbu ? 1
+                   : di.op == Opcode::Ldl ? 4 : 8;
+        return true;
+
+      case Opcode::Stb:
+      case Opcode::Stl:
+      case Opcode::Stq:
+        di.rb = static_cast<RegIndex>(bits(raw, 20, 16));
+        di.disp = static_cast<std::int32_t>(sext(bits(raw, 15, 0), 16));
+        di.cls = InstClass::Store;
+        di.memRef = di.store = true;
+        di.memSize = di.op == Opcode::Stb ? 1
+                   : di.op == Opcode::Stl ? 4 : 8;
+        return true;
+
+      case Opcode::IntOp:
+        di.useLit = bits(raw, 12, 12) != 0;
+        if (di.useLit)
+            di.lit = static_cast<std::uint8_t>(bits(raw, 20, 13));
+        else
+            di.rb = static_cast<RegIndex>(bits(raw, 20, 16));
+        di.funct = static_cast<IntFunct>(bits(raw, 11, 5));
+        if (static_cast<unsigned>(di.funct) >
+            static_cast<unsigned>(IntFunct::Umulh)) {
+            return false;
+        }
+        di.rc = static_cast<RegIndex>(bits(raw, 4, 0));
+        di.cls = (di.funct == IntFunct::Mulq ||
+                  di.funct == IntFunct::Umulh)
+            ? InstClass::IntMult : InstClass::IntAlu;
+        return true;
+
+      case Opcode::Jsr:
+        di.rb = static_cast<RegIndex>(bits(raw, 20, 16));
+        di.cls = InstClass::Control;
+        di.ctrl = true;
+        di.indirect = true;
+        di.call = di.ra != RegZero;
+        di.ret = di.ra == RegZero && di.rb == RegRA;
+        return true;
+
+      case Opcode::Br:
+      case Opcode::Bsr:
+        di.disp = static_cast<std::int32_t>(sext(bits(raw, 20, 0), 21));
+        di.cls = InstClass::Control;
+        di.ctrl = true;
+        di.uncondBranch = true;
+        di.call = di.op == Opcode::Bsr && di.ra != RegZero;
+        return true;
+
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+      case Opcode::Bge:
+        di.disp = static_cast<std::int32_t>(sext(bits(raw, 20, 0), 21));
+        di.cls = InstClass::Control;
+        di.ctrl = true;
+        di.condBranch = true;
+        return true;
+
+      case Opcode::Sys:
+        di.sys = static_cast<SysFunct>(bits(raw, 15, 0));
+        di.cls = InstClass::Sys;
+        if (static_cast<unsigned>(di.sys) >
+            static_cast<unsigned>(SysFunct::Putc)) {
+            return false;
+        }
+        return true;
+
+      default:
+        return false;
+    }
+}
+
+RegIndex
+DecodedInst::destReg() const
+{
+    switch (op) {
+      case Opcode::Lda:
+      case Opcode::Ldah:
+      case Opcode::Ldbu:
+      case Opcode::Ldl:
+      case Opcode::Ldq:
+        return ra == RegZero ? NoReg : ra;
+      case Opcode::IntOp:
+        return rc == RegZero ? NoReg : rc;
+      case Opcode::Jsr:
+      case Opcode::Br:
+      case Opcode::Bsr:
+        return ra == RegZero ? NoReg : ra;
+      default:
+        return NoReg;
+    }
+}
+
+unsigned
+DecodedInst::srcRegs(RegIndex srcs[2]) const
+{
+    unsigned n = 0;
+    auto push = [&](RegIndex r) {
+        if (r != RegZero && r != NoReg)
+            srcs[n++] = r;
+    };
+
+    switch (op) {
+      case Opcode::Lda:
+      case Opcode::Ldah:
+      case Opcode::Ldbu:
+      case Opcode::Ldl:
+      case Opcode::Ldq:
+        push(rb);
+        break;
+      case Opcode::Stb:
+      case Opcode::Stl:
+      case Opcode::Stq:
+        push(ra);               // store data
+        push(rb);               // base
+        break;
+      case Opcode::IntOp:
+        push(ra);
+        if (!useLit)
+            push(rb);
+        break;
+      case Opcode::Jsr:
+        push(rb);
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+      case Opcode::Bge:
+        push(ra);
+        break;
+      case Opcode::Sys:
+        if (sys == SysFunct::Putint || sys == SysFunct::Putc)
+            push(RegA0);
+        break;
+      default:
+        break;
+    }
+    return n;
+}
+
+} // namespace svf::isa

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Instruction decoding entry point.
+ */
+
+#ifndef SVF_ISA_DECODE_HH
+#define SVF_ISA_DECODE_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace svf::isa
+{
+
+/**
+ * Decode a raw instruction word.
+ *
+ * @param raw the encoded instruction.
+ * @param di receives the decode on success.
+ * @retval true on a valid encoding, false for illegal instructions.
+ */
+bool decode(std::uint32_t raw, DecodedInst &di);
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_DECODE_HH

@@ -1,0 +1,94 @@
+#include "isa/disasm.hh"
+
+#include "base/logging.hh"
+
+namespace svf::isa
+{
+
+namespace
+{
+
+const char *
+opMnemonic(const DecodedInst &di)
+{
+    switch (di.op) {
+      case Opcode::Lda: return "lda";
+      case Opcode::Ldah: return "ldah";
+      case Opcode::Ldbu: return "ldbu";
+      case Opcode::Ldl: return "ldl";
+      case Opcode::Ldq: return "ldq";
+      case Opcode::Stb: return "stb";
+      case Opcode::Stl: return "stl";
+      case Opcode::Stq: return "stq";
+      case Opcode::Br: return "br";
+      case Opcode::Bsr: return "bsr";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Ble: return "ble";
+      case Opcode::Bgt: return "bgt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jsr: return "jsr";
+      case Opcode::Sys:
+        switch (di.sys) {
+          case SysFunct::Halt: return "halt";
+          case SysFunct::Putint: return "putint";
+          case SysFunct::Putc: return "putc";
+        }
+        return "sys?";
+      case Opcode::IntOp:
+        switch (di.funct) {
+          case IntFunct::Addq: return "addq";
+          case IntFunct::Subq: return "subq";
+          case IntFunct::Mulq: return "mulq";
+          case IntFunct::And: return "and";
+          case IntFunct::Bis: return "bis";
+          case IntFunct::Xor: return "xor";
+          case IntFunct::Sll: return "sll";
+          case IntFunct::Srl: return "srl";
+          case IntFunct::Sra: return "sra";
+          case IntFunct::Cmpeq: return "cmpeq";
+          case IntFunct::Cmplt: return "cmplt";
+          case IntFunct::Cmple: return "cmple";
+          case IntFunct::Cmpult: return "cmpult";
+          case IntFunct::Cmpule: return "cmpule";
+          case IntFunct::Umulh: return "umulh";
+        }
+        return "intop?";
+    }
+    return "??";
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const DecodedInst &di, Addr pc)
+{
+    const char *m = opMnemonic(di);
+
+    if (di.memRef || di.op == Opcode::Lda || di.op == Opcode::Ldah) {
+        return csprintf("%s %s, %d(%s)", m, regName(di.ra), di.disp,
+                        regName(di.rb));
+    }
+    if (di.op == Opcode::IntOp) {
+        if (di.useLit) {
+            return csprintf("%s %s, %u, %s", m, regName(di.ra),
+                            unsigned(di.lit), regName(di.rc));
+        }
+        return csprintf("%s %s, %s, %s", m, regName(di.ra),
+                        regName(di.rb), regName(di.rc));
+    }
+    if (di.condBranch || di.uncondBranch) {
+        Addr target = pc + 4 +
+            (static_cast<std::int64_t>(di.disp) << 2);
+        return csprintf("%s %s, 0x%llx", m, regName(di.ra),
+                        static_cast<unsigned long long>(target));
+    }
+    if (di.op == Opcode::Jsr) {
+        return csprintf("%s %s, (%s)", m, regName(di.ra),
+                        regName(di.rb));
+    }
+    return m;
+}
+
+} // namespace svf::isa

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Disassembler for debugging and test output.
+ */
+
+#ifndef SVF_ISA_DISASM_HH
+#define SVF_ISA_DISASM_HH
+
+#include <string>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+
+namespace svf::isa
+{
+
+/**
+ * Render @p di as assembly text.
+ *
+ * @param di decoded instruction.
+ * @param pc the instruction's address, used to render branch targets
+ *           as absolute addresses.
+ */
+std::string disassemble(const DecodedInst &di, Addr pc);
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_DISASM_HH

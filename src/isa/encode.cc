@@ -1,0 +1,87 @@
+#include "isa/encode.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace svf::isa
+{
+
+namespace
+{
+
+std::uint32_t
+opField(Opcode op)
+{
+    return static_cast<std::uint32_t>(op) << 26;
+}
+
+void
+checkReg(RegIndex r)
+{
+    svf_assert(r < NumRegs);
+}
+
+} // anonymous namespace
+
+std::uint32_t
+encodeMem(Opcode op, RegIndex ra, RegIndex rb, std::int32_t disp16)
+{
+    checkReg(ra);
+    checkReg(rb);
+    if (disp16 < -32768 || disp16 > 32767)
+        panic("mem displacement %d out of range", disp16);
+    return opField(op) | (std::uint32_t(ra) << 21) |
+           (std::uint32_t(rb) << 16) |
+           (static_cast<std::uint32_t>(disp16) & 0xffffu);
+}
+
+std::uint32_t
+encodeOp(IntFunct funct, RegIndex ra, RegIndex rb, RegIndex rc)
+{
+    checkReg(ra);
+    checkReg(rb);
+    checkReg(rc);
+    return opField(Opcode::IntOp) | (std::uint32_t(ra) << 21) |
+           (std::uint32_t(rb) << 16) |
+           (static_cast<std::uint32_t>(funct) << 5) |
+           std::uint32_t(rc);
+}
+
+std::uint32_t
+encodeOpLit(IntFunct funct, RegIndex ra, std::uint8_t lit, RegIndex rc)
+{
+    checkReg(ra);
+    checkReg(rc);
+    return opField(Opcode::IntOp) | (std::uint32_t(ra) << 21) |
+           (std::uint32_t(lit) << 13) | (1u << 12) |
+           (static_cast<std::uint32_t>(funct) << 5) |
+           std::uint32_t(rc);
+}
+
+std::uint32_t
+encodeBranch(Opcode op, RegIndex ra, std::int32_t disp21)
+{
+    checkReg(ra);
+    if (disp21 < -(1 << 20) || disp21 >= (1 << 20))
+        panic("branch displacement %d out of range", disp21);
+    return opField(op) | (std::uint32_t(ra) << 21) |
+           (static_cast<std::uint32_t>(disp21) & mask(21));
+}
+
+std::uint32_t
+encodeJsr(RegIndex ra, RegIndex rb)
+{
+    checkReg(ra);
+    checkReg(rb);
+    return opField(Opcode::Jsr) | (std::uint32_t(ra) << 21) |
+           (std::uint32_t(rb) << 16);
+}
+
+std::uint32_t
+encodeSys(SysFunct funct)
+{
+    return opField(Opcode::Sys) |
+           static_cast<std::uint32_t>(funct);
+}
+
+} // namespace svf::isa

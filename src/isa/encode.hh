@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Instruction encoders: build raw 32-bit SVA instruction words.
+ *
+ * Encoding formats:
+ *   memory/lda : [31:26] op  [25:21] ra [20:16] rb [15:0] disp16
+ *   operate    : [31:26] op  [25:21] ra [20:16] rb [12] 0
+ *                [11:5] funct [4:0] rc
+ *   operate lit: [31:26] op  [25:21] ra [20:13] lit8 [12] 1
+ *                [11:5] funct [4:0] rc
+ *   branch     : [31:26] op  [25:21] ra [20:0] disp21 (in words)
+ *   jump       : [31:26] op  [25:21] ra [20:16] rb [15:0] hint
+ *   sys        : [31:26] op  [15:0] funct
+ */
+
+#ifndef SVF_ISA_ENCODE_HH
+#define SVF_ISA_ENCODE_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace svf::isa
+{
+
+/** Encode a memory-format instruction (loads, stores, lda, ldah). */
+std::uint32_t encodeMem(Opcode op, RegIndex ra, RegIndex rb,
+                        std::int32_t disp16);
+
+/** Encode a register-form integer operate. */
+std::uint32_t encodeOp(IntFunct funct, RegIndex ra, RegIndex rb,
+                       RegIndex rc);
+
+/** Encode a literal-form integer operate (lit zero-extended 8-bit). */
+std::uint32_t encodeOpLit(IntFunct funct, RegIndex ra, std::uint8_t lit,
+                          RegIndex rc);
+
+/** Encode a branch; @p disp21 counts instructions from pc+4. */
+std::uint32_t encodeBranch(Opcode op, RegIndex ra, std::int32_t disp21);
+
+/** Encode a jump through @p rb writing the link into @p ra. */
+std::uint32_t encodeJsr(RegIndex ra, RegIndex rb);
+
+/** Encode a system operation. */
+std::uint32_t encodeSys(SysFunct funct);
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_ENCODE_HH

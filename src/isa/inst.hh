@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Decoded instruction representation shared by the functional
+ * emulator, the timing model and the SVF front-end logic.
+ */
+
+#ifndef SVF_ISA_INST_HH
+#define SVF_ISA_INST_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "isa/isa.hh"
+
+namespace svf::isa
+{
+
+/**
+ * One decoded SVA instruction.
+ *
+ * The decode is performed once per static instruction (at program
+ * load) and the result is shared by reference, so this struct holds
+ * every derived property the pipeline wants to query cheaply.
+ */
+struct DecodedInst
+{
+    std::uint32_t raw = 0;      //!< encoded instruction word
+    Opcode op = Opcode::Sys;
+    IntFunct funct = IntFunct::Addq;    //!< valid when op == IntOp
+    SysFunct sys = SysFunct::Halt;      //!< valid when op == Sys
+
+    RegIndex ra = RegZero;      //!< field [25:21]
+    RegIndex rb = RegZero;      //!< field [20:16] (reg operand forms)
+    RegIndex rc = RegZero;      //!< field [4:0] (IntOp destination)
+    bool useLit = false;        //!< IntOp literal form
+    std::uint8_t lit = 0;       //!< zero-extended 8-bit literal
+    std::int32_t disp = 0;      //!< sign-extended disp16 or disp21
+
+    InstClass cls = InstClass::IntAlu;
+
+    /** @name Derived classification (filled by decode()). */
+    /// @{
+    bool memRef = false;        //!< loads and stores
+    bool load = false;
+    bool store = false;
+    std::uint8_t memSize = 0;   //!< access width in bytes
+    bool ctrl = false;          //!< any control transfer
+    bool condBranch = false;
+    bool uncondBranch = false;  //!< Br/Bsr (direct)
+    bool indirect = false;      //!< Jsr
+    bool call = false;          //!< writes a link register ($ra/$pv)
+    bool ret = false;           //!< Jsr with ra == $zero, rb == $ra
+    /// @}
+
+    /** Destination register, or NoReg. */
+    RegIndex destReg() const;
+
+    /** Source registers; returns count, fills @p srcs (size >= 2). */
+    unsigned srcRegs(RegIndex srcs[2]) const;
+
+    /**
+     * Is this a memory reference whose base register is $sp?
+     * These are the references the SVF morphs at decode.
+     */
+    bool isSpBased() const { return memRef && rb == RegSP; }
+
+    /**
+     * Is this an immediate stack-pointer adjustment
+     * (lda $sp, imm($sp)), the idiom whose semantics the SVF
+     * exploits for allocation/deallocation liveness?
+     */
+    bool isSpAdjust() const
+    {
+        return op == Opcode::Lda && ra == RegSP && rb == RegSP;
+    }
+
+    /** Does this instruction write $sp in any way? */
+    bool writesSp() const { return destReg() == RegSP; }
+};
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_INST_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The SVA instruction set: a small 64-bit Alpha-flavoured load/store
+ * ISA with the stack conventions the SVF paper depends on.
+ *
+ * The Stack Value File keys off three ISA properties of the Alpha:
+ * reg+imm16 addressing, immediate stack-pointer adjustment
+ * (lda $sp, imm($sp)), and a 64-bit natural word. SVA preserves all
+ * three along with the software conventions ($sp grows down, $fp
+ * frame pointer, $ra link register) so the microarchitecture exercises
+ * the same code paths as the paper's Alpha binaries.
+ */
+
+#ifndef SVF_ISA_ISA_HH
+#define SVF_ISA_ISA_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace svf::isa
+{
+
+/** Number of architectural integer registers. */
+constexpr unsigned NumRegs = 32;
+
+/** Register index used to mean "no register". */
+constexpr RegIndex NoReg = 32;
+
+/** Well-known registers (software conventions). */
+enum Reg : RegIndex
+{
+    RegV0 = 0,                  //!< return value
+    RegT0 = 1,                  //!< caller-saved temporaries t0..t7
+    RegT1 = 2,
+    RegT2 = 3,
+    RegT3 = 4,
+    RegT4 = 5,
+    RegT5 = 6,
+    RegT6 = 7,
+    RegT7 = 8,
+    RegS0 = 9,                  //!< callee-saved s0..s6
+    RegS1 = 10,
+    RegS2 = 11,
+    RegS3 = 12,
+    RegS4 = 13,
+    RegS5 = 14,
+    RegS6 = 15,
+    RegA0 = 16,                 //!< arguments a0..a5
+    RegA1 = 17,
+    RegA2 = 18,
+    RegA3 = 19,
+    RegA4 = 20,
+    RegA5 = 21,
+    RegT8 = 22,                 //!< more temporaries t8..t11
+    RegT9 = 23,
+    RegT10 = 24,
+    RegT11 = 25,
+    RegRA = 26,                 //!< return address
+    RegPV = 27,                 //!< procedure value (indirect calls)
+    RegAT = 28,                 //!< assembler temporary
+    RegFP = 29,                 //!< frame pointer
+    RegSP = 30,                 //!< stack pointer
+    RegZero = 31,               //!< hardwired zero
+};
+
+/** Primary opcodes (bits [31:26]). */
+enum class Opcode : std::uint8_t
+{
+    Sys = 0x00,                 //!< system operations (halt, putint...)
+    Lda = 0x08,                 //!< ra = rb + sext(disp16)
+    Ldah = 0x09,                //!< ra = rb + (sext(disp16) << 16)
+    Ldbu = 0x0a,                //!< ra = zext(mem8[ea])
+    Stb = 0x0e,                 //!< mem8[ea] = ra
+    IntOp = 0x10,               //!< register/literal integer operate
+    Jsr = 0x1a,                 //!< ra = pc + 4; pc = rb & ~3
+    Ldl = 0x28,                 //!< ra = sext(mem32[ea])
+    Ldq = 0x29,                 //!< ra = mem64[ea]
+    Stl = 0x2c,                 //!< mem32[ea] = ra
+    Stq = 0x2d,                 //!< mem64[ea] = ra
+    Br = 0x30,                  //!< ra = pc + 4; pc += 4 + disp21*4
+    Bsr = 0x34,                 //!< like Br; by convention ra = $ra
+    Beq = 0x39,                 //!< branch if ra == 0
+    Blt = 0x3a,                 //!< branch if ra < 0 (signed)
+    Ble = 0x3b,                 //!< branch if ra <= 0 (signed)
+    Bne = 0x3d,                 //!< branch if ra != 0
+    Bge = 0x3e,                 //!< branch if ra >= 0 (signed)
+    Bgt = 0x3f,                 //!< branch if ra > 0 (signed)
+};
+
+/** Integer-operate function codes (bits [11:5] of IntOp). */
+enum class IntFunct : std::uint8_t
+{
+    Addq = 0x00,
+    Subq = 0x01,
+    Mulq = 0x02,
+    And = 0x03,
+    Bis = 0x04,                 //!< bitwise or
+    Xor = 0x05,
+    Sll = 0x06,
+    Srl = 0x07,
+    Sra = 0x08,
+    Cmpeq = 0x09,               //!< rc = (ra == rb/lit) ? 1 : 0
+    Cmplt = 0x0a,               //!< signed <
+    Cmple = 0x0b,               //!< signed <=
+    Cmpult = 0x0c,              //!< unsigned <
+    Cmpule = 0x0d,              //!< unsigned <=
+    Umulh = 0x0e,               //!< high 64 bits of unsigned product
+};
+
+/** System-operation function codes (bits [15:0] of Sys). */
+enum class SysFunct : std::uint16_t
+{
+    Halt = 0,                   //!< stop simulation
+    Putint = 1,                 //!< print $a0 as signed decimal + '\n'
+    Putc = 2,                   //!< print low byte of $a0
+};
+
+/** Broad classes driving functional-unit choice and latency. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,                     //!< 1-cycle integer op (incl. lda/ldah)
+    IntMult,                    //!< multi-cycle multiply
+    Load,
+    Store,
+    Control,                    //!< branches, calls, returns, jumps
+    Sys,
+};
+
+/** Printable register name ("$sp", "$r7", ...). */
+const char *regName(RegIndex r);
+
+/**
+ * Parse a register name.
+ *
+ * Accepts "$rN"/"$N" and the convention aliases ("$sp", "$fp", "$ra",
+ * "$zero", "$v0", "$aN", "$sN", "$tN", "$pv", "$at").
+ *
+ * @retval NoReg when the name is not a register.
+ */
+RegIndex parseReg(const char *name);
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_ISA_HH

@@ -1,0 +1,41 @@
+#include "isa/program.hh"
+
+#include "base/logging.hh"
+
+namespace svf::isa
+{
+
+void
+Program::addSection(Addr base, std::vector<std::uint8_t> bytes)
+{
+    Addr end = base + bytes.size();
+    for (const auto &s : sections) {
+        Addr s_end = s.base + s.bytes.size();
+        if (base < s_end && s.base < end) {
+            fatal("program '%s': section [0x%llx,0x%llx) overlaps "
+                  "[0x%llx,0x%llx)", name.c_str(),
+                  (unsigned long long)base, (unsigned long long)end,
+                  (unsigned long long)s.base,
+                  (unsigned long long)s_end);
+        }
+    }
+    sections.push_back(Section{base, std::move(bytes)});
+}
+
+std::uint32_t
+Program::fetchRaw(Addr pc) const
+{
+    for (const auto &s : sections) {
+        if (pc >= s.base && pc + 4 <= s.base + s.bytes.size()) {
+            std::uint64_t off = pc - s.base;
+            return static_cast<std::uint32_t>(s.bytes[off]) |
+                   (static_cast<std::uint32_t>(s.bytes[off + 1]) << 8) |
+                   (static_cast<std::uint32_t>(s.bytes[off + 2]) << 16) |
+                   (static_cast<std::uint32_t>(s.bytes[off + 3]) << 24);
+        }
+    }
+    panic("instruction fetch outside program image at 0x%llx",
+          static_cast<unsigned long long>(pc));
+}
+
+} // namespace svf::isa

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Linked program image and the simulated virtual memory layout.
+ */
+
+#ifndef SVF_ISA_PROGRAM_HH
+#define SVF_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace svf::isa
+{
+
+/**
+ * The fixed virtual memory layout used by all SVA programs.
+ *
+ * Mirrors the Alpha/OSF layout the paper describes: text and static
+ * data in the low/middle ranges, heap above static data, and a stack
+ * growing down from a system-defined high address.
+ */
+namespace layout
+{
+
+constexpr Addr TextBase = 0x0001'0000;
+constexpr Addr DataBase = 0x0010'0000;
+constexpr Addr HeapBase = 0x0100'0000;
+constexpr Addr HeapLimit = 0x4000'0000;
+
+/** Initial $sp; the stack grows down from here. */
+constexpr Addr StackBase = 0x7fff'0000;
+
+/** Lowest address still considered part of the stack region. */
+constexpr Addr StackLimit = StackBase - 0x0100'0000;
+
+} // namespace layout
+
+/**
+ * A fully linked program: byte images for the text/data/heap
+ * sections plus the entry point.
+ */
+class Program
+{
+  public:
+    /** One contiguous initialized byte range. */
+    struct Section
+    {
+        Addr base = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    /** Program name for reporting. */
+    std::string name;
+
+    /** Entry point (first instruction executed). */
+    Addr entry = layout::TextBase;
+
+    /** All initialized sections (text first by convention). */
+    std::vector<Section> sections;
+
+    /** Base address of the text section. */
+    Addr textBase = layout::TextBase;
+
+    /** Size of the text section in bytes. */
+    std::uint64_t textSize = 0;
+
+    /** Append a section; overlapping sections are a fatal error. */
+    void addSection(Addr base, std::vector<std::uint8_t> bytes);
+
+    /** Fetch the raw instruction word at @p pc (must be in text). */
+    std::uint32_t fetchRaw(Addr pc) const;
+};
+
+} // namespace svf::isa
+
+#endif // SVF_ISA_PROGRAM_HH

@@ -1,0 +1,123 @@
+#include "mem/cache.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace svf::mem
+{
+
+Cache::Cache(const CacheParams &params) : _params(params)
+{
+    if (!isPow2(params.lineSize) || params.lineSize < 8)
+        fatal("cache '%s': line size must be a power of two >= 8",
+              params.name.c_str());
+    if (params.assoc == 0 || params.size % (params.lineSize *
+                                            params.assoc) != 0) {
+        fatal("cache '%s': size %llu not divisible by line*assoc",
+              params.name.c_str(),
+              static_cast<unsigned long long>(params.size));
+    }
+    lineShift = floorLog2(params.lineSize);
+    lineMask = params.lineSize - 1;
+    numSets = params.size / (params.lineSize * params.assoc);
+    if (!isPow2(numSets))
+        fatal("cache '%s': set count must be a power of two",
+              params.name.c_str());
+    lines.resize(numSets * params.assoc);
+}
+
+CacheAccess
+Cache::access(Addr addr, bool write)
+{
+    CacheAccess out;
+    std::uint64_t set = setOf(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[set * _params.assoc];
+
+    Line *victim = base;
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++lruClock;
+            if (write)
+                line.dirty = true;
+            ++nHits;
+            out.hit = true;
+            return out;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++nMisses;
+    ++nFills;
+    if (victim->valid && victim->dirty) {
+        ++nWritebacks;
+        out.writebackVictim = true;
+        out.victimAddr = victim->tag << lineShift;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lru = ++lruClock;
+    return out;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint64_t set = setOf(addr);
+    Addr tag = tagOf(addr);
+    const Line *base = &lines[set * _params.assoc];
+    for (unsigned w = 0; w < _params.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Cache::flushDirty(bool invalidate)
+{
+    std::uint64_t flushed = 0;
+    for (Line &line : lines) {
+        if (line.valid && line.dirty) {
+            ++flushed;
+            ++nWritebacks;
+            line.dirty = false;
+        }
+        if (invalidate)
+            line.valid = false;
+    }
+    return flushed;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines)
+        line.valid = false;
+}
+
+std::uint64_t
+Cache::quadsIn() const
+{
+    return nFills * (_params.lineSize / 8);
+}
+
+std::uint64_t
+Cache::quadsOut() const
+{
+    return nWritebacks * (_params.lineSize / 8);
+}
+
+void
+Cache::resetStats()
+{
+    nHits = nMisses = nWritebacks = nFills = 0;
+}
+
+} // namespace svf::mem

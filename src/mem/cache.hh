@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Set-associative cache tag/state model.
+ *
+ * The timing model uses fixed end-to-end latencies (Table 2 of the
+ * paper), so this class models only hit/miss state, LRU replacement,
+ * dirty tracking and the traffic its fills/writebacks generate;
+ * latency composition lives in MemHierarchy.
+ */
+
+#ifndef SVF_MEM_CACHE_HH
+#define SVF_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace svf::mem
+{
+
+/** Static shape of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size = 64 * 1024;     //!< total bytes
+    unsigned assoc = 4;
+    unsigned lineSize = 32;             //!< bytes (SimpleScalar default)
+    unsigned hitLatency = 3;            //!< end-to-end hit cycles
+};
+
+/** Outcome of one cache probe. */
+struct CacheAccess
+{
+    bool hit = false;
+    bool writebackVictim = false;       //!< a dirty line was evicted
+    Addr victimAddr = 0;                //!< line address of the victim
+};
+
+/**
+ * A write-back, write-allocate, LRU set-associative cache.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Probe and update state for an access; misses allocate the line
+     * (write-allocate for both reads and writes).
+     *
+     * @param addr byte address accessed.
+     * @param write true for stores (marks the line dirty).
+     * @return hit/miss and any dirty victim evicted by the fill.
+     */
+    CacheAccess access(Addr addr, bool write);
+
+    /** Probe without updating any state. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Write back every dirty line (context switch / flush).
+     *
+     * @param invalidate also drop all lines.
+     * @return number of lines written back.
+     */
+    std::uint64_t flushDirty(bool invalidate);
+
+    /** Drop all lines without writing anything back. */
+    void invalidateAll();
+
+    const CacheParams &params() const { return _params; }
+
+    /** @name Statistics */
+    /// @{
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+    std::uint64_t writebacks() const { return nWritebacks; }
+    std::uint64_t fills() const { return nFills; }
+
+    /** Quadwords read in from the next level (fills). */
+    std::uint64_t quadsIn() const;
+
+    /** Quadwords written out to the next level (writebacks). */
+    std::uint64_t quadsOut() const;
+
+    void resetStats();
+    /// @}
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;          //!< larger = more recent
+    };
+
+    Addr lineAddr(Addr a) const { return a & ~Addr(lineMask); }
+    std::uint64_t setOf(Addr a) const
+    {
+        return (a >> lineShift) & (numSets - 1);
+    }
+    Addr tagOf(Addr a) const { return a >> lineShift; }
+
+    CacheParams _params;
+    unsigned lineShift;
+    std::uint64_t lineMask;
+    std::uint64_t numSets;
+    std::vector<Line> lines;            //!< numSets * assoc
+    std::uint64_t lruClock = 0;
+
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+    std::uint64_t nWritebacks = 0;
+    std::uint64_t nFills = 0;
+};
+
+} // namespace svf::mem
+
+#endif // SVF_MEM_CACHE_HH

@@ -1,0 +1,58 @@
+#include "mem/hierarchy.hh"
+
+namespace svf::mem
+{
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params)
+    : _params(params), _il1(params.il1), _dl1(params.dl1),
+      _l2(params.l2)
+{
+}
+
+bool
+MemHierarchy::l2Access(Addr addr, bool write)
+{
+    CacheAccess l2a = _l2.access(addr, write);
+    if (!l2a.hit)
+        memTraffic += _l2.params().lineSize / 8;    // fill
+    if (l2a.writebackVictim)
+        memTraffic += _l2.params().lineSize / 8;
+    return l2a.hit;
+}
+
+unsigned
+MemHierarchy::fetch(Addr addr)
+{
+    CacheAccess a = _il1.access(addr, false);
+    if (a.hit)
+        return _params.il1.hitLatency;
+    bool l2_hit = l2Access(addr, false);
+    return l2_hit ? _params.l2.hitLatency : _params.memLatency;
+}
+
+unsigned
+MemHierarchy::data(Addr addr, bool write)
+{
+    CacheAccess a = _dl1.access(addr, write);
+    if (a.writebackVictim)
+        l2Access(a.victimAddr, true);
+    if (a.hit)
+        return _params.dl1.hitLatency;
+    bool l2_hit = l2Access(addr, false);    // line fill read
+    return l2_hit ? _params.l2.hitLatency : _params.memLatency;
+}
+
+unsigned
+MemHierarchy::l2Direct(Addr addr, bool write)
+{
+    bool l2_hit = l2Access(addr, write);
+    return l2_hit ? _params.l2.hitLatency : _params.memLatency;
+}
+
+std::uint64_t
+MemHierarchy::flushDl1(bool invalidate)
+{
+    return _dl1.flushDirty(invalidate);
+}
+
+} // namespace svf::mem

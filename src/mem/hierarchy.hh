@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-latency cache hierarchy matching Table 2 of the paper.
+ */
+
+#ifndef SVF_MEM_HIERARCHY_HH
+#define SVF_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+
+namespace svf::mem
+{
+
+/** Hierarchy shape; defaults are the paper's Table 2 values. */
+struct HierarchyParams
+{
+    CacheParams il1{"il1", 256 * 1024, 8, 32, 1};
+    CacheParams dl1{"dl1", 64 * 1024, 4, 32, 3};
+    CacheParams l2{"l2", 512 * 1024, 4, 32, 16};
+
+    /** End-to-end main memory latency in CPU cycles. */
+    unsigned memLatency = 60;
+};
+
+/**
+ * Composes IL1/DL1/L2/memory with the paper's end-to-end latencies:
+ * a DL1 hit costs dl1.hitLatency, a DL1 miss that hits in L2 costs
+ * l2.hitLatency, and an L2 miss costs memLatency.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyParams &params);
+
+    /** Instruction fetch; returns total latency in cycles. */
+    unsigned fetch(Addr addr);
+
+    /**
+     * Data access through DL1.
+     *
+     * @param addr byte address.
+     * @param write true for stores.
+     * @return total latency in cycles.
+     */
+    unsigned data(Addr addr, bool write);
+
+    /**
+     * Access that bypasses DL1 and goes straight to L2 — the path a
+     * decoupled stack cache or the SVF's L2-side fills would use.
+     */
+    unsigned l2Direct(Addr addr, bool write);
+
+    /** Flush DL1 dirty lines (context switch); returns lines. */
+    std::uint64_t flushDl1(bool invalidate);
+
+    const HierarchyParams &params() const { return _params; }
+
+    Cache &il1() { return _il1; }
+    Cache &dl1() { return _dl1; }
+    Cache &l2() { return _l2; }
+    const Cache &il1() const { return _il1; }
+    const Cache &dl1() const { return _dl1; }
+    const Cache &l2() const { return _l2; }
+
+    /** Quadwords moved between L2 and main memory. */
+    std::uint64_t memQuads() const { return memTraffic; }
+
+  private:
+    /** L2 access including memory traffic accounting. */
+    bool l2Access(Addr addr, bool write);
+
+    HierarchyParams _params;
+    Cache _il1;
+    Cache _dl1;
+    Cache _l2;
+    std::uint64_t memTraffic = 0;
+};
+
+} // namespace svf::mem
+
+#endif // SVF_MEM_HIERARCHY_HH

@@ -1,0 +1,50 @@
+#include "mem/stack_cache.hh"
+
+#include "mem/hierarchy.hh"
+
+namespace svf::mem
+{
+
+StackCache::StackCache(const StackCacheParams &params,
+                       MemHierarchy &hier)
+    : _params(params),
+      cache(CacheParams{"stack$", params.size, 1, params.lineSize,
+                        params.hitLatency}),
+      hier(hier)
+{
+}
+
+StackCacheAccess
+StackCache::access(Addr addr, bool write)
+{
+    StackCacheAccess out;
+    unsigned line_quads = _params.lineSize / 8;
+
+    CacheAccess a = cache.access(addr, write);
+    out.hit = a.hit;
+    if (a.hit) {
+        out.latency = _params.hitLatency;
+        return out;
+    }
+
+    // Fill the whole line from L2. Even a write miss reads the line:
+    // the cache cannot prove the rest of the line is dead.
+    trafficIn += line_quads;
+    out.latency = hier.l2Direct(addr, false);
+
+    if (a.writebackVictim) {
+        trafficOut += line_quads;
+        hier.l2Direct(a.victimAddr, true);
+    }
+    return out;
+}
+
+std::uint64_t
+StackCache::contextSwitchFlush()
+{
+    std::uint64_t lines = cache.flushDirty(true);
+    trafficOut += lines * (_params.lineSize / 8);
+    return lines * _params.lineSize;
+}
+
+} // namespace svf::mem

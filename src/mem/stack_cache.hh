@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The decoupled stack cache of Cho, Yew and Lee (ISCA'99), the
+ * paper's primary comparator (Section 5.3).
+ *
+ * A direct-mapped, line-grained cache dedicated to the stack region.
+ * Unlike the SVF it cannot exploit stack-pointer semantics:
+ *
+ *   1. Allocations: a write miss must read the rest of the line from
+ *      the next level before the store can complete (write-allocate),
+ *      because the cache cannot know the data is dead.
+ *   2. Dirty replacements: an evicted dirty line must be written back
+ *      even if the frame it belonged to was deallocated.
+ *
+ * Both rules are exactly what Table 3 of the paper charges it for.
+ */
+
+#ifndef SVF_MEM_STACK_CACHE_HH
+#define SVF_MEM_STACK_CACHE_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+
+namespace svf::mem
+{
+
+class MemHierarchy;
+
+/** Stack cache shape; the paper's default is 8KB direct-mapped. */
+struct StackCacheParams
+{
+    std::uint64_t size = 8 * 1024;
+    unsigned lineSize = 32;
+    unsigned hitLatency = 3;
+    unsigned ports = 2;
+};
+
+/** Outcome of a stack cache access, with its total latency. */
+struct StackCacheAccess
+{
+    bool hit = false;
+    unsigned latency = 0;
+};
+
+/**
+ * Direct-mapped stack cache that misses into the L2 (it is decoupled
+ * from the DL1 pipeline).
+ */
+class StackCache
+{
+  public:
+    /**
+     * @param params cache shape.
+     * @param hier hierarchy supplying miss latencies and absorbing
+     *             fill/writeback traffic on the L2 side.
+     */
+    StackCache(const StackCacheParams &params, MemHierarchy &hier);
+
+    /** Probe/allocate for one reference. */
+    StackCacheAccess access(Addr addr, bool write);
+
+    /**
+     * Context switch: write back all dirty lines.
+     *
+     * @return bytes of writeback traffic (whole lines — the stack
+     *         cache's line-grain dirty bits cannot do better).
+     */
+    std::uint64_t contextSwitchFlush();
+
+    const StackCacheParams &params() const { return _params; }
+
+    /** @name Traffic statistics (quadwords, as Table 3) */
+    /// @{
+    std::uint64_t quadsIn() const { return trafficIn; }
+    std::uint64_t quadsOut() const { return trafficOut; }
+    std::uint64_t hits() const { return cache.hits(); }
+    std::uint64_t misses() const { return cache.misses(); }
+    /// @}
+
+  private:
+    StackCacheParams _params;
+    Cache cache;
+    MemHierarchy &hier;
+    std::uint64_t trafficIn = 0;
+    std::uint64_t trafficOut = 0;
+};
+
+} // namespace svf::mem
+
+#endif // SVF_MEM_STACK_CACHE_HH

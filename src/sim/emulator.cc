@@ -1,0 +1,226 @@
+#include "sim/emulator.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+
+namespace svf::sim
+{
+
+Emulator::Emulator(const isa::Program &p)
+    : prog(p), curPc(p.entry), lowSp(isa::layout::StackBase)
+{
+    memory.loadProgram(p);
+    decoded.resize(p.textSize / 4);
+    for (std::uint64_t i = 0; i < decoded.size(); ++i) {
+        Addr pc = p.textBase + i * 4;
+        std::uint32_t raw = p.fetchRaw(pc);
+        if (!isa::decode(raw, decoded[i])) {
+            fatal("illegal instruction 0x%08x at 0x%llx in '%s'",
+                  raw, static_cast<unsigned long long>(pc),
+                  p.name.c_str());
+        }
+    }
+    regs.fill(0);
+    regs[isa::RegSP] = isa::layout::StackBase;
+}
+
+const isa::DecodedInst &
+Emulator::decodeAt(Addr pc) const
+{
+    if (pc < prog.textBase || pc >= prog.textBase + prog.textSize ||
+        (pc & 3)) {
+        panic("bad instruction fetch at 0x%llx (program '%s')",
+              static_cast<unsigned long long>(pc), prog.name.c_str());
+    }
+    return decoded[(pc - prog.textBase) / 4];
+}
+
+bool
+Emulator::step(ExecInfo &info)
+{
+    using namespace isa;
+
+    if (isHalted)
+        return false;
+
+    const DecodedInst &di = decodeAt(curPc);
+    info = ExecInfo();
+    info.seq = icount;
+    info.pc = curPc;
+    info.di = &di;
+
+    Addr next_pc = curPc + 4;
+    RegVal old_sp = regs[RegSP];
+
+    switch (di.op) {
+      case Opcode::Lda:
+        info.result = readReg(di.rb) +
+            static_cast<RegVal>(static_cast<std::int64_t>(di.disp));
+        writeReg(di.ra, info.result);
+        break;
+
+      case Opcode::Ldah:
+        info.result = readReg(di.rb) + (static_cast<RegVal>(
+            static_cast<std::int64_t>(di.disp)) << 16);
+        writeReg(di.ra, info.result);
+        break;
+
+      case Opcode::Ldbu:
+      case Opcode::Ldl:
+      case Opcode::Ldq: {
+        Addr ea = readReg(di.rb) +
+            static_cast<RegVal>(static_cast<std::int64_t>(di.disp));
+        info.ea = ea;
+        RegVal v = 0;
+        if (di.op == Opcode::Ldbu) {
+            v = memory.read8(ea);
+        } else if (di.op == Opcode::Ldl) {
+            v = static_cast<RegVal>(static_cast<std::int64_t>(
+                static_cast<std::int32_t>(memory.read32(ea))));
+        } else {
+            v = memory.read64(ea);
+        }
+        info.memValue = v;
+        info.result = v;
+        writeReg(di.ra, v);
+        break;
+      }
+
+      case Opcode::Stb:
+      case Opcode::Stl:
+      case Opcode::Stq: {
+        Addr ea = readReg(di.rb) +
+            static_cast<RegVal>(static_cast<std::int64_t>(di.disp));
+        info.ea = ea;
+        RegVal v = readReg(di.ra);
+        info.memValue = v;
+        if (di.op == Opcode::Stb)
+            memory.write8(ea, static_cast<std::uint8_t>(v));
+        else if (di.op == Opcode::Stl)
+            memory.write32(ea, static_cast<std::uint32_t>(v));
+        else
+            memory.write64(ea, v);
+        break;
+      }
+
+      case Opcode::IntOp: {
+        RegVal a = readReg(di.ra);
+        RegVal b = di.useLit ? di.lit : readReg(di.rb);
+        RegVal r = 0;
+        auto sa = static_cast<std::int64_t>(a);
+        auto sb = static_cast<std::int64_t>(b);
+        switch (di.funct) {
+          case IntFunct::Addq: r = a + b; break;
+          case IntFunct::Subq: r = a - b; break;
+          case IntFunct::Mulq: r = a * b; break;
+          case IntFunct::And: r = a & b; break;
+          case IntFunct::Bis: r = a | b; break;
+          case IntFunct::Xor: r = a ^ b; break;
+          case IntFunct::Sll: r = a << (b & 63); break;
+          case IntFunct::Srl: r = a >> (b & 63); break;
+          case IntFunct::Sra:
+            r = static_cast<RegVal>(sa >> (b & 63));
+            break;
+          case IntFunct::Cmpeq: r = a == b; break;
+          case IntFunct::Cmplt: r = sa < sb; break;
+          case IntFunct::Cmple: r = sa <= sb; break;
+          case IntFunct::Cmpult: r = a < b; break;
+          case IntFunct::Cmpule: r = a <= b; break;
+          case IntFunct::Umulh:
+            r = static_cast<RegVal>(
+                (static_cast<unsigned __int128>(a) *
+                 static_cast<unsigned __int128>(b)) >> 64);
+            break;
+        }
+        info.result = r;
+        writeReg(di.rc, r);
+        break;
+      }
+
+      case Opcode::Jsr: {
+        Addr target = readReg(di.rb) & ~Addr(3);
+        info.result = curPc + 4;
+        writeReg(di.ra, curPc + 4);
+        next_pc = target;
+        info.taken = true;
+        break;
+      }
+
+      case Opcode::Br:
+      case Opcode::Bsr:
+        info.result = curPc + 4;
+        writeReg(di.ra, curPc + 4);
+        next_pc = curPc + 4 +
+            (static_cast<std::int64_t>(di.disp) << 2);
+        info.taken = true;
+        break;
+
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+      case Opcode::Bge: {
+        auto v = static_cast<std::int64_t>(readReg(di.ra));
+        bool taken = false;
+        switch (di.op) {
+          case Opcode::Beq: taken = v == 0; break;
+          case Opcode::Bne: taken = v != 0; break;
+          case Opcode::Blt: taken = v < 0; break;
+          case Opcode::Ble: taken = v <= 0; break;
+          case Opcode::Bgt: taken = v > 0; break;
+          case Opcode::Bge: taken = v >= 0; break;
+          default: break;
+        }
+        info.taken = taken;
+        if (taken) {
+            next_pc = curPc + 4 +
+                (static_cast<std::int64_t>(di.disp) << 2);
+        }
+        break;
+      }
+
+      case Opcode::Sys:
+        switch (di.sys) {
+          case SysFunct::Halt:
+            isHalted = true;
+            break;
+          case SysFunct::Putint:
+            out += std::to_string(
+                static_cast<std::int64_t>(readReg(RegA0)));
+            out += '\n';
+            break;
+          case SysFunct::Putc:
+            out += static_cast<char>(readReg(RegA0) & 0xff);
+            break;
+        }
+        break;
+    }
+
+    if (regs[RegSP] != old_sp) {
+        info.spWritten = true;
+        info.oldSp = old_sp;
+        info.newSp = regs[RegSP];
+        if (regs[RegSP] < lowSp)
+            lowSp = regs[RegSP];
+    }
+
+    info.nextPc = isHalted ? curPc : next_pc;
+    curPc = next_pc;
+    ++icount;
+    return true;
+}
+
+std::uint64_t
+Emulator::run(std::uint64_t max_insts)
+{
+    ExecInfo info;
+    std::uint64_t n = 0;
+    while (n < max_insts && step(info))
+        ++n;
+    return n;
+}
+
+} // namespace svf::sim

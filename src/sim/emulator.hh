@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Architectural (functional) emulator.
+ *
+ * The emulator is both a standalone reference executor and the
+ * execute-ahead oracle that feeds the cycle-level timing model: each
+ * step() returns an ExecInfo record describing exactly what the
+ * instruction did (effective address, branch outcome, $sp movement),
+ * which is everything the pipeline needs to model timing.
+ */
+
+#ifndef SVF_SIM_EMULATOR_HH
+#define SVF_SIM_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+#include "isa/program.hh"
+#include "sim/mem_image.hh"
+
+namespace svf::sim
+{
+
+/** Everything one retired instruction did, for the timing model. */
+struct ExecInfo
+{
+    InstSeq seq = 0;            //!< dynamic sequence number
+    Addr pc = 0;
+    Addr nextPc = 0;            //!< architecturally correct next PC
+    const isa::DecodedInst *di = nullptr;
+
+    Addr ea = 0;                //!< effective address (memRef only)
+    RegVal memValue = 0;        //!< value loaded or stored
+
+    bool taken = false;         //!< control: was the transfer taken?
+
+    bool spWritten = false;     //!< did this instruction write $sp?
+    RegVal oldSp = 0;
+    RegVal newSp = 0;
+
+    RegVal result = 0;          //!< value written to the dest register
+};
+
+/**
+ * Executes SVA programs at architectural level.
+ */
+class Emulator
+{
+  public:
+    /**
+     * Load @p prog: text is predecoded, sections are copied into
+     * memory, $sp is set to the stack base and the PC to the entry.
+     */
+    explicit Emulator(const isa::Program &prog);
+
+    /**
+     * Execute one instruction.
+     *
+     * @param info receives the retirement record.
+     * @retval false when the program has halted (info is not filled).
+     */
+    bool step(ExecInfo &info);
+
+    /** Run up to @p max_insts instructions; returns count executed. */
+    std::uint64_t run(std::uint64_t max_insts);
+
+    /** Has a halt been executed? */
+    bool halted() const { return isHalted; }
+
+    /** Total instructions retired. */
+    std::uint64_t instCount() const { return icount; }
+
+    /** Accumulated putint/putc output. */
+    const std::string &output() const { return out; }
+
+    /** Architectural register file. */
+    RegVal reg(RegIndex r) const { return regs[r]; }
+
+    /** Current PC. */
+    Addr pc() const { return curPc; }
+
+    /** Lowest $sp value observed so far (deepest stack). */
+    Addr minSp() const { return lowSp; }
+
+    /** Simulated memory (also writable for test setup). */
+    MemImage &mem() { return memory; }
+    const MemImage &mem() const { return memory; }
+
+    /** Predecoded instruction at @p pc (must be within text). */
+    const isa::DecodedInst &decodeAt(Addr pc) const;
+
+  private:
+    RegVal readReg(RegIndex r) const
+    {
+        return r == isa::RegZero ? 0 : regs[r];
+    }
+
+    void writeReg(RegIndex r, RegVal v)
+    {
+        if (r != isa::RegZero)
+            regs[r] = v;
+    }
+
+    const isa::Program &prog;
+    MemImage memory;
+    std::vector<isa::DecodedInst> decoded;  //!< indexed by text word
+    std::array<RegVal, isa::NumRegs> regs{};
+    Addr curPc;
+    Addr lowSp;
+    std::uint64_t icount = 0;
+    bool isHalted = false;
+    std::string out;
+};
+
+} // namespace svf::sim
+
+#endif // SVF_SIM_EMULATOR_HH

@@ -1,0 +1,114 @@
+#include "sim/mem_image.hh"
+
+#include <cstring>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "isa/program.hh"
+
+namespace svf::sim
+{
+
+void
+MemImage::loadProgram(const isa::Program &prog)
+{
+    for (const auto &s : prog.sections)
+        writeBytes(s.base, s.bytes.data(), s.bytes.size());
+}
+
+const MemImage::Page *
+MemImage::findPage(Addr a) const
+{
+    Addr page_addr = alignDown(a, PageSize);
+    if (page_addr == lastPageAddr)
+        return lastPage;
+    auto it = pages.find(page_addr);
+    if (it == pages.end())
+        return nullptr;
+    lastPageAddr = page_addr;
+    lastPage = it->second.get();
+    return lastPage;
+}
+
+MemImage::Page &
+MemImage::touchPage(Addr a)
+{
+    Addr page_addr = alignDown(a, PageSize);
+    if (page_addr == lastPageAddr)
+        return *lastPage;
+    auto &slot = pages[page_addr];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    lastPageAddr = page_addr;
+    lastPage = slot.get();
+    return *lastPage;
+}
+
+std::uint8_t
+MemImage::read8(Addr a) const
+{
+    const Page *p = findPage(a);
+    return p ? (*p)[a % PageSize] : 0;
+}
+
+std::uint32_t
+MemImage::read32(Addr a) const
+{
+    svf_assert((a & 3) == 0);
+    const Page *p = findPage(a);
+    if (!p)
+        return 0;
+    std::uint32_t v = 0;
+    std::memcpy(&v, p->data() + a % PageSize, 4);
+    return v;
+}
+
+std::uint64_t
+MemImage::read64(Addr a) const
+{
+    svf_assert((a & 7) == 0);
+    const Page *p = findPage(a);
+    if (!p)
+        return 0;
+    std::uint64_t v = 0;
+    std::memcpy(&v, p->data() + a % PageSize, 8);
+    return v;
+}
+
+void
+MemImage::write8(Addr a, std::uint8_t v)
+{
+    touchPage(a)[a % PageSize] = v;
+}
+
+void
+MemImage::write32(Addr a, std::uint32_t v)
+{
+    svf_assert((a & 3) == 0);
+    std::memcpy(touchPage(a).data() + a % PageSize, &v, 4);
+}
+
+void
+MemImage::write64(Addr a, std::uint64_t v)
+{
+    svf_assert((a & 7) == 0);
+    std::memcpy(touchPage(a).data() + a % PageSize, &v, 8);
+}
+
+void
+MemImage::writeBytes(Addr a, const std::uint8_t *bytes, std::uint64_t n)
+{
+    while (n > 0) {
+        Page &p = touchPage(a);
+        std::uint64_t off = a % PageSize;
+        std::uint64_t chunk = std::min(n, PageSize - off);
+        std::memcpy(p.data() + off, bytes, chunk);
+        a += chunk;
+        bytes += chunk;
+        n -= chunk;
+    }
+}
+
+} // namespace svf::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sparse simulated physical memory.
+ */
+
+#ifndef SVF_SIM_MEM_IMAGE_HH
+#define SVF_SIM_MEM_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace svf::isa { class Program; }
+
+namespace svf::sim
+{
+
+/**
+ * A sparse byte-addressable memory backed by demand-allocated 4KB
+ * pages. Untouched memory reads as zero, matching demand-zero pages.
+ */
+class MemImage
+{
+  public:
+    static constexpr std::uint64_t PageSize = 4096;
+
+    MemImage() = default;
+
+    /** Copy all initialized sections of @p prog into memory. */
+    void loadProgram(const isa::Program &prog);
+
+    /** @name Aligned scalar accessors (alignment is asserted). */
+    /// @{
+    std::uint8_t read8(Addr a) const;
+    std::uint32_t read32(Addr a) const;
+    std::uint64_t read64(Addr a) const;
+    void write8(Addr a, std::uint8_t v);
+    void write32(Addr a, std::uint32_t v);
+    void write64(Addr a, std::uint64_t v);
+    /// @}
+
+    /** Bulk write used by the program loader. */
+    void writeBytes(Addr a, const std::uint8_t *bytes,
+                    std::uint64_t n);
+
+    /** Number of pages that have been touched. */
+    std::uint64_t pagesAllocated() const { return pages.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, PageSize>;
+
+    const Page *findPage(Addr a) const;
+    Page &touchPage(Addr a);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    // One-entry lookup cache; instruction-dense pages make this hit
+    // nearly always.
+    mutable Addr lastPageAddr = ~Addr(0);
+    mutable Page *lastPage = nullptr;
+};
+
+} // namespace svf::sim
+
+#endif // SVF_SIM_MEM_IMAGE_HH

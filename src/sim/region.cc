@@ -1,0 +1,57 @@
+#include "sim/region.hh"
+
+#include "isa/program.hh"
+
+namespace svf::sim
+{
+
+Region
+classify(Addr a)
+{
+    using namespace isa::layout;
+    if (a >= StackLimit && a <= StackBase + 0x10000)
+        return Region::Stack;
+    if (a >= HeapBase && a < HeapLimit)
+        return Region::Heap;
+    if (a >= DataBase && a < HeapBase)
+        return Region::Global;
+    if (a >= TextBase && a < DataBase)
+        return Region::Text;
+    return Region::Other;
+}
+
+AccessMethod
+methodOf(RegIndex base)
+{
+    if (base == isa::RegSP)
+        return AccessMethod::Sp;
+    if (base == isa::RegFP)
+        return AccessMethod::Fp;
+    return AccessMethod::Gpr;
+}
+
+const char *
+regionName(Region r)
+{
+    switch (r) {
+      case Region::Text: return "text";
+      case Region::Global: return "global";
+      case Region::Heap: return "heap";
+      case Region::Stack: return "stack";
+      case Region::Other: return "other";
+    }
+    return "?";
+}
+
+const char *
+methodName(AccessMethod m)
+{
+    switch (m) {
+      case AccessMethod::Sp: return "$sp";
+      case AccessMethod::Fp: return "$fp";
+      case AccessMethod::Gpr: return "$gpr";
+    }
+    return "?";
+}
+
+} // namespace svf::sim

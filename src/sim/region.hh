@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory region classification (Figure 1's categories).
+ */
+
+#ifndef SVF_SIM_REGION_HH
+#define SVF_SIM_REGION_HH
+
+#include "base/types.hh"
+#include "isa/isa.hh"
+
+namespace svf::sim
+{
+
+/** The memory regions the paper partitions references into. */
+enum class Region
+{
+    Text,
+    Global,                     //!< static .data/.rdata
+    Heap,
+    Stack,
+    Other,
+};
+
+/** Access method breakdown used by Figure 1. */
+enum class AccessMethod
+{
+    Sp,                         //!< base register is $sp
+    Fp,                         //!< base register is $fp
+    Gpr,                        //!< any other base register
+};
+
+/** Classify a data address against the fixed layout. */
+Region classify(Addr a);
+
+/** Classify the addressing method from a base register. */
+AccessMethod methodOf(RegIndex base);
+
+/** Printable region name. */
+const char *regionName(Region r);
+
+/** Printable method name. */
+const char *methodName(AccessMethod m);
+
+} // namespace svf::sim
+
+#endif // SVF_SIM_REGION_HH

@@ -1,0 +1,138 @@
+#include "stats/distribution.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace svf::stats
+{
+
+void
+Distribution::sample(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    sum += v;
+    sumSq += v * v;
+}
+
+double
+Distribution::min() const
+{
+    return n ? lo : 0.0;
+}
+
+double
+Distribution::max() const
+{
+    return n ? hi : 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (n < 2)
+        return 0.0;
+    double m = mean();
+    double var = sumSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::string
+Distribution::render() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu min=%.4g max=%.4g mean=%.4g sd=%.4g",
+                  static_cast<unsigned long long>(n), min(), max(),
+                  mean(), stddev());
+    return buf;
+}
+
+void
+Distribution::reset()
+{
+    n = 0;
+    lo = hi = sum = sumSq = 0.0;
+}
+
+Log2Histogram::Log2Histogram(Group *parent, std::string name,
+                             std::string desc, unsigned nbuckets)
+    : Info(parent, std::move(name), std::move(desc)),
+      bins(nbuckets ? nbuckets : 1, 0)
+{
+}
+
+unsigned
+Log2Histogram::bucketOf(std::uint64_t v) const
+{
+    if (v == 0)
+        return 0;
+    unsigned b = 1;
+    std::uint64_t bound = 1;
+    while (v > bound && b + 1 < bins.size()) {
+        bound <<= 1;
+        ++b;
+    }
+    // Bucket b holds (2^(b-2), 2^(b-1)] for b >= 2; bucket 1 holds {1}.
+    return v > bound ? static_cast<unsigned>(bins.size() - 1) : b;
+}
+
+void
+Log2Histogram::sample(std::uint64_t v)
+{
+    ++bins[bucketOf(v)];
+    ++total;
+}
+
+double
+Log2Histogram::cumulativeAt(std::uint64_t v) const
+{
+    if (total == 0)
+        return 0.0;
+    unsigned b = bucketOf(v);
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i <= b; ++i)
+        acc += bins[i];
+    return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+std::string
+Log2Histogram::render() const
+{
+    std::ostringstream os;
+    os << "n=" << total << " [";
+    bool first = true;
+    for (size_t i = 0; i < bins.size(); ++i) {
+        if (bins[i] == 0)
+            continue;
+        if (!first)
+            os << " ";
+        first = false;
+        os << i << ":" << bins[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+void
+Log2Histogram::reset()
+{
+    for (auto &b : bins)
+        b = 0;
+    total = 0;
+}
+
+} // namespace svf::stats

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sample distributions and log-scale histograms.
+ */
+
+#ifndef SVF_STATS_DISTRIBUTION_HH
+#define SVF_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace svf::stats
+{
+
+/**
+ * Accumulates samples and reports count/min/max/mean/stddev.
+ *
+ * Used for quantities like stack depth and reference offset where the
+ * paper reports averages and extreme values.
+ */
+class Distribution : public Info
+{
+  public:
+    using Info::Info;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double stddev() const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t n = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+};
+
+/**
+ * Histogram over power-of-two buckets of a nonnegative quantity,
+ * supporting the cumulative-fraction queries behind Figure 3's
+ * offset-locality CDF (log10 x-axis in the paper; log2 buckets here
+ * give the same shape at finer resolution).
+ */
+class Log2Histogram : public Info
+{
+  public:
+    /**
+     * @param parent owning stats group (may be nullptr).
+     * @param name statistic name.
+     * @param desc statistic description.
+     * @param nbuckets bucket count; bucket 0 holds zero, bucket 1
+     *        holds one, bucket b >= 2 holds (2^(b-2), 2^(b-1)], and
+     *        the last bucket also absorbs any overflow.
+     */
+    Log2Histogram(Group *parent, std::string name, std::string desc,
+                  unsigned nbuckets = 32);
+
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return total; }
+
+    /** Fraction of samples <= @p v (exact on bucket boundaries). */
+    double cumulativeAt(std::uint64_t v) const;
+
+    /** Raw bucket counts (see constructor for bucket semantics). */
+    const std::vector<std::uint64_t> &buckets() const { return bins; }
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    unsigned bucketOf(std::uint64_t v) const;
+
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total = 0;
+};
+
+} // namespace svf::stats
+
+#endif // SVF_STATS_DISTRIBUTION_HH

@@ -1,0 +1,60 @@
+#include "stats/group.hh"
+
+#include <iomanip>
+
+#include "stats/stats.hh"
+
+namespace svf::stats
+{
+
+Info::Info(Group *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->add(this);
+}
+
+std::string
+Counter::render() const
+{
+    return std::to_string(_value);
+}
+
+std::string
+Scalar::render() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", _value);
+    return buf;
+}
+
+Group::Group(std::string prefix) : _prefix(std::move(prefix))
+{
+}
+
+void
+Group::add(Info *info)
+{
+    _infos.push_back(info);
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const Info *info : _infos) {
+        std::string full = _prefix.empty()
+            ? info->name() : _prefix + "." + info->name();
+        os << std::left << std::setw(40) << full
+           << " " << std::setw(16) << info->render()
+           << " # " << info->desc() << "\n";
+    }
+}
+
+void
+Group::resetAll()
+{
+    for (Info *info : _infos)
+        info->reset();
+}
+
+} // namespace svf::stats

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Statistic registration group.
+ */
+
+#ifndef SVF_STATS_GROUP_HH
+#define SVF_STATS_GROUP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace svf::stats
+{
+
+class Info;
+
+/**
+ * Owns the registration list for a set of statistics.
+ *
+ * Simulator components embed a Group and declare their statistics as
+ * members constructed with the group as parent; dump() then renders
+ * every registered statistic in declaration order.
+ */
+class Group
+{
+  public:
+    /** @param prefix name prefix prepended to each statistic name. */
+    explicit Group(std::string prefix = "");
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Called by Info's constructor; not for direct use. */
+    void add(Info *info);
+
+    /** Render "prefix.name  value  # desc" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic. */
+    void resetAll();
+
+    const std::string &prefix() const { return _prefix; }
+    const std::vector<Info *> &infos() const { return _infos; }
+
+  private:
+    std::string _prefix;
+    std::vector<Info *> _infos;
+};
+
+} // namespace svf::stats
+
+#endif // SVF_STATS_GROUP_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight statistics primitives in the spirit of gem5's stats
+ * package: named counters, scalar formulas and distributions that
+ * register themselves with a Group and can be dumped as text.
+ */
+
+#ifndef SVF_STATS_STATS_HH
+#define SVF_STATS_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace svf::stats
+{
+
+class Group;
+
+/** Base class carrying the name/description of one statistic. */
+class Info
+{
+  public:
+    /**
+     * Register a statistic with @p parent.
+     *
+     * @param parent owning group (may be nullptr for a free-standing
+     *               statistic used in tests).
+     * @param name dotted statistic name, unique within the group.
+     * @param desc one-line human-readable description.
+     */
+    Info(Group *parent, std::string name, std::string desc);
+    virtual ~Info() = default;
+
+    Info(const Info &) = delete;
+    Info &operator=(const Info &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Render the value(s) for a stats dump. */
+    virtual std::string render() const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically increasing event counter. */
+class Counter : public Info
+{
+  public:
+    using Info::Info;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    std::uint64_t value() const { return _value; }
+
+    std::string render() const override;
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** A settable scalar (e.g. a final IPC value). */
+class Scalar : public Info
+{
+  public:
+    using Info::Info;
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    double value() const { return _value; }
+
+    std::string render() const override;
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+} // namespace svf::stats
+
+#endif // SVF_STATS_STATS_HH

@@ -1,0 +1,96 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace svf::stats
+{
+
+Table::Table(std::vector<std::string> headers) : head(std::move(headers))
+{
+    svf_assert(!head.empty());
+}
+
+void
+Table::addRow()
+{
+    if (!body.empty() && body.back().size() != head.size()) {
+        panic("table row has %zu cells, expected %zu",
+              body.back().size(), head.size());
+    }
+    body.emplace_back();
+}
+
+void
+Table::cell(const std::string &v)
+{
+    svf_assert(!body.empty());
+    svf_assert(body.back().size() < head.size());
+    body.back().push_back(v);
+}
+
+void
+Table::cell(std::uint64_t v)
+{
+    cell(std::to_string(v));
+}
+
+void
+Table::cell(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    cell(std::string(buf));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : body) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < head.size(); ++c) {
+            std::string v = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << v;
+            if (c + 1 < head.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    line(head);
+    size_t total = head.size() > 0 ? (head.size() - 1) * 2 : 0;
+    for (size_t w : widths)
+        total += w;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        line(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    line(head);
+    for (const auto &row : body)
+        line(row);
+}
+
+} // namespace svf::stats

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text table rendering for paper-style result tables.
+ */
+
+#ifndef SVF_STATS_TABLE_HH
+#define SVF_STATS_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace svf::stats
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Every bench binary renders its paper table/figure series through
+ * this class so output formatting is uniform and CSV export is free.
+ */
+class Table
+{
+  public:
+    /** @param headers column titles, fixing the column count. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it. */
+    void addRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &v);
+
+    /** Append an unsigned integer cell. */
+    void cell(std::uint64_t v);
+
+    /** Append a floating-point cell rendered with @p prec digits. */
+    void cell(double v, int prec = 3);
+
+    /** Number of complete data rows. */
+    size_t rows() const { return body.size(); }
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace svf::stats
+
+#endif // SVF_STATS_TABLE_HH

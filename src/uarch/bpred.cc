@@ -1,0 +1,106 @@
+#include "uarch/bpred.hh"
+
+#include "base/logging.hh"
+
+namespace svf::uarch
+{
+
+bool
+PerfectPredictor::predictAndUpdate(const sim::ExecInfo &info)
+{
+    (void)info;
+    return true;
+}
+
+GsharePredictor::GsharePredictor(const GshareParams &params)
+    : _params(params),
+      pht(std::uint64_t(1) << params.historyBits, 1),
+      btbTag(params.btbEntries, ~Addr(0)),
+      btbTarget(params.btbEntries, 0),
+      ras(params.rasEntries, 0)
+{
+}
+
+bool
+GsharePredictor::predictDirection(Addr pc)
+{
+    std::uint64_t idx = ((pc >> 2) ^ history) &
+        ((std::uint64_t(1) << _params.historyBits) - 1);
+    return pht[idx] >= 2;
+}
+
+void
+GsharePredictor::updateDirection(Addr pc, bool taken)
+{
+    std::uint64_t idx = ((pc >> 2) ^ history) &
+        ((std::uint64_t(1) << _params.historyBits) - 1);
+    std::uint8_t &ctr = pht[idx];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history = ((history << 1) | (taken ? 1 : 0)) &
+        ((std::uint64_t(1) << _params.historyBits) - 1);
+}
+
+bool
+GsharePredictor::predictAndUpdate(const sim::ExecInfo &info)
+{
+    const isa::DecodedInst &di = *info.di;
+    ++nLookups;
+    bool correct = true;
+
+    if (di.condBranch) {
+        bool pred = predictDirection(info.pc);
+        correct = pred == info.taken;
+        updateDirection(info.pc, info.taken);
+    } else if (di.uncondBranch) {
+        // Direct target, computed at decode: always correct.
+        if (di.call) {
+            ras[rasTop] = info.pc + 4;
+            rasTop = (rasTop + 1) % _params.rasEntries;
+            if (rasDepth < _params.rasEntries)
+                ++rasDepth;
+        }
+        correct = true;
+    } else if (di.indirect) {
+        if (di.ret) {
+            Addr pred_target = 0;
+            if (rasDepth > 0) {
+                rasTop = (rasTop + _params.rasEntries - 1) %
+                    _params.rasEntries;
+                --rasDepth;
+                pred_target = ras[rasTop];
+            }
+            correct = pred_target == info.nextPc;
+        } else {
+            std::uint64_t idx = (info.pc >> 2) % _params.btbEntries;
+            correct = btbTag[idx] == info.pc &&
+                      btbTarget[idx] == info.nextPc;
+            btbTag[idx] = info.pc;
+            btbTarget[idx] = info.nextPc;
+            if (di.call) {
+                ras[rasTop] = info.pc + 4;
+                rasTop = (rasTop + 1) % _params.rasEntries;
+                if (rasDepth < _params.rasEntries)
+                    ++rasDepth;
+            }
+        }
+    }
+
+    if (!correct)
+        ++nMispredicts;
+    return correct;
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &kind)
+{
+    if (kind == "perfect")
+        return std::make_unique<PerfectPredictor>();
+    if (kind == "gshare")
+        return std::make_unique<GsharePredictor>();
+    fatal("unknown branch predictor '%s'", kind.c_str());
+}
+
+} // namespace svf::uarch

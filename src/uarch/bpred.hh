@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Branch predictors for the timing-directed front end.
+ *
+ * The pipeline model is oracle-fed (no wrong-path execution), so a
+ * predictor's job is to decide, per fetched control instruction,
+ * whether the front end would have predicted it correctly; a wrong
+ * answer stalls fetch until the branch resolves. Direct-branch
+ * targets are computable at decode, so only direction (gshare PHT),
+ * indirect targets (BTB) and returns (RAS) can mispredict.
+ */
+
+#ifndef SVF_UARCH_BPRED_HH
+#define SVF_UARCH_BPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/emulator.hh"
+
+namespace svf::uarch
+{
+
+/** Predictor interface consulted once per fetched control inst. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict the control instruction described by @p info and update
+     * predictor state with the actual outcome.
+     *
+     * @retval true when the front end predicted direction and target
+     *         correctly (fetch continues), false on a mispredict.
+     */
+    virtual bool predictAndUpdate(const sim::ExecInfo &info) = 0;
+
+    /** Human-readable name. */
+    virtual const char *name() const = 0;
+};
+
+/** Always correct (the paper's headline configuration). */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    bool predictAndUpdate(const sim::ExecInfo &info) override;
+    const char *name() const override { return "perfect"; }
+};
+
+/** Configuration for the gshare predictor. */
+struct GshareParams
+{
+    unsigned historyBits = 12;      //!< PHT of 2^bits 2-bit counters
+    unsigned btbEntries = 2048;     //!< direct-mapped BTB
+    unsigned rasEntries = 32;       //!< return address stack
+};
+
+/**
+ * gshare direction predictor with a BTB for indirect targets and a
+ * return address stack.
+ */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(const GshareParams &params = {});
+
+    bool predictAndUpdate(const sim::ExecInfo &info) override;
+    const char *name() const override { return "gshare"; }
+
+    /** @name Statistics */
+    /// @{
+    std::uint64_t lookups() const { return nLookups; }
+    std::uint64_t mispredicts() const { return nMispredicts; }
+    /// @}
+
+  private:
+    bool predictDirection(Addr pc);
+    void updateDirection(Addr pc, bool taken);
+
+    GshareParams _params;
+    std::vector<std::uint8_t> pht;      //!< 2-bit counters
+    std::vector<Addr> btbTag;
+    std::vector<Addr> btbTarget;
+    std::vector<Addr> ras;
+    std::uint64_t history = 0;
+    std::uint64_t rasTop = 0;           //!< circular stack pointer
+    std::uint64_t rasDepth = 0;
+    std::uint64_t nLookups = 0;
+    std::uint64_t nMispredicts = 0;
+};
+
+/** Factory: "perfect" or "gshare". */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &kind);
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_BPRED_HH

@@ -1,0 +1,6 @@
+/**
+ * @file
+ * LSQ helpers are header-only; see lsq.hh.
+ */
+
+#include "uarch/lsq.hh"

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Load/store queue bookkeeping: occupancy and the word-granular
+ * store map used for forwarding and SVF collision detection.
+ */
+
+#ifndef SVF_UARCH_LSQ_HH
+#define SVF_UARCH_LSQ_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace svf::uarch
+{
+
+/**
+ * Tracks the most recent in-flight store to each 64-bit word of
+ * memory. Used at dispatch to find the producer a morphed load
+ * should forward from, and at rerouted-store issue to detect the
+ * Section 3.2 collision squash.
+ *
+ * Entries are pruned lazily: a lookup returning a sequence number
+ * older than the RUU head means "no in-flight store".
+ */
+class StoreWordMap
+{
+  public:
+    /** Record a store of @p seq covering the word of @p addr. */
+    void record(Addr addr, InstSeq seq)
+    {
+        map[addr >> 3] = seq;
+    }
+
+    /**
+     * Latest in-flight store to the word of @p addr.
+     *
+     * @param addr byte address.
+     * @param oldest_inflight sequence number of the RUU head.
+     * @return the store's seq, or NoStore when none is in flight.
+     */
+    InstSeq lookup(Addr addr, InstSeq oldest_inflight) const
+    {
+        auto it = map.find(addr >> 3);
+        if (it == map.end() || it->second < oldest_inflight)
+            return NoStore;
+        return it->second;
+    }
+
+    /** Sentinel for "no in-flight store to that word". */
+    static constexpr InstSeq NoStore = ~InstSeq(0);
+
+    /** Drop stale entries to bound memory (called occasionally). */
+    void prune(InstSeq oldest_inflight)
+    {
+        for (auto it = map.begin(); it != map.end();) {
+            if (it->second < oldest_inflight)
+                it = map.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    size_t size() const { return map.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, InstSeq> map;
+};
+
+/** Simple LSQ occupancy counter. */
+class LsqTracker
+{
+  public:
+    /** @param size maximum simultaneous memory operations. */
+    explicit LsqTracker(unsigned size) : capacity(size) {}
+
+    bool full() const { return occupancy >= capacity; }
+    void add() { ++occupancy; }
+    void remove() { --occupancy; }
+    unsigned used() const { return occupancy; }
+
+  private:
+    unsigned capacity;
+    unsigned occupancy = 0;
+};
+
+/** Do two byte ranges [a, a+an) and [b, b+bn) overlap? */
+inline bool
+rangesOverlap(Addr a, unsigned an, Addr b, unsigned bn)
+{
+    return a < b + bn && b < a + an;
+}
+
+/** Does range [outer, outer+on) fully cover [inner, inner+in_)? */
+inline bool
+rangeCovers(Addr outer, unsigned on, Addr inner, unsigned in_)
+{
+    return outer <= inner && inner + in_ <= outer + on;
+}
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_LSQ_HH

@@ -1,0 +1,53 @@
+#include "uarch/machine_config.hh"
+
+#include "base/logging.hh"
+
+namespace svf::uarch
+{
+
+MachineConfig
+MachineConfig::wide4()
+{
+    MachineConfig c;
+    c.fetchWidth = c.decodeWidth = c.issueWidth = c.commitWidth = 4;
+    c.ifqSize = 16;
+    c.ruuSize = 64;
+    c.lsqSize = 32;
+    return c;
+}
+
+MachineConfig
+MachineConfig::wide8()
+{
+    MachineConfig c;
+    c.fetchWidth = c.decodeWidth = c.issueWidth = c.commitWidth = 8;
+    c.ifqSize = 32;
+    c.ruuSize = 128;
+    c.lsqSize = 64;
+    return c;
+}
+
+MachineConfig
+MachineConfig::wide16()
+{
+    MachineConfig c;
+    c.fetchWidth = c.decodeWidth = c.issueWidth = c.commitWidth = 16;
+    c.ifqSize = 64;
+    c.ruuSize = 256;
+    c.lsqSize = 128;
+    return c;
+}
+
+MachineConfig
+MachineConfig::wide(unsigned w)
+{
+    switch (w) {
+      case 4: return wide4();
+      case 8: return wide8();
+      case 16: return wide16();
+      default:
+        fatal("no Table 2 machine model with width %u", w);
+    }
+}
+
+} // namespace svf::uarch

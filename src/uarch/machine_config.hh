@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Machine model parameters (Table 2 of the paper).
+ */
+
+#ifndef SVF_UARCH_MACHINE_CONFIG_HH
+#define SVF_UARCH_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/hierarchy.hh"
+#include "mem/stack_cache.hh"
+#include "core/svf_unit.hh"
+
+namespace svf::uarch
+{
+
+/**
+ * Full configuration of one simulated machine, combining the Table 2
+ * processor model with the SVF / stack cache options of Section 5.
+ */
+struct MachineConfig
+{
+    /** @name Pipeline widths and window sizes (Table 2) */
+    /// @{
+    unsigned fetchWidth = 16;
+    unsigned decodeWidth = 16;
+    unsigned issueWidth = 16;
+    unsigned commitWidth = 16;
+    unsigned ifqSize = 64;
+    unsigned ruuSize = 256;
+    unsigned lsqSize = 128;
+    /// @}
+
+    /** @name Functional units (Table 2) */
+    /// @{
+    unsigned intAlu = 16;
+    unsigned intMult = 4;
+    /// @}
+
+    /** @name Memory system */
+    /// @{
+    mem::HierarchyParams hier;
+
+    /** DL1 ports usable per cycle (the "R" of the paper's (R+S)). */
+    unsigned dl1Ports = 2;
+
+    /** Store-to-load forwarding latency (Table 2: 3 cycles). */
+    unsigned storeForwardLat = 3;
+
+    /** Address-generation latency folded ahead of SVF reroutes. */
+    unsigned agenLat = 1;
+    /// @}
+
+    /** @name Front end */
+    /// @{
+    std::string bpred = "perfect";
+
+    /** Cycles from branch resolution to the redirected fetch. */
+    unsigned redirectPenalty = 2;
+
+    /**
+     * Minimum cycles between dispatch and the earliest issue
+     * (rename/schedule pipeline depth). This is also what opens the
+     * Section 3.2 hazard window: a reference morphed at decode can
+     * read the SVF before an older store's address has resolved in
+     * the execute stage.
+     */
+    unsigned schedLatency = 2;
+
+    /**
+     * Taken control transfers a single fetch cycle may follow.
+     * The paper's wide machines assume the aggressive multiple-
+     * branch-predicting front ends it cites (Section 6); one taken
+     * branch per cycle would otherwise cap call-heavy SPECint code
+     * far below the 16-wide core's throughput.
+     */
+    unsigned maxTakenPerFetch = 3;
+    /// @}
+
+    /** @name Stack reference handling */
+    /// @{
+    /** The SVF configuration (enabled flag lives inside). */
+    core::SvfUnitParams svf;
+
+    /** Use a decoupled stack cache instead of the SVF. */
+    bool stackCacheEnabled = false;
+    mem::StackCacheParams stackCache;
+
+    /**
+     * Figure 6's no_addr_cal_op: resolve $sp-relative addresses at
+     * decode (removing the base-register dependence) but still send
+     * the references to the DL1.
+     */
+    bool noAddrCalcOp = false;
+    /// @}
+
+    /** @name Context switching */
+    /// @{
+    /** Committed instructions between switches; 0 disables. */
+    std::uint64_t contextSwitchPeriod = 0;
+    /// @}
+
+    /** Table 2's 4-wide machine. */
+    static MachineConfig wide4();
+
+    /** Table 2's 8-wide machine. */
+    static MachineConfig wide8();
+
+    /** Table 2's 16-wide machine. */
+    static MachineConfig wide16();
+
+    /** A Table 2 machine by width (4, 8 or 16). */
+    static MachineConfig wide(unsigned w);
+};
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_MACHINE_CONFIG_HH

@@ -1,0 +1,649 @@
+#include "uarch/ooo_core.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace svf::uarch
+{
+
+OooCore::OooCore(const MachineConfig &config, sim::Emulator &oracle)
+    : cfg(config), oracle(oracle), _hier(config.hier),
+      ruu(config.ruuSize), lsq(config.lsqSize)
+{
+    svf = std::make_unique<core::SvfUnit>(cfg.svf,
+                                          isa::layout::StackBase);
+    if (cfg.stackCacheEnabled)
+        sc = std::make_unique<mem::StackCache>(cfg.stackCache, _hier);
+    bpred = makePredictor(cfg.bpred);
+    for (auto &r : renameMap)
+        r = NoProducer;
+}
+
+bool
+OooCore::srcsReady(const RuuEntry &e) const
+{
+    for (unsigned i = 0; i < e.nSrc; ++i) {
+        if (!ruu.producerReady(e.src[i], now))
+            return false;
+    }
+    return true;
+}
+
+void
+OooCore::resolveDisambiguation(RuuEntry &e, std::uint64_t idx)
+{
+    // All older store addresses are known; find the youngest older
+    // store overlapping this load. Stack locals are typically
+    // produced a few instructions earlier, so the backward scan is
+    // short in practice.
+    InstSeq front_seq = ruu.front().seq;
+    const isa::DecodedInst &ldi = *e.info.di;
+    for (std::uint64_t j = idx; j-- > 0;) {
+        const RuuEntry &s = ruu.bySeq(front_seq + j);
+        if (!s.isStore)
+            continue;
+        const isa::DecodedInst &sdi = *s.info.di;
+        if (rangesOverlap(s.info.ea, sdi.memSize, e.info.ea,
+                          ldi.memSize)) {
+            e.fwdStore = s.seq;
+            e.fwdCovers = rangeCovers(s.info.ea, sdi.memSize,
+                                      e.info.ea, ldi.memSize);
+            break;
+        }
+    }
+    e.disambigDone = true;
+}
+
+void
+OooCore::checkRerouteCollision(const RuuEntry &store, std::uint64_t idx)
+{
+    // Section 3.2: a store through a $gpr followed by a colliding
+    // load through $sp. The load was morphed at decode, before this
+    // store's address resolved, so it read a stale SVF value; a
+    // pipeline squash recovers.
+    InstSeq front_seq = ruu.front().seq;
+    InstSeq squash_from = NoProducer;
+    for (std::uint64_t j = idx + 1; j < ruu.size(); ++j) {
+        RuuEntry &ld = ruu.bySeq(front_seq + j);
+        if (!ld.isLoad || ld.route != MemRoute::SvfFast)
+            continue;
+        if ((ld.info.ea >> 3) != (store.info.ea >> 3))
+            continue;
+        if (ld.svfProducer != NoProducer &&
+            ld.svfProducer >= store.seq) {
+            continue;           // already repaired, or the load
+                                // depends on a newer store
+        }
+        ++_stats.squashes;
+        if (squash_from == NoProducer)
+            squash_from = ld.seq;
+        // Repair the dependence: the re-executed load forwards from
+        // this store through the MOB.
+        ld.svfProducer = store.seq;
+        ld.lsqForward = true;
+    }
+    if (squash_from != NoProducer) {
+        // Defer the pipeline squash to the end of the issue scan
+        // (removing entries would invalidate the scan's indices).
+        pendingSquashFrom = std::min(pendingSquashFrom, squash_from);
+    }
+}
+
+bool
+OooCore::tryIssueMem(RuuEntry &e, std::uint64_t idx,
+                     bool older_store_addr_unknown)
+{
+    if (e.isStore) {
+        // Issue = address generation (morphed stores: the register
+        // move itself, gated on the data instead). Sources must be
+        // ready: the base register for address generation, the data
+        // register for a morphed register move.
+        if (!srcsReady(e))
+            return false;
+        if (e.route == MemRoute::SvfFast) {
+            if (svfPortsUsed >= cfg.svf.svf.ports)
+                return false;
+            ++svfPortsUsed;
+        } else if (e.route == MemRoute::SvfReroute) {
+            // The bounds check and SVF write ride the SVF port at
+            // execute (the paper's "modest performance penalty"
+            // path); nothing further is needed at commit.
+            if (svfPortsUsed >= cfg.svf.svf.ports)
+                return false;
+            if (aluUsed >= cfg.intAlu)
+                return false;
+            ++svfPortsUsed;
+            ++aluUsed;
+        } else {
+            if (aluUsed >= cfg.intAlu)
+                return false;
+            ++aluUsed;
+        }
+        e.issued = true;
+        e.completeCycle = now + 1;
+        if (e.route == MemRoute::SvfReroute &&
+            !svf->params().noSquash) {
+            checkRerouteCollision(e, idx);
+        }
+        return true;
+    }
+
+    // Loads.
+    if (e.route == MemRoute::SvfFast) {
+        if (svfPortsUsed >= cfg.svf.svf.ports)
+            return false;
+        if (e.svfProducer != NoProducer) {
+            if (e.lsqForward) {
+                // Regular MOB forwarding from a non-morphed store.
+                if (!ruu.producerReady(e.svfProducer, now))
+                    return false;
+                if (ruu.contains(e.svfProducer)) {
+                    const RuuEntry &s = ruu.bySeq(e.svfProducer);
+                    if (!ruu.producerReady(s.dataProducer, now))
+                        return false;
+                }
+                ++svfPortsUsed;
+                e.issued = true;
+                e.completeCycle = now + cfg.storeForwardLat;
+                ++_stats.lsqForwards;
+                return true;
+            }
+            // Renamed register move from a morphed store.
+            if (!ruu.producerReady(e.svfProducer, now))
+                return false;
+        }
+        ++svfPortsUsed;
+        e.issued = true;
+        if (e.stackRef.fill) {
+            // Demand fill: one quadword read through the DL1 path.
+            e.completeCycle = now + _hier.data(e.info.ea, false);
+        } else {
+            e.completeCycle = now + cfg.svf.svf.hitLatency;
+        }
+        return true;
+    }
+
+    // Non-morphed loads go through the LSQ: they need their base
+    // register (unless the address resolved at decode), and all
+    // older store addresses must be known.
+    if (!srcsReady(e))
+        return false;
+    if (older_store_addr_unknown)
+        return false;
+    if (!e.disambigDone)
+        resolveDisambiguation(e, idx);
+
+    bool forward = false;
+    if (e.fwdStore != NoProducer && ruu.contains(e.fwdStore)) {
+        const RuuEntry &s = ruu.bySeq(e.fwdStore);
+        if (!e.fwdCovers) {
+            // Partial overlap: wait for the store to drain to the
+            // cache at commit.
+            return false;
+        }
+        if (!s.completed(now) ||
+            !ruu.producerReady(s.dataProducer, now)) {
+            return false;
+        }
+        forward = true;
+    }
+
+    unsigned agen_alu = e.earlyAddr ? 0 : 1;
+    if (aluUsed + agen_alu > cfg.intAlu)
+        return false;
+
+    unsigned latency = 0;
+    switch (e.route) {
+      case MemRoute::Dl1:
+        if (dl1PortsUsed >= cfg.dl1Ports)
+            return false;
+        ++dl1PortsUsed;
+        latency = forward ? cfg.storeForwardLat
+                          : _hier.data(e.info.ea, false);
+        break;
+      case MemRoute::StackCache: {
+        if (scPortsUsed >= sc->params().ports)
+            return false;
+        ++scPortsUsed;
+        if (forward) {
+            latency = cfg.storeForwardLat;
+        } else {
+            latency = sc->access(e.info.ea, false).latency;
+        }
+        break;
+      }
+      case MemRoute::SvfReroute:
+        if (svfPortsUsed >= cfg.svf.svf.ports)
+            return false;
+        ++svfPortsUsed;
+        if (forward) {
+            latency = cfg.storeForwardLat;
+        } else if (e.stackRef.fill) {
+            latency = cfg.agenLat + _hier.data(e.info.ea, false);
+        } else {
+            latency = cfg.agenLat + cfg.svf.svf.hitLatency;
+        }
+        break;
+      default:
+        panic("unexpected load route");
+    }
+    if (forward)
+        ++_stats.lsqForwards;
+
+    aluUsed += agen_alu;
+    e.issued = true;
+    e.completeCycle = now + latency;
+    return true;
+}
+
+void
+OooCore::doIssue()
+{
+    if (ruu.empty())
+        return;
+
+    bool older_store_addr_unknown = false;
+    InstSeq front_seq = ruu.front().seq;
+
+    // A store's address is known once its agen completed — or
+    // already at dispatch for decode-morphed references (that early
+    // resolution is the SVF's point; a morphed store gates its
+    // register-move issue on the data, not the address).
+    auto addr_unknown = [this](const RuuEntry &e) {
+        return e.isStore && !e.earlyAddr && !e.completed(now);
+    };
+
+    for (std::uint64_t idx = 0;
+         idx < ruu.size() && issueUsed < cfg.issueWidth; ++idx) {
+        RuuEntry &e = ruu.bySeq(front_seq + idx);
+        if (e.issued) {
+            if (addr_unknown(e))
+                older_store_addr_unknown = true;
+            continue;
+        }
+        if (now < e.dispatchCycle + cfg.schedLatency) {
+            if (addr_unknown(e))
+                older_store_addr_unknown = true;
+            continue;
+        }
+
+        const isa::DecodedInst &di = *e.info.di;
+        bool issued_now = false;
+
+        if (di.memRef) {
+            issued_now = tryIssueMem(e, idx, older_store_addr_unknown);
+        } else if (di.cls == isa::InstClass::IntMult) {
+            if (srcsReady(e) && multUsed < cfg.intMult) {
+                ++multUsed;
+                e.issued = true;
+                e.completeCycle = now + multLatency();
+                issued_now = true;
+            }
+        } else {
+            // IntAlu, Control, Sys: one-cycle ALU operations.
+            if (srcsReady(e) && aluUsed < cfg.intAlu) {
+                ++aluUsed;
+                e.issued = true;
+                e.completeCycle = now + 1;
+                issued_now = true;
+            }
+        }
+
+        if (issued_now) {
+            ++issueUsed;
+            if (e.mispredicted && fetchWaitSeq &&
+                *fetchWaitSeq == e.seq) {
+                fetchResumeCycle = e.completeCycle +
+                    cfg.redirectPenalty;
+                fetchWaitSeq.reset();
+            }
+        }
+        if (addr_unknown(e))
+            older_store_addr_unknown = true;
+    }
+
+    if (pendingSquashFrom != NoProducer) {
+        performReplay(pendingSquashFrom);
+        pendingSquashFrom = NoProducer;
+    }
+}
+
+void
+OooCore::performReplay(InstSeq from)
+{
+    // Pull the squashed tail out of the RUU, youngest first, into
+    // the replay queue (program order restored via push_front).
+    // SVF/cache architectural state was applied at first dispatch
+    // and is deliberately not re-applied on re-dispatch.
+    while (!ruu.empty() && ruu.back().seq >= from) {
+        RuuEntry e = std::move(ruu.back());
+        ruu.popBack();
+        if (e.info.di->memRef)
+            lsq.remove();
+        e.issued = false;
+        replayQueue.push_front(std::move(e));
+    }
+
+    // The register map may point at squashed instructions; rebuild
+    // it from the surviving window (re-dispatch restores the rest).
+    for (auto &r : renameMap)
+        r = NoProducer;
+    for (RuuEntry &e : ruu) {
+        RegIndex dest = e.info.di->destReg();
+        if (dest != isa::NoReg)
+            renameMap[dest] = e.seq;
+    }
+
+    // Front-end refill time for the refetched instructions.
+    dispatchStallUntil = std::max<Cycle>(
+        dispatchStallUntil, now + svf->params().squashPenalty);
+}
+
+void
+OooCore::doCommit()
+{
+    for (unsigned n = 0; n < cfg.commitWidth && !ruu.empty(); ++n) {
+        RuuEntry &e = ruu.front();
+        if (!e.completed(now))
+            break;
+
+        if (e.isStore) {
+            // The store leaves the window by writing its target
+            // structure; this needs a port in the commit cycle.
+            switch (e.route) {
+              case MemRoute::Dl1:
+                if (dl1PortsUsed >= cfg.dl1Ports)
+                    return;
+                ++dl1PortsUsed;
+                _hier.data(e.info.ea, true);
+                break;
+              case MemRoute::StackCache:
+                if (scPortsUsed >= sc->params().ports)
+                    return;
+                ++scPortsUsed;
+                sc->access(e.info.ea, true);
+                break;
+              case MemRoute::SvfReroute:
+              case MemRoute::SvfFast:
+                // These wrote the SVF on their port at issue.
+                break;
+            }
+        }
+
+        const isa::DecodedInst &di = *e.info.di;
+        if (di.memRef) {
+            lsq.remove();
+            if (di.load)
+                ++_stats.loads;
+            else
+                ++_stats.stores;
+        }
+        if (di.ctrl) {
+            ++_stats.branches;
+            if (e.mispredicted)
+                ++_stats.mispredicts;
+        }
+
+        specSp.onComplete(e.seq);
+        ruu.popFront();
+        ++_stats.committed;
+
+        if (cfg.contextSwitchPeriod &&
+            _stats.committed % cfg.contextSwitchPeriod == 0) {
+            ++_stats.ctxSwitches;
+            _stats.svfCtxBytes += svf->contextSwitchFlush();
+            if (sc)
+                _stats.scCtxBytes += sc->contextSwitchFlush();
+            _stats.dl1CtxLines += _hier.flushDl1(true);
+        }
+    }
+}
+
+void
+OooCore::doDispatch()
+{
+    for (unsigned n = 0; n < cfg.decodeWidth; ++n) {
+        if (now < dispatchStallUntil)
+            break;
+        if (specSp.blocked() &&
+            !ruu.producerReady(specSp.pendingWriter(), now)) {
+            break;
+        }
+
+        // Squashed instructions re-dispatch ahead of new fetches;
+        // their renaming is restored but their architectural SVF
+        // effects are not re-applied.
+        if (!replayQueue.empty()) {
+            if (ruu.full())
+                break;
+            RuuEntry &head = replayQueue.front();
+            if (head.info.di->memRef && lsq.full())
+                break;
+            RuuEntry e = std::move(head);
+            replayQueue.pop_front();
+            RegIndex dest = e.info.di->destReg();
+            if (dest != isa::NoReg)
+                renameMap[dest] = e.seq;
+            if (e.isStore && (e.route == MemRoute::SvfFast ||
+                              e.route == MemRoute::SvfReroute)) {
+                stackStores.record(e.info.ea, e.seq);
+            }
+            if (e.info.di->memRef)
+                lsq.add();
+            e.dispatchCycle = now;
+            ruu.push(std::move(e));
+            continue;
+        }
+
+        if (ifq.empty() || ruu.full())
+            break;
+
+        FetchedInst &f = ifq.front();
+        const isa::DecodedInst &di = *f.info.di;
+        if (di.memRef && lsq.full())
+            break;
+
+        RuuEntry e;
+        e.seq = f.info.seq;
+        e.info = f.info;
+        e.mispredicted = f.mispredicted;
+
+        // Classify against the SVF and apply its architectural
+        // effects in program order.
+        e.stackRef = svf->classifyAndApply(f.info);
+
+        if (di.memRef) {
+            e.isLoad = di.load;
+            e.isStore = di.store;
+            switch (e.stackRef.kind) {
+              case core::StackRefKind::MorphLoad:
+              case core::StackRefKind::MorphStore:
+                e.route = MemRoute::SvfFast;
+                e.earlyAddr = true;
+                break;
+              case core::StackRefKind::RerouteLoad:
+              case core::StackRefKind::RerouteStore:
+                e.route = MemRoute::SvfReroute;
+                break;
+              default:
+                if (sc && sim::classify(f.info.ea) ==
+                          sim::Region::Stack) {
+                    e.route = MemRoute::StackCache;
+                } else {
+                    e.route = MemRoute::Dl1;
+                }
+                // $sp-relative addresses resolve at decode whenever
+                // the front end computes them (SVF bounds check or
+                // the no_addr_cal_op idealization).
+                e.earlyAddr = di.isSpBased() &&
+                    (svf->enabled() || cfg.noAddrCalcOp);
+                break;
+            }
+        }
+
+        // Operand dependencies.
+        auto rename_of = [&](RegIndex r) -> InstSeq {
+            return renameMap[r];
+        };
+        if (e.route == MemRoute::SvfFast) {
+            if (e.isStore) {
+                // Morphed store: a register move gated on its data.
+                if (di.ra != isa::RegZero)
+                    e.src[e.nSrc++] = rename_of(di.ra);
+            } else {
+                // Morphed load: source comes from the SVF rename
+                // path (or LSQ forwarding; see below).
+                InstSeq producer = stackStores.lookup(
+                    f.info.ea, ruu.empty() ? e.seq
+                                           : ruu.front().seq);
+                if (producer != StoreWordMap::NoStore &&
+                    ruu.contains(producer)) {
+                    const RuuEntry &s = ruu.bySeq(producer);
+                    // The morph consults the rename table in the
+                    // decode stage, a few cycles before this
+                    // dispatch commitment point; a store resolved
+                    // since then was still unknown to the morph.
+                    Cycle decode_time =
+                        now > cfg.schedLatency + 2
+                            ? now - (cfg.schedLatency + 2) : 0;
+                    if (s.route == MemRoute::SvfFast) {
+                        e.svfProducer = producer;
+                    } else if (s.completed(decode_time) ||
+                               svf->params().noSquash) {
+                        // Address already resolved (or the no-squash
+                        // code generator ordered us after it):
+                        // regular MOB store forwarding.
+                        e.svfProducer = producer;
+                        e.lsqForward = true;
+                    }
+                    // Otherwise: stale SVF read; the collision is
+                    // detected when the store's address resolves
+                    // (checkRerouteCollision).
+                }
+            }
+        } else if (di.memRef) {
+            if (e.isStore) {
+                if (!e.earlyAddr && di.rb != isa::RegZero)
+                    e.src[e.nSrc++] = rename_of(di.rb);
+                if (di.ra != isa::RegZero)
+                    e.dataProducer = rename_of(di.ra);
+            } else {
+                if (!e.earlyAddr && di.rb != isa::RegZero)
+                    e.src[e.nSrc++] = rename_of(di.rb);
+            }
+        } else {
+            RegIndex srcs[2];
+            unsigned ns = di.srcRegs(srcs);
+            for (unsigned i = 0; i < ns; ++i)
+                e.src[e.nSrc++] = rename_of(srcs[i]);
+        }
+
+        // Register renaming.
+        RegIndex dest = di.destReg();
+        if (dest != isa::NoReg)
+            renameMap[dest] = e.seq;
+        if (e.isStore && (e.route == MemRoute::SvfFast ||
+                          e.route == MemRoute::SvfReroute)) {
+            stackStores.record(f.info.ea, e.seq);
+        }
+
+        if (specSp.onDispatch(di, e.seq))
+            ++_stats.spInterlocks;
+
+        if (di.memRef)
+            lsq.add();
+        e.dispatchCycle = now;
+        ruu.push(std::move(e));
+        ifq.pop_front();
+    }
+}
+
+void
+OooCore::doFetch()
+{
+    if (now < fetchResumeCycle || fetchWaitSeq)
+        return;
+
+    unsigned taken_budget = cfg.maxTakenPerFetch;
+    for (unsigned n = 0; n < cfg.fetchWidth; ++n) {
+        if (ifq.size() >= cfg.ifqSize)
+            break;
+        if (!fetchBuffer) {
+            if (oracleDone || fetchBudget == 0) {
+                oracleDone = true;
+                break;
+            }
+            sim::ExecInfo info;
+            if (!oracle.step(info)) {
+                oracleDone = true;
+                break;
+            }
+            --fetchBudget;
+            fetchBuffer = info;
+        }
+
+        // Instruction cache: charge a stall when the fetch group
+        // jumps into a missing line. Sequential next-line misses
+        // are hidden by a stream buffer (the fill was started when
+        // the previous line was fetched), so straight-line code
+        // never stalls; only taken-branch targets can miss.
+        Addr line = alignDown(fetchBuffer->pc,
+                              cfg.hier.il1.lineSize);
+        if (line != lastFetchLine) {
+            bool sequential =
+                line == lastFetchLine + cfg.hier.il1.lineSize;
+            unsigned lat = _hier.fetch(fetchBuffer->pc);
+            lastFetchLine = line;
+            if (!sequential && lat > cfg.hier.il1.hitLatency) {
+                fetchResumeCycle = now + lat;
+                break;
+            }
+        }
+
+        FetchedInst f;
+        f.info = *fetchBuffer;
+        fetchBuffer.reset();
+
+        bool is_ctrl = f.info.di->ctrl;
+        if (is_ctrl)
+            f.mispredicted = !bpred->predictAndUpdate(f.info);
+
+        bool taken = is_ctrl && f.info.taken;
+        bool stop_group = f.mispredicted ||
+            (taken && --taken_budget == 0);
+        if (f.mispredicted)
+            fetchWaitSeq = f.info.seq;
+
+        ifq.push_back(std::move(f));
+        if (stop_group)
+            break;
+    }
+}
+
+void
+OooCore::run(std::uint64_t max_insts)
+{
+    fetchBudget = max_insts;
+    const Cycle deadlock_limit = 1'000'000'000;
+
+    while (!(oracleDone && !fetchBuffer && ifq.empty() &&
+             ruu.empty() && replayQueue.empty())) {
+        ++now;
+        aluUsed = multUsed = 0;
+        dl1PortsUsed = svfPortsUsed = scPortsUsed = 0;
+        issueUsed = 0;
+
+        doCommit();
+        doIssue();
+        doDispatch();
+        doFetch();
+
+        if (now > deadlock_limit)
+            panic("pipeline deadlock: no forward progress by cycle "
+                  "%llu", static_cast<unsigned long long>(now));
+    }
+
+    _stats.cycles = now;
+}
+
+} // namespace svf::uarch

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cycle-level out-of-order core in the style of SimpleScalar's
+ * sim-outorder (RUU + LSQ), extended with the paper's stack value
+ * file, the decoupled stack cache comparator and the no_addr_cal_op
+ * idealization.
+ *
+ * The model is timing-directed by an execute-ahead functional oracle:
+ * the architectural instruction stream (with effective addresses and
+ * branch outcomes) comes from sim::Emulator, and this class models
+ * when each instruction would fetch, dispatch, issue, complete and
+ * commit. Branch mispredictions stall fetch until the branch
+ * resolves (wrong-path instructions are not executed; the paper's
+ * headline experiments use a perfect predictor where this is exact).
+ */
+
+#ifndef SVF_UARCH_OOO_CORE_HH
+#define SVF_UARCH_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "core/spec_sp.hh"
+#include "core/svf_unit.hh"
+#include "mem/hierarchy.hh"
+#include "mem/stack_cache.hh"
+#include "uarch/bpred.hh"
+#include "uarch/lsq.hh"
+#include "uarch/machine_config.hh"
+#include "uarch/ruu.hh"
+
+namespace svf::uarch
+{
+
+/** Aggregate run statistics. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t spInterlocks = 0;
+    std::uint64_t lsqForwards = 0;
+
+    std::uint64_t ctxSwitches = 0;
+    std::uint64_t svfCtxBytes = 0;
+    std::uint64_t scCtxBytes = 0;
+    std::uint64_t dl1CtxLines = 0;
+
+    /** Committed instructions per cycle. */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+};
+
+/**
+ * The pipeline model. Construct with a config and a fresh oracle,
+ * call run(), then read stats()/hier()/svfUnit() for results.
+ */
+class OooCore
+{
+  public:
+    /**
+     * @param config machine shape and stack-handling options.
+     * @param oracle functional emulator positioned at the entry
+     *               point; the core owns its advancement.
+     */
+    OooCore(const MachineConfig &config, sim::Emulator &oracle);
+
+    /**
+     * Simulate until the program halts and drains, or until
+     * @p max_insts instructions have been fetched and drained.
+     */
+    void run(std::uint64_t max_insts = ~std::uint64_t(0));
+
+    const CoreStats &stats() const { return _stats; }
+    mem::MemHierarchy &hier() { return _hier; }
+    const mem::MemHierarchy &hier() const { return _hier; }
+    core::SvfUnit &svfUnit() { return *svf; }
+    const core::SvfUnit &svfUnit() const { return *svf; }
+    const mem::StackCache *stackCache() const { return sc.get(); }
+    const BranchPredictor &predictor() const { return *bpred; }
+
+  private:
+    /** One fetched-but-not-dispatched instruction. */
+    struct FetchedInst
+    {
+        sim::ExecInfo info;
+        bool mispredicted = false;
+    };
+
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    /**
+     * Squash recovery: remove every instruction from @p from on
+     * from the RUU and queue it for re-dispatch (dependencies and
+     * SVF classifications are preserved; issue slots, ports and
+     * latencies are paid again).
+     */
+    void performReplay(InstSeq from);
+
+    bool srcsReady(const RuuEntry &e) const;
+    bool tryIssueMem(RuuEntry &e, std::uint64_t idx,
+                     bool older_store_addr_unknown);
+    void resolveDisambiguation(RuuEntry &e, std::uint64_t idx);
+    void checkRerouteCollision(const RuuEntry &store,
+                               std::uint64_t idx);
+    unsigned multLatency() const { return 3; }
+
+    MachineConfig cfg;
+    sim::Emulator &oracle;
+    mem::MemHierarchy _hier;
+    std::unique_ptr<core::SvfUnit> svf;
+    std::unique_ptr<mem::StackCache> sc;
+    std::unique_ptr<BranchPredictor> bpred;
+    core::SpecSpTracker specSp;
+
+    Ruu ruu;
+    LsqTracker lsq;
+    StoreWordMap stackStores;
+    std::deque<FetchedInst> ifq;
+    std::deque<RuuEntry> replayQueue;
+    InstSeq pendingSquashFrom = NoProducer;
+
+    /** Architectural register -> youngest in-flight producer. */
+    InstSeq renameMap[isa::NumRegs];
+
+    Cycle now = 0;
+    CoreStats _stats;
+
+    /** @name Per-cycle resource counters */
+    /// @{
+    unsigned aluUsed = 0;
+    unsigned multUsed = 0;
+    unsigned dl1PortsUsed = 0;
+    unsigned svfPortsUsed = 0;
+    unsigned scPortsUsed = 0;
+    unsigned issueUsed = 0;
+    /// @}
+
+    /** @name Front-end state */
+    /// @{
+    bool oracleDone = false;
+    std::optional<sim::ExecInfo> fetchBuffer;
+    std::uint64_t fetchBudget = ~std::uint64_t(0);
+    Cycle fetchResumeCycle = 0;
+    std::optional<InstSeq> fetchWaitSeq;    //!< mispredicted branch
+    Addr lastFetchLine = ~Addr(0);
+    /// @}
+
+    Cycle dispatchStallUntil = 0;
+};
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_OOO_CORE_HH

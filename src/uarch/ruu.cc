@@ -1,0 +1,8 @@
+/**
+ * @file
+ * The RUU is header-only; this translation unit exists to give the
+ * header a home in the library and to hold any future out-of-line
+ * definitions.
+ */
+
+#include "uarch/ruu.hh"

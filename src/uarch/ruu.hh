@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The Register Update Unit: the unified reservation-station +
+ * reorder-buffer structure of Sohi and Vajapeyam that SimpleScalar's
+ * out-of-order model (and therefore the paper) uses.
+ */
+
+#ifndef SVF_UARCH_RUU_HH
+#define SVF_UARCH_RUU_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "base/types.hh"
+#include "core/svf_unit.hh"
+#include "sim/emulator.hh"
+
+namespace svf::uarch
+{
+
+/** Sentinel producer meaning "operand ready at dispatch". */
+constexpr InstSeq NoProducer = ~InstSeq(0);
+
+/** Which structure services a memory reference. */
+enum class MemRoute : std::uint8_t
+{
+    Dl1,
+    StackCache,
+    SvfFast,                    //!< decode-morphed SVF reference
+    SvfReroute,                 //!< bounds-check rerouted SVF reference
+};
+
+/** One in-flight instruction. */
+struct RuuEntry
+{
+    InstSeq seq = 0;
+    sim::ExecInfo info;
+
+    /** @name Operand dependencies (producer sequence numbers) */
+    /// @{
+    InstSeq src[2] = {NoProducer, NoProducer};
+    unsigned nSrc = 0;
+
+    /** Store data producer (checked at forward time, not issue). */
+    InstSeq dataProducer = NoProducer;
+    /// @}
+
+    /** @name Memory reference handling */
+    /// @{
+    bool isLoad = false;
+    bool isStore = false;
+
+    core::StackRefInfo stackRef;
+    MemRoute route = MemRoute::Dl1;
+
+    /** Address known at dispatch (morphed / no_addr_cal_op). */
+    bool earlyAddr = false;
+
+    /** Load disambiguation memoization. */
+    bool disambigDone = false;
+    InstSeq fwdStore = NoProducer;      //!< matching older store
+    bool fwdCovers = false;             //!< store covers the load
+
+    /** Morphed load: SVF rename source (a morphed store), if any. */
+    InstSeq svfProducer = NoProducer;
+
+    /** Forward through the LSQ instead of the SVF rename path. */
+    bool lsqForward = false;
+    /// @}
+
+    /** @name Execution state */
+    /// @{
+    Cycle dispatchCycle = 0;
+    bool issued = false;
+    Cycle completeCycle = 0;            //!< valid once issued
+    bool mispredicted = false;          //!< resolved-late branch
+    /// @}
+
+    /** Is the result available at cycle @p now? */
+    bool completed(Cycle now) const
+    {
+        return issued && completeCycle <= now;
+    }
+};
+
+/**
+ * The RUU proper: a bounded FIFO of in-flight instructions with
+ * sequence-number lookup.
+ */
+class Ruu
+{
+  public:
+    /** @param size maximum in-flight instructions. */
+    explicit Ruu(unsigned size) : capacity(size) {}
+
+    bool full() const { return entries.size() >= capacity; }
+    bool empty() const { return entries.empty(); }
+    size_t size() const { return entries.size(); }
+
+    /** Append at the tail (dispatch). */
+    RuuEntry &push(RuuEntry &&e)
+    {
+        entries.push_back(std::move(e));
+        return entries.back();
+    }
+
+    /** Oldest entry. */
+    RuuEntry &front() { return entries.front(); }
+
+    /** Youngest entry. */
+    RuuEntry &back() { return entries.back(); }
+
+    /** Remove the oldest entry (commit). */
+    void popFront() { entries.pop_front(); }
+
+    /** Remove the youngest entry (squash/replay). */
+    void popBack() { entries.pop_back(); }
+
+    /** Is @p seq still in flight? */
+    bool contains(InstSeq seq) const
+    {
+        return !entries.empty() && seq >= entries.front().seq &&
+               seq <= entries.back().seq;
+    }
+
+    /** Entry for @p seq; caller must check contains(). */
+    RuuEntry &bySeq(InstSeq seq)
+    {
+        return entries[seq - entries.front().seq];
+    }
+
+    const RuuEntry &bySeq(InstSeq seq) const
+    {
+        return entries[seq - entries.front().seq];
+    }
+
+    /**
+     * Is the value produced by @p seq available at @p now? Producers
+     * that already left the RUU are architectural and always ready.
+     */
+    bool producerReady(InstSeq seq, Cycle now) const
+    {
+        if (seq == NoProducer || !contains(seq))
+            return true;
+        return bySeq(seq).completed(now);
+    }
+
+    /** Iteration support (oldest first). */
+    auto begin() { return entries.begin(); }
+    auto end() { return entries.end(); }
+    auto begin() const { return entries.begin(); }
+    auto end() const { return entries.end(); }
+
+  private:
+    unsigned capacity;
+    std::deque<RuuEntry> entries;
+};
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_RUU_HH

@@ -1,0 +1,95 @@
+#include "workloads/calibration.hh"
+
+#include "sim/emulator.hh"
+#include "sim/region.hh"
+
+namespace svf::workloads
+{
+
+StackProfile
+profileProgram(const isa::Program &prog, std::uint64_t max_insts,
+               unsigned depth_samples)
+{
+    sim::Emulator emu(prog);
+    StackProfile p;
+
+    // Offset histogram in power-of-two byte buckets up to 2^24.
+    constexpr unsigned OffsetBuckets = 25;
+    std::vector<std::uint64_t> offset_hist(OffsetBuckets + 1, 0);
+    double offset_sum = 0.0;
+
+    std::uint64_t sample_every = max_insts / depth_samples;
+    if (sample_every == 0)
+        sample_every = 1;
+
+    sim::ExecInfo info;
+    while (p.insts < max_insts && emu.step(info)) {
+        ++p.insts;
+
+        if (info.spWritten || p.insts % sample_every == 0) {
+            Addr sp = emu.reg(isa::RegSP);
+            std::uint64_t depth =
+                (isa::layout::StackBase - sp) / 8;
+            if (depth > p.maxDepthWords)
+                p.maxDepthWords = depth;
+            if (p.insts % sample_every == 0)
+                p.depthSamples.emplace_back(p.insts, depth);
+        }
+
+        if (!info.di->memRef)
+            continue;
+        ++p.memRefs;
+        switch (sim::classify(info.ea)) {
+          case sim::Region::Stack: {
+            ++p.stackRefs;
+            switch (sim::methodOf(info.di->rb)) {
+              case sim::AccessMethod::Sp: ++p.stackSp; break;
+              case sim::AccessMethod::Fp: ++p.stackFp; break;
+              case sim::AccessMethod::Gpr: ++p.stackGpr; break;
+            }
+            Addr sp = emu.reg(isa::RegSP);
+            if (info.ea < sp) {
+                ++p.belowTos;
+            } else {
+                std::uint64_t off = info.ea - sp;
+                offset_sum += static_cast<double>(off);
+                unsigned b = 0;
+                while ((std::uint64_t(1) << b) < off + 1 &&
+                       b < OffsetBuckets) {
+                    ++b;
+                }
+                ++offset_hist[b];
+            }
+            break;
+          }
+          case sim::Region::Global: ++p.globalRefs; break;
+          case sim::Region::Heap: ++p.heapRefs; break;
+          default: ++p.otherRefs; break;
+        }
+    }
+
+    std::uint64_t on_stack = p.stackRefs - p.belowTos;
+    if (on_stack > 0) {
+        p.avgOffsetBytes = offset_sum / static_cast<double>(on_stack);
+        std::uint64_t acc = 0;
+        p.offsetCdf.resize(OffsetBuckets + 1, 0.0);
+        std::uint64_t w256 = 0;
+        std::uint64_t w8k = 0;
+        for (unsigned b = 0; b <= OffsetBuckets; ++b) {
+            acc += offset_hist[b];
+            p.offsetCdf[b] =
+                static_cast<double>(acc) / static_cast<double>(on_stack);
+            if ((std::uint64_t(1) << b) <= 256)
+                w256 = acc;
+            if ((std::uint64_t(1) << b) <= 8192)
+                w8k = acc;
+        }
+        p.within256 = static_cast<double>(w256) /
+            static_cast<double>(on_stack);
+        p.within8k = static_cast<double>(w8k) /
+            static_cast<double>(on_stack);
+    }
+    return p;
+}
+
+} // namespace svf::workloads

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Stack-behaviour profiling of workloads (Section 2 of the paper:
+ * Figures 1, 2 and 3).
+ */
+
+#ifndef SVF_WORKLOADS_CALIBRATION_HH
+#define SVF_WORKLOADS_CALIBRATION_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace svf::workloads
+{
+
+/** Figure 1-3 statistics for one workload run. */
+struct StackProfile
+{
+    std::uint64_t insts = 0;
+    std::uint64_t memRefs = 0;
+
+    /** @name Figure 1: references by region */
+    /// @{
+    std::uint64_t stackRefs = 0;
+    std::uint64_t globalRefs = 0;
+    std::uint64_t heapRefs = 0;
+    std::uint64_t otherRefs = 0;
+    /// @}
+
+    /** @name Figure 1: stack references by access method */
+    /// @{
+    std::uint64_t stackSp = 0;
+    std::uint64_t stackFp = 0;
+    std::uint64_t stackGpr = 0;
+    /// @}
+
+    /** @name Figure 2: stack depth over time */
+    /// @{
+    /** Max depth in 64-bit units (the paper's Figure 2 y-axis). */
+    std::uint64_t maxDepthWords = 0;
+
+    /** (instruction count, depth in words) samples. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> depthSamples;
+    /// @}
+
+    /** @name Figure 3: offset-from-TOS locality */
+    /// @{
+    double avgOffsetBytes = 0.0;
+
+    /** Fraction of stack references within 8KB of the TOS. */
+    double within8k = 0.0;
+
+    /** Fraction within 256 bytes of the TOS. */
+    double within256 = 0.0;
+
+    /** References below the current TOS (the paper observes none). */
+    std::uint64_t belowTos = 0;
+
+    /** Cumulative fraction of stack refs at offset <= 2^k bytes. */
+    std::vector<double> offsetCdf;
+    /// @}
+
+    double stackFraction() const
+    {
+        return memRefs ? double(stackRefs) / double(memRefs) : 0.0;
+    }
+
+    double spFraction() const
+    {
+        return stackRefs ? double(stackSp) / double(stackRefs) : 0.0;
+    }
+};
+
+/**
+ * Run @p prog functionally and collect its stack profile.
+ *
+ * @param prog the program.
+ * @param max_insts instruction budget.
+ * @param depth_samples how many Figure 2 time samples to keep.
+ */
+StackProfile profileProgram(const isa::Program &prog,
+                            std::uint64_t max_insts,
+                            unsigned depth_samples = 256);
+
+} // namespace svf::workloads
+
+#endif // SVF_WORKLOADS_CALIBRATION_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Helpers shared by the workload kernels.
+ */
+
+#ifndef SVF_WORKLOADS_COMMON_HH
+#define SVF_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "isa/builder.hh"
+
+namespace svf::workloads
+{
+
+/** Deterministic seed derived from a workload name + input name. */
+std::uint64_t inputSeed(const std::string &workload,
+                        const std::string &input);
+
+/** Allocate a byte buffer in the heap region, quadword padded. */
+Addr allocHeapBytes(isa::ProgramBuilder &pb,
+                    const std::vector<std::uint8_t> &bytes);
+
+/** Render a signed value the way the putint syscall prints it. */
+std::string putintLine(std::uint64_t v);
+
+/** The multiplicative hash constant the kernels share. */
+constexpr std::uint64_t HashMul = 0x9e3779b97f4a7c15ULL;
+
+/** One round of the mixing function the kernels use host-side. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x *= HashMul;
+    x ^= x >> 29;
+    return x;
+}
+
+} // namespace svf::workloads
+
+#endif // SVF_WORKLOADS_COMMON_HH

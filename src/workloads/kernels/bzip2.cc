@@ -1,0 +1,349 @@
+/**
+ * @file
+ * 256.bzip2 stand-in: move-to-front transform + zero-run counting
+ * over a byte buffer.
+ *
+ * Stack personality (matching the paper's bzip2 data): very shallow
+ * call tree of two leaf helpers invoked once per input byte, tiny
+ * frames, and argument spill/reload pairs that sit within a few
+ * bytes of the TOS (the paper reports an average reference distance
+ * of 2.5 bytes from TOS for bzip2).
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+/** Generate the input buffer ("graphic" = run-heavy, "program" =
+ *  text-like small alphabet). */
+std::vector<std::uint8_t>
+makeInput(const std::string &input, std::uint64_t scale)
+{
+    Rng rng(inputSeed("bzip2", input));
+    std::vector<std::uint8_t> buf(scale);
+    if (input == "graphic") {
+        std::uint8_t cur = 0;
+        for (auto &b : buf) {
+            if (rng.below(8) == 0)
+                cur = static_cast<std::uint8_t>(rng.below(256));
+            b = cur;
+        }
+    } else {
+        for (auto &b : buf) {
+            if (rng.below(10) < 9)
+                b = static_cast<std::uint8_t>(rng.below(16));
+            else
+                b = static_cast<std::uint8_t>(rng.below(256));
+        }
+    }
+    return buf;
+}
+
+constexpr std::uint64_t BlockStride = 256;
+constexpr std::uint64_t BlockLen = 48;
+
+/** Lomuto quicksort, last-element pivot: degrades to deep linear
+ *  recursion on run-heavy data, exactly like bzip2's qsort3 on the
+ *  "graphic" input (Figure 2 shows bzip2's deep sort excursions). */
+void
+blockSort(std::vector<std::uint64_t> &w, std::int64_t lo,
+          std::int64_t hi)
+{
+    if (lo >= hi)
+        return;
+    std::uint64_t pivot = w[static_cast<size_t>(hi)];
+    std::int64_t i = lo - 1;
+    for (std::int64_t j = lo; j < hi; ++j) {
+        if (w[static_cast<size_t>(j)] <= pivot) {
+            ++i;
+            std::swap(w[static_cast<size_t>(i)],
+                      w[static_cast<size_t>(j)]);
+        }
+    }
+    std::swap(w[static_cast<size_t>(i + 1)],
+              w[static_cast<size_t>(hi)]);
+    blockSort(w, lo, i);
+    blockSort(w, i + 2, hi);
+}
+
+} // anonymous namespace
+
+std::string
+expectBzip2(const std::string &input, std::uint64_t scale)
+{
+    std::vector<std::uint8_t> buf = makeInput(input, scale);
+
+    // Phase 1: block sorting (suffix-sort stand-in).
+    std::uint64_t sort_cs = 0;
+    std::vector<std::uint64_t> work(BlockLen);
+    for (std::uint64_t base = 0; base + BlockLen <= buf.size();
+         base += BlockStride) {
+        for (std::uint64_t i = 0; i < BlockLen; ++i)
+            work[i] = buf[base + i];
+        blockSort(work, 0, static_cast<std::int64_t>(BlockLen) - 1);
+        sort_cs = sort_cs * 3 + work[0] + work[BlockLen / 2] +
+                  work[BlockLen - 1];
+    }
+
+    std::uint8_t table[256];
+    for (unsigned i = 0; i < 256; ++i)
+        table[i] = static_cast<std::uint8_t>(i);
+
+    std::uint64_t checksum = 0;
+    std::uint64_t zero_runs = 0;
+    for (std::uint8_t b : buf) {
+        unsigned j = 0;
+        while (table[j] != b)
+            ++j;
+        for (unsigned k = j; k > 0; --k)
+            table[k] = table[k - 1];
+        table[0] = b;
+        checksum = checksum * 31 + j;
+        if (j == 0)
+            ++zero_runs;
+    }
+    return putintLine(sort_cs) + putintLine(checksum) +
+           putintLine(zero_runs);
+}
+
+isa::Program
+buildBzip2(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+
+    std::vector<std::uint8_t> buf = makeInput(input, scale);
+
+    ProgramBuilder pb("bzip2." + input);
+    Addr table_addr = pb.allocDataZero(256, 8);
+    Addr buf_addr = allocHeapBytes(pb, buf);
+    Addr work_addr = pb.allocHeap(BlockLen * 8, 8);
+
+    Label l_main = pb.newLabel();
+    Label l_qsort = pb.newLabel();
+    Label l_mtf = pb.newLabel();
+    Label l_crc = pb.newLabel();
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+
+    // Initialize the MTF table to the identity permutation.
+    pb.li(RegS5, table_addr);
+    pb.li(RegT0, 0);
+    pb.li(RegT6, 256);
+    Label l_init = pb.here();
+    pb.addq(RegS5, RegT0, RegT1);
+    pb.stb(RegT0, 0, RegT1);
+    pb.addqi(RegT0, 1, RegT0);
+    pb.cmplt(RegT0, RegT6, RegT2);
+    pb.bne(RegT2, l_init);
+
+    // ---- phase 1: block sorting ----
+    pb.li(RegS3, buf_addr);
+    pb.li(RegS4, work_addr);            // shared with qsort
+    pb.li(RegS0, 0);                    // block base
+    pb.li(RegS1, 0);                    // sort checksum
+    {
+        std::uint64_t nblocks =
+            buf.size() >= BlockLen
+                ? (buf.size() - BlockLen) / BlockStride + 1 : 0;
+        pb.li(RegS2, nblocks);
+    }
+    Label l_blocks_done = pb.newLabel();
+    pb.beq(RegS2, l_blocks_done);
+    Label l_block = pb.here();
+    // Copy the block into the work array as quadwords.
+    pb.addq(RegS3, RegS0, RegT0);       // &buf[base]
+    pb.li(RegT1, 0);
+    pb.li(RegT4, BlockLen);
+    Label l_copy = pb.here();
+    pb.addq(RegT0, RegT1, RegT2);
+    pb.ldbu(RegT3, 0, RegT2);
+    pb.slli(RegT1, 3, RegT2);
+    pb.addq(RegS4, RegT2, RegT2);
+    pb.stq(RegT3, 0, RegT2);
+    pb.addqi(RegT1, 1, RegT1);
+    pb.cmplt(RegT1, RegT4, RegT2);
+    pb.bne(RegT2, l_copy);
+    // Sort it.
+    pb.li(RegA0, 0);
+    pb.li(RegA1, BlockLen - 1);
+    pb.call(l_qsort);
+    // sort_cs = sort_cs*3 + work[0] + work[len/2] + work[len-1]
+    pb.mulqi(RegS1, 3, RegS1);
+    pb.ldq(RegT0, 0, RegS4);
+    pb.addq(RegS1, RegT0, RegS1);
+    pb.ldq(RegT0, (BlockLen / 2) * 8, RegS4);
+    pb.addq(RegS1, RegT0, RegS1);
+    pb.ldq(RegT0, (BlockLen - 1) * 8, RegS4);
+    pb.addq(RegS1, RegT0, RegS1);
+    pb.li(RegT0, BlockStride);
+    pb.addq(RegS0, RegT0, RegS0);
+    pb.subqi(RegS2, 1, RegS2);
+    pb.bne(RegS2, l_block);
+    pb.bind(l_blocks_done);
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+
+    // ---- phase 2: move-to-front ----
+    pb.li(RegS3, buf_addr);             // buffer base
+    pb.li(RegS4, buf.size());           // byte count
+    pb.li(RegS0, 0);                    // i
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, 0);                    // zero-run count
+
+    Label l_loop = pb.here();
+    pb.addq(RegS3, RegS0, RegT0);
+    pb.ldbu(RegA0, 0, RegT0);           // a0 = buf[i]
+    pb.call(l_mtf);                     // v0 = MTF index
+
+    pb.mov(RegS1, RegA0);
+    pb.mov(RegV0, RegA1);
+    pb.mov(RegV0, RegS6);               // keep index across the call
+    pb.call(l_crc);                     // v0 = checksum*31 + index
+    pb.mov(RegV0, RegS1);
+
+    Label l_nz = pb.newLabel();
+    pb.bne(RegS6, l_nz);
+    pb.addqi(RegS2, 1, RegS2);
+    pb.bind(l_nz);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS4, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.mov(RegS2, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- qsort(a0 = lo, a1 = hi); work base in $s4 ----
+    // Frame slots: 0 lo, 1 hi, 2 i, 3 j (64-byte frames whose
+    // recursion depth degrades linearly on run-heavy blocks).
+    pb.bind(l_qsort);
+    FunctionBuilder qs_fb(pb, FrameSpec{40, true, false, false, {}});
+    qs_fb.prologue();
+    Label l_qs_ret = pb.newLabel();
+    pb.cmplt(RegA0, RegA1, RegT0);      // lo < hi?
+    pb.beq(RegT0, l_qs_ret);
+    pb.stq(RegA0, 0, RegSP);
+    pb.stq(RegA1, 8, RegSP);
+
+    // pivot = work[hi]
+    pb.slli(RegA1, 3, RegT0);
+    pb.addq(RegS4, RegT0, RegT0);
+    pb.ldq(RegT7, 0, RegT0);            // pivot
+    pb.subqi(RegA0, 1, RegT5);          // i = lo - 1
+    pb.mov(RegA0, RegT6);               // j = lo
+    Label l_part = pb.here();
+    Label l_part_done = pb.newLabel();
+    pb.ldq(RegT0, 8, RegSP);            // hi
+    pb.cmplt(RegT6, RegT0, RegT1);      // j < hi?
+    pb.beq(RegT1, l_part_done);
+    pb.slli(RegT6, 3, RegT0);
+    pb.addq(RegS4, RegT0, RegT0);
+    pb.ldq(RegT1, 0, RegT0);            // work[j]
+    Label l_noswap = pb.newLabel();
+    pb.cmpule(RegT1, RegT7, RegT2);     // work[j] <= pivot?
+    pb.beq(RegT2, l_noswap);
+    pb.addqi(RegT5, 1, RegT5);          // ++i
+    pb.slli(RegT5, 3, RegT2);
+    pb.addq(RegS4, RegT2, RegT2);
+    pb.ldq(RegT3, 0, RegT2);            // work[i]
+    pb.stq(RegT1, 0, RegT2);            // work[i] = work[j]
+    pb.stq(RegT3, 0, RegT0);            // work[j] = old work[i]
+    pb.bind(l_noswap);
+    pb.addqi(RegT6, 1, RegT6);
+    pb.br(l_part);
+    pb.bind(l_part_done);
+
+    // swap work[i+1], work[hi]
+    pb.addqi(RegT5, 1, RegT5);          // q = i + 1
+    pb.slli(RegT5, 3, RegT0);
+    pb.addq(RegS4, RegT0, RegT0);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.ldq(RegT2, 8, RegSP);            // hi
+    pb.slli(RegT2, 3, RegT2);
+    pb.addq(RegS4, RegT2, RegT2);
+    pb.ldq(RegT3, 0, RegT2);
+    pb.stq(RegT1, 0, RegT2);
+    pb.stq(RegT3, 0, RegT0);
+    pb.stq(RegT5, 16, RegSP);           // save q
+
+    // qsort(lo, q - 1)
+    pb.ldq(RegA0, 0, RegSP);
+    pb.subqi(RegT5, 1, RegA1);
+    pb.call(l_qsort);
+    // qsort(q + 1, hi)
+    pb.ldq(RegT5, 16, RegSP);
+    pb.addqi(RegT5, 1, RegA0);
+    pb.ldq(RegA1, 8, RegSP);
+    pb.call(l_qsort);
+
+    pb.bind(l_qs_ret);
+    qs_fb.epilogueRet();
+
+    // ---- mtf_step(a0 = byte) -> v0 = index ----
+    pb.bind(l_mtf);
+    FunctionBuilder mtf_fb(pb, FrameSpec{16, true, false, false, {}});
+    mtf_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);            // spill the byte
+
+    pb.li(RegT0, table_addr);
+    pb.li(RegT1, 0);                    // j
+    Label l_find = pb.here();
+    pb.stq(RegT1, 8, RegSP);            // spill j (compiler-style)
+    pb.addq(RegT0, RegT1, RegT2);
+    pb.ldbu(RegT3, 0, RegT2);
+    Label l_found = pb.newLabel();
+    pb.cmpeq(RegT3, RegA0, RegT4);
+    pb.bne(RegT4, l_found);
+    pb.ldq(RegT1, 8, RegSP);            // reload j
+    pb.addqi(RegT1, 1, RegT1);
+    pb.br(l_find);
+
+    pb.bind(l_found);
+    pb.stq(RegT1, 8, RegSP);            // save j in a local
+    Label l_done = pb.newLabel();
+    pb.beq(RegT1, l_done);
+
+    pb.mov(RegT1, RegT5);               // k = j
+    Label l_shift = pb.here();
+    pb.addq(RegT0, RegT5, RegT2);
+    pb.ldbu(RegT3, -1, RegT2);
+    pb.stb(RegT3, 0, RegT2);
+    pb.subqi(RegT5, 1, RegT5);
+    pb.bne(RegT5, l_shift);
+
+    pb.ldq(RegT4, 0, RegSP);            // reload the byte
+    pb.stb(RegT4, 0, RegT0);            // table[0] = byte
+
+    pb.bind(l_done);
+    pb.ldq(RegV0, 8, RegSP);            // v0 = j
+    mtf_fb.epilogueRet();
+
+    // ---- crc_update(a0 = checksum, a1 = index) -> v0 ----
+    pb.bind(l_crc);
+    FunctionBuilder crc_fb(pb, FrameSpec{16, true, false, false, {}});
+    crc_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);
+    pb.stq(RegA1, 8, RegSP);
+    pb.ldq(RegT0, 0, RegSP);
+    pb.mulqi(RegT0, 31, RegT0);
+    pb.ldq(RegT1, 8, RegSP);
+    pb.addq(RegT0, RegT1, RegV0);
+    crc_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * 186.crafty stand-in: alpha-beta negamax search of a synthetic
+ * subtraction game.
+ *
+ * Stack personality: recursion to a stable mid-range depth (the
+ * paper shows crafty living in a [200, 600]-word stack band), with a
+ * 64-byte frame holding the search state (state, depth, alpha, beta,
+ * best, move) that is spilled and reloaded around every child call.
+ */
+
+#include "workloads/registry.hh"
+
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t LeafBias = 128;
+constexpr int SearchDepth = 5;
+
+/** Piece-square style evaluation table (global data region). */
+std::uint64_t
+ptabEntry(std::uint64_t i)
+{
+    return mix64(i) & 15;
+}
+
+/** Per-move ordering bonus table (global data region). */
+std::uint64_t
+mtabEntry(std::uint64_t k)
+{
+    return (k * 3 + 1) & 7;
+}
+
+/** History-heuristic table, updated once per examined move. It
+ *  lives in the search driver's frame (crafty keeps its per-search
+ *  state on the stack), several KB above the TOS during the search
+ *  — the wide region that thrashes a small stack cache. */
+constexpr unsigned HtabSize = 256;
+
+std::int64_t
+leafScore(std::uint64_t state)
+{
+    return static_cast<std::int64_t>((state * HashMul) >> 56) -
+           LeafBias +
+           static_cast<std::int64_t>(ptabEntry(state & 63));
+}
+
+std::uint64_t g_htab[HtabSize];
+
+std::int64_t
+negamax(std::uint64_t state, std::int64_t depth, std::int64_t alpha,
+        std::int64_t beta)
+{
+    if (depth == 0 || state == 0)
+        return leafScore(state);
+    std::int64_t best = -1000;
+    for (std::uint64_t k = 1; k <= state && k <= 6; ++k) {
+        // History-heuristic bookkeeping (global read-modify-write,
+        // as crafty's move-ordering tables do).
+        std::uint64_t &h = g_htab[(state * 6 + k) & (HtabSize - 1)];
+        h += 1;
+        std::int64_t s =
+            -negamax(state - k, depth - 1, -beta, -alpha) +
+            static_cast<std::int64_t>(mtabEntry(k)) +
+            static_cast<std::int64_t>(h & 1);
+        if (s > best)
+            best = s;
+        if (best > alpha)
+            alpha = best;
+        if (!(alpha < beta))
+            break;
+    }
+    return best;
+}
+
+std::uint64_t
+rootState(std::uint64_t i)
+{
+    return 20 + (i & 7) + ((i >> 3) & 3);
+}
+
+} // anonymous namespace
+
+std::string
+expectCrafty(const std::string &input, std::uint64_t scale)
+{
+    (void)input;
+    for (auto &h : g_htab)
+        h = 0;
+    std::uint64_t cs = 0;
+    for (std::uint64_t i = 0; i < scale; ++i) {
+        std::int64_t score =
+            negamax(rootState(i), SearchDepth, -10000, 10000);
+        cs = cs * 33 + (static_cast<std::uint64_t>(score) & 0xff);
+    }
+    return putintLine(cs);
+}
+
+isa::Program
+buildCrafty(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    (void)input;
+
+    ProgramBuilder pb("crafty.ref");
+    std::vector<std::uint64_t> ptab_init;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        ptab_init.push_back(ptabEntry(i));
+    Addr ptab_addr = pb.allocDataQuads(ptab_init);
+    std::vector<std::uint64_t> mtab_init;
+    for (std::uint64_t k = 0; k < 8; ++k)
+        mtab_init.push_back(mtabEntry(k));
+    Addr mtab_addr = pb.allocDataQuads(mtab_init);
+
+    Label l_main = pb.newLabel();
+    Label l_nega = pb.newLabel();
+    Label l_leaf = pb.newLabel();
+
+    Label l_chain[3] = {pb.newLabel(), pb.newLabel(), pb.newLabel()};
+    Label l_search = pb.newLabel();
+
+    // ---- main: descend through setup layers (iterate/ponder/
+    // search-root in the real crafty) before the search loop ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+    pb.call(l_chain[0]);
+    pb.mov(RegV0, RegA0);
+    pb.putint();
+    pb.halt();
+
+    for (int lvl = 0; lvl < 3; ++lvl) {
+        pb.bind(l_chain[lvl]);
+        // Level 0 owns the history table (2KB) plus scratch; the
+        // deeper setup layers have ordinary frames.
+        std::uint32_t locals = lvl == 0 ? HtabSize * 8 + 16 : 528;
+        FunctionBuilder chain_fb(pb, FrameSpec{locals, true, false,
+                                               false, {}});
+        chain_fb.prologue();
+        pb.stq(RegZero, 0, RegSP);
+        pb.stq(RegZero,
+               static_cast<std::int32_t>(locals - 8), RegSP);
+        if (lvl == 0)
+            pb.lda(RegS4, 16, RegSP);   // &htab[0] for the search
+        if (lvl < 2)
+            pb.call(l_chain[lvl + 1]);
+        else
+            pb.call(l_search);
+        chain_fb.epilogueRet();
+    }
+
+    // ---- search loop over root positions ----
+    pb.bind(l_search);
+    FunctionBuilder search_fb(pb, FrameSpec{16, true, false, false,
+                                            {RegS0, RegS1, RegS2}});
+    search_fb.prologue();
+
+    pb.li(RegS0, 0);                    // i
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, scale);
+
+    Label l_loop = pb.here();
+    // root = 20 + (i & 7) + ((i >> 3) & 3)
+    pb.andi(RegS0, 7, RegT0);
+    pb.srli(RegS0, 3, RegT1);
+    pb.andi(RegT1, 3, RegT1);
+    pb.addq(RegT0, RegT1, RegT0);
+    pb.addqi(RegT0, 20, RegA0);
+    pb.li(RegA1, SearchDepth);
+    pb.li(RegA2, static_cast<std::uint64_t>(-10000));
+    pb.li(RegA3, 10000);
+    pb.call(l_nega);
+
+    pb.andi(RegV0, 255, RegT0);
+    pb.mulqi(RegS1, 33, RegS1);
+    pb.addq(RegS1, RegT0, RegS1);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS2, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    pb.mov(RegS1, RegV0);
+    search_fb.epilogueRet();
+
+    // ---- negamax(a0=state, a1=depth, a2=alpha, a3=beta) -> v0 ----
+    // Frame slots: 0 state, 1 depth, 2 alpha, 3 beta, 4 best, 5 k.
+    pb.bind(l_nega);
+    // Alpha lives in a callee-saved register (the compiler keeps the
+    // hottest search bound out of memory); everything else spills.
+    FunctionBuilder fb(pb, FrameSpec{120, true, false, false,
+                                     {RegS3}});
+    fb.prologue();
+
+    pb.beq(RegA1, l_leaf);              // depth == 0
+    pb.beq(RegA0, l_leaf);              // state == 0
+
+    pb.stq(RegA0, 0, RegSP);
+    pb.stq(RegA1, 8, RegSP);
+    pb.mov(RegA2, RegS3);               // alpha stays in a register
+    pb.stq(RegA3, 24, RegSP);
+    pb.li(RegT0, static_cast<std::uint64_t>(-1000));
+    pb.stq(RegT0, 32, RegSP);           // best
+    pb.li(RegT0, 1);
+    pb.stq(RegT0, 40, RegSP);           // k
+
+    Label l_for = pb.here();
+    Label l_end = pb.newLabel();
+    pb.ldq(RegT0, 40, RegSP);           // k
+    pb.ldq(RegT1, 0, RegSP);            // state
+    pb.cmple(RegT0, RegT1, RegT2);      // k <= state?
+    pb.beq(RegT2, l_end);
+    pb.cmplei(RegT0, 6, RegT2);         // k <= 6?
+    pb.beq(RegT2, l_end);
+
+    // h = ++htab[(state*6 + k) & 63]  (global RMW)
+    pb.mulqi(RegT1, 6, RegT2);
+    pb.addq(RegT2, RegT0, RegT2);
+    pb.andi(RegT2, HtabSize - 1, RegT2);
+    pb.slli(RegT2, 3, RegT2);
+    pb.addq(RegS4, RegT2, RegT2);       // htab in the driver frame
+    pb.ldq(RegT3, 0, RegT2);
+    pb.addqi(RegT3, 1, RegT3);
+    pb.stq(RegT3, 0, RegT2);
+
+    pb.subq(RegT1, RegT0, RegA0);       // child state
+    pb.ldq(RegT2, 8, RegSP);
+    pb.subqi(RegT2, 1, RegA1);          // depth - 1
+    pb.ldq(RegT3, 24, RegSP);           // beta
+    pb.subq(RegZero, RegT3, RegA2);     // -beta
+    pb.subq(RegZero, RegS3, RegA3);     // -alpha
+    pb.call(l_nega);
+    pb.subq(RegZero, RegV0, RegT0);     // s = -score
+    pb.ldq(RegT6, 40, RegSP);           // k
+    pb.slli(RegT6, 3, RegT6);
+    pb.li(RegT7, mtab_addr);
+    pb.addq(RegT7, RegT6, RegT6);
+    pb.ldq(RegT6, 0, RegT6);            // move-ordering bonus
+    pb.addq(RegT0, RegT6, RegT0);       // s += mtab[k]
+    // s += htab[(state*6 + k) & 63] & 1
+    pb.ldq(RegT6, 0, RegSP);            // state
+    pb.mulqi(RegT6, 6, RegT6);
+    pb.ldq(RegT7, 40, RegSP);           // k
+    pb.addq(RegT6, RegT7, RegT6);
+    pb.andi(RegT6, HtabSize - 1, RegT6);
+    pb.slli(RegT6, 3, RegT6);
+    pb.addq(RegS4, RegT6, RegT6);       // htab in the driver frame
+    pb.ldq(RegT6, 0, RegT6);
+    pb.andi(RegT6, 1, RegT6);
+    pb.addq(RegT0, RegT6, RegT0);
+
+    pb.ldq(RegT1, 32, RegSP);           // best
+    Label l_skip1 = pb.newLabel();
+    pb.cmplt(RegT1, RegT0, RegT2);      // s > best?
+    pb.beq(RegT2, l_skip1);
+    pb.stq(RegT0, 32, RegSP);
+    pb.mov(RegT0, RegT1);
+    pb.bind(l_skip1);
+
+    Label l_skip2 = pb.newLabel();
+    pb.cmplt(RegS3, RegT1, RegT2);      // best > alpha?
+    pb.beq(RegT2, l_skip2);
+    pb.mov(RegT1, RegS3);
+    pb.bind(l_skip2);
+
+    pb.ldq(RegT4, 24, RegSP);           // beta
+    pb.cmplt(RegS3, RegT4, RegT2);      // alpha < beta?
+    pb.beq(RegT2, l_end);
+
+    pb.ldq(RegT0, 40, RegSP);
+    pb.addqi(RegT0, 1, RegT0);
+    pb.stq(RegT0, 40, RegSP);
+    pb.br(l_for);
+
+    pb.bind(l_end);
+    pb.ldq(RegV0, 32, RegSP);           // best
+    fb.epilogueRet();
+
+    // Leaf evaluation: ((state * HashMul) >> 56) - 128.
+    pb.bind(l_leaf);
+    pb.li(RegT5, HashMul);              // wide constant (uses $at)
+    pb.mulq(RegA0, RegT5, RegT0);
+    pb.srli(RegT0, 56, RegT0);
+    pb.subqi(RegT0, LeafBias, RegT0);
+    pb.andi(RegA0, 63, RegT1);
+    pb.slli(RegT1, 3, RegT1);
+    pb.li(RegT2, ptab_addr);
+    pb.addq(RegT2, RegT1, RegT1);
+    pb.ldq(RegT1, 0, RegT1);            // evaluation table entry
+    pb.addq(RegT0, RegT1, RegV0);
+    fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

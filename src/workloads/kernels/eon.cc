@@ -1,0 +1,333 @@
+/**
+ * @file
+ * 252.eon stand-in: fixed-point ray stepping over stack-allocated
+ * ray structures passed by pointer, shading against a scene that
+ * lives in a large caller frame.
+ *
+ * Stack personality: eon is the paper's outlier in two ways. First,
+ * over 45% of its stack accesses go through general-purpose
+ * registers: address-taken ray structs are passed into helpers, and
+ * the C++ scene objects sit in a big frame several KB above the TOS,
+ * reached through pointers. Second, the helper's $gpr stores
+ * followed by the caller's $sp-relative reloads of the same words
+ * reproduce the collision pattern behind the paper's eon squash
+ * anomaly (Section 5.3.1). The wide scene region is also why the
+ * small stack caches of Table 3 thrash on eon while the SVF, whose
+ * window hugs the TOS and routes far references to the DL1, moves
+ * almost nothing.
+ */
+
+#include "workloads/registry.hh"
+
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+struct Ray
+{
+    std::uint64_t px, py, pz;
+    std::uint64_t dx, dy, dz;
+};
+
+unsigned
+stepsFor(const std::string &input)
+{
+    return input == "cook" ? 3 : 5;
+}
+
+/** Scene size in quadwords; the kajiya scene graph is larger. */
+std::uint64_t
+sceneLenFor(const std::string &input)
+{
+    return input == "cook" ? 640 : 832;
+}
+
+constexpr std::uint64_t AccumLen = 128;
+constexpr std::uint64_t TexSize = 256;
+
+std::uint64_t
+sceneEntry(std::uint64_t i)
+{
+    return mix64(i ^ 0x5ce) & 0xff;
+}
+
+std::uint64_t
+texEntry(std::uint64_t i)
+{
+    return mix64(i ^ 0x7e0) & 0x3f;
+}
+
+/** Scene index reduction: mask to 10 bits, fold once into range
+ *  (cheap hardware-friendly reduction; mirrored by the SVA code). */
+std::uint64_t
+sceneIndex(std::uint64_t px, std::uint64_t scene_len)
+{
+    std::uint64_t idx = (px >> 5) & 1023;
+    if (idx >= scene_len)
+        idx -= scene_len;
+    return idx;
+}
+
+/** One ray step against the scene; mirrors the SVA kernel. */
+void
+stepRay(Ray &r, unsigned steps, std::vector<std::uint64_t> &scene,
+        std::vector<std::uint64_t> &accum, std::uint64_t scene_len)
+{
+    for (unsigned k = 0; k < steps; ++k) {
+        std::uint64_t t = r.px + r.dx;
+        r.px = t + texEntry((t >> 4) & (TexSize - 1));
+        r.py += r.dy + scene[sceneIndex(r.px, scene_len)];
+        r.pz += r.dz;
+        accum[(r.px + k) & (AccumLen - 1)] += r.pz;
+        r.dx = r.dx * 3 + 1;
+        r.dy = r.dy * 5 + 2;
+        r.dz = r.dz * 7 + 3;
+    }
+}
+
+} // anonymous namespace
+
+std::string
+expectEon(const std::string &input, std::uint64_t scale)
+{
+    unsigned steps = stepsFor(input);
+    std::uint64_t scene_len = sceneLenFor(input);
+
+    std::vector<std::uint64_t> scene(scene_len);
+    for (std::uint64_t i = 0; i < scene_len; ++i)
+        scene[i] = sceneEntry(i);
+    std::vector<std::uint64_t> accum(AccumLen, 0);
+
+    std::uint64_t cs = 0;
+    for (std::uint64_t i = 0; i < scale; ++i) {
+        Ray r;
+        r.px = i;
+        r.py = i * 17 + 1;
+        r.pz = i ^ 0x5a;
+        r.dx = (i & 15) + 1;
+        r.dy = (i & 7) + 2;
+        r.dz = (i & 3) + 3;
+        stepRay(r, steps, scene, accum, scene_len);
+        cs = cs * 131 + (r.px ^ r.py ^ r.pz);
+    }
+    for (std::uint64_t i = 0; i < AccumLen; ++i)
+        cs = cs * 3 + accum[i];
+    return putintLine(cs);
+}
+
+isa::Program
+buildEon(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    unsigned steps = stepsFor(input);
+    std::uint64_t scene_len = sceneLenFor(input);
+
+    ProgramBuilder pb("eon." + input);
+    std::vector<std::uint64_t> tex_init;
+    for (std::uint64_t i = 0; i < TexSize; ++i)
+        tex_init.push_back(texEntry(i));
+    Addr tex_addr = pb.allocHeapQuads(tex_init);
+
+    Label l_main = pb.newLabel();
+    Label l_render = pb.newLabel();
+    Label l_step = pb.newLabel();
+
+    // Scene frame layout (quadword slots from the setup frame's
+    // $sp): [0, AccumLen) accumulators, then the scene data.
+    std::uint32_t scene_frame_slots =
+        static_cast<std::uint32_t>(AccumLen + scene_len);
+
+    // ---- main: build the scene in a large frame, then render ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(
+        pb, FrameSpec{scene_frame_slots * 8, true, false, false, {}});
+    main_fb.prologue();
+
+    // Zero the accumulators and fill the scene ($sp stores, near
+    // this frame's own TOS at setup time).
+    pb.li(RegT0, 0);
+    pb.li(RegT1, scene_frame_slots);
+    Label l_fill = pb.here();
+    pb.slli(RegT0, 3, RegT2);
+    pb.addq(RegSP, RegT2, RegT2);
+    Label l_zero = pb.newLabel();
+    Label l_filled = pb.newLabel();
+    pb.cmplti(RegT0, AccumLen, RegT3);
+    pb.bne(RegT3, l_zero);
+    // Scene slot: sceneEntry(i - AccumLen).
+    pb.lda(RegT3, -static_cast<std::int32_t>(AccumLen), RegT0);
+    pb.li(RegT4, 0x5ce);
+    pb.xor_(RegT3, RegT4, RegT3);
+    pb.li(RegT4, HashMul);
+    pb.mulq(RegT3, RegT4, RegT3);
+    pb.srli(RegT3, 29, RegT4);
+    pb.xor_(RegT3, RegT4, RegT3);
+    pb.andi(RegT3, 0xff, RegT3);
+    pb.stq(RegT3, 0, RegT2);
+    pb.br(l_filled);
+    pb.bind(l_zero);
+    pb.stq(RegZero, 0, RegT2);
+    pb.bind(l_filled);
+    pb.addqi(RegT0, 1, RegT0);
+    pb.cmplt(RegT0, RegT1, RegT2);
+    pb.bne(RegT2, l_fill);
+
+    // Scene pointers live in callee-saved registers for the whole
+    // render: $s4 = &accum[0], $s5 = &scene[0].
+    pb.lda(RegS4, 0, RegSP);
+    pb.lda(RegS5, AccumLen * 8, RegSP);
+    pb.call(l_render);
+    pb.mov(RegV0, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- render(): the per-ray loop ----
+    // Frame slots 0..5 hold the ray (px py pz dx dy dz).
+    pb.bind(l_render);
+    FunctionBuilder render_fb(pb, FrameSpec{48, true, false, false,
+                                            {RegS0, RegS1, RegS2}});
+    render_fb.prologue();
+
+    pb.li(RegS0, 0);                    // i
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, scale);
+
+    Label l_loop = pb.here();
+    pb.stq(RegS0, 0, RegSP);            // px = i
+    pb.mulqi(RegS0, 17, RegT0);
+    pb.addqi(RegT0, 1, RegT0);
+    pb.stq(RegT0, 8, RegSP);            // py
+    pb.xori(RegS0, 0x5a, RegT0);
+    pb.stq(RegT0, 16, RegSP);           // pz
+    pb.andi(RegS0, 15, RegT0);
+    pb.addqi(RegT0, 1, RegT0);
+    pb.stq(RegT0, 24, RegSP);           // dx
+    pb.andi(RegS0, 7, RegT0);
+    pb.addqi(RegT0, 2, RegT0);
+    pb.stq(RegT0, 32, RegSP);           // dy
+    pb.andi(RegS0, 3, RegT0);
+    pb.addqi(RegT0, 3, RegT0);
+    pb.stq(RegT0, 40, RegSP);           // dz
+
+    pb.lda(RegA0, 0, RegSP);            // &ray (address-taken local)
+    pb.call(l_step);
+
+    // $sp-relative reloads of words the callee just stored through
+    // a $gpr: the Section 3.2 collision pattern.
+    pb.ldq(RegT0, 0, RegSP);
+    pb.ldq(RegT1, 8, RegSP);
+    pb.ldq(RegT2, 16, RegSP);
+    pb.xor_(RegT0, RegT1, RegT0);
+    pb.xor_(RegT0, RegT2, RegT0);
+    pb.mulqi(RegS1, 131, RegS1);
+    pb.addq(RegS1, RegT0, RegS1);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS2, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    // Fold the accumulators into the checksum.
+    pb.li(RegT5, 0);
+    pb.li(RegT6, AccumLen);
+    Label l_acc = pb.here();
+    pb.slli(RegT5, 3, RegT0);
+    pb.addq(RegS4, RegT0, RegT0);
+    pb.ldq(RegT1, 0, RegT0);            // accum[i] ($gpr, far)
+    pb.mulqi(RegS1, 3, RegS1);
+    pb.addq(RegS1, RegT1, RegS1);
+    pb.addqi(RegT5, 1, RegT5);
+    pb.cmplt(RegT5, RegT6, RegT0);
+    pb.bne(RegT0, l_acc);
+
+    pb.mov(RegS1, RegV0);
+    render_fb.epilogueRet();
+
+    // ---- step(a0 = ray*) ----
+    // Leaf with a small scratch frame; reads the scene and writes
+    // the accumulators through $s4/$s5 — far-from-TOS $gpr stack
+    // references into the setup frame.
+    pb.bind(l_step);
+    FunctionBuilder step_fb(pb, FrameSpec{16, false, false, false,
+                                          {}});
+    step_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);            // spill the pointer
+
+    for (unsigned k = 0; k < steps; ++k) {
+        pb.ldq(RegT0, 0, RegA0);        // px  ($gpr stack loads)
+        pb.ldq(RegT3, 24, RegA0);       // dx
+        pb.addq(RegT0, RegT3, RegT0);
+        // Texture lookup in the heap.
+        pb.srli(RegT0, 4, RegT7);
+        pb.andi(RegT7, TexSize - 1, RegT7);
+        pb.slli(RegT7, 3, RegT7);
+        pb.li(RegT8, tex_addr);
+        pb.addq(RegT8, RegT7, RegT7);
+        pb.ldq(RegT7, 0, RegT7);
+        pb.addq(RegT0, RegT7, RegT0);
+        pb.stq(RegT0, 0, RegA0);        // px ($gpr stack store)
+        pb.mulqi(RegT3, 3, RegT3);
+        pb.addqi(RegT3, 1, RegT3);
+        pb.stq(RegT3, 24, RegA0);
+
+        pb.ldq(RegT1, 8, RegA0);        // py
+        pb.ldq(RegT4, 32, RegA0);       // dy
+        pb.addq(RegT1, RegT4, RegT1);
+        // Scene lookup: a far-from-TOS $gpr stack load with the
+        // mask-and-fold index reduction of sceneIndex().
+        pb.srli(RegT0, 5, RegT9);
+        pb.li(RegT10, 1023);
+        pb.and_(RegT9, RegT10, RegT9);
+        pb.li(RegT10, scene_len);
+        {
+            Label l_inrange = pb.newLabel();
+            pb.cmplt(RegT9, RegT10, RegT11);
+            pb.bne(RegT11, l_inrange);
+            pb.subq(RegT9, RegT10, RegT9);
+            pb.bind(l_inrange);
+        }
+        pb.slli(RegT9, 3, RegT9);
+        pb.addq(RegS5, RegT9, RegT9);
+        pb.ldq(RegT9, 0, RegT9);        // scene[idx]
+        pb.addq(RegT1, RegT9, RegT1);
+        pb.stq(RegT1, 8, RegA0);
+        pb.mulqi(RegT4, 5, RegT4);
+        pb.addqi(RegT4, 2, RegT4);
+        pb.stq(RegT4, 32, RegA0);
+
+        pb.ldq(RegT2, 16, RegA0);       // pz
+        pb.ldq(RegT5, 40, RegA0);       // dz
+        pb.addq(RegT2, RegT5, RegT2);
+        // accum[(px + k) & 127] += pz: far $gpr stack RMW.
+        pb.addqi(RegT0, static_cast<std::uint8_t>(k), RegT9);
+        pb.andi(RegT9, AccumLen - 1, RegT9);
+        pb.slli(RegT9, 3, RegT9);
+        pb.addq(RegS4, RegT9, RegT9);
+        pb.ldq(RegT10, 0, RegT9);
+        pb.addq(RegT10, RegT2, RegT10);
+        pb.stq(RegT10, 0, RegT9);
+        if (k + 1 < steps) {
+            pb.stq(RegT2, 16, RegA0);
+            pb.mulqi(RegT5, 7, RegT5);
+            pb.addqi(RegT5, 3, RegT5);
+            pb.stq(RegT5, 40, RegA0);
+            pb.ldq(RegA0, 0, RegSP);    // reload pointer ($sp load)
+        } else {
+            // Final iteration: the dead direction updates are sunk
+            // away and the last result store sits right before the
+            // return — the caller's $sp reload of the same word is
+            // only a few instructions younger, the exact Section
+            // 3.2 collision timing.
+            pb.stq(RegT2, 16, RegA0);
+        }
+    }
+
+    step_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * 254.gap stand-in: multi-precision (8x64-bit) integer arithmetic on
+ * stack-resident operand buffers.
+ *
+ * Stack personality: each call materializes two 8-quadword bignums
+ * into its frame with unrolled $sp-relative stores, then streams
+ * them back with $sp-relative loads for a carry-propagating add —
+ * a dense first-touch-store-then-load pattern that rewards the
+ * SVF's no-fill-on-allocate semantics.
+ */
+
+#include "workloads/registry.hh"
+
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+constexpr unsigned Limbs = 8;
+
+std::uint64_t
+limbConst(unsigned j)
+{
+    return mix64(j ^ 0xabcd) & 0xff;
+}
+
+std::uint64_t
+bigStep(std::uint64_t seed)
+{
+    std::uint64_t a[Limbs];
+    std::uint64_t b[Limbs];
+    std::uint64_t t = seed;
+    for (unsigned j = 0; j < Limbs; ++j) {
+        t = t * 197 + limbConst(j);
+        a[j] = t;
+    }
+    for (unsigned j = 0; j < Limbs; ++j) {
+        t = t * 89 + limbConst(j + 8);
+        b[j] = t;
+    }
+    std::uint64_t carry = 0;
+    std::uint64_t acc = 0;
+    for (unsigned j = 0; j < Limbs; ++j) {
+        std::uint64_t s1 = a[j] + b[j];
+        std::uint64_t c1 = s1 < a[j];
+        std::uint64_t s = s1 + carry;
+        std::uint64_t c2 = s < s1;
+        carry = c1 | c2;
+        acc ^= s;
+    }
+    return acc + carry;
+}
+
+} // anonymous namespace
+
+std::string
+expectGap(const std::string &input, std::uint64_t scale)
+{
+    (void)input;
+    std::uint64_t cs = 0;
+    for (std::uint64_t i = 0; i < scale; ++i)
+        cs = cs * 7 + bigStep(i * 2654435761ULL);
+    return putintLine(cs);
+}
+
+isa::Program
+buildGap(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    (void)input;
+
+    ProgramBuilder pb("gap.ref");
+    std::vector<std::uint64_t> lc_init;
+    for (unsigned j = 0; j < 16; ++j)
+        lc_init.push_back(limbConst(j));
+    Addr lc_addr = pb.allocDataQuads(lc_init);
+
+    Label l_main = pb.newLabel();
+    Label l_big = pb.newLabel();
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+
+    pb.li(RegS0, 0);                    // i
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, scale);
+    pb.li(RegS3, 2654435761ULL);
+
+    Label l_loop = pb.here();
+    pb.mulq(RegS0, RegS3, RegA0);
+    pb.call(l_big);
+    pb.mulqi(RegS1, 7, RegS1);
+    pb.addq(RegS1, RegV0, RegS1);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS2, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- bigStep(a0 = seed) -> v0 ----
+    // Frame: slots 0..7 = a[], slots 8..15 = b[].
+    pb.bind(l_big);
+    FunctionBuilder fb(pb, FrameSpec{128, true, false, false, {}});
+    fb.prologue();
+
+    // Generate a[]: t = t*197 + j*13 + 1 (unrolled first-touch
+    // stores into freshly allocated stack words).
+    pb.mov(RegA0, RegT0);
+    pb.li(RegT7, lc_addr);
+    for (unsigned j = 0; j < Limbs; ++j) {
+        pb.mulqi(RegT0, 197, RegT0);
+        pb.ldq(RegT1, static_cast<std::int32_t>(8 * j), RegT7);
+        pb.addq(RegT0, RegT1, RegT0);
+        pb.stq(RegT0, static_cast<std::int32_t>(8 * j), RegSP);
+    }
+    // Generate b[]: t = t*89 + limbConst(j + 8).
+    for (unsigned j = 0; j < Limbs; ++j) {
+        pb.mulqi(RegT0, 89, RegT0);
+        pb.ldq(RegT1, static_cast<std::int32_t>(64 + 8 * j), RegT7);
+        pb.addq(RegT0, RegT1, RegT0);
+        pb.stq(RegT0, static_cast<std::int32_t>(64 + 8 * j), RegSP);
+    }
+
+    // Carry-propagating add, accumulating an xor digest.
+    pb.li(RegT6, 0);                    // carry
+    pb.li(RegV0, 0);                    // acc
+    for (unsigned j = 0; j < Limbs; ++j) {
+        pb.ldq(RegT0, static_cast<std::int32_t>(8 * j), RegSP);
+        pb.ldq(RegT1, static_cast<std::int32_t>(64 + 8 * j), RegSP);
+        pb.addq(RegT0, RegT1, RegT2);   // s1 = a + b
+        pb.cmpult(RegT2, RegT0, RegT3); // c1
+        pb.addq(RegT2, RegT6, RegT4);   // s = s1 + carry
+        pb.cmpult(RegT4, RegT2, RegT5); // c2
+        pb.bis(RegT3, RegT5, RegT6);    // carry = c1 | c2
+        pb.xor_(RegV0, RegT4, RegV0);   // acc ^= s
+    }
+    pb.addq(RegV0, RegT6, RegV0);       // acc + carry
+
+    fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * 176.gcc stand-in: recursive-descent expression compiler with
+ * large frames and heap-allocated nodes.
+ *
+ * Stack personality: gcc is the paper's largest stack consumer —
+ * deep mutually recursive parse functions with big frames push
+ * references far from the TOS (the paper reports a 380-byte average
+ * offset and the only benchmark with meaningful >8KB traffic). Each
+ * parse level here stacks three 512-byte frames, so the deeper
+ * "cp-decl" input overflows an 8KB SVF exactly the way the paper's
+ * gcc rows in Table 3 do.
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+struct GenParams
+{
+    double nestProb;
+    unsigned maxDepth;
+    unsigned maxTerms;
+};
+
+GenParams
+paramsFor(const std::string &input)
+{
+    if (input == "cp-decl")
+        return {0.55, 9, 2};
+    return {0.35, 6, 4};        // integrate
+}
+
+void
+genNumber(Rng &rng, std::string &out)
+{
+    unsigned digits = 1 + static_cast<unsigned>(rng.below(4));
+    for (unsigned i = 0; i < digits; ++i) {
+        char c = static_cast<char>('0' + rng.below(10));
+        if (i == 0 && c == '0')
+            c = '1';
+        out.push_back(c);
+    }
+}
+
+void genExpr(Rng &rng, const GenParams &p, unsigned depth,
+             std::string &out);
+
+void
+genFactor(Rng &rng, const GenParams &p, unsigned depth,
+          std::string &out)
+{
+    if (depth < p.maxDepth && rng.chance(p.nestProb)) {
+        out.push_back('(');
+        genExpr(rng, p, depth + 1, out);
+        out.push_back(')');
+    } else {
+        genNumber(rng, out);
+    }
+}
+
+void
+genTerm(Rng &rng, const GenParams &p, unsigned depth, std::string &out)
+{
+    genFactor(rng, p, depth, out);
+    if (rng.below(3) == 0) {
+        out.push_back('*');
+        genFactor(rng, p, depth, out);
+    }
+}
+
+void
+genExpr(Rng &rng, const GenParams &p, unsigned depth, std::string &out)
+{
+    genTerm(rng, p, depth, out);
+    unsigned extra = static_cast<unsigned>(rng.below(p.maxTerms + 1));
+    for (unsigned i = 0; i < extra; ++i) {
+        out.push_back(rng.below(2) ? '+' : '-');
+        genTerm(rng, p, depth, out);
+    }
+}
+
+std::string
+makeSource(const std::string &input, std::uint64_t scale)
+{
+    Rng rng(inputSeed("gcc", input));
+    GenParams p = paramsFor(input);
+    std::string src;
+    for (std::uint64_t i = 0; i < scale; ++i) {
+        genExpr(rng, p, 0, src);
+        src.push_back(';');
+    }
+    src.push_back('\0');
+    return src;
+}
+
+/** Host-side recursive-descent evaluator mirroring the SVA parser. */
+struct Eval
+{
+    const std::string &src;
+    size_t pos = 0;
+    std::uint64_t nodes = 0;
+    std::uint64_t acc = 0;      //!< lives in main's frame in SVA
+
+    std::uint64_t
+    factor()
+    {
+        if (src[pos] == '(') {
+            ++pos;
+            std::uint64_t v = expr();
+            ++pos;              // ')'
+            return v;
+        }
+        std::uint64_t v = 0;
+        while (src[pos] >= '0' && src[pos] <= '9') {
+            v = v * 10 + static_cast<std::uint64_t>(src[pos] - '0');
+            ++pos;
+        }
+        ++nodes;                // a leaf node is allocated
+        acc += v;               // written through a caller-frame ptr
+        return v;
+    }
+
+    std::uint64_t
+    term()
+    {
+        std::uint64_t v = factor();
+        while (src[pos] == '*') {
+            ++pos;
+            v *= factor();
+        }
+        return v;
+    }
+
+    std::uint64_t
+    expr()
+    {
+        std::uint64_t v = term();
+        while (src[pos] == '+' || src[pos] == '-') {
+            char op = src[pos];
+            ++pos;
+            std::uint64_t t = term();
+            v = op == '+' ? v + t : v - t;
+        }
+        return v;
+    }
+};
+
+} // anonymous namespace
+
+std::string
+expectGcc(const std::string &input, std::uint64_t scale)
+{
+    std::string src = makeSource(input, scale);
+    Eval ev{src};
+    std::uint64_t cs = 0;
+    std::uint64_t count = 0;
+    while (src[ev.pos] != '\0') {
+        std::uint64_t v = ev.expr();
+        ++ev.pos;               // ';'
+        cs = cs * 13 + v;
+        ++count;
+    }
+    return putintLine(cs) + putintLine(count) +
+           putintLine(ev.nodes) + putintLine(ev.acc);
+}
+
+isa::Program
+buildGcc(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    std::string src = makeSource(input, scale);
+
+    ProgramBuilder pb("gcc." + input);
+    std::vector<std::uint8_t> bytes(src.begin(), src.end());
+    Addr input_addr = allocHeapBytes(pb, bytes);
+    Addr pos_addr = pb.allocDataZero(8);        // parse cursor
+    Addr nodes_addr = pb.allocDataZero(8);      // node counter
+    Addr arena_addr = pb.allocHeap(1 << 20, 8); // node arena
+    Addr bump_addr = pb.allocDataQuads({arena_addr});
+
+    Label l_main = pb.newLabel();
+    Label l_expr = pb.newLabel();
+    Label l_term = pb.newLabel();
+    Label l_factor = pb.newLabel();
+    Label l_peek = pb.newLabel();
+    Label l_adv = pb.newLabel();
+
+    // Large gcc-style frame: 60 local slots + $ra + one saved reg.
+    const FrameSpec big_frame{480, true, true, true, {RegS0}};
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{32, true, false, false, {}});
+    main_fb.prologue();
+
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, 0);                    // expression count
+    // The leaf accumulator lives in main's frame; deep parse levels
+    // reach it through $s4 — far-from-TOS $gpr stack references,
+    // exactly gcc's pattern in Figure 3.
+    pb.stq(RegZero, 0, RegSP);
+    pb.lda(RegS4, 0, RegSP);            // &acc
+
+    Label l_loop = pb.here();
+    pb.call(l_expr);
+    pb.mulqi(RegS1, 13, RegS1);
+    pb.addq(RegS1, RegV0, RegS1);
+    pb.addqi(RegS2, 1, RegS2);
+    pb.call(l_adv);                     // consume ';'
+    pb.call(l_peek);
+    pb.bne(RegV0, l_loop);              // more input?
+
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.mov(RegS2, RegA0);
+    pb.putint();
+    pb.li(RegT0, nodes_addr);
+    pb.ldq(RegA0, 0, RegT0);
+    pb.putint();
+    pb.ldq(RegA0, 0, RegS4);            // the caller-frame acc
+    pb.putint();
+    pb.halt();
+
+    // ---- expr() -> v0 ----
+    pb.bind(l_expr);
+    FunctionBuilder expr_fb(pb, big_frame);
+    expr_fb.prologue();
+    pb.call(l_term);
+    pb.mov(RegV0, RegS0);               // val
+    pb.stq(RegS0, 0, RegSP);            // near-TOS local
+    pb.stq(RegS0, -40, RegFP);          // $fp-relative local
+
+    Label l_expr_loop = pb.here();
+    Label l_expr_done = pb.newLabel();
+    Label l_expr_minus = pb.newLabel();
+    pb.call(l_peek);
+    pb.cmpeqi(RegV0, '+', RegT0);
+    pb.bne(RegT0, l_expr_minus);
+    pb.cmpeqi(RegV0, '-', RegT0);
+    pb.beq(RegT0, l_expr_done);
+    // '-' path.
+    pb.call(l_adv);
+    pb.call(l_term);
+    pb.subq(RegS0, RegV0, RegS0);
+    pb.stq(RegS0, 0, RegSP);
+    pb.br(l_expr_loop);
+    // '+' path.
+    pb.bind(l_expr_minus);
+    pb.call(l_adv);
+    pb.call(l_term);
+    pb.addq(RegS0, RegV0, RegS0);
+    pb.stq(RegS0, 0, RegSP);
+    pb.br(l_expr_loop);
+
+    pb.bind(l_expr_done);
+    pb.ldq(RegV0, 0, RegSP);
+    expr_fb.epilogueRet();
+
+    // ---- term() -> v0 ----
+    pb.bind(l_term);
+    FunctionBuilder term_fb(pb, big_frame);
+    term_fb.prologue();
+    pb.call(l_factor);
+    pb.mov(RegV0, RegS0);
+    pb.stq(RegS0, 8, RegSP);
+    pb.stq(RegS0, -48, RegFP);          // $fp-relative local
+
+    Label l_term_loop = pb.here();
+    Label l_term_done = pb.newLabel();
+    pb.call(l_peek);
+    pb.cmpeqi(RegV0, '*', RegT0);
+    pb.beq(RegT0, l_term_done);
+    pb.call(l_adv);
+    pb.call(l_factor);
+    pb.mulq(RegS0, RegV0, RegS0);
+    pb.stq(RegS0, 8, RegSP);
+    pb.br(l_term_loop);
+
+    pb.bind(l_term_done);
+    pb.ldq(RegV0, 8, RegSP);
+    term_fb.epilogueRet();
+
+    // ---- factor() -> v0 ----
+    pb.bind(l_factor);
+    FunctionBuilder fac_fb(pb, big_frame);
+    fac_fb.prologue();
+
+    Label l_number = pb.newLabel();
+    Label l_fac_done = pb.newLabel();
+    pb.call(l_peek);
+    pb.cmpeqi(RegV0, '(', RegT0);
+    pb.beq(RegT0, l_number);
+    pb.call(l_adv);                     // consume '('
+    pb.call(l_expr);
+    pb.mov(RegV0, RegS0);
+    pb.call(l_adv);                     // consume ')'
+    pb.mov(RegS0, RegV0);
+    pb.br(l_fac_done);
+
+    pb.bind(l_number);
+    pb.li(RegS0, 0);                    // value
+    pb.li(RegT6, 0);                    // digit index
+    Label l_dig = pb.here();
+    Label l_dig_done = pb.newLabel();
+    pb.call(l_peek);
+    pb.subqi(RegV0, '0', RegT0);
+    pb.cmpulti(RegT0, 10, RegT1);
+    pb.beq(RegT1, l_dig_done);
+    pb.mulqi(RegS0, 10, RegS0);
+    pb.addq(RegS0, RegT0, RegS0);
+    // Token-buffer write: digits land in frame slots 2..5.
+    pb.andi(RegT6, 3, RegT2);
+    pb.slli(RegT2, 3, RegT2);
+    pb.addq(RegSP, RegT2, RegT2);
+    pb.stq(RegT0, 16, RegT2);
+    pb.addqi(RegT6, 1, RegT6);
+    pb.call(l_adv);
+    pb.br(l_dig);
+    pb.bind(l_dig_done);
+
+    // Allocate a leaf node in the heap arena and count it.
+    pb.li(RegT0, bump_addr);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.stq(RegS0, 0, RegT1);            // node->val
+    pb.addqi(RegT1, 16, RegT1);
+    pb.stq(RegT1, 0, RegT0);
+    pb.li(RegT0, nodes_addr);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.addqi(RegT1, 1, RegT1);
+    pb.stq(RegT1, 0, RegT0);
+    // acc += value through the caller-frame pointer: a $gpr stack
+    // reference whose distance from the TOS equals the parse depth.
+    pb.ldq(RegT2, 0, RegS4);
+    pb.addq(RegT2, RegS0, RegT2);
+    pb.stq(RegT2, 0, RegS4);
+    pb.mov(RegS0, RegV0);
+
+    pb.bind(l_fac_done);
+    fac_fb.epilogueRet();
+
+    // ---- peek() -> v0 = current character ----
+    pb.bind(l_peek);
+    FunctionBuilder peek_fb(pb, FrameSpec{16, false, false, false, {}});
+    peek_fb.prologue();
+    pb.li(RegT0, pos_addr);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.stq(RegT1, 0, RegSP);            // spill cursor
+    pb.li(RegT2, input_addr);
+    pb.ldq(RegT3, 0, RegSP);            // reload
+    pb.addq(RegT2, RegT3, RegT2);
+    pb.ldbu(RegV0, 0, RegT2);
+    peek_fb.epilogueRet();
+
+    // ---- adv(): POS++ ----
+    pb.bind(l_adv);
+    FunctionBuilder adv_fb(pb, FrameSpec{16, false, false, false, {}});
+    adv_fb.prologue();
+    pb.li(RegT0, pos_addr);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.addqi(RegT1, 1, RegT1);
+    pb.stq(RegT1, 0, RegT0);
+    adv_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

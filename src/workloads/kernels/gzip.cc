@@ -1,0 +1,195 @@
+/**
+ * @file
+ * 164.gzip stand-in: LZ77-style hash-chain matching.
+ *
+ * Stack personality: the compressor's working state lives in
+ * registers and heap tables, so its stack footprint is one tiny,
+ * endlessly reused frame — plenty of $sp references but essentially
+ * zero fill/writeback traffic once warm, which is exactly what the
+ * paper's Table 3 shows for gzip (hundreds of quadwords total).
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+constexpr unsigned HashSize = 4096;
+constexpr std::uint64_t NoPos = ~std::uint64_t(0);
+
+std::vector<std::uint8_t>
+makeInput(const std::string &input, std::uint64_t scale)
+{
+    Rng rng(inputSeed("gzip", input));
+    std::vector<std::uint8_t> buf(scale + 8);
+    unsigned alphabet = input == "log" ? 8
+                      : input == "program" ? 32 : 64;
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (i >= 16 && rng.below(4) == 0) {
+            // Replay an earlier window to create matches.
+            std::uint64_t back = 4 + rng.below(12);
+            buf[i] = buf[i - back];
+        } else {
+            buf[i] = static_cast<std::uint8_t>(rng.below(alphabet));
+        }
+    }
+    return buf;
+}
+
+unsigned
+hashAt(const std::vector<std::uint8_t> &buf, std::uint64_t pos)
+{
+    return (static_cast<unsigned>(buf[pos]) << 6 ^
+            static_cast<unsigned>(buf[pos + 1]) << 3 ^
+            static_cast<unsigned>(buf[pos + 2])) & (HashSize - 1);
+}
+
+} // anonymous namespace
+
+std::string
+expectGzip(const std::string &input, std::uint64_t scale)
+{
+    std::vector<std::uint8_t> buf = makeInput(input, scale);
+    std::vector<std::uint64_t> head(HashSize, NoPos);
+
+    std::uint64_t cs = 0;
+    std::uint64_t matches = 0;
+    for (std::uint64_t pos = 0; pos < scale; ++pos) {
+        unsigned h = hashAt(buf, pos);
+        std::uint64_t cand = head[h];
+        head[h] = pos;
+        std::uint64_t len = 0;
+        if (cand != NoPos) {
+            while (len < 8 && buf[cand + len] == buf[pos + len])
+                ++len;
+        }
+        if (len >= 3) {
+            ++matches;
+            cs += len * 7 + (pos - cand);
+        } else {
+            cs = cs * 3 + buf[pos];
+        }
+    }
+    return putintLine(cs) + putintLine(matches);
+}
+
+isa::Program
+buildGzip(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    std::vector<std::uint8_t> buf = makeInput(input, scale);
+
+    ProgramBuilder pb("gzip." + input);
+    Addr buf_addr = allocHeapBytes(pb, buf);
+    // head[] lives in the heap, initialized to NoPos.
+    std::vector<std::uint64_t> head_init(HashSize, NoPos);
+    Addr head_addr = pb.allocHeapQuads(head_init);
+
+    Label l_main = pb.newLabel();
+    Label l_hash = pb.newLabel();
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+
+    pb.li(RegS0, 0);                    // pos
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, 0);                    // matches
+    pb.li(RegS3, buf_addr);
+    pb.li(RegS4, head_addr);
+    pb.li(RegS5, scale);
+
+    Label l_loop = pb.here();
+    pb.stq(RegS0, 0, RegSP);            // spill pos across the call
+    pb.addq(RegS3, RegS0, RegA0);       // &buf[pos]
+    pb.call(l_hash);                    // v0 = hash bucket index
+    pb.ldq(RegS0, 0, RegSP);            // reload pos
+
+    pb.slli(RegV0, 3, RegT0);
+    pb.addq(RegS4, RegT0, RegT0);       // &head[h]
+    pb.ldq(RegT1, 0, RegT0);            // cand
+    pb.stq(RegS0, 0, RegT0);            // head[h] = pos
+
+    // len = match length (cand == NoPos has all bits set; detect
+    // via t1 + 1 == 0).
+    pb.li(RegT6, 0);                    // len
+    Label l_nomatch_scan = pb.newLabel();
+    pb.addqi(RegT1, 1, RegT2);
+    pb.beq(RegT2, l_nomatch_scan);
+
+    Label l_scan = pb.here();
+    Label l_scandone = pb.newLabel();
+    pb.cmplti(RegT6, 8, RegT2);
+    pb.beq(RegT2, l_scandone);
+    pb.addq(RegS3, RegT1, RegT3);
+    pb.addq(RegT3, RegT6, RegT3);
+    pb.ldbu(RegT4, 0, RegT3);           // buf[cand + len]
+    pb.addq(RegS3, RegS0, RegT3);
+    pb.addq(RegT3, RegT6, RegT3);
+    pb.ldbu(RegT5, 0, RegT3);           // buf[pos + len]
+    pb.cmpeq(RegT4, RegT5, RegT2);
+    pb.beq(RegT2, l_scandone);
+    pb.addqi(RegT6, 1, RegT6);
+    pb.br(l_scan);
+    pb.bind(l_scandone);
+    pb.bind(l_nomatch_scan);
+
+    // len >= 3: match path, else literal path.
+    Label l_literal = pb.newLabel();
+    Label l_next = pb.newLabel();
+    pb.cmplti(RegT6, 3, RegT2);
+    pb.bne(RegT2, l_literal);
+    pb.addqi(RegS2, 1, RegS2);
+    pb.mulqi(RegT6, 7, RegT3);
+    pb.subq(RegS0, RegT1, RegT4);       // pos - cand
+    pb.addq(RegT3, RegT4, RegT3);
+    pb.addq(RegS1, RegT3, RegS1);
+    pb.br(l_next);
+
+    pb.bind(l_literal);
+    pb.addq(RegS3, RegS0, RegT3);
+    pb.ldbu(RegT4, 0, RegT3);
+    pb.mulqi(RegS1, 3, RegS1);
+    pb.addq(RegS1, RegT4, RegS1);
+
+    pb.bind(l_next);
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS5, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.mov(RegS2, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- hash(a0 = &buf[pos]) -> v0 ----
+    // Small leaf frame with a spill/reload pair: constant $sp
+    // traffic, zero steady-state SVF traffic.
+    pb.bind(l_hash);
+    FunctionBuilder hash_fb(pb, FrameSpec{16, false, false, false, {}});
+    hash_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);
+    pb.ldbu(RegT0, 0, RegA0);
+    pb.ldbu(RegT1, 1, RegA0);
+    pb.ldq(RegT3, 0, RegSP);            // reload pointer
+    pb.ldbu(RegT2, 2, RegT3);
+    pb.slli(RegT0, 6, RegT0);
+    pb.slli(RegT1, 3, RegT1);
+    pb.xor_(RegT0, RegT1, RegT0);
+    pb.xor_(RegT0, RegT2, RegT0);
+    pb.li(RegT4, HashSize - 1);
+    pb.and_(RegT0, RegT4, RegV0);
+    hash_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

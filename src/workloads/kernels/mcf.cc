@@ -1,0 +1,130 @@
+/**
+ * @file
+ * 181.mcf stand-in: pointer-chasing potential relaxation over a
+ * heap-resident network.
+ *
+ * Stack personality: heap-dominant with a negligible stack (the
+ * paper's mcf row in Table 3 is near-empty); the large node array
+ * also gives the DL1/L2 real miss traffic, matching mcf's
+ * memory-bound reputation.
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t NumNodes = 4096;
+constexpr unsigned HopsPerIter = 64;
+
+/** Node layout: 4 quads {potential, cost, next, pad}. */
+struct Net
+{
+    std::vector<std::uint64_t> quads;   //!< NumNodes * 4
+};
+
+Net
+makeNet(const std::string &input)
+{
+    Rng rng(inputSeed("mcf", input));
+    Net net;
+    net.quads.resize(NumNodes * 4, 0);
+    // A random single-cycle permutation keeps every walk long.
+    std::vector<std::uint64_t> perm(NumNodes);
+    for (std::uint64_t i = 0; i < NumNodes; ++i)
+        perm[i] = i;
+    for (std::uint64_t i = NumNodes - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+    for (std::uint64_t i = 0; i < NumNodes; ++i) {
+        std::uint64_t a = perm[i];
+        std::uint64_t b = perm[(i + 1) % NumNodes];
+        net.quads[a * 4 + 0] = mix64(a) & 0xffff;   // potential
+        net.quads[a * 4 + 1] = (mix64(a ^ 0x77) & 0xff) + 1; // cost
+        net.quads[a * 4 + 2] = b;                   // next
+    }
+    return net;
+}
+
+} // anonymous namespace
+
+std::string
+expectMcf(const std::string &input, std::uint64_t scale)
+{
+    Net net = makeNet(input);
+    std::uint64_t cs = 0;
+    std::uint64_t walk = 0;
+    for (std::uint64_t i = 0; i < scale; ++i) {
+        for (unsigned h = 0; h < HopsPerIter; ++h) {
+            std::uint64_t *n = &net.quads[walk * 4];
+            std::uint64_t pot = n[0];
+            pot = pot + n[1] - (pot >> 3);
+            n[0] = pot;
+            cs += pot;
+            walk = n[2];
+        }
+    }
+    return putintLine(cs) + putintLine(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(walk)));
+}
+
+isa::Program
+buildMcf(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    Net net = makeNet(input);
+
+    ProgramBuilder pb("mcf." + input);
+    Addr nodes = pb.allocHeapQuads(net.quads);
+
+    Label l_main = pb.newLabel();
+
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+    // The walk cursor lives in a frame slot, reloaded per hop (the
+    // register allocator in mcf keeps arc state on the stack).
+
+    pb.li(RegS0, 0);                    // i
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, scale);
+    pb.li(RegS3, nodes);
+    pb.li(RegS4, 0);                    // walk
+
+    Label l_outer = pb.here();
+    pb.li(RegT6, HopsPerIter);
+    Label l_hop = pb.here();
+    pb.stq(RegS4, 0, RegSP);            // spill cursor
+    pb.ldq(RegS4, 0, RegSP);            // reload cursor
+    pb.slli(RegS4, 5, RegT0);           // walk * 32 bytes
+    pb.addq(RegS3, RegT0, RegT0);       // node base
+    pb.ldq(RegT1, 0, RegT0);            // potential
+    pb.ldq(RegT2, 8, RegT0);            // cost
+    pb.srli(RegT1, 3, RegT3);
+    pb.addq(RegT1, RegT2, RegT1);
+    pb.subq(RegT1, RegT3, RegT1);
+    pb.stq(RegT1, 0, RegT0);
+    pb.addq(RegS1, RegT1, RegS1);
+    pb.ldq(RegS4, 16, RegT0);           // walk = next
+    pb.subqi(RegT6, 1, RegT6);
+    pb.bne(RegT6, l_hop);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS2, RegT0);
+    pb.bne(RegT0, l_outer);
+
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.mov(RegS4, RegA0);
+    pb.putint();
+    pb.halt();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

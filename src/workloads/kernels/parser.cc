@@ -1,0 +1,228 @@
+/**
+ * @file
+ * 197.parser stand-in: backtracking recursive matcher.
+ *
+ * Grammar: S := 'a' S 'b' | 'a' S 'c' | 'd'
+ *
+ * Stack personality: medium 64-byte frames with bursty recursion
+ * depth — a failed first alternative unwinds and re-parses the same
+ * span for the second alternative, producing the repeated
+ * deallocate/reallocate stack motion the link-grammar parser shows.
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+void
+genS(Rng &rng, unsigned depth, std::string &out)
+{
+    if (depth == 0 || rng.below(10) < 3) {
+        out.push_back('d');
+        return;
+    }
+    out.push_back('a');
+    genS(rng, depth - 1, out);
+    // 'c' endings force the matcher to fail alternative 1 ('b') at
+    // this level and re-parse via alternative 2; keep them at 25%
+    // so the backtracking blow-up stays bounded.
+    out.push_back(rng.below(4) == 0 ? 'c' : 'b');
+}
+
+std::string
+makeSentences(const std::string &input, std::uint64_t scale)
+{
+    Rng rng(inputSeed("parser", input));
+    std::string s;
+    for (std::uint64_t i = 0; i < scale; ++i) {
+        genS(rng, 28, s);
+        s.push_back('.');       // sentence separator
+    }
+    s.push_back('\0');
+    return s;
+}
+
+/** Host matcher mirroring the SVA code: returns end pos or -1. */
+std::int64_t
+matchS(const std::string &src, std::int64_t pos)
+{
+    char c = src[static_cast<size_t>(pos)];
+    if (c == 'd')
+        return pos + 1;
+    if (c != 'a')
+        return -1;
+    std::int64_t r = matchS(src, pos + 1);
+    if (r < 0)
+        return -1;
+    if (src[static_cast<size_t>(r)] == 'b')
+        return r + 1;
+    // Backtrack: re-parse for alternative 2.
+    std::int64_t r2 = matchS(src, pos + 1);
+    if (r2 < 0)
+        return -1;
+    if (src[static_cast<size_t>(r2)] == 'c')
+        return r2 + 1;
+    return -1;
+}
+
+} // anonymous namespace
+
+std::string
+expectParser(const std::string &input, std::uint64_t scale)
+{
+    std::string src = makeSentences(input, scale);
+    std::uint64_t cs = 0;
+    std::uint64_t ok = 0;
+    std::int64_t pos = 0;
+    while (src[static_cast<size_t>(pos)] != '\0') {
+        std::int64_t r = matchS(src, pos);
+        if (r >= 0 && src[static_cast<size_t>(r)] == '.') {
+            ++ok;
+            cs = cs * 17 + static_cast<std::uint64_t>(r);
+            pos = r + 1;
+        } else {
+            // Skip to the separator (never happens for generated
+            // input, but keeps the parser total).
+            while (src[static_cast<size_t>(pos)] != '.')
+                ++pos;
+            ++pos;
+        }
+    }
+    return putintLine(cs) + putintLine(ok);
+}
+
+isa::Program
+buildParser(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    std::string src = makeSentences(input, scale);
+
+    ProgramBuilder pb("parser." + input);
+    std::vector<std::uint8_t> bytes(src.begin(), src.end());
+    Addr input_addr = allocHeapBytes(pb, bytes);
+
+    Label l_main = pb.newLabel();
+    Label l_match = pb.newLabel();
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+
+    pb.li(RegS0, 0);                    // pos
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, 0);                    // ok count
+    pb.li(RegS3, input_addr);
+
+    Label l_loop = pb.here();
+    Label l_done = pb.newLabel();
+    pb.addq(RegS3, RegS0, RegT0);
+    pb.ldbu(RegT1, 0, RegT0);
+    pb.beq(RegT1, l_done);              // '\0'
+
+    pb.mov(RegS0, RegA0);
+    pb.call(l_match);                   // v0 = end or -1
+
+    Label l_fail = pb.newLabel();
+    Label l_next = pb.newLabel();
+    pb.blt(RegV0, l_fail);
+    pb.addq(RegS3, RegV0, RegT0);
+    pb.ldbu(RegT1, 0, RegT0);
+    pb.cmpeqi(RegT1, '.', RegT2);
+    pb.beq(RegT2, l_fail);
+    pb.addqi(RegS2, 1, RegS2);
+    pb.mulqi(RegS1, 17, RegS1);
+    pb.addq(RegS1, RegV0, RegS1);
+    pb.addqi(RegV0, 1, RegS0);
+    pb.br(l_next);
+
+    pb.bind(l_fail);
+    Label l_skip = pb.here();
+    pb.addq(RegS3, RegS0, RegT0);
+    pb.ldbu(RegT1, 0, RegT0);
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmpeqi(RegT1, '.', RegT2);
+    pb.beq(RegT2, l_skip);
+
+    pb.bind(l_next);
+    pb.br(l_loop);
+
+    pb.bind(l_done);
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.mov(RegS2, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- matchS(a0 = pos) -> v0 = end or -1 ----
+    // Frame slots: 0 pos, 1 r (first recursion result).
+    pb.bind(l_match);
+    FunctionBuilder fb(pb, FrameSpec{64, true, false, false, {}});
+    fb.prologue();
+    pb.stq(RegA0, 0, RegSP);
+
+    Label l_fail2 = pb.newLabel();
+    Label l_ret = pb.newLabel();
+
+    pb.li(RegT4, input_addr);
+    pb.addq(RegT4, RegA0, RegT0);
+    pb.ldbu(RegT1, 0, RegT0);
+
+    // 'd' -> pos + 1
+    Label l_not_d = pb.newLabel();
+    pb.cmpeqi(RegT1, 'd', RegT2);
+    pb.beq(RegT2, l_not_d);
+    pb.addqi(RegA0, 1, RegV0);
+    pb.br(l_ret);
+
+    pb.bind(l_not_d);
+    pb.cmpeqi(RegT1, 'a', RegT2);
+    pb.beq(RegT2, l_fail2);
+
+    // Alternative 1: 'a' S 'b'.
+    pb.ldq(RegT0, 0, RegSP);
+    pb.addqi(RegT0, 1, RegA0);
+    pb.call(l_match);
+    pb.blt(RegV0, l_fail2);
+    pb.stq(RegV0, 8, RegSP);            // r
+    pb.li(RegT4, input_addr);
+    pb.addq(RegT4, RegV0, RegT0);
+    pb.ldbu(RegT1, 0, RegT0);
+    Label l_alt2 = pb.newLabel();
+    pb.cmpeqi(RegT1, 'b', RegT2);
+    pb.beq(RegT2, l_alt2);
+    pb.ldq(RegV0, 8, RegSP);
+    pb.addqi(RegV0, 1, RegV0);
+    pb.br(l_ret);
+
+    // Alternative 2: backtrack and expect 'c'.
+    pb.bind(l_alt2);
+    pb.ldq(RegT0, 0, RegSP);
+    pb.addqi(RegT0, 1, RegA0);
+    pb.call(l_match);
+    pb.blt(RegV0, l_fail2);
+    pb.li(RegT4, input_addr);
+    pb.addq(RegT4, RegV0, RegT0);
+    pb.ldbu(RegT1, 0, RegT0);
+    pb.cmpeqi(RegT1, 'c', RegT2);
+    pb.beq(RegT2, l_fail2);
+    pb.addqi(RegV0, 1, RegV0);
+    pb.br(l_ret);
+
+    pb.bind(l_fail2);
+    pb.li(RegV0, static_cast<std::uint64_t>(-1));
+
+    pb.bind(l_ret);
+    fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * 253.perlbmk stand-in: a stack-machine bytecode interpreter with
+ * indirect handler dispatch and recursive function calls.
+ *
+ * Stack personality: interpreter frames (the CALLF opcode recurses
+ * the interpreter) plus jump-table dispatch through $pv, exercising
+ * the BTB in the gshare configuration like a real interpreter.
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+enum Op : std::uint8_t
+{
+    OpPushi = 0,
+    OpAdd = 1,
+    OpMul = 2,
+    OpXor = 3,
+    OpDup = 4,
+    OpCallf = 5,
+    OpRet = 6,
+    OpPopacc = 7,
+};
+
+constexpr unsigned NumFuncs = 5;
+
+/** Generate one function body with a net vstack effect of zero. */
+std::vector<std::uint8_t>
+genFunc(Rng &rng, unsigned fi)
+{
+    std::vector<std::uint8_t> code;
+    int depth = 0;
+    unsigned len = 12 + static_cast<unsigned>(rng.below(16));
+    for (unsigned i = 0; i < len; ++i) {
+        unsigned pick = static_cast<unsigned>(rng.below(10));
+        if (pick < 3 || depth == 0) {
+            code.push_back(OpPushi);
+            code.push_back(static_cast<std::uint8_t>(rng.below(256)));
+            ++depth;
+        } else if (pick < 5 && depth >= 2) {
+            code.push_back(static_cast<std::uint8_t>(
+                OpAdd + rng.below(3)));         // add/mul/xor
+            --depth;
+        } else if (pick == 5) {
+            code.push_back(OpDup);
+            ++depth;
+        } else if (pick == 6 && fi + 1 < NumFuncs &&
+                   rng.below(2) == 0) {
+            code.push_back(OpCallf);
+            code.push_back(static_cast<std::uint8_t>(
+                fi + 1 + rng.below(NumFuncs - fi - 1)));
+        } else {
+            code.push_back(OpPopacc);
+            --depth;
+        }
+    }
+    while (depth > 0) {
+        code.push_back(OpPopacc);
+        --depth;
+    }
+    code.push_back(OpRet);
+    return code;
+}
+
+struct Bytecode
+{
+    std::vector<std::vector<std::uint8_t>> funcs;   //!< [NumFuncs]
+};
+
+Bytecode
+makeBytecode(const std::string &input)
+{
+    Rng rng(inputSeed("perlbmk", input));
+    Bytecode bc;
+    for (unsigned fi = 0; fi < NumFuncs; ++fi)
+        bc.funcs.push_back(genFunc(rng, fi));
+    return bc;
+}
+
+/** Host interpreter mirroring the SVA one. */
+struct Interp
+{
+    const Bytecode &bc;
+    std::uint64_t acc = 0;
+    std::vector<std::uint64_t> vstack;
+
+    void
+    run(const std::vector<std::uint8_t> &code)
+    {
+        size_t ip = 0;
+        for (;;) {
+            std::uint8_t op = code[ip++];
+            switch (op) {
+              case OpPushi:
+                vstack.push_back(code[ip++]);
+                break;
+              case OpAdd: {
+                std::uint64_t b = vstack.back();
+                vstack.pop_back();
+                vstack.back() += b;
+                break;
+              }
+              case OpMul: {
+                std::uint64_t b = vstack.back();
+                vstack.pop_back();
+                vstack.back() *= b;
+                break;
+              }
+              case OpXor: {
+                std::uint64_t b = vstack.back();
+                vstack.pop_back();
+                vstack.back() ^= b;
+                break;
+              }
+              case OpDup:
+                vstack.push_back(vstack.back());
+                break;
+              case OpCallf:
+                run(bc.funcs[code[ip++]]);
+                break;
+              case OpRet:
+                return;
+              case OpPopacc:
+                acc = acc * 21 + vstack.back();
+                vstack.pop_back();
+                break;
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::string
+expectPerlbmk(const std::string &input, std::uint64_t scale)
+{
+    Bytecode bc = makeBytecode(input);
+    Interp it{bc, 0, {}};
+    for (std::uint64_t i = 0; i < scale; ++i) {
+        it.vstack.push_back(i);
+        it.run(bc.funcs[0]);
+        it.acc = it.acc * 3 + it.vstack.back();
+        it.vstack.pop_back();
+    }
+    return putintLine(it.acc);
+}
+
+isa::Program
+buildPerlbmk(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    Bytecode bc = makeBytecode(input);
+
+    ProgramBuilder pb("perlbmk." + input);
+
+    // Bytecode segments in the heap; record their addresses.
+    std::vector<Addr> func_addrs;
+    for (const auto &f : bc.funcs)
+        func_addrs.push_back(allocHeapBytes(pb, f));
+    std::vector<std::uint64_t> ftab(func_addrs.begin(),
+                                    func_addrs.end());
+    Addr ftab_addr = pb.allocHeapQuads(ftab);
+
+    Addr vstack_addr = pb.allocHeap(64 * 1024, 8);
+    Addr acc_addr = pb.allocDataZero(8);
+    Addr jtab_addr = pb.allocDataZero(8 * 8);   // 8 handler slots
+
+    Label l_main = pb.newLabel();
+    Label l_interp = pb.newLabel();
+    Label l_h_pushi = pb.newLabel();
+    Label l_h_add = pb.newLabel();
+    Label l_h_mul = pb.newLabel();
+    Label l_h_xor = pb.newLabel();
+    Label l_h_dup = pb.newLabel();
+    Label l_h_callf = pb.newLabel();
+    Label l_h_popacc = pb.newLabel();
+
+    // Interpreter register conventions (shared with handlers):
+    //   s0 = ip (byte address), s1 = vstack byte offset,
+    //   s2 = vstack base, s3 = jump table base.
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+
+    // Build the dispatch table.
+    const Label handlers[8] = {l_h_pushi, l_h_add, l_h_mul, l_h_xor,
+                               l_h_dup, l_h_callf, Label{}, l_h_popacc};
+    pb.li(RegS3, jtab_addr);
+    for (unsigned k = 0; k < 8; ++k) {
+        if (!handlers[k].valid())
+            continue;           // OpRet is handled inline
+        pb.la(RegT0, handlers[k]);
+        pb.stq(RegT0, static_cast<std::int32_t>(8 * k), RegS3);
+    }
+
+    pb.li(RegS2, vstack_addr);
+    pb.li(RegS1, 0);                    // vstack offset
+    pb.li(RegS5, 0);                    // i
+    pb.li(RegS6, scale);
+
+    Label l_loop = pb.here();
+    // vstack.push(i)
+    pb.addq(RegS2, RegS1, RegT0);
+    pb.stq(RegS5, 0, RegT0);
+    pb.addqi(RegS1, 8, RegS1);
+
+    pb.li(RegA0, func_addrs[0]);
+    pb.call(l_interp);
+
+    // acc = acc * 3 + vstack.pop()
+    pb.subqi(RegS1, 8, RegS1);
+    pb.addq(RegS2, RegS1, RegT0);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.li(RegT2, acc_addr);
+    pb.ldq(RegT3, 0, RegT2);
+    pb.mulqi(RegT3, 3, RegT3);
+    pb.addq(RegT3, RegT1, RegT3);
+    pb.stq(RegT3, 0, RegT2);
+
+    pb.addqi(RegS5, 1, RegS5);
+    pb.cmplt(RegS5, RegS6, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    pb.li(RegT2, acc_addr);
+    pb.ldq(RegA0, 0, RegT2);
+    pb.putint();
+    pb.halt();
+
+    // ---- interp(a0 = code address) ----
+    // Saves/restores s0 so recursion via CALLF is safe (s1..s3 are
+    // shared interpreter state and deliberately not saved).
+    pb.bind(l_interp);
+    FunctionBuilder in_fb(pb, FrameSpec{16, true, false, false,
+                                        {RegS0}});
+    in_fb.prologue();
+    pb.mov(RegA0, RegS0);               // ip
+
+    Label l_dispatch = pb.here();
+    Label l_interp_ret = pb.newLabel();
+    pb.ldbu(RegT0, 0, RegS0);           // op
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmpeqi(RegT0, OpRet, RegT1);
+    pb.bne(RegT1, l_interp_ret);
+    // Spill the interpreter state across the handler call, as a
+    // compiler would for live caller-saved state.
+    pb.stq(RegS0, 0, RegSP);
+    pb.slli(RegT0, 3, RegT1);
+    pb.addq(RegS3, RegT1, RegT1);
+    pb.ldq(RegPV, 0, RegT1);
+    pb.jsr(RegRA, RegPV);               // dispatch
+    pb.ldq(RegT2, 0, RegSP);            // reload spilled state
+    pb.cmpeq(RegT2, RegS0, RegT3);      // ip advanced by handler?
+    pb.bne(RegT3, l_dispatch);
+    pb.br(l_dispatch);
+
+    pb.bind(l_interp_ret);
+    in_fb.epilogueRet();
+
+    // ---- handlers (leaf; share s0/s1/s2 state) ----
+    auto pop2 = [&]() {
+        // t2 = b (top), t3 = a (below); s1 shrinks by 8; t4 =
+        // address of the new top (a's slot).
+        pb.subqi(RegS1, 8, RegS1);
+        pb.addq(RegS2, RegS1, RegT4);
+        pb.ldq(RegT2, 0, RegT4);        // b
+        pb.ldq(RegT3, -8, RegT4);       // a
+        pb.lda(RegT4, -8, RegT4);
+    };
+
+    pb.bind(l_h_pushi);
+    pb.ldbu(RegT2, 0, RegS0);           // imm
+    pb.addqi(RegS0, 1, RegS0);
+    pb.addq(RegS2, RegS1, RegT3);
+    pb.stq(RegT2, 0, RegT3);
+    pb.addqi(RegS1, 8, RegS1);
+    pb.ret();
+
+    pb.bind(l_h_add);
+    pop2();
+    pb.addq(RegT3, RegT2, RegT3);
+    pb.stq(RegT3, 0, RegT4);
+    pb.ret();
+
+    pb.bind(l_h_mul);
+    pop2();
+    pb.mulq(RegT3, RegT2, RegT3);
+    pb.stq(RegT3, 0, RegT4);
+    pb.ret();
+
+    pb.bind(l_h_xor);
+    pop2();
+    pb.xor_(RegT3, RegT2, RegT3);
+    pb.stq(RegT3, 0, RegT4);
+    pb.ret();
+
+    pb.bind(l_h_dup);
+    pb.addq(RegS2, RegS1, RegT3);
+    pb.ldq(RegT2, -8, RegT3);
+    pb.stq(RegT2, 0, RegT3);
+    pb.addqi(RegS1, 8, RegS1);
+    pb.ret();
+
+    pb.bind(l_h_popacc);
+    pb.subqi(RegS1, 8, RegS1);
+    pb.addq(RegS2, RegS1, RegT3);
+    pb.ldq(RegT2, 0, RegT3);
+    pb.li(RegT3, acc_addr);
+    pb.ldq(RegT4, 0, RegT3);
+    pb.mulqi(RegT4, 21, RegT4);
+    pb.addq(RegT4, RegT2, RegT4);
+    pb.stq(RegT4, 0, RegT3);
+    pb.ret();
+
+    // CALLF recurses into the interpreter, so it needs a real frame.
+    pb.bind(l_h_callf);
+    FunctionBuilder cf_fb(pb, FrameSpec{16, true, false, false, {}});
+    cf_fb.prologue();
+    pb.ldbu(RegT0, 0, RegS0);           // function index
+    pb.addqi(RegS0, 1, RegS0);
+    pb.slli(RegT0, 3, RegT0);
+    pb.li(RegT1, ftab_addr);
+    pb.addq(RegT1, RegT0, RegT1);
+    pb.ldq(RegA0, 0, RegT1);
+    pb.call(l_interp);
+    cf_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

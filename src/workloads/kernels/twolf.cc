@@ -1,0 +1,290 @@
+/**
+ * @file
+ * 300.twolf stand-in: simulated-annealing cell placement.
+ *
+ * Stack personality: a long optimization loop calling a small cost
+ * helper twice per move — shallow, steady stack with the working set
+ * (cell positions) in the heap.
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t NumCells = 512;
+
+/** Row-cost scratch in the driver's frame: 288 quadwords (2.3KB)
+ *  of stack state swept every move — the wide region behind
+ *  twolf's Table 3 stack-cache traffic. */
+constexpr std::uint64_t ScratchLen = 256;
+
+std::vector<std::uint64_t>
+makeCells(const std::string &input)
+{
+    Rng rng(inputSeed("twolf", input));
+    std::vector<std::uint64_t> cells(NumCells);
+    for (auto &c : cells)
+        c = rng.below(1 << 16);
+    return cells;
+}
+
+/** Local cost of cell i: distance to both ring neighbours. */
+std::uint64_t
+cellCost(const std::vector<std::uint64_t> &cells, std::uint64_t i)
+{
+    std::uint64_t left = cells[(i + NumCells - 1) % NumCells];
+    std::uint64_t right = cells[(i + 1) % NumCells];
+    std::uint64_t me = cells[i];
+    std::uint64_t dl = me > left ? me - left : left - me;
+    std::uint64_t dr = me > right ? me - right : right - me;
+    return dl + dr;
+}
+
+} // anonymous namespace
+
+std::string
+expectTwolf(const std::string &input, std::uint64_t scale)
+{
+    std::vector<std::uint64_t> cells = makeCells(input);
+    std::vector<std::uint64_t> scratch(ScratchLen, 0);
+    std::uint64_t lcg = inputSeed("twolf", input) | 1;
+    std::uint64_t accepted = 0;
+    for (std::uint64_t iter = 0; iter < scale; ++iter) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::uint64_t i = (lcg >> 33) % NumCells;
+        std::uint64_t j = (lcg >> 13) % NumCells;
+        std::uint64_t before = cellCost(cells, i) + cellCost(cells, j);
+        std::swap(cells[i], cells[j]);
+        std::uint64_t after = cellCost(cells, i) + cellCost(cells, j);
+        if (after <= before) {
+            ++accepted;
+        } else {
+            std::swap(cells[i], cells[j]);  // reject
+        }
+        scratch[(i ^ j) & (ScratchLen - 1)] += after;
+    }
+    std::uint64_t cs = 0;
+    for (std::uint64_t c : cells)
+        cs = cs * 31 + c;
+    for (std::uint64_t v : scratch)
+        cs = cs * 7 + v;
+    return putintLine(cs) + putintLine(accepted);
+}
+
+isa::Program
+buildTwolf(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    std::vector<std::uint64_t> cells = makeCells(input);
+    std::uint64_t seed = inputSeed("twolf", input) | 1;
+
+    ProgramBuilder pb("twolf." + input);
+    Addr cells_addr = pb.allocHeapQuads(cells);
+
+    Label l_main = pb.newLabel();
+    Label l_cost = pb.newLabel();
+    Label l_swap = pb.newLabel();
+
+    // ---- main ----
+    pb.bind(l_main);
+    // Frame: slots 0..3 scratch temporaries, slots 4.. the 2KB
+    // row-cost scratch array.
+    FunctionBuilder main_fb(
+        pb, FrameSpec{32 + ScratchLen * 8, true, false, false, {}});
+    main_fb.prologue();
+
+    // Zero the scratch array.
+    pb.li(RegT0, 0);
+    pb.li(RegT1, ScratchLen);
+    Label l_zs = pb.here();
+    pb.slli(RegT0, 3, RegT2);
+    pb.addq(RegSP, RegT2, RegT2);
+    pb.stq(RegZero, 32, RegT2);
+    pb.addqi(RegT0, 1, RegT0);
+    pb.cmplt(RegT0, RegT1, RegT2);
+    pb.bne(RegT2, l_zs);
+
+    pb.li(RegS0, 0);                    // iter
+    pb.li(RegS1, seed);                 // lcg
+    pb.li(RegS2, 0);                    // accepted
+    pb.li(RegS3, cells_addr);
+    pb.li(RegS6, scale);
+
+    Label l_loop = pb.here();
+    // lcg = lcg * M + C
+    pb.li(RegT0, 6364136223846793005ULL);
+    pb.mulq(RegS1, RegT0, RegS1);
+    pb.li(RegT0, 1442695040888963407ULL);
+    pb.addq(RegS1, RegT0, RegS1);
+    pb.srli(RegS1, 33, RegT0);
+    pb.li(RegT1, NumCells - 1);
+    pb.and_(RegT0, RegT1, RegS4);       // i  (NumCells is a pow2)
+    pb.srli(RegS1, 13, RegT0);
+    pb.and_(RegT0, RegT1, RegS5);       // j
+
+    // before = cost(i) + cost(j)
+    pb.mov(RegS4, RegA0);
+    pb.call(l_cost);
+    pb.stq(RegV0, 0, RegSP);
+    pb.mov(RegS5, RegA0);
+    pb.call(l_cost);
+    pb.ldq(RegT0, 0, RegSP);
+    pb.addq(RegT0, RegV0, RegT0);
+    pb.stq(RegT0, 8, RegSP);            // before
+
+    pb.mov(RegS4, RegA0);
+    pb.mov(RegS5, RegA1);
+    pb.call(l_swap);
+
+    pb.mov(RegS4, RegA0);
+    pb.call(l_cost);
+    pb.stq(RegV0, 16, RegSP);
+    pb.mov(RegS5, RegA0);
+    pb.call(l_cost);
+    pb.ldq(RegT0, 16, RegSP);
+    pb.addq(RegT0, RegV0, RegT0);       // after
+    pb.stq(RegT0, 24, RegSP);           // keep across swap-back
+
+    pb.ldq(RegT1, 8, RegSP);            // before
+    Label l_accept = pb.newLabel();
+    Label l_cont = pb.newLabel();
+    pb.cmpule(RegT0, RegT1, RegT2);
+    pb.bne(RegT2, l_accept);
+    // Reject: swap back.
+    pb.mov(RegS4, RegA0);
+    pb.mov(RegS5, RegA1);
+    pb.call(l_swap);
+    pb.br(l_cont);
+    pb.bind(l_accept);
+    pb.addqi(RegS2, 1, RegS2);
+    pb.bind(l_cont);
+
+    // scratch[(i ^ j) & 255] += after: a wide $sp-relative RMW
+    // whose offset sweeps the whole 2KB array.
+    pb.ldq(RegT0, 24, RegSP);           // after (swap clobbers $t0)
+    pb.xor_(RegS4, RegS5, RegT2);
+    pb.andi(RegT2, ScratchLen - 1, RegT2);
+    pb.slli(RegT2, 3, RegT2);
+    pb.addq(RegSP, RegT2, RegT2);
+    pb.ldq(RegT3, 32, RegT2);
+    pb.addq(RegT3, RegT0, RegT3);
+    pb.stq(RegT3, 32, RegT2);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS6, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    // Final placement checksum.
+    pb.li(RegT5, 0);                    // index
+    pb.li(RegT6, 0);                    // checksum
+    pb.li(RegT4, NumCells);
+    Label l_cs = pb.here();
+    pb.slli(RegT5, 3, RegT0);
+    pb.addq(RegS3, RegT0, RegT0);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.mulqi(RegT6, 31, RegT6);
+    pb.addq(RegT6, RegT1, RegT6);
+    pb.addqi(RegT5, 1, RegT5);
+    pb.cmplt(RegT5, RegT4, RegT0);
+    pb.bne(RegT0, l_cs);
+
+    // Fold the scratch array into the checksum.
+    pb.li(RegT5, 0);
+    pb.li(RegT4, ScratchLen);
+    Label l_cs2 = pb.here();
+    pb.slli(RegT5, 3, RegT0);
+    pb.addq(RegSP, RegT0, RegT0);
+    pb.ldq(RegT1, 32, RegT0);
+    pb.mulqi(RegT6, 7, RegT6);
+    pb.addq(RegT6, RegT1, RegT6);
+    pb.addqi(RegT5, 1, RegT5);
+    pb.cmplt(RegT5, RegT4, RegT0);
+    pb.bne(RegT0, l_cs2);
+
+    pb.mov(RegT6, RegA0);
+    pb.putint();
+    pb.mov(RegS2, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- cost(a0 = index) -> v0 ----
+    pb.bind(l_cost);
+    FunctionBuilder cost_fb(pb, FrameSpec{16, false, false, false, {}});
+    cost_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);            // spill index
+
+    pb.li(RegT4, cells_addr);
+    pb.li(RegT3, NumCells - 1);         // pow2 ring mask
+
+    // left = cells[(i + N - 1) & (N - 1)]
+    pb.addq(RegA0, RegT3, RegT0);
+    pb.and_(RegT0, RegT3, RegT0);
+    pb.slli(RegT0, 3, RegT0);
+    pb.addq(RegT4, RegT0, RegT0);
+    pb.ldq(RegT2, 0, RegT0);
+
+    // right = cells[(i + 1) & (N - 1)]
+    pb.ldq(RegT0, 0, RegSP);            // reload index
+    pb.addqi(RegT0, 1, RegT0);
+    pb.and_(RegT0, RegT3, RegT0);
+    pb.slli(RegT0, 3, RegT0);
+    pb.addq(RegT4, RegT0, RegT0);
+    pb.ldq(RegT5, 0, RegT0);
+
+    // me = cells[i]
+    pb.ldq(RegT0, 0, RegSP);
+    pb.slli(RegT0, 3, RegT0);
+    pb.addq(RegT4, RegT0, RegT0);
+    pb.ldq(RegT6, 0, RegT0);
+
+    // dl = |me - left| (unsigned)
+    Label l_dl = pb.newLabel();
+    Label l_dl2 = pb.newLabel();
+    pb.cmpult(RegT2, RegT6, RegT7);     // left < me?
+    pb.bne(RegT7, l_dl);
+    pb.subq(RegT2, RegT6, RegT0);       // left - me
+    pb.br(l_dl2);
+    pb.bind(l_dl);
+    pb.subq(RegT6, RegT2, RegT0);       // me - left
+    pb.bind(l_dl2);
+
+    // dr = |me - right|
+    Label l_dr = pb.newLabel();
+    Label l_dr2 = pb.newLabel();
+    pb.cmpult(RegT5, RegT6, RegT7);
+    pb.bne(RegT7, l_dr);
+    pb.subq(RegT5, RegT6, RegT1);
+    pb.br(l_dr2);
+    pb.bind(l_dr);
+    pb.subq(RegT6, RegT5, RegT1);
+    pb.bind(l_dr2);
+
+    pb.addq(RegT0, RegT1, RegV0);
+    cost_fb.epilogueRet();
+
+    // ---- swap(a0 = i, a1 = j) ----
+    pb.bind(l_swap);
+    FunctionBuilder swap_fb(pb, FrameSpec{16, false, false, false, {}});
+    swap_fb.prologue();
+    pb.slli(RegA0, 3, RegT0);
+    pb.slli(RegA1, 3, RegT1);
+    pb.li(RegT4, cells_addr);
+    pb.addq(RegT4, RegT0, RegT0);
+    pb.addq(RegT4, RegT1, RegT1);
+    pb.ldq(RegT2, 0, RegT0);
+    pb.ldq(RegT3, 0, RegT1);
+    pb.stq(RegT3, 0, RegT0);
+    pb.stq(RegT2, 0, RegT1);
+    swap_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

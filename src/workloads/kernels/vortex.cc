@@ -1,0 +1,233 @@
+/**
+ * @file
+ * 255.vortex stand-in: object store with chained hash buckets.
+ *
+ * Stack personality: light — short insert/lookup helpers over a
+ * heap-resident table, like the paper's object-database benchmark.
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t Buckets = 1024;     // power of two
+constexpr std::uint64_t NoIdx = 0;          // arena slot 0 is unused
+
+std::uint64_t
+keyFor(std::uint64_t i)
+{
+    return mix64(i) & 0xffff;
+}
+
+} // anonymous namespace
+
+std::string
+expectVortex(const std::string &input, std::uint64_t scale)
+{
+    (void)input;
+    std::vector<std::uint64_t> head(Buckets, NoIdx);
+    // Record arena: 3 quads per record {key, val, next}; slot 0
+    // reserved as the null index.
+    std::vector<std::uint64_t> arena(3, 0);
+    std::uint64_t cs = 0;
+    std::uint64_t found = 0;
+
+    for (std::uint64_t i = 0; i < scale; ++i) {
+        std::uint64_t key = keyFor(i);
+        std::uint64_t b = key & (Buckets - 1);
+        if (i % 3 != 2) {
+            // Insert.
+            std::uint64_t idx = arena.size() / 3;
+            arena.push_back(key);
+            arena.push_back(i);
+            arena.push_back(head[b]);
+            head[b] = idx;
+        } else {
+            // Lookup an earlier key.
+            std::uint64_t probe = keyFor(i / 2);
+            std::uint64_t pb_ = probe & (Buckets - 1);
+            std::uint64_t idx = head[pb_];
+            while (idx != NoIdx) {
+                if (arena[idx * 3] == probe) {
+                    ++found;
+                    cs += arena[idx * 3 + 1];
+                    break;
+                }
+                idx = arena[idx * 3 + 2];
+            }
+            cs = cs * 5 + probe;
+        }
+    }
+    return putintLine(cs) + putintLine(found);
+}
+
+isa::Program
+buildVortex(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    (void)input;
+
+    ProgramBuilder pb("vortex.ref");
+    std::vector<std::uint64_t> head_init(Buckets, NoIdx);
+    Addr head_addr = pb.allocHeapQuads(head_init);
+    // Arena: reserve space for every possible insert.
+    Addr arena_addr = pb.allocHeap((scale + 2) * 24 + 24, 8);
+    Addr count_addr = pb.allocDataQuads({1});   // next free record idx
+
+    Label l_main = pb.newLabel();
+    Label l_insert = pb.newLabel();
+    Label l_lookup = pb.newLabel();
+    Label l_key = pb.newLabel();
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+
+    pb.li(RegS0, 0);                    // i
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, 0);                    // found
+    pb.li(RegS3, scale);
+    pb.li(RegS4, 0);                    // phase (i mod 3)
+
+    Label l_loop = pb.here();
+    // i % 3 via repeated subtraction on a copy is expensive; use
+    // i - (i / 3) * 3 with shifts? Division is not in the ISA, so
+    // track the phase in a register instead.
+    // Phase register: s4 cycles 0,1,2.
+    pb.mov(RegS0, RegA0);
+    pb.call(l_key);                     // v0 = keyFor(i)
+
+    Label l_do_lookup = pb.newLabel();
+    Label l_after = pb.newLabel();
+    pb.cmpeqi(RegS4, 2, RegT0);
+    pb.bne(RegT0, l_do_lookup);
+
+    pb.mov(RegV0, RegA0);               // key
+    pb.mov(RegS0, RegA1);               // val = i
+    pb.call(l_insert);
+    pb.br(l_after);
+
+    pb.bind(l_do_lookup);
+    pb.srli(RegS0, 1, RegA0);
+    pb.call(l_key);                     // v0 = keyFor(i/2)
+    pb.mov(RegV0, RegA0);
+    pb.mov(RegV0, RegS5);               // keep probe key
+    pb.call(l_lookup);                  // v0 = val or -1, t7 = hit
+    Label l_miss = pb.newLabel();
+    pb.blt(RegV0, l_miss);
+    pb.addqi(RegS2, 1, RegS2);
+    pb.addq(RegS1, RegV0, RegS1);
+    pb.bind(l_miss);
+    pb.mulqi(RegS1, 5, RegS1);
+    pb.addq(RegS1, RegS5, RegS1);
+
+    pb.bind(l_after);
+    // phase = (phase + 1) cycling 0,1,2
+    pb.addqi(RegS4, 1, RegS4);
+    pb.cmpeqi(RegS4, 3, RegT0);
+    Label l_nowrap = pb.newLabel();
+    pb.beq(RegT0, l_nowrap);
+    pb.li(RegS4, 0);
+    pb.bind(l_nowrap);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmplt(RegS0, RegS3, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.mov(RegS2, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- keyFor(a0 = i) -> v0 = mix64(i) & 0xffff ----
+    pb.bind(l_key);
+    FunctionBuilder key_fb(pb, FrameSpec{16, false, false, false, {}});
+    key_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);
+    pb.li(RegT0, HashMul);
+    pb.ldq(RegT1, 0, RegSP);
+    pb.mulq(RegT1, RegT0, RegT1);
+    pb.srli(RegT1, 29, RegT2);
+    pb.xor_(RegT1, RegT2, RegT1);
+    pb.li(RegT3, 0xffff);
+    pb.and_(RegT1, RegT3, RegV0);
+    key_fb.epilogueRet();
+
+    // ---- insert(a0 = key, a1 = val) ----
+    pb.bind(l_insert);
+    FunctionBuilder ins_fb(pb, FrameSpec{16, false, false, false, {}});
+    ins_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);            // spill key
+
+    pb.li(RegT0, count_addr);
+    pb.ldq(RegT1, 0, RegT0);            // idx
+    pb.addqi(RegT1, 1, RegT2);
+    pb.stq(RegT2, 0, RegT0);
+
+    // rec = arena + idx * 24
+    pb.mulqi(RegT1, 24, RegT2);
+    pb.li(RegT3, arena_addr);
+    pb.addq(RegT3, RegT2, RegT2);
+    pb.stq(RegA0, 0, RegT2);            // key
+    pb.stq(RegA1, 8, RegT2);            // val
+
+    // bucket
+    pb.li(RegT4, Buckets - 1);
+    pb.and_(RegA0, RegT4, RegT4);
+    pb.slli(RegT4, 3, RegT4);
+    pb.li(RegT5, head_addr);
+    pb.addq(RegT5, RegT4, RegT4);       // &head[b]
+    pb.ldq(RegT6, 0, RegT4);
+    pb.stq(RegT6, 16, RegT2);           // rec->next = head[b]
+    pb.stq(RegT1, 0, RegT4);            // head[b] = idx
+    ins_fb.epilogueRet();
+
+    // ---- lookup(a0 = key) -> v0 = val or -1 ----
+    pb.bind(l_lookup);
+    FunctionBuilder look_fb(pb, FrameSpec{16, false, false, false, {}});
+    look_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);
+
+    pb.li(RegT4, Buckets - 1);
+    pb.and_(RegA0, RegT4, RegT4);
+    pb.slli(RegT4, 3, RegT4);
+    pb.li(RegT5, head_addr);
+    pb.addq(RegT5, RegT4, RegT4);
+    pb.ldq(RegT1, 0, RegT4);            // idx
+    pb.li(RegT3, arena_addr);
+
+    Label l_walk = pb.here();
+    Label l_notfound = pb.newLabel();
+    Label l_found2 = pb.newLabel();
+    pb.beq(RegT1, l_notfound);
+    pb.mulqi(RegT1, 24, RegT2);
+    pb.addq(RegT3, RegT2, RegT2);
+    pb.ldq(RegT6, 0, RegT2);            // rec->key
+    pb.ldq(RegT7, 0, RegSP);            // probe key
+    pb.cmpeq(RegT6, RegT7, RegT0);
+    pb.bne(RegT0, l_found2);
+    pb.ldq(RegT1, 16, RegT2);           // next
+    pb.br(l_walk);
+
+    pb.bind(l_found2);
+    pb.ldq(RegV0, 8, RegT2);            // val
+    Label l_ret = pb.newLabel();
+    pb.br(l_ret);
+    pb.bind(l_notfound);
+    pb.li(RegV0, static_cast<std::uint64_t>(-1));
+    pb.bind(l_ret);
+    look_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * 175.vpr stand-in: maze-routing breadth-first wave expansion.
+ *
+ * Stack personality: a BFS driver calling small queue helpers, with
+ * the routing grid and wavefront queue in the heap.
+ */
+
+#include "workloads/registry.hh"
+
+#include "base/random.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t GridW = 32;
+constexpr std::uint64_t GridH = 32;
+constexpr std::uint64_t GridCells = GridW * GridH;
+
+/** Host-side grid of blocked cells (about 20%). */
+std::vector<std::uint64_t>
+makeBlocked(const std::string &input)
+{
+    Rng rng(inputSeed("vpr", input));
+    std::vector<std::uint64_t> blocked(GridCells, 0);
+    for (auto &b : blocked)
+        b = rng.below(5) == 0 ? 1 : 0;
+    blocked[0] = 0;
+    return blocked;
+}
+
+/** Endpoints for route r (kept deterministic and unblocked). */
+void
+routeEnds(const std::vector<std::uint64_t> &blocked, std::uint64_t r,
+          std::uint64_t &src, std::uint64_t &dst)
+{
+    src = mix64(r * 2 + 1) % GridCells;
+    dst = mix64(r * 2 + 2) % GridCells;
+    while (blocked[src])
+        src = (src + 1) % GridCells;
+    while (blocked[dst] || dst == src)
+        dst = (dst + 1) % GridCells;
+}
+
+/** Host BFS mirroring the SVA kernel; returns path length or 0. */
+std::uint64_t
+bfs(const std::vector<std::uint64_t> &blocked,
+    std::vector<std::uint64_t> &mark, std::uint64_t epoch,
+    std::uint64_t src, std::uint64_t dst)
+{
+    // mark[i] = epoch * 4096 + dist + 1 when visited this epoch.
+    std::vector<std::uint64_t> queue(GridCells);
+    std::uint64_t qh = 0;
+    std::uint64_t qt = 0;
+    queue[qt++] = src;
+    mark[src] = epoch * 4096 + 1;
+    while (qh < qt) {
+        std::uint64_t cur = queue[qh++];
+        if (cur == dst)
+            return mark[cur] - epoch * 4096 - 1;
+        std::uint64_t d = mark[cur] - epoch * 4096;
+        std::uint64_t x = cur % GridW;
+        std::uint64_t y = cur / GridW;
+        const std::int64_t nx[4] = {-1, 1, 0, 0};
+        const std::int64_t ny[4] = {0, 0, -1, 1};
+        for (int k = 0; k < 4; ++k) {
+            std::int64_t xx = static_cast<std::int64_t>(x) + nx[k];
+            std::int64_t yy = static_cast<std::int64_t>(y) + ny[k];
+            if (xx < 0 || yy < 0 ||
+                xx >= static_cast<std::int64_t>(GridW) ||
+                yy >= static_cast<std::int64_t>(GridH)) {
+                continue;
+            }
+            std::uint64_t n = static_cast<std::uint64_t>(yy) * GridW +
+                              static_cast<std::uint64_t>(xx);
+            if (blocked[n] || mark[n] >= epoch * 4096 + 1)
+                continue;
+            mark[n] = epoch * 4096 + d + 1;
+            queue[qt++] = n;
+        }
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+std::string
+expectVpr(const std::string &input, std::uint64_t scale)
+{
+    std::vector<std::uint64_t> blocked = makeBlocked(input);
+    std::vector<std::uint64_t> mark(GridCells, 0);
+    std::uint64_t cs = 0;
+    std::uint64_t routed = 0;
+    for (std::uint64_t r = 1; r <= scale; ++r) {
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        routeEnds(blocked, r, src, dst);
+        std::uint64_t len = bfs(blocked, mark, r, src, dst);
+        if (len)
+            ++routed;
+        cs = cs * 9 + len;
+    }
+    return putintLine(cs) + putintLine(routed);
+}
+
+isa::Program
+buildVpr(const std::string &input, std::uint64_t scale)
+{
+    using namespace isa;
+    std::vector<std::uint64_t> blocked = makeBlocked(input);
+
+    ProgramBuilder pb("vpr." + input);
+    Addr blocked_addr = pb.allocHeapQuads(blocked);
+    Addr mark_addr = pb.allocHeapQuads(
+        std::vector<std::uint64_t>(GridCells, 0));
+    Addr queue_addr = pb.allocHeap(GridCells * 8, 8);
+    // Queue head/tail as globals (helper-shared state).
+    Addr qh_addr = pb.allocDataZero(8);
+    Addr qt_addr = pb.allocDataZero(8);
+
+    // Precomputed per-route endpoints (host-side arithmetic uses
+    // mix64; embedding the results keeps the kernel focused on the
+    // BFS itself).
+    std::vector<std::uint64_t> ends;
+    for (std::uint64_t r = 1; r <= scale; ++r) {
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        routeEnds(blocked, r, src, dst);
+        ends.push_back(src);
+        ends.push_back(dst);
+    }
+    Addr ends_addr = pb.allocHeapQuads(ends);
+
+    Label l_main = pb.newLabel();
+    Label l_bfs = pb.newLabel();
+    Label l_qpush = pb.newLabel();
+    Label l_qpop = pb.newLabel();
+
+    // ---- main ----
+    pb.bind(l_main);
+    FunctionBuilder main_fb(pb, FrameSpec{16, true, false, false, {}});
+    main_fb.prologue();
+
+    pb.li(RegS0, 1);                    // r (epoch)
+    pb.li(RegS1, 0);                    // checksum
+    pb.li(RegS2, 0);                    // routed
+    pb.li(RegS3, scale);
+
+    Label l_loop = pb.here();
+    pb.subqi(RegS0, 1, RegT0);
+    pb.slli(RegT0, 4, RegT0);           // (r-1) * 16 bytes
+    pb.li(RegT1, ends_addr);
+    pb.addq(RegT1, RegT0, RegT1);
+    pb.ldq(RegA0, 0, RegT1);            // src
+    pb.ldq(RegA1, 8, RegT1);            // dst
+    pb.mov(RegS0, RegA2);               // epoch
+    pb.call(l_bfs);                     // v0 = len or 0
+
+    Label l_norout = pb.newLabel();
+    pb.beq(RegV0, l_norout);
+    pb.addqi(RegS2, 1, RegS2);
+    pb.bind(l_norout);
+    pb.mulqi(RegS1, 9, RegS1);
+    pb.addq(RegS1, RegV0, RegS1);
+
+    pb.addqi(RegS0, 1, RegS0);
+    pb.cmple(RegS0, RegS3, RegT0);
+    pb.bne(RegT0, l_loop);
+
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.mov(RegS2, RegA0);
+    pb.putint();
+    pb.halt();
+
+    // ---- bfs(a0 = src, a1 = dst, a2 = epoch) -> v0 ----
+    // Frame slots: 0 dst, 1 epoch*4096, 2 cur, 3 dist.
+    pb.bind(l_bfs);
+    FunctionBuilder bfs_fb(pb, FrameSpec{32, true, false, false,
+                                         {RegS4, RegS5, RegS6}});
+    bfs_fb.prologue();
+    pb.stq(RegA1, 0, RegSP);            // dst
+    pb.slli(RegA2, 12, RegT0);          // epoch * 4096
+    pb.stq(RegT0, 8, RegSP);
+
+    // Reset queue, push src, mark it.
+    pb.li(RegT1, qh_addr);
+    pb.stq(RegZero, 0, RegT1);
+    pb.li(RegT1, qt_addr);
+    pb.stq(RegZero, 0, RegT1);
+
+    pb.li(RegS4, mark_addr);
+    pb.li(RegS5, blocked_addr);
+
+    pb.slli(RegA0, 3, RegT1);
+    pb.addq(RegS4, RegT1, RegT1);
+    pb.addqi(RegT0, 1, RegT2);          // epoch*4096 + 1
+    pb.stq(RegT2, 0, RegT1);            // mark[src]
+    pb.call(l_qpush);                   // a0 = src already
+
+    Label l_bfs_loop = pb.here();
+    Label l_bfs_fail = pb.newLabel();
+    Label l_bfs_ret = pb.newLabel();
+
+    // Empty queue?
+    pb.li(RegT0, qh_addr);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.li(RegT0, qt_addr);
+    pb.ldq(RegT2, 0, RegT0);
+    pb.cmplt(RegT1, RegT2, RegT0);
+    pb.beq(RegT0, l_bfs_fail);
+
+    pb.call(l_qpop);                    // v0 = cur
+    pb.stq(RegV0, 16, RegSP);
+
+    // Found?
+    pb.ldq(RegT0, 0, RegSP);            // dst
+    Label l_expand = pb.newLabel();
+    pb.cmpeq(RegV0, RegT0, RegT1);
+    pb.beq(RegT1, l_expand);
+    // len = mark[cur] - epoch*4096 - 1
+    pb.slli(RegV0, 3, RegT1);
+    pb.addq(RegS4, RegT1, RegT1);
+    pb.ldq(RegT2, 0, RegT1);
+    pb.ldq(RegT3, 8, RegSP);
+    pb.subq(RegT2, RegT3, RegV0);
+    pb.subqi(RegV0, 1, RegV0);
+    pb.br(l_bfs_ret);
+
+    pb.bind(l_expand);
+    // d = mark[cur] - epoch*4096
+    pb.ldq(RegT0, 16, RegSP);           // cur
+    pb.slli(RegT0, 3, RegT1);
+    pb.addq(RegS4, RegT1, RegT1);
+    pb.ldq(RegT2, 0, RegT1);
+    pb.ldq(RegT3, 8, RegSP);
+    pb.subq(RegT2, RegT3, RegT2);
+    pb.stq(RegT2, 24, RegSP);           // dist
+
+    // x = cur & 31, y = cur >> 5.
+    // Neighbours: cur-1 (x>0), cur+1 (x<31), cur-32 (y>0),
+    // cur+32 (y<31).
+    for (int k = 0; k < 4; ++k) {
+        Label l_skip = pb.newLabel();
+        pb.ldq(RegT0, 16, RegSP);       // cur
+        switch (k) {
+          case 0:                       // left
+            pb.andi(RegT0, 31, RegT1);
+            pb.beq(RegT1, l_skip);
+            pb.subqi(RegT0, 1, RegS6);
+            break;
+          case 1:                       // right
+            pb.andi(RegT0, 31, RegT1);
+            pb.cmpeqi(RegT1, 31, RegT1);
+            pb.bne(RegT1, l_skip);
+            pb.addqi(RegT0, 1, RegS6);
+            break;
+          case 2:                       // up
+            pb.srli(RegT0, 5, RegT1);
+            pb.beq(RegT1, l_skip);
+            pb.subqi(RegT0, 32, RegS6);
+            break;
+          case 3:                       // down
+            pb.srli(RegT0, 5, RegT1);
+            pb.cmpeqi(RegT1, 31, RegT1);
+            pb.bne(RegT1, l_skip);
+            pb.addqi(RegT0, 32, RegS6);
+            break;
+        }
+        // blocked?
+        pb.slli(RegS6, 3, RegT1);
+        pb.addq(RegS5, RegT1, RegT2);
+        pb.ldq(RegT3, 0, RegT2);
+        pb.bne(RegT3, l_skip);
+        // already marked this epoch? mark[n] >= epoch*4096 + 1
+        pb.addq(RegS4, RegT1, RegT2);
+        pb.ldq(RegT3, 0, RegT2);
+        pb.ldq(RegT4, 8, RegSP);        // epoch*4096
+        pb.cmpult(RegT3, RegT4, RegT5); // mark < epoch base => new
+        pb.beq(RegT5, l_skip);
+        // mark[n] = epoch*4096 + d + 1; push n
+        pb.ldq(RegT6, 24, RegSP);       // dist
+        pb.addq(RegT4, RegT6, RegT4);
+        pb.addqi(RegT4, 1, RegT4);
+        pb.stq(RegT4, 0, RegT2);
+        pb.mov(RegS6, RegA0);
+        pb.call(l_qpush);
+        pb.bind(l_skip);
+    }
+    pb.br(l_bfs_loop);
+
+    pb.bind(l_bfs_fail);
+    pb.li(RegV0, 0);
+    pb.bind(l_bfs_ret);
+    bfs_fb.epilogueRet();
+
+    // ---- qpush(a0 = cell) ----
+    pb.bind(l_qpush);
+    FunctionBuilder push_fb(pb, FrameSpec{16, false, false, false, {}});
+    push_fb.prologue();
+    pb.stq(RegA0, 0, RegSP);
+    pb.li(RegT0, qt_addr);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.addqi(RegT1, 1, RegT2);
+    pb.stq(RegT2, 0, RegT0);
+    pb.slli(RegT1, 3, RegT1);
+    pb.li(RegT2, queue_addr);
+    pb.addq(RegT2, RegT1, RegT1);
+    pb.ldq(RegT3, 0, RegSP);            // reload cell
+    pb.stq(RegT3, 0, RegT1);
+    push_fb.epilogueRet();
+
+    // ---- qpop() -> v0 ----
+    pb.bind(l_qpop);
+    FunctionBuilder pop_fb(pb, FrameSpec{16, false, false, false, {}});
+    pop_fb.prologue();
+    pb.li(RegT0, qh_addr);
+    pb.ldq(RegT1, 0, RegT0);
+    pb.addqi(RegT1, 1, RegT2);
+    pb.stq(RegT2, 0, RegT0);
+    pb.slli(RegT1, 3, RegT1);
+    pb.li(RegT2, queue_addr);
+    pb.addq(RegT2, RegT1, RegT1);
+    pb.ldq(RegV0, 0, RegT1);
+    pop_fb.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+} // namespace svf::workloads

@@ -1,0 +1,78 @@
+#include "workloads/registry.hh"
+
+#include "base/logging.hh"
+#include "workloads/common.hh"
+
+namespace svf::workloads
+{
+
+std::uint64_t
+inputSeed(const std::string &workload, const std::string &input)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : workload + ":" + input) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+Addr
+allocHeapBytes(isa::ProgramBuilder &pb,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::vector<std::uint64_t> quads((bytes.size() + 7) / 8, 0);
+    for (size_t i = 0; i < bytes.size(); ++i)
+        quads[i / 8] |= std::uint64_t(bytes[i]) << (8 * (i % 8));
+    return pb.allocHeapQuads(quads);
+}
+
+std::string
+putintLine(std::uint64_t v)
+{
+    return std::to_string(static_cast<std::int64_t>(v)) + "\n";
+}
+
+const std::vector<WorkloadSpec> &
+allWorkloads()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"bzip2", "256.bzip2", {"graphic", "program"},
+         buildBzip2, expectBzip2, 6000, 300},
+        {"crafty", "186.crafty", {"ref"},
+         buildCrafty, expectCrafty, 30, 2},
+        {"eon", "252.eon", {"cook", "kajiya"},
+         buildEon, expectEon, 8000, 400},
+        {"gap", "254.gap", {"ref"},
+         buildGap, expectGap, 8000, 400},
+        {"gcc", "176.gcc", {"cp-decl", "integrate"},
+         buildGcc, expectGcc, 30, 4},
+        {"gzip", "164.gzip", {"graphic", "log", "program"},
+         buildGzip, expectGzip, 25000, 1500},
+        {"mcf", "181.mcf", {"inp"},
+         buildMcf, expectMcf, 1300, 60},
+        {"parser", "197.parser", {"ref"},
+         buildParser, expectParser, 5500, 150},
+        {"perlbmk", "253.perlbmk", {"scrabbl"},
+         buildPerlbmk, expectPerlbmk, 310, 30},
+        {"twolf", "300.twolf", {"ref"},
+         buildTwolf, expectTwolf, 5500, 500},
+        {"vortex", "255.vortex", {"ref"},
+         buildVortex, expectVortex, 16000, 350},
+        {"vpr", "175.vpr", {"ref"},
+         buildVpr, expectVpr, 20, 2},
+    };
+    return specs;
+}
+
+const WorkloadSpec &
+workload(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace svf::workloads

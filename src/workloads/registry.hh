@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The SPECint2000 stand-in workload registry (Table 1 of the paper).
+ *
+ * Each workload is a real SVA program (it computes something and
+ * prints a result that a C++ golden model reproduces) written to
+ * mimic the stack personality the paper reports for the
+ * corresponding SPECint2000 benchmark: stack reference fraction,
+ * addressing-method mix, call depth, frame size and offset locality.
+ */
+
+#ifndef SVF_WORKLOADS_REGISTRY_HH
+#define SVF_WORKLOADS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace svf::workloads
+{
+
+/** Description of one benchmark and its inputs. */
+struct WorkloadSpec
+{
+    /** Short name ("bzip2"). */
+    std::string name;
+
+    /** The SPEC CPU2000 benchmark it stands in for ("256.bzip2"). */
+    std::string paperName;
+
+    /** Input data sets (Table 1), e.g. {"graphic", "program"}. */
+    std::vector<std::string> inputs;
+
+    /**
+     * Build the program.
+     *
+     * @param input one of inputs.
+     * @param scale work-size knob; the default (see defaultScale)
+     *        yields roughly 0.5-2M dynamic instructions.
+     */
+    isa::Program (*build)(const std::string &input,
+                          std::uint64_t scale);
+
+    /**
+     * Golden model: the exact output the program must print.
+     * Computed host-side with the same algorithm, making every
+     * simulator run self-checking.
+     */
+    std::string (*expected)(const std::string &input,
+                            std::uint64_t scale);
+
+    /** Scale that gives a bench-sized run. */
+    std::uint64_t defaultScale;
+
+    /** Scale small enough for unit tests (full run in < ~200k
+     *  instructions). */
+    std::uint64_t testScale;
+};
+
+/** All twelve workloads, in the paper's Table 1 order. */
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/** Lookup by short name; fatal() on unknown names. */
+const WorkloadSpec &workload(const std::string &name);
+
+/** @name Per-benchmark builders and golden models */
+/// @{
+isa::Program buildBzip2(const std::string &input, std::uint64_t scale);
+std::string expectBzip2(const std::string &input, std::uint64_t scale);
+
+isa::Program buildCrafty(const std::string &input, std::uint64_t scale);
+std::string expectCrafty(const std::string &input,
+                         std::uint64_t scale);
+
+isa::Program buildEon(const std::string &input, std::uint64_t scale);
+std::string expectEon(const std::string &input, std::uint64_t scale);
+
+isa::Program buildGap(const std::string &input, std::uint64_t scale);
+std::string expectGap(const std::string &input, std::uint64_t scale);
+
+isa::Program buildGcc(const std::string &input, std::uint64_t scale);
+std::string expectGcc(const std::string &input, std::uint64_t scale);
+
+isa::Program buildGzip(const std::string &input, std::uint64_t scale);
+std::string expectGzip(const std::string &input, std::uint64_t scale);
+
+isa::Program buildMcf(const std::string &input, std::uint64_t scale);
+std::string expectMcf(const std::string &input, std::uint64_t scale);
+
+isa::Program buildParser(const std::string &input, std::uint64_t scale);
+std::string expectParser(const std::string &input,
+                         std::uint64_t scale);
+
+isa::Program buildPerlbmk(const std::string &input,
+                          std::uint64_t scale);
+std::string expectPerlbmk(const std::string &input,
+                          std::uint64_t scale);
+
+isa::Program buildTwolf(const std::string &input, std::uint64_t scale);
+std::string expectTwolf(const std::string &input, std::uint64_t scale);
+
+isa::Program buildVortex(const std::string &input, std::uint64_t scale);
+std::string expectVortex(const std::string &input,
+                         std::uint64_t scale);
+
+isa::Program buildVpr(const std::string &input, std::uint64_t scale);
+std::string expectVpr(const std::string &input, std::uint64_t scale);
+/// @}
+
+} // namespace svf::workloads
+
+#endif // SVF_WORKLOADS_REGISTRY_HH

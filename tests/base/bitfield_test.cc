@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and property tests for the bit manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+#include "base/random.hh"
+
+namespace svf
+{
+namespace
+{
+
+TEST(Bitfield, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+}
+
+TEST(Bitfield, BitsExtraction)
+{
+    std::uint64_t v = 0xdeadbeefcafef00dull;
+    EXPECT_EQ(bits(v, 3, 0), 0xdu);
+    EXPECT_EQ(bits(v, 7, 4), 0x0u);
+    EXPECT_EQ(bits(v, 63, 60), 0xdu);
+    EXPECT_EQ(bits(v, 31, 0), 0xcafef00du);
+    EXPECT_EQ(bits(v, 63, 32), 0xdeadbeefu);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0xff, 7, 4), 0xf0u);
+    EXPECT_EQ(insertBits(0x3, 1, 0), 0x3u);
+    EXPECT_EQ(insertBits(0xabcd, 31, 16), 0xabcd0000u);
+}
+
+TEST(Bitfield, SextPositiveAndNegative)
+{
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0x100000, 21), -1048576);
+}
+
+TEST(Bitfield, SextRoundTripProperty)
+{
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        unsigned nbits = 1 + static_cast<unsigned>(rng.below(63));
+        std::int64_t lo = -(std::int64_t(1) << (nbits - 1));
+        std::int64_t hi = (std::int64_t(1) << (nbits - 1)) - 1;
+        std::int64_t v = rng.range(lo, hi);
+        EXPECT_EQ(sext(static_cast<std::uint64_t>(v) & mask(nbits),
+                       nbits), v)
+            << "nbits=" << nbits << " v=" << v;
+    }
+}
+
+TEST(Bitfield, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 63));
+    EXPECT_FALSE(isPow2((1ull << 63) + 1));
+}
+
+TEST(Bitfield, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~std::uint64_t(0)), 63u);
+}
+
+TEST(Bitfield, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignDown(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1001, 0x1000), 0x2000u);
+}
+
+TEST(Bitfield, AlignmentProperty)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t align = std::uint64_t(1) << rng.below(20);
+        Addr a = rng.next() >> 4;
+        Addr down = alignDown(a, align);
+        Addr up = alignUp(a, align);
+        EXPECT_EQ(down % align, 0u);
+        EXPECT_EQ(up % align, 0u);
+        EXPECT_LE(down, a);
+        EXPECT_GE(up, a);
+        EXPECT_LT(a - down, align);
+        EXPECT_LT(up - a, align);
+    }
+}
+
+} // anonymous namespace
+} // namespace svf

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the key=value configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/config.hh"
+
+namespace svf
+{
+namespace
+{
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.getUint("missing", 7), 7u);
+    EXPECT_EQ(cfg.getInt("missing", -2), -2);
+    EXPECT_EQ(cfg.getString("missing", "d"), "d");
+    EXPECT_TRUE(cfg.getBool("missing", true));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(Config, SetAndGet)
+{
+    Config cfg;
+    cfg.set("insts", "100000");
+    cfg.set("svf.ports", "2");
+    cfg.set("name", "gcc");
+    cfg.set("enable", "true");
+    cfg.set("frac", "0.25");
+    EXPECT_EQ(cfg.getUint("insts", 0), 100000u);
+    EXPECT_EQ(cfg.getUint("svf.ports", 0), 2u);
+    EXPECT_EQ(cfg.getString("name", ""), "gcc");
+    EXPECT_TRUE(cfg.getBool("enable", false));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("frac", 0.0), 0.25);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config cfg;
+    for (const char *t : {"1", "true", "yes", "on", "TRUE", "On"}) {
+        cfg.set("k", t);
+        EXPECT_TRUE(cfg.getBool("k", false)) << t;
+    }
+    for (const char *f : {"0", "false", "no", "off", "False"}) {
+        cfg.set("k", f);
+        EXPECT_FALSE(cfg.getBool("k", true)) << f;
+    }
+}
+
+TEST(Config, FromArgs)
+{
+    const char *argv[] = {"prog", "a=1", "b.c=hello"};
+    Config cfg = Config::fromArgs(3, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.getUint("a", 0), 1u);
+    EXPECT_EQ(cfg.getString("b.c", ""), "hello");
+}
+
+TEST(Config, HexValues)
+{
+    Config cfg;
+    cfg.set("addr", "0x7fff0000");
+    EXPECT_EQ(cfg.getUint("addr", 0), 0x7fff0000u);
+}
+
+TEST(Config, UnusedKeysTracked)
+{
+    Config cfg;
+    cfg.set("used", "1");
+    cfg.set("typo", "1");
+    cfg.getUint("used", 0);
+    auto unused = cfg.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ConfigDeathTest, BadArgIsFatal)
+{
+    const char *argv[] = {"prog", "notkeyvalue"};
+    EXPECT_EXIT(Config::fromArgs(2, const_cast<char **>(argv)),
+                testing::ExitedWithCode(1), "expected key=value");
+}
+
+TEST(ConfigDeathTest, BadIntIsFatal)
+{
+    Config cfg;
+    cfg.set("n", "abc");
+    EXPECT_EXIT(cfg.getUint("n", 0), testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}
+
+} // anonymous namespace
+} // namespace svf

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace svf
+{
+namespace
+{
+
+TEST(Csprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(csprintf("plain"), "plain");
+    EXPECT_EQ(csprintf("%d + %d = %d", 2, 3, 5), "2 + 3 = 5");
+    EXPECT_EQ(csprintf("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(csprintf("0x%08x", 0xbeefu), "0x0000beef");
+    EXPECT_EQ(csprintf("%llu",
+                       (unsigned long long)~std::uint64_t(0)),
+              "18446744073709551615");
+}
+
+TEST(Csprintf, LongStringsSurviveTheBufferBoundary)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(csprintf("%s", big.c_str()), big);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("simulator bug %d", 42), "panic: simulator "
+                                                "bug 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("user error: %s", "bad config"),
+                testing::ExitedWithCode(1), "fatal: user error");
+}
+
+TEST(LoggingDeathTest, AssertMacroNamesTheCondition)
+{
+    auto boom = [] { svf_assert(1 == 2); };
+    EXPECT_DEATH(boom(), "assertion '1 == 2' failed");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    // Just exercise the paths; output goes to stderr.
+    testing::internal::CaptureStderr();
+    warn("watch out for %s", "this");
+    inform("status %d", 7);
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: watch out for this"),
+              std::string::npos);
+    EXPECT_NE(err.find("info: status 7"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace svf

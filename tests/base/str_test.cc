@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/str.hh"
+
+namespace svf
+{
+namespace
+{
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Str, Split)
+{
+    auto v = split("a, b,c", ',');
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+    EXPECT_EQ(v[2], "c");
+
+    auto empties = split(",,", ',');
+    ASSERT_EQ(empties.size(), 3u);
+    for (const auto &s : empties)
+        EXPECT_EQ(s, "");
+
+    auto one = split("solo", ',');
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], "solo");
+}
+
+TEST(Str, Tokenize)
+{
+    auto v = tokenize("  ldq   $a0, 8($sp)  ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "ldq");
+    EXPECT_EQ(v[1], "$a0,");
+    EXPECT_EQ(v[2], "8($sp)");
+    EXPECT_TRUE(tokenize("").empty());
+    EXPECT_TRUE(tokenize(" \t ").empty());
+}
+
+TEST(Str, StartsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_FALSE(startsWith("he", "hello"));
+    EXPECT_FALSE(startsWith("hello", "lo"));
+}
+
+TEST(Str, ToLower)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+}
+
+TEST(Str, ParseIntDecimal)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-17", v));
+    EXPECT_EQ(v, -17);
+    EXPECT_TRUE(parseInt("  8  ", v));
+    EXPECT_EQ(v, 8);
+}
+
+TEST(Str, ParseIntHex)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseInt("0x10", v));
+    EXPECT_EQ(v, 16);
+    EXPECT_TRUE(parseInt("-0x8", v));
+    EXPECT_EQ(v, -8);
+}
+
+TEST(Str, ParseIntRejectsGarbage)
+{
+    std::int64_t v = 0;
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12x", v));
+    EXPECT_FALSE(parseInt("x12", v));
+    EXPECT_FALSE(parseInt("1 2", v));
+}
+
+TEST(Str, ParseUint)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseUint("18446744073709551615", v));
+    EXPECT_EQ(v, ~std::uint64_t(0));
+    EXPECT_TRUE(parseUint("0xdeadbeef", v));
+    EXPECT_EQ(v, 0xdeadbeefull);
+    EXPECT_FALSE(parseUint("-1", v));
+    EXPECT_FALSE(parseUint("", v));
+}
+
+} // anonymous namespace
+} // namespace svf

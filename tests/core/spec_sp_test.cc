@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the decode-stage $sp interlock tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/spec_sp.hh"
+#include "isa/decode.hh"
+#include "isa/encode.hh"
+
+namespace svf::core
+{
+namespace
+{
+
+using namespace isa;
+
+DecodedInst
+dec(std::uint32_t raw)
+{
+    DecodedInst di;
+    EXPECT_TRUE(decode(raw, di));
+    return di;
+}
+
+TEST(SpecSp, ImmediateAdjustDoesNotBlock)
+{
+    SpecSpTracker t;
+    DecodedInst adj = dec(encodeMem(Opcode::Lda, RegSP, RegSP, -64));
+    EXPECT_FALSE(t.onDispatch(adj, 1));
+    EXPECT_FALSE(t.blocked());
+    EXPECT_EQ(t.interlocks(), 0u);
+}
+
+TEST(SpecSp, NonSpWritersIgnored)
+{
+    SpecSpTracker t;
+    DecodedInst add = dec(encodeOp(IntFunct::Addq, RegT0, RegT1,
+                                   RegT2));
+    EXPECT_FALSE(t.onDispatch(add, 1));
+    EXPECT_FALSE(t.blocked());
+}
+
+TEST(SpecSp, RegisterMoveToSpBlocks)
+{
+    SpecSpTracker t;
+    DecodedInst mov = dec(encodeOp(IntFunct::Bis, RegT0, RegT0,
+                                   RegSP));
+    EXPECT_TRUE(t.onDispatch(mov, 5));
+    EXPECT_TRUE(t.blocked());
+    EXPECT_EQ(t.pendingWriter(), 5u);
+    EXPECT_EQ(t.interlocks(), 1u);
+}
+
+TEST(SpecSp, LoadIntoSpBlocks)
+{
+    SpecSpTracker t;
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegSP, RegT0, 0));
+    EXPECT_TRUE(t.onDispatch(ld, 9));
+    EXPECT_TRUE(t.blocked());
+}
+
+TEST(SpecSp, CompletionReleases)
+{
+    SpecSpTracker t;
+    DecodedInst mov = dec(encodeOp(IntFunct::Bis, RegT0, RegT0,
+                                   RegSP));
+    t.onDispatch(mov, 5);
+    t.onComplete(4);                    // unrelated instruction
+    EXPECT_TRUE(t.blocked());
+    t.onComplete(5);
+    EXPECT_FALSE(t.blocked());
+}
+
+TEST(SpecSp, CountsEveryEpisode)
+{
+    SpecSpTracker t;
+    DecodedInst mov = dec(encodeOp(IntFunct::Bis, RegT0, RegT0,
+                                   RegSP));
+    t.onDispatch(mov, 1);
+    t.onComplete(1);
+    t.onDispatch(mov, 2);
+    t.onComplete(2);
+    EXPECT_EQ(t.interlocks(), 2u);
+}
+
+} // anonymous namespace
+} // namespace svf::core

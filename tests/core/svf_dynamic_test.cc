@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the dynamic-disable extension (Section 3.3: "the SVF can
+ * be dynamically disabled for a period of time").
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/svf_unit.hh"
+#include "harness/experiment.hh"
+#include "isa/decode.hh"
+#include "isa/encode.hh"
+#include "workloads/registry.hh"
+
+namespace svf::core
+{
+namespace
+{
+
+using namespace isa;
+
+constexpr Addr SB = layout::StackBase;
+
+sim::ExecInfo
+makeRef(Addr ea, bool store)
+{
+    static std::vector<std::unique_ptr<DecodedInst>> pool;
+    auto di = std::make_unique<DecodedInst>();
+    // A $gpr-based reference so in-window refs reroute and
+    // out-of-window refs count as window misses.
+    EXPECT_TRUE(decode(encodeMem(store ? Opcode::Stq : Opcode::Ldq,
+                                 RegT0, RegT1, 0), *di));
+    pool.push_back(std::move(di));
+    sim::ExecInfo info;
+    info.di = pool.back().get();
+    info.ea = ea;
+    return info;
+}
+
+sim::ExecInfo
+spTo(Addr old_sp, Addr new_sp)
+{
+    static std::vector<std::unique_ptr<DecodedInst>> pool;
+    auto di = std::make_unique<DecodedInst>();
+    EXPECT_TRUE(decode(encodeMem(Opcode::Lda, RegSP, RegSP, 0), *di));
+    pool.push_back(std::move(di));
+    sim::ExecInfo info;
+    info.di = pool.back().get();
+    info.spWritten = true;
+    info.oldSp = old_sp;
+    info.newSp = new_sp;
+    return info;
+}
+
+SvfUnitParams
+dynParams()
+{
+    SvfUnitParams p;
+    p.enabled = true;
+    p.svf.entries = 16;                 // 128-byte window
+    p.dynamicDisable = true;
+    p.monitorRefs = 100;
+    p.missRateThreshold = 0.5;
+    p.disableRefs = 200;
+    return p;
+}
+
+TEST(SvfDynamic, GoodLocalityNeverDisables)
+{
+    SvfUnit u(dynParams(), SB);
+    u.classifyAndApply(spTo(SB, SB - 64));
+    for (int i = 0; i < 1000; ++i)
+        u.classifyAndApply(makeRef(SB - 64, true));
+    EXPECT_EQ(u.disableEpisodes(), 0u);
+    EXPECT_FALSE(u.dynamicallyDisabled());
+}
+
+TEST(SvfDynamic, PoorLocalityTriggersDisable)
+{
+    SvfUnit u(dynParams(), SB);
+    u.classifyAndApply(spTo(SB, SB - 64));
+    // Every reference lands 4KB above the TOS: all window misses.
+    for (int i = 0; i < 100; ++i)
+        u.classifyAndApply(makeRef(SB + 4096, false));
+    EXPECT_EQ(u.disableEpisodes(), 1u);
+    EXPECT_TRUE(u.dynamicallyDisabled());
+}
+
+TEST(SvfDynamic, DisabledRefsBypassTheSvf)
+{
+    SvfUnit u(dynParams(), SB);
+    u.classifyAndApply(spTo(SB, SB - 64));
+    for (int i = 0; i < 100; ++i)
+        u.classifyAndApply(makeRef(SB + 4096, false));
+    ASSERT_TRUE(u.dynamicallyDisabled());
+
+    // In-window references now classify None (cache path).
+    auto r = u.classifyAndApply(makeRef(SB - 64, true));
+    EXPECT_EQ(r.kind, StackRefKind::None);
+    EXPECT_GT(u.refsWhileDisabled(), 0u);
+}
+
+TEST(SvfDynamic, ReenablesAfterCoolingOff)
+{
+    SvfUnitParams p = dynParams();
+    p.disableRefs = 50;
+    SvfUnit u(p, SB);
+    u.classifyAndApply(spTo(SB, SB - 64));
+    for (int i = 0; i < 100; ++i)
+        u.classifyAndApply(makeRef(SB + 4096, false));
+    ASSERT_TRUE(u.dynamicallyDisabled());
+    for (int i = 0; i < 50; ++i)
+        u.classifyAndApply(makeRef(SB - 64, true));
+    EXPECT_FALSE(u.dynamicallyDisabled());
+    // Back in business: in-window refs classify again.
+    auto r = u.classifyAndApply(makeRef(SB - 64, true));
+    EXPECT_EQ(r.kind, StackRefKind::RerouteStore);
+}
+
+TEST(SvfDynamic, DisableFlushesDirtyState)
+{
+    SvfUnit u(dynParams(), SB);
+    u.classifyAndApply(spTo(SB, SB - 64));
+    u.classifyAndApply(makeRef(SB - 64, true));     // dirty word
+    std::uint64_t out_before = u.svf().quadsOut();
+    for (int i = 0; i < 100; ++i)
+        u.classifyAndApply(makeRef(SB + 4096, false));
+    ASSERT_TRUE(u.dynamicallyDisabled());
+    // The SVF held the only copy of the dirty word: it must have
+    // been written back when the unit disabled itself.
+    EXPECT_GT(u.svf().quadsOut(), out_before);
+}
+
+TEST(SvfDynamic, EndToEndStillArchitecturallyCorrect)
+{
+    // gcc is the window-miss-heavy benchmark; run it with an
+    // aggressively twitchy dynamic disable and check the output.
+    const auto &spec = workloads::workload("gcc");
+    harness::RunSetup s;
+    s.workload = "gcc";
+    s.input = "cp-decl";
+    s.scale = spec.testScale;
+    s.maxInsts = 100'000'000;
+    s.machine = harness::baselineConfig(16, 2);
+    harness::applySvf(s.machine, 64, 2);    // tiny 512B window
+    s.machine.svf.dynamicDisable = true;
+    s.machine.svf.monitorRefs = 256;
+    s.machine.svf.missRateThreshold = 0.3;
+    s.machine.svf.disableRefs = 1024;
+    harness::RunResult r = harness::runExperiment(s);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.outputOk);
+}
+
+} // anonymous namespace
+} // namespace svf::core

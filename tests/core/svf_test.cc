@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the Stack Value File storage and window semantics —
+ * the paper's Section 3.3 status bits and Section 5.3.2 semantic
+ * advantages (no fill on allocation, no writeback of dead frames).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "base/bitfield.hh"
+#include "base/random.hh"
+#include "core/svf.hh"
+#include "isa/program.hh"
+
+namespace svf::core
+{
+namespace
+{
+
+constexpr Addr SB = isa::layout::StackBase;
+
+SvfParams
+small(std::uint32_t entries = 16)
+{
+    SvfParams p;
+    p.entries = entries;
+    return p;
+}
+
+TEST(Svf, InitialWindowTracksSp)
+{
+    StackValueFile f(small(), SB);
+    EXPECT_EQ(f.windowBase(), SB);
+    EXPECT_EQ(f.windowTop(), SB + 16 * 8);
+    EXPECT_TRUE(f.inWindow(SB));
+    EXPECT_FALSE(f.inWindow(SB - 8));
+    EXPECT_FALSE(f.inWindow(SB + 16 * 8));
+}
+
+TEST(Svf, AllocationNeedsNoFill)
+{
+    StackValueFile f(small(), SB);
+    f.onSpUpdate(SB - 64);              // allocate a frame
+    // First touch is a store: no read traffic may occur.
+    EXPECT_EQ(f.store(SB - 64, 8), SvfLookup::Hit);
+    EXPECT_EQ(f.quadsIn(), 0u);
+    EXPECT_TRUE(f.validAt(SB - 64));
+    EXPECT_TRUE(f.dirtyAt(SB - 64));
+}
+
+TEST(Svf, LoadOfInvalidWordDemandFills)
+{
+    StackValueFile f(small(), SB);
+    f.onSpUpdate(SB - 64);
+    EXPECT_EQ(f.load(SB - 32, 8), SvfLookup::Miss);
+    EXPECT_EQ(f.quadsIn(), 1u);
+    EXPECT_EQ(f.demandFills(), 1u);
+    // Filled word is now valid: second load hits.
+    EXPECT_EQ(f.load(SB - 32, 8), SvfLookup::Hit);
+    EXPECT_EQ(f.quadsIn(), 1u);
+}
+
+TEST(Svf, DeallocationKillsDirtyData)
+{
+    StackValueFile f(small(), SB);
+    f.onSpUpdate(SB - 64);
+    for (Addr a = SB - 64; a < SB; a += 8)
+        f.store(a, 8);
+    // Pop the frame: the dirty words are dead; no writeback.
+    f.onSpUpdate(SB);
+    EXPECT_EQ(f.quadsOut(), 0u);
+    EXPECT_EQ(f.killedWords(), 8u);
+}
+
+TEST(Svf, ReallocatedFrameStartsInvalid)
+{
+    StackValueFile f(small(), SB);
+    f.onSpUpdate(SB - 64);
+    for (Addr a = SB - 64; a < SB; a += 8)
+        f.store(a, 8);
+    f.onSpUpdate(SB);                   // pop
+    f.onSpUpdate(SB - 64);              // push again
+    // The old dirty data must not resurface as valid.
+    for (Addr a = SB - 64; a < SB; a += 8) {
+        EXPECT_FALSE(f.validAt(a));
+        EXPECT_FALSE(f.dirtyAt(a));
+    }
+}
+
+TEST(Svf, GrowthBeyondCapacitySlidesWithWriteback)
+{
+    StackValueFile f(small(16), SB);    // 128-byte window
+    f.onSpUpdate(SB - 128);
+    // Dirty the top half of the stack (highest addresses).
+    for (Addr a = SB - 64; a < SB; a += 8)
+        f.store(a, 8);
+    // Grow 64 more bytes: the window slides down and the 8 dirty
+    // words leave coverage -> writeback traffic.
+    f.onSpUpdate(SB - 192);
+    EXPECT_EQ(f.quadsOut(), 8u);
+    EXPECT_EQ(f.windowBase(), SB - 192);
+    EXPECT_EQ(f.windowTop(), SB - 64);
+}
+
+TEST(Svf, CleanWordsLeaveWindowSilently)
+{
+    StackValueFile f(small(16), SB);
+    f.onSpUpdate(SB - 128);
+    for (Addr a = SB - 64; a < SB; a += 8)
+        f.load(a, 8);                   // valid but clean
+    std::uint64_t in_before = f.quadsIn();
+    f.onSpUpdate(SB - 192);
+    EXPECT_EQ(f.quadsOut(), 0u);
+    EXPECT_EQ(f.quadsIn(), in_before);
+}
+
+TEST(Svf, ShrinkExposesOldFramesAsInvalid)
+{
+    StackValueFile f(small(16), SB - 256);
+    // Window covers [SB-256, SB-128). Shrink so the window slides
+    // up over addresses it never held.
+    f.onSpUpdate(SB - 64);
+    EXPECT_TRUE(f.inWindow(SB - 64));
+    EXPECT_FALSE(f.validAt(SB - 64));
+    // A load of the exposed caller frame demand-fills like a cache.
+    EXPECT_EQ(f.load(SB - 64, 8), SvfLookup::Miss);
+    EXPECT_EQ(f.quadsIn(), 1u);
+}
+
+TEST(Svf, CircularIndexMapping)
+{
+    StackValueFile f(small(16), SB);
+    // Indices wrap module the entry count as addresses slide.
+    EXPECT_EQ(f.indexOf(SB), f.indexOf(SB + 16 * 8));
+    EXPECT_EQ(f.indexOf(SB - 8),
+              (f.indexOf(SB) + 15) % 16);
+}
+
+TEST(Svf, PartialStoreToInvalidWordReadsModifiesWrites)
+{
+    StackValueFile f(small(), SB);
+    f.onSpUpdate(SB - 64);
+    // A byte store cannot validate the whole word for free.
+    EXPECT_EQ(f.store(SB - 64, 1), SvfLookup::Miss);
+    EXPECT_EQ(f.quadsIn(), 1u);
+    // But once valid, further partial stores are free.
+    EXPECT_EQ(f.store(SB - 64, 4), SvfLookup::Hit);
+    EXPECT_EQ(f.quadsIn(), 1u);
+}
+
+TEST(Svf, FullWordStoreAfterPartialLoadPattern)
+{
+    StackValueFile f(small(), SB);
+    f.onSpUpdate(SB - 64);
+    EXPECT_EQ(f.store(SB - 56, 8), SvfLookup::Hit);
+    EXPECT_EQ(f.load(SB - 56, 4), SvfLookup::Hit);
+    EXPECT_EQ(f.quadsIn(), 0u);
+}
+
+TEST(Svf, ContextSwitchWritesOnlyDirtyWords)
+{
+    StackValueFile f(small(), SB);
+    f.onSpUpdate(SB - 128);
+    f.store(SB - 128, 8);
+    f.store(SB - 64, 8);
+    f.load(SB - 32, 8);                 // valid but clean
+    std::uint64_t bytes = f.contextSwitchFlush();
+    // Per-word dirty bits: exactly two 8-byte words.
+    EXPECT_EQ(bytes, 16u);
+    // Everything invalid afterwards.
+    EXPECT_FALSE(f.validAt(SB - 128));
+    EXPECT_FALSE(f.validAt(SB - 32));
+}
+
+TEST(Svf, CoarseDirtyGranuleInflatesFlushTraffic)
+{
+    SvfParams p = small();
+    p.dirtyGranule = 32;                // stack-cache-like lines
+    StackValueFile f(p, SB);
+    f.onSpUpdate(SB - 128);
+    f.store(SB - 128, 8);               // one dirty word
+    std::uint64_t bytes = f.contextSwitchFlush();
+    EXPECT_EQ(bytes, 32u);              // whole granule goes out
+}
+
+TEST(Svf, AblationFillOnAlloc)
+{
+    SvfParams p = small();
+    p.fillOnAlloc = true;
+    StackValueFile f(p, SB);
+    f.onSpUpdate(SB - 64);
+    // The ablated design reads the 8 allocated words like a cache.
+    EXPECT_EQ(f.quadsIn(), 8u);
+    EXPECT_TRUE(f.validAt(SB - 64));
+}
+
+TEST(Svf, AblationNoKillOnShrink)
+{
+    SvfParams p = small();
+    p.killOnShrink = false;
+    StackValueFile f(p, SB);
+    f.onSpUpdate(SB - 64);
+    for (Addr a = SB - 64; a < SB; a += 8)
+        f.store(a, 8);
+    f.onSpUpdate(SB);
+    // Without the liveness insight, dead frames get written back.
+    EXPECT_EQ(f.quadsOut(), 8u);
+    EXPECT_EQ(f.killedWords(), 0u);
+}
+
+TEST(Svf, HugeSpJumpInvalidatesEverything)
+{
+    StackValueFile f(small(16), SB);
+    f.onSpUpdate(SB - 64);
+    for (Addr a = SB - 64; a < SB; a += 8)
+        f.store(a, 8);
+    // Jump far beyond capacity in one step (longjmp-like).
+    f.onSpUpdate(SB - 100000);
+    EXPECT_EQ(f.windowBase(), SB - 100000);
+    for (Addr a = SB - 100000; a < SB - 100000 + 128; a += 8)
+        EXPECT_FALSE(f.validAt(a));
+    // The dirty words were live data leaving the window.
+    EXPECT_EQ(f.quadsOut(), 8u);
+
+    // Jump all the way back: everything dead, no writeback.
+    for (Addr a = SB - 100000; a < SB - 100000 + 64; a += 8)
+        f.store(a, 8);
+    std::uint64_t out_before = f.quadsOut();
+    f.onSpUpdate(SB);
+    EXPECT_EQ(f.quadsOut(), out_before);
+}
+
+/** Parameterized sweep over SVF sizes (the paper's 2/4/8KB). */
+class SvfSizes : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SvfSizes, SteadyStateCallLoopHasNoTraffic)
+{
+    StackValueFile f(small(GetParam()), SB);
+    // Simulate call/return with a 192-byte frame, fitting easily.
+    for (int i = 0; i < 1000; ++i) {
+        f.onSpUpdate(SB - 192);
+        for (Addr a = SB - 192; a < SB; a += 8) {
+            f.store(a, 8);
+            f.load(a, 8);
+        }
+        f.onSpUpdate(SB);
+    }
+    EXPECT_EQ(f.quadsIn(), 0u);
+    EXPECT_EQ(f.quadsOut(), 0u);
+}
+
+TEST_P(SvfSizes, DeepRecursionTrafficScalesInversely)
+{
+    std::uint32_t entries = GetParam();
+    StackValueFile f(small(entries), SB);
+    // Recurse 4KB deeper than the window, dirtying every word,
+    // then return. Only words pushed out of the window cost.
+    std::uint64_t depth = entries * 8 + 4096;
+    for (Addr sp = SB; sp >= SB - depth; sp -= 64) {
+        f.onSpUpdate(sp);
+        for (Addr a = sp; a < sp + 64 && a < SB; a += 8)
+            f.store(a, 8);
+    }
+    // 4KB of dirty words slid out: 512 quads (+ up to one frame of
+    // slack from the final partial step).
+    EXPECT_GE(f.quadsOut(), 512u);
+    EXPECT_LE(f.quadsOut(), 512u + 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SvfSizes,
+                         testing::Values(256u, 512u, 1024u),
+                         [](const auto &info) {
+                             return std::to_string(info.param * 8) +
+                                    "B";
+                         });
+
+/**
+ * Property test: the SVF's valid bits must exactly mirror a simple
+ * reference model (a map from word address to state) under random
+ * stack motion and accesses.
+ */
+TEST(Svf, ReferenceModelEquivalenceProperty)
+{
+    const std::uint32_t entries = 64;
+    StackValueFile f(small(entries), SB);
+    Rng rng(2024);
+    Addr sp = SB;
+
+    struct Ref
+    {
+        bool valid = false;
+        bool dirty = false;
+    };
+    std::map<Addr, Ref> ref;            // word address -> state
+
+    auto ref_window_lo = [&] { return alignDown(sp, 8); };
+    auto ref_window_hi = [&] {
+        return alignDown(sp, 8) + entries * 8;
+    };
+
+    for (int step = 0; step < 20000; ++step) {
+        int action = static_cast<int>(rng.below(10));
+        if (action < 3) {
+            // Move the stack pointer.
+            std::int64_t delta = rng.range(-8, 8) * 16;
+            Addr new_sp = sp + static_cast<Addr>(delta);
+            if (new_sp > SB || new_sp < SB - 6000)
+                continue;
+            // Update reference model.
+            Addr old_lo = ref_window_lo();
+            Addr old_hi = ref_window_hi();
+            sp = new_sp;
+            Addr new_lo = ref_window_lo();
+            Addr new_hi = ref_window_hi();
+            if (new_lo < old_lo) {
+                for (Addr a = new_lo; a < std::min(old_lo, new_hi);
+                     a += 8) {
+                    ref[a] = Ref{};     // allocated: dead
+                }
+                for (Addr a = std::max(new_hi, old_lo); a < old_hi;
+                     a += 8) {
+                    ref[a] = Ref{};     // slid out
+                }
+            } else if (new_lo > old_lo) {
+                for (Addr a = old_lo; a < std::min(new_lo, old_hi);
+                     a += 8) {
+                    ref[a] = Ref{};     // deallocated: dead
+                }
+                for (Addr a = std::max(old_hi, new_lo); a < new_hi;
+                     a += 8) {
+                    ref[a] = Ref{};     // newly covered: invalid
+                }
+            }
+            f.onSpUpdate(sp);
+        } else {
+            // Random access within the window.
+            Addr lo = ref_window_lo();
+            Addr a = lo + rng.below(entries) * 8;
+            if (rng.chance(0.5)) {
+                f.store(a, 8);
+                ref[a].valid = true;
+                ref[a].dirty = true;
+            } else {
+                f.load(a, 8);
+                ref[a].valid = true;
+            }
+        }
+
+        // Spot-check a few words each iteration.
+        for (int k = 0; k < 4; ++k) {
+            Addr a = ref_window_lo() + rng.below(entries) * 8;
+            ASSERT_EQ(f.validAt(a), ref[a].valid)
+                << "step " << step << " addr " << std::hex << a;
+            ASSERT_EQ(f.dirtyAt(a), ref[a].dirty)
+                << "step " << step << " addr " << std::hex << a;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace svf::core

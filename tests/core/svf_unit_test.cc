@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for SVF reference classification (morph vs reroute vs
+ * normal cache path) and the Figure 8 breakdown counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/svf_unit.hh"
+#include "isa/decode.hh"
+#include "isa/encode.hh"
+
+namespace svf::core
+{
+namespace
+{
+
+using namespace isa;
+
+constexpr Addr SB = layout::StackBase;
+
+/** Build a synthetic retired-instruction record. */
+sim::ExecInfo
+memRef(const DecodedInst &di, Addr ea)
+{
+    sim::ExecInfo info;
+    static std::vector<std::unique_ptr<DecodedInst>> pool;
+    pool.push_back(std::make_unique<DecodedInst>(di));
+    info.di = pool.back().get();
+    info.ea = ea;
+    return info;
+}
+
+sim::ExecInfo
+spUpdate(Addr old_sp, Addr new_sp)
+{
+    DecodedInst di;
+    EXPECT_TRUE(decode(encodeMem(Opcode::Lda, RegSP, RegSP,
+                                 static_cast<std::int32_t>(
+                                     std::int64_t(new_sp) -
+                                     std::int64_t(old_sp))), di));
+    sim::ExecInfo info = memRef(di, 0);
+    info.spWritten = true;
+    info.oldSp = old_sp;
+    info.newSp = new_sp;
+    return info;
+}
+
+SvfUnitParams
+enabledParams()
+{
+    SvfUnitParams p;
+    p.enabled = true;
+    p.svf.entries = 1024;
+    return p;
+}
+
+DecodedInst
+dec(std::uint32_t raw)
+{
+    DecodedInst di;
+    EXPECT_TRUE(decode(raw, di));
+    return di;
+}
+
+TEST(SvfUnit, DisabledClassifiesNothing)
+{
+    SvfUnit u(SvfUnitParams{}, SB);
+    EXPECT_FALSE(u.enabled());
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegA0, RegSP, 8));
+    auto info = memRef(ld, SB - 8);
+    EXPECT_EQ(u.classifyAndApply(info).kind, StackRefKind::None);
+}
+
+TEST(SvfUnit, SpRelativeInWindowMorphs)
+{
+    SvfUnit u(enabledParams(), SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+
+    DecodedInst st = dec(encodeMem(Opcode::Stq, RegT0, RegSP, 0));
+    auto r = u.classifyAndApply(memRef(st, SB - 64));
+    EXPECT_EQ(r.kind, StackRefKind::MorphStore);
+    EXPECT_FALSE(r.fill);
+
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegA0, RegSP, 0));
+    r = u.classifyAndApply(memRef(ld, SB - 64));
+    EXPECT_EQ(r.kind, StackRefKind::MorphLoad);
+    EXPECT_FALSE(r.fill);
+
+    EXPECT_EQ(u.fastStores(), 1u);
+    EXPECT_EQ(u.fastLoads(), 1u);
+}
+
+TEST(SvfUnit, GprStackRefReroutes)
+{
+    SvfUnit u(enabledParams(), SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+
+    DecodedInst st = dec(encodeMem(Opcode::Stq, RegT0, RegA0, 0));
+    auto r = u.classifyAndApply(memRef(st, SB - 32));
+    EXPECT_EQ(r.kind, StackRefKind::RerouteStore);
+    EXPECT_EQ(u.reroutedStores(), 1u);
+
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegV0, RegT7, 0));
+    r = u.classifyAndApply(memRef(ld, SB - 32));
+    EXPECT_EQ(r.kind, StackRefKind::RerouteLoad);
+    EXPECT_EQ(u.reroutedLoads(), 1u);
+}
+
+TEST(SvfUnit, FpStackRefReroutes)
+{
+    SvfUnit u(enabledParams(), SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegV0, RegFP, -16));
+    auto r = u.classifyAndApply(memRef(ld, SB - 16));
+    EXPECT_EQ(r.kind, StackRefKind::RerouteLoad);
+}
+
+TEST(SvfUnit, NonStackRefsUntouched)
+{
+    SvfUnit u(enabledParams(), SB);
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegA0, RegT0, 0));
+    auto r = u.classifyAndApply(memRef(ld, layout::HeapBase));
+    EXPECT_EQ(r.kind, StackRefKind::None);
+    r = u.classifyAndApply(memRef(ld, layout::DataBase));
+    EXPECT_EQ(r.kind, StackRefKind::None);
+}
+
+TEST(SvfUnit, SpRefBeyondWindowIsWindowMiss)
+{
+    SvfUnitParams p = enabledParams();
+    p.svf.entries = 16;                 // 128-byte window
+    SvfUnit u(p, SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+
+    // A reference 4KB above the TOS (a deep caller frame) misses
+    // the window and takes the normal cache path.
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegA0, RegSP, 4096));
+    auto r = u.classifyAndApply(memRef(ld, SB - 64 + 4096));
+    EXPECT_EQ(r.kind, StackRefKind::None);
+    EXPECT_EQ(u.windowMisses(), 1u);
+}
+
+TEST(SvfUnit, MorphAllModeCapturesGprRefs)
+{
+    SvfUnitParams p = enabledParams();
+    p.morphAllStackRefs = true;
+    SvfUnit u(p, SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegV0, RegT7, 0));
+    auto r = u.classifyAndApply(memRef(ld, SB - 32));
+    EXPECT_EQ(r.kind, StackRefKind::MorphLoad);
+}
+
+TEST(SvfUnit, FillFlagPropagates)
+{
+    SvfUnit u(enabledParams(), SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegA0, RegSP, 8));
+    auto r = u.classifyAndApply(memRef(ld, SB - 56));
+    EXPECT_EQ(r.kind, StackRefKind::MorphLoad);
+    EXPECT_TRUE(r.fill);                // word was invalid
+    EXPECT_EQ(u.svf().demandFills(), 1u);
+}
+
+TEST(SvfUnit, ContextSwitchFlushDelegates)
+{
+    SvfUnit u(enabledParams(), SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+    DecodedInst st = dec(encodeMem(Opcode::Stq, RegT0, RegSP, 0));
+    u.classifyAndApply(memRef(st, SB - 64));
+    EXPECT_EQ(u.contextSwitchFlush(), 8u);
+    SvfUnit off(SvfUnitParams{}, SB);
+    EXPECT_EQ(off.contextSwitchFlush(), 0u);
+}
+
+TEST(SvfUnit, EntryIndexReported)
+{
+    SvfUnit u(enabledParams(), SB);
+    u.classifyAndApply(spUpdate(SB, SB - 64));
+    DecodedInst ld = dec(encodeMem(Opcode::Ldq, RegA0, RegSP, 16));
+    auto r = u.classifyAndApply(memRef(ld, SB - 48));
+    EXPECT_EQ(r.entry, u.svf().indexOf(SB - 48));
+}
+
+} // anonymous namespace
+} // namespace svf::core

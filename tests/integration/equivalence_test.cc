@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The central end-to-end property: whatever machine configuration
+ * the timing model runs — baseline, SVF, stack cache, any width,
+ * any predictor — the program's architectural behaviour (its
+ * output) must be identical to the functional golden model, and
+ * the pipeline must commit every instruction exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+namespace
+{
+
+struct ConfigCase
+{
+    std::string name;
+    uarch::MachineConfig machine;
+};
+
+std::vector<ConfigCase>
+configs()
+{
+    std::vector<ConfigCase> out;
+    out.push_back({"base16_2p", baselineConfig(16, 2)});
+    out.push_back({"base4_1p", baselineConfig(4, 1)});
+    out.push_back({"base8_2p", baselineConfig(8, 2)});
+    {
+        auto m = baselineConfig(16, 2);
+        applySvf(m, 1024, 2);
+        out.push_back({"svf8k_2p", m});
+    }
+    {
+        auto m = baselineConfig(16, 2);
+        applySvf(m, 256, 1);
+        out.push_back({"svf2k_1p", m});
+    }
+    {
+        auto m = baselineConfig(16, 2);
+        applyInfiniteSvf(m);
+        out.push_back({"svf_inf", m});
+    }
+    {
+        auto m = baselineConfig(16, 2);
+        applyStackCache(m, 8192, 2);
+        out.push_back({"stackcache8k", m});
+    }
+    {
+        auto m = baselineConfig(16, 2, "gshare");
+        applySvf(m, 1024, 2);
+        out.push_back({"svf_gshare", m});
+    }
+    {
+        auto m = baselineConfig(16, 2);
+        applySvf(m, 1024, 2);
+        m.contextSwitchPeriod = 10000;
+        out.push_back({"svf_ctxswitch", m});
+    }
+    {
+        auto m = baselineConfig(16, 2);
+        m.noAddrCalcOp = true;
+        out.push_back({"no_addr_cal_op", m});
+    }
+    return out;
+}
+
+struct EqCase
+{
+    std::string workload;
+    std::string input;
+    ConfigCase config;
+};
+
+std::vector<EqCase>
+cases()
+{
+    std::vector<EqCase> out;
+    for (const auto &w : workloads::allWorkloads()) {
+        for (const auto &cfg : configs())
+            out.push_back({w.name, w.inputs[0], cfg});
+    }
+    return out;
+}
+
+class Equivalence : public testing::TestWithParam<EqCase>
+{
+};
+
+TEST_P(Equivalence, TimingModelPreservesArchitecture)
+{
+    const EqCase &c = GetParam();
+    const auto &spec = workloads::workload(c.workload);
+
+    RunSetup setup;
+    setup.workload = c.workload;
+    setup.input = c.input;
+    setup.scale = spec.testScale;
+    setup.maxInsts = 100'000'000;       // run to completion
+    setup.machine = c.config.machine;
+
+    RunResult r = runExperiment(setup);
+    EXPECT_TRUE(r.completed) << "program did not halt";
+    EXPECT_TRUE(r.outputOk) << "output mismatch vs golden model";
+    EXPECT_GT(r.core.cycles, 0u);
+    EXPECT_GT(r.core.committed, 0u);
+    // Sanity: IPC within physical limits.
+    EXPECT_LE(r.ipc(), double(c.config.machine.issueWidth));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllConfigs, Equivalence, testing::ValuesIn(cases()),
+    [](const testing::TestParamInfo<EqCase> &info) {
+        std::string n = info.param.workload + "_" +
+                        info.param.config.name;
+        for (auto &ch : n) {
+            if (ch == '-' || ch == '.')
+                ch = '_';
+        }
+        return n;
+    });
+
+} // anonymous namespace
+} // namespace svf::harness

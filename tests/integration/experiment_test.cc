@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the experiment harness presets and the headline
+ * qualitative results the paper's evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+namespace
+{
+
+TEST(Presets, Table2Shapes)
+{
+    auto c4 = uarch::MachineConfig::wide4();
+    EXPECT_EQ(c4.decodeWidth, 4u);
+    EXPECT_EQ(c4.ifqSize, 16u);
+    EXPECT_EQ(c4.ruuSize, 64u);
+    EXPECT_EQ(c4.lsqSize, 32u);
+
+    auto c8 = uarch::MachineConfig::wide8();
+    EXPECT_EQ(c8.ruuSize, 128u);
+    EXPECT_EQ(c8.lsqSize, 64u);
+
+    auto c16 = uarch::MachineConfig::wide16();
+    EXPECT_EQ(c16.issueWidth, 16u);
+    EXPECT_EQ(c16.ifqSize, 64u);
+    EXPECT_EQ(c16.ruuSize, 256u);
+    EXPECT_EQ(c16.lsqSize, 128u);
+
+    // Table 2 execution resources and latencies.
+    EXPECT_EQ(c16.intAlu, 16u);
+    EXPECT_EQ(c16.intMult, 4u);
+    EXPECT_EQ(c16.storeForwardLat, 3u);
+    EXPECT_EQ(c16.hier.dl1.hitLatency, 3u);
+    EXPECT_EQ(c16.hier.l2.hitLatency, 16u);
+    EXPECT_EQ(c16.hier.memLatency, 60u);
+}
+
+TEST(Presets, ApplyHelpers)
+{
+    auto m = baselineConfig(16, 2);
+    EXPECT_FALSE(m.svf.enabled);
+    EXPECT_FALSE(m.stackCacheEnabled);
+
+    applySvf(m, 1024, 2);
+    EXPECT_TRUE(m.svf.enabled);
+    EXPECT_EQ(m.svf.svf.entries, 1024u);
+    EXPECT_EQ(m.svf.svf.ports, 2u);
+
+    applyStackCache(m, 8192, 2);
+    EXPECT_FALSE(m.svf.enabled);
+    EXPECT_TRUE(m.stackCacheEnabled);
+    EXPECT_EQ(m.stackCache.size, 8192u);
+
+    applyInfiniteSvf(m);
+    EXPECT_TRUE(m.svf.enabled);
+    EXPECT_TRUE(m.svf.morphAllStackRefs);
+    EXPECT_GE(m.svf.svf.entries, 1u << 20);
+}
+
+TEST(Reporting, GeomeanOfPercents)
+{
+    EXPECT_NEAR(geomeanPct({0.0, 0.0}), 0.0, 1e-9);
+    EXPECT_NEAR(geomeanPct({10.0}), 10.0, 1e-9);
+    // geomean(1.21, 1.00) = 1.1 -> 10%.
+    EXPECT_NEAR(geomeanPct({21.0, 0.0}), 10.0, 1e-9);
+    EXPECT_EQ(geomeanPct({}), 0.0);
+}
+
+TEST(Reporting, MeanAndPct)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(pct(12.345, 1), "12.3%");
+}
+
+TEST(Speedup, ComputedFromCycles)
+{
+    RunResult base;
+    RunResult opt;
+    base.core.cycles = 200;
+    opt.core.cycles = 100;
+    EXPECT_DOUBLE_EQ(speedupPct(base, opt), 100.0);
+    opt.core.cycles = 200;
+    EXPECT_DOUBLE_EQ(speedupPct(base, opt), 0.0);
+}
+
+/** Qualitative headline: the SVF speeds up the stack-heavy
+ *  benchmarks on the paper's (2 + 2) configuration. */
+TEST(Headline, SvfBeatsBaselineOnStackHeavyWorkloads)
+{
+    for (const char *name : {"bzip2", "crafty", "gcc", "gap"}) {
+        const auto &spec = workloads::workload(name);
+        RunSetup s;
+        s.workload = name;
+        s.input = spec.inputs[0];
+        s.scale = spec.testScale;
+        s.maxInsts = 100'000'000;
+        s.machine = baselineConfig(16, 2);
+        RunResult base = runExperiment(s);
+
+        applySvf(s.machine, 1024, 2);
+        RunResult opt = runExperiment(s);
+
+        EXPECT_GT(speedupPct(base, opt), 2.0) << name;
+    }
+}
+
+/** Qualitative headline: SVF traffic is orders of magnitude below
+ *  stack-cache traffic when frames churn (Table 3's story). */
+TEST(Headline, SvfTrafficFarBelowStackCache)
+{
+    const auto &spec = workloads::workload("crafty");
+    RunSetup s;
+    s.workload = "crafty";
+    s.input = "ref";
+    s.scale = spec.testScale;
+    s.maxInsts = 100'000'000;
+
+    s.machine = baselineConfig(16, 2);
+    applyStackCache(s.machine, 2048, 2);
+    RunResult sc = runExperiment(s);
+
+    s.machine = baselineConfig(16, 2);
+    applySvf(s.machine, 256, 2);        // same 2KB capacity
+    RunResult svf_r = runExperiment(s);
+
+    EXPECT_GT(sc.scQuadsIn, 0u);
+    // The SVF never fills on allocation, so its read traffic is
+    // dramatically lower.
+    EXPECT_LT(svf_r.svfQuadsIn * 10, sc.scQuadsIn);
+}
+
+/** The run driver cross-checks program output automatically. */
+TEST(Runner, ReportsCompletionAndOutputOk)
+{
+    const auto &spec = workloads::workload("gzip");
+    RunSetup s;
+    s.workload = "gzip";
+    s.input = "log";
+    s.scale = spec.testScale;
+    s.maxInsts = 100'000'000;
+    s.machine = baselineConfig(4, 1);
+    RunResult r = runExperiment(s);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.outputOk);
+
+    // A tiny budget leaves the program incomplete but valid.
+    s.maxInsts = 1000;
+    RunResult partial = runExperiment(s);
+    EXPECT_FALSE(partial.completed);
+    EXPECT_TRUE(partial.outputOk);
+    EXPECT_EQ(partial.core.committed, 1000u);
+}
+
+} // anonymous namespace
+} // namespace svf::harness

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Full-scale workload validation: the golden-model equivalence must
+ * hold at the bench scales, not just the tiny test scales — this is
+ * what certifies the numbers the figure/table binaries print.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/emulator.hh"
+#include "workloads/calibration.hh"
+#include "workloads/registry.hh"
+
+namespace svf::workloads
+{
+namespace
+{
+
+struct Case
+{
+    std::string workload;
+    std::string input;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> out;
+    for (const auto &w : allWorkloads()) {
+        for (const auto &in : w.inputs)
+            out.push_back({w.name, in});
+    }
+    return out;
+}
+
+class FullScale : public testing::TestWithParam<Case>
+{
+};
+
+TEST_P(FullScale, GoldenModelHoldsAtBenchScale)
+{
+    const WorkloadSpec &w = workload(GetParam().workload);
+    isa::Program p = w.build(GetParam().input, w.defaultScale);
+    sim::Emulator emu(p);
+    emu.run(200'000'000);
+    ASSERT_TRUE(emu.halted()) << "did not halt at default scale";
+    EXPECT_EQ(emu.output(),
+              w.expected(GetParam().input, w.defaultScale));
+}
+
+TEST_P(FullScale, ScaleMonotonicity)
+{
+    // Doubling the scale must not break determinism or the golden
+    // model (catches scale-dependent construction bugs like
+    // overflowing arenas).
+    const WorkloadSpec &w = workload(GetParam().workload);
+    std::uint64_t scale = w.testScale * 2;
+    isa::Program p = w.build(GetParam().input, scale);
+    sim::Emulator emu(p);
+    emu.run(200'000'000);
+    ASSERT_TRUE(emu.halted());
+    EXPECT_EQ(emu.output(), w.expected(GetParam().input, scale));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, FullScale, testing::ValuesIn(allCases()),
+    [](const testing::TestParamInfo<Case> &info) {
+        std::string n = info.param.workload + "_" + info.param.input;
+        for (auto &c : n) {
+            if (c == '-' || c == '.')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(FullScale, BenchScalesAreBenchSized)
+{
+    // Every workload's default scale should land in the 0.3M-6M
+    // dynamic-instruction range so the figure binaries stay fast
+    // but statistically meaningful.
+    for (const auto &w : allWorkloads()) {
+        isa::Program p = w.build(w.inputs[0], w.defaultScale);
+        sim::Emulator emu(p);
+        emu.run(20'000'000);
+        EXPECT_TRUE(emu.halted()) << w.name;
+        EXPECT_GT(emu.instCount(), 300'000u) << w.name;
+        EXPECT_LT(emu.instCount(), 6'000'000u) << w.name;
+    }
+}
+
+} // anonymous namespace
+} // namespace svf::workloads

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Squash/replay stress: under forced collision storms the pipeline
+ * must still commit every instruction exactly once, produce the
+ * golden output, and never deadlock — and squashes must never make
+ * the program output wrong, only slower.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "isa/builder.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+#include "workloads/registry.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+using namespace isa;
+
+/** A pathological collider: every iteration stores through a $gpr
+ *  and immediately reloads through $sp. */
+Program
+makeCollider(int iterations)
+{
+    ProgramBuilder pb("collider");
+    Label main_l = pb.here();
+    pb.lda(RegSP, -32, RegSP);
+    pb.li(RegS0, iterations);
+    pb.li(RegS1, 0);
+    Label loop = pb.here();
+    pb.lda(RegT0, 8, RegSP);            // address-taken local
+    pb.mulqi(RegS0, 3, RegT1);
+    pb.stq(RegT1, 0, RegT0);            // $gpr store
+    pb.ldq(RegT2, 8, RegSP);            // colliding $sp load
+    pb.addq(RegS1, RegT2, RegS1);
+    pb.subqi(RegS0, 1, RegS0);
+    pb.bne(RegS0, loop);
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.halt();
+    return pb.finish(main_l);
+}
+
+class ReplayStress : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ReplayStress, CollisionStormStaysCorrect)
+{
+    Program p = makeCollider(500);
+
+    // Reference output.
+    sim::Emulator ref(p);
+    ref.run(1'000'000);
+    ASSERT_TRUE(ref.halted());
+
+    MachineConfig cfg = MachineConfig::wide(GetParam());
+    cfg.svf.enabled = true;
+    sim::Emulator oracle(p);
+    OooCore core(cfg, oracle);
+    core.run();
+
+    EXPECT_TRUE(oracle.halted());
+    EXPECT_EQ(core.stats().committed, ref.instCount());
+    EXPECT_EQ(oracle.output(), ref.output());
+    EXPECT_GT(core.stats().squashes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ReplayStress,
+                         testing::Values(4u, 8u, 16u),
+                         [](const auto &info) {
+                             return "w" + std::to_string(info.param);
+                         });
+
+TEST(Replay, SquashesOnlyCostTime)
+{
+    Program p = makeCollider(800);
+
+    auto run_with = [&](bool no_squash) {
+        MachineConfig cfg = MachineConfig::wide16();
+        cfg.svf.enabled = true;
+        cfg.svf.noSquash = no_squash;
+        sim::Emulator oracle(p);
+        OooCore core(cfg, oracle);
+        core.run();
+        EXPECT_TRUE(oracle.halted());
+        return core.stats();
+    };
+
+    CoreStats with_squash = run_with(false);
+    CoreStats without = run_with(true);
+    EXPECT_GT(with_squash.squashes, 0u);
+    EXPECT_EQ(without.squashes, 0u);
+    EXPECT_EQ(with_squash.committed, without.committed);
+    EXPECT_GE(with_squash.cycles, without.cycles);
+}
+
+TEST(Replay, PenaltyScalesCost)
+{
+    Program p = makeCollider(800);
+    Cycle prev = 0;
+    for (unsigned pen : {0u, 48u, 200u}) {
+        MachineConfig cfg = MachineConfig::wide16();
+        cfg.svf.enabled = true;
+        cfg.svf.squashPenalty = pen;
+        sim::Emulator oracle(p);
+        OooCore core(cfg, oracle);
+        core.run();
+        EXPECT_TRUE(oracle.halted());
+        EXPECT_GE(core.stats().cycles, prev);
+        prev = core.stats().cycles;
+    }
+}
+
+TEST(Replay, EonReproducesThePaperStory)
+{
+    // Figure 7's eon anomaly: with squashes the SVF loses most of
+    // its gain; the no_squash code generator restores it.
+    const auto &spec = workloads::workload("eon");
+    harness::RunSetup s;
+    s.workload = "eon";
+    s.input = "cook";
+    s.scale = spec.testScale;
+    s.maxInsts = 100'000'000;
+    s.machine = harness::baselineConfig(16, 2);
+    harness::applySvf(s.machine, 1024, 2);
+    harness::RunResult squashy = harness::runExperiment(s);
+
+    s.machine.svf.noSquash = true;
+    harness::RunResult clean = harness::runExperiment(s);
+
+    EXPECT_GT(squashy.core.squashes, 50u);
+    EXPECT_TRUE(squashy.outputOk);
+    EXPECT_TRUE(clean.outputOk);
+    EXPECT_GT(squashy.core.cycles, clean.core.cycles);
+}
+
+} // anonymous namespace
+} // namespace svf::uarch

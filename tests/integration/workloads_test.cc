@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Workload validation: every benchmark/input pair must reproduce its
+ * golden-model output, and its stack personality must land in the
+ * band the paper reports for the benchmark it stands in for
+ * (Figures 1-3 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/emulator.hh"
+#include "workloads/calibration.hh"
+#include "workloads/registry.hh"
+
+namespace svf::workloads
+{
+namespace
+{
+
+struct Case
+{
+    std::string workload;
+    std::string input;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &w : allWorkloads()) {
+        for (const auto &in : w.inputs)
+            cases.push_back({w.name, in});
+    }
+    return cases;
+}
+
+class WorkloadCase : public testing::TestWithParam<Case>
+{
+  protected:
+    const WorkloadSpec &spec() { return workload(GetParam().workload); }
+};
+
+TEST_P(WorkloadCase, MatchesGoldenModelAtTestScale)
+{
+    const WorkloadSpec &w = spec();
+    isa::Program p = w.build(GetParam().input, w.testScale);
+    sim::Emulator emu(p);
+    emu.run(100'000'000);
+    ASSERT_TRUE(emu.halted()) << "did not halt";
+    EXPECT_EQ(emu.output(),
+              w.expected(GetParam().input, w.testScale));
+}
+
+TEST_P(WorkloadCase, NoReferencesBelowTos)
+{
+    // The paper: "No references are beyond the top of the stack for
+    // these benchmarks."
+    const WorkloadSpec &w = spec();
+    isa::Program p = w.build(GetParam().input, w.testScale);
+    StackProfile prof = profileProgram(p, 100'000'000);
+    EXPECT_EQ(prof.belowTos, 0u);
+}
+
+TEST_P(WorkloadCase, OffsetLocalityWithin8K)
+{
+    // Figure 3: over 99% of references within 8KB of the TOS for
+    // everything except gcc.
+    const WorkloadSpec &w = spec();
+    isa::Program p = w.build(GetParam().input, w.testScale);
+    StackProfile prof = profileProgram(p, 100'000'000);
+    if (w.name == "gcc") {
+        EXPECT_LT(prof.within8k, 0.999);
+    } else {
+        EXPECT_GT(prof.within8k, 0.99);
+    }
+}
+
+TEST_P(WorkloadCase, DeterministicAcrossBuilds)
+{
+    const WorkloadSpec &w = spec();
+    isa::Program a = w.build(GetParam().input, w.testScale);
+    isa::Program b = w.build(GetParam().input, w.testScale);
+    ASSERT_EQ(a.sections.size(), b.sections.size());
+    for (size_t i = 0; i < a.sections.size(); ++i) {
+        EXPECT_EQ(a.sections[i].base, b.sections[i].base);
+        EXPECT_EQ(a.sections[i].bytes, b.sections[i].bytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadCase, testing::ValuesIn(allCases()),
+    [](const testing::TestParamInfo<Case> &info) {
+        std::string name = info.param.workload + "_" +
+                           info.param.input;
+        for (auto &c : name) {
+            if (c == '-' || c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(WorkloadRegistry, HasAllTwelveBenchmarks)
+{
+    EXPECT_EQ(allWorkloads().size(), 12u);
+    for (const char *name :
+         {"bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf",
+          "parser", "perlbmk", "twolf", "vortex", "vpr"}) {
+        EXPECT_NO_FATAL_FAILURE(workload(name));
+    }
+}
+
+TEST(WorkloadRegistry, Table1InputsPresent)
+{
+    EXPECT_EQ(workload("bzip2").inputs.size(), 2u);
+    EXPECT_EQ(workload("gzip").inputs.size(), 3u);
+    EXPECT_EQ(workload("gcc").inputs.size(), 2u);
+    EXPECT_EQ(workload("eon").inputs.size(), 2u);
+    EXPECT_EQ(workload("perlbmk").paperName, "253.perlbmk");
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workload("quake"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+/** Figure 1 personalities: the per-benchmark region mixes. */
+TEST(WorkloadPersonality, EonIsGprHeavy)
+{
+    const WorkloadSpec &w = workload("eon");
+    StackProfile prof = profileProgram(w.build("cook", w.testScale),
+                                       100'000'000);
+    // Over 45% of eon's stack accesses go through a $gpr (paper,
+    // Section 2).
+    double gpr_frac = double(prof.stackGpr) / double(prof.stackRefs);
+    EXPECT_GT(gpr_frac, 0.45);
+}
+
+TEST(WorkloadPersonality, MostBenchmarksAreSpDominant)
+{
+    // $sp-relative addressing dominates stack access (82% average
+    // in the paper) for everything except eon.
+    for (const auto &w : allWorkloads()) {
+        if (w.name == "eon")
+            continue;
+        StackProfile prof = profileProgram(
+            w.build(w.inputs[0], w.testScale), 20'000'000);
+        if (prof.stackRefs == 0)
+            continue;
+        double sp_frac = prof.spFraction();
+        EXPECT_GT(sp_frac, 0.5) << w.name;
+    }
+}
+
+TEST(WorkloadPersonality, McfIsHeapDominant)
+{
+    const WorkloadSpec &w = workload("mcf");
+    StackProfile prof = profileProgram(w.build("inp", w.testScale),
+                                       100'000'000);
+    EXPECT_GT(double(prof.heapRefs) / double(prof.memRefs), 0.6);
+}
+
+TEST(WorkloadPersonality, GccHasTheDeepestStack)
+{
+    const WorkloadSpec &gcc = workload("gcc");
+    StackProfile prof = profileProgram(
+        gcc.build("cp-decl", gcc.testScale), 100'000'000);
+    // Deeper than the 8KB (1000-word) SVF of the paper.
+    EXPECT_GT(prof.maxDepthWords, 1000u);
+}
+
+TEST(WorkloadPersonality, GzipStackFootprintTiny)
+{
+    const WorkloadSpec &w = workload("gzip");
+    StackProfile prof = profileProgram(w.build("log", w.testScale),
+                                       100'000'000);
+    EXPECT_LT(prof.maxDepthWords, 32u);
+}
+
+TEST(WorkloadPersonality, StackIsTheBiggestRegionOnAverage)
+{
+    // Figure 1: stack references average 56% of all memory accesses.
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &w : allWorkloads()) {
+        StackProfile prof = profileProgram(
+            w.build(w.inputs[0], w.testScale), 20'000'000);
+        sum += prof.stackFraction();
+        ++n;
+    }
+    double avg = sum / n;
+    EXPECT_GT(avg, 0.35);
+    EXPECT_LT(avg, 0.85);
+}
+
+} // anonymous namespace
+} // namespace svf::workloads

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the two-pass text assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/emulator.hh"
+
+namespace svf::isa
+{
+namespace
+{
+
+/** Assemble + run a program and return its output. */
+std::string
+runAsm(const std::string &src, std::uint64_t max_insts = 100000)
+{
+    Program p = assemble(src);
+    sim::Emulator emu(p);
+    emu.run(max_insts);
+    EXPECT_TRUE(emu.halted());
+    return emu.output();
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    std::string out = runAsm(R"(
+main:
+    li $a0, 42
+    putint
+    halt
+)");
+    EXPECT_EQ(out, "42\n");
+}
+
+TEST(Assembler, ArithmeticAndBranches)
+{
+    // Sum 1..10 with a loop.
+    std::string out = runAsm(R"(
+main:
+    li $t0, 0       ; sum
+    li $t1, 10      ; i
+loop:
+    addq $t0, $t1, $t0
+    subq $t1, 1, $t1
+    bne $t1, loop
+    mov $t0, $a0
+    putint
+    halt
+)");
+    EXPECT_EQ(out, "55\n");
+}
+
+TEST(Assembler, MemoryAndDataSection)
+{
+    std::string out = runAsm(R"(
+main:
+    la  $t0, answer
+    ldq $a0, 0($t0)
+    putint
+    ldbu $a0, 8($t0)
+    putint
+    halt
+    .data
+answer: .quad 1234
+bytes:  .byte 7, 9
+)");
+    EXPECT_EQ(out, "1234\n7\n");
+}
+
+TEST(Assembler, StackIdioms)
+{
+    std::string out = runAsm(R"(
+main:
+    lda $sp, -32($sp)
+    li $t0, 99
+    stq $t0, 8($sp)
+    ldq $a0, 8($sp)
+    putint
+    lda $sp, 32($sp)
+    halt
+)");
+    EXPECT_EQ(out, "99\n");
+}
+
+TEST(Assembler, CallAndReturn)
+{
+    std::string out = runAsm(R"(
+main:
+    lda $sp, -16($sp)
+    stq $ra, 8($sp)
+    li $a0, 20
+    call double_it
+    mov $v0, $a0
+    putint
+    ldq $ra, 8($sp)
+    lda $sp, 16($sp)
+    halt
+double_it:
+    addq $a0, $a0, $v0
+    ret
+)");
+    EXPECT_EQ(out, "40\n");
+}
+
+TEST(Assembler, IndirectJumpThroughPv)
+{
+    std::string out = runAsm(R"(
+main:
+    la $pv, target
+    jsr $ra, ($pv)
+    halt
+target:
+    li $a0, 5
+    putint
+    ret
+)");
+    EXPECT_EQ(out, "5\n");
+}
+
+TEST(Assembler, LiWideConstants)
+{
+    std::string out = runAsm(R"(
+main:
+    li $a0, 0x7fff0000
+    putint
+    li $a0, -70000
+    putint
+    halt
+)");
+    EXPECT_EQ(out, "2147418112\n-70000\n");
+}
+
+TEST(Assembler, AsciiAndSpace)
+{
+    std::string out = runAsm(R"(
+main:
+    la $t0, msg
+    ldbu $a0, 0($t0)
+    putc
+    ldbu $a0, 1($t0)
+    putc
+    halt
+    .data
+pad: .space 3
+msg: .asciz "Hi"
+)");
+    EXPECT_EQ(out, "Hi");
+}
+
+TEST(Assembler, AlignDirective)
+{
+    Program p = assemble(R"(
+main:
+    halt
+    .data
+a:  .byte 1
+    .align 8
+b:  .quad 2
+)");
+    // b must land on an 8-byte boundary.
+    ASSERT_EQ(p.sections.size(), 2u);
+    // Data section: 1 byte, then 7 bytes pad, then the quad.
+    EXPECT_EQ(p.sections[1].bytes.size(), 16u);
+    EXPECT_EQ(p.sections[1].bytes[8], 2u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    std::string out = runAsm(R"(
+; leading comment
+# another comment style
+
+main:           ; label with comment
+    li $a0, 1   # trailing
+    putint
+    halt
+)");
+    EXPECT_EQ(out, "1\n");
+}
+
+TEST(Assembler, EntryDefaultsToMainLabel)
+{
+    Program p = assemble(R"(
+helper:
+    ret
+main:
+    halt
+)");
+    EXPECT_EQ(p.entry, layout::TextBase + 4);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    try {
+        assemble("main:\n    frobnicate $a0\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("frobnicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(AssemblerErrors, UnknownSymbol)
+{
+    EXPECT_THROW(assemble("main:\n    br nowhere\n"), AsmError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("a:\n    nop\na:\n    halt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("main:\n    mov $bogus, $a0\n"), AsmError);
+}
+
+TEST(AssemblerErrors, DisplacementRange)
+{
+    EXPECT_THROW(assemble("main:\n    ldq $a0, 99999($sp)\n"),
+                 AsmError);
+}
+
+TEST(AssemblerErrors, LiteralRange)
+{
+    EXPECT_THROW(assemble("main:\n    addq $a0, 256, $a0\n"),
+                 AsmError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("main:\n    addq $a0, $a1\n"), AsmError);
+}
+
+TEST(AssemblerErrors, InstructionInDataSection)
+{
+    EXPECT_THROW(assemble(".data\n    nop\n"), AsmError);
+}
+
+TEST(AssemblerErrors, EmptyProgram)
+{
+    EXPECT_THROW(assemble("; nothing here\n"), AsmError);
+}
+
+} // anonymous namespace
+} // namespace svf::isa

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the ProgramBuilder / FunctionBuilder codegen API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "isa/builder.hh"
+#include "sim/emulator.hh"
+
+namespace svf::isa
+{
+namespace
+{
+
+TEST(Builder, TinyProgramRuns)
+{
+    ProgramBuilder pb("tiny");
+    Label main = pb.here();
+    pb.li(RegA0, 7);
+    pb.putint();
+    pb.halt();
+    Program p = pb.finish(main);
+
+    sim::Emulator emu(p);
+    emu.run(100);
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(emu.output(), "7\n");
+}
+
+TEST(Builder, ForwardAndBackwardBranches)
+{
+    ProgramBuilder pb("branches");
+    Label main = pb.here();
+    Label fwd = pb.newLabel();
+    pb.li(RegT0, 3);
+    pb.li(RegT1, 0);
+    Label back = pb.here();
+    pb.addqi(RegT1, 1, RegT1);
+    pb.subqi(RegT0, 1, RegT0);
+    pb.bne(RegT0, back);
+    pb.br(fwd);
+    pb.li(RegT1, 99);               // skipped
+    pb.bind(fwd);
+    pb.mov(RegT1, RegA0);
+    pb.putint();
+    pb.halt();
+    Program p = pb.finish(main);
+
+    sim::Emulator emu(p);
+    emu.run(1000);
+    EXPECT_EQ(emu.output(), "3\n");
+}
+
+/** Property: li materializes arbitrary 64-bit constants exactly. */
+TEST(Builder, LiMaterializesConstantsProperty)
+{
+    std::vector<std::uint64_t> values = {
+        0, 1, 255, 256, 32767, 32768, 65535, 65536,
+        0x7fff0000, 0x7fffffff, 0x80000000, 0xffffffff,
+        0x100000000ull, 0x7fff8000ull, 0xdeadbeefcafef00dull,
+        ~std::uint64_t(0), std::uint64_t(-32768),
+        std::uint64_t(-32769), 0x8000000000000000ull,
+    };
+    Rng rng(99);
+    for (int i = 0; i < 50; ++i)
+        values.push_back(rng.next());
+
+    for (std::uint64_t v : values) {
+        ProgramBuilder pb("li");
+        Label main = pb.here();
+        pb.li(RegT0, v);
+        pb.halt();
+        Program p = pb.finish(main);
+        sim::Emulator emu(p);
+        emu.run(100);
+        EXPECT_EQ(emu.reg(RegT0), v) << std::hex << v;
+    }
+}
+
+TEST(Builder, LaLoadsLabelAddress)
+{
+    ProgramBuilder pb("la");
+    Label main = pb.here();
+    Label target = pb.newLabel();
+    pb.la(RegPV, target);
+    pb.jsr(RegRA, RegPV);
+    pb.halt();
+    pb.bind(target);
+    pb.li(RegA0, 11);
+    pb.putint();
+    pb.ret();
+    Program p = pb.finish(main);
+
+    sim::Emulator emu(p);
+    emu.run(100);
+    EXPECT_EQ(emu.output(), "11\n");
+}
+
+TEST(Builder, DataAllocation)
+{
+    ProgramBuilder pb("data");
+    Addr a = pb.allocDataQuads({10, 20, 30});
+    Addr b = pb.allocDataZero(100, 16);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % 16, 0u);
+    EXPECT_GE(b, a + 24);
+
+    Label main = pb.here();
+    pb.li(RegT0, a);
+    pb.ldq(RegA0, 8, RegT0);
+    pb.putint();
+    pb.halt();
+    Program p = pb.finish(main);
+    sim::Emulator emu(p);
+    emu.run(100);
+    EXPECT_EQ(emu.output(), "20\n");
+}
+
+TEST(Builder, HeapAllocationIsZeroFilled)
+{
+    ProgramBuilder pb("heap");
+    Addr h = pb.allocHeap(64, 8);
+    Addr hq = pb.allocHeapQuads({77});
+    EXPECT_GE(hq, h + 64);
+
+    Label main = pb.here();
+    pb.li(RegT0, h);
+    pb.ldq(RegA0, 0, RegT0);        // untouched heap reads as zero
+    pb.putint();
+    pb.li(RegT0, hq);
+    pb.ldq(RegA0, 0, RegT0);
+    pb.putint();
+    pb.halt();
+    Program p = pb.finish(main);
+    sim::Emulator emu(p);
+    emu.run(100);
+    EXPECT_EQ(emu.output(), "0\n77\n");
+}
+
+TEST(Builder, FrameSizeIsSixteenAligned)
+{
+    ProgramBuilder pb("f");
+    FunctionBuilder f1(pb, FrameSpec{8, true, false, false, {}});
+    EXPECT_EQ(f1.frameSize() % 16, 0u);
+    EXPECT_EQ(f1.frameSize(), 16u);
+
+    FunctionBuilder f2(pb, FrameSpec{48, true, true, false,
+                                     {RegS0, RegS1}});
+    // 48 locals + ra + fp + 2 saves = 80.
+    EXPECT_EQ(f2.frameSize(), 80u);
+}
+
+TEST(Builder, PrologueEpiloguePreservesRegisters)
+{
+    ProgramBuilder pb("frames");
+    Label main = pb.newLabel();
+    Label fn = pb.newLabel();
+
+    pb.bind(main);
+    FunctionBuilder mf(pb, FrameSpec{0, true, false, false, {}});
+    mf.prologue();
+    pb.li(RegS0, 111);
+    pb.li(RegS1, 222);
+    pb.call(fn);
+    pb.mov(RegS0, RegA0);
+    pb.putint();
+    pb.mov(RegS1, RegA0);
+    pb.putint();
+    pb.halt();
+
+    pb.bind(fn);
+    FunctionBuilder ff(pb, FrameSpec{16, true, false, false,
+                                     {RegS0, RegS1}});
+    ff.prologue();
+    pb.li(RegS0, 1);                // clobber; must be restored
+    pb.li(RegS1, 2);
+    ff.epilogueRet();
+
+    Program p = pb.finish(main);
+    sim::Emulator emu(p);
+    emu.run(1000);
+    EXPECT_EQ(emu.output(), "111\n222\n");
+    // The stack pointer must be balanced at the end.
+    EXPECT_EQ(emu.reg(RegSP) + mf.frameSize(), layout::StackBase);
+}
+
+TEST(Builder, LocalSlotAccess)
+{
+    ProgramBuilder pb("locals");
+    Label main = pb.newLabel();
+    pb.bind(main);
+    FunctionBuilder f(pb, FrameSpec{32, true, false, false, {}});
+    f.prologue();
+    pb.li(RegT0, 5);
+    f.stLocal(RegT0, 0);
+    pb.li(RegT0, 6);
+    f.stLocal(RegT0, 3);
+    f.ldLocal(RegT1, 0);
+    f.ldLocal(RegT2, 3);
+    pb.addq(RegT1, RegT2, RegA0);
+    pb.putint();
+    pb.halt();
+    Program p = pb.finish(main);
+    sim::Emulator emu(p);
+    emu.run(100);
+    EXPECT_EQ(emu.output(), "11\n");
+}
+
+TEST(Builder, FpRelativeAccess)
+{
+    ProgramBuilder pb("fp");
+    Label main = pb.newLabel();
+    pb.bind(main);
+    FunctionBuilder f(pb, FrameSpec{16, true, false, true, {}});
+    f.prologue();
+    pb.li(RegT0, 77);
+    f.stLocalFp(RegT0, 1);
+    f.ldLocal(RegA0, 1);            // same slot via $sp
+    pb.putint();
+    pb.halt();
+    Program p = pb.finish(main);
+    sim::Emulator emu(p);
+    emu.run(100);
+    EXPECT_EQ(emu.output(), "77\n");
+}
+
+TEST(Builder, AddrOfLocalMatchesSlot)
+{
+    ProgramBuilder pb("addr");
+    Label main = pb.newLabel();
+    pb.bind(main);
+    FunctionBuilder f(pb, FrameSpec{16, true, false, false, {}});
+    f.prologue();
+    pb.li(RegT0, 31);
+    f.stLocal(RegT0, 1);
+    f.addrOfLocal(RegT1, 1);
+    pb.ldq(RegA0, 0, RegT1);        // $gpr-based stack access
+    pb.putint();
+    pb.halt();
+    Program p = pb.finish(main);
+    sim::Emulator emu(p);
+    emu.run(100);
+    EXPECT_EQ(emu.output(), "31\n");
+}
+
+TEST(BuilderDeathTest, UnboundLabelPanics)
+{
+    ProgramBuilder pb("bad");
+    Label main = pb.here();
+    Label nowhere = pb.newLabel();
+    pb.br(nowhere);
+    pb.halt();
+    EXPECT_DEATH(pb.finish(main), "unbound label");
+}
+
+TEST(BuilderDeathTest, DoubleBindPanics)
+{
+    ProgramBuilder pb("bad");
+    Label l = pb.here();
+    pb.nop();
+    EXPECT_DEATH(pb.bind(l), "bound twice");
+}
+
+} // anonymous namespace
+} // namespace svf::isa

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Encode/decode round-trip tests for the SVA instruction formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "isa/encode.hh"
+
+namespace svf::isa
+{
+namespace
+{
+
+TEST(Encode, MemFormatRoundTrip)
+{
+    std::uint32_t raw = encodeMem(Opcode::Ldq, RegA0, RegSP, -32);
+    DecodedInst di;
+    ASSERT_TRUE(decode(raw, di));
+    EXPECT_EQ(di.op, Opcode::Ldq);
+    EXPECT_EQ(di.ra, RegA0);
+    EXPECT_EQ(di.rb, RegSP);
+    EXPECT_EQ(di.disp, -32);
+    EXPECT_TRUE(di.memRef);
+    EXPECT_TRUE(di.load);
+    EXPECT_EQ(di.memSize, 8u);
+}
+
+TEST(Encode, MemFormatExtremeDisplacements)
+{
+    for (std::int32_t disp : {-32768, -1, 0, 1, 32767}) {
+        std::uint32_t raw = encodeMem(Opcode::Stq, RegT0, RegT1,
+                                      disp);
+        DecodedInst di;
+        ASSERT_TRUE(decode(raw, di));
+        EXPECT_EQ(di.disp, disp);
+    }
+}
+
+TEST(EncodeDeathTest, MemDisplacementOutOfRange)
+{
+    EXPECT_DEATH(encodeMem(Opcode::Ldq, RegA0, RegSP, 32768),
+                 "out of range");
+    EXPECT_DEATH(encodeMem(Opcode::Ldq, RegA0, RegSP, -32769),
+                 "out of range");
+}
+
+TEST(Encode, OperateRegisterForm)
+{
+    std::uint32_t raw = encodeOp(IntFunct::Subq, RegT0, RegT1, RegV0);
+    DecodedInst di;
+    ASSERT_TRUE(decode(raw, di));
+    EXPECT_EQ(di.op, Opcode::IntOp);
+    EXPECT_EQ(di.funct, IntFunct::Subq);
+    EXPECT_FALSE(di.useLit);
+    EXPECT_EQ(di.ra, RegT0);
+    EXPECT_EQ(di.rb, RegT1);
+    EXPECT_EQ(di.rc, RegV0);
+    EXPECT_EQ(di.cls, InstClass::IntAlu);
+}
+
+TEST(Encode, OperateLiteralForm)
+{
+    std::uint32_t raw = encodeOpLit(IntFunct::Addq, RegSP, 255,
+                                    RegSP);
+    DecodedInst di;
+    ASSERT_TRUE(decode(raw, di));
+    EXPECT_TRUE(di.useLit);
+    EXPECT_EQ(di.lit, 255u);
+    EXPECT_EQ(di.ra, RegSP);
+    EXPECT_EQ(di.rc, RegSP);
+}
+
+TEST(Encode, MultiplyClassifiesAsIntMult)
+{
+    DecodedInst di;
+    ASSERT_TRUE(decode(encodeOp(IntFunct::Mulq, RegT0, RegT1, RegT2),
+                       di));
+    EXPECT_EQ(di.cls, InstClass::IntMult);
+    ASSERT_TRUE(decode(encodeOp(IntFunct::Umulh, RegT0, RegT1, RegT2),
+                       di));
+    EXPECT_EQ(di.cls, InstClass::IntMult);
+}
+
+TEST(Encode, BranchFormats)
+{
+    DecodedInst di;
+    ASSERT_TRUE(decode(encodeBranch(Opcode::Beq, RegT0, -100), di));
+    EXPECT_TRUE(di.condBranch);
+    EXPECT_EQ(di.disp, -100);
+
+    ASSERT_TRUE(decode(encodeBranch(Opcode::Bsr, RegRA, 5000), di));
+    EXPECT_TRUE(di.uncondBranch);
+    EXPECT_TRUE(di.call);
+    EXPECT_EQ(di.disp, 5000);
+}
+
+TEST(Encode, BranchDisplacementLimits)
+{
+    DecodedInst di;
+    ASSERT_TRUE(decode(encodeBranch(Opcode::Br, RegZero,
+                                    -(1 << 20)), di));
+    EXPECT_EQ(di.disp, -(1 << 20));
+    ASSERT_TRUE(decode(encodeBranch(Opcode::Br, RegZero,
+                                    (1 << 20) - 1), di));
+    EXPECT_EQ(di.disp, (1 << 20) - 1);
+}
+
+TEST(Encode, JsrAndRet)
+{
+    DecodedInst di;
+    ASSERT_TRUE(decode(encodeJsr(RegRA, RegPV), di));
+    EXPECT_TRUE(di.indirect);
+    EXPECT_TRUE(di.call);
+    EXPECT_FALSE(di.ret);
+
+    ASSERT_TRUE(decode(encodeJsr(RegZero, RegRA), di));
+    EXPECT_TRUE(di.ret);
+    EXPECT_FALSE(di.call);
+}
+
+TEST(Encode, SysFormats)
+{
+    DecodedInst di;
+    ASSERT_TRUE(decode(encodeSys(SysFunct::Halt), di));
+    EXPECT_EQ(di.sys, SysFunct::Halt);
+    ASSERT_TRUE(decode(encodeSys(SysFunct::Putint), di));
+    EXPECT_EQ(di.sys, SysFunct::Putint);
+}
+
+TEST(Decode, RejectsIllegalOpcodes)
+{
+    DecodedInst di;
+    // Opcode 0x3f is unused... 0x3f is Bgt; use an unused slot.
+    EXPECT_FALSE(decode(0x04u << 26, di));
+    EXPECT_FALSE(decode(0x3cu << 26, di));
+}
+
+TEST(Decode, RejectsIllegalFunct)
+{
+    DecodedInst di;
+    // IntOp with funct beyond Umulh.
+    std::uint32_t raw = (0x10u << 26) | (0x7fu << 5);
+    EXPECT_FALSE(decode(raw, di));
+}
+
+TEST(Disasm, RendersKeyForms)
+{
+    DecodedInst di;
+    ASSERT_TRUE(decode(encodeMem(Opcode::Lda, RegSP, RegSP, -48),
+                       di));
+    EXPECT_EQ(disassemble(di, 0x10000), "lda $sp, -48($sp)");
+
+    ASSERT_TRUE(decode(encodeOpLit(IntFunct::Addq, RegT0, 4, RegT1),
+                       di));
+    EXPECT_EQ(disassemble(di, 0x10000), "addq $t0, 4, $t1");
+
+    ASSERT_TRUE(decode(encodeBranch(Opcode::Beq, RegT0, 3), di));
+    EXPECT_EQ(disassemble(di, 0x10000), "beq $t0, 0x10010");
+
+    ASSERT_TRUE(decode(encodeJsr(RegZero, RegRA), di));
+    EXPECT_EQ(disassemble(di, 0), "jsr $zero, ($ra)");
+}
+
+/** Property: encodings survive a full decode for random fields. */
+TEST(Encode, RandomRoundTripProperty)
+{
+    Rng rng(321);
+    for (int i = 0; i < 20000; ++i) {
+        auto ra = static_cast<RegIndex>(rng.below(NumRegs));
+        auto rb = static_cast<RegIndex>(rng.below(NumRegs));
+        auto rc = static_cast<RegIndex>(rng.below(NumRegs));
+        auto disp = static_cast<std::int32_t>(
+            rng.range(-32768, 32767));
+        auto funct = static_cast<IntFunct>(rng.below(15));
+
+        DecodedInst di;
+        ASSERT_TRUE(decode(encodeMem(Opcode::Ldl, ra, rb, disp), di));
+        EXPECT_EQ(di.ra, ra);
+        EXPECT_EQ(di.rb, rb);
+        EXPECT_EQ(di.disp, disp);
+        EXPECT_EQ(di.memSize, 4u);
+
+        ASSERT_TRUE(decode(encodeOp(funct, ra, rb, rc), di));
+        EXPECT_EQ(di.funct, funct);
+        EXPECT_EQ(di.ra, ra);
+        EXPECT_EQ(di.rb, rb);
+        EXPECT_EQ(di.rc, rc);
+    }
+}
+
+TEST(RegNames, RoundTrip)
+{
+    for (RegIndex r = 0; r < NumRegs; ++r)
+        EXPECT_EQ(parseReg(regName(r)), r) << regName(r);
+    EXPECT_EQ(parseReg("$r13"), 13);
+    EXPECT_EQ(parseReg("$30"), RegSP);
+    EXPECT_EQ(parseReg("$nope"), NoReg);
+    EXPECT_EQ(parseReg("r5"), NoReg);   // missing '$'
+    EXPECT_EQ(parseReg("$32"), NoReg);
+}
+
+} // anonymous namespace
+} // namespace svf::isa

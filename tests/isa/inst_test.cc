@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for decoded-instruction classification: destination and
+ * source registers, memory/control flags, and the stack-specific
+ * predicates the SVF front end depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.hh"
+#include "isa/encode.hh"
+
+namespace svf::isa
+{
+namespace
+{
+
+DecodedInst
+dec(std::uint32_t raw)
+{
+    DecodedInst di;
+    EXPECT_TRUE(decode(raw, di));
+    return di;
+}
+
+TEST(Inst, LoadDestAndSources)
+{
+    DecodedInst di = dec(encodeMem(Opcode::Ldq, RegA0, RegSP, 8));
+    EXPECT_EQ(di.destReg(), RegA0);
+    RegIndex srcs[2];
+    ASSERT_EQ(di.srcRegs(srcs), 1u);
+    EXPECT_EQ(srcs[0], RegSP);
+}
+
+TEST(Inst, StoreHasNoDestTwoSources)
+{
+    DecodedInst di = dec(encodeMem(Opcode::Stq, RegA0, RegSP, 8));
+    EXPECT_EQ(di.destReg(), NoReg);
+    RegIndex srcs[2];
+    ASSERT_EQ(di.srcRegs(srcs), 2u);
+    EXPECT_EQ(srcs[0], RegA0);          // data
+    EXPECT_EQ(srcs[1], RegSP);          // base
+}
+
+TEST(Inst, ZeroRegisterIsNeverASourceOrDest)
+{
+    DecodedInst di = dec(encodeMem(Opcode::Ldq, RegZero, RegZero, 0));
+    EXPECT_EQ(di.destReg(), NoReg);
+    RegIndex srcs[2];
+    EXPECT_EQ(di.srcRegs(srcs), 0u);
+
+    di = dec(encodeOp(IntFunct::Bis, RegZero, RegZero, RegZero));
+    EXPECT_EQ(di.destReg(), NoReg);
+    EXPECT_EQ(di.srcRegs(srcs), 0u);
+}
+
+TEST(Inst, OperateLiteralHasOneSource)
+{
+    DecodedInst di = dec(encodeOpLit(IntFunct::Addq, RegT0, 9,
+                                     RegT1));
+    EXPECT_EQ(di.destReg(), RegT1);
+    RegIndex srcs[2];
+    ASSERT_EQ(di.srcRegs(srcs), 1u);
+    EXPECT_EQ(srcs[0], RegT0);
+}
+
+TEST(Inst, BranchSourcesAndLink)
+{
+    DecodedInst di = dec(encodeBranch(Opcode::Beq, RegT3, 4));
+    EXPECT_EQ(di.destReg(), NoReg);
+    RegIndex srcs[2];
+    ASSERT_EQ(di.srcRegs(srcs), 1u);
+    EXPECT_EQ(srcs[0], RegT3);
+
+    di = dec(encodeBranch(Opcode::Bsr, RegRA, 4));
+    EXPECT_EQ(di.destReg(), RegRA);
+    EXPECT_EQ(di.srcRegs(srcs), 0u);
+}
+
+TEST(Inst, SysPutintReadsA0)
+{
+    DecodedInst di = dec(encodeSys(SysFunct::Putint));
+    RegIndex srcs[2];
+    ASSERT_EQ(di.srcRegs(srcs), 1u);
+    EXPECT_EQ(srcs[0], RegA0);
+
+    di = dec(encodeSys(SysFunct::Halt));
+    EXPECT_EQ(di.srcRegs(srcs), 0u);
+}
+
+TEST(Inst, SpBasedPredicate)
+{
+    EXPECT_TRUE(dec(encodeMem(Opcode::Ldq, RegA0, RegSP, 8))
+                    .isSpBased());
+    EXPECT_TRUE(dec(encodeMem(Opcode::Stb, RegA0, RegSP, 8))
+                    .isSpBased());
+    EXPECT_FALSE(dec(encodeMem(Opcode::Ldq, RegA0, RegFP, 8))
+                     .isSpBased());
+    // lda is address arithmetic, not a memory reference.
+    EXPECT_FALSE(dec(encodeMem(Opcode::Lda, RegA0, RegSP, 8))
+                     .isSpBased());
+}
+
+TEST(Inst, SpAdjustPredicate)
+{
+    // The canonical frame idiom.
+    EXPECT_TRUE(dec(encodeMem(Opcode::Lda, RegSP, RegSP, -64))
+                    .isSpAdjust());
+    EXPECT_TRUE(dec(encodeMem(Opcode::Lda, RegSP, RegSP, 64))
+                    .isSpAdjust());
+    // lda $sp, imm($other) is a non-immediate update -> interlock.
+    EXPECT_FALSE(dec(encodeMem(Opcode::Lda, RegSP, RegT0, 0))
+                     .isSpAdjust());
+    EXPECT_FALSE(dec(encodeMem(Opcode::Lda, RegT0, RegSP, -64))
+                     .isSpAdjust());
+}
+
+TEST(Inst, WritesSpPredicate)
+{
+    EXPECT_TRUE(dec(encodeMem(Opcode::Lda, RegSP, RegSP, -64))
+                    .writesSp());
+    EXPECT_TRUE(dec(encodeOp(IntFunct::Bis, RegT0, RegT0, RegSP))
+                    .writesSp());
+    EXPECT_TRUE(dec(encodeMem(Opcode::Ldq, RegSP, RegT0, 0))
+                    .writesSp());
+    EXPECT_FALSE(dec(encodeMem(Opcode::Stq, RegSP, RegT0, 0))
+                     .writesSp());
+}
+
+TEST(Inst, ControlClassification)
+{
+    DecodedInst di = dec(encodeBranch(Opcode::Br, RegZero, 1));
+    EXPECT_TRUE(di.ctrl);
+    EXPECT_TRUE(di.uncondBranch);
+    EXPECT_FALSE(di.call);
+
+    di = dec(encodeBranch(Opcode::Bsr, RegRA, 1));
+    EXPECT_TRUE(di.call);
+
+    di = dec(encodeJsr(RegRA, RegPV));
+    EXPECT_TRUE(di.indirect);
+    EXPECT_TRUE(di.call);
+
+    di = dec(encodeJsr(RegZero, RegRA));
+    EXPECT_TRUE(di.ret);
+}
+
+} // anonymous namespace
+} // namespace svf::isa

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the linked Program image and the memory layout contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/program.hh"
+
+namespace svf::isa
+{
+namespace
+{
+
+TEST(Layout, RegionsAreDisjointAndOrdered)
+{
+    using namespace layout;
+    EXPECT_LT(TextBase, DataBase);
+    EXPECT_LT(DataBase, HeapBase);
+    EXPECT_LT(HeapBase, HeapLimit);
+    EXPECT_LT(HeapLimit, StackLimit);
+    EXPECT_LT(StackLimit, StackBase);
+    // Everything fits lda/ldah materialization (< 2^31 - 2^15).
+    EXPECT_LT(StackBase, Addr(0x7fff8000));
+}
+
+TEST(Program, FetchRawReadsLittleEndianWords)
+{
+    Program p;
+    p.name = "t";
+    p.addSection(layout::TextBase, {0x78, 0x56, 0x34, 0x12,
+                                    0xef, 0xbe, 0xad, 0xde});
+    p.textBase = layout::TextBase;
+    p.textSize = 8;
+    EXPECT_EQ(p.fetchRaw(layout::TextBase), 0x12345678u);
+    EXPECT_EQ(p.fetchRaw(layout::TextBase + 4), 0xdeadbeefu);
+}
+
+TEST(ProgramDeathTest, FetchOutsideImagePanics)
+{
+    Program p;
+    p.name = "t";
+    p.addSection(layout::TextBase, {0, 0, 0, 0});
+    EXPECT_DEATH(p.fetchRaw(layout::TextBase + 4),
+                 "outside program image");
+}
+
+TEST(ProgramDeathTest, OverlappingSectionsAreFatal)
+{
+    Program p;
+    p.name = "t";
+    p.addSection(0x1000, std::vector<std::uint8_t>(64, 0));
+    EXPECT_EXIT(p.addSection(0x1020, std::vector<std::uint8_t>(8, 0)),
+                testing::ExitedWithCode(1), "overlaps");
+}
+
+TEST(Program, AdjacentSectionsAreFine)
+{
+    Program p;
+    p.name = "t";
+    p.addSection(0x1000, std::vector<std::uint8_t>(64, 1));
+    p.addSection(0x1040, std::vector<std::uint8_t>(64, 2));
+    EXPECT_EQ(p.sections.size(), 2u);
+}
+
+TEST(Program, BuilderSectionsLandInTheirRegions)
+{
+    ProgramBuilder pb("layout");
+    Addr d = pb.allocDataQuads({1, 2, 3});
+    Addr h = pb.allocHeapQuads({4, 5});
+    Label main = pb.here();
+    pb.halt();
+    Program p = pb.finish(main);
+
+    EXPECT_GE(d, layout::DataBase);
+    EXPECT_LT(d, layout::HeapBase);
+    EXPECT_GE(h, layout::HeapBase);
+    EXPECT_LT(h, layout::HeapLimit);
+    EXPECT_EQ(p.entry, layout::TextBase);
+    ASSERT_GE(p.sections.size(), 3u);
+}
+
+TEST(Program, EntryIsTheRequestedLabel)
+{
+    ProgramBuilder pb("entry");
+    Label helper = pb.here();
+    pb.ret();
+    Label main = pb.here();
+    pb.halt();
+    Program p = pb.finish(main);
+    EXPECT_EQ(p.entry, layout::TextBase + 4);
+}
+
+} // anonymous namespace
+} // namespace svf::isa

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "base/random.hh"
+#include "mem/cache.hh"
+
+namespace svf::mem
+{
+namespace
+{
+
+CacheParams
+params(std::uint64_t size, unsigned assoc, unsigned line = 32)
+{
+    return CacheParams{"test", size, assoc, line, 1};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(params(1024, 2));
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x11f, false).hit);    // same 32B line
+    EXPECT_FALSE(c.access(0x120, false).hit);   // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c(params(1024, 2));
+    EXPECT_FALSE(c.probe(0x40));
+    c.access(0x40, false);
+    EXPECT_TRUE(c.probe(0x40));
+    EXPECT_FALSE(c.probe(0x80));
+}
+
+TEST(Cache, LruEviction)
+{
+    // Direct-mapped 2-line cache: 64B, 1-way, 32B lines.
+    Cache c(params(64, 1));
+    c.access(0x000, false);             // set 0
+    c.access(0x040, false);             // set 0 again -> evicts
+    EXPECT_FALSE(c.access(0x000, false).hit);
+}
+
+TEST(Cache, LruKeepsRecentlyUsed)
+{
+    // One set, 4 ways.
+    Cache c(params(128, 4));
+    for (Addr a : {0x000, 0x080, 0x100, 0x180})
+        c.access(a, false);
+    c.access(0x000, false);             // refresh line 0
+    // Fill a new line; victim must be 0x080 (the LRU), not 0x000.
+    c.access(0x200, false);
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x080));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    Cache c(params(64, 1));
+    c.access(0x000, true);              // dirty line at set 0
+    CacheAccess a = c.access(0x040, false);
+    EXPECT_FALSE(a.hit);
+    EXPECT_TRUE(a.writebackVictim);
+    EXPECT_EQ(a.victimAddr, 0x000u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    Cache c(params(64, 1));
+    c.access(0x000, false);
+    CacheAccess a = c.access(0x040, false);
+    EXPECT_FALSE(a.writebackVictim);
+    EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c(params(64, 1));
+    c.access(0x000, false);             // clean fill
+    c.access(0x008, true);              // write hit dirties it
+    CacheAccess a = c.access(0x040, false);
+    EXPECT_TRUE(a.writebackVictim);
+}
+
+TEST(Cache, FlushDirtyCountsAndClears)
+{
+    Cache c(params(256, 2));
+    c.access(0x000, true);
+    c.access(0x020, true);
+    c.access(0x040, false);
+    EXPECT_EQ(c.flushDirty(false), 2u);
+    // Dirty bits cleared; a second flush finds nothing.
+    EXPECT_EQ(c.flushDirty(false), 0u);
+    // Lines were not invalidated.
+    EXPECT_TRUE(c.probe(0x000));
+}
+
+TEST(Cache, FlushWithInvalidate)
+{
+    Cache c(params(256, 2));
+    c.access(0x000, true);
+    EXPECT_EQ(c.flushDirty(true), 1u);
+    EXPECT_FALSE(c.probe(0x000));
+}
+
+TEST(Cache, TrafficQuadwords)
+{
+    Cache c(params(64, 1));             // 32B lines = 4 quads
+    c.access(0x000, true);
+    c.access(0x040, true);              // evict dirty + fill
+    EXPECT_EQ(c.quadsIn(), 8u);         // two fills
+    EXPECT_EQ(c.quadsOut(), 4u);        // one writeback
+}
+
+TEST(CacheDeathTest, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Cache(CacheParams{"bad", 100, 3, 32, 1}),
+                testing::ExitedWithCode(1), "not divisible");
+    EXPECT_EXIT(Cache(CacheParams{"bad", 1024, 1, 12, 1}),
+                testing::ExitedWithCode(1), "power of two");
+}
+
+/** Parameterized sweep: hit rate of a sequential walk that fits. */
+class CacheGeometry
+    : public testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometry, ResidentWorkingSetHasNoCapacityMisses)
+{
+    auto [size_kb, assoc] = GetParam();
+    Cache c(params(std::uint64_t(size_kb) * 1024, assoc));
+    std::uint64_t footprint = std::uint64_t(size_kb) * 1024;
+
+    // First pass: compulsory misses only.
+    for (Addr a = 0; a < footprint; a += 8)
+        c.access(a, false);
+    std::uint64_t compulsory = c.misses();
+    EXPECT_EQ(compulsory, footprint / 32);
+
+    // Second pass: everything fits, so all hits.
+    for (Addr a = 0; a < footprint; a += 8)
+        c.access(a, false);
+    EXPECT_EQ(c.misses(), compulsory);
+}
+
+TEST_P(CacheGeometry, OverCapacityWalkThrashes)
+{
+    auto [size_kb, assoc] = GetParam();
+    Cache c(params(std::uint64_t(size_kb) * 1024, assoc));
+    std::uint64_t footprint = std::uint64_t(size_kb) * 1024 * 2;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < footprint; a += 32)
+            c.access(a, false);
+    }
+    // An LRU cache sees no reuse on a sequential over-capacity walk.
+    EXPECT_EQ(c.misses(), 2 * footprint / 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    testing::Combine(testing::Values(2, 8, 64),
+                     testing::Values(1, 2, 4, 8)),
+    [](const testing::TestParamInfo<std::tuple<int, int>> &info) {
+        return std::to_string(std::get<0>(info.param)) + "kb_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+/** Property: cache contents always reflect the most recent fills. */
+TEST(Cache, RandomAccessConsistencyProperty)
+{
+    Cache c(params(512, 2));
+    Rng rng(77);
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = (rng.below(64) * 32);
+        bool present = c.probe(a);
+        CacheAccess r = c.access(a, rng.chance(0.3));
+        EXPECT_EQ(r.hit, present);
+        r.hit ? ++hits : ++misses;
+    }
+    EXPECT_EQ(c.hits(), hits);
+    EXPECT_EQ(c.misses(), misses);
+}
+
+} // anonymous namespace
+} // namespace svf::mem

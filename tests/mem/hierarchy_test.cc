@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the fixed-latency memory hierarchy (Table 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace svf::mem
+{
+namespace
+{
+
+TEST(Hierarchy, Table2Defaults)
+{
+    HierarchyParams p;
+    EXPECT_EQ(p.il1.size, 256u * 1024);
+    EXPECT_EQ(p.il1.assoc, 8u);
+    EXPECT_EQ(p.il1.hitLatency, 1u);
+    EXPECT_EQ(p.dl1.size, 64u * 1024);
+    EXPECT_EQ(p.dl1.assoc, 4u);
+    EXPECT_EQ(p.dl1.hitLatency, 3u);
+    EXPECT_EQ(p.l2.size, 512u * 1024);
+    EXPECT_EQ(p.l2.assoc, 4u);
+    EXPECT_EQ(p.l2.hitLatency, 16u);
+    EXPECT_EQ(p.memLatency, 60u);
+}
+
+TEST(Hierarchy, LatencyComposition)
+{
+    MemHierarchy h((HierarchyParams()));
+    // Cold: DL1 miss, L2 miss -> memory latency.
+    EXPECT_EQ(h.data(0x1000, false), 60u);
+    // Now resident in both -> DL1 hit.
+    EXPECT_EQ(h.data(0x1000, false), 3u);
+    // Evict from DL1 only: walk 128KB (2x DL1) of distinct lines.
+    for (Addr a = 0x100000; a < 0x120000; a += 32)
+        h.data(a, false);
+    // L2 (512KB) still holds the line -> L2 latency.
+    EXPECT_EQ(h.data(0x1000, false), 16u);
+}
+
+TEST(Hierarchy, FetchPath)
+{
+    MemHierarchy h((HierarchyParams()));
+    EXPECT_EQ(h.fetch(0x10000), 60u);   // cold
+    EXPECT_EQ(h.fetch(0x10000), 1u);    // IL1 hit
+    EXPECT_EQ(h.fetch(0x10004), 1u);    // same line
+}
+
+TEST(Hierarchy, L2DirectBypassesDl1)
+{
+    MemHierarchy h((HierarchyParams()));
+    EXPECT_EQ(h.l2Direct(0x2000, false), 60u);
+    EXPECT_EQ(h.l2Direct(0x2000, false), 16u);
+    // The DL1 was never touched.
+    EXPECT_EQ(h.dl1().misses() + h.dl1().hits(), 0u);
+}
+
+TEST(Hierarchy, MemTrafficOnL2Misses)
+{
+    MemHierarchy h((HierarchyParams()));
+    EXPECT_EQ(h.memQuads(), 0u);
+    h.data(0x1000, false);
+    EXPECT_EQ(h.memQuads(), 4u);        // one 32B line fill
+    h.data(0x1000, false);
+    EXPECT_EQ(h.memQuads(), 4u);        // hit: no new traffic
+}
+
+TEST(Hierarchy, DirtyDl1EvictionWritesThroughL2)
+{
+    HierarchyParams p;
+    p.dl1.size = 64;                    // two 32B lines, 1 way each
+    p.dl1.assoc = 1;
+    MemHierarchy h(p);
+    h.data(0x000, true);                // dirty in tiny DL1
+    std::uint64_t l2_before = h.l2().hits() + h.l2().misses();
+    h.data(0x040, false);               // evicts dirty victim
+    // The victim writeback produced an extra L2 access.
+    EXPECT_GE(h.l2().hits() + h.l2().misses(), l2_before + 2);
+}
+
+TEST(Hierarchy, FlushDl1)
+{
+    MemHierarchy h((HierarchyParams()));
+    h.data(0x0, true);
+    h.data(0x100, true);
+    h.data(0x200, false);
+    EXPECT_EQ(h.flushDl1(true), 2u);
+    EXPECT_EQ(h.data(0x0, false), 16u); // invalidated, L2 hit
+}
+
+} // anonymous namespace
+} // namespace svf::mem

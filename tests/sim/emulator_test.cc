@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Architectural emulator semantics tests, opcode by opcode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "sim/emulator.hh"
+
+namespace svf::sim
+{
+namespace
+{
+
+using namespace isa;
+
+/** Run source and return the emulator for inspection. */
+std::unique_ptr<Emulator>
+run(const std::string &src, std::uint64_t max = 10000)
+{
+    static std::vector<std::unique_ptr<Program>> programs;
+    programs.push_back(std::make_unique<Program>(assemble(src)));
+    auto emu = std::make_unique<Emulator>(*programs.back());
+    emu->run(max);
+    return emu;
+}
+
+TEST(Emulator, IntOpSemantics)
+{
+    auto e = run(R"(
+main:
+    li $a0, 100
+    li $a1, 7
+    addq $a0, $a1, $r1
+    subq $a0, $a1, $r2
+    mulq $a0, $a1, $r3
+    and  $a0, $a1, $r4
+    or   $a0, $a1, $r5
+    xor  $a0, $a1, $r6
+    sll  $a0, 2, $r7
+    srl  $a0, 2, $r8
+    halt
+)");
+    EXPECT_EQ(e->reg(1), 107u);
+    EXPECT_EQ(e->reg(2), 93u);
+    EXPECT_EQ(e->reg(3), 700u);
+    EXPECT_EQ(e->reg(4), 100u & 7u);
+    EXPECT_EQ(e->reg(5), 100u | 7u);
+    EXPECT_EQ(e->reg(6), 100u ^ 7u);
+    EXPECT_EQ(e->reg(7), 400u);
+    EXPECT_EQ(e->reg(8), 25u);
+}
+
+TEST(Emulator, SignedArithmetic)
+{
+    auto e = run(R"(
+main:
+    li $a0, -8
+    sra $a0, 1, $r1
+    srl $a0, 60, $r2
+    cmplt $a0, 0, $r3       ; -8 < 0 (literal compares vs 0)
+    li $a1, 3
+    cmplt $a0, $a1, $r4
+    cmple $a1, $a1, $r5
+    cmpult $a0, $a1, $r6    ; unsigned: huge > 3
+    cmpeq $a1, 3, $r7
+    halt
+)");
+    EXPECT_EQ(e->reg(1), static_cast<RegVal>(-4));
+    EXPECT_EQ(e->reg(2), 0xfu);
+    // The literal form zero-extends its 8-bit literal, so
+    // cmplt $t0, 0 compares -8 < 0 signed -> 1.
+    EXPECT_EQ(e->reg(3), 1u);
+    EXPECT_EQ(e->reg(4), 1u);
+    EXPECT_EQ(e->reg(5), 1u);
+    EXPECT_EQ(e->reg(6), 0u);
+    EXPECT_EQ(e->reg(7), 1u);
+}
+
+TEST(Emulator, LdaLdahCompose)
+{
+    auto e = run(R"(
+main:
+    lda  $t0, 100($zero)
+    lda  $t1, -5($t0)
+    ldah $t2, 2($zero)
+    halt
+)");
+    EXPECT_EQ(e->reg(RegT0), 100u);
+    EXPECT_EQ(e->reg(RegT1), 95u);
+    EXPECT_EQ(e->reg(RegT2), 0x20000u);
+}
+
+TEST(Emulator, LoadStoreWidths)
+{
+    auto e = run(R"(
+main:
+    la $t0, buf
+    li $t1, -1
+    stq $t1, 0($t0)
+    li $t2, 0x1234
+    stl $t2, 0($t0)
+    ldl $a1, 0($t0)         ; sign-extended 32-bit
+    ldq $a2, 0($t0)
+    li $t3, 0xab
+    stb $t3, 2($t0)
+    ldbu $a3, 2($t0)
+    halt
+    .data
+buf: .quad 0
+)");
+    EXPECT_EQ(e->reg(RegA1), 0x1234u);
+    EXPECT_EQ(e->reg(RegA2), 0xffffffff00001234ull);
+    EXPECT_EQ(e->reg(RegA3), 0xabu);
+}
+
+TEST(Emulator, LdlSignExtends)
+{
+    auto e = run(R"(
+main:
+    la $t0, buf
+    ldl $a1, 0($t0)
+    halt
+    .data
+buf: .long 0x80000000
+)");
+    EXPECT_EQ(e->reg(RegA1), 0xffffffff80000000ull);
+}
+
+TEST(Emulator, BranchDirections)
+{
+    auto e = run(R"(
+main:
+    li $t0, -1
+    li $t1, 0
+    li $t2, 1
+    li $v0, 0
+    blt $t0, a
+    li $v0, 99
+a:  bgt $t2, b
+    li $v0, 98
+b:  beq $t1, c
+    li $v0, 97
+c:  bne $t0, d
+    li $v0, 96
+d:  ble $t1, e
+    li $v0, 95
+e:  bge $t1, f
+    li $v0, 94
+f:  halt
+)");
+    EXPECT_EQ(e->reg(RegV0), 0u);
+}
+
+TEST(Emulator, NotTakenBranchesFallThrough)
+{
+    auto e = run(R"(
+main:
+    li $t0, 1
+    beq $t0, bad
+    blt $t0, bad
+    bgt $t0, ok
+bad:
+    li $a0, 0
+    putint
+    halt
+ok: li $a0, 1
+    putint
+    halt
+)");
+    EXPECT_EQ(e->output(), "1\n");
+}
+
+TEST(Emulator, ZeroRegisterIgnoresWrites)
+{
+    auto e = run(R"(
+main:
+    li $t0, 5
+    addq $t0, $t0, $zero
+    mov $zero, $a0
+    putint
+    halt
+)");
+    EXPECT_EQ(e->output(), "0\n");
+}
+
+TEST(Emulator, UmulhHighBits)
+{
+    ProgramBuilder pb("umulh");
+    Label main = pb.here();
+    pb.li(RegT0, 0xffffffffffffffffull);
+    pb.li(RegT1, 2);
+    pb.op(IntFunct::Umulh, RegT0, RegT1, RegT2);
+    pb.halt();
+    Program p = pb.finish(main);
+    Emulator emu(p);
+    emu.run(100);
+    EXPECT_EQ(emu.reg(RegT2), 1u);
+}
+
+TEST(Emulator, ExecInfoForLoads)
+{
+    ProgramBuilder pb("info");
+    Label main = pb.here();
+    Addr buf = pb.allocDataQuads({42});
+    pb.li(RegT0, buf);
+    pb.ldq(RegA0, 0, RegT0);
+    pb.halt();
+    Program p = pb.finish(main);
+    Emulator emu(p);
+    ExecInfo info;
+    // Skip over li (1-2 insts) until the load.
+    while (emu.step(info) && !info.di->load) {}
+    EXPECT_TRUE(info.di->load);
+    EXPECT_EQ(info.ea, buf);
+    EXPECT_EQ(info.memValue, 42u);
+    EXPECT_EQ(info.result, 42u);
+}
+
+TEST(Emulator, ExecInfoForSpUpdates)
+{
+    ProgramBuilder pb("sp");
+    Label main = pb.here();
+    pb.lda(RegSP, -64, RegSP);
+    pb.lda(RegSP, 64, RegSP);
+    pb.halt();
+    Program p = pb.finish(main);
+    Emulator emu(p);
+    ExecInfo info;
+    ASSERT_TRUE(emu.step(info));
+    EXPECT_TRUE(info.spWritten);
+    EXPECT_EQ(info.oldSp, layout::StackBase);
+    EXPECT_EQ(info.newSp, layout::StackBase - 64);
+    ASSERT_TRUE(emu.step(info));
+    EXPECT_TRUE(info.spWritten);
+    EXPECT_EQ(info.newSp, layout::StackBase);
+    EXPECT_EQ(emu.minSp(), layout::StackBase - 64);
+}
+
+TEST(Emulator, ExecInfoBranchOutcome)
+{
+    auto src = R"(
+main:
+    li $t0, 0
+    beq $t0, taken
+    nop
+taken:
+    bne $t0, nottaken
+    halt
+nottaken:
+    halt
+)";
+    Program p = assemble(src);
+    Emulator emu(p);
+    ExecInfo info;
+    emu.step(info);                     // li
+    emu.step(info);                     // beq (taken)
+    EXPECT_TRUE(info.taken);
+    EXPECT_EQ(info.nextPc, info.pc + 8);
+    emu.step(info);                     // bne (not taken)
+    EXPECT_FALSE(info.taken);
+    EXPECT_EQ(info.nextPc, info.pc + 4);
+}
+
+TEST(Emulator, HaltStopsExecution)
+{
+    auto e = run("main:\n  halt\n  li $a0, 1\n  putint\n");
+    EXPECT_TRUE(e->halted());
+    EXPECT_EQ(e->instCount(), 1u);
+    EXPECT_EQ(e->output(), "");
+}
+
+TEST(Emulator, StepAfterHaltReturnsFalse)
+{
+    Program p = assemble("main:\n  halt\n");
+    Emulator emu(p);
+    ExecInfo info;
+    EXPECT_TRUE(emu.step(info));
+    EXPECT_FALSE(emu.step(info));
+    EXPECT_FALSE(emu.step(info));
+}
+
+TEST(Emulator, PutcOutputsBytes)
+{
+    auto e = run(R"(
+main:
+    li $a0, 72
+    putc
+    li $a0, 105
+    putc
+    halt
+)");
+    EXPECT_EQ(e->output(), "Hi");
+}
+
+TEST(Emulator, PutintNegative)
+{
+    auto e = run(R"(
+main:
+    li $a0, -12345
+    putint
+    halt
+)");
+    EXPECT_EQ(e->output(), "-12345\n");
+}
+
+} // anonymous namespace
+} // namespace svf::sim

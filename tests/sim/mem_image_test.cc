@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the sparse memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "base/random.hh"
+#include "sim/mem_image.hh"
+
+namespace svf::sim
+{
+namespace
+{
+
+TEST(MemImage, UntouchedMemoryReadsZero)
+{
+    MemImage m;
+    EXPECT_EQ(m.read8(0x1234), 0u);
+    EXPECT_EQ(m.read32(0x1000), 0u);
+    EXPECT_EQ(m.read64(0xdead000), 0u);
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+}
+
+TEST(MemImage, ReadBackWrites)
+{
+    MemImage m;
+    m.write8(0x100, 0xab);
+    m.write32(0x104, 0xdeadbeef);
+    m.write64(0x108, 0x1122334455667788ull);
+    EXPECT_EQ(m.read8(0x100), 0xabu);
+    EXPECT_EQ(m.read32(0x104), 0xdeadbeefu);
+    EXPECT_EQ(m.read64(0x108), 0x1122334455667788ull);
+}
+
+TEST(MemImage, LittleEndianLayout)
+{
+    MemImage m;
+    m.write64(0x200, 0x0807060504030201ull);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(m.read8(0x200 + i), i + 1);
+    m.write8(0x200, 0xff);
+    EXPECT_EQ(m.read64(0x200), 0x08070605040302ffull);
+}
+
+TEST(MemImage, BulkWriteAcrossPageBoundary)
+{
+    MemImage m;
+    std::vector<std::uint8_t> data(MemImage::PageSize + 100);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    Addr base = MemImage::PageSize - 50;    // straddles two pages
+    m.writeBytes(base, data.data(), data.size());
+    for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(m.read8(base + i), data[i]);
+    EXPECT_GE(m.pagesAllocated(), 2u);
+}
+
+TEST(MemImage, SparsePagesOnlyWhereWritten)
+{
+    MemImage m;
+    m.write8(0, 1);
+    m.write8(100 * MemImage::PageSize, 2);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+}
+
+TEST(MemImage, RandomizedReadWriteProperty)
+{
+    MemImage m;
+    Rng rng(55);
+    std::vector<std::pair<Addr, std::uint64_t>> written;
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = (rng.next() % (1u << 24)) & ~Addr(7);
+        std::uint64_t v = rng.next();
+        m.write64(a, v);
+        written.emplace_back(a, v);
+    }
+    // Later writes win; check the final value of each address.
+    std::unordered_map<Addr, std::uint64_t> last;
+    for (auto &[a, v] : written)
+        last[a] = v;
+    for (auto &[a, v] : last)
+        EXPECT_EQ(m.read64(a), v);
+}
+
+TEST(MemImageDeathTest, MisalignedAccessAsserts)
+{
+    MemImage m;
+    EXPECT_DEATH(m.read64(0x101), "assertion");
+    EXPECT_DEATH(m.write32(0x102, 1), "assertion");
+}
+
+} // anonymous namespace
+} // namespace svf::sim

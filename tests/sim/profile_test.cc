@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the Section 2 profiler (workloads/calibration.hh) on a
+ * hand-built program with exactly known reference behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "workloads/calibration.hh"
+
+namespace svf::workloads
+{
+namespace
+{
+
+using namespace isa;
+
+/**
+ * A program with a fully predictable profile:
+ *   - allocates a 64-byte frame,
+ *   - does 10 iterations of: 1 sp-store (offset 0), 1 sp-load
+ *     (offset 8), 1 fp-load, 1 gpr-load of a global, 1 heap store,
+ *   - recurses once 128 bytes deeper, then returns and halts.
+ */
+Program
+makeProfiled()
+{
+    ProgramBuilder pb("profiled");
+    Addr glob = pb.allocDataQuads({7});
+    Addr heap = pb.allocHeap(64, 8);
+
+    Label l_main = pb.newLabel();
+    Label l_deep = pb.newLabel();
+
+    pb.bind(l_main);
+    FunctionBuilder fb(pb, FrameSpec{48, true, true, true, {}});
+    fb.prologue();
+
+    pb.li(RegS0, 10);
+    Label loop = pb.here();
+    pb.stq(RegS0, 0, RegSP);            // $sp store
+    pb.ldq(RegT0, 8, RegSP);            // $sp load
+    pb.ldq(RegT1, -16, RegFP);          // $fp load (same frame)
+    pb.li(RegT2, glob);
+    pb.ldq(RegT3, 0, RegT2);            // global load
+    pb.li(RegT4, heap);
+    pb.stq(RegS0, 0, RegT4);            // heap store
+    pb.subqi(RegS0, 1, RegS0);
+    pb.bne(RegS0, loop);
+
+    pb.call(l_deep);
+    pb.halt();
+
+    pb.bind(l_deep);
+    FunctionBuilder deep(pb, FrameSpec{120, true, false, false, {}});
+    deep.prologue();
+    pb.stq(RegZero, 0, RegSP);
+    deep.epilogueRet();
+
+    return pb.finish(l_main);
+}
+
+TEST(Profile, RegionAndMethodCounts)
+{
+    StackProfile p = profileProgram(makeProfiled(), 100000);
+
+    // Per iteration: 2 $sp refs + 1 $fp ref (stack), 1 global,
+    // 1 heap. Plus prologue/epilogue stack traffic.
+    EXPECT_EQ(p.globalRefs, 10u);
+    EXPECT_EQ(p.heapRefs, 10u);
+    EXPECT_EQ(p.stackFp, 10u);
+    // 10 iterations x 2 + main prologue (ra, fp) + deep's
+    // store/saves/restores.
+    EXPECT_GE(p.stackSp, 24u);
+    EXPECT_EQ(p.stackGpr, 0u);
+    EXPECT_EQ(p.memRefs,
+              p.stackRefs + p.globalRefs + p.heapRefs + p.otherRefs);
+    EXPECT_EQ(p.belowTos, 0u);
+}
+
+TEST(Profile, MaxDepthSeesTheDeepCall)
+{
+    StackProfile p = profileProgram(makeProfiled(), 100000);
+    // main frame: 48 locals + ra + fp = 64B; deep frame: 120 + 8 ->
+    // 128B. Peak = 192 bytes = 24 words.
+    EXPECT_EQ(p.maxDepthWords, 24u);
+}
+
+TEST(Profile, OffsetStatisticsAreBounded)
+{
+    StackProfile p = profileProgram(makeProfiled(), 100000);
+    // All references are within the 64/128-byte frames.
+    EXPECT_GT(p.within256, 0.999);
+    EXPECT_GT(p.within8k, 0.999);
+    EXPECT_LT(p.avgOffsetBytes, 64.0);
+    EXPECT_GT(p.avgOffsetBytes, 0.0);
+}
+
+TEST(Profile, DepthSamplesCoverTheRun)
+{
+    // Sampling divides the budget, so size the budget to the run.
+    StackProfile p = profileProgram(makeProfiled(), 80, 16);
+    ASSERT_FALSE(p.depthSamples.empty());
+    // Samples are ordered by instruction count.
+    for (size_t i = 1; i < p.depthSamples.size(); ++i)
+        EXPECT_GT(p.depthSamples[i].first,
+                  p.depthSamples[i - 1].first);
+}
+
+TEST(Profile, InstructionBudgetRespected)
+{
+    ProgramBuilder pb("spin");
+    Label main = pb.here();
+    Label loop = pb.here();
+    pb.br(loop);                        // infinite loop
+    Program prog = pb.finish(main);
+    StackProfile p = profileProgram(prog, 5000);
+    EXPECT_EQ(p.insts, 5000u);
+}
+
+} // anonymous namespace
+} // namespace svf::workloads

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for memory region and access-method classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/region.hh"
+#include "isa/program.hh"
+
+namespace svf::sim
+{
+namespace
+{
+
+using namespace isa::layout;
+
+TEST(Region, Boundaries)
+{
+    EXPECT_EQ(classify(TextBase), Region::Text);
+    EXPECT_EQ(classify(DataBase - 1), Region::Text);
+    EXPECT_EQ(classify(DataBase), Region::Global);
+    EXPECT_EQ(classify(HeapBase - 1), Region::Global);
+    EXPECT_EQ(classify(HeapBase), Region::Heap);
+    EXPECT_EQ(classify(HeapLimit - 1), Region::Heap);
+    EXPECT_EQ(classify(StackLimit), Region::Stack);
+    EXPECT_EQ(classify(StackBase), Region::Stack);
+    EXPECT_EQ(classify(StackBase - 0x1000), Region::Stack);
+    EXPECT_EQ(classify(0), Region::Other);
+}
+
+TEST(Region, AccessMethods)
+{
+    EXPECT_EQ(methodOf(isa::RegSP), AccessMethod::Sp);
+    EXPECT_EQ(methodOf(isa::RegFP), AccessMethod::Fp);
+    EXPECT_EQ(methodOf(isa::RegT0), AccessMethod::Gpr);
+    EXPECT_EQ(methodOf(isa::RegA0), AccessMethod::Gpr);
+    EXPECT_EQ(methodOf(isa::RegZero), AccessMethod::Gpr);
+}
+
+TEST(Region, Names)
+{
+    EXPECT_STREQ(regionName(Region::Stack), "stack");
+    EXPECT_STREQ(regionName(Region::Heap), "heap");
+    EXPECT_STREQ(regionName(Region::Global), "global");
+    EXPECT_STREQ(methodName(AccessMethod::Sp), "$sp");
+    EXPECT_STREQ(methodName(AccessMethod::Gpr), "$gpr");
+}
+
+} // anonymous namespace
+} // namespace svf::sim

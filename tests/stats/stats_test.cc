@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/distribution.hh"
+#include "stats/group.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace svf::stats
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c(nullptr, "c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 12u);
+    EXPECT_EQ(c.render(), "12");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Scalar, AssignAndRender)
+{
+    Scalar s(nullptr, "s", "a scalar");
+    s = 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 2.5);
+    EXPECT_EQ(s.render(), "2.5");
+}
+
+TEST(Group, RegistersAndDumps)
+{
+    Group g("core");
+    Counter a(&g, "commits", "committed insts");
+    Scalar b(&g, "ipc", "instructions per cycle");
+    a += 100;
+    b = 3.2;
+
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("core.commits"), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+    EXPECT_NE(out.find("core.ipc"), std::string::npos);
+    EXPECT_NE(out.find("# committed insts"), std::string::npos);
+    EXPECT_EQ(g.infos().size(), 2u);
+
+    g.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Distribution, Moments)
+{
+    Distribution d(nullptr, "d", "dist");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d(nullptr, "d", "dist");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    Log2Histogram h(nullptr, "h", "hist", 16);
+    h.sample(0);                // bucket 0
+    h.sample(1);                // bucket 1
+    h.sample(2);                // bucket 2
+    h.sample(3);                // bucket 3
+    h.sample(4);                // bucket 3
+    h.sample(5);                // bucket 4
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 2u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(Log2Histogram, CumulativeFraction)
+{
+    Log2Histogram h(nullptr, "h", "hist", 20);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(0), 0.01);
+    // Values 0..64 inclusive are <= 64: 65 of 100.
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(64), 0.65);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(128), 1.0);
+}
+
+TEST(Log2Histogram, OverflowGoesToLastBucket)
+{
+    Log2Histogram h(nullptr, "h", "hist", 4);
+    h.sample(1u << 20);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"bench", "cycles", "ipc"});
+    t.addRow();
+    t.cell("gcc");
+    t.cell(std::uint64_t(12345));
+    t.cell(3.14159, 2);
+    t.addRow();
+    t.cell("mcf");
+    t.cell(std::uint64_t(9));
+    t.cell(0.5, 2);
+    EXPECT_EQ(t.rows(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    // Header separator line.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow();
+    t.cell("x");
+    t.cell(std::uint64_t(1));
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+} // anonymous namespace
+} // namespace svf::stats

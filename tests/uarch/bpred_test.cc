@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the branch predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "isa/decode.hh"
+#include "isa/encode.hh"
+#include "uarch/bpred.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+using namespace isa;
+
+sim::ExecInfo
+ctrlInfo(std::uint32_t raw, Addr pc, bool taken, Addr next)
+{
+    static std::vector<std::unique_ptr<DecodedInst>> pool;
+    auto di = std::make_unique<DecodedInst>();
+    EXPECT_TRUE(decode(raw, *di));
+    pool.push_back(std::move(di));
+    sim::ExecInfo info;
+    info.di = pool.back().get();
+    info.pc = pc;
+    info.taken = taken;
+    info.nextPc = next;
+    return info;
+}
+
+TEST(Perfect, AlwaysCorrect)
+{
+    PerfectPredictor p;
+    auto beq = ctrlInfo(encodeBranch(Opcode::Beq, RegT0, 4), 0x10000,
+                        true, 0x10014);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(p.predictAndUpdate(beq));
+}
+
+TEST(Gshare, LearnsABiasedBranch)
+{
+    GsharePredictor p;
+    auto taken = ctrlInfo(encodeBranch(Opcode::Bne, RegT0, -4),
+                          0x10020, true, 0x10014);
+    // Warm up until the global history register stabilizes (12
+    // bits of history plus counter saturation).
+    for (int i = 0; i < 20; ++i)
+        p.predictAndUpdate(taken);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(p.predictAndUpdate(taken));
+}
+
+TEST(Gshare, AlternatingBranchMispredictsSometimes)
+{
+    GsharePredictor p;
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto b = ctrlInfo(encodeBranch(Opcode::Beq, RegT0, 4),
+                          0x10040, i % 2 == 0, 0);
+        if (!p.predictAndUpdate(b))
+            ++wrong;
+    }
+    // With history it may learn the pattern, but the first
+    // occurrences must mispredict.
+    EXPECT_GT(wrong, 0);
+    EXPECT_EQ(p.mispredicts(), static_cast<std::uint64_t>(wrong));
+}
+
+TEST(Gshare, DirectUnconditionalAlwaysCorrect)
+{
+    GsharePredictor p;
+    auto br = ctrlInfo(encodeBranch(Opcode::Br, RegZero, 100),
+                       0x10000, true, 0x10194);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(p.predictAndUpdate(br));
+}
+
+TEST(Gshare, RasPredictsMatchedCallReturn)
+{
+    GsharePredictor p;
+    auto call = ctrlInfo(encodeBranch(Opcode::Bsr, RegRA, 100),
+                         0x10000, true, 0x10194);
+    auto ret = ctrlInfo(encodeJsr(RegZero, RegRA), 0x10200, true,
+                        0x10004);
+    EXPECT_TRUE(p.predictAndUpdate(call));
+    // Return to pc+4 of the call: RAS hit.
+    EXPECT_TRUE(p.predictAndUpdate(ret));
+}
+
+TEST(Gshare, RasMispredictsUnbalancedReturn)
+{
+    GsharePredictor p;
+    auto ret = ctrlInfo(encodeJsr(RegZero, RegRA), 0x10200, true,
+                        0x12344);
+    // Empty RAS: the return target cannot be known.
+    EXPECT_FALSE(p.predictAndUpdate(ret));
+}
+
+TEST(Gshare, NestedCallsUnwindInOrder)
+{
+    GsharePredictor p;
+    auto call1 = ctrlInfo(encodeBranch(Opcode::Bsr, RegRA, 10),
+                          0x10000, true, 0);
+    auto call2 = ctrlInfo(encodeBranch(Opcode::Bsr, RegRA, 10),
+                          0x11000, true, 0);
+    auto ret2 = ctrlInfo(encodeJsr(RegZero, RegRA), 0x12000, true,
+                         0x11004);
+    auto ret1 = ctrlInfo(encodeJsr(RegZero, RegRA), 0x13000, true,
+                         0x10004);
+    EXPECT_TRUE(p.predictAndUpdate(call1));
+    EXPECT_TRUE(p.predictAndUpdate(call2));
+    EXPECT_TRUE(p.predictAndUpdate(ret2));
+    EXPECT_TRUE(p.predictAndUpdate(ret1));
+}
+
+TEST(Gshare, BtbLearnsIndirectTargets)
+{
+    GsharePredictor p;
+    auto jmp = ctrlInfo(encodeJsr(RegPV, RegT0), 0x10100, true,
+                        0x20000);
+    // Cold BTB: miss.
+    EXPECT_FALSE(p.predictAndUpdate(jmp));
+    // Stable target: hit.
+    EXPECT_TRUE(p.predictAndUpdate(jmp));
+    // Target change: miss once, then learn again.
+    auto jmp2 = ctrlInfo(encodeJsr(RegPV, RegT0), 0x10100, true,
+                         0x30000);
+    EXPECT_FALSE(p.predictAndUpdate(jmp2));
+    EXPECT_TRUE(p.predictAndUpdate(jmp2));
+}
+
+TEST(Factory, MakesBothKinds)
+{
+    EXPECT_STREQ(makePredictor("perfect")->name(), "perfect");
+    EXPECT_STREQ(makePredictor("gshare")->name(), "gshare");
+}
+
+TEST(FactoryDeathTest, UnknownKindIsFatal)
+{
+    EXPECT_EXIT(makePredictor("oracle"), testing::ExitedWithCode(1),
+                "unknown branch predictor");
+}
+
+} // anonymous namespace
+} // namespace svf::uarch

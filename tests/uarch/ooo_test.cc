@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Timing-model properties of the out-of-order core: throughput and
+ * latency bounds, port contention, forwarding, branch penalties and
+ * the SVF fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+using namespace isa;
+
+/** Run a program on a config; returns the core for inspection. */
+struct Sim
+{
+    explicit Sim(const Program &p, const MachineConfig &cfg)
+        : prog(p), oracle(prog), core(cfg, oracle)
+    {
+        core.run();
+    }
+
+    Program prog;
+    sim::Emulator oracle;
+    OooCore core;
+
+    double ipc() const { return core.stats().ipc(); }
+    Cycle cycles() const { return core.stats().cycles; }
+};
+
+MachineConfig
+base16()
+{
+    return MachineConfig::wide16();
+}
+
+/** A long chain of dependent 1-cycle ALU ops: IPC must be ~1. */
+TEST(Ooo, DependentChainBoundsIpcToOne)
+{
+    ProgramBuilder pb("chain");
+    Label main = pb.here();
+    pb.li(RegT0, 0);
+    for (int i = 0; i < 2000; ++i)
+        pb.addqi(RegT0, 1, RegT0);
+    pb.halt();
+    Sim r(pb.finish(main), base16());
+    EXPECT_TRUE(r.oracle.halted());
+    EXPECT_GT(r.cycles(), 2000u);
+    EXPECT_LT(r.cycles(), 2100u);
+}
+
+/** Independent ALU ops: IPC approaches the machine width. */
+TEST(Ooo, IndependentOpsReachWideIssue)
+{
+    ProgramBuilder pb("wide");
+    Label main = pb.here();
+    for (int i = 0; i < 4000; ++i)
+        pb.addqi(static_cast<RegIndex>(1 + (i % 8)), 1,
+                 static_cast<RegIndex>(1 + (i % 8)));
+    pb.halt();
+    // 8 independent chains of 500 -> ILP of 8.
+    Sim r(pb.finish(main), base16());
+    EXPECT_GT(r.ipc(), 6.0);
+}
+
+/** Multiply latency: a mulq chain runs at 1/3 IPC. */
+TEST(Ooo, MultiplyChainShowsLatency)
+{
+    ProgramBuilder pb("mul");
+    Label main = pb.here();
+    pb.li(RegT0, 1);
+    for (int i = 0; i < 1000; ++i)
+        pb.mulqi(RegT0, 1, RegT0);
+    pb.halt();
+    Sim r(pb.finish(main), base16());
+    EXPECT_GT(r.cycles(), 2900u);
+    EXPECT_LT(r.cycles(), 3200u);
+}
+
+/** Load-use chains see the 3-cycle DL1 hit latency. */
+TEST(Ooo, LoadUseChainShowsDl1Latency)
+{
+    ProgramBuilder pb("loaduse");
+    // A pointer-chasing loop in the heap: each load depends on the
+    // previous one. Build a self-pointing cell.
+    Addr cell = pb.allocHeapQuads({0});
+    Label main = pb.here();
+    pb.li(RegT0, cell);
+    pb.stq(RegT0, 0, RegT0);            // cell points to itself
+    for (int i = 0; i < 1000; ++i)
+        pb.ldq(RegT0, 0, RegT0);
+    pb.halt();
+    Sim r(pb.finish(main), base16());
+    // ~3 cycles per load once warm.
+    EXPECT_GT(r.cycles(), 2900u);
+    EXPECT_LT(r.cycles(), 3400u);
+}
+
+/** DL1 port contention: independent loads throttle at the ports. */
+TEST(Ooo, LoadThroughputLimitedByPorts)
+{
+    auto make = [](int n) {
+        ProgramBuilder pb("ports");
+        Addr buf = pb.allocHeapQuads(std::vector<std::uint64_t>(64,
+                                                                1));
+        Label main = pb.here();
+        pb.li(RegT7, buf);
+        for (int i = 0; i < n; ++i)
+            pb.ldq(static_cast<RegIndex>(1 + (i % 6)),
+                   static_cast<std::int32_t>((i % 64) * 8), RegT7);
+        pb.halt();
+        return pb.finish(main);
+    };
+
+    MachineConfig one_port = base16();
+    one_port.dl1Ports = 1;
+    MachineConfig two_port = base16();
+    two_port.dl1Ports = 2;
+
+    Sim r1(make(3000), one_port);
+    Sim r2(make(3000), two_port);
+    // 3000 independent loads: >=3000 cycles at 1 port, ~half at 2.
+    EXPECT_GT(r1.cycles(), 3000u);
+    EXPECT_LT(r2.cycles(), r1.cycles() * 0.6);
+}
+
+/** Store-to-load forwarding costs the configured 3 cycles. */
+TEST(Ooo, StoreForwardLatency)
+{
+    ProgramBuilder pb("fwd");
+    Label main = pb.here();
+    pb.lda(RegSP, -16, RegSP);
+    pb.li(RegT0, 1);
+    for (int i = 0; i < 500; ++i) {
+        pb.stq(RegT0, 0, RegSP);
+        pb.ldq(RegT0, 0, RegSP);
+        pb.addqi(RegT0, 1, RegT0);
+    }
+    pb.halt();
+    Sim r(pb.finish(main), base16());
+    // Each iteration: forward (3) + add (1) ~ 4+ cycles.
+    EXPECT_GT(r.cycles(), 1900u);
+}
+
+/** The same chain through the SVF morphs to ~2-cycle iterations. */
+TEST(Ooo, SvfShortensSpillReloadChains)
+{
+    auto make = [] {
+        ProgramBuilder pb("svf-chain");
+        Label main = pb.here();
+        pb.lda(RegSP, -16, RegSP);
+        pb.li(RegT0, 1);
+        for (int i = 0; i < 500; ++i) {
+            pb.stq(RegT0, 0, RegSP);
+            pb.ldq(RegT0, 0, RegSP);
+            pb.addqi(RegT0, 1, RegT0);
+        }
+        pb.halt();
+        return pb.finish(main);
+    };
+    MachineConfig svf_cfg = base16();
+    svf_cfg.svf.enabled = true;
+    Sim base(make(), base16());
+    Sim opt(make(), svf_cfg);
+    // The renamed move chain saves one cycle per iteration over the
+    // 3-cycle store-forward path (store->load->add: 4 -> 3 cycles).
+    EXPECT_LT(opt.cycles(), base.cycles() * 0.85);
+    EXPECT_GE(base.cycles() - opt.cycles(), 400u);
+    EXPECT_EQ(opt.core.svfUnit().fastLoads(), 500u);
+    EXPECT_EQ(opt.core.svfUnit().fastStores(), 500u);
+}
+
+/** Perfect prediction sails through; gshare pays for a random
+ *  branch. */
+TEST(Ooo, GshareMispredictPenalty)
+{
+    auto make = [] {
+        ProgramBuilder pb("br");
+        // Data-dependent unpredictable branches from an LCG.
+        Label main = pb.here();
+        pb.li(RegT0, 12345);
+        pb.li(RegS0, 0);
+        pb.li(RegS1, 500);
+        Label loop = pb.here();
+        pb.li(RegT1, 1103515245);
+        pb.mulq(RegT0, RegT1, RegT0);
+        pb.addqi(RegT0, 99, RegT0);
+        pb.srli(RegT0, 16, RegT2);
+        pb.andi(RegT2, 1, RegT2);
+        Label skip = pb.newLabel();
+        pb.beq(RegT2, skip);
+        pb.addqi(RegS0, 1, RegS0);
+        pb.bind(skip);
+        pb.subqi(RegS1, 1, RegS1);
+        pb.bne(RegS1, loop);
+        pb.halt();
+        return pb.finish(main);
+    };
+    MachineConfig perfect = base16();
+    MachineConfig gshare = base16();
+    gshare.bpred = "gshare";
+    Sim rp(make(), perfect);
+    Sim rg(make(), gshare);
+    EXPECT_GT(rg.core.stats().mispredicts, 100u);
+    EXPECT_GT(rg.cycles(), rp.cycles() * 1.5);
+}
+
+/** Every committed instruction is counted exactly once. */
+TEST(Ooo, CommitCountMatchesOracle)
+{
+    ProgramBuilder pb("count");
+    Label main = pb.here();
+    pb.li(RegT0, 100);
+    Label loop = pb.here();
+    pb.subqi(RegT0, 1, RegT0);
+    pb.bne(RegT0, loop);
+    pb.halt();
+    Sim r(pb.finish(main), base16());
+    EXPECT_TRUE(r.oracle.halted());
+    EXPECT_EQ(r.core.stats().committed, r.oracle.instCount());
+}
+
+/** Instruction budget cuts the run cleanly. */
+TEST(Ooo, MaxInstsBudgetRespected)
+{
+    ProgramBuilder pb("budget");
+    Label main = pb.here();
+    pb.li(RegT0, 1000000);
+    Label loop = pb.here();
+    pb.subqi(RegT0, 1, RegT0);
+    pb.bne(RegT0, loop);
+    pb.halt();
+    Program p = pb.finish(main);
+    sim::Emulator oracle(p);
+    OooCore core(base16(), oracle);
+    core.run(5000);
+    EXPECT_EQ(core.stats().committed, 5000u);
+    EXPECT_FALSE(oracle.halted());
+}
+
+/** $sp interlock: a register move into $sp stalls dispatch. */
+TEST(Ooo, SpInterlockCountsAndCompletes)
+{
+    ProgramBuilder pb("interlock");
+    Label main = pb.here();
+    pb.lda(RegT0, -64, RegSP);          // t0 = sp - 64
+    pb.mov(RegT0, RegSP);               // non-immediate $sp write!
+    pb.li(RegT1, 5);
+    pb.stq(RegT1, 0, RegSP);
+    pb.ldq(RegA0, 0, RegSP);
+    pb.putint();
+    pb.lda(RegSP, 64, RegSP);
+    pb.halt();
+    MachineConfig cfg = base16();
+    cfg.svf.enabled = true;
+    Sim r(pb.finish(main), cfg);
+    EXPECT_TRUE(r.oracle.halted());
+    EXPECT_EQ(r.oracle.output(), "5\n");
+    EXPECT_EQ(r.core.stats().spInterlocks, 1u);
+}
+
+/** Context switches flush and count traffic. */
+TEST(Ooo, ContextSwitchFlushes)
+{
+    ProgramBuilder pb("ctx");
+    Label main = pb.here();
+    pb.lda(RegSP, -64, RegSP);
+    pb.li(RegT0, 7);
+    Label loop = pb.newLabel();
+    pb.li(RegS0, 3000);
+    pb.bind(loop);
+    pb.stq(RegT0, 0, RegSP);
+    pb.ldq(RegT0, 0, RegSP);
+    pb.subqi(RegS0, 1, RegS0);
+    pb.bne(RegS0, loop);
+    pb.halt();
+    MachineConfig cfg = base16();
+    cfg.svf.enabled = true;
+    cfg.contextSwitchPeriod = 1000;
+    Sim r(pb.finish(main), cfg);
+    EXPECT_GE(r.core.stats().ctxSwitches, 9u);
+    // Each flush writes back the single dirty word (8 bytes).
+    EXPECT_GT(r.core.stats().svfCtxBytes, 0u);
+    EXPECT_LE(r.core.stats().svfCtxBytes,
+              r.core.stats().ctxSwitches * 16);
+}
+
+/** The Section 3.2 collision: a $gpr store hitting a younger
+ *  morphed load triggers squashes (and no_squash removes them). */
+TEST(Ooo, RerouteCollisionSquash)
+{
+    auto make = [] {
+        ProgramBuilder pb("collide");
+        Label main = pb.here();
+        pb.lda(RegSP, -32, RegSP);
+        pb.li(RegS0, 400);
+        Label loop = pb.here();
+        // Compute the address of a local through a temp (so the
+        // store below is a $gpr stack reference)...
+        pb.lda(RegT0, 8, RegSP);
+        // ...delay its data so it issues late...
+        pb.mulqi(RegS0, 3, RegT1);
+        pb.mulq(RegT1, RegT1, RegT1);
+        pb.stq(RegT1, 0, RegT0);        // rerouted store
+        // ...then immediately load through $sp (decode-morphed).
+        pb.ldq(RegT2, 8, RegSP);        // colliding morphed load
+        pb.addq(RegT2, RegZero, RegT3);
+        pb.subqi(RegS0, 1, RegS0);
+        pb.bne(RegS0, loop);
+        pb.halt();
+        return pb.finish(main);
+    };
+    MachineConfig cfg = MachineConfig::wide4();
+    cfg.svf.enabled = true;
+    Sim r(make(), cfg);
+    EXPECT_GT(r.core.stats().squashes, 0u);
+
+    MachineConfig nosq = cfg;
+    nosq.svf.noSquash = true;
+    Sim r2(make(), nosq);
+    EXPECT_EQ(r2.core.stats().squashes, 0u);
+    // Removing squashes must not slow the program down.
+    EXPECT_LE(r2.cycles(), r.cycles());
+}
+
+/** Store commits need a free port: a 1-port DL1 serializes a
+ *  store burst. */
+TEST(Ooo, StoreCommitPortPressure)
+{
+    auto make = [] {
+        ProgramBuilder pb("stores");
+        Addr buf = pb.allocHeap(4096, 8);
+        Label main = pb.here();
+        pb.li(RegT7, buf);
+        for (int i = 0; i < 2000; ++i)
+            pb.stq(RegZero, static_cast<std::int32_t>((i % 64) * 8),
+                   RegT7);
+        pb.halt();
+        return pb.finish(main);
+    };
+    MachineConfig one = base16();
+    one.dl1Ports = 1;
+    Sim r(make(), one);
+    // 2000 stores through one port: at least 2000 cycles.
+    EXPECT_GT(r.cycles(), 2000u);
+}
+
+/** Drain correctness across widths: the pipeline always
+ *  terminates and commits the full program. */
+class OooWidths : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(OooWidths, NoDeadlockOnMixedWorkload)
+{
+    ProgramBuilder pb("mix");
+    Addr buf = pb.allocHeapQuads(std::vector<std::uint64_t>(32, 3));
+    Label main = pb.here();
+    pb.lda(RegSP, -64, RegSP);
+    pb.li(RegS0, 500);
+    pb.li(RegT7, buf);
+    Label loop = pb.here();
+    pb.ldq(RegT0, 0, RegT7);
+    pb.mulq(RegT0, RegT0, RegT1);
+    pb.stq(RegT1, 8, RegSP);
+    pb.ldl(RegT2, 8, RegSP);
+    pb.stb(RegT2, 16, RegSP);
+    pb.ldbu(RegT3, 16, RegSP);
+    pb.subqi(RegS0, 1, RegS0);
+    pb.bne(RegS0, loop);
+    pb.halt();
+
+    MachineConfig cfg = MachineConfig::wide(GetParam());
+    cfg.svf.enabled = true;
+    Sim r(pb.finish(main), cfg);
+    EXPECT_TRUE(r.oracle.halted());
+    EXPECT_EQ(r.core.stats().committed, r.oracle.instCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, OooWidths,
+                         testing::Values(4u, 8u, 16u),
+                         [](const auto &info) {
+                             return "w" + std::to_string(info.param);
+                         });
+
+} // anonymous namespace
+} // namespace svf::uarch

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Second-order pipeline behaviours: structure-size effects, commit
+ * ordering, context switches with each stack structure, and the
+ * front-end parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+using namespace isa;
+
+struct Sim
+{
+    Sim(const Program &p, const MachineConfig &cfg)
+        : prog(p), oracle(prog), core(cfg, oracle)
+    {
+        core.run();
+    }
+
+    Program prog;
+    sim::Emulator oracle;
+    OooCore core;
+};
+
+/** Independent work interleaved with pointer chasing: speedups
+ *  should come from a bigger window. */
+Program
+makeWindowSensitive()
+{
+    ProgramBuilder pb("window");
+    Addr cell = pb.allocHeapQuads({0});
+    Label main = pb.here();
+    pb.li(RegT7, cell);
+    pb.stq(RegT7, 0, RegT7);
+    pb.li(RegS0, 300);
+    Label loop = pb.here();
+    // One long-latency dependent load...
+    pb.ldq(RegT7, 0, RegT7);
+    // ...plus a burst of independent ALU work a big window can
+    // overlap with the next iteration's load.
+    for (int i = 0; i < 12; ++i)
+        pb.addqi(static_cast<RegIndex>(1 + (i % 6)), 1,
+                 static_cast<RegIndex>(1 + (i % 6)));
+    pb.subqi(RegS0, 1, RegS0);
+    pb.bne(RegS0, loop);
+    pb.halt();
+    return pb.finish(main);
+}
+
+TEST(PipelineDetails, LargerRuuExtractsMoreIlp)
+{
+    MachineConfig small = MachineConfig::wide16();
+    small.ruuSize = 16;
+    small.lsqSize = 8;
+    MachineConfig big = MachineConfig::wide16();
+
+    Sim s(makeWindowSensitive(), small);
+    Sim b(makeWindowSensitive(), big);
+    EXPECT_LT(b.core.stats().cycles, s.core.stats().cycles);
+}
+
+TEST(PipelineDetails, TakenBranchThroughputLimitsFetch)
+{
+    // A long chain of unconditional taken branches has no data
+    // dependencies at all: throughput is purely the front end's
+    // taken-branches-per-cycle budget.
+    ProgramBuilder pb("takens");
+    Label main = pb.here();
+    std::vector<Label> hops;
+    for (int i = 0; i < 1200; ++i)
+        hops.push_back(pb.newLabel());
+    for (int i = 0; i < 1200; ++i) {
+        pb.bind(hops[static_cast<size_t>(i)]);
+        if (i + 1 < 1200)
+            pb.br(hops[static_cast<size_t>(i) + 1]);
+        else
+            pb.halt();
+    }
+    Program p = pb.finish(main);
+
+    MachineConfig one = MachineConfig::wide16();
+    one.maxTakenPerFetch = 1;
+    MachineConfig three = MachineConfig::wide16();
+    three.maxTakenPerFetch = 3;
+
+    Sim s1(p, one);
+    Sim s3(p, three);
+    EXPECT_LT(s1.core.stats().ipc(), 1.2);
+    EXPECT_GT(s3.core.stats().ipc(),
+              s1.core.stats().ipc() * 2.0);
+}
+
+TEST(PipelineDetails, SchedLatencyAddsPipelineDepth)
+{
+    // A short program's total time grows with scheduler depth; a
+    // long loop's throughput does not.
+    ProgramBuilder pb("sched");
+    Label main = pb.here();
+    pb.li(RegT0, 1);
+    for (int i = 0; i < 20; ++i)
+        pb.addqi(RegT0, 1, RegT0);
+    pb.halt();
+    Program p = pb.finish(main);
+
+    MachineConfig shallow = MachineConfig::wide16();
+    shallow.schedLatency = 0;
+    MachineConfig deep = MachineConfig::wide16();
+    deep.schedLatency = 8;
+
+    Sim s(p, shallow);
+    Sim d(p, deep);
+    // The chain's first issue is delayed by the extra depth (the
+    // rest overlaps), so the short program pays most of it once.
+    EXPECT_GE(d.core.stats().cycles, s.core.stats().cycles + 4);
+}
+
+TEST(PipelineDetails, ContextSwitchWithStackCacheCountsBytes)
+{
+    ProgramBuilder pb("ctxsc");
+    Label main = pb.here();
+    pb.lda(RegSP, -64, RegSP);
+    pb.li(RegS0, 5000);
+    Label loop = pb.here();
+    pb.stq(RegS0, 0, RegSP);
+    pb.ldq(RegT0, 0, RegSP);
+    pb.subqi(RegS0, 1, RegS0);
+    pb.bne(RegS0, loop);
+    pb.halt();
+    Program p = pb.finish(main);
+
+    MachineConfig cfg = MachineConfig::wide16();
+    cfg.stackCacheEnabled = true;
+    cfg.contextSwitchPeriod = 2000;
+    Sim s(p, cfg);
+    EXPECT_GE(s.core.stats().ctxSwitches, 5u);
+    EXPECT_GT(s.core.stats().scCtxBytes, 0u);
+    // A whole 32-byte line per dirty word: coarser than the SVF's.
+    EXPECT_GE(s.core.stats().scCtxBytes,
+              s.core.stats().ctxSwitches * 32);
+}
+
+TEST(PipelineDetails, RedirectPenaltyScalesMispredictCost)
+{
+    ProgramBuilder pb("redirect");
+    Label main = pb.here();
+    pb.li(RegT0, 9);
+    pb.li(RegS0, 600);
+    Label loop = pb.here();
+    pb.li(RegT1, 6364136223846793005ULL);
+    pb.mulq(RegT0, RegT1, RegT0);
+    pb.addqi(RegT0, 13, RegT0);
+    pb.srli(RegT0, 17, RegT2);
+    pb.andi(RegT2, 1, RegT2);
+    Label skip = pb.newLabel();
+    pb.beq(RegT2, skip);
+    pb.nop();
+    pb.bind(skip);
+    pb.subqi(RegS0, 1, RegS0);
+    pb.bne(RegS0, loop);
+    pb.halt();
+    Program p = pb.finish(main);
+
+    Cycle prev = 0;
+    for (unsigned pen : {0u, 8u, 32u}) {
+        MachineConfig cfg = MachineConfig::wide16();
+        cfg.bpred = "gshare";
+        cfg.redirectPenalty = pen;
+        Sim s(p, cfg);
+        EXPECT_GT(s.core.stats().mispredicts, 50u);
+        EXPECT_GE(s.core.stats().cycles, prev);
+        prev = s.core.stats().cycles;
+    }
+}
+
+TEST(PipelineDetails, StoresCommitInOrderWithLoads)
+{
+    // A read-after-write chain through memory across commit: the
+    // oracle guarantees values; here we check timing sanity — the
+    // consumer can never complete before the producer store issued.
+    ProgramBuilder pb("order");
+    Addr slot = pb.allocHeapQuads({0});
+    Label main = pb.here();
+    pb.li(RegT7, slot);
+    pb.li(RegS0, 200);
+    Label loop = pb.here();
+    pb.stq(RegS0, 0, RegT7);
+    pb.ldq(RegT0, 0, RegT7);
+    pb.subqi(RegT0, 1, RegS0);          // chain through the memory
+    pb.bne(RegS0, loop);
+    pb.halt();
+    Program p = pb.finish(main);
+    Sim s(p, MachineConfig::wide16());
+    EXPECT_TRUE(s.oracle.halted());
+    // Forward latency bounds the loop: >= 4 cycles per iteration.
+    EXPECT_GT(s.core.stats().cycles, 800u);
+}
+
+TEST(PipelineDetails, SvfPortSaturationIsVisible)
+{
+    // All-morphable traffic: 1 SVF port halves throughput vs 4.
+    ProgramBuilder pb("svfports");
+    Label main = pb.here();
+    pb.lda(RegSP, -64, RegSP);
+    for (int i = 0; i < 3000; ++i) {
+        if (i % 2 == 0)
+            pb.stq(RegZero, (i % 8) * 8, RegSP);
+        else
+            pb.ldq(static_cast<RegIndex>(1 + (i % 6)),
+                   ((i - 1) % 8) * 8, RegSP);
+    }
+    pb.halt();
+    Program p = pb.finish(main);
+
+    auto run_ports = [&](unsigned ports) {
+        MachineConfig cfg = MachineConfig::wide16();
+        cfg.svf.enabled = true;
+        cfg.svf.svf.ports = ports;
+        Sim s(p, cfg);
+        return s.core.stats().cycles;
+    };
+    Cycle one = run_ports(1);
+    Cycle four = run_ports(4);
+    EXPECT_GT(one, four * 3 / 2);
+}
+
+} // anonymous namespace
+} // namespace svf::uarch

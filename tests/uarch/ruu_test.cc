@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the RUU container and the LSQ helper structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/lsq.hh"
+#include "uarch/ruu.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+RuuEntry
+entry(InstSeq seq)
+{
+    RuuEntry e;
+    e.seq = seq;
+    return e;
+}
+
+TEST(Ruu, FifoOrderAndCapacity)
+{
+    Ruu ruu(4);
+    EXPECT_TRUE(ruu.empty());
+    for (InstSeq s = 10; s < 14; ++s)
+        ruu.push(entry(s));
+    EXPECT_TRUE(ruu.full());
+    EXPECT_EQ(ruu.front().seq, 10u);
+    EXPECT_EQ(ruu.back().seq, 13u);
+    ruu.popFront();
+    EXPECT_FALSE(ruu.full());
+    EXPECT_EQ(ruu.front().seq, 11u);
+}
+
+TEST(Ruu, ContainsAndBySeq)
+{
+    Ruu ruu(8);
+    for (InstSeq s = 100; s < 105; ++s)
+        ruu.push(entry(s));
+    EXPECT_TRUE(ruu.contains(100));
+    EXPECT_TRUE(ruu.contains(104));
+    EXPECT_FALSE(ruu.contains(99));
+    EXPECT_FALSE(ruu.contains(105));
+    EXPECT_EQ(ruu.bySeq(102).seq, 102u);
+    ruu.popFront();
+    EXPECT_FALSE(ruu.contains(100));
+    EXPECT_EQ(ruu.bySeq(103).seq, 103u);
+}
+
+TEST(Ruu, ProducerReadiness)
+{
+    Ruu ruu(8);
+    RuuEntry e = entry(50);
+    e.issued = true;
+    e.completeCycle = 20;
+    ruu.push(std::move(e));
+
+    // Departed (committed) producers are always ready.
+    EXPECT_TRUE(ruu.producerReady(49, 0));
+    EXPECT_TRUE(ruu.producerReady(NoProducer, 0));
+
+    // An in-flight producer is ready at its completion cycle.
+    EXPECT_FALSE(ruu.producerReady(50, 19));
+    EXPECT_TRUE(ruu.producerReady(50, 20));
+    EXPECT_TRUE(ruu.producerReady(50, 25));
+
+    // Unissued producers are never ready.
+    ruu.push(entry(51));
+    EXPECT_FALSE(ruu.producerReady(51, 1000));
+}
+
+TEST(Ruu, PopBackForReplay)
+{
+    Ruu ruu(8);
+    for (InstSeq s = 0; s < 5; ++s)
+        ruu.push(entry(s));
+    ruu.popBack();
+    ruu.popBack();
+    EXPECT_EQ(ruu.back().seq, 2u);
+    EXPECT_FALSE(ruu.contains(3));
+    EXPECT_EQ(ruu.size(), 3u);
+}
+
+TEST(StoreWordMap, TracksLatestStorePerWord)
+{
+    StoreWordMap map;
+    map.record(0x1000, 5);
+    map.record(0x1004, 9);              // same 8-byte word
+    map.record(0x1008, 7);              // next word
+    EXPECT_EQ(map.lookup(0x1000, 0), 9u);
+    EXPECT_EQ(map.lookup(0x1007, 0), 9u);
+    EXPECT_EQ(map.lookup(0x1008, 0), 7u);
+    EXPECT_EQ(map.lookup(0x2000, 0), StoreWordMap::NoStore);
+}
+
+TEST(StoreWordMap, StaleEntriesActAbsent)
+{
+    StoreWordMap map;
+    map.record(0x1000, 5);
+    EXPECT_EQ(map.lookup(0x1000, 6), StoreWordMap::NoStore);
+    EXPECT_EQ(map.lookup(0x1000, 5), 5u);
+}
+
+TEST(StoreWordMap, PruneDropsOldEntries)
+{
+    StoreWordMap map;
+    for (Addr a = 0; a < 100 * 8; a += 8)
+        map.record(a, a / 8);
+    map.prune(50);
+    EXPECT_EQ(map.size(), 50u);
+    EXPECT_EQ(map.lookup(49 * 8, 0), StoreWordMap::NoStore);
+    EXPECT_EQ(map.lookup(50 * 8, 0), 50u);
+}
+
+TEST(LsqTracker, OccupancyBookkeeping)
+{
+    LsqTracker lsq(2);
+    EXPECT_FALSE(lsq.full());
+    lsq.add();
+    lsq.add();
+    EXPECT_TRUE(lsq.full());
+    lsq.remove();
+    EXPECT_FALSE(lsq.full());
+    EXPECT_EQ(lsq.used(), 1u);
+}
+
+TEST(Ranges, OverlapAndCover)
+{
+    EXPECT_TRUE(rangesOverlap(0x100, 8, 0x104, 4));
+    EXPECT_TRUE(rangesOverlap(0x104, 4, 0x100, 8));
+    EXPECT_FALSE(rangesOverlap(0x100, 8, 0x108, 8));
+    EXPECT_TRUE(rangesOverlap(0x100, 1, 0x100, 1));
+
+    EXPECT_TRUE(rangeCovers(0x100, 8, 0x104, 4));
+    EXPECT_TRUE(rangeCovers(0x100, 8, 0x100, 8));
+    EXPECT_FALSE(rangeCovers(0x104, 4, 0x100, 8));
+    EXPECT_FALSE(rangeCovers(0x100, 8, 0x104, 8));
+}
+
+} // anonymous namespace
+} // namespace svf::uarch

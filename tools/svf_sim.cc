@@ -1,0 +1,225 @@
+/**
+ * @file
+ * svf-sim: the command-line simulator driver.
+ *
+ * Runs a registered workload or an SVA assembly file on any machine
+ * configuration and dumps the full statistics, in the spirit of
+ * sim-outorder's command line.
+ *
+ * Usage:
+ *     svf-sim workload=crafty [input=ref] [scale=N]
+ *     svf-sim asm=path/to/prog.s
+ *
+ * Common options (key=value):
+ *     insts=N          instruction budget          (default 1000000)
+ *     width=4|8|16     Table 2 machine model       (default 16)
+ *     dl1_ports=N      universal L1 data ports     (default 2)
+ *     bpred=perfect|gshare                         (default perfect)
+ *     svf=0|1          enable the stack value file (default 0)
+ *     svf.kb=N         SVF capacity in KB          (default 8)
+ *     svf.ports=N      SVF ports                   (default 2)
+ *     svf.no_squash=1  SVF-aware code generator model
+ *     stack_cache=0|1  decoupled stack cache instead of the SVF
+ *     stack_cache.kb=N                             (default 8)
+ *     ctx_period=N     context switch period       (default off)
+ *     functional=1     skip the cycle model (emulate only)
+ *     dump_asm=1       disassemble the program before running
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/config.hh"
+#include "base/logging.hh"
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+
+namespace
+{
+
+isa::Program
+loadProgram(const Config &cfg, std::string &display_name)
+{
+    std::string asm_path = cfg.getString("asm", "");
+    if (!asm_path.empty()) {
+        std::ifstream in(asm_path);
+        if (!in)
+            fatal("cannot open assembly file '%s'", asm_path.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        display_name = asm_path;
+        try {
+            return isa::assemble(ss.str(), asm_path);
+        } catch (const isa::AsmError &e) {
+            fatal("%s: %s", asm_path.c_str(), e.what());
+        }
+    }
+
+    std::string name = cfg.getString("workload", "");
+    if (name.empty())
+        fatal("pass workload=<name> or asm=<file.s>  (workloads: "
+              "bzip2 crafty eon gap gcc gzip mcf parser perlbmk "
+              "twolf vortex vpr)");
+    const workloads::WorkloadSpec &spec = workloads::workload(name);
+    std::string input = cfg.getString("input", spec.inputs[0]);
+    std::uint64_t scale = cfg.getUint("scale", spec.defaultScale);
+    display_name = name + "." + input;
+    return spec.build(input, scale);
+}
+
+uarch::MachineConfig
+makeMachine(const Config &cfg)
+{
+    uarch::MachineConfig m = harness::baselineConfig(
+        static_cast<unsigned>(cfg.getUint("width", 16)),
+        static_cast<unsigned>(cfg.getUint("dl1_ports", 2)),
+        cfg.getString("bpred", "perfect"));
+
+    if (cfg.getBool("svf", false)) {
+        harness::applySvf(
+            m,
+            static_cast<std::uint32_t>(
+                cfg.getUint("svf.kb", 8) * 1024 / 8),
+            static_cast<unsigned>(cfg.getUint("svf.ports", 2)));
+        m.svf.noSquash = cfg.getBool("svf.no_squash", false);
+        m.svf.morphSpRefs = cfg.getBool("svf.morph", true);
+        m.svf.dynamicDisable = cfg.getBool("svf.dynamic", false);
+    }
+    if (cfg.getBool("stack_cache", false)) {
+        harness::applyStackCache(
+            m, cfg.getUint("stack_cache.kb", 8) * 1024,
+            static_cast<unsigned>(cfg.getUint("svf.ports", 2)));
+    }
+    m.noAddrCalcOp = cfg.getBool("no_addr_cal_op", false);
+    m.contextSwitchPeriod = cfg.getUint("ctx_period", 0);
+    return m;
+}
+
+void
+dumpStats(const std::string &name, const uarch::OooCore &core,
+          const sim::Emulator &oracle)
+{
+    const uarch::CoreStats &s = core.stats();
+    std::printf("\n-- %s: timing statistics --\n", name.c_str());
+    std::printf("sim_cycles            %llu\n",
+                (unsigned long long)s.cycles);
+    std::printf("sim_insts             %llu\n",
+                (unsigned long long)s.committed);
+    std::printf("sim_IPC               %.4f\n", s.ipc());
+    std::printf("loads / stores        %llu / %llu\n",
+                (unsigned long long)s.loads,
+                (unsigned long long)s.stores);
+    std::printf("branches (mispred)    %llu (%llu)\n",
+                (unsigned long long)s.branches,
+                (unsigned long long)s.mispredicts);
+    std::printf("lsq_forwards          %llu\n",
+                (unsigned long long)s.lsqForwards);
+    std::printf("sp_interlocks         %llu\n",
+                (unsigned long long)s.spInterlocks);
+    std::printf("dl1 hits / misses     %llu / %llu\n",
+                (unsigned long long)core.hier().dl1().hits(),
+                (unsigned long long)core.hier().dl1().misses());
+    std::printf("l2 hits / misses      %llu / %llu\n",
+                (unsigned long long)core.hier().l2().hits(),
+                (unsigned long long)core.hier().l2().misses());
+
+    const core::SvfUnit &svf_unit = core.svfUnit();
+    if (svf_unit.enabled()) {
+        std::printf("svf fast loads/stores %llu / %llu\n",
+                    (unsigned long long)svf_unit.fastLoads(),
+                    (unsigned long long)svf_unit.fastStores());
+        std::printf("svf rerouted          %llu\n",
+                    (unsigned long long)(svf_unit.reroutedLoads() +
+                                         svf_unit.reroutedStores()));
+        std::printf("svf window misses     %llu\n",
+                    (unsigned long long)svf_unit.windowMisses());
+        std::printf("svf quads in / out    %llu / %llu\n",
+                    (unsigned long long)svf_unit.svf().quadsIn(),
+                    (unsigned long long)svf_unit.svf().quadsOut());
+        std::printf("svf squashes          %llu\n",
+                    (unsigned long long)s.squashes);
+        if (svf_unit.params().dynamicDisable) {
+            std::printf("svf disable episodes  %llu (%llu refs "
+                        "bypassed)\n",
+                        (unsigned long long)svf_unit.disableEpisodes(),
+                        (unsigned long long)svf_unit.refsWhileDisabled());
+        }
+    }
+    if (const mem::StackCache *sc = core.stackCache()) {
+        std::printf("stack$ hits / misses  %llu / %llu\n",
+                    (unsigned long long)sc->hits(),
+                    (unsigned long long)sc->misses());
+        std::printf("stack$ quads in/out   %llu / %llu\n",
+                    (unsigned long long)sc->quadsIn(),
+                    (unsigned long long)sc->quadsOut());
+    }
+    if (s.ctxSwitches) {
+        std::printf("context switches      %llu (svf %llu B, "
+                    "stack$ %llu B, dl1 %llu lines)\n",
+                    (unsigned long long)s.ctxSwitches,
+                    (unsigned long long)s.svfCtxBytes,
+                    (unsigned long long)s.scCtxBytes,
+                    (unsigned long long)s.dl1CtxLines);
+    }
+    std::printf("program halted        %s\n",
+                oracle.halted() ? "yes" : "no (budget reached)");
+    if (!oracle.output().empty())
+        std::printf("program output:\n%s", oracle.output().c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::fromArgs(argc, argv);
+
+    std::string name;
+    isa::Program prog = loadProgram(cfg, name);
+    std::uint64_t budget = cfg.getUint("insts", 1'000'000);
+
+    if (cfg.getBool("dump_asm", false)) {
+        for (Addr pc = prog.textBase;
+             pc < prog.textBase + prog.textSize; pc += 4) {
+            isa::DecodedInst di;
+            if (isa::decode(prog.fetchRaw(pc), di)) {
+                std::printf("%08llx  %s\n",
+                            (unsigned long long)pc,
+                            isa::disassemble(di, pc).c_str());
+            }
+        }
+    }
+
+    if (cfg.getBool("functional", false)) {
+        sim::Emulator emu(prog);
+        emu.run(budget);
+        std::printf("-- %s: functional run --\n", name.c_str());
+        std::printf("sim_insts   %llu\n",
+                    (unsigned long long)emu.instCount());
+        std::printf("halted      %s\n", emu.halted() ? "yes" : "no");
+        std::printf("max depth   %llu words\n",
+                    (unsigned long long)((isa::layout::StackBase -
+                                          emu.minSp()) / 8));
+        if (!emu.output().empty())
+            std::printf("output:\n%s", emu.output().c_str());
+    } else {
+        uarch::MachineConfig m = makeMachine(cfg);
+        sim::Emulator oracle(prog);
+        uarch::OooCore core(m, oracle);
+        core.run(budget);
+        dumpStats(name, core, oracle);
+    }
+
+    for (const auto &key : cfg.unusedKeys())
+        std::fprintf(stderr, "warn: unused option '%s'\n",
+                     key.c_str());
+    return 0;
+}
