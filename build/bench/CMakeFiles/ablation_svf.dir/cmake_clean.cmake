@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_svf.dir/ablation_svf.cc.o"
+  "CMakeFiles/ablation_svf.dir/ablation_svf.cc.o.d"
+  "ablation_svf"
+  "ablation_svf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_svf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

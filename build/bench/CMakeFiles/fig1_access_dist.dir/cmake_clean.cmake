@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_access_dist.dir/fig1_access_dist.cc.o"
+  "CMakeFiles/fig1_access_dist.dir/fig1_access_dist.cc.o.d"
+  "fig1_access_dist"
+  "fig1_access_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_access_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

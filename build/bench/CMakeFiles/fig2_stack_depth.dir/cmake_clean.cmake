@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stack_depth.dir/fig2_stack_depth.cc.o"
+  "CMakeFiles/fig2_stack_depth.dir/fig2_stack_depth.cc.o.d"
+  "fig2_stack_depth"
+  "fig2_stack_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stack_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_offset_locality.dir/fig3_offset_locality.cc.o"
+  "CMakeFiles/fig3_offset_locality.dir/fig3_offset_locality.cc.o.d"
+  "fig3_offset_locality"
+  "fig3_offset_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_offset_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

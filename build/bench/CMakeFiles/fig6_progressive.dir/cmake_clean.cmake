@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_progressive.dir/fig6_progressive.cc.o"
+  "CMakeFiles/fig6_progressive.dir/fig6_progressive.cc.o.d"
+  "fig6_progressive"
+  "fig6_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_svf_vs_stackcache.dir/fig7_svf_vs_stackcache.cc.o"
+  "CMakeFiles/fig7_svf_vs_stackcache.dir/fig7_svf_vs_stackcache.cc.o.d"
+  "fig7_svf_vs_stackcache"
+  "fig7_svf_vs_stackcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_svf_vs_stackcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

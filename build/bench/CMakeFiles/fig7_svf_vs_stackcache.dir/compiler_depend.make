@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_svf_vs_stackcache.
+# This may be replaced when dependencies are built.

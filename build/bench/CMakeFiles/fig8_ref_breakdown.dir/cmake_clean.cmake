@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ref_breakdown.dir/fig8_ref_breakdown.cc.o"
+  "CMakeFiles/fig8_ref_breakdown.dir/fig8_ref_breakdown.cc.o.d"
+  "fig8_ref_breakdown"
+  "fig8_ref_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ref_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

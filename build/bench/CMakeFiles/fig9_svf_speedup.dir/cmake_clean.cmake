@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_svf_speedup.dir/fig9_svf_speedup.cc.o"
+  "CMakeFiles/fig9_svf_speedup.dir/fig9_svf_speedup.cc.o.d"
+  "fig9_svf_speedup"
+  "fig9_svf_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_svf_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_partial_word.dir/future_partial_word.cc.o"
+  "CMakeFiles/future_partial_word.dir/future_partial_word.cc.o.d"
+  "future_partial_word"
+  "future_partial_word.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_partial_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_traffic.dir/table3_traffic.cc.o"
+  "CMakeFiles/table3_traffic.dir/table3_traffic.cc.o.d"
+  "table3_traffic"
+  "table3_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

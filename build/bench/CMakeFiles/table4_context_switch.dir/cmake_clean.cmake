@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_context_switch.dir/table4_context_switch.cc.o"
+  "CMakeFiles/table4_context_switch.dir/table4_context_switch.cc.o.d"
+  "table4_context_switch"
+  "table4_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callstack_explorer.dir/callstack_explorer.cpp.o"
+  "CMakeFiles/callstack_explorer.dir/callstack_explorer.cpp.o.d"
+  "callstack_explorer"
+  "callstack_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callstack_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

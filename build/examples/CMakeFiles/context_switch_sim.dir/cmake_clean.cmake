@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_switch_sim.dir/context_switch_sim.cpp.o"
+  "CMakeFiles/context_switch_sim.dir/context_switch_sim.cpp.o.d"
+  "context_switch_sim"
+  "context_switch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_switch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

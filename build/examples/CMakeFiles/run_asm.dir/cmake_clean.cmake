@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_asm.dir/run_asm.cpp.o"
+  "CMakeFiles/run_asm.dir/run_asm.cpp.o.d"
+  "run_asm"
+  "run_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/bitfield.cc" "src/CMakeFiles/svf.dir/base/bitfield.cc.o" "gcc" "src/CMakeFiles/svf.dir/base/bitfield.cc.o.d"
+  "/root/repo/src/base/config.cc" "src/CMakeFiles/svf.dir/base/config.cc.o" "gcc" "src/CMakeFiles/svf.dir/base/config.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/svf.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/svf.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/svf.dir/base/random.cc.o" "gcc" "src/CMakeFiles/svf.dir/base/random.cc.o.d"
+  "/root/repo/src/base/str.cc" "src/CMakeFiles/svf.dir/base/str.cc.o" "gcc" "src/CMakeFiles/svf.dir/base/str.cc.o.d"
+  "/root/repo/src/core/spec_sp.cc" "src/CMakeFiles/svf.dir/core/spec_sp.cc.o" "gcc" "src/CMakeFiles/svf.dir/core/spec_sp.cc.o.d"
+  "/root/repo/src/core/svf.cc" "src/CMakeFiles/svf.dir/core/svf.cc.o" "gcc" "src/CMakeFiles/svf.dir/core/svf.cc.o.d"
+  "/root/repo/src/core/svf_unit.cc" "src/CMakeFiles/svf.dir/core/svf_unit.cc.o" "gcc" "src/CMakeFiles/svf.dir/core/svf_unit.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/svf.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/svf.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/reporting.cc" "src/CMakeFiles/svf.dir/harness/reporting.cc.o" "gcc" "src/CMakeFiles/svf.dir/harness/reporting.cc.o.d"
+  "/root/repo/src/harness/traffic.cc" "src/CMakeFiles/svf.dir/harness/traffic.cc.o" "gcc" "src/CMakeFiles/svf.dir/harness/traffic.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/svf.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/svf.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/svf.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/svf.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/decode.cc" "src/CMakeFiles/svf.dir/isa/decode.cc.o" "gcc" "src/CMakeFiles/svf.dir/isa/decode.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/svf.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/svf.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encode.cc" "src/CMakeFiles/svf.dir/isa/encode.cc.o" "gcc" "src/CMakeFiles/svf.dir/isa/encode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/svf.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/svf.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/svf.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/svf.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/svf.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/svf.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/stack_cache.cc" "src/CMakeFiles/svf.dir/mem/stack_cache.cc.o" "gcc" "src/CMakeFiles/svf.dir/mem/stack_cache.cc.o.d"
+  "/root/repo/src/sim/emulator.cc" "src/CMakeFiles/svf.dir/sim/emulator.cc.o" "gcc" "src/CMakeFiles/svf.dir/sim/emulator.cc.o.d"
+  "/root/repo/src/sim/mem_image.cc" "src/CMakeFiles/svf.dir/sim/mem_image.cc.o" "gcc" "src/CMakeFiles/svf.dir/sim/mem_image.cc.o.d"
+  "/root/repo/src/sim/region.cc" "src/CMakeFiles/svf.dir/sim/region.cc.o" "gcc" "src/CMakeFiles/svf.dir/sim/region.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/CMakeFiles/svf.dir/stats/distribution.cc.o" "gcc" "src/CMakeFiles/svf.dir/stats/distribution.cc.o.d"
+  "/root/repo/src/stats/group.cc" "src/CMakeFiles/svf.dir/stats/group.cc.o" "gcc" "src/CMakeFiles/svf.dir/stats/group.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/svf.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/svf.dir/stats/table.cc.o.d"
+  "/root/repo/src/uarch/bpred.cc" "src/CMakeFiles/svf.dir/uarch/bpred.cc.o" "gcc" "src/CMakeFiles/svf.dir/uarch/bpred.cc.o.d"
+  "/root/repo/src/uarch/lsq.cc" "src/CMakeFiles/svf.dir/uarch/lsq.cc.o" "gcc" "src/CMakeFiles/svf.dir/uarch/lsq.cc.o.d"
+  "/root/repo/src/uarch/machine_config.cc" "src/CMakeFiles/svf.dir/uarch/machine_config.cc.o" "gcc" "src/CMakeFiles/svf.dir/uarch/machine_config.cc.o.d"
+  "/root/repo/src/uarch/ooo_core.cc" "src/CMakeFiles/svf.dir/uarch/ooo_core.cc.o" "gcc" "src/CMakeFiles/svf.dir/uarch/ooo_core.cc.o.d"
+  "/root/repo/src/uarch/ruu.cc" "src/CMakeFiles/svf.dir/uarch/ruu.cc.o" "gcc" "src/CMakeFiles/svf.dir/uarch/ruu.cc.o.d"
+  "/root/repo/src/workloads/calibration.cc" "src/CMakeFiles/svf.dir/workloads/calibration.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/calibration.cc.o.d"
+  "/root/repo/src/workloads/kernels/bzip2.cc" "src/CMakeFiles/svf.dir/workloads/kernels/bzip2.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/bzip2.cc.o.d"
+  "/root/repo/src/workloads/kernels/crafty.cc" "src/CMakeFiles/svf.dir/workloads/kernels/crafty.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/crafty.cc.o.d"
+  "/root/repo/src/workloads/kernels/eon.cc" "src/CMakeFiles/svf.dir/workloads/kernels/eon.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/eon.cc.o.d"
+  "/root/repo/src/workloads/kernels/gap.cc" "src/CMakeFiles/svf.dir/workloads/kernels/gap.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/gap.cc.o.d"
+  "/root/repo/src/workloads/kernels/gcc.cc" "src/CMakeFiles/svf.dir/workloads/kernels/gcc.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/gcc.cc.o.d"
+  "/root/repo/src/workloads/kernels/gzip.cc" "src/CMakeFiles/svf.dir/workloads/kernels/gzip.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/gzip.cc.o.d"
+  "/root/repo/src/workloads/kernels/mcf.cc" "src/CMakeFiles/svf.dir/workloads/kernels/mcf.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/mcf.cc.o.d"
+  "/root/repo/src/workloads/kernels/parser.cc" "src/CMakeFiles/svf.dir/workloads/kernels/parser.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/parser.cc.o.d"
+  "/root/repo/src/workloads/kernels/perlbmk.cc" "src/CMakeFiles/svf.dir/workloads/kernels/perlbmk.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/perlbmk.cc.o.d"
+  "/root/repo/src/workloads/kernels/twolf.cc" "src/CMakeFiles/svf.dir/workloads/kernels/twolf.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/twolf.cc.o.d"
+  "/root/repo/src/workloads/kernels/vortex.cc" "src/CMakeFiles/svf.dir/workloads/kernels/vortex.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/vortex.cc.o.d"
+  "/root/repo/src/workloads/kernels/vpr.cc" "src/CMakeFiles/svf.dir/workloads/kernels/vpr.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/kernels/vpr.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/svf.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/svf.dir/workloads/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/bitfield_test.cc" "tests/CMakeFiles/base_tests.dir/base/bitfield_test.cc.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/bitfield_test.cc.o.d"
+  "/root/repo/tests/base/config_test.cc" "tests/CMakeFiles/base_tests.dir/base/config_test.cc.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/config_test.cc.o.d"
+  "/root/repo/tests/base/logging_test.cc" "tests/CMakeFiles/base_tests.dir/base/logging_test.cc.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/logging_test.cc.o.d"
+  "/root/repo/tests/base/random_test.cc" "tests/CMakeFiles/base_tests.dir/base/random_test.cc.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/random_test.cc.o.d"
+  "/root/repo/tests/base/str_test.cc" "tests/CMakeFiles/base_tests.dir/base/str_test.cc.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/str_test.cc.o.d"
+  "/root/repo/tests/stats/stats_test.cc" "tests/CMakeFiles/base_tests.dir/stats/stats_test.cc.o" "gcc" "tests/CMakeFiles/base_tests.dir/stats/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

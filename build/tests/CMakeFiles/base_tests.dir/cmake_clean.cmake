@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/base/bitfield_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/bitfield_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/config_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/config_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/logging_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/logging_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/random_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/random_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/str_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/str_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/stats/stats_test.cc.o"
+  "CMakeFiles/base_tests.dir/stats/stats_test.cc.o.d"
+  "base_tests"
+  "base_tests.pdb"
+  "base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

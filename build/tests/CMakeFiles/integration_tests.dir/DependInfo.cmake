@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/equivalence_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/equivalence_test.cc.o.d"
+  "/root/repo/tests/integration/experiment_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/experiment_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/experiment_test.cc.o.d"
+  "/root/repo/tests/integration/fullscale_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/fullscale_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/fullscale_test.cc.o.d"
+  "/root/repo/tests/integration/replay_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/replay_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/replay_test.cc.o.d"
+  "/root/repo/tests/integration/traffic_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/traffic_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/traffic_test.cc.o.d"
+  "/root/repo/tests/integration/workloads_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/workloads_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

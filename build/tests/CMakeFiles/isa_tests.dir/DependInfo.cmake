@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/assembler_test.cc" "tests/CMakeFiles/isa_tests.dir/isa/assembler_test.cc.o" "gcc" "tests/CMakeFiles/isa_tests.dir/isa/assembler_test.cc.o.d"
+  "/root/repo/tests/isa/builder_test.cc" "tests/CMakeFiles/isa_tests.dir/isa/builder_test.cc.o" "gcc" "tests/CMakeFiles/isa_tests.dir/isa/builder_test.cc.o.d"
+  "/root/repo/tests/isa/disasm_test.cc" "tests/CMakeFiles/isa_tests.dir/isa/disasm_test.cc.o" "gcc" "tests/CMakeFiles/isa_tests.dir/isa/disasm_test.cc.o.d"
+  "/root/repo/tests/isa/encode_test.cc" "tests/CMakeFiles/isa_tests.dir/isa/encode_test.cc.o" "gcc" "tests/CMakeFiles/isa_tests.dir/isa/encode_test.cc.o.d"
+  "/root/repo/tests/isa/inst_test.cc" "tests/CMakeFiles/isa_tests.dir/isa/inst_test.cc.o" "gcc" "tests/CMakeFiles/isa_tests.dir/isa/inst_test.cc.o.d"
+  "/root/repo/tests/isa/program_test.cc" "tests/CMakeFiles/isa_tests.dir/isa/program_test.cc.o" "gcc" "tests/CMakeFiles/isa_tests.dir/isa/program_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

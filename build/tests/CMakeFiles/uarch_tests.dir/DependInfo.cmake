@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uarch/bpred_test.cc" "tests/CMakeFiles/uarch_tests.dir/uarch/bpred_test.cc.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/bpred_test.cc.o.d"
+  "/root/repo/tests/uarch/ooo_test.cc" "tests/CMakeFiles/uarch_tests.dir/uarch/ooo_test.cc.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/ooo_test.cc.o.d"
+  "/root/repo/tests/uarch/pipeline_details_test.cc" "tests/CMakeFiles/uarch_tests.dir/uarch/pipeline_details_test.cc.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/pipeline_details_test.cc.o.d"
+  "/root/repo/tests/uarch/ruu_test.cc" "tests/CMakeFiles/uarch_tests.dir/uarch/ruu_test.cc.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/ruu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

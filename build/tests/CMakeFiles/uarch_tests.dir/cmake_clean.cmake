@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_tests.dir/uarch/bpred_test.cc.o"
+  "CMakeFiles/uarch_tests.dir/uarch/bpred_test.cc.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/ooo_test.cc.o"
+  "CMakeFiles/uarch_tests.dir/uarch/ooo_test.cc.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/pipeline_details_test.cc.o"
+  "CMakeFiles/uarch_tests.dir/uarch/pipeline_details_test.cc.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/ruu_test.cc.o"
+  "CMakeFiles/uarch_tests.dir/uarch/ruu_test.cc.o.d"
+  "uarch_tests"
+  "uarch_tests.pdb"
+  "uarch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

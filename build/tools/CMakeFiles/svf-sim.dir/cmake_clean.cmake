@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svf-sim.dir/svf_sim.cc.o"
+  "CMakeFiles/svf-sim.dir/svf_sim.cc.o.d"
+  "svf-sim"
+  "svf-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svf-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
