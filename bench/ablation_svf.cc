@@ -10,6 +10,10 @@
  * The first three are traffic properties (measured architecturally);
  * the fourth is a timing property (measured on the cycle model by
  * forcing every stack reference down the reroute path).
+ *
+ * All four sections share one Runner — and therefore one memo
+ * cache, so e.g. section [2]'s fine-granule measurement and any
+ * other section asking for the same traffic setup simulate once.
  */
 
 #include <cstdio>
@@ -18,6 +22,7 @@
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "harness/traffic.hh"
 #include "stats/table.hh"
 
@@ -27,91 +32,106 @@ namespace
 {
 
 void
-trafficAblation(std::uint64_t budget)
+trafficAblation(bench::Bench &b, std::uint64_t budget)
 {
     std::printf("\n[1+2] liveness semantics: traffic with each "
                 "semantic advantage disabled (8KB SVF)\n");
-    stats::Table t({"benchmark", "qw-out base", "qw-out no-kill",
-                    "qw-in base", "qw-in fill-alloc"});
-    for (const auto &bi : bench::allInputs(true)) {
+
+    const auto inputs = bench::allInputs(true);
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
         harness::TrafficSetup s;
         s.workload = bi.workload;
         s.input = bi.input;
         s.maxInsts = budget;
-
-        harness::TrafficResult base = harness::measureTraffic(s);
+        plan.add(bi.display() + "/base", s);
 
         harness::TrafficSetup nokill = s;
         nokill.svfKillOnShrink = false;
-        harness::TrafficResult nk = harness::measureTraffic(nokill);
+        plan.add(bi.display() + "/no-kill", nokill);
 
         harness::TrafficSetup fill = s;
         fill.svfFillOnAlloc = true;
-        harness::TrafficResult fa = harness::measureTraffic(fill);
-
-        t.addRow();
-        t.cell(bi.display());
-        t.cell(base.svfQuadsOut);
-        t.cell(nk.svfQuadsOut);
-        t.cell(base.svfQuadsIn);
-        t.cell(fa.svfQuadsIn);
+        plan.add(bi.display() + "/fill-alloc", fill);
     }
-    t.print(std::cout);
+    const auto res = b.run(plan);
+
+    stats::Table t({"benchmark", "qw-out base", "qw-out no-kill",
+                    "qw-in base", "qw-in fill-alloc"});
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::JobOutcome *jobs = &res[i * 3];
+        t.addRow();
+        t.cell(inputs[i].display());
+        t.cell(jobs[0].traffic().svfQuadsOut);
+        t.cell(jobs[1].traffic().svfQuadsOut);
+        t.cell(jobs[0].traffic().svfQuadsIn);
+        t.cell(jobs[2].traffic().svfQuadsIn);
+    }
+    b.print(t);
 }
 
 void
-granuleAblation(std::uint64_t budget)
+granuleAblation(bench::Bench &b, std::uint64_t budget)
 {
     std::printf("\n[3] dirty-bit granularity: context-switch bytes "
                 "per switch (period 400k)\n");
-    stats::Table t({"benchmark", "8B words", "32B lines",
-                    "stack cache"});
-    for (const auto &bi : bench::allInputs(true)) {
+
+    const auto inputs = bench::allInputs(true);
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
         harness::TrafficSetup s;
         s.workload = bi.workload;
         s.input = bi.input;
         s.maxInsts = budget;
         s.ctxSwitchPeriod = 400'000;
+        plan.add(bi.display() + "/8B", s);
 
-        harness::TrafficResult fine = harness::measureTraffic(s);
-        harness::TrafficSetup coarse_s = s;
-        coarse_s.svfDirtyGranule = 32;
-        harness::TrafficResult coarse =
-            harness::measureTraffic(coarse_s);
+        harness::TrafficSetup coarse = s;
+        coarse.svfDirtyGranule = 32;
+        plan.add(bi.display() + "/32B", coarse);
+    }
+    const auto res = b.run(plan);
+
+    stats::Table t({"benchmark", "8B words", "32B lines",
+                    "stack cache"});
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::TrafficResult &fine = res[i * 2].traffic();
+        const harness::TrafficResult &coarse =
+            res[i * 2 + 1].traffic();
 
         double n = fine.ctxSwitches ? double(fine.ctxSwitches) : 1.0;
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         t.cell(double(fine.svfCtxBytes) / n, 0);
         t.cell(double(coarse.svfCtxBytes) / n, 0);
         t.cell(double(fine.scCtxBytes) / n, 0);
     }
-    t.print(std::cout);
+    b.print(t);
     std::printf("(coarser dirty bits close most of the SVF's Table 4 "
                 "advantage: the win comes from per-word tracking "
                 "plus dead-frame invalidation)\n");
 }
 
 void
-morphAblation(std::uint64_t budget)
+morphAblation(bench::Bench &b, std::uint64_t budget)
 {
     std::printf("\n[4] morphing: speedup over baseline with decode-"
                 "stage morphing vs a reroute-only SVF (16-wide, "
                 "(2+2))\n");
-    stats::Table t({"benchmark", "svf full", "svf reroute-only"});
-    std::vector<double> full_col;
-    std::vector<double> reroute_col;
-    for (const auto &bi : bench::allInputs(true)) {
+
+    const auto inputs = bench::allInputs(true);
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
         harness::RunSetup s;
         s.workload = bi.workload;
         s.input = bi.input;
         s.maxInsts = budget;
         s.machine = harness::baselineConfig(16, 2);
-        harness::RunResult base = harness::runExperiment(s);
+        plan.add(bi.display() + "/base", s);
 
         harness::RunSetup full = s;
         harness::applySvf(full.machine, 1024, 2);
-        harness::RunResult rf = harness::runExperiment(full);
+        plan.add(bi.display() + "/svf-full", full);
 
         // Reroute-only: same SVF storage, but no decode-stage
         // morphing — every stack reference waits for address
@@ -120,31 +140,35 @@ morphAblation(std::uint64_t budget)
         // is ablated.
         harness::RunSetup reroute = full;
         reroute.machine.svf.morphSpRefs = false;
-        harness::RunResult rr = harness::runExperiment(reroute);
+        plan.add(bi.display() + "/svf-reroute", reroute);
+    }
+    const auto res = b.run(plan);
 
-        double f = harness::speedupPct(base, rf);
-        double r = harness::speedupPct(base, rr);
+    stats::Table t({"benchmark", "svf full", "svf reroute-only"});
+    std::vector<double> full_col;
+    std::vector<double> reroute_col;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::JobOutcome *jobs = &res[i * 3];
+        double f = harness::speedupPct(jobs[0].run(), jobs[1].run());
+        double r = harness::speedupPct(jobs[0].run(), jobs[2].run());
         full_col.push_back(f);
         reroute_col.push_back(r);
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         t.cell(harness::pct(f));
         t.cell(harness::pct(r));
     }
-    t.addRow();
-    t.cell(std::string("average"));
-    t.cell(harness::pct(harness::mean(full_col)));
-    t.cell(harness::pct(harness::mean(reroute_col)));
-    t.print(std::cout);
+    bench::addMeanRow(t, {full_col, reroute_col});
+    b.print(t);
 }
 
 void
-dynamicDisableAblation(std::uint64_t budget)
+dynamicDisableAblation(bench::Bench &b, std::uint64_t budget)
 {
     std::printf("\n[5] dynamic disable (Section 3.3): a tiny 512B "
                 "SVF on the window-miss-heavy gcc\n");
-    stats::Table t({"mode", "cycles", "svf qw-in+out",
-                    "window misses"});
+
+    harness::ExperimentPlan plan;
     for (bool dynamic : {false, true}) {
         harness::RunSetup s;
         s.workload = "gcc";
@@ -156,14 +180,21 @@ dynamicDisableAblation(std::uint64_t budget)
         s.machine.svf.monitorRefs = 512;
         s.machine.svf.missRateThreshold = 0.15;
         s.machine.svf.disableRefs = 4096;
-        harness::RunResult r = harness::runExperiment(s);
+        plan.add(dynamic ? "gcc/dynamic" : "gcc/always-on", s);
+    }
+    const auto res = b.run(plan);
+
+    stats::Table t({"mode", "cycles", "svf qw-in+out",
+                    "window misses"});
+    for (size_t i = 0; i < 2; ++i) {
+        const harness::RunResult &r = res[i].run();
         t.addRow();
-        t.cell(std::string(dynamic ? "dynamic disable" : "always on"));
+        t.cell(std::string(i ? "dynamic disable" : "always on"));
         t.cell(r.core.cycles);
         t.cell(r.svfQuadsIn + r.svfQuadsOut);
         t.cell(r.svfWindowMisses);
     }
-    t.print(std::cout);
+    b.print(t);
     std::printf("(the paper: \"If shown to be necessary because of "
                 "localized poor SVF performance, the SVF can be "
                 "dynamically disabled for a period of time.\" — "
@@ -177,19 +208,17 @@ dynamicDisableAblation(std::uint64_t budget)
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t traffic_budget = cfg.getUint("insts", 2'000'000);
-    std::uint64_t timing_budget = cfg.getUint("timing_insts",
-                                              300'000);
+    bench::Bench b(argc, argv,
+                   "Ablation: the SVF's design choices",
+                   "Sections 3.3 and 5.3", 2'000'000);
+    std::uint64_t traffic_budget = b.budget();
+    std::uint64_t timing_budget = b.cfg().getUint("timing_insts",
+                                                  300'000);
 
-    harness::banner("Ablation: the SVF's design choices",
-                    "Sections 3.3 and 5.3");
+    trafficAblation(b, traffic_budget);
+    granuleAblation(b, traffic_budget);
+    morphAblation(b, timing_budget);
+    dynamicDisableAblation(b, timing_budget);
 
-    trafficAblation(traffic_budget);
-    granuleAblation(traffic_budget);
-    morphAblation(timing_budget);
-    dynamicDisableAblation(timing_budget);
-
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -1,16 +1,36 @@
 /**
  * @file
  * Helpers shared by the figure/table reproduction binaries.
+ *
+ * Every bench binary follows the same skeleton: parse key=value
+ * overrides, print the paper banner, build an ExperimentPlan, run it
+ * through the parallel Runner, render tables, and emit the optional
+ * JSON report. The Bench class owns that skeleton; the binaries
+ * keep only their plan construction and table assembly.
+ *
+ * Config keys understood by every migrated binary:
+ *     insts=N      per-run instruction budget
+ *     jobs=N       worker threads (default: hardware concurrency)
+ *     json=FILE    write the machine-readable report (json_report.hh)
+ *     csv=1        render tables as CSV
+ *     progress=1   per-job progress lines on stderr
  */
 
 #ifndef SVF_BENCH_BENCH_UTIL_HH
 #define SVF_BENCH_BENCH_UTIL_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/config.hh"
+#include "harness/json_report.hh"
+#include "harness/reporting.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
 #include "workloads/registry.hh"
 
 namespace svf::bench
@@ -46,20 +66,82 @@ allInputs(bool first_input_only = false)
     return out;
 }
 
-/** Per-run instruction budget from the command line (insts=N). */
-inline std::uint64_t
-instBudget(const Config &cfg, std::uint64_t def = 300'000)
+/** The shared skeleton of one bench binary. */
+class Bench
 {
-    return cfg.getUint("insts", def);
-}
+  public:
+    Bench(int argc, char **argv, const std::string &title,
+          const std::string &paper_ref,
+          std::uint64_t default_budget = 300'000)
+        : _cfg(Config::fromArgs(argc, argv))
+    {
+        _budget = _cfg.getUint("insts", default_budget);
+        _csv = _cfg.getBool("csv", false);
+        _jsonPath = _cfg.getString("json", "");
+        harness::RunnerOptions opts;
+        opts.jobs =
+            static_cast<unsigned>(_cfg.getUint("jobs", 0));
+        if (_cfg.getBool("progress", false))
+            opts.progress = harness::stderrProgress();
+        _runner = std::make_unique<harness::Runner>(opts);
+        harness::banner(title, paper_ref);
+    }
 
-/** Warn about config typos; call at the end of main(). */
+    Config &cfg() { return _cfg; }
+    std::uint64_t budget() const { return _budget; }
+    bool csv() const { return _csv; }
+    harness::Runner &runner() { return *_runner; }
+
+    /** Run @p plan; outcomes feed the JSON report automatically. */
+    std::vector<harness::JobOutcome>
+    run(const harness::ExperimentPlan &plan)
+    {
+        std::vector<harness::JobOutcome> out = _runner->run(plan);
+        _json.add(out);
+        return out;
+    }
+
+    /** Render @p t honouring csv=. */
+    void
+    print(const stats::Table &t)
+    {
+        if (_csv)
+            t.printCsv(std::cout);
+        else
+            t.print(std::cout);
+    }
+
+    /** Emit json=, warn about config typos; returns main()'s rc. */
+    int
+    finish()
+    {
+        if (!_jsonPath.empty())
+            _json.writeFile(_jsonPath);
+        for (const auto &key : _cfg.unusedKeys())
+            std::fprintf(stderr, "warn: unused config key '%s'\n",
+                         key.c_str());
+        return 0;
+    }
+
+  private:
+    Config _cfg;
+    std::uint64_t _budget = 0;
+    bool _csv = false;
+    std::string _jsonPath;
+    std::unique_ptr<harness::Runner> _runner;
+    harness::JsonReport _json;
+};
+
+/** The standard trailing average row over per-column speedups. */
 inline void
-finishConfig(const Config &cfg)
+addMeanRow(stats::Table &t,
+           const std::vector<std::vector<double>> &cols,
+           const std::string &label = "average")
 {
-    for (const auto &key : cfg.unusedKeys())
-        std::fprintf(stderr, "warn: unused config key '%s'\n",
-                     key.c_str());
+    t.addRow();
+    t.cell(label);
+    for (const auto &c : cols)
+        t.cell(harness::pct(harness::mean(c)));
 }
 
 } // namespace svf::bench

@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 #include "workloads/calibration.hh"
 
@@ -18,12 +19,20 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg, 1'000'000);
-    bool csv = cfg.getBool("csv", false);
+    bench::Bench b(argc, argv,
+                   "Figure 1: Run-time Memory Access Distribution",
+                   "Figure 1", 1'000'000);
 
-    harness::banner("Figure 1: Run-time Memory Access Distribution",
-                    "Figure 1");
+    const auto inputs = bench::allInputs();
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::ProfileSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        plan.add(bi.display(), s);
+    }
+    const auto res = b.run(plan);
 
     stats::Table t({"benchmark", "mem/insts", "stack%", "global%",
                     "heap%", "stack:$sp%", "stack:$fp%",
@@ -33,16 +42,14 @@ main(int argc, char **argv)
     double sum_sp_of_stack = 0.0;
     double sum_mem = 0.0;
     int n = 0;
-    for (const auto &bi : bench::allInputs()) {
-        const auto &w = workloads::workload(bi.workload);
-        workloads::StackProfile p = workloads::profileProgram(
-            w.build(bi.input, w.defaultScale), budget);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const workloads::StackProfile &p = res[i].profile();
 
         auto pct_of = [&](std::uint64_t x, std::uint64_t total) {
             return total ? 100.0 * double(x) / double(total) : 0.0;
         };
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         t.cell(pct_of(p.memRefs, p.insts) / 100.0, 3);
         t.cell(pct_of(p.stackRefs, p.memRefs), 1);
         t.cell(pct_of(p.globalRefs, p.memRefs), 1);
@@ -58,10 +65,7 @@ main(int argc, char **argv)
         ++n;
     }
 
-    if (csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    b.print(t);
 
     std::printf("\naverages: %.0f%% of instructions access memory; "
                 "stack refs are %.0f%% of memory accesses; $sp "
@@ -70,6 +74,5 @@ main(int argc, char **argv)
                 100.0 * sum_sp_of_stack / n);
     std::printf("paper:     42%% / 56%% / 82%% (with eon the $gpr "
                 "outlier)\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -11,6 +11,7 @@
 
 #include "bench_util.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 #include "workloads/calibration.hh"
 
@@ -19,28 +20,35 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg, 1'000'000);
-    bool csv = cfg.getBool("csv", false);
-    std::string series_of = cfg.getString("series", "");
+    bench::Bench b(argc, argv,
+                   "Figure 2: Stack Depth Variation over Time",
+                   "Figure 2", 1'000'000);
+    std::string series_of = b.cfg().getString("series", "");
 
-    harness::banner("Figure 2: Stack Depth Variation over Time",
-                    "Figure 2");
+    const auto inputs = bench::allInputs();
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::ProfileSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        s.depthSamples = 512;
+        plan.add(bi.display(), s);
+    }
+    const auto res = b.run(plan);
 
     stats::Table t({"benchmark", "max depth (words)", "p10", "p50",
                     "p90", "fits 8KB (1000 words)"});
 
-    for (const auto &bi : bench::allInputs()) {
-        const auto &w = workloads::workload(bi.workload);
-        workloads::StackProfile p = workloads::profileProgram(
-            w.build(bi.input, w.defaultScale), budget, 512);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const workloads::StackProfile &p = res[i].profile();
 
         // Depth percentiles over the sampled series (steady state:
         // skip the first tenth as initialization).
         std::vector<std::uint64_t> depths;
         size_t skip = p.depthSamples.size() / 10;
-        for (size_t i = skip; i < p.depthSamples.size(); ++i)
-            depths.push_back(p.depthSamples[i].second);
+        for (size_t j = skip; j < p.depthSamples.size(); ++j)
+            depths.push_back(p.depthSamples[j].second);
         std::sort(depths.begin(), depths.end());
         auto pct_at = [&](double q) -> std::uint64_t {
             if (depths.empty())
@@ -50,14 +58,14 @@ main(int argc, char **argv)
         };
 
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         t.cell(p.maxDepthWords);
         t.cell(pct_at(0.10));
         t.cell(pct_at(0.50));
         t.cell(pct_at(0.90));
         t.cell(std::string(p.maxDepthWords <= 1000 ? "yes" : "NO"));
 
-        if (bi.display() == series_of) {
+        if (inputs[i].display() == series_of) {
             std::printf("# depth series for %s (insts, words)\n",
                         series_of.c_str());
             for (const auto &[icount, depth] : p.depthSamples)
@@ -67,16 +75,12 @@ main(int argc, char **argv)
         }
     }
 
-    if (csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    b.print(t);
 
     std::printf("\npaper: a 1000-unit (8KB) SVF is larger than the "
                 "maximum stack depth for most applications; gcc is "
                 "the exception.\n");
     std::printf("(pass series=<bench.input> to dump the full time "
                 "series)\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 #include "workloads/calibration.hh"
 
@@ -18,20 +19,26 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg, 1'000'000);
-    bool csv = cfg.getBool("csv", false);
+    bench::Bench b(argc, argv,
+                   "Figure 3: Offset Locality within a Function",
+                   "Figure 3", 1'000'000);
 
-    harness::banner("Figure 3: Offset Locality within a Function",
-                    "Figure 3");
+    const auto inputs = bench::allInputs();
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::ProfileSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        plan.add(bi.display(), s);
+    }
+    const auto res = b.run(plan);
 
     stats::Table t({"benchmark", "avg offset (B)", "<64B %",
                     "<256B %", "<1KB %", "<=8KB %", "below TOS"});
 
-    for (const auto &bi : bench::allInputs()) {
-        const auto &w = workloads::workload(bi.workload);
-        workloads::StackProfile p = workloads::profileProgram(
-            w.build(bi.input, w.defaultScale), budget);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const workloads::StackProfile &p = res[i].profile();
 
         // offsetCdf[b] is the fraction of references at offsets
         // strictly below 2^b bytes.
@@ -44,7 +51,7 @@ main(int argc, char **argv)
         };
 
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         t.cell(p.avgOffsetBytes, 1);
         t.cell(cdf_at(6), 2);
         t.cell(cdf_at(8), 2);
@@ -53,15 +60,11 @@ main(int argc, char **argv)
         t.cell(p.belowTos);
     }
 
-    if (csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    b.print(t);
 
     std::printf("\npaper: average distance from TOS ranges from 2.5 "
                 "bytes (bzip2) to 380 bytes (gcc); over 99%% of "
                 "references within 8KB of TOS except gcc; no "
                 "references below the TOS.\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -13,6 +13,7 @@
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace svf;
@@ -20,11 +21,9 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg);
-
-    harness::banner("Figure 5: Speedup Potential of Morphing All "
-                    "Stack Accesses to Register Moves", "Figure 5");
+    bench::Bench b(argc, argv,
+                   "Figure 5: Speedup Potential of Morphing All "
+                   "Stack Accesses to Register Moves", "Figure 5");
 
     struct Column
     {
@@ -39,40 +38,44 @@ main(int argc, char **argv)
         {"16-wide gshare", 16, "gshare"},
     };
 
+    // Per input: (baseline, infinite-SVF) pairs for each column.
+    const auto inputs = bench::allInputs(true);
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        for (const Column &col : columns) {
+            harness::RunSetup s;
+            s.workload = bi.workload;
+            s.input = bi.input;
+            s.maxInsts = b.budget();
+            s.machine = harness::baselineConfig(col.width, 2,
+                                                col.bpred);
+            plan.add(bi.display() + "/" + col.name + "/base", s);
+            harness::applyInfiniteSvf(s.machine);
+            plan.add(bi.display() + "/" + col.name + "/inf_svf", s);
+        }
+    }
+    const auto res = b.run(plan);
+
     stats::Table t({"benchmark", "4-wide", "8-wide", "16-wide",
                     "16-wide gshare"});
     std::vector<std::vector<double>> col_speedups(4);
 
-    for (const auto &bi : bench::allInputs(true)) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::JobOutcome *jobs = &res[i * 8];
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         for (size_t c = 0; c < 4; ++c) {
-            harness::RunSetup s;
-            s.workload = bi.workload;
-            s.input = bi.input;
-            s.maxInsts = budget;
-            s.machine = harness::baselineConfig(columns[c].width, 2,
-                                                columns[c].bpred);
-            harness::RunResult base = harness::runExperiment(s);
-
-            harness::applyInfiniteSvf(s.machine);
-            harness::RunResult opt = harness::runExperiment(s);
-
-            double sp = harness::speedupPct(base, opt);
+            double sp = harness::speedupPct(jobs[c * 2].run(),
+                                            jobs[c * 2 + 1].run());
             col_speedups[c].push_back(sp);
             t.cell(harness::pct(sp));
         }
     }
 
-    t.addRow();
-    t.cell(std::string("average"));
-    for (size_t c = 0; c < 4; ++c)
-        t.cell(harness::pct(harness::mean(col_speedups[c])));
-
-    t.print(std::cout);
+    bench::addMeanRow(t, col_speedups);
+    b.print(t);
     std::printf("\npaper: average speedups of 11%%, 19%% and 31%% "
                 "for 4-, 8- and 16-wide with perfect prediction, "
                 "and 25%% for 16-wide with gshare.\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

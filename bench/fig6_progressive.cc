@@ -13,6 +13,7 @@
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace svf;
@@ -20,11 +21,9 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg);
-
-    harness::banner("Figure 6: Progressive Performance Analysis "
-                    "(16-wide)", "Figure 6");
+    bench::Bench b(argc, argv,
+                   "Figure 6: Progressive Performance Analysis "
+                   "(16-wide)", "Figure 6");
 
     using Mutator = void (*)(uarch::MachineConfig &);
     struct Column
@@ -50,41 +49,46 @@ main(int argc, char **argv)
          }},
     };
 
+    // Per input: job 0 is the shared baseline, 1..5 the columns.
+    const auto inputs = bench::allInputs(true);
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::RunSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        s.machine = harness::baselineConfig(16, 2);
+        plan.add(bi.display() + "/base", s);
+        for (const Column &col : columns) {
+            harness::RunSetup s2 = s;
+            col.mutate(s2.machine);
+            plan.add(bi.display() + "/" + col.name, s2);
+        }
+    }
+    const auto res = b.run(plan);
+
     stats::Table t({"benchmark", "128KB_L1", "no_addr_cal_op",
                     "svf_1p", "svf_2p", "svf_16p"});
     std::vector<std::vector<double>> cols(5);
 
-    for (const auto &bi : bench::allInputs(true)) {
-        harness::RunSetup s;
-        s.workload = bi.workload;
-        s.input = bi.input;
-        s.maxInsts = budget;
-        s.machine = harness::baselineConfig(16, 2);
-        harness::RunResult base = harness::runExperiment(s);
-
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::JobOutcome *jobs = &res[i * 6];
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         for (size_t c = 0; c < 5; ++c) {
-            harness::RunSetup s2 = s;
-            columns[c].mutate(s2.machine);
-            harness::RunResult r = harness::runExperiment(s2);
-            double sp = harness::speedupPct(base, r);
+            double sp = harness::speedupPct(jobs[0].run(),
+                                            jobs[1 + c].run());
             cols[c].push_back(sp);
             t.cell(harness::pct(sp));
         }
     }
 
-    t.addRow();
-    t.cell(std::string("average"));
-    for (size_t c = 0; c < 5; ++c)
-        t.cell(harness::pct(harness::mean(cols[c])));
-
-    t.print(std::cout);
+    bench::addMeanRow(t, cols);
+    b.print(t);
     std::printf("\npaper: enlarging the L1 gains almost nothing; "
                 "no_addr_cal_op about 3%% (out-of-order execution "
                 "hides address calculation); the SVF provides the "
                 "bulk (28%% at 16 ports) and 2 SVF ports capture "
                 "nearly all of it except for eon and gcc.\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

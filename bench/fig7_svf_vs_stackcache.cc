@@ -13,6 +13,7 @@
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace svf;
@@ -20,11 +21,9 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg);
-
-    harness::banner("Figure 7: SVF vs Stack Cache vs Baseline "
-                    "(16-wide, 8KB stack structures)", "Figure 7");
+    bench::Bench b(argc, argv,
+                   "Figure 7: SVF vs Stack Cache vs Baseline "
+                   "(16-wide, 8KB stack structures)", "Figure 7");
 
     using Mutator = void (*)(uarch::MachineConfig &);
     struct Column
@@ -49,26 +48,36 @@ main(int argc, char **argv)
          }},
     };
 
+    // Per input: job 0 is the (2+0) baseline, 1..4 the columns.
+    const auto inputs = bench::allInputs();
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::RunSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        s.machine = harness::baselineConfig(16, 2);
+        plan.add(bi.display() + "/(2+0)", s);
+        for (const Column &col : columns) {
+            harness::RunSetup s2 = s;
+            col.mutate(s2.machine);
+            plan.add(bi.display() + "/" + col.name, s2);
+        }
+    }
+    const auto res = b.run(plan);
+
     stats::Table t({"benchmark", "(4+0)", "(2+2)stack$", "(2+2)svf",
                     "(2+2)svf_nosq", "squashes"});
     std::vector<std::vector<double>> cols(4);
 
-    for (const auto &bi : bench::allInputs()) {
-        harness::RunSetup s;
-        s.workload = bi.workload;
-        s.input = bi.input;
-        s.maxInsts = budget;
-        s.machine = harness::baselineConfig(16, 2);
-        harness::RunResult base = harness::runExperiment(s);
-
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::JobOutcome *jobs = &res[i * 5];
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         std::uint64_t squashes = 0;
         for (size_t c = 0; c < 4; ++c) {
-            harness::RunSetup s2 = s;
-            columns[c].mutate(s2.machine);
-            harness::RunResult r = harness::runExperiment(s2);
-            double sp = harness::speedupPct(base, r);
+            const harness::RunResult &r = jobs[1 + c].run();
+            double sp = harness::speedupPct(jobs[0].run(), r);
             cols[c].push_back(sp);
             t.cell(harness::pct(sp));
             if (std::string(columns[c].name) == "(2+2)svf")
@@ -83,11 +92,10 @@ main(int argc, char **argv)
         t.cell(harness::pct(harness::mean(cols[c])));
     t.cell(std::string(""));
 
-    t.print(std::cout);
+    b.print(t);
     std::printf("\npaper: the (2+2) SVF outperforms the more "
                 "flexible (4+0) by ~4%% and the (2+2) stack cache "
                 "by ~9%% (14%% with no_squash); eon is the squash "
                 "anomaly that no_squash recovers.\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -12,6 +12,7 @@
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace svf;
@@ -19,25 +20,30 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg);
+    bench::Bench b(argc, argv,
+                   "Figure 8: Breakdown of SVF Reference Types "
+                   "(8KB SVF, 2 ports, 16-wide)", "Figure 8");
 
-    harness::banner("Figure 8: Breakdown of SVF Reference Types "
-                    "(8KB SVF, 2 ports, 16-wide)", "Figure 8");
+    const auto inputs = bench::allInputs();
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::RunSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        s.machine = harness::baselineConfig(16, 2);
+        harness::applySvf(s.machine, 1024, 2);
+        plan.add(bi.display(), s);
+    }
+    const auto res = b.run(plan);
 
     stats::Table t({"benchmark", "fast loads%", "fast stores%",
                     "rerouted%", "window miss%"});
 
     double sum_fast = 0.0;
     int n = 0;
-    for (const auto &bi : bench::allInputs()) {
-        harness::RunSetup s;
-        s.workload = bi.workload;
-        s.input = bi.input;
-        s.maxInsts = budget;
-        s.machine = harness::baselineConfig(16, 2);
-        harness::applySvf(s.machine, 1024, 2);
-        harness::RunResult r = harness::runExperiment(s);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::RunResult &r = res[i].run();
 
         std::uint64_t fast = r.svfFastLoads + r.svfFastStores;
         std::uint64_t rer = r.svfReroutedLoads + r.svfReroutedStores;
@@ -47,7 +53,7 @@ main(int argc, char **argv)
         };
 
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         t.cell(pct_of(r.svfFastLoads), 1);
         t.cell(pct_of(r.svfFastStores), 1);
         t.cell(pct_of(rer), 1);
@@ -57,12 +63,11 @@ main(int argc, char **argv)
         ++n;
     }
 
-    t.print(std::cout);
+    b.print(t);
     std::printf("\naverage: %.0f%% of stack references morph "
                 "directly in the front end\n", sum_fast / n);
     std::printf("paper: around 86%% morph into register moves; 14%% "
                 "are rerouted after address calculation (eon is the "
                 "reroute-heavy outlier).\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -13,6 +13,7 @@
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "stats/table.hh"
 
 using namespace svf;
@@ -20,12 +21,10 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = bench::instBudget(cfg);
-
-    harness::banner("Figure 9: SVF Speedups over the Baseline "
-                    "Microarchitecture (16-wide, 8KB SVF)",
-                    "Figure 9");
+    bench::Bench b(argc, argv,
+                   "Figure 9: SVF Speedups over the Baseline "
+                   "Microarchitecture (16-wide, 8KB SVF)",
+                   "Figure 9");
 
     struct Column
     {
@@ -41,47 +40,50 @@ main(int argc, char **argv)
         {"(2+4S)", 2, 4},
     };
 
+    // Per input: jobs 0/1 are the (1+0)/(2+0) baselines, 2..6 the
+    // five SVF configurations.
+    const auto inputs = bench::allInputs();
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::RunSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        for (unsigned ports : {1u, 2u}) {
+            s.machine = harness::baselineConfig(16, ports);
+            plan.add(bi.display() + "/(" + std::to_string(ports) +
+                     "+0)", s);
+        }
+        for (const Column &col : columns) {
+            s.machine = harness::baselineConfig(16, col.dl1_ports);
+            harness::applySvf(s.machine, 1024, col.svf_ports);
+            plan.add(bi.display() + "/" + col.name, s);
+        }
+    }
+    const auto res = b.run(plan);
+
     stats::Table t({"benchmark", "(1+1S)", "(1+2S)", "(2+1S)",
                     "(2+2S)", "(2+4S)"});
     std::vector<std::vector<double>> cols(5);
 
-    for (const auto &bi : bench::allInputs()) {
-        harness::RunSetup s;
-        s.workload = bi.workload;
-        s.input = bi.input;
-        s.maxInsts = budget;
-
-        harness::RunResult base[3];
-        for (unsigned ports : {1u, 2u}) {
-            s.machine = harness::baselineConfig(16, ports);
-            base[ports] = harness::runExperiment(s);
-        }
-
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::JobOutcome *jobs = &res[i * 7];
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         for (size_t c = 0; c < 5; ++c) {
-            s.machine = harness::baselineConfig(
-                16, columns[c].dl1_ports);
-            harness::applySvf(s.machine, 1024,
-                              columns[c].svf_ports);
-            harness::RunResult r = harness::runExperiment(s);
-            double sp = harness::speedupPct(
-                base[columns[c].dl1_ports], r);
+            const harness::RunResult &base =
+                jobs[columns[c].dl1_ports - 1].run();
+            double sp = harness::speedupPct(base, jobs[2 + c].run());
             cols[c].push_back(sp);
             t.cell(harness::pct(sp));
         }
     }
 
-    t.addRow();
-    t.cell(std::string("average"));
-    for (size_t c = 0; c < 5; ++c)
-        t.cell(harness::pct(harness::mean(cols[c])));
-
-    t.print(std::cout);
+    bench::addMeanRow(t, cols);
+    b.print(t);
     std::printf("\npaper: +50%% for (1+1S), +65%% for (1+2S); with "
                 "a dual-ported DL1 the (2+2S) configuration averages "
                 "+24%% with a maximum of +84%% (eon); performance "
                 "saturates at two SVF ports except for eon.\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

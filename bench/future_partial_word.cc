@@ -15,14 +15,14 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "isa/builder.hh"
-#include "sim/emulator.hh"
 #include "stats/table.hh"
-#include "uarch/ooo_core.hh"
 
 using namespace svf;
 using namespace svf::isa;
@@ -87,24 +87,17 @@ makeFormatter(int iterations, bool byte_stores)
     return pb.finish(l_main);
 }
 
-struct Result
+/** A cycle-model job over an explicit (non-registry) program. */
+harness::RunSetup
+makeSetup(int iterations, bool byte_stores)
 {
-    Cycle cycles;
-    std::uint64_t quads_in;
-    std::uint64_t fills;
-};
-
-Result
-run(const Program &prog)
-{
-    uarch::MachineConfig cfg = harness::baselineConfig(16, 2);
-    harness::applySvf(cfg, 1024, 2);
-    sim::Emulator oracle(prog);
-    uarch::OooCore core(cfg, oracle);
-    core.run(400'000);
-    return Result{core.stats().cycles,
-                  core.svfUnit().svf().quadsIn(),
-                  core.svfUnit().svf().demandFills()};
+    harness::RunSetup s;
+    s.program = std::make_shared<isa::Program>(
+        makeFormatter(iterations, byte_stores));
+    s.maxInsts = 400'000;
+    s.machine = harness::baselineConfig(16, 2);
+    harness::applySvf(s.machine, 1024, 2);
+    return s;
 }
 
 } // anonymous namespace
@@ -112,35 +105,38 @@ run(const Program &prog)
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    int iters = static_cast<int>(cfg.getUint("iters", 1500));
+    bench::Bench b(argc, argv,
+                   "Future work: partial-word (x86-style) stack "
+                   "references vs the SVF's 64-bit status bits",
+                   "Section 7 (future work)");
+    int iters = static_cast<int>(b.cfg().getUint("iters", 1500));
 
-    harness::banner("Future work: partial-word (x86-style) stack "
-                    "references vs the SVF's 64-bit status bits",
-                    "Section 7 (future work)");
+    harness::ExperimentPlan plan;
+    plan.add("fmt.quads", makeSetup(iters, false));
+    plan.add("fmt.bytes", makeSetup(iters, true));
+    const auto res = b.run(plan);
 
-    Result quads = run(makeFormatter(iters, false));
-    Result bytes = run(makeFormatter(iters, true));
+    const harness::RunResult &quads = res[0].run();
+    const harness::RunResult &bytes = res[1].run();
 
     stats::Table t({"store style", "cycles", "svf qw-in",
                     "RMW demand fills"});
     t.addRow();
     t.cell(std::string("64-bit (Alpha)"));
-    t.cell(quads.cycles);
-    t.cell(quads.quads_in);
-    t.cell(quads.fills);
+    t.cell(quads.core.cycles);
+    t.cell(quads.svfQuadsIn);
+    t.cell(quads.svfDemandFills);
     t.addRow();
     t.cell(std::string("byte (x86-style)"));
-    t.cell(bytes.cycles);
-    t.cell(bytes.quads_in);
-    t.cell(bytes.fills);
+    t.cell(bytes.core.cycles);
+    t.cell(bytes.svfQuadsIn);
+    t.cell(bytes.svfDemandFills);
     t.print(std::cout);
 
     std::printf("\nQuadword first-touch stores validate SVF words "
                 "for free; byte stores to fresh frames must read-"
                 "modify-write every word once (%llu fills here), the "
                 "exact cost the paper flags for an x86 SVF.\n",
-                (unsigned long long)bytes.fills);
-    bench::finishConfig(cfg);
-    return 0;
+                (unsigned long long)bytes.svfDemandFills);
+    return b.finish();
 }

@@ -11,6 +11,7 @@
 
 #include "core/svf.hh"
 #include "harness/experiment.hh"
+#include "harness/runner.hh"
 #include "mem/cache.hh"
 #include "sim/emulator.hh"
 #include "workloads/registry.hh"
@@ -102,6 +103,42 @@ BM_CycleModel(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 50'000);
 }
 BENCHMARK(BM_CycleModel)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_RunnerPlan(benchmark::State &state)
+{
+    // The experiment engine itself: an 8-job plan (4 distinct
+    // setups, each named twice) through the thread pool. Measures
+    // dispatch + dedup + memo overhead around the simulations; the
+    // second and later iterations are pure memo hits, so the
+    // steady-state cost is the engine, not the cycle model.
+    harness::ExperimentPlan plan;
+    for (unsigned ports : {1u, 2u}) {
+        for (const char *input : {"log", "graphic"}) {
+            harness::RunSetup s;
+            s.workload = "gzip";
+            s.input = input;
+            s.maxInsts = 20'000;
+            s.machine = harness::baselineConfig(16, ports);
+            plan.add(std::string("gzip.") + input + "/a", s);
+            plan.add(std::string("gzip.") + input + "/b", s);
+        }
+    }
+    harness::RunnerOptions opts;
+    opts.jobs = static_cast<unsigned>(state.range(0));
+    harness::Runner runner(opts);
+    for (auto _ : state) {
+        auto res = runner.run(plan);
+        benchmark::DoNotOptimize(res[0].run().core.cycles);
+    }
+    state.counters["executions"] =
+        static_cast<double>(runner.executions());
+    state.counters["memo_hits"] =
+        static_cast<double>(runner.memoHits());
+    state.SetItemsProcessed(state.iterations() * plan.size());
+}
+BENCHMARK(BM_RunnerPlan)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void

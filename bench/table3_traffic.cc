@@ -13,6 +13,7 @@
 
 #include "bench_util.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "harness/traffic.hh"
 #include "stats/table.hh"
 
@@ -21,37 +22,43 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = cfg.getUint("insts", 3'000'000);
-    bool csv = cfg.getBool("csv", false);
+    bench::Bench b(argc, argv,
+                   "Table 3: Memory Traffic for Stack Cache and "
+                   "SVF Schemes", "Table 3", 3'000'000);
 
-    harness::banner("Table 3: Memory Traffic for Stack Cache and "
-                    "SVF Schemes", "Table 3");
-
-    for (std::uint64_t kb : {2, 4, 8}) {
-        std::printf("\n--- %llu KB structures ---\n",
-                    (unsigned long long)kb);
-        stats::Table t({"benchmark", "stack$ qw-in", "svf qw-in",
-                        "stack$ qw-out", "svf qw-out"});
-        for (const auto &bi : bench::allInputs()) {
+    const std::uint64_t capacities[] = {2, 4, 8};
+    const auto inputs = bench::allInputs();
+    harness::ExperimentPlan plan;
+    for (std::uint64_t kb : capacities) {
+        for (const auto &bi : inputs) {
             harness::TrafficSetup s;
             s.workload = bi.workload;
             s.input = bi.input;
-            s.maxInsts = budget;
+            s.maxInsts = b.budget();
             s.capacityBytes = kb * 1024;
-            harness::TrafficResult r = harness::measureTraffic(s);
+            plan.add(bi.display() + "/" + std::to_string(kb) + "KB",
+                     s);
+        }
+    }
+    const auto res = b.run(plan);
+
+    for (size_t k = 0; k < 3; ++k) {
+        std::printf("\n--- %llu KB structures ---\n",
+                    (unsigned long long)capacities[k]);
+        stats::Table t({"benchmark", "stack$ qw-in", "svf qw-in",
+                        "stack$ qw-out", "svf qw-out"});
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            const harness::TrafficResult &r =
+                res[k * inputs.size() + i].traffic();
 
             t.addRow();
-            t.cell(bi.display());
+            t.cell(inputs[i].display());
             t.cell(r.scQuadsIn);
             t.cell(r.svfQuadsIn);
             t.cell(r.scQuadsOut);
             t.cell(r.svfQuadsOut);
         }
-        if (csv)
-            t.printCsv(std::cout);
-        else
-            t.print(std::cout);
+        b.print(t);
     }
 
     std::printf("\npaper: the SVF reduces traffic by many orders of "
@@ -59,6 +66,5 @@ main(int argc, char **argv)
                 "allocation and never writes back deallocated "
                 "frames; only gcc (whose working set exceeds the "
                 "SVF) retains meaningful traffic at 8KB.\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -14,6 +14,7 @@
 
 #include "bench_util.hh"
 #include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "harness/traffic.hh"
 #include "stats/table.hh"
 
@@ -22,46 +23,47 @@ using namespace svf;
 int
 main(int argc, char **argv)
 {
-    Config cfg = Config::fromArgs(argc, argv);
-    std::uint64_t budget = cfg.getUint("insts", 3'000'000);
-    std::uint64_t period = cfg.getUint("period", 400'000);
-    bool csv = cfg.getBool("csv", false);
+    bench::Bench b(argc, argv,
+                   "Table 4: Memory Traffic on Context Switches "
+                   "(bytes per switch, 8KB structures)", "Table 4",
+                   3'000'000);
+    std::uint64_t period = b.cfg().getUint("period", 400'000);
 
-    harness::banner("Table 4: Memory Traffic on Context Switches "
-                    "(bytes per switch, 8KB structures)", "Table 4");
+    const auto inputs = bench::allInputs(true);
+    harness::ExperimentPlan plan;
+    for (const auto &bi : inputs) {
+        harness::TrafficSetup s;
+        s.workload = bi.workload;
+        s.input = bi.input;
+        s.maxInsts = b.budget();
+        s.capacityBytes = 8192;
+        s.ctxSwitchPeriod = period;
+        plan.add(bi.display(), s);
+    }
+    const auto res = b.run(plan);
 
     stats::Table t({"benchmark", "stack cache", "stack value file",
                     "ratio", "switches"});
 
-    for (const auto &bi : bench::allInputs(true)) {
-        harness::TrafficSetup s;
-        s.workload = bi.workload;
-        s.input = bi.input;
-        s.maxInsts = budget;
-        s.capacityBytes = 8192;
-        s.ctxSwitchPeriod = period;
-        harness::TrafficResult r = harness::measureTraffic(s);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const harness::TrafficResult &r = res[i].traffic();
 
         double switches = r.ctxSwitches ? double(r.ctxSwitches) : 1.0;
         double sc_bytes = double(r.scCtxBytes) / switches;
         double svf_bytes = double(r.svfCtxBytes) / switches;
 
         t.addRow();
-        t.cell(bi.display());
+        t.cell(inputs[i].display());
         t.cell(sc_bytes, 0);
         t.cell(svf_bytes, 0);
         t.cell(svf_bytes > 0.0 ? sc_bytes / svf_bytes : 0.0, 1);
         t.cell(r.ctxSwitches);
     }
 
-    if (csv)
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    b.print(t);
 
     std::printf("\npaper: SVF writeback traffic per switch is 3 to "
                 "20 times smaller than the stack cache's (e.g. eon: "
                 "~7000 bytes vs ~700).\n");
-    bench::finishConfig(cfg);
-    return 0;
+    return b.finish();
 }

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic 64-bit hashing for canonical setup keys.
+ *
+ * The experiment runner memoizes simulations by a hash of every
+ * field of their setup (see harness/runner.hh). These helpers give
+ * every config struct a cheap, order-sensitive, well-mixed way to
+ * build such a key: start from hashInit() (optionally salted with a
+ * type tag) and fold each field in with hashCombine().
+ *
+ * The mixing core is the splitmix64 finalizer, so single-bit and
+ * single-field perturbations diffuse through the whole key; a
+ * collision between two distinct setups is a ~2^-64 accident.
+ */
+
+#ifndef SVF_BASE_HASH_HH
+#define SVF_BASE_HASH_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace svf
+{
+
+/** splitmix64 finalizer: diffuse all 64 bits of @p x. */
+constexpr std::uint64_t
+hashMix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Seed for a key; salt with a type tag to separate setup kinds. */
+constexpr std::uint64_t
+hashInit(std::uint64_t tag = 0)
+{
+    return hashMix(0x5356465f4b455931ull ^ tag);   // "SVF_KEY1"
+}
+
+/** Fold one integer field into @p seed (order-sensitive). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t v)
+{
+    return hashMix(seed ^ (hashMix(v) + 0x9e3779b97f4a7c15ull +
+                           (seed << 6) + (seed >> 2)));
+}
+
+/** Fold a double in by bit pattern (0.5 and 0.25 hash apart). */
+inline std::uint64_t
+hashCombine(std::uint64_t seed, double v)
+{
+    return hashCombine(seed, std::bit_cast<std::uint64_t>(v));
+}
+
+/** Fold a string in, length-prefixed so "ab","c" != "a","bc". */
+inline std::uint64_t
+hashCombine(std::uint64_t seed, const std::string &s)
+{
+    seed = hashCombine(seed, std::uint64_t(s.size()));
+    // FNV-1a over the bytes, then mix the digest in.
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return hashCombine(seed, h);
+}
+
+} // namespace svf
+
+#endif // SVF_BASE_HASH_HH

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/hash.hh"
 #include "base/types.hh"
 
 namespace svf::core
@@ -62,6 +63,18 @@ struct SvfParams
      * bits of a stack cache for the Table 4 ablation.
      */
     unsigned dirtyGranule = 8;
+
+    /** Canonical hash over every field (see base/hash.hh). */
+    std::uint64_t
+    key(std::uint64_t seed = hashInit()) const
+    {
+        seed = hashCombine(seed, std::uint64_t(entries));
+        seed = hashCombine(seed, std::uint64_t(ports));
+        seed = hashCombine(seed, std::uint64_t(hitLatency));
+        seed = hashCombine(seed, std::uint64_t(killOnShrink));
+        seed = hashCombine(seed, std::uint64_t(fillOnAlloc));
+        return hashCombine(seed, std::uint64_t(dirtyGranule));
+    }
 };
 
 /** How an address relates to the SVF window. */

@@ -115,6 +115,22 @@ struct SvfUnitParams
     /** Stack references to stay disabled before re-arming. */
     unsigned disableRefs = 16384;
     /// @}
+
+    /** Canonical hash over every field (see base/hash.hh). */
+    std::uint64_t
+    key(std::uint64_t seed = hashInit()) const
+    {
+        seed = hashCombine(seed, std::uint64_t(enabled));
+        seed = svf.key(seed);
+        seed = hashCombine(seed, std::uint64_t(morphAllStackRefs));
+        seed = hashCombine(seed, std::uint64_t(morphSpRefs));
+        seed = hashCombine(seed, std::uint64_t(noSquash));
+        seed = hashCombine(seed, std::uint64_t(squashPenalty));
+        seed = hashCombine(seed, std::uint64_t(dynamicDisable));
+        seed = hashCombine(seed, std::uint64_t(monitorRefs));
+        seed = hashCombine(seed, missRateThreshold);
+        return hashCombine(seed, std::uint64_t(disableRefs));
+    }
 };
 
 /**

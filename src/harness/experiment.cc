@@ -1,5 +1,8 @@
 #include "harness/experiment.hh"
 
+#include <cmath>
+
+#include "base/hash.hh"
 #include "base/logging.hh"
 #include "sim/emulator.hh"
 #include "workloads/registry.hh"
@@ -7,14 +10,48 @@
 namespace svf::harness
 {
 
+std::uint64_t
+RunSetup::key() const
+{
+    std::uint64_t seed = hashInit('R');
+    seed = hashCombine(seed, workload);
+    seed = hashCombine(seed, input);
+    seed = hashCombine(seed, scale);
+    seed = hashCombine(seed, maxInsts);
+    seed = machine.key(seed);
+    seed = hashCombine(seed, std::uint64_t(program != nullptr));
+    if (program) {
+        seed = hashCombine(seed, program->name);
+        seed = hashCombine(seed, program->entry);
+        for (const auto &sec : program->sections) {
+            seed = hashCombine(seed, sec.base);
+            seed = hashCombine(seed,
+                               std::uint64_t(sec.bytes.size()));
+            std::uint64_t h = 1469598103934665603ull;
+            for (std::uint8_t b : sec.bytes) {
+                h ^= b;
+                h *= 1099511628211ull;
+            }
+            seed = hashCombine(seed, h);
+        }
+    }
+    return seed;
+}
+
 RunResult
 runExperiment(const RunSetup &setup)
 {
-    const workloads::WorkloadSpec &spec =
-        workloads::workload(setup.workload);
-    std::uint64_t scale = setup.scale ? setup.scale
-                                      : spec.defaultScale;
-    isa::Program prog = spec.build(setup.input, scale);
+    isa::Program prog;
+    const workloads::WorkloadSpec *spec = nullptr;
+    std::uint64_t scale = setup.scale;
+    if (setup.program) {
+        prog = *setup.program;
+    } else {
+        spec = &workloads::workload(setup.workload);
+        if (!scale)
+            scale = spec->defaultScale;
+        prog = spec->build(setup.input, scale);
+    }
 
     sim::Emulator oracle(prog);
     uarch::OooCore core(setup.machine, oracle);
@@ -23,8 +60,9 @@ runExperiment(const RunSetup &setup)
     RunResult r;
     r.core = core.stats();
     r.completed = oracle.halted();
-    if (r.completed) {
-        std::string expected = spec.expected(setup.input, scale);
+    r.output = oracle.output();
+    if (r.completed && spec) {
+        std::string expected = spec->expected(setup.input, scale);
         r.outputOk = oracle.output() == expected;
         if (!r.outputOk) {
             warn("workload %s.%s output mismatch (got '%s', want "
@@ -43,6 +81,9 @@ runExperiment(const RunSetup &setup)
         r.svfReroutedLoads = svf.reroutedLoads();
         r.svfReroutedStores = svf.reroutedStores();
         r.svfWindowMisses = svf.windowMisses();
+        r.svfDemandFills = svf.svf().demandFills();
+        r.svfDisableEpisodes = svf.disableEpisodes();
+        r.svfRefsWhileDisabled = svf.refsWhileDisabled();
     }
     if (const mem::StackCache *sc = core.stackCache()) {
         r.scQuadsIn = sc->quadsIn();
@@ -52,6 +93,8 @@ runExperiment(const RunSetup &setup)
     }
     r.dl1Hits = core.hier().dl1().hits();
     r.dl1Misses = core.hier().dl1().misses();
+    r.l2Hits = core.hier().l2().hits();
+    r.l2Misses = core.hier().l2().misses();
     return r;
 }
 
@@ -96,10 +139,20 @@ applyStackCache(uarch::MachineConfig &cfg, std::uint64_t size,
 double
 speedupPct(const RunResult &base, const RunResult &opt)
 {
-    if (opt.core.cycles == 0)
+    if (base.core.cycles == 0 || opt.core.cycles == 0) {
+        warn("speedupPct: degenerate cycle counts (base=%llu, "
+             "opt=%llu); clamping speedup to 0",
+             (unsigned long long)base.core.cycles,
+             (unsigned long long)opt.core.cycles);
         return 0.0;
-    return (static_cast<double>(base.core.cycles) /
-            static_cast<double>(opt.core.cycles) - 1.0) * 100.0;
+    }
+    double sp = (static_cast<double>(base.core.cycles) /
+                 static_cast<double>(opt.core.cycles) - 1.0) * 100.0;
+    if (!std::isfinite(sp)) {
+        warn("speedupPct: non-finite speedup; clamping to 0");
+        return 0.0;
+    }
+    return sp;
 }
 
 } // namespace svf::harness

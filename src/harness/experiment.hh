@@ -8,8 +8,10 @@
 #define SVF_HARNESS_EXPERIMENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "isa/program.hh"
 #include "uarch/machine_config.hh"
 #include "uarch/ooo_core.hh"
 
@@ -24,6 +26,21 @@ struct RunSetup
     std::uint64_t scale = 0;    //!< 0 = the registry default scale
     std::uint64_t maxInsts = 500'000;
     uarch::MachineConfig machine;
+
+    /**
+     * When set, simulate this program instead of a registry
+     * workload (svf-sim's asm= mode and custom-kernel benches).
+     * No golden output is available, so the output check is skipped.
+     */
+    std::shared_ptr<const isa::Program> program;
+
+    /**
+     * Canonical setup key: a hash of every field (the program
+     * content when explicit, every MachineConfig parameter
+     * included). Two setups that could simulate differently key
+     * apart; the runner memoizes results under this key.
+     */
+    std::uint64_t key() const;
 };
 
 /** Everything measured by one simulation. */
@@ -40,6 +57,9 @@ struct RunResult
     std::uint64_t svfReroutedLoads = 0;
     std::uint64_t svfReroutedStores = 0;
     std::uint64_t svfWindowMisses = 0;
+    std::uint64_t svfDemandFills = 0;
+    std::uint64_t svfDisableEpisodes = 0;
+    std::uint64_t svfRefsWhileDisabled = 0;
     /// @}
 
     /** @name Stack cache statistics */
@@ -50,11 +70,16 @@ struct RunResult
     std::uint64_t scMisses = 0;
     /// @}
 
-    /** @name DL1 statistics */
+    /** @name Cache hierarchy statistics */
     /// @{
     std::uint64_t dl1Hits = 0;
     std::uint64_t dl1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
     /// @}
+
+    /** Everything the program printed (svf-sim's report). */
+    std::string output;
 
     /**
      * Output check: true when the program ran to completion within
@@ -96,7 +121,13 @@ void applyInfiniteSvf(uarch::MachineConfig &cfg);
 void applyStackCache(uarch::MachineConfig &cfg, std::uint64_t size,
                      unsigned ports);
 
-/** Percentage speedup of @p opt over @p base (same work). */
+/**
+ * Percentage speedup of @p opt over @p base (same work).
+ *
+ * Degenerate inputs — a zero-cycle base or optimized run, as from a
+ * mis-scoped budget — would divide to inf/nan and silently poison
+ * table averages; they instead warn and clamp to 0.
+ */
 double speedupPct(const RunResult &base, const RunResult &opt);
 
 } // namespace svf::harness

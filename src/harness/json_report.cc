@@ -1,0 +1,239 @@
+#include "harness/json_report.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace svf::harness
+{
+
+namespace
+{
+
+/** Incrementally renders one flat JSON object. */
+class ObjectWriter
+{
+  public:
+    void
+    field(const std::string &name, const std::string &raw_value)
+    {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\": " + raw_value;
+    }
+
+    void
+    str(const std::string &name, const std::string &v)
+    {
+        field(name, "\"" + jsonEscape(v) + "\"");
+    }
+
+    void
+    num(const std::string &name, std::uint64_t v)
+    {
+        field(name, std::to_string(v));
+    }
+
+    void
+    num(const std::string &name, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        field(name, buf);
+    }
+
+    void
+    boolean(const std::string &name, bool v)
+    {
+        field(name, v ? "true" : "false");
+    }
+
+    std::string
+    finish() const
+    {
+        return "{" + out + "}";
+    }
+
+  private:
+    std::string out;
+    bool first = true;
+};
+
+std::string
+runCounters(const RunResult &r)
+{
+    ObjectWriter w;
+    w.num("cycles", r.core.cycles);
+    w.num("committed", r.core.committed);
+    w.num("loads", r.core.loads);
+    w.num("stores", r.core.stores);
+    w.num("branches", r.core.branches);
+    w.num("mispredicts", r.core.mispredicts);
+    w.num("squashes", r.core.squashes);
+    w.num("sp_interlocks", r.core.spInterlocks);
+    w.num("lsq_forwards", r.core.lsqForwards);
+    w.num("ctx_switches", r.core.ctxSwitches);
+    w.num("svf_ctx_bytes", r.core.svfCtxBytes);
+    w.num("sc_ctx_bytes", r.core.scCtxBytes);
+    w.num("dl1_ctx_lines", r.core.dl1CtxLines);
+    w.num("svf_quads_in", r.svfQuadsIn);
+    w.num("svf_quads_out", r.svfQuadsOut);
+    w.num("svf_fast_loads", r.svfFastLoads);
+    w.num("svf_fast_stores", r.svfFastStores);
+    w.num("svf_rerouted_loads", r.svfReroutedLoads);
+    w.num("svf_rerouted_stores", r.svfReroutedStores);
+    w.num("svf_window_misses", r.svfWindowMisses);
+    w.num("svf_demand_fills", r.svfDemandFills);
+    w.num("svf_disable_episodes", r.svfDisableEpisodes);
+    w.num("svf_refs_while_disabled", r.svfRefsWhileDisabled);
+    w.num("sc_quads_in", r.scQuadsIn);
+    w.num("sc_quads_out", r.scQuadsOut);
+    w.num("sc_hits", r.scHits);
+    w.num("sc_misses", r.scMisses);
+    w.num("dl1_hits", r.dl1Hits);
+    w.num("dl1_misses", r.dl1Misses);
+    w.num("l2_hits", r.l2Hits);
+    w.num("l2_misses", r.l2Misses);
+    return w.finish();
+}
+
+std::string
+trafficCounters(const TrafficResult &r)
+{
+    ObjectWriter w;
+    w.num("insts", r.insts);
+    w.num("svf_quads_in", r.svfQuadsIn);
+    w.num("svf_quads_out", r.svfQuadsOut);
+    w.num("sc_quads_in", r.scQuadsIn);
+    w.num("sc_quads_out", r.scQuadsOut);
+    w.num("ctx_switches", r.ctxSwitches);
+    w.num("svf_ctx_bytes", r.svfCtxBytes);
+    w.num("sc_ctx_bytes", r.scCtxBytes);
+    return w.finish();
+}
+
+std::string
+profileCounters(const workloads::StackProfile &p)
+{
+    ObjectWriter w;
+    w.num("insts", p.insts);
+    w.num("mem_refs", p.memRefs);
+    w.num("stack_refs", p.stackRefs);
+    w.num("global_refs", p.globalRefs);
+    w.num("heap_refs", p.heapRefs);
+    w.num("other_refs", p.otherRefs);
+    w.num("stack_sp", p.stackSp);
+    w.num("stack_fp", p.stackFp);
+    w.num("stack_gpr", p.stackGpr);
+    w.num("max_depth_words", p.maxDepthWords);
+    w.num("below_tos", p.belowTos);
+    return w.finish();
+}
+
+} // anonymous namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonReport::add(const JobOutcome &outcome)
+{
+    ObjectWriter w;
+    w.str("name", outcome.name);
+    char keybuf[24];
+    std::snprintf(keybuf, sizeof(keybuf), "%016llx",
+                  (unsigned long long)outcome.key);
+    w.str("key", keybuf);
+    w.boolean("cached", outcome.cached);
+    w.num("wall_seconds", outcome.wallSeconds);
+
+    if (const RunResult *r = std::get_if<RunResult>(&outcome.value)) {
+        w.str("kind", "run");
+        w.field("counters", runCounters(*r));
+        ObjectWriter d;
+        d.num("ipc", r->ipc());
+        d.boolean("completed", r->completed);
+        d.boolean("output_ok", r->outputOk);
+        w.field("derived", d.finish());
+    } else if (const TrafficResult *t =
+                   std::get_if<TrafficResult>(&outcome.value)) {
+        w.str("kind", "traffic");
+        w.field("counters", trafficCounters(*t));
+        ObjectWriter d;
+        double n = t->ctxSwitches ? double(t->ctxSwitches) : 1.0;
+        d.num("svf_bytes_per_switch", double(t->svfCtxBytes) / n);
+        d.num("sc_bytes_per_switch", double(t->scCtxBytes) / n);
+        w.field("derived", d.finish());
+    } else {
+        const workloads::StackProfile &p =
+            std::get<workloads::StackProfile>(outcome.value);
+        w.str("kind", "profile");
+        w.field("counters", profileCounters(p));
+        ObjectWriter d;
+        d.num("avg_offset_bytes", p.avgOffsetBytes);
+        d.num("within_8k", p.within8k);
+        d.num("within_256", p.within256);
+        d.num("stack_fraction", p.stackFraction());
+        d.num("sp_fraction", p.spFraction());
+        w.field("derived", d.finish());
+    }
+    records.push_back(w.finish());
+}
+
+void
+JsonReport::add(const std::vector<JobOutcome> &outcomes)
+{
+    for (const JobOutcome &o : outcomes)
+        add(o);
+}
+
+void
+JsonReport::write(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"svf-bench-1\",\n  \"jobs\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        os << "    " << records[i];
+        if (i + 1 < records.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+bool
+JsonReport::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write JSON report to '%s'", path.c_str());
+        return false;
+    }
+    write(out);
+    return out.good();
+}
+
+} // namespace svf::harness

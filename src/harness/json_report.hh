@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Machine-readable experiment output.
+ *
+ * Bench trajectories (BENCH_*.json and external tooling) should not
+ * scrape text tables. A JsonReport collects finished runner jobs
+ * and serializes one record per job — name, canonical setup key,
+ * every RunResult/TrafficResult/StackProfile counter, and derived
+ * metrics — to a json=FILE sink. Schema, informally:
+ *
+ *   {
+ *     "schema": "svf-bench-1",
+ *     "jobs": [
+ *       {
+ *         "name": "<plan job name>",
+ *         "kind": "run" | "traffic" | "profile",
+ *         "key": "<16 hex digits>",
+ *         "cached": true | false,
+ *         "wall_seconds": <number>,
+ *         "counters": { "<snake_case>": <integer>, ... },
+ *         "derived":  { "<snake_case>": <number>, ... }
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * Keys are emitted as hex strings: a 64-bit setup key does not
+ * survive a round-trip through a JSON double.
+ */
+
+#ifndef SVF_HARNESS_JSON_REPORT_HH
+#define SVF_HARNESS_JSON_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace svf::harness
+{
+
+/** Accumulates job records and writes the JSON document. */
+class JsonReport
+{
+  public:
+    /** Append one record for @p outcome. */
+    void add(const JobOutcome &outcome);
+
+    /** Append one record per outcome. */
+    void add(const std::vector<JobOutcome> &outcomes);
+
+    /** Number of records collected. */
+    size_t size() const { return records.size(); }
+
+    /** Write the complete document to @p os. */
+    void write(std::ostream &os) const;
+
+    /** Write to @p path; warns and returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> records;   //!< pre-rendered objects
+};
+
+/** JSON string escaping (exposed for tests). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace svf::harness
+
+#endif // SVF_HARNESS_JSON_REPORT_HH

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "base/logging.hh"
+
 namespace svf::harness
 {
 
@@ -12,8 +14,15 @@ geomeanPct(const std::vector<double> &pcts)
     if (pcts.empty())
         return 0.0;
     double log_sum = 0.0;
-    for (double p : pcts)
-        log_sum += std::log(1.0 + p / 100.0);
+    for (double p : pcts) {
+        double ratio = 1.0 + p / 100.0;
+        if (!(ratio > 0.0) || !std::isfinite(ratio)) {
+            warn("geomeanPct: degenerate speedup %.1f%%; clamping "
+                 "to -99.9%%", p);
+            ratio = 0.001;
+        }
+        log_sum += std::log(ratio);
+    }
     return (std::exp(log_sum / static_cast<double>(pcts.size())) -
             1.0) * 100.0;
 }
@@ -47,6 +56,16 @@ banner(const std::string &title, const std::string &paper_ref)
                 paper_ref.c_str());
     std::printf("======================================================"
                 "==========\n");
+}
+
+ProgressHook
+stderrProgress()
+{
+    return [](const JobProgress &p) {
+        std::fprintf(stderr, "[%zu/%zu] %s (%.2fs%s)\n", p.done,
+                     p.total, p.name.c_str(), p.wallSeconds,
+                     p.cached ? ", cached" : "");
+    };
 }
 
 } // namespace svf::harness

@@ -6,13 +6,19 @@
 #ifndef SVF_HARNESS_REPORTING_HH
 #define SVF_HARNESS_REPORTING_HH
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace svf::harness
 {
 
-/** Geometric mean of (1 + pct/100) values, returned as a percent. */
+/**
+ * Geometric mean of (1 + pct/100) values, returned as a percent.
+ * Values at or below -100% have no log (a zero/negative ratio);
+ * they warn and clamp rather than producing nan.
+ */
 double geomeanPct(const std::vector<double> &pcts);
 
 /** Arithmetic mean. */
@@ -23,6 +29,34 @@ std::string pct(double v, int prec = 1);
 
 /** Standard bench banner with the paper reference. */
 void banner(const std::string &title, const std::string &paper_ref);
+
+/**
+ * @name Runner progress reporting
+ *
+ * The experiment runner (harness/runner.hh) reports each finished
+ * job through a hook of this shape. Hooks are invoked under the
+ * runner's lock, one job at a time, in completion (not submission)
+ * order.
+ */
+/// @{
+
+/** One finished job, as seen by a progress hook. */
+struct JobProgress
+{
+    std::size_t index = 0;      //!< submission index within the plan
+    std::size_t done = 0;       //!< jobs finished so far (this one included)
+    std::size_t total = 0;      //!< jobs in the plan
+    std::string name;           //!< the job's display name
+    double wallSeconds = 0.0;   //!< host wall time of this job
+    bool cached = false;        //!< served from the memo cache
+};
+
+using ProgressHook = std::function<void(const JobProgress &)>;
+
+/** A hook that prints "[done/total] name (wall)" lines to stderr. */
+ProgressHook stderrProgress();
+
+/// @}
 
 } // namespace svf::harness
 

@@ -1,0 +1,216 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+
+std::uint64_t
+ProfileSetup::key() const
+{
+    std::uint64_t seed = hashInit('P');
+    seed = hashCombine(seed, workload);
+    seed = hashCombine(seed, input);
+    seed = hashCombine(seed, scale);
+    seed = hashCombine(seed, maxInsts);
+    return hashCombine(seed, std::uint64_t(depthSamples));
+}
+
+const RunResult &
+JobOutcome::run() const
+{
+    const RunResult *r = std::get_if<RunResult>(&value);
+    if (!r)
+        panic("job '%s' is not a cycle-model run", name.c_str());
+    return *r;
+}
+
+const TrafficResult &
+JobOutcome::traffic() const
+{
+    const TrafficResult *r = std::get_if<TrafficResult>(&value);
+    if (!r)
+        panic("job '%s' is not a traffic measurement", name.c_str());
+    return *r;
+}
+
+const workloads::StackProfile &
+JobOutcome::profile() const
+{
+    const workloads::StackProfile *r =
+        std::get_if<workloads::StackProfile>(&value);
+    if (!r)
+        panic("job '%s' is not a stack profile", name.c_str());
+    return *r;
+}
+
+size_t
+ExperimentPlan::add(std::string name, RunSetup setup)
+{
+    _jobs.push_back({std::move(name), std::move(setup)});
+    return _jobs.size() - 1;
+}
+
+size_t
+ExperimentPlan::add(std::string name, TrafficSetup setup)
+{
+    _jobs.push_back({std::move(name), std::move(setup)});
+    return _jobs.size() - 1;
+}
+
+size_t
+ExperimentPlan::add(std::string name, ProfileSetup setup)
+{
+    _jobs.push_back({std::move(name), std::move(setup)});
+    return _jobs.size() - 1;
+}
+
+std::uint64_t
+setupKey(const JobSetup &setup)
+{
+    return std::visit([](const auto &s) { return s.key(); }, setup);
+}
+
+JobValue
+executeSetup(const JobSetup &setup)
+{
+    if (const RunSetup *rs = std::get_if<RunSetup>(&setup))
+        return runExperiment(*rs);
+    if (const TrafficSetup *ts = std::get_if<TrafficSetup>(&setup))
+        return measureTraffic(*ts);
+    const ProfileSetup &ps = std::get<ProfileSetup>(setup);
+    const workloads::WorkloadSpec &spec =
+        workloads::workload(ps.workload);
+    std::uint64_t scale = ps.scale ? ps.scale : spec.defaultScale;
+    return workloads::profileProgram(spec.build(ps.input, scale),
+                                     ps.maxInsts, ps.depthSamples);
+}
+
+Runner::Runner(RunnerOptions options) : opts(std::move(options))
+{
+    nThreads = opts.jobs ? opts.jobs
+                         : std::thread::hardware_concurrency();
+    if (nThreads == 0)
+        nThreads = 1;
+}
+
+std::vector<JobOutcome>
+Runner::run(const ExperimentPlan &plan)
+{
+    const size_t total = plan.size();
+    std::vector<JobOutcome> results(total);
+
+    /**
+     * One entry per *distinct* setup key that must actually be
+     * simulated this run; every plan job points at one.
+     */
+    struct Work
+    {
+        const JobSetup *setup = nullptr;
+        size_t firstJob = 0;        //!< earliest job with this key
+        JobValue value;
+        double wallSeconds = 0.0;
+    };
+    std::vector<Work> work;
+    std::vector<size_t> jobToWork(total, size_t(-1));
+
+    size_t done = 0;
+    std::mutex lock;
+    auto report = [&](size_t index, bool cached, double wall) {
+        ++done;
+        if (!opts.progress)
+            return;
+        JobProgress p;
+        p.index = index;
+        p.done = done;
+        p.total = total;
+        p.name = plan.job(index).name;
+        p.wallSeconds = wall;
+        p.cached = cached;
+        opts.progress(p);
+    };
+
+    // Phase 1: resolve memo hits, dedup the rest into work items.
+    std::unordered_map<std::uint64_t, size_t> keyToWork;
+    for (size_t i = 0; i < total; ++i) {
+        const Job &job = plan.job(i);
+        std::uint64_t key = setupKey(job.setup);
+        results[i].name = job.name;
+        results[i].key = key;
+        if (opts.memoize) {
+            auto hit = memo.find(key);
+            if (hit != memo.end()) {
+                results[i].value = hit->second;
+                results[i].cached = true;
+                ++nMemoHits;
+                report(i, true, 0.0);
+                continue;
+            }
+            auto [it, fresh] = keyToWork.try_emplace(key,
+                                                     work.size());
+            if (!fresh) {
+                jobToWork[i] = it->second;
+                results[i].cached = true;
+                ++nMemoHits;
+                continue;
+            }
+        }
+        jobToWork[i] = work.size();
+        work.push_back(Work{&job.setup, i, {}, 0.0});
+    }
+
+    // Phase 2: execute the distinct work items over the pool.
+    // Workers write disjoint slots, so only progress needs the lock.
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t w; (w = next.fetch_add(1)) < work.size();) {
+            auto t0 = std::chrono::steady_clock::now();
+            work[w].value = executeSetup(*work[w].setup);
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            work[w].wallSeconds = dt.count();
+            std::lock_guard<std::mutex> g(lock);
+            ++nExecuted;
+            report(work[w].firstJob, false, work[w].wallSeconds);
+        }
+    };
+    unsigned pool = unsigned(std::min<size_t>(nThreads, work.size()));
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (unsigned t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    // Phase 3: fan results out to every job in submission order and
+    // fill the cross-run memo cache.
+    for (size_t i = 0; i < total; ++i) {
+        if (jobToWork[i] == size_t(-1))
+            continue;                   // already served by the memo
+        const Work &w = work[jobToWork[i]];
+        results[i].value = w.value;
+        if (results[i].cached)
+            report(i, true, 0.0);       // in-plan duplicate
+        else
+            results[i].wallSeconds = w.wallSeconds;
+    }
+    if (opts.memoize) {
+        for (const Work &w : work)
+            memo.emplace(results[w.firstJob].key, w.value);
+    }
+    svf_assert(done == total);
+    return results;
+}
+
+} // namespace svf::harness

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Plan-based parallel experiment engine.
+ *
+ * Every figure/table in the reproduction is a batch of independent
+ * simulations: each job is a pure function of its setup. Instead of
+ * hand-rolled serial loops, a bench binary now *constructs* an
+ * ExperimentPlan — an ordered list of named jobs — and hands it to a
+ * Runner, which executes the jobs over a thread pool and returns
+ * results in submission order, so table assembly is independent of
+ * completion order and byte-identical to a serial run.
+ *
+ * Three job kinds cover every consumer:
+ *   - RunSetup:     the cycle model (harness/experiment.hh)
+ *   - TrafficSetup: architectural traffic replay (harness/traffic.hh)
+ *   - ProfileSetup: functional stack profiling (Figures 1-3)
+ *
+ * Jobs are memoized by their canonical setup key (RunSetup::key()
+ * etc. — a hash of every field, machine configuration included), so
+ * a plan that names the same baseline several times simulates it
+ * once, and a Runner reused across plan phases carries its cache
+ * forward. Finished jobs are reported through the
+ * harness::reporting progress hook with per-job wall times.
+ */
+
+#ifndef SVF_HARNESS_RUNNER_HH
+#define SVF_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "harness/traffic.hh"
+#include "workloads/calibration.hh"
+
+namespace svf::harness
+{
+
+/** A functional stack-profiling job (Figures 1-3). */
+struct ProfileSetup
+{
+    std::string workload;       //!< registry short name
+    std::string input;          //!< input variant
+    std::uint64_t scale = 0;    //!< 0 = the registry default scale
+    std::uint64_t maxInsts = 1'000'000;
+    unsigned depthSamples = 256;
+
+    /** Canonical setup key (type-tagged; see base/hash.hh). */
+    std::uint64_t key() const;
+};
+
+/** Any job setup the runner can execute. */
+using JobSetup = std::variant<RunSetup, TrafficSetup, ProfileSetup>;
+
+/** Any job result. */
+using JobValue =
+    std::variant<RunResult, TrafficResult, workloads::StackProfile>;
+
+/** One named job of a plan. */
+struct Job
+{
+    std::string name;
+    JobSetup setup;
+};
+
+/** The outcome of one job, in submission order. */
+struct JobOutcome
+{
+    std::string name;
+    std::uint64_t key = 0;      //!< the setup's canonical key
+    double wallSeconds = 0.0;   //!< 0 when served from the cache
+    bool cached = false;        //!< deduplicated or memoized
+    JobValue value;
+
+    /** @name Typed access (fatal on kind mismatch) */
+    /// @{
+    const RunResult &run() const;
+    const TrafficResult &traffic() const;
+    const workloads::StackProfile &profile() const;
+    /// @}
+};
+
+/**
+ * An ordered list of named jobs. Build it up front, run it once:
+ * the index returned by add() is the job's position in the result
+ * vector.
+ */
+class ExperimentPlan
+{
+  public:
+    /** Append a job; returns its submission index. */
+    size_t add(std::string name, RunSetup setup);
+    size_t add(std::string name, TrafficSetup setup);
+    size_t add(std::string name, ProfileSetup setup);
+
+    size_t size() const { return _jobs.size(); }
+    bool empty() const { return _jobs.empty(); }
+    const Job &job(size_t i) const { return _jobs.at(i); }
+    const std::vector<Job> &jobs() const { return _jobs; }
+
+  private:
+    std::vector<Job> _jobs;
+};
+
+/** Runner knobs (the bench layer maps jobs=/progress= onto these). */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+
+    /** Memoize results by setup key across and within plans. */
+    bool memoize = true;
+
+    /** Invoked per finished job (see harness/reporting.hh). */
+    ProgressHook progress;
+};
+
+/**
+ * Executes plans. Results are deterministic and submission-ordered
+ * regardless of thread count or completion order; duplicate setups
+ * within a plan are simulated once and fanned out.
+ */
+class Runner
+{
+  public:
+    explicit Runner(RunnerOptions options = {});
+
+    /** Execute every job of @p plan; results align with indices. */
+    std::vector<JobOutcome> run(const ExperimentPlan &plan);
+
+    /** Worker threads this runner will use for large plans. */
+    unsigned threadCount() const { return nThreads; }
+
+    /** @name Memo cache statistics (cumulative across run calls) */
+    /// @{
+    std::uint64_t executions() const { return nExecuted; }
+    std::uint64_t memoHits() const { return nMemoHits; }
+    /// @}
+
+    /** Drop all memoized results. */
+    void clearCache() { memo.clear(); }
+
+  private:
+    RunnerOptions opts;
+    unsigned nThreads;
+    std::uint64_t nExecuted = 0;
+    std::uint64_t nMemoHits = 0;
+    std::unordered_map<std::uint64_t, JobValue> memo;
+};
+
+/** The canonical key of any job setup. */
+std::uint64_t setupKey(const JobSetup &setup);
+
+/** Execute one job setup synchronously (no cache, no threads). */
+JobValue executeSetup(const JobSetup &setup);
+
+} // namespace svf::harness
+
+#endif // SVF_HARNESS_RUNNER_HH

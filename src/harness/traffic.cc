@@ -1,5 +1,6 @@
 #include "harness/traffic.hh"
 
+#include "base/hash.hh"
 #include "core/svf_unit.hh"
 #include "mem/hierarchy.hh"
 #include "mem/stack_cache.hh"
@@ -9,6 +10,21 @@
 
 namespace svf::harness
 {
+
+std::uint64_t
+TrafficSetup::key() const
+{
+    std::uint64_t seed = hashInit('T');
+    seed = hashCombine(seed, workload);
+    seed = hashCombine(seed, input);
+    seed = hashCombine(seed, scale);
+    seed = hashCombine(seed, maxInsts);
+    seed = hashCombine(seed, capacityBytes);
+    seed = hashCombine(seed, ctxSwitchPeriod);
+    seed = hashCombine(seed, std::uint64_t(svfDirtyGranule));
+    seed = hashCombine(seed, std::uint64_t(svfKillOnShrink));
+    return hashCombine(seed, std::uint64_t(svfFillOnAlloc));
+}
 
 TrafficResult
 measureTraffic(const TrafficSetup &setup)

@@ -60,6 +60,13 @@ struct TrafficSetup
     /** Ablations (see DESIGN.md section 5). */
     bool svfKillOnShrink = true;
     bool svfFillOnAlloc = false;
+
+    /**
+     * Canonical setup key over every field; type-tagged so traffic
+     * setups never collide with cycle-model RunSetup keys. The
+     * runner memoizes measurements under this key.
+     */
+    std::uint64_t key() const;
 };
 
 /** Replay the stream and measure both structures' traffic. */

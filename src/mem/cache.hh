@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/hash.hh"
 #include "base/types.hh"
 
 namespace svf::mem
@@ -28,6 +29,17 @@ struct CacheParams
     unsigned assoc = 4;
     unsigned lineSize = 32;             //!< bytes (SimpleScalar default)
     unsigned hitLatency = 3;            //!< end-to-end hit cycles
+
+    /** Canonical hash over every field (see base/hash.hh). */
+    std::uint64_t
+    key(std::uint64_t seed = hashInit()) const
+    {
+        seed = hashCombine(seed, name);
+        seed = hashCombine(seed, size);
+        seed = hashCombine(seed, std::uint64_t(assoc));
+        seed = hashCombine(seed, std::uint64_t(lineSize));
+        return hashCombine(seed, std::uint64_t(hitLatency));
+    }
 };
 
 /** Outcome of one cache probe. */

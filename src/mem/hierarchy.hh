@@ -22,6 +22,16 @@ struct HierarchyParams
 
     /** End-to-end main memory latency in CPU cycles. */
     unsigned memLatency = 60;
+
+    /** Canonical hash over every field (see base/hash.hh). */
+    std::uint64_t
+    key(std::uint64_t seed = hashInit()) const
+    {
+        seed = il1.key(seed);
+        seed = dl1.key(seed);
+        seed = l2.key(seed);
+        return hashCombine(seed, std::uint64_t(memLatency));
+    }
 };
 
 /**

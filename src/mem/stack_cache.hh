@@ -34,6 +34,16 @@ struct StackCacheParams
     unsigned lineSize = 32;
     unsigned hitLatency = 3;
     unsigned ports = 2;
+
+    /** Canonical hash over every field (see base/hash.hh). */
+    std::uint64_t
+    key(std::uint64_t seed = hashInit()) const
+    {
+        seed = hashCombine(seed, size);
+        seed = hashCombine(seed, std::uint64_t(lineSize));
+        seed = hashCombine(seed, std::uint64_t(hitLatency));
+        return hashCombine(seed, std::uint64_t(ports));
+    }
 };
 
 /** Outcome of a stack cache access, with its total latency. */

@@ -47,6 +47,41 @@ Table::cell(double v, int prec)
 }
 
 void
+Table::resizeRows(size_t n)
+{
+    if (!body.empty() && body.back().size() != head.size()) {
+        panic("table row has %zu cells, expected %zu",
+              body.back().size(), head.size());
+    }
+    size_t old = body.size();
+    body.resize(n);
+    for (size_t r = old; r < n; ++r)
+        body[r].assign(head.size(), std::string());
+}
+
+void
+Table::setCell(size_t row, size_t col, const std::string &v)
+{
+    svf_assert(row < body.size());
+    svf_assert(col < body[row].size());
+    body[row][col] = v;
+}
+
+void
+Table::setCell(size_t row, size_t col, std::uint64_t v)
+{
+    setCell(row, col, std::to_string(v));
+}
+
+void
+Table::setCell(size_t row, size_t col, double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    setCell(row, col, std::string(buf));
+}
+
+void
 Table::print(std::ostream &os) const
 {
     std::vector<size_t> widths(head.size());

@@ -38,6 +38,25 @@ class Table
     /** Append a floating-point cell rendered with @p prec digits. */
     void cell(double v, int prec = 3);
 
+    /**
+     * @name Pre-sized random-access assembly
+     *
+     * For parallel result assembly: pre-size the body, then fill
+     * cells by (row, column) index. Writes to *distinct rows* are
+     * data-race free (each row is an independent vector resized up
+     * front), so worker threads may fill their own rows without a
+     * lock; writes to the same row still need external ordering.
+     */
+    /// @{
+    /** Grow the body to @p n rows of empty cells. */
+    void resizeRows(size_t n);
+
+    /** Set one cell of a pre-sized row. */
+    void setCell(size_t row, size_t col, const std::string &v);
+    void setCell(size_t row, size_t col, std::uint64_t v);
+    void setCell(size_t row, size_t col, double v, int prec = 3);
+    /// @}
+
     /** Number of complete data rows. */
     size_t rows() const { return body.size(); }
 

@@ -38,6 +38,33 @@ MachineConfig::wide16()
     return c;
 }
 
+std::uint64_t
+MachineConfig::key(std::uint64_t seed) const
+{
+    seed = hashCombine(seed, std::uint64_t(fetchWidth));
+    seed = hashCombine(seed, std::uint64_t(decodeWidth));
+    seed = hashCombine(seed, std::uint64_t(issueWidth));
+    seed = hashCombine(seed, std::uint64_t(commitWidth));
+    seed = hashCombine(seed, std::uint64_t(ifqSize));
+    seed = hashCombine(seed, std::uint64_t(ruuSize));
+    seed = hashCombine(seed, std::uint64_t(lsqSize));
+    seed = hashCombine(seed, std::uint64_t(intAlu));
+    seed = hashCombine(seed, std::uint64_t(intMult));
+    seed = hier.key(seed);
+    seed = hashCombine(seed, std::uint64_t(dl1Ports));
+    seed = hashCombine(seed, std::uint64_t(storeForwardLat));
+    seed = hashCombine(seed, std::uint64_t(agenLat));
+    seed = hashCombine(seed, bpred);
+    seed = hashCombine(seed, std::uint64_t(redirectPenalty));
+    seed = hashCombine(seed, std::uint64_t(schedLatency));
+    seed = hashCombine(seed, std::uint64_t(maxTakenPerFetch));
+    seed = svf.key(seed);
+    seed = hashCombine(seed, std::uint64_t(stackCacheEnabled));
+    seed = stackCache.key(seed);
+    seed = hashCombine(seed, std::uint64_t(noAddrCalcOp));
+    return hashCombine(seed, contextSwitchPeriod);
+}
+
 MachineConfig
 MachineConfig::wide(unsigned w)
 {

@@ -113,6 +113,14 @@ struct MachineConfig
 
     /** A Table 2 machine by width (4, 8 or 16). */
     static MachineConfig wide(unsigned w);
+
+    /**
+     * Canonical hash over every field, nested structures included.
+     * Two configs with any differing parameter hash apart, so the
+     * experiment runner can memoize simulations by setup key (see
+     * harness/runner.hh).
+     */
+    std::uint64_t key(std::uint64_t seed = hashInit()) const;
 };
 
 } // namespace svf::uarch

@@ -17,6 +17,7 @@
 #ifndef SVF_UARCH_OOO_CORE_HH
 #define SVF_UARCH_OOO_CORE_HH
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -52,11 +53,18 @@ struct CoreStats
     std::uint64_t scCtxBytes = 0;
     std::uint64_t dl1CtxLines = 0;
 
-    /** Committed instructions per cycle. */
+    /**
+     * Committed instructions per cycle. A run that never advanced
+     * (zero cycles) reports 0 rather than dividing to inf/nan —
+     * degenerate runs must not poison table averages.
+     */
     double ipc() const
     {
-        return cycles ? static_cast<double>(committed) /
-                        static_cast<double>(cycles) : 0.0;
+        if (cycles == 0)
+            return 0.0;
+        double v = static_cast<double>(committed) /
+                   static_cast<double>(cycles);
+        return std::isfinite(v) ? v : 0.0;
     }
 };
 

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * The plan-based experiment runner (harness/runner.hh):
+ *
+ *   - determinism: a mixed plan run at jobs=1 and jobs=4 produces
+ *     bit-identical results — table assembly must not depend on
+ *     thread count or completion order;
+ *   - memoization: duplicate setups within a plan simulate once, and
+ *     a reused Runner serves repeated keys from its cache;
+ *   - key canonicality: perturbing any single field of a RunSetup,
+ *     its MachineConfig (nested structures included) or a
+ *     TrafficSetup produces a distinct setup key, and the three job
+ *     kinds never collide with one another.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/json_report.hh"
+#include "harness/runner.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+using namespace svf::harness;
+
+namespace
+{
+
+ExperimentPlan
+mixedPlan()
+{
+    ExperimentPlan plan;
+
+    RunSetup base;
+    base.workload = "gzip";
+    base.input = "log";
+    base.maxInsts = 20'000;
+    base.machine = baselineConfig(16, 2);
+    plan.add("gzip/base", base);
+
+    RunSetup with_svf = base;
+    applySvf(with_svf.machine, 1024, 2);
+    plan.add("gzip/svf", with_svf);
+
+    RunSetup crafty = base;
+    crafty.workload = "crafty";
+    crafty.input = "ref";
+    plan.add("crafty/base", crafty);
+
+    TrafficSetup traffic;
+    traffic.workload = "gzip";
+    traffic.input = "log";
+    traffic.maxInsts = 100'000;
+    plan.add("gzip/traffic", traffic);
+
+    TrafficSetup ctx = traffic;
+    ctx.ctxSwitchPeriod = 40'000;
+    plan.add("gzip/traffic-ctx", ctx);
+
+    ProfileSetup profile;
+    profile.workload = "gzip";
+    profile.input = "log";
+    profile.maxInsts = 100'000;
+    plan.add("gzip/profile", profile);
+
+    return plan;
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.committed, b.core.committed);
+    EXPECT_EQ(a.core.loads, b.core.loads);
+    EXPECT_EQ(a.core.stores, b.core.stores);
+    EXPECT_EQ(a.core.branches, b.core.branches);
+    EXPECT_EQ(a.core.mispredicts, b.core.mispredicts);
+    EXPECT_EQ(a.core.squashes, b.core.squashes);
+    EXPECT_EQ(a.core.spInterlocks, b.core.spInterlocks);
+    EXPECT_EQ(a.core.lsqForwards, b.core.lsqForwards);
+    EXPECT_EQ(a.svfQuadsIn, b.svfQuadsIn);
+    EXPECT_EQ(a.svfQuadsOut, b.svfQuadsOut);
+    EXPECT_EQ(a.svfFastLoads, b.svfFastLoads);
+    EXPECT_EQ(a.svfFastStores, b.svfFastStores);
+    EXPECT_EQ(a.svfReroutedLoads, b.svfReroutedLoads);
+    EXPECT_EQ(a.svfReroutedStores, b.svfReroutedStores);
+    EXPECT_EQ(a.svfWindowMisses, b.svfWindowMisses);
+    EXPECT_EQ(a.dl1Hits, b.dl1Hits);
+    EXPECT_EQ(a.dl1Misses, b.dl1Misses);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.outputOk, b.outputOk);
+}
+
+void
+expectSameTraffic(const TrafficResult &a, const TrafficResult &b)
+{
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.svfQuadsIn, b.svfQuadsIn);
+    EXPECT_EQ(a.svfQuadsOut, b.svfQuadsOut);
+    EXPECT_EQ(a.scQuadsIn, b.scQuadsIn);
+    EXPECT_EQ(a.scQuadsOut, b.scQuadsOut);
+    EXPECT_EQ(a.ctxSwitches, b.ctxSwitches);
+    EXPECT_EQ(a.svfCtxBytes, b.svfCtxBytes);
+    EXPECT_EQ(a.scCtxBytes, b.scCtxBytes);
+}
+
+TEST(Runner, ParallelMatchesSerial)
+{
+    ExperimentPlan plan = mixedPlan();
+
+    RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    Runner serial(serial_opts);
+    const auto s = serial.run(plan);
+
+    RunnerOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    Runner parallel(parallel_opts);
+    const auto p = parallel.run(plan);
+
+    ASSERT_EQ(s.size(), plan.size());
+    ASSERT_EQ(p.size(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(s[i].name, plan.job(i).name);
+        EXPECT_EQ(s[i].name, p[i].name);
+        EXPECT_EQ(s[i].key, p[i].key);
+    }
+
+    expectSameRun(s[0].run(), p[0].run());
+    expectSameRun(s[1].run(), p[1].run());
+    expectSameRun(s[2].run(), p[2].run());
+    expectSameTraffic(s[3].traffic(), p[3].traffic());
+    expectSameTraffic(s[4].traffic(), p[4].traffic());
+
+    const auto &sp = s[5].profile();
+    const auto &pp = p[5].profile();
+    EXPECT_EQ(sp.insts, pp.insts);
+    EXPECT_EQ(sp.memRefs, pp.memRefs);
+    EXPECT_EQ(sp.stackRefs, pp.stackRefs);
+    EXPECT_EQ(sp.maxDepthWords, pp.maxDepthWords);
+    EXPECT_EQ(sp.depthSamples, pp.depthSamples);
+
+    // The SVF run must differ from the baseline run — otherwise the
+    // "identical" assertions above would pass vacuously on a runner
+    // that handed every job the same result.
+    EXPECT_NE(s[0].key, s[1].key);
+    EXPECT_NE(s[0].run().core.cycles, 0u);
+}
+
+TEST(Runner, MemoizesRepeatedKeys)
+{
+    RunSetup base;
+    base.workload = "gzip";
+    base.input = "log";
+    base.maxInsts = 20'000;
+    base.machine = baselineConfig(16, 2);
+
+    ExperimentPlan plan;
+    plan.add("first", base);
+    plan.add("second", base);       // identical setup, new name
+
+    RunnerOptions opts;
+    opts.jobs = 2;
+    Runner runner(opts);
+    const auto res = runner.run(plan);
+
+    // In-plan duplicate: simulated once, fanned out to both jobs.
+    EXPECT_EQ(runner.executions(), 1u);
+    EXPECT_EQ(runner.memoHits(), 1u);
+    EXPECT_FALSE(res[0].cached);
+    EXPECT_TRUE(res[1].cached);
+    EXPECT_EQ(res[0].key, res[1].key);
+    expectSameRun(res[0].run(), res[1].run());
+
+    // Cross-run: the reused runner serves both jobs from its cache.
+    const auto again = runner.run(plan);
+    EXPECT_EQ(runner.executions(), 1u);
+    EXPECT_EQ(runner.memoHits(), 3u);
+    EXPECT_TRUE(again[0].cached);
+    EXPECT_TRUE(again[1].cached);
+    expectSameRun(res[0].run(), again[0].run());
+
+    runner.clearCache();
+    const auto cold = runner.run(plan);
+    EXPECT_EQ(runner.executions(), 2u);
+    EXPECT_FALSE(cold[0].cached);
+}
+
+TEST(Runner, MemoizationCanBeDisabled)
+{
+    RunSetup base;
+    base.workload = "gzip";
+    base.input = "log";
+    base.maxInsts = 5'000;
+    base.machine = baselineConfig(4, 1);
+
+    ExperimentPlan plan;
+    plan.add("first", base);
+    plan.add("second", base);
+
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.memoize = false;
+    Runner runner(opts);
+    const auto res = runner.run(plan);
+
+    EXPECT_EQ(runner.executions(), 2u);
+    EXPECT_EQ(runner.memoHits(), 0u);
+    EXPECT_FALSE(res[1].cached);
+    expectSameRun(res[0].run(), res[1].run());
+}
+
+/**
+ * Collects (label, key) pairs and asserts global distinctness. Every
+ * perturbation of every field must move the key: a collision means
+ * the memo cache could silently serve one experiment's results as
+ * another's.
+ */
+class KeySweep
+{
+  public:
+    void
+    add(const std::string &label, std::uint64_t key)
+    {
+        for (const auto &[other, k] : keys)
+            EXPECT_NE(k, key) << "key collision: '" << other
+                              << "' vs '" << label << "'";
+        keys.emplace_back(label, key);
+    }
+
+    size_t size() const { return keys.size(); }
+
+  private:
+    std::vector<std::pair<std::string, std::uint64_t>> keys;
+};
+
+TEST(SetupKeys, EveryRunSetupFieldPerturbsTheKey)
+{
+    RunSetup base;
+    base.workload = "gzip";
+    base.input = "log";
+    base.maxInsts = 100'000;
+    base.machine = baselineConfig(16, 2);
+
+    KeySweep sweep;
+    sweep.add("base", base.key());
+
+    auto perturbed = [&](const char *label, auto mutate) {
+        RunSetup s = base;
+        mutate(s);
+        sweep.add(label, s.key());
+    };
+
+    perturbed("workload", [](RunSetup &s) { s.workload = "gcc"; });
+    perturbed("input", [](RunSetup &s) { s.input = "graphic"; });
+    perturbed("scale", [](RunSetup &s) { s.scale = 7; });
+    perturbed("maxInsts", [](RunSetup &s) { s.maxInsts = 100'001; });
+
+    auto machine = [&](const char *label, auto mutate) {
+        RunSetup s = base;
+        mutate(s.machine);
+        sweep.add(label, s.key());
+    };
+
+    machine("fetchWidth", [](auto &m) { m.fetchWidth = 8; });
+    machine("decodeWidth", [](auto &m) { m.decodeWidth = 8; });
+    machine("issueWidth", [](auto &m) { m.issueWidth = 8; });
+    machine("commitWidth", [](auto &m) { m.commitWidth = 8; });
+    machine("ifqSize", [](auto &m) { m.ifqSize = 32; });
+    machine("ruuSize", [](auto &m) { m.ruuSize = 128; });
+    machine("lsqSize", [](auto &m) { m.lsqSize = 64; });
+    machine("intAlu", [](auto &m) { m.intAlu = 8; });
+    machine("intMult", [](auto &m) { m.intMult = 2; });
+    machine("dl1Ports", [](auto &m) { m.dl1Ports = 4; });
+    machine("storeForwardLat", [](auto &m) { m.storeForwardLat = 1; });
+    machine("agenLat", [](auto &m) { m.agenLat = 2; });
+    machine("bpred", [](auto &m) { m.bpred = "gshare"; });
+    machine("redirectPenalty", [](auto &m) { m.redirectPenalty = 3; });
+    machine("schedLatency", [](auto &m) { m.schedLatency = 1; });
+    machine("maxTakenPerFetch", [](auto &m) { m.maxTakenPerFetch = 1; });
+    machine("noAddrCalcOp", [](auto &m) { m.noAddrCalcOp = true; });
+    machine("contextSwitchPeriod",
+            [](auto &m) { m.contextSwitchPeriod = 400'000; });
+
+    machine("hier.il1.size", [](auto &m) { m.hier.il1.size = 1024; });
+    machine("hier.dl1.size", [](auto &m) { m.hier.dl1.size = 1024; });
+    machine("hier.dl1.assoc", [](auto &m) { m.hier.dl1.assoc = 2; });
+    machine("hier.dl1.lineSize",
+            [](auto &m) { m.hier.dl1.lineSize = 64; });
+    machine("hier.dl1.hitLatency",
+            [](auto &m) { m.hier.dl1.hitLatency = 2; });
+    machine("hier.l2.size", [](auto &m) { m.hier.l2.size = 1024; });
+    machine("hier.memLatency", [](auto &m) { m.hier.memLatency = 90; });
+
+    machine("svf.enabled", [](auto &m) { m.svf.enabled = true; });
+    machine("svf.entries", [](auto &m) { m.svf.svf.entries = 512; });
+    machine("svf.ports", [](auto &m) { m.svf.svf.ports = 4; });
+    machine("svf.hitLatency",
+            [](auto &m) { m.svf.svf.hitLatency = 2; });
+    machine("svf.killOnShrink",
+            [](auto &m) { m.svf.svf.killOnShrink = false; });
+    machine("svf.fillOnAlloc",
+            [](auto &m) { m.svf.svf.fillOnAlloc = true; });
+    machine("svf.dirtyGranule",
+            [](auto &m) { m.svf.svf.dirtyGranule = 32; });
+    machine("svf.morphAllStackRefs",
+            [](auto &m) { m.svf.morphAllStackRefs = true; });
+    machine("svf.morphSpRefs",
+            [](auto &m) { m.svf.morphSpRefs = false; });
+    machine("svf.noSquash", [](auto &m) { m.svf.noSquash = true; });
+    machine("svf.squashPenalty",
+            [](auto &m) { m.svf.squashPenalty = 16; });
+    machine("svf.dynamicDisable",
+            [](auto &m) { m.svf.dynamicDisable = true; });
+    machine("svf.monitorRefs",
+            [](auto &m) { m.svf.monitorRefs = 512; });
+    machine("svf.missRateThreshold",
+            [](auto &m) { m.svf.missRateThreshold = 0.25; });
+    machine("svf.disableRefs",
+            [](auto &m) { m.svf.disableRefs = 1024; });
+
+    machine("stackCacheEnabled",
+            [](auto &m) { m.stackCacheEnabled = true; });
+    machine("stackCache.size",
+            [](auto &m) { m.stackCache.size = 4096; });
+    machine("stackCache.lineSize",
+            [](auto &m) { m.stackCache.lineSize = 64; });
+    machine("stackCache.hitLatency",
+            [](auto &m) { m.stackCache.hitLatency = 1; });
+    machine("stackCache.ports",
+            [](auto &m) { m.stackCache.ports = 4; });
+
+    EXPECT_GE(sweep.size(), 45u);
+}
+
+TEST(SetupKeys, EveryTrafficSetupFieldPerturbsTheKey)
+{
+    TrafficSetup base;
+    base.workload = "gzip";
+    base.input = "log";
+    base.maxInsts = 100'000;
+
+    KeySweep sweep;
+    sweep.add("base", base.key());
+
+    auto perturbed = [&](const char *label, auto mutate) {
+        TrafficSetup s = base;
+        mutate(s);
+        sweep.add(label, s.key());
+    };
+
+    perturbed("workload", [](auto &s) { s.workload = "gcc"; });
+    perturbed("input", [](auto &s) { s.input = "graphic"; });
+    perturbed("scale", [](auto &s) { s.scale = 3; });
+    perturbed("maxInsts", [](auto &s) { s.maxInsts = 100'001; });
+    perturbed("capacityBytes", [](auto &s) { s.capacityBytes = 4096; });
+    perturbed("ctxSwitchPeriod",
+              [](auto &s) { s.ctxSwitchPeriod = 400'000; });
+    perturbed("svfDirtyGranule",
+              [](auto &s) { s.svfDirtyGranule = 32; });
+    perturbed("svfKillOnShrink",
+              [](auto &s) { s.svfKillOnShrink = false; });
+    perturbed("svfFillOnAlloc",
+              [](auto &s) { s.svfFillOnAlloc = true; });
+
+    EXPECT_EQ(sweep.size(), 10u);
+}
+
+TEST(SetupKeys, JobKindsNeverCollide)
+{
+    // Identical field values, different kinds: the type tag alone
+    // must separate the key spaces.
+    RunSetup run;
+    run.workload = "gzip";
+    run.input = "log";
+    run.maxInsts = 100'000;
+
+    TrafficSetup traffic;
+    traffic.workload = "gzip";
+    traffic.input = "log";
+    traffic.maxInsts = 100'000;
+
+    ProfileSetup profile;
+    profile.workload = "gzip";
+    profile.input = "log";
+    profile.maxInsts = 100'000;
+
+    std::set<std::uint64_t> keys{run.key(), traffic.key(),
+                                 profile.key()};
+    EXPECT_EQ(keys.size(), 3u);
+
+    EXPECT_EQ(setupKey(JobSetup{run}), run.key());
+    EXPECT_EQ(setupKey(JobSetup{traffic}), traffic.key());
+    EXPECT_EQ(setupKey(JobSetup{profile}), profile.key());
+}
+
+TEST(SetupKeys, ExplicitProgramContentIsHashed)
+{
+    RunSetup named;
+    named.workload = "gzip";
+    named.input = "log";
+
+    RunSetup with_prog = named;
+    const workloads::WorkloadSpec &spec =
+        workloads::workload("gzip");
+    with_prog.program = std::make_shared<const isa::Program>(
+        spec.build("log", spec.testScale));
+    EXPECT_NE(named.key(), with_prog.key());
+
+    RunSetup other_prog = named;
+    other_prog.program = std::make_shared<const isa::Program>(
+        spec.build("graphic", spec.testScale));
+    EXPECT_NE(with_prog.key(), other_prog.key());
+
+    // Same program content in a distinct allocation: identical key
+    // (the content is hashed, not the pointer).
+    RunSetup same_prog = named;
+    same_prog.program = std::make_shared<const isa::Program>(
+        spec.build("log", spec.testScale));
+    EXPECT_EQ(with_prog.key(), same_prog.key());
+}
+
+TEST(JsonReportTest, EscapesAndStructure)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+
+    ExperimentPlan plan;
+    TrafficSetup s;
+    s.workload = "gzip";
+    s.input = "log";
+    s.maxInsts = 50'000;
+    plan.add("t\"ricky", s);
+
+    Runner runner;
+    JsonReport report;
+    report.add(runner.run(plan));
+    ASSERT_EQ(report.size(), 1u);
+
+    std::ostringstream os;
+    report.write(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema\": \"svf-bench-1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"t\\\"ricky\""), std::string::npos);
+    EXPECT_NE(doc.find("\"kind\": \"traffic\""), std::string::npos);
+    EXPECT_NE(doc.find("\"svf_quads_in\""), std::string::npos);
+}
+
+} // anonymous namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tier-2 smoke test: a full Figure-9-shaped sweep through the
+ * experiment runner.
+ *
+ * Every workload's first input runs the cycle model at three machine
+ * points (baseline, (2+0), (2+2)svf) plus a traffic measurement and
+ * a stack profile, all in one plan over the thread pool. The point
+ * is breadth, not numbers: every workload × every job kind must
+ * execute, memoize and serialize cleanly. Labelled tier2 — run with
+ * `ctest -L tier2` (it is an order of magnitude slower than the
+ * tier1 suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/json_report.hh"
+#include "harness/runner.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+using namespace svf::harness;
+
+namespace
+{
+
+constexpr std::uint64_t kRunInsts = 50'000;
+constexpr std::uint64_t kTrafficInsts = 200'000;
+
+TEST(SweepSmoke, FullSweepThroughRunner)
+{
+    const auto &specs = workloads::allWorkloads();
+    ASSERT_EQ(specs.size(), 12u);
+
+    ExperimentPlan plan;
+    size_t jobs_per_workload = 0;
+    for (const auto &spec : specs) {
+        const std::string &input = spec.inputs.front();
+        const std::string display = spec.name + "." + input;
+        size_t before = plan.size();
+
+        RunSetup base;
+        base.workload = spec.name;
+        base.input = input;
+        base.maxInsts = kRunInsts;
+        base.machine = baselineConfig(16, 1);
+        plan.add(display + "/base(1+0)", base);
+
+        RunSetup two_ports = base;
+        two_ports.machine = baselineConfig(16, 2);
+        plan.add(display + "/base(2+0)", two_ports);
+
+        RunSetup with_svf = two_ports;
+        applySvf(with_svf.machine, 1024, 2);
+        plan.add(display + "/(2+2)svf", with_svf);
+
+        TrafficSetup traffic;
+        traffic.workload = spec.name;
+        traffic.input = input;
+        traffic.maxInsts = kTrafficInsts;
+        plan.add(display + "/traffic", traffic);
+
+        ProfileSetup profile;
+        profile.workload = spec.name;
+        profile.input = input;
+        profile.maxInsts = kTrafficInsts;
+        plan.add(display + "/profile", profile);
+
+        jobs_per_workload = plan.size() - before;
+    }
+
+    Runner runner;       // jobs=0: hardware concurrency
+    const auto res = runner.run(plan);
+    ASSERT_EQ(res.size(), plan.size());
+    EXPECT_EQ(runner.executions(), plan.size());
+    EXPECT_EQ(runner.memoHits(), 0u);
+
+    for (size_t w = 0; w < specs.size(); ++w) {
+        const JobOutcome *jobs = &res[w * jobs_per_workload];
+        SCOPED_TRACE(specs[w].name);
+
+        // Each machine point simulated something, and adding ports
+        // (or the SVF) never slows the machine down.
+        const RunResult &base = jobs[0].run();
+        const RunResult &two = jobs[1].run();
+        const RunResult &svf = jobs[2].run();
+        EXPECT_GT(base.core.cycles, 0u);
+        EXPECT_GT(base.core.committed, 0u);
+        EXPECT_TRUE(base.outputOk);
+        EXPECT_TRUE(two.outputOk);
+        EXPECT_TRUE(svf.outputOk);
+        // Adding ports or the SVF must not meaningfully slow the
+        // machine (2% slack: squash-prone codes can give a little
+        // back at this budget).
+        EXPECT_LE(two.core.cycles,
+                  base.core.cycles + base.core.cycles / 50);
+        EXPECT_LE(svf.core.cycles,
+                  two.core.cycles + two.core.cycles / 50);
+        EXPECT_GT(svf.svfFastLoads + svf.svfFastStores +
+                      svf.svfReroutedLoads + svf.svfReroutedStores,
+                  0u);
+
+        const TrafficResult &traffic = jobs[3].traffic();
+        EXPECT_GT(traffic.insts, 0u);
+
+        const workloads::StackProfile &prof = jobs[4].profile();
+        EXPECT_GT(prof.memRefs, 0u);
+        EXPECT_GT(prof.stackRefs, 0u);
+    }
+
+    // The whole sweep serializes: one record per job, parseable
+    // structure markers present.
+    JsonReport report;
+    report.add(res);
+    EXPECT_EQ(report.size(), plan.size());
+    std::ostringstream os;
+    report.write(os);
+    const std::string doc = os.str();
+    EXPECT_EQ(doc.find('{'), 0u);
+    EXPECT_NE(doc.find("\"schema\": \"svf-bench-1\""),
+              std::string::npos);
+
+    // Re-running the identical plan is served entirely by the memo.
+    const auto again = runner.run(plan);
+    EXPECT_EQ(runner.executions(), plan.size());
+    EXPECT_EQ(runner.memoHits(), plan.size());
+    for (size_t i = 0; i < res.size(); ++i) {
+        EXPECT_TRUE(again[i].cached);
+        EXPECT_EQ(again[i].key, res[i].key);
+    }
+}
+
+} // anonymous namespace

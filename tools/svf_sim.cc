@@ -4,7 +4,9 @@
  *
  * Runs a registered workload or an SVA assembly file on any machine
  * configuration and dumps the full statistics, in the spirit of
- * sim-outorder's command line.
+ * sim-outorder's command line. Timing runs go through the
+ * harness::Runner, so repeated invocations inside one process share
+ * its memo cache and the run can be captured as JSON.
  *
  * Usage:
  *     svf-sim workload=crafty [input=ref] [scale=N]
@@ -24,20 +26,26 @@
  *     ctx_period=N     context switch period       (default off)
  *     functional=1     skip the cycle model (emulate only)
  *     dump_asm=1       disassemble the program before running
+ *     jobs=N           runner worker threads       (default 1)
+ *     json=FILE        write the run as a JSON record
+ *     progress=1       report job completion on stderr
  */
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "base/config.hh"
 #include "base/logging.hh"
 #include "harness/experiment.hh"
+#include "harness/json_report.hh"
+#include "harness/reporting.hh"
+#include "harness/runner.hh"
 #include "isa/assembler.hh"
 #include "isa/decode.hh"
 #include "isa/disasm.hh"
 #include "sim/emulator.hh"
-#include "uarch/ooo_core.hh"
 #include "workloads/registry.hh"
 
 using namespace svf;
@@ -104,10 +112,10 @@ makeMachine(const Config &cfg)
 }
 
 void
-dumpStats(const std::string &name, const uarch::OooCore &core,
-          const sim::Emulator &oracle)
+dumpStats(const std::string &name, const uarch::MachineConfig &m,
+          const harness::RunResult &r)
 {
-    const uarch::CoreStats &s = core.stats();
+    const uarch::CoreStats &s = r.core;
     std::printf("\n-- %s: timing statistics --\n", name.c_str());
     std::printf("sim_cycles            %llu\n",
                 (unsigned long long)s.cycles);
@@ -125,41 +133,40 @@ dumpStats(const std::string &name, const uarch::OooCore &core,
     std::printf("sp_interlocks         %llu\n",
                 (unsigned long long)s.spInterlocks);
     std::printf("dl1 hits / misses     %llu / %llu\n",
-                (unsigned long long)core.hier().dl1().hits(),
-                (unsigned long long)core.hier().dl1().misses());
+                (unsigned long long)r.dl1Hits,
+                (unsigned long long)r.dl1Misses);
     std::printf("l2 hits / misses      %llu / %llu\n",
-                (unsigned long long)core.hier().l2().hits(),
-                (unsigned long long)core.hier().l2().misses());
+                (unsigned long long)r.l2Hits,
+                (unsigned long long)r.l2Misses);
 
-    const core::SvfUnit &svf_unit = core.svfUnit();
-    if (svf_unit.enabled()) {
+    if (m.svf.enabled) {
         std::printf("svf fast loads/stores %llu / %llu\n",
-                    (unsigned long long)svf_unit.fastLoads(),
-                    (unsigned long long)svf_unit.fastStores());
+                    (unsigned long long)r.svfFastLoads,
+                    (unsigned long long)r.svfFastStores);
         std::printf("svf rerouted          %llu\n",
-                    (unsigned long long)(svf_unit.reroutedLoads() +
-                                         svf_unit.reroutedStores()));
+                    (unsigned long long)(r.svfReroutedLoads +
+                                         r.svfReroutedStores));
         std::printf("svf window misses     %llu\n",
-                    (unsigned long long)svf_unit.windowMisses());
+                    (unsigned long long)r.svfWindowMisses);
         std::printf("svf quads in / out    %llu / %llu\n",
-                    (unsigned long long)svf_unit.svf().quadsIn(),
-                    (unsigned long long)svf_unit.svf().quadsOut());
+                    (unsigned long long)r.svfQuadsIn,
+                    (unsigned long long)r.svfQuadsOut);
         std::printf("svf squashes          %llu\n",
                     (unsigned long long)s.squashes);
-        if (svf_unit.params().dynamicDisable) {
+        if (m.svf.dynamicDisable) {
             std::printf("svf disable episodes  %llu (%llu refs "
                         "bypassed)\n",
-                        (unsigned long long)svf_unit.disableEpisodes(),
-                        (unsigned long long)svf_unit.refsWhileDisabled());
+                        (unsigned long long)r.svfDisableEpisodes,
+                        (unsigned long long)r.svfRefsWhileDisabled);
         }
     }
-    if (const mem::StackCache *sc = core.stackCache()) {
+    if (m.stackCacheEnabled) {
         std::printf("stack$ hits / misses  %llu / %llu\n",
-                    (unsigned long long)sc->hits(),
-                    (unsigned long long)sc->misses());
+                    (unsigned long long)r.scHits,
+                    (unsigned long long)r.scMisses);
         std::printf("stack$ quads in/out   %llu / %llu\n",
-                    (unsigned long long)sc->quadsIn(),
-                    (unsigned long long)sc->quadsOut());
+                    (unsigned long long)r.scQuadsIn,
+                    (unsigned long long)r.scQuadsOut);
     }
     if (s.ctxSwitches) {
         std::printf("context switches      %llu (svf %llu B, "
@@ -170,9 +177,9 @@ dumpStats(const std::string &name, const uarch::OooCore &core,
                     (unsigned long long)s.dl1CtxLines);
     }
     std::printf("program halted        %s\n",
-                oracle.halted() ? "yes" : "no (budget reached)");
-    if (!oracle.output().empty())
-        std::printf("program output:\n%s", oracle.output().c_str());
+                r.completed ? "yes" : "no (budget reached)");
+    if (!r.output.empty())
+        std::printf("program output:\n%s", r.output.c_str());
 }
 
 } // anonymous namespace
@@ -211,11 +218,30 @@ main(int argc, char **argv)
         if (!emu.output().empty())
             std::printf("output:\n%s", emu.output().c_str());
     } else {
-        uarch::MachineConfig m = makeMachine(cfg);
-        sim::Emulator oracle(prog);
-        uarch::OooCore core(m, oracle);
-        core.run(budget);
-        dumpStats(name, core, oracle);
+        harness::RunSetup s;
+        s.maxInsts = budget;
+        s.machine = makeMachine(cfg);
+        s.program =
+            std::make_shared<const isa::Program>(std::move(prog));
+
+        harness::ExperimentPlan plan;
+        plan.add(name, s);
+
+        harness::RunnerOptions opts;
+        opts.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
+        if (cfg.getBool("progress", false))
+            opts.progress = harness::stderrProgress();
+        harness::Runner runner(opts);
+        const auto res = runner.run(plan);
+
+        dumpStats(name, s.machine, res[0].run());
+
+        std::string json_path = cfg.getString("json", "");
+        if (!json_path.empty()) {
+            harness::JsonReport report;
+            report.add(res);
+            report.writeFile(json_path);
+        }
     }
 
     for (const auto &key : cfg.unusedKeys())
