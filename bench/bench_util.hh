@@ -70,9 +70,16 @@ allInputs(bool first_input_only = false)
 class Bench
 {
   public:
+    /**
+     * @param default_jobs default worker-thread count when the user
+     *        passes no jobs= (0 = hardware concurrency). Wall-time
+     *        measuring benches set 1: parallel jobs contend for
+     *        cores and poison each other's throughput numbers.
+     */
     Bench(int argc, char **argv, const std::string &title,
           const std::string &paper_ref,
-          std::uint64_t default_budget = 300'000)
+          std::uint64_t default_budget = 300'000,
+          unsigned default_jobs = 0)
         : _cfg(Config::fromArgs(argc, argv))
     {
         _budget = _cfg.getUint("insts", default_budget);
@@ -80,7 +87,7 @@ class Bench
         _jsonPath = _cfg.getString("json", "");
         harness::RunnerOptions opts;
         opts.jobs =
-            static_cast<unsigned>(_cfg.getUint("jobs", 0));
+            static_cast<unsigned>(_cfg.getUint("jobs", default_jobs));
         if (_cfg.getBool("progress", false))
             opts.progress = harness::stderrProgress();
         _runner = std::make_unique<harness::Runner>(opts);
@@ -91,6 +98,14 @@ class Bench
     std::uint64_t budget() const { return _budget; }
     bool csv() const { return _csv; }
     harness::Runner &runner() { return *_runner; }
+
+    /** Use @p path as the json= sink when the user gave none. */
+    void
+    jsonDefault(const std::string &path)
+    {
+        if (_jsonPath.empty())
+            _jsonPath = path;
+    }
 
     /** Run @p plan; outcomes feed the JSON report automatically. */
     std::vector<harness::JobOutcome>

@@ -155,4 +155,23 @@ speedupPct(const RunResult &base, const RunResult &opt)
     return sp;
 }
 
+double
+hostMips(const RunResult &r, double wall_seconds)
+{
+    if (wall_seconds <= 0.0)
+        return 0.0;
+    double v = static_cast<double>(r.core.committed) /
+               wall_seconds / 1e6;
+    return std::isfinite(v) ? v : 0.0;
+}
+
+double
+hostCyclesPerSec(const RunResult &r, double wall_seconds)
+{
+    if (wall_seconds <= 0.0)
+        return 0.0;
+    double v = static_cast<double>(r.core.cycles) / wall_seconds;
+    return std::isfinite(v) ? v : 0.0;
+}
+
 } // namespace svf::harness

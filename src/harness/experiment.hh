@@ -130,6 +130,20 @@ void applyStackCache(uarch::MachineConfig &cfg, std::uint64_t size,
  */
 double speedupPct(const RunResult &base, const RunResult &opt);
 
+/**
+ * @name Host-throughput metrics
+ *
+ * Simulator speed, not simulated speed: how many simulated
+ * instructions (MIPS) or cycles the host chewed through per wall
+ * second. Non-positive wall time (a memoized job, or a clock
+ * glitch) returns 0 — distinguishable from any real rate and safe
+ * in ratios guarded by the caller.
+ */
+/// @{
+double hostMips(const RunResult &r, double wall_seconds);
+double hostCyclesPerSec(const RunResult &r, double wall_seconds);
+/// @}
+
 } // namespace svf::harness
 
 #endif // SVF_HARNESS_EXPERIMENT_HH

@@ -74,6 +74,10 @@ runCounters(const RunResult &r)
     w.num("squashes", r.core.squashes);
     w.num("sp_interlocks", r.core.spInterlocks);
     w.num("lsq_forwards", r.core.lsqForwards);
+    w.num("disambig_scans", r.core.disambigScans);
+    w.num("disambig_scan_steps", r.core.disambigScanSteps);
+    w.num("reroute_checks", r.core.rerouteChecks);
+    w.num("reroute_scan_steps", r.core.rerouteScanSteps);
     w.num("ctx_switches", r.core.ctxSwitches);
     w.num("svf_ctx_bytes", r.core.svfCtxBytes);
     w.num("sc_ctx_bytes", r.core.scCtxBytes);
@@ -178,6 +182,11 @@ JsonReport::add(const JobOutcome &outcome)
         d.num("ipc", r->ipc());
         d.boolean("completed", r->completed);
         d.boolean("output_ok", r->outputOk);
+        // Host throughput (0 for cached jobs — no wall time was
+        // spent, and 0 is distinguishable from any real rate).
+        d.num("host_mips", hostMips(*r, outcome.wallSeconds));
+        d.num("host_cycles_per_sec",
+              hostCyclesPerSec(*r, outcome.wallSeconds));
         w.field("derived", d.finish());
     } else if (const TrafficResult *t =
                    std::get_if<TrafficResult>(&outcome.value)) {

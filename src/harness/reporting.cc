@@ -46,6 +46,26 @@ pct(double v, int prec)
     return buf;
 }
 
+std::string
+rate(double per_sec, int prec)
+{
+    const char *suffix = "";
+    double v = per_sec;
+    if (v >= 1e9) {
+        v /= 1e9;
+        suffix = "G";
+    } else if (v >= 1e6) {
+        v /= 1e6;
+        suffix = "M";
+    } else if (v >= 1e3) {
+        v /= 1e3;
+        suffix = "k";
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%s/s", prec, v, suffix);
+    return buf;
+}
+
 void
 banner(const std::string &title, const std::string &paper_ref)
 {

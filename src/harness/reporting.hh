@@ -27,6 +27,13 @@ double mean(const std::vector<double> &values);
 /** "12.3%" style rendering. */
 std::string pct(double v, int prec = 1);
 
+/**
+ * Human rendering of a per-second rate: "1.23G/s", "456k/s",
+ * "12.3/s". Used by the host-throughput bench for simulated
+ * cycles/sec and MIPS next to the raw JSON numbers.
+ */
+std::string rate(double per_sec, int prec = 2);
+
 /** Standard bench banner with the paper reference. */
 void banner(const std::string &title, const std::string &paper_ref);
 

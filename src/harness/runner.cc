@@ -178,6 +178,7 @@ Runner::run(const ExperimentPlan &plan)
             work[w].wallSeconds = dt.count();
             std::lock_guard<std::mutex> g(lock);
             ++nExecuted;
+            wallTotal += work[w].wallSeconds;
             report(work[w].firstJob, false, work[w].wallSeconds);
         }
     };

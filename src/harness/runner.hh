@@ -141,6 +141,14 @@ class Runner
     std::uint64_t memoHits() const { return nMemoHits; }
     /// @}
 
+    /**
+     * Summed per-job wall time of every job actually executed
+     * (cumulative across run calls; cached jobs contribute 0).
+     * CPU-seconds of simulation, not elapsed time — with N worker
+     * threads, elapsed time can be up to N× smaller.
+     */
+    double totalWallSeconds() const { return wallTotal; }
+
     /** Drop all memoized results. */
     void clearCache() { memo.clear(); }
 
@@ -149,6 +157,7 @@ class Runner
     unsigned nThreads;
     std::uint64_t nExecuted = 0;
     std::uint64_t nMemoHits = 0;
+    double wallTotal = 0.0;
     std::unordered_map<std::uint64_t, JobValue> memo;
 };
 

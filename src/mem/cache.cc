@@ -24,15 +24,34 @@ Cache::Cache(const CacheParams &params) : _params(params)
         fatal("cache '%s': set count must be a power of two",
               params.name.c_str());
     lines.resize(numSets * params.assoc);
+    mruWay.assign(numSets, 0);
 }
 
 CacheAccess
 Cache::access(Addr addr, bool write)
 {
     CacheAccess out;
-    std::uint64_t set = setOf(addr);
-    Addr tag = tagOf(addr);
+    // One shift serves both lookups: the stored tag is the full line
+    // address, and the set index is just its low bits.
+    Addr tag = addr >> lineShift;
+    std::uint64_t set = tag & (numSets - 1);
     Line *base = &lines[set * _params.assoc];
+
+    // MRU-way-first: repeated touches to a hot line (the common case
+    // by far) hit without walking the set. A hit changes no
+    // replacement-relevant state beyond what the full walk would, so
+    // stats are identical either way.
+    {
+        Line &mru = base[mruWay[set]];
+        if (mru.valid && mru.tag == tag) {
+            mru.lru = ++lruClock;
+            if (write)
+                mru.dirty = true;
+            ++nHits;
+            out.hit = true;
+            return out;
+        }
+    }
 
     Line *victim = base;
     for (unsigned w = 0; w < _params.assoc; ++w) {
@@ -43,6 +62,7 @@ Cache::access(Addr addr, bool write)
                 line.dirty = true;
             ++nHits;
             out.hit = true;
+            mruWay[set] = w;
             return out;
         }
         if (!line.valid) {
@@ -63,6 +83,7 @@ Cache::access(Addr addr, bool write)
     victim->valid = true;
     victim->dirty = write;
     victim->lru = ++lruClock;
+    mruWay[set] = static_cast<std::uint32_t>(victim - base);
     return out;
 }
 

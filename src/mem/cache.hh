@@ -110,6 +110,12 @@ class Cache
     };
 
     Addr lineAddr(Addr a) const { return a & ~Addr(lineMask); }
+
+    /**
+     * The stored tag is the full line address (set bits included),
+     * so the set index is derivable from the tag with one mask —
+     * access() computes the line-shift once and reuses it for both.
+     */
     std::uint64_t setOf(Addr a) const
     {
         return (a >> lineShift) & (numSets - 1);
@@ -121,6 +127,15 @@ class Cache
     std::uint64_t lineMask;
     std::uint64_t numSets;
     std::vector<Line> lines;            //!< numSets * assoc
+
+    /**
+     * Most-recently hit/filled way per set. Pure host-side fast
+     * path: temporal locality makes the MRU way the overwhelmingly
+     * likely hit, so access() probes it before walking the set. No
+     * modeled state depends on it.
+     */
+    std::vector<std::uint32_t> mruWay;
+
     std::uint64_t lruClock = 0;
 
     std::uint64_t nHits = 0;

@@ -1,9 +1,40 @@
 #include "uarch/machine_config.hh"
 
+#include <cstdlib>
+
 #include "base/logging.hh"
 
 namespace svf::uarch
 {
+
+const char *
+schedKindName(SchedKind kind)
+{
+    return kind == SchedKind::Scan ? "scan" : "event";
+}
+
+SchedKind
+parseSchedKind(const std::string &name)
+{
+    if (name == "scan")
+        return SchedKind::Scan;
+    if (name == "event")
+        return SchedKind::Event;
+    fatal("scheduler must be 'scan' or 'event' (got '%s')",
+          name.c_str());
+}
+
+SchedKind
+defaultSchedKind()
+{
+    static const SchedKind kind = [] {
+        const char *env = std::getenv("SVF_SCHED");
+        if (!env || !*env)
+            return SchedKind::Event;
+        return parseSchedKind(env);
+    }();
+    return kind;
+}
 
 MachineConfig
 MachineConfig::wide4()
@@ -62,7 +93,8 @@ MachineConfig::key(std::uint64_t seed) const
     seed = hashCombine(seed, std::uint64_t(stackCacheEnabled));
     seed = stackCache.key(seed);
     seed = hashCombine(seed, std::uint64_t(noAddrCalcOp));
-    return hashCombine(seed, contextSwitchPeriod);
+    seed = hashCombine(seed, contextSwitchPeriod);
+    return hashCombine(seed, std::uint64_t(sched));
 }
 
 MachineConfig

@@ -17,6 +17,40 @@ namespace svf::uarch
 {
 
 /**
+ * How the core finds issuable instructions each cycle.
+ *
+ * Both schedulers are *statistically bit-identical* — every
+ * CoreStats counter, SVF/cache statistic and the final cycle count
+ * match exactly (enforced by tests/uarch/sched_equiv_test). They
+ * differ only in host cost:
+ *
+ *   - Scan:  SimpleScalar-style full-window rescan every simulated
+ *            cycle — O(RUU occupancy) per cycle, even when the
+ *            window is stalled on a memory miss.
+ *   - Event: wakeup-driven ready lists plus a completion event
+ *            queue; cycles in which nothing can commit, issue,
+ *            dispatch or fetch are skipped in one step.
+ */
+enum class SchedKind : std::uint8_t
+{
+    Scan,
+    Event,
+};
+
+/** "scan" / "event". */
+const char *schedKindName(SchedKind kind);
+
+/** Parse a scheduler name; fatal() on anything unknown. */
+SchedKind parseSchedKind(const std::string &name);
+
+/**
+ * Process-wide default scheduler: $SVF_SCHED when set ("scan" or
+ * "event"), otherwise Event. Read once, at the first MachineConfig
+ * construction.
+ */
+SchedKind defaultSchedKind();
+
+/**
  * Full configuration of one simulated machine, combining the Table 2
  * processor model with the SVF / stack cache options of Section 5.
  */
@@ -101,6 +135,15 @@ struct MachineConfig
     /** Committed instructions between switches; 0 disables. */
     std::uint64_t contextSwitchPeriod = 0;
     /// @}
+
+    /**
+     * Issue scheduler implementation (host-performance switch; the
+     * simulated machine is identical either way). Defaults to
+     * $SVF_SCHED, or Event. Hashed into key() so the experiment
+     * runner never serves a scan result for an event request —
+     * which is what lets one plan cross-check both.
+     */
+    SchedKind sched = defaultSchedKind();
 
     /** Table 2's 4-wide machine. */
     static MachineConfig wide4();

@@ -1,5 +1,7 @@
 #include "uarch/ooo_core.hh"
 
+#include <algorithm>
+
 #include "base/bitfield.hh"
 #include "base/logging.hh"
 
@@ -15,6 +17,7 @@ OooCore::OooCore(const MachineConfig &config, sim::Emulator &oracle)
     if (cfg.stackCacheEnabled)
         sc = std::make_unique<mem::StackCache>(cfg.stackCache, _hier);
     bpred = makePredictor(cfg.bpred);
+    eventMode = cfg.sched == SchedKind::Event;
     for (auto &r : renameMap)
         r = NoProducer;
 }
@@ -30,18 +33,21 @@ OooCore::srcsReady(const RuuEntry &e) const
 }
 
 void
-OooCore::resolveDisambiguation(RuuEntry &e, std::uint64_t idx)
+OooCore::resolveDisambiguation(RuuEntry &e)
 {
     // All older store addresses are known; find the youngest older
-    // store overlapping this load. Stack locals are typically
-    // produced a few instructions earlier, so the backward scan is
-    // short in practice.
-    InstSeq front_seq = ruu.front().seq;
+    // store overlapping this load. windowStores holds exactly the
+    // in-window stores in program order, so the backward walk pays
+    // one step per store, not one per RUU entry — a window full of
+    // ALU ops costs nothing here.
+    ++_stats.disambigScans;
     const isa::DecodedInst &ldi = *e.info.di;
-    for (std::uint64_t j = idx; j-- > 0;) {
-        const RuuEntry &s = ruu.bySeq(front_seq + j);
-        if (!s.isStore)
-            continue;
+    auto it = std::lower_bound(windowStores.begin(),
+                               windowStores.end(), e.seq);
+    while (it != windowStores.begin()) {
+        --it;
+        ++_stats.disambigScanSteps;
+        const RuuEntry &s = ruu.bySeq(*it);
         const isa::DecodedInst &sdi = *s.info.di;
         if (rangesOverlap(s.info.ea, sdi.memSize, e.info.ea,
                           ldi.memSize)) {
@@ -55,20 +61,31 @@ OooCore::resolveDisambiguation(RuuEntry &e, std::uint64_t idx)
 }
 
 void
-OooCore::checkRerouteCollision(const RuuEntry &store, std::uint64_t idx)
+OooCore::checkRerouteCollision(const RuuEntry &store)
 {
     // Section 3.2: a store through a $gpr followed by a colliding
     // load through $sp. The load was morphed at decode, before this
     // store's address resolved, so it read a stale SVF value; a
-    // pipeline squash recovers.
-    InstSeq front_seq = ruu.front().seq;
+    // pipeline squash recovers. Only decode-morphed loads on the
+    // same quadword can collide, and morphedLoadWords indexes
+    // exactly those — the forward walk visits candidates, not the
+    // whole younger half of the window.
+    ++_stats.rerouteChecks;
+    auto mit = morphedLoadWords.find(store.info.ea >> 3);
+    if (mit == morphedLoadWords.end())
+        return;
+
     InstSeq squash_from = NoProducer;
-    for (std::uint64_t j = idx + 1; j < ruu.size(); ++j) {
-        RuuEntry &ld = ruu.bySeq(front_seq + j);
-        if (!ld.isLoad || ld.route != MemRoute::SvfFast)
+    std::set<InstSeq> &seqs = mit->second;
+    for (auto it = seqs.upper_bound(store.seq); it != seqs.end();) {
+        ++_stats.rerouteScanSteps;
+        if (!ruu.contains(*it)) {
+            // Squashed and not yet re-dispatched: prune in place.
+            it = seqs.erase(it);
             continue;
-        if ((ld.info.ea >> 3) != (store.info.ea >> 3))
-            continue;
+        }
+        RuuEntry &ld = ruu.bySeq(*it);
+        ++it;
         if (ld.svfProducer != NoProducer &&
             ld.svfProducer >= store.seq) {
             continue;           // already repaired, or the load
@@ -83,15 +100,14 @@ OooCore::checkRerouteCollision(const RuuEntry &store, std::uint64_t idx)
         ld.lsqForward = true;
     }
     if (squash_from != NoProducer) {
-        // Defer the pipeline squash to the end of the issue scan
-        // (removing entries would invalidate the scan's indices).
+        // Defer the pipeline squash to the end of the issue pass
+        // (removing entries would invalidate the walk).
         pendingSquashFrom = std::min(pendingSquashFrom, squash_from);
     }
 }
 
 bool
-OooCore::tryIssueMem(RuuEntry &e, std::uint64_t idx,
-                     bool older_store_addr_unknown)
+OooCore::tryIssueMem(RuuEntry &e, bool older_store_addr_unknown)
 {
     if (e.isStore) {
         // Issue = address generation (morphed stores: the register
@@ -123,7 +139,7 @@ OooCore::tryIssueMem(RuuEntry &e, std::uint64_t idx,
         e.completeCycle = now + 1;
         if (e.route == MemRoute::SvfReroute &&
             !svf->params().noSquash) {
-            checkRerouteCollision(e, idx);
+            checkRerouteCollision(e);
         }
         return true;
     }
@@ -171,7 +187,7 @@ OooCore::tryIssueMem(RuuEntry &e, std::uint64_t idx,
     if (older_store_addr_unknown)
         return false;
     if (!e.disambigDone)
-        resolveDisambiguation(e, idx);
+        resolveDisambiguation(e);
 
     bool forward = false;
     if (e.fwdStore != NoProducer && ruu.contains(e.fwdStore)) {
@@ -236,76 +252,219 @@ OooCore::tryIssueMem(RuuEntry &e, std::uint64_t idx,
     return true;
 }
 
-void
-OooCore::doIssue()
+bool
+OooCore::tryIssueEntry(RuuEntry &e, bool older_store_addr_unknown)
 {
-    if (ruu.empty())
-        return;
+    const isa::DecodedInst &di = *e.info.di;
+    bool issued_now = false;
 
-    bool older_store_addr_unknown = false;
-    InstSeq front_seq = ruu.front().seq;
+    if (di.memRef) {
+        issued_now = tryIssueMem(e, older_store_addr_unknown);
+    } else if (di.cls == isa::InstClass::IntMult) {
+        if (srcsReady(e) && multUsed < cfg.intMult) {
+            ++multUsed;
+            e.issued = true;
+            e.completeCycle = now + multLatency();
+            issued_now = true;
+        }
+    } else {
+        // IntAlu, Control, Sys: one-cycle ALU operations.
+        if (srcsReady(e) && aluUsed < cfg.intAlu) {
+            ++aluUsed;
+            e.issued = true;
+            e.completeCycle = now + 1;
+            issued_now = true;
+        }
+    }
 
-    // A store's address is known once its agen completed — or
-    // already at dispatch for decode-morphed references (that early
-    // resolution is the SVF's point; a morphed store gates its
-    // register-move issue on the data, not the address).
-    auto addr_unknown = [this](const RuuEntry &e) {
-        return e.isStore && !e.earlyAddr && !e.completed(now);
-    };
+    if (issued_now) {
+        ++issueUsed;
+        if (e.mispredicted && fetchWaitSeq &&
+            *fetchWaitSeq == e.seq) {
+            fetchResumeCycle = e.completeCycle +
+                cfg.redirectPenalty;
+            fetchWaitSeq.reset();
+        }
+    }
+    return issued_now;
+}
 
-    for (std::uint64_t idx = 0;
-         idx < ruu.size() && issueUsed < cfg.issueWidth; ++idx) {
-        RuuEntry &e = ruu.bySeq(front_seq + idx);
-        if (e.issued) {
+void
+OooCore::doIssueScan()
+{
+    if (!ruu.empty()) {
+        bool older_store_addr_unknown = false;
+        InstSeq front_seq = ruu.front().seq;
+
+        // A store's address is known once its agen completed — or
+        // already at dispatch for decode-morphed references (that
+        // early resolution is the SVF's point; a morphed store gates
+        // its register-move issue on the data, not the address).
+        auto addr_unknown = [this](const RuuEntry &e) {
+            return e.isStore && !e.earlyAddr && !e.completed(now);
+        };
+
+        for (std::uint64_t idx = 0;
+             idx < ruu.size() && issueUsed < cfg.issueWidth; ++idx) {
+            RuuEntry &e = ruu.bySeq(front_seq + idx);
+            if (!e.issued &&
+                now >= e.dispatchCycle + cfg.schedLatency) {
+                tryIssueEntry(e, older_store_addr_unknown);
+            }
             if (addr_unknown(e))
                 older_store_addr_unknown = true;
-            continue;
         }
-        if (now < e.dispatchCycle + cfg.schedLatency) {
-            if (addr_unknown(e))
-                older_store_addr_unknown = true;
-            continue;
-        }
-
-        const isa::DecodedInst &di = *e.info.di;
-        bool issued_now = false;
-
-        if (di.memRef) {
-            issued_now = tryIssueMem(e, idx, older_store_addr_unknown);
-        } else if (di.cls == isa::InstClass::IntMult) {
-            if (srcsReady(e) && multUsed < cfg.intMult) {
-                ++multUsed;
-                e.issued = true;
-                e.completeCycle = now + multLatency();
-                issued_now = true;
-            }
-        } else {
-            // IntAlu, Control, Sys: one-cycle ALU operations.
-            if (srcsReady(e) && aluUsed < cfg.intAlu) {
-                ++aluUsed;
-                e.issued = true;
-                e.completeCycle = now + 1;
-                issued_now = true;
-            }
-        }
-
-        if (issued_now) {
-            ++issueUsed;
-            if (e.mispredicted && fetchWaitSeq &&
-                *fetchWaitSeq == e.seq) {
-                fetchResumeCycle = e.completeCycle +
-                    cfg.redirectPenalty;
-                fetchWaitSeq.reset();
-            }
-        }
-        if (addr_unknown(e))
-            older_store_addr_unknown = true;
     }
 
     if (pendingSquashFrom != NoProducer) {
         performReplay(pendingSquashFrom);
         pendingSquashFrom = NoProducer;
     }
+}
+
+void
+OooCore::doIssueEvent()
+{
+    issueEligibleAt.reset();
+
+    if (!sched.candidates.empty()) {
+        // The candidate walk visits the same unissued entries in the
+        // same program order as the full scan, and the merge with
+        // unknownAddrStores reproduces the scan's cumulative "older
+        // store address unknown" prefix flag exactly: a store stays
+        // in the set until its completion event fires, which is the
+        // cycle the scan's !completed(now) first turns false.
+        auto us = sched.unknownAddrStores.begin();
+        const auto us_end = sched.unknownAddrStores.end();
+        bool older_store_addr_unknown = false;
+
+        for (auto it = sched.candidates.begin();
+             it != sched.candidates.end() &&
+                 issueUsed < cfg.issueWidth;) {
+            InstSeq seq = *it;
+            while (us != us_end && *us < seq) {
+                older_store_addr_unknown = true;
+                ++us;
+            }
+            RuuEntry &e = ruu.bySeq(seq);
+            if (now < e.dispatchCycle + cfg.schedLatency) {
+                // Dispatch happens in program order, so
+                // dispatchCycle is monotone in seq: every younger
+                // candidate is ineligible too. Remember the boundary
+                // for the idle-skip bound.
+                issueEligibleAt = e.dispatchCycle + cfg.schedLatency;
+                break;
+            }
+            if (tryIssueEntry(e, older_store_addr_unknown)) {
+                sched.pushEvent(e.completeCycle, e.seq);
+                it = sched.candidates.erase(it);
+            } else {
+                // Lost a port or an operand gate the classifier
+                // cannot see (LSQ/SVF forwarding); re-arbitrate on
+                // the next active cycle.
+                ++it;
+            }
+        }
+    }
+
+    if (pendingSquashFrom != NoProducer) {
+        performReplay(pendingSquashFrom);
+        pendingSquashFrom = NoProducer;
+        schedRebuild();
+    }
+}
+
+void
+OooCore::processEvents()
+{
+    while (auto ev = sched.popEventDue(now)) {
+        if (!ruu.contains(ev->seq))
+            continue;           // committed (waiters already woken)
+        RuuEntry &p = ruu.bySeq(ev->seq);
+        if (!p.issued || p.completeCycle != ev->cycle)
+            continue;           // orphaned by a replay; the rebuild
+                                // re-registered everything
+
+        // The store's address is known from this cycle on — exactly
+        // when the scan's !completed(now) check would flip.
+        sched.unknownAddrStores.erase(ev->seq);
+
+        auto it = sched.waiters.find(ev->seq);
+        if (it == sched.waiters.end())
+            continue;
+        std::vector<InstSeq> list = std::move(it->second);
+        sched.waiters.erase(it);
+        for (InstSeq w : list) {
+            ++sched.stats().wakeups;
+            if (!ruu.contains(w))
+                continue;
+            RuuEntry &e = ruu.bySeq(w);
+            if (e.issued)
+                continue;
+            schedClassify(e);
+        }
+    }
+}
+
+void
+OooCore::schedClassify(RuuEntry &e)
+{
+    // Wait on the first incomplete register source; with none, the
+    // entry is an issue candidate (memory gates — ports, LSQ order,
+    // SVF forwarding — are re-checked by the issue walk itself,
+    // exactly as the scan does).
+    for (unsigned i = 0; i < e.nSrc; ++i) {
+        InstSeq p = e.src[i];
+        if (p == NoProducer || !ruu.contains(p))
+            continue;
+        if (!ruu.bySeq(p).completed(now)) {
+            sched.addWaiter(p, e.seq);
+            return;
+        }
+    }
+    sched.candidates.insert(e.seq);
+}
+
+void
+OooCore::schedRegister(RuuEntry &e)
+{
+    if (e.isStore && !e.earlyAddr)
+        sched.unknownAddrStores.insert(e.seq);
+    schedClassify(e);
+}
+
+void
+OooCore::schedRebuild()
+{
+    // A replay invalidated candidates, waiter lists and the unknown-
+    // address set wholesale; re-derive them from the surviving
+    // window. Heap events for squashed entries become stale and are
+    // dropped by processEvents' validation.
+    sched.clearDerived();
+    for (RuuEntry &e : ruu) {
+        if (e.isStore && !e.earlyAddr && !e.completed(now))
+            sched.unknownAddrStores.insert(e.seq);
+        if (!e.issued)
+            schedClassify(e);
+    }
+}
+
+Cycle
+OooCore::nextWakeCycle() const
+{
+    Cycle next = NoWake;
+    if (auto ev = sched.nextEventCycle())
+        next = std::min(next, *ev);
+    if (issueEligibleAt)
+        next = std::min(next, *issueEligibleAt);
+    if ((!replayQueue.empty() || !ifq.empty()) &&
+        dispatchStallUntil > now) {
+        next = std::min(next, dispatchStallUntil);
+    }
+    bool fetch_pending = !oracleDone || fetchBuffer;
+    if (fetch_pending && !fetchWaitSeq && fetchResumeCycle > now)
+        next = std::min(next, fetchResumeCycle);
+    return next;
 }
 
 void
@@ -320,6 +479,8 @@ OooCore::performReplay(InstSeq from)
         ruu.popBack();
         if (e.info.di->memRef)
             lsq.remove();
+        if (e.isStore)
+            windowStores.pop_back();
         e.issued = false;
         replayQueue.push_front(std::move(e));
     }
@@ -373,6 +534,16 @@ OooCore::doCommit()
         const isa::DecodedInst &di = *e.info.di;
         if (di.memRef) {
             lsq.remove();
+            if (e.isStore) {
+                windowStores.pop_front();
+            } else if (e.route == MemRoute::SvfFast) {
+                auto mit = morphedLoadWords.find(e.info.ea >> 3);
+                if (mit != morphedLoadWords.end()) {
+                    mit->second.erase(e.seq);
+                    if (mit->second.empty())
+                        morphedLoadWords.erase(mit);
+                }
+            }
             if (di.load)
                 ++_stats.loads;
             else
@@ -399,9 +570,10 @@ OooCore::doCommit()
     }
 }
 
-void
+unsigned
 OooCore::doDispatch()
 {
+    unsigned dispatched = 0;
     for (unsigned n = 0; n < cfg.decodeWidth; ++n) {
         if (now < dispatchStallUntil)
             break;
@@ -428,10 +600,17 @@ OooCore::doDispatch()
                               e.route == MemRoute::SvfReroute)) {
                 stackStores.record(e.info.ea, e.seq);
             }
+            if (e.isStore)
+                windowStores.push_back(e.seq);
+            else if (e.isLoad && e.route == MemRoute::SvfFast)
+                morphedLoadWords[e.info.ea >> 3].insert(e.seq);
             if (e.info.di->memRef)
                 lsq.add();
             e.dispatchCycle = now;
-            ruu.push(std::move(e));
+            RuuEntry &placed = ruu.push(std::move(e));
+            if (eventMode)
+                schedRegister(placed);
+            ++dispatched;
             continue;
         }
 
@@ -546,6 +725,10 @@ OooCore::doDispatch()
                           e.route == MemRoute::SvfReroute)) {
             stackStores.record(f.info.ea, e.seq);
         }
+        if (e.isStore)
+            windowStores.push_back(e.seq);
+        else if (e.isLoad && e.route == MemRoute::SvfFast)
+            morphedLoadWords[f.info.ea >> 3].insert(e.seq);
 
         if (specSp.onDispatch(di, e.seq))
             ++_stats.spInterlocks;
@@ -553,17 +736,22 @@ OooCore::doDispatch()
         if (di.memRef)
             lsq.add();
         e.dispatchCycle = now;
-        ruu.push(std::move(e));
+        RuuEntry &placed = ruu.push(std::move(e));
+        if (eventMode)
+            schedRegister(placed);
+        ++dispatched;
         ifq.pop_front();
     }
+    return dispatched;
 }
 
-void
+unsigned
 OooCore::doFetch()
 {
     if (now < fetchResumeCycle || fetchWaitSeq)
-        return;
+        return 0;
 
+    unsigned fetched = 0;
     unsigned taken_budget = cfg.maxTakenPerFetch;
     for (unsigned n = 0; n < cfg.fetchWidth; ++n) {
         if (ifq.size() >= cfg.ifqSize)
@@ -615,32 +803,92 @@ OooCore::doFetch()
             fetchWaitSeq = f.info.seq;
 
         ifq.push_back(std::move(f));
+        ++fetched;
         if (stop_group)
             break;
     }
+    return fetched;
+}
+
+void
+OooCore::panicDeadlock(std::uint64_t stalled_iters)
+{
+    auto u = [](auto v) { return static_cast<unsigned long long>(v); };
+    InstSeq head_seq = ruu.empty() ? NoProducer : ruu.front().seq;
+    int head_issued = ruu.empty() ? -1 : int(ruu.front().issued);
+    Cycle head_complete =
+        ruu.empty() ? 0 : ruu.front().completeCycle;
+    panic("pipeline deadlock (%s scheduler): no commit in %llu "
+          "active cycles; now=%llu committed=%llu "
+          "ruu=%llu head{seq=%llu issued=%d completeCycle=%llu} "
+          "ifq=%llu replay=%llu oracleDone=%d "
+          "fetchResumeCycle=%llu fetchWaitSeq=%lld "
+          "dispatchStallUntil=%llu",
+          schedKindName(cfg.sched), u(stalled_iters), u(now),
+          u(_stats.committed), u(ruu.size()), u(head_seq),
+          head_issued, u(head_complete), u(ifq.size()),
+          u(replayQueue.size()), int(oracleDone),
+          u(fetchResumeCycle),
+          fetchWaitSeq ? static_cast<long long>(*fetchWaitSeq) : -1LL,
+          u(dispatchStallUntil));
 }
 
 void
 OooCore::run(std::uint64_t max_insts)
 {
     fetchBudget = max_insts;
-    const Cycle deadlock_limit = 1'000'000'000;
+
+    // Forward-progress guard: active (evaluated) cycles since the
+    // last commit. An absolute cycle bound would be meaningless with
+    // idle-cycle skipping — `now` can legitimately exceed any fixed
+    // limit — and too slow to trip without it. The longest
+    // legitimate commit gap is bounded by window size × memory
+    // latency plus squash penalties, orders of magnitude below this.
+    const std::uint64_t stall_limit = 10'000'000;
+    std::uint64_t iters_since_commit = 0;
 
     while (!(oracleDone && !fetchBuffer && ifq.empty() &&
              ruu.empty() && replayQueue.empty())) {
         ++now;
+        if (eventMode) {
+            processEvents();
+            ++sched.stats().activeCycles;
+        }
         aluUsed = multUsed = 0;
         dl1PortsUsed = svfPortsUsed = scPortsUsed = 0;
         issueUsed = 0;
 
+        std::uint64_t committed_before = _stats.committed;
         doCommit();
-        doIssue();
-        doDispatch();
-        doFetch();
+        if (eventMode)
+            doIssueEvent();
+        else
+            doIssueScan();
+        unsigned dispatched = doDispatch();
+        unsigned fetched = doFetch();
 
-        if (now > deadlock_limit)
-            panic("pipeline deadlock: no forward progress by cycle "
-                  "%llu", static_cast<unsigned long long>(now));
+        bool committed = _stats.committed != committed_before;
+        if (committed)
+            iters_since_commit = 0;
+        else if (++iters_since_commit > stall_limit)
+            panicDeadlock(iters_since_commit);
+
+        if (eventMode && !committed && issueUsed == 0 &&
+            dispatched == 0 && fetched == 0) {
+            // Nothing happened and — with fresh port counters at the
+            // top of the cycle — nothing can happen until the next
+            // completion event, issue eligibility, dispatch-stall
+            // expiry or fetch redirect. Jump there in one step; the
+            // skipped cycles are statistically indistinguishable
+            // from ticking through them.
+            Cycle next = nextWakeCycle();
+            if (next == NoWake)
+                panicDeadlock(iters_since_commit);
+            if (next > now + 1) {
+                sched.stats().skippedCycles += next - now - 1;
+                now = next - 1;
+            }
+        }
     }
 
     _stats.cycles = now;

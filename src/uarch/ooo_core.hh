@@ -22,6 +22,8 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
+#include <unordered_map>
 
 #include "core/spec_sp.hh"
 #include "core/svf_unit.hh"
@@ -31,6 +33,7 @@
 #include "uarch/lsq.hh"
 #include "uarch/machine_config.hh"
 #include "uarch/ruu.hh"
+#include "uarch/sched.hh"
 
 namespace svf::uarch
 {
@@ -52,6 +55,20 @@ struct CoreStats
     std::uint64_t svfCtxBytes = 0;
     std::uint64_t scCtxBytes = 0;
     std::uint64_t dl1CtxLines = 0;
+
+    /**
+     * @name Disambiguation / collision scan accounting
+     * Steps taken by the store-index-bounded scans. Part of the
+     * simulated machine's bookkeeping, not the host scheduler's, so
+     * they are identical for both SchedKinds (the equivalence test
+     * diffs them along with everything else).
+     */
+    /// @{
+    std::uint64_t disambigScans = 0;     //!< resolveDisambiguation calls
+    std::uint64_t disambigScanSteps = 0; //!< stores examined by those
+    std::uint64_t rerouteChecks = 0;     //!< checkRerouteCollision calls
+    std::uint64_t rerouteScanSteps = 0;  //!< morphed loads examined
+    /// @}
 
     /**
      * Committed instructions per cycle. A run that never advanced
@@ -89,6 +106,15 @@ class OooCore
     void run(std::uint64_t max_insts = ~std::uint64_t(0));
 
     const CoreStats &stats() const { return _stats; }
+
+    /**
+     * Host-side scheduler counters (events, wakeups, skipped
+     * cycles). Deliberately not part of CoreStats: they describe the
+     * simulator, not the simulated machine, and differ between
+     * SchedKinds by design.
+     */
+    const SchedStats &schedStats() const { return sched.stats(); }
+
     mem::MemHierarchy &hier() { return _hier; }
     const mem::MemHierarchy &hier() const { return _hier; }
     core::SvfUnit &svfUnit() { return *svf; }
@@ -105,9 +131,43 @@ class OooCore
     };
 
     void doCommit();
-    void doIssue();
-    void doDispatch();
-    void doFetch();
+
+    /** SimpleScalar-style full-window issue scan (SchedKind::Scan). */
+    void doIssueScan();
+
+    /** Candidate-list issue walk (SchedKind::Event). */
+    void doIssueEvent();
+
+    /** @name Event-scheduler bookkeeping (SchedKind::Event only) */
+    /// @{
+    /** Pop due completion events and wake their waiters. */
+    void processEvents();
+
+    /** Register a freshly dispatched entry with the scheduler. */
+    void schedRegister(RuuEntry &e);
+
+    /**
+     * Place an unissued entry: waiter on its first incomplete
+     * producer, else issue candidate.
+     */
+    void schedClassify(RuuEntry &e);
+
+    /** Re-derive all scheduler state from the RUU after a replay. */
+    void schedRebuild();
+
+    /**
+     * Earliest future cycle at which any pipeline stage could make
+     * progress (completion events, issue eligibility, dispatch
+     * stall, fetch redirect). NoWake when nothing is pending.
+     */
+    Cycle nextWakeCycle() const;
+    /// @}
+
+    /** Dispatch up to decodeWidth instructions; returns how many. */
+    unsigned doDispatch();
+
+    /** Fetch up to fetchWidth instructions; returns how many. */
+    unsigned doFetch();
 
     /**
      * Squash recovery: remove every instruction from @p from on
@@ -118,12 +178,23 @@ class OooCore
     void performReplay(InstSeq from);
 
     bool srcsReady(const RuuEntry &e) const;
-    bool tryIssueMem(RuuEntry &e, std::uint64_t idx,
-                     bool older_store_addr_unknown);
-    void resolveDisambiguation(RuuEntry &e, std::uint64_t idx);
-    void checkRerouteCollision(const RuuEntry &store,
-                               std::uint64_t idx);
+
+    /**
+     * One issue attempt for an eligible, unissued entry; charges
+     * ports/slots and handles fetch redirect on success. Shared by
+     * both schedulers — this is what makes them bit-identical.
+     */
+    bool tryIssueEntry(RuuEntry &e, bool older_store_addr_unknown);
+
+    bool tryIssueMem(RuuEntry &e, bool older_store_addr_unknown);
+    void resolveDisambiguation(RuuEntry &e);
+    void checkRerouteCollision(const RuuEntry &store);
+
+    [[noreturn]] void panicDeadlock(std::uint64_t stalled_iters);
+
     unsigned multLatency() const { return 3; }
+
+    static constexpr Cycle NoWake = ~Cycle(0);
 
     MachineConfig cfg;
     sim::Emulator &oracle;
@@ -139,6 +210,35 @@ class OooCore
     std::deque<FetchedInst> ifq;
     std::deque<RuuEntry> replayQueue;
     InstSeq pendingSquashFrom = NoProducer;
+
+    /** Wakeup lists + completion events (SchedKind::Event). */
+    IssueScheduler sched;
+
+    /** True once, from cfg.sched — checked on every hot path. */
+    bool eventMode = false;
+
+    /**
+     * In-window stores in program order (both schedulers). Bounds
+     * resolveDisambiguation to actual stores instead of the whole
+     * window.
+     */
+    std::deque<InstSeq> windowStores;
+
+    /**
+     * In-window decode-morphed (SvfFast) loads by quadword address
+     * (both schedulers). Bounds checkRerouteCollision to same-word
+     * loads. Squashed entries are pruned lazily — re-dispatch
+     * re-inserts the same (word, seq) pair.
+     */
+    std::unordered_map<std::uint64_t, std::set<InstSeq>>
+        morphedLoadWords;
+
+    /**
+     * Earliest issue-eligibility (dispatchCycle + schedLatency) seen
+     * among candidates during the last doIssueEvent walk; bounds the
+     * idle-cycle skip.
+     */
+    std::optional<Cycle> issueEligibleAt;
 
     /** Architectural register -> youngest in-flight producer. */
     InstSeq renameMap[isa::NumRegs];

@@ -1,0 +1,7 @@
+/**
+ * @file
+ * The issue scheduler is header-only; this translation unit gives
+ * the header a home in the library.
+ */
+
+#include "uarch/sched.hh"

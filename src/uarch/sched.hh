@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Event-driven issue-scheduler bookkeeping for the out-of-order core.
+ *
+ * The classic SimpleScalar issue loop rescans the whole RUU every
+ * simulated cycle, re-polling every operand of every unissued
+ * instruction. That burns host time proportional to window size ×
+ * simulated cycles — most of it on instructions that cannot possibly
+ * issue because a producer has not completed. This component holds
+ * the state that inverts the relationship: instructions *wake up*
+ * when the value they wait on completes, and the core *skips* cycles
+ * in which nothing can happen at all.
+ *
+ * Three structures, all keyed by sequence number so they survive the
+ * RUU's deque reallocation:
+ *
+ *   - **candidates** — unissued entries whose register sources are
+ *     all complete, in program order. Only these are walked by the
+ *     issue stage; an entry that loses a structural port simply
+ *     stays in the set and re-arbitrates next cycle.
+ *   - **waiters** — per-producer lists of entries blocked on that
+ *     producer's completion. An entry waits on its first incomplete
+ *     source; when that completes it either re-registers on the next
+ *     incomplete source or graduates to the candidate set.
+ *   - **unknownAddrStores** — stores whose address is not yet known
+ *     (not early-resolved and not completed). The issue walk merges
+ *     this ordered set with the candidates to reproduce the scan's
+ *     "older store address unknown" prefix barrier exactly.
+ *
+ * Completions are a min-heap of (cycle, seq) events pushed at issue
+ * time. Events are validated against the live RUU entry when popped
+ * (a squash can orphan them), so stale events are harmless. The heap
+ * top also bounds how far the core may fast-forward `now` when a
+ * cycle does no work.
+ *
+ * The OooCore owns all policy (what "ready" means, issue order, port
+ * arbitration); this class is deliberately mechanism-only so the
+ * scan and event schedulers share every line of the actual issue
+ * logic — which is what makes them bit-identical.
+ */
+
+#ifndef SVF_UARCH_SCHED_HH
+#define SVF_UARCH_SCHED_HH
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace svf::uarch
+{
+
+/** Host-side counters of the event scheduler (not simulated state). */
+struct SchedStats
+{
+    std::uint64_t events = 0;       //!< completion events processed
+    std::uint64_t wakeups = 0;      //!< waiter-list notifications
+    std::uint64_t skippedCycles = 0; //!< idle cycles fast-forwarded
+    std::uint64_t activeCycles = 0; //!< cycles actually evaluated
+};
+
+/** One scheduled completion. */
+struct CompletionEvent
+{
+    Cycle cycle = 0;
+    InstSeq seq = 0;
+};
+
+/** Wakeup/event state of the event-driven issue scheduler. */
+class IssueScheduler
+{
+  public:
+    /** Unissued, source-complete entries in program order. */
+    std::set<InstSeq> candidates;
+
+    /** Producer seq -> entries waiting on its completion. */
+    std::unordered_map<InstSeq, std::vector<InstSeq>> waiters;
+
+    /** Stores whose address is still unknown, in program order. */
+    std::set<InstSeq> unknownAddrStores;
+
+    /** Register @p waiter as blocked on @p producer. */
+    void
+    addWaiter(InstSeq producer, InstSeq waiter)
+    {
+        waiters[producer].push_back(waiter);
+    }
+
+    /** Schedule a completion notification for @p seq at @p cycle. */
+    void
+    pushEvent(Cycle cycle, InstSeq seq)
+    {
+        events.push({cycle, seq});
+    }
+
+    /** Pop the next event due at or before @p now, if any. */
+    std::optional<CompletionEvent>
+    popEventDue(Cycle now)
+    {
+        if (events.empty() || events.top().cycle > now)
+            return std::nullopt;
+        CompletionEvent ev = events.top();
+        events.pop();
+        ++_stats.events;
+        return ev;
+    }
+
+    /** Cycle of the earliest pending event (possibly stale). */
+    std::optional<Cycle>
+    nextEventCycle() const
+    {
+        if (events.empty())
+            return std::nullopt;
+        return events.top().cycle;
+    }
+
+    /**
+     * Drop everything derived from RUU contents (candidates, waiter
+     * lists, unknown-address stores). The event heap survives — a
+     * replay can orphan events, and popEventDue callers re-validate
+     * against the live entry anyway.
+     */
+    void
+    clearDerived()
+    {
+        candidates.clear();
+        waiters.clear();
+        unknownAddrStores.clear();
+    }
+
+    SchedStats &stats() { return _stats; }
+    const SchedStats &stats() const { return _stats; }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const CompletionEvent &a,
+                   const CompletionEvent &b) const
+        {
+            return a.cycle > b.cycle ||
+                   (a.cycle == b.cycle && a.seq > b.seq);
+        }
+    };
+
+    std::priority_queue<CompletionEvent,
+                        std::vector<CompletionEvent>, Later> events;
+    SchedStats _stats;
+};
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_SCHED_HH

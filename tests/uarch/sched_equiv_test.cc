@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Scan vs event issue scheduler: statistical bit-identity.
+ *
+ * The event-driven scheduler (uarch/sched.hh) is a pure host-side
+ * optimization — every simulated outcome must match the full-window
+ * scan exactly. This suite runs the same setup under both SchedKinds
+ * and diffs every CoreStats counter, every RunResult counter and the
+ * program output, across the bench machine configurations (Table 2
+ * widths, SVF variants including squash-prone and no-squash, stack
+ * cache, no_addr_cal_op, context switching, gshare) and several
+ * workloads, plus a purpose-built reroute-collision program whose
+ * replay storms exercise the scheduler-rebuild path.
+ *
+ * Compiled twice: the tier1 binary uses a small instruction budget;
+ * the tier2 sweep (SVF_SCHED_EQUIV_TIER2) covers every workload's
+ * first input at a much larger budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "isa/builder.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+#include "workloads/registry.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+using namespace isa;
+
+#ifdef SVF_SCHED_EQUIV_TIER2
+constexpr std::uint64_t kInsts = 150'000;
+#else
+constexpr std::uint64_t kInsts = 20'000;
+#endif
+
+std::vector<std::pair<std::string, std::string>>
+testInputs()
+{
+#ifdef SVF_SCHED_EQUIV_TIER2
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &spec : workloads::allWorkloads())
+        out.emplace_back(spec.name, spec.inputs.front());
+    return out;
+#else
+    return {{"mcf", "inp"}, {"gzip", "program"}, {"parser", "ref"}};
+#endif
+}
+
+struct NamedConfig
+{
+    std::string name;
+    MachineConfig machine;
+};
+
+/** The machine points the bench binaries sweep, one of each kind. */
+std::vector<NamedConfig>
+benchConfigs()
+{
+    std::vector<NamedConfig> out;
+    out.push_back({"wide4", harness::baselineConfig(4)});
+    out.push_back({"wide8", harness::baselineConfig(8)});
+    out.push_back({"wide16(1+0)", harness::baselineConfig(16, 1)});
+    {
+        MachineConfig m = harness::baselineConfig(16);
+        harness::applySvf(m, 1024, 2);
+        out.push_back({"svf(2+2)", m});
+    }
+    {
+        // Tiny SVF: window misses, demand fills and reroutes.
+        MachineConfig m = harness::baselineConfig(16);
+        harness::applySvf(m, 64, 1);
+        out.push_back({"svf_tiny(64w)", m});
+    }
+    {
+        MachineConfig m = harness::baselineConfig(16);
+        harness::applySvf(m, 1024, 2);
+        m.svf.noSquash = true;
+        out.push_back({"svf_no_squash", m});
+    }
+    {
+        MachineConfig m = harness::baselineConfig(16);
+        harness::applyStackCache(m, 8 * 1024, 2);
+        out.push_back({"stack_cache", m});
+    }
+    {
+        MachineConfig m = harness::baselineConfig(16);
+        m.noAddrCalcOp = true;
+        out.push_back({"no_addr_cal_op", m});
+    }
+    {
+        MachineConfig m = harness::baselineConfig(16);
+        harness::applySvf(m, 1024, 2);
+        m.contextSwitchPeriod = 10'000;
+        out.push_back({"ctx_switch", m});
+    }
+    out.push_back({"gshare",
+                   harness::baselineConfig(16, 2, "gshare")});
+    return out;
+}
+
+#define SVF_EXPECT_FIELD_EQ(field)                                   \
+    EXPECT_EQ(scan.field, event.field) << what << ": " #field
+
+void
+expectCoreStatsEq(const CoreStats &scan, const CoreStats &event,
+                  const std::string &what)
+{
+    SVF_EXPECT_FIELD_EQ(cycles);
+    SVF_EXPECT_FIELD_EQ(committed);
+    SVF_EXPECT_FIELD_EQ(loads);
+    SVF_EXPECT_FIELD_EQ(stores);
+    SVF_EXPECT_FIELD_EQ(branches);
+    SVF_EXPECT_FIELD_EQ(mispredicts);
+    SVF_EXPECT_FIELD_EQ(squashes);
+    SVF_EXPECT_FIELD_EQ(spInterlocks);
+    SVF_EXPECT_FIELD_EQ(lsqForwards);
+    SVF_EXPECT_FIELD_EQ(disambigScans);
+    SVF_EXPECT_FIELD_EQ(disambigScanSteps);
+    SVF_EXPECT_FIELD_EQ(rerouteChecks);
+    SVF_EXPECT_FIELD_EQ(rerouteScanSteps);
+    SVF_EXPECT_FIELD_EQ(ctxSwitches);
+    SVF_EXPECT_FIELD_EQ(svfCtxBytes);
+    SVF_EXPECT_FIELD_EQ(scCtxBytes);
+    SVF_EXPECT_FIELD_EQ(dl1CtxLines);
+}
+
+void
+expectRunResultsEq(const harness::RunResult &scan,
+                   const harness::RunResult &event,
+                   const std::string &what)
+{
+    expectCoreStatsEq(scan.core, event.core, what);
+    SVF_EXPECT_FIELD_EQ(svfQuadsIn);
+    SVF_EXPECT_FIELD_EQ(svfQuadsOut);
+    SVF_EXPECT_FIELD_EQ(svfFastLoads);
+    SVF_EXPECT_FIELD_EQ(svfFastStores);
+    SVF_EXPECT_FIELD_EQ(svfReroutedLoads);
+    SVF_EXPECT_FIELD_EQ(svfReroutedStores);
+    SVF_EXPECT_FIELD_EQ(svfWindowMisses);
+    SVF_EXPECT_FIELD_EQ(svfDemandFills);
+    SVF_EXPECT_FIELD_EQ(svfDisableEpisodes);
+    SVF_EXPECT_FIELD_EQ(svfRefsWhileDisabled);
+    SVF_EXPECT_FIELD_EQ(scQuadsIn);
+    SVF_EXPECT_FIELD_EQ(scQuadsOut);
+    SVF_EXPECT_FIELD_EQ(scHits);
+    SVF_EXPECT_FIELD_EQ(scMisses);
+    SVF_EXPECT_FIELD_EQ(dl1Hits);
+    SVF_EXPECT_FIELD_EQ(dl1Misses);
+    SVF_EXPECT_FIELD_EQ(l2Hits);
+    SVF_EXPECT_FIELD_EQ(l2Misses);
+    SVF_EXPECT_FIELD_EQ(completed);
+    SVF_EXPECT_FIELD_EQ(outputOk);
+    SVF_EXPECT_FIELD_EQ(output);
+}
+
+#undef SVF_EXPECT_FIELD_EQ
+
+/** Every bench machine point × several workloads, both schedulers. */
+TEST(SchedEquiv, BenchConfigsBitIdentical)
+{
+    for (const auto &[workload, input] : testInputs()) {
+        for (const NamedConfig &nc : benchConfigs()) {
+            harness::RunSetup s;
+            s.workload = workload;
+            s.input = input;
+            s.maxInsts = kInsts;
+
+            s.machine = nc.machine;
+            s.machine.sched = SchedKind::Scan;
+            harness::RunResult scan = harness::runExperiment(s);
+
+            s.machine = nc.machine;
+            s.machine.sched = SchedKind::Event;
+            harness::RunResult event = harness::runExperiment(s);
+
+            expectRunResultsEq(scan, event,
+                               nc.name + "/" + workload + "." +
+                               input);
+            ASSERT_FALSE(HasFailure())
+                << "first divergence at " << nc.name << "/"
+                << workload << "." << input;
+        }
+    }
+}
+
+/**
+ * The Section 3.2 collision program (a $gpr store racing a morphed
+ * $sp load): squashes and replays must occur and stay identical —
+ * the replay path rebuilds the event scheduler's state wholesale.
+ */
+TEST(SchedEquiv, RerouteSquashReplayBitIdentical)
+{
+    auto make = [] {
+        ProgramBuilder pb("collide");
+        Label main = pb.here();
+        pb.lda(RegSP, -32, RegSP);
+        pb.li(RegS0, 400);
+        Label loop = pb.here();
+        pb.lda(RegT0, 8, RegSP);
+        pb.mulqi(RegS0, 3, RegT1);
+        pb.mulq(RegT1, RegT1, RegT1);
+        pb.stq(RegT1, 0, RegT0);        // rerouted store
+        pb.ldq(RegT2, 8, RegSP);        // colliding morphed load
+        pb.addq(RegT2, RegZero, RegT3);
+        pb.subqi(RegS0, 1, RegS0);
+        pb.bne(RegS0, loop);
+        pb.halt();
+        return pb.finish(main);
+    };
+
+    for (unsigned width : {4u, 16u}) {
+        MachineConfig cfg = MachineConfig::wide(width);
+        cfg.svf.enabled = true;
+
+        cfg.sched = SchedKind::Scan;
+        Program p1 = make();
+        sim::Emulator o1(p1);
+        OooCore scan_core(cfg, o1);
+        scan_core.run();
+
+        cfg.sched = SchedKind::Event;
+        Program p2 = make();
+        sim::Emulator o2(p2);
+        OooCore event_core(cfg, o2);
+        event_core.run();
+
+        const CoreStats &scan = scan_core.stats();
+        const CoreStats &event = event_core.stats();
+        EXPECT_GT(scan.squashes, 0u) << "collision coverage lost";
+        expectCoreStatsEq(scan, event,
+                          "collide/wide" + std::to_string(width));
+    }
+}
+
+/** Idle-skipping must actually engage, or the tentpole is a no-op. */
+TEST(SchedEquiv, EventModeSkipsIdleCycles)
+{
+    // Dependent loads that miss to memory: long idle gaps.
+    ProgramBuilder pb("misses");
+    Addr buf = pb.allocHeap(1 << 20, 8);
+    Label main = pb.here();
+    pb.li(RegT7, buf);
+    pb.li(RegT0, 0);
+    for (int i = 0; i < 200; ++i) {
+        pb.lda(RegT7, 4096, RegT7);     // next cold line
+        pb.addq(RegT0, RegT7, RegT1);   // chain through the load
+        pb.ldq(RegT0, 0, RegT1);        // cold miss to memory
+    }
+    pb.halt();
+    Program p = pb.finish(main);
+
+    MachineConfig cfg = MachineConfig::wide16();
+    cfg.sched = SchedKind::Event;
+    sim::Emulator oracle(p);
+    OooCore core(cfg, oracle);
+    core.run();
+
+    EXPECT_GT(core.schedStats().skippedCycles, 0u);
+    EXPECT_LT(core.schedStats().activeCycles, core.stats().cycles);
+    EXPECT_EQ(core.schedStats().activeCycles +
+                  core.schedStats().skippedCycles,
+              core.stats().cycles);
+}
+
+} // anonymous namespace
+} // namespace svf::uarch

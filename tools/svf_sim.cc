@@ -24,6 +24,9 @@
  *     stack_cache=0|1  decoupled stack cache instead of the SVF
  *     stack_cache.kb=N                             (default 8)
  *     ctx_period=N     context switch period       (default off)
+ *     sched=scan|event issue scheduler implementation; statistics
+ *                      are bit-identical, only host speed differs
+ *                      (default $SVF_SCHED, else event)
  *     functional=1     skip the cycle model (emulate only)
  *     dump_asm=1       disassemble the program before running
  *     jobs=N           runner worker threads       (default 1)
@@ -108,6 +111,9 @@ makeMachine(const Config &cfg)
     }
     m.noAddrCalcOp = cfg.getBool("no_addr_cal_op", false);
     m.contextSwitchPeriod = cfg.getUint("ctx_period", 0);
+    std::string sched = cfg.getString("sched", "");
+    if (!sched.empty())
+        m.sched = uarch::parseSchedKind(sched);
     return m;
 }
 
