@@ -14,6 +14,18 @@
  *     json=FILE    write the machine-readable report (json_report.hh)
  *     csv=1        render tables as CSV
  *     progress=1   per-job progress lines on stderr
+ *     sample=K,W,D[,warm]  interval-sample every cycle-model job:
+ *                  K detailed windows of W warmup + D measured
+ *                  instructions, fast-forwarding between them
+ *                  (ckpt/sampler.hh; ",warm" adds functional
+ *                  warming). Changes the results — estimates, not
+ *                  full simulations — and the setup keys.
+ *     ckpt=DIR     snapshot directory for the sampler fast-forwards
+ *                  (ckpt/snapshot.hh); repeated sampled runs of the
+ *                  same program skip re-emulation.
+ *     cache=DIR    disk-persistent result cache (ckpt/result_cache
+ *                  .hh): completed jobs are served as cached=true
+ *                  across process runs.
  */
 
 #ifndef SVF_BENCH_BENCH_UTIL_HH
@@ -24,9 +36,11 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "base/config.hh"
+#include "ckpt/sampler.hh"
 #include "harness/json_report.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
@@ -85,9 +99,13 @@ class Bench
         _budget = _cfg.getUint("insts", default_budget);
         _csv = _cfg.getBool("csv", false);
         _jsonPath = _cfg.getString("json", "");
+        _sample = ckpt::SamplePlan::parse(
+            _cfg.getString("sample", ""));
+        _ckptDir = _cfg.getString("ckpt", "");
         harness::RunnerOptions opts;
         opts.jobs =
             static_cast<unsigned>(_cfg.getUint("jobs", default_jobs));
+        opts.cacheDir = _cfg.getString("cache", "");
         if (_cfg.getBool("progress", false))
             opts.progress = harness::stderrProgress();
         _runner = std::make_unique<harness::Runner>(opts);
@@ -107,11 +125,30 @@ class Bench
             _jsonPath = path;
     }
 
-    /** Run @p plan; outcomes feed the JSON report automatically. */
+    /**
+     * Run @p plan; outcomes feed the JSON report automatically.
+     * With sample=/ckpt= set, every cycle-model job of the plan is
+     * rewritten to the sampled schedule first (the bench binary's
+     * plan construction stays sampling-oblivious).
+     */
     std::vector<harness::JobOutcome>
     run(const harness::ExperimentPlan &plan)
     {
-        std::vector<harness::JobOutcome> out = _runner->run(plan);
+        std::vector<harness::JobOutcome> out;
+        if (_sample.enabled() || !_ckptDir.empty()) {
+            harness::ExperimentPlan sampled = plan;
+            for (size_t i = 0; i < sampled.size(); ++i) {
+                auto *rs = std::get_if<harness::RunSetup>(
+                    &sampled.job(i).setup);
+                if (!rs)
+                    continue;
+                rs->sample = _sample;
+                rs->ckptDir = _ckptDir;
+            }
+            out = _runner->run(sampled);
+        } else {
+            out = _runner->run(plan);
+        }
         _json.add(out);
         return out;
     }
@@ -132,9 +169,7 @@ class Bench
     {
         if (!_jsonPath.empty())
             _json.writeFile(_jsonPath);
-        for (const auto &key : _cfg.unusedKeys())
-            std::fprintf(stderr, "warn: unused config key '%s'\n",
-                         key.c_str());
+        _cfg.warnUnused();
         return 0;
     }
 
@@ -143,6 +178,8 @@ class Bench
     std::uint64_t _budget = 0;
     bool _csv = false;
     std::string _jsonPath;
+    ckpt::SamplePlan _sample;
+    std::string _ckptDir;
     std::unique_ptr<harness::Runner> _runner;
     harness::JsonReport _json;
 };

@@ -20,6 +20,7 @@
  *     tolerance=PCT   allowed host-MIPS regression (default 30)
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +32,7 @@
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
+#include "sim/emulator.hh"
 #include "stats/table.hh"
 
 using namespace svf;
@@ -180,6 +182,32 @@ main(int argc, char **argv)
     b.print(t);
     std::printf("\ntotal simulation wall time: %.2fs\n",
                 b.runner().totalWallSeconds());
+
+    // Fast-forward rate: the checkpoint subsystem's functional-only
+    // mode on the same mcf workload the stall_heavy pair simulated
+    // in detail — the speed that interval sampling (sample=K,W,D)
+    // buys between detailed windows.
+    {
+        const workloads::WorkloadSpec &spec =
+            workloads::workload("mcf");
+        isa::Program prog = spec.build("inp", spec.defaultScale);
+        sim::Emulator emu(prog);
+        auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t n = emu.run(b.budget());
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        double ff_mips =
+            dt.count() > 0.0 ? double(n) / dt.count() / 1e6 : 0.0;
+        double det_mips =
+            harness::hostMips(res[0].run(), res[0].wallSeconds);
+        std::printf("fast-forward (mcf, functional): %.2f M "
+                    "insts/s", ff_mips);
+        if (det_mips > 0.0) {
+            std::printf("  (%.1fx the detailed scan rate)",
+                        ff_mips / det_mips);
+        }
+        std::printf("\n");
+    }
 
     // Slurp the baseline *before* finish() writes the JSON sink:
     // the default sink path and the committed baseline are the same

@@ -1,5 +1,7 @@
 #include "base/config.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "base/logging.hh"
@@ -116,6 +118,73 @@ Config::unusedKeys() const
             out.push_back(kv.first);
     }
     return out;
+}
+
+namespace
+{
+
+/** Levenshtein distance, early-exited at @p limit + 1. */
+std::size_t
+editDistance(const std::string &a, const std::string &b,
+             std::size_t limit)
+{
+    if (a.size() > b.size())
+        return editDistance(b, a, limit);
+    if (b.size() - a.size() > limit)
+        return limit + 1;
+    std::vector<std::size_t> row(a.size() + 1);
+    for (std::size_t i = 0; i <= a.size(); ++i)
+        row[i] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+        std::size_t prev = row[0];
+        row[0] = j;
+        std::size_t best = row[0];
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            std::size_t cur = row[i];
+            std::size_t sub = prev + (a[i - 1] != b[j - 1]);
+            row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+            prev = cur;
+            best = std::min(best, row[i]);
+        }
+        if (best > limit)
+            return limit + 1;
+    }
+    return row[a.size()];
+}
+
+} // anonymous namespace
+
+std::string
+Config::suggest(const std::string &unused_key) const
+{
+    constexpr std::size_t Limit = 2;
+    std::string best;
+    std::size_t best_dist = Limit + 1;
+    for (const auto &known : touched) {
+        std::size_t d = editDistance(unused_key, known, Limit);
+        if (d < best_dist) {
+            best_dist = d;
+            best = known;
+        }
+    }
+    return best;
+}
+
+void
+Config::warnUnused() const
+{
+    for (const auto &key : unusedKeys()) {
+        std::string guess = suggest(key);
+        if (guess.empty()) {
+            std::fprintf(stderr, "warn: unused config key '%s'\n",
+                         key.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "warn: unused config key '%s' (did you "
+                         "mean '%s'?)\n",
+                         key.c_str(), guess.c_str());
+        }
+    }
 }
 
 } // namespace svf

@@ -60,6 +60,19 @@ class Config
     /** Keys that were set but never read; use to catch typos. */
     std::vector<std::string> unusedKeys() const;
 
+    /**
+     * The key the program actually reads that is closest to
+     * @p unused_key (edit distance at most 2), or "" when nothing is
+     * close — "did you mean" for unused-key warnings.
+     */
+    std::string suggest(const std::string &unused_key) const;
+
+    /**
+     * Print the standard "warn: unused config key 'x' (did you mean
+     * 'y'?)" lines on stderr for every unused key.
+     */
+    void warnUnused() const;
+
   private:
     std::map<std::string, std::string> values;
     mutable std::set<std::string> touched;

@@ -1,0 +1,331 @@
+#include "ckpt/result_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "ckpt/sampler.hh"
+#include "ckpt/serialize.hh"
+
+namespace svf::ckpt
+{
+
+namespace
+{
+
+constexpr char Magic[8] = {'S', 'V', 'F', 'R', 'E', 'S', '0', '\0'};
+
+/** @name Per-type payload serializers
+ *
+ * Field order is the contract: append new fields at the end and
+ * bump ResultCache::FormatVersion on any change. Every integer goes
+ * through the little-endian ByteWriter, never memcpy.
+ */
+/// @{
+
+void
+putCoreStats(ByteWriter &w, const uarch::CoreStats &s)
+{
+    for (const CoreCounter &c : coreCounters())
+        w.u64(s.*(c.field));
+}
+
+void
+getCoreStats(ByteReader &r, uarch::CoreStats &s)
+{
+    for (const CoreCounter &c : coreCounters())
+        s.*(c.field) = r.u64();
+}
+
+void
+putRun(ByteWriter &w, const harness::RunResult &res)
+{
+    putCoreStats(w, res.core);
+    w.u64(res.svfQuadsIn);
+    w.u64(res.svfQuadsOut);
+    w.u64(res.svfFastLoads);
+    w.u64(res.svfFastStores);
+    w.u64(res.svfReroutedLoads);
+    w.u64(res.svfReroutedStores);
+    w.u64(res.svfWindowMisses);
+    w.u64(res.svfDemandFills);
+    w.u64(res.svfDisableEpisodes);
+    w.u64(res.svfRefsWhileDisabled);
+    w.u64(res.scQuadsIn);
+    w.u64(res.scQuadsOut);
+    w.u64(res.scHits);
+    w.u64(res.scMisses);
+    w.u64(res.dl1Hits);
+    w.u64(res.dl1Misses);
+    w.u64(res.l2Hits);
+    w.u64(res.l2Misses);
+    w.str(res.output);
+    w.u8(res.outputOk ? 1 : 0);
+    w.u8(res.completed ? 1 : 0);
+
+    const SampleEstimate &e = res.sampled;
+    w.u64(e.intervals);
+    w.u64(e.totalInsts);
+    w.u64(e.ffInsts);
+    w.u64(e.warmupInsts);
+    w.u64(e.sampledInsts);
+    w.u64(e.sampledCycles);
+    w.u64(e.estimatedCycles);
+    w.d64(e.ipcMean);
+    w.d64(e.ipcStddev);
+    w.u64(e.counterVariance.size());
+    for (double v : e.counterVariance)
+        w.d64(v);
+}
+
+void
+getRun(ByteReader &r, harness::RunResult &res)
+{
+    getCoreStats(r, res.core);
+    res.svfQuadsIn = r.u64();
+    res.svfQuadsOut = r.u64();
+    res.svfFastLoads = r.u64();
+    res.svfFastStores = r.u64();
+    res.svfReroutedLoads = r.u64();
+    res.svfReroutedStores = r.u64();
+    res.svfWindowMisses = r.u64();
+    res.svfDemandFills = r.u64();
+    res.svfDisableEpisodes = r.u64();
+    res.svfRefsWhileDisabled = r.u64();
+    res.scQuadsIn = r.u64();
+    res.scQuadsOut = r.u64();
+    res.scHits = r.u64();
+    res.scMisses = r.u64();
+    res.dl1Hits = r.u64();
+    res.dl1Misses = r.u64();
+    res.l2Hits = r.u64();
+    res.l2Misses = r.u64();
+    res.output = r.str();
+    res.outputOk = r.u8() != 0;
+    res.completed = r.u8() != 0;
+
+    SampleEstimate &e = res.sampled;
+    e.intervals = r.u64();
+    e.totalInsts = r.u64();
+    e.ffInsts = r.u64();
+    e.warmupInsts = r.u64();
+    e.sampledInsts = r.u64();
+    e.sampledCycles = r.u64();
+    e.estimatedCycles = r.u64();
+    e.ipcMean = r.d64();
+    e.ipcStddev = r.d64();
+    std::uint64_t nvar = r.u64();
+    e.counterVariance.clear();
+    for (std::uint64_t i = 0; i < nvar && r.ok(); ++i)
+        e.counterVariance.push_back(r.d64());
+}
+
+void
+putTraffic(ByteWriter &w, const harness::TrafficResult &res)
+{
+    w.u64(res.insts);
+    w.u64(res.svfQuadsIn);
+    w.u64(res.svfQuadsOut);
+    w.u64(res.scQuadsIn);
+    w.u64(res.scQuadsOut);
+    w.u64(res.ctxSwitches);
+    w.u64(res.svfCtxBytes);
+    w.u64(res.scCtxBytes);
+}
+
+void
+getTraffic(ByteReader &r, harness::TrafficResult &res)
+{
+    res.insts = r.u64();
+    res.svfQuadsIn = r.u64();
+    res.svfQuadsOut = r.u64();
+    res.scQuadsIn = r.u64();
+    res.scQuadsOut = r.u64();
+    res.ctxSwitches = r.u64();
+    res.svfCtxBytes = r.u64();
+    res.scCtxBytes = r.u64();
+}
+
+void
+putProfile(ByteWriter &w, const workloads::StackProfile &p)
+{
+    w.u64(p.insts);
+    w.u64(p.memRefs);
+    w.u64(p.stackRefs);
+    w.u64(p.globalRefs);
+    w.u64(p.heapRefs);
+    w.u64(p.otherRefs);
+    w.u64(p.stackSp);
+    w.u64(p.stackFp);
+    w.u64(p.stackGpr);
+    w.u64(p.maxDepthWords);
+    w.u64(p.depthSamples.size());
+    for (const auto &s : p.depthSamples) {
+        w.u64(s.first);
+        w.u64(s.second);
+    }
+    w.d64(p.avgOffsetBytes);
+    w.d64(p.within8k);
+    w.d64(p.within256);
+    w.u64(p.belowTos);
+    w.u64(p.offsetCdf.size());
+    for (double v : p.offsetCdf)
+        w.d64(v);
+}
+
+void
+getProfile(ByteReader &r, workloads::StackProfile &p)
+{
+    p.insts = r.u64();
+    p.memRefs = r.u64();
+    p.stackRefs = r.u64();
+    p.globalRefs = r.u64();
+    p.heapRefs = r.u64();
+    p.otherRefs = r.u64();
+    p.stackSp = r.u64();
+    p.stackFp = r.u64();
+    p.stackGpr = r.u64();
+    p.maxDepthWords = r.u64();
+    std::uint64_t nsamp = r.u64();
+    p.depthSamples.clear();
+    for (std::uint64_t i = 0; i < nsamp && r.ok(); ++i) {
+        std::uint64_t a = r.u64();
+        std::uint64_t b = r.u64();
+        p.depthSamples.emplace_back(a, b);
+    }
+    p.avgOffsetBytes = r.d64();
+    p.within8k = r.d64();
+    p.within256 = r.d64();
+    p.belowTos = r.u64();
+    std::uint64_t ncdf = r.u64();
+    p.offsetCdf.clear();
+    for (std::uint64_t i = 0; i < ncdf && r.ok(); ++i)
+        p.offsetCdf.push_back(r.d64());
+}
+
+/// @}
+
+constexpr std::uint8_t KindRun = 0;
+constexpr std::uint8_t KindTraffic = 1;
+constexpr std::uint8_t KindProfile = 2;
+
+} // anonymous namespace
+
+ResultCache::ResultCache(std::string dir) : _dir(std::move(dir))
+{
+    if (enabled() && !ensureDir(_dir)) {
+        warn("cannot create result-cache directory '%s'; disk "
+             "cache disabled", _dir.c_str());
+        _dir.clear();
+    }
+}
+
+std::string
+ResultCache::path(std::uint64_t key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.res",
+                  (unsigned long long)key);
+    return _dir + "/" + name;
+}
+
+bool
+ResultCache::store(std::uint64_t key, const CachedValue &value) const
+{
+    if (!enabled())
+        return false;
+
+    ByteWriter body;
+    body.u64(key);
+    if (const auto *run = std::get_if<harness::RunResult>(&value)) {
+        body.u8(KindRun);
+        putRun(body, *run);
+    } else if (const auto *traffic =
+                   std::get_if<harness::TrafficResult>(&value)) {
+        body.u8(KindTraffic);
+        putTraffic(body, *traffic);
+    } else {
+        body.u8(KindProfile);
+        putProfile(body,
+                   std::get<workloads::StackProfile>(value));
+    }
+
+    ByteWriter out;
+    out.bytes(reinterpret_cast<const std::uint8_t *>(Magic),
+              sizeof(Magic));
+    out.u32(FormatVersion);
+    out.bytes(body.data().data(), body.data().size());
+    out.u64(fnv1a(body.data().data(), body.data().size()));
+    if (!writeFileAtomic(path(key), out.data())) {
+        warn("cannot persist result %016llx to '%s'",
+             (unsigned long long)key, _dir.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultCache::load(std::uint64_t key, CachedValue &out) const
+{
+    if (!enabled())
+        return false;
+    std::string file = path(key);
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(file, bytes))
+        return false;
+
+    ByteReader r(bytes);
+    char magic[8] = {};
+    if (!r.bytes(reinterpret_cast<std::uint8_t *>(magic),
+                 sizeof(magic)) ||
+        std::memcmp(magic, Magic, sizeof(Magic)) != 0) {
+        warn("ignoring cached result '%s': bad magic", file.c_str());
+        return false;
+    }
+    if (r.u32() != FormatVersion)
+        return false;       // other version: silently regenerate
+    if (r.remaining() < 8) {
+        warn("ignoring cached result '%s': truncated", file.c_str());
+        return false;
+    }
+    const std::uint8_t *body = bytes.data() + sizeof(Magic) + 4;
+    std::size_t body_len = r.remaining() - 8;
+    if (fnv1a(body, body_len) !=
+        ByteReader(body + body_len, 8).u64()) {
+        warn("ignoring cached result '%s': digest mismatch",
+             file.c_str());
+        return false;
+    }
+
+    if (r.u64() != key) {
+        warn("ignoring cached result '%s': key mismatch",
+             file.c_str());
+        return false;
+    }
+    std::uint8_t kind = r.u8();
+    if (kind == KindRun) {
+        harness::RunResult res;
+        getRun(r, res);
+        out = std::move(res);
+    } else if (kind == KindTraffic) {
+        harness::TrafficResult res;
+        getTraffic(r, res);
+        out = res;
+    } else if (kind == KindProfile) {
+        workloads::StackProfile p;
+        getProfile(r, p);
+        out = std::move(p);
+    } else {
+        warn("ignoring cached result '%s': unknown kind %u",
+             file.c_str(), unsigned(kind));
+        return false;
+    }
+    if (!r.ok() || r.remaining() != 8) {
+        warn("ignoring cached result '%s': malformed payload",
+             file.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace svf::ckpt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Disk-persistent experiment-result cache.
+ *
+ * The harness::Runner memoizes finished jobs by their canonical
+ * setup key, but that cache dies with the process — iterating on one
+ * figure re-simulates every other workload each run. A ResultCache
+ * extends the memo across processes: each result is serialized to
+ * `<dir>/<16-hex-key>.res` (endian-stable, versioned, digest-
+ * checked) and any Runner pointed at the same directory serves it
+ * back without simulating.
+ *
+ * Correctness rests entirely on the setup key covering every field
+ * that could change a result (base/hash.hh discipline); the cache
+ * itself only guards against torn/corrupt files (atomic rename on
+ * write, digest check on read — bad entries warn and regenerate).
+ */
+
+#ifndef SVF_CKPT_RESULT_CACHE_HH
+#define SVF_CKPT_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "harness/experiment.hh"
+#include "harness/traffic.hh"
+#include "workloads/calibration.hh"
+
+namespace svf::ckpt
+{
+
+/** Same variant as harness::JobValue (kept in sync by the runner). */
+using CachedValue = std::variant<harness::RunResult,
+                                 harness::TrafficResult,
+                                 workloads::StackProfile>;
+
+class ResultCache
+{
+  public:
+    /** Bumped whenever any serialized result layout changes. */
+    static constexpr std::uint32_t FormatVersion = 1;
+
+    /** @p dir empty disables the cache (all ops become no-ops). */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !_dir.empty(); }
+
+    /** Load the result for @p key; false when absent or corrupt. */
+    bool load(std::uint64_t key, CachedValue &out) const;
+
+    /** Persist @p value under @p key (atomic; best-effort). */
+    bool store(std::uint64_t key, const CachedValue &value) const;
+
+    /** The file backing @p key (for tests and tooling). */
+    std::string path(std::uint64_t key) const;
+
+  private:
+    std::string _dir;
+};
+
+} // namespace svf::ckpt
+
+#endif // SVF_CKPT_RESULT_CACHE_HH

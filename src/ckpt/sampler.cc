@@ -1,0 +1,189 @@
+#include "ckpt/sampler.hh"
+
+#include <cmath>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "sim/emulator.hh"
+
+namespace svf::ckpt
+{
+
+SamplePlan
+SamplePlan::parse(const std::string &spec)
+{
+    SamplePlan plan;
+    if (spec.empty())
+        return plan;
+    std::vector<std::string> parts = split(spec, ',');
+    if (parts.size() < 3 || parts.size() > 4) {
+        fatal("bad sample spec '%s': expected K,W,D or K,W,D,warm",
+              spec.c_str());
+    }
+    std::uint64_t vals[3] = {};
+    for (int i = 0; i < 3; ++i) {
+        if (!parseUint(parts[i], vals[i])) {
+            fatal("bad sample spec '%s': '%s' is not an unsigned "
+                  "integer", spec.c_str(), parts[i].c_str());
+        }
+    }
+    plan.intervals = vals[0];
+    plan.warmupInsts = vals[1];
+    plan.detailedInsts = vals[2];
+    if (parts.size() == 4) {
+        if (parts[3] == "warm")
+            plan.functionalWarm = true;
+        else
+            fatal("bad sample spec '%s': trailing field must be "
+                  "'warm'", spec.c_str());
+    }
+    if (plan.intervals > 0 && plan.detailedInsts == 0) {
+        fatal("bad sample spec '%s': detailed window D must be "
+              "positive", spec.c_str());
+    }
+    return plan;
+}
+
+std::string
+SamplePlan::str() const
+{
+    std::string s = std::to_string(intervals) + "," +
+                    std::to_string(warmupInsts) + "," +
+                    std::to_string(detailedInsts);
+    if (functionalWarm)
+        s += ",warm";
+    return s;
+}
+
+std::uint64_t
+SamplePlan::key(std::uint64_t seed) const
+{
+    seed = hashCombine(seed, intervals);
+    seed = hashCombine(seed, warmupInsts);
+    seed = hashCombine(seed, detailedInsts);
+    return hashCombine(seed, std::uint64_t(functionalWarm));
+}
+
+const std::vector<CoreCounter> &
+coreCounters()
+{
+    using S = uarch::CoreStats;
+    static const std::vector<CoreCounter> counters = {
+        {"cycles", &S::cycles},
+        {"committed", &S::committed},
+        {"loads", &S::loads},
+        {"stores", &S::stores},
+        {"branches", &S::branches},
+        {"mispredicts", &S::mispredicts},
+        {"squashes", &S::squashes},
+        {"sp_interlocks", &S::spInterlocks},
+        {"lsq_forwards", &S::lsqForwards},
+        {"ctx_switches", &S::ctxSwitches},
+        {"svf_ctx_bytes", &S::svfCtxBytes},
+        {"sc_ctx_bytes", &S::scCtxBytes},
+        {"dl1_ctx_lines", &S::dl1CtxLines},
+        {"disambig_scans", &S::disambigScans},
+        {"disambig_scan_steps", &S::disambigScanSteps},
+        {"reroute_checks", &S::rerouteChecks},
+        {"reroute_scan_steps", &S::rerouteScanSteps},
+    };
+    return counters;
+}
+
+CoreStatsAccum::CoreStatsAccum()
+    : sums(coreCounters().size(), 0),
+      sumSquares(coreCounters().size(), 0.0)
+{}
+
+void
+CoreStatsAccum::add(const uarch::CoreStats &delta)
+{
+    const auto &counters = coreCounters();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        std::uint64_t v = delta.*(counters[i].field);
+        sums[i] += v;
+        sumSquares[i] += double(v) * double(v);
+    }
+    ++n;
+}
+
+std::uint64_t
+CoreStatsAccum::sum(std::size_t i) const
+{
+    return sums.at(i);
+}
+
+double
+CoreStatsAccum::mean(std::size_t i) const
+{
+    return n ? double(sums.at(i)) / double(n) : 0.0;
+}
+
+double
+CoreStatsAccum::variance(std::size_t i) const
+{
+    if (n == 0)
+        return 0.0;
+    double m = mean(i);
+    double v = sumSquares.at(i) / double(n) - m * m;
+    return v > 0.0 ? v : 0.0;    // clamp the -epsilon cancellation
+}
+
+uarch::CoreStats
+CoreStatsAccum::total() const
+{
+    uarch::CoreStats s;
+    const auto &counters = coreCounters();
+    for (std::size_t i = 0; i < counters.size(); ++i)
+        s.*(counters[i].field) = sums[i];
+    return s;
+}
+
+Sampler::Sampler(const SamplePlan &p, std::uint64_t b)
+    : plan(p), budget(b)
+{
+    svf_assert(plan.enabled());
+    chunk = budget / plan.intervals;
+    if (chunk == 0)
+        chunk = plan.warmupInsts + plan.detailedInsts;
+}
+
+Sampler::Interval
+Sampler::interval(std::uint64_t i) const
+{
+    svf_assert(i < plan.intervals);
+    Interval out;
+    std::uint64_t start = i * chunk;
+    std::uint64_t detail_len = plan.warmupInsts + plan.detailedInsts;
+    if (chunk > detail_len) {
+        out.ffTarget = start + (chunk - detail_len);
+        out.warmup = plan.warmupInsts;
+        out.detailed = plan.detailedInsts;
+    } else {
+        // The chunk is all detail: no fast-forward, and warmup
+        // yields to measurement if even W+D does not fit.
+        out.ffTarget = start;
+        out.detailed = std::min(plan.detailedInsts, chunk);
+        out.warmup = chunk - out.detailed;
+    }
+    return out;
+}
+
+std::uint64_t
+fastForward(sim::Emulator &emu, std::uint64_t target_icount,
+            uarch::OooCore *warm_core)
+{
+    std::uint64_t executed = 0;
+    sim::ExecInfo info;
+    while (emu.instCount() < target_icount && !emu.halted()) {
+        if (!emu.step(info))
+            break;
+        ++executed;
+        if (warm_core)
+            warm_core->warmFunctional(info);
+    }
+    return executed;
+}
+
+} // namespace svf::ckpt

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Interval sampling: fast-forward between detailed windows.
+ *
+ * Reproducing the paper's 10^9-instruction runs with the cycle model
+ * alone is prohibitive, but the architectural emulator executes the
+ * same stream orders of magnitude faster. A SamplePlan `K,W,D`
+ * splits the run's instruction budget into K equal chunks; within
+ * each chunk the tail `W + D` instructions go through the detailed
+ * model — W of them as warmup whose statistics are discarded, D as
+ * the measured window — and everything before them is executed
+ * functionally at full host speed (optionally warming the caches and
+ * branch predictor along the way).
+ *
+ * The per-interval CoreStats deltas are aggregated by CoreStatsAccum
+ * into whole-run estimates with a per-counter variance, so consumers
+ * can tell a tight estimate from one whose intervals disagree.
+ *
+ * The plan is part of the experiment setup key (RunSetup::key()):
+ * a sampled run and a full run of the same workload never share a
+ * memoized result.
+ */
+
+#ifndef SVF_CKPT_SAMPLER_HH
+#define SVF_CKPT_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/ooo_core.hh"
+
+namespace svf::sim { class Emulator; }
+
+namespace svf::ckpt
+{
+
+/** The `sample=K,W,D` schedule. Default-constructed = disabled. */
+struct SamplePlan
+{
+    /** Detailed measurement windows ("K"); 0 disables sampling. */
+    std::uint64_t intervals = 0;
+
+    /** Detailed warmup instructions per interval ("W"). */
+    std::uint64_t warmupInsts = 0;
+
+    /** Measured detailed instructions per interval ("D"). */
+    std::uint64_t detailedInsts = 0;
+
+    /**
+     * Warm caches and the branch predictor functionally during
+     * fast-forward (OooCore::warmFunctional). Costs host time per
+     * skipped instruction but removes most cold-structure bias when
+     * W is small relative to the fast-forwarded gap.
+     */
+    bool functionalWarm = false;
+
+    bool enabled() const { return intervals > 0; }
+
+    /**
+     * Parse "K,W,D" or "K,W,D,warm" (fatal on malformed input);
+     * an empty string returns a disabled plan.
+     */
+    static SamplePlan parse(const std::string &spec);
+
+    /** "K,W,D[,warm]" round-trip of parse(). */
+    std::string str() const;
+
+    /** Fold every field into @p seed (see base/hash.hh). */
+    std::uint64_t key(std::uint64_t seed) const;
+};
+
+/** One counter of uarch::CoreStats, by name (JSON/accumulators). */
+struct CoreCounter
+{
+    const char *name;
+    std::uint64_t uarch::CoreStats::*field;
+};
+
+/** Every CoreStats counter, cycles and committed first. */
+const std::vector<CoreCounter> &coreCounters();
+
+/**
+ * Accumulates per-interval CoreStats deltas: per-counter sum, mean
+ * and (population) variance across intervals.
+ */
+class CoreStatsAccum
+{
+  public:
+    CoreStatsAccum();
+
+    void add(const uarch::CoreStats &delta);
+
+    std::uint64_t intervals() const { return n; }
+
+    /** Summed delta of counter @p i (coreCounters() order). */
+    std::uint64_t sum(std::size_t i) const;
+
+    double mean(std::size_t i) const;
+    double variance(std::size_t i) const;
+
+    /** The summed deltas as a CoreStats (the measured-window run). */
+    uarch::CoreStats total() const;
+
+  private:
+    std::uint64_t n = 0;
+    std::vector<std::uint64_t> sums;
+    std::vector<double> sumSquares;
+};
+
+/** Whole-run estimates derived from the sampled windows. */
+struct SampleEstimate
+{
+    /** Measured intervals (0 = the run was not sampled). */
+    std::uint64_t intervals = 0;
+
+    /** Instructions executed functionally + in detail (the run). */
+    std::uint64_t totalInsts = 0;
+
+    /** Instructions fast-forwarded outside detailed windows. */
+    std::uint64_t ffInsts = 0;
+
+    /** Detailed warmup instructions (excluded from statistics). */
+    std::uint64_t warmupInsts = 0;
+
+    /** @name Measured-window aggregates */
+    /// @{
+    std::uint64_t sampledInsts = 0;
+    std::uint64_t sampledCycles = 0;
+    /// @}
+
+    /** totalInsts / ipcMean — the whole-run cycle estimate. */
+    std::uint64_t estimatedCycles = 0;
+
+    /** @name Per-interval IPC distribution */
+    /// @{
+    double ipcMean = 0.0;
+    double ipcStddev = 0.0;
+    /// @}
+
+    /** Per-counter variance across intervals (coreCounters()). */
+    std::vector<double> counterVariance;
+
+    bool enabled() const { return intervals > 0; }
+};
+
+/**
+ * The interval schedule over one run: where each fast-forward ends
+ * and how much warmup/detail follows. Chunks divide the budget
+ * evenly; a chunk too small to hold W+D shrinks its fast-forward
+ * to zero and truncates warmup before detail.
+ */
+class Sampler
+{
+  public:
+    Sampler(const SamplePlan &plan, std::uint64_t budget);
+
+    /** Bounds of interval @p i of plan.intervals. */
+    struct Interval
+    {
+        std::uint64_t ffTarget = 0;  //!< icount where detail begins
+        std::uint64_t warmup = 0;    //!< detailed insts to discard
+        std::uint64_t detailed = 0;  //!< detailed insts to measure
+    };
+
+    Interval interval(std::uint64_t i) const;
+
+    std::uint64_t intervalCount() const { return plan.intervals; }
+    std::uint64_t chunkInsts() const { return chunk; }
+
+  private:
+    SamplePlan plan;
+    std::uint64_t budget;
+    std::uint64_t chunk;
+};
+
+/**
+ * Functionally execute @p emu up to @p target_icount instructions
+ * (absolute, not relative) at full host speed.
+ *
+ * @param warm_core when non-null, every skipped instruction also
+ *        probes the core's caches and branch predictor
+ *        (OooCore::warmFunctional) — functional warming.
+ * @return instructions actually executed (short on early halt).
+ */
+std::uint64_t fastForward(sim::Emulator &emu,
+                          std::uint64_t target_icount,
+                          uarch::OooCore *warm_core = nullptr);
+
+} // namespace svf::ckpt
+
+#endif // SVF_CKPT_SAMPLER_HH

@@ -1,0 +1,97 @@
+#include "ckpt/serialize.hh"
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace svf::ckpt
+{
+
+void
+ByteWriter::d64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+double
+ByteReader::d64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::uint64_t
+fnv1a(const std::uint8_t *p, std::size_t n, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+bool
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    // Unique temp name: concurrent runner workers persisting the
+    // same key write distinct temps and the last rename wins — both
+    // wrote identical content, so either outcome is correct.
+    static std::atomic<unsigned> ctr{0};
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<long>(::getpid())) +
+                      "." + std::to_string(ctr.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    std::streamsize n = in.tellg();
+    if (n < 0)
+        return false;
+    out.resize(static_cast<std::size_t>(n));
+    in.seekg(0);
+    in.read(reinterpret_cast<char *>(out.data()), n);
+    return in.good() || n == 0;
+}
+
+bool
+ensureDir(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    // Walk the path left to right, creating each component.
+    for (std::size_t i = 1; i <= path.size(); ++i) {
+        if (i != path.size() && path[i] != '/')
+            continue;
+        std::string prefix = path.substr(0, i);
+        if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+} // namespace svf::ckpt

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Endian-stable binary serialization primitives for the checkpoint
+ * subsystem.
+ *
+ * Snapshots and persisted experiment results must survive being
+ * written on one machine and read on another, so every multi-byte
+ * integer is serialized explicitly little-endian, byte by byte —
+ * never by memcpy of a host-order value. Readers never trust the
+ * stream: every accessor reports truncation instead of reading past
+ * the end, and callers check ok() once at the end of a record.
+ */
+
+#ifndef SVF_CKPT_SERIALIZE_HH
+#define SVF_CKPT_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svf::ckpt
+{
+
+/** Accumulates one serialized record in memory. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** IEEE-754 bit pattern, little-endian. */
+    void d64(double v);
+
+    /** Length-prefixed byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(reinterpret_cast<const std::uint8_t *>(s.data()),
+              s.size());
+    }
+
+    void
+    bytes(const std::uint8_t *p, std::size_t n)
+    {
+        buf.insert(buf.end(), p, p + n);
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/**
+ * Reads one serialized record. Truncated or otherwise malformed
+ * input clears ok() and makes every subsequent read return zeros;
+ * callers validate once, after the last field.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *p, std::size_t n)
+        : cur(p), end(p + n)
+    {}
+
+    explicit ByteReader(const std::vector<std::uint8_t> &v)
+        : ByteReader(v.data(), v.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        if (!want(1))
+            return 0;
+        return *cur++;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!want(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(*cur++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!want(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(*cur++) << (8 * i);
+        return v;
+    }
+
+    double d64();
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        if (!want(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(cur),
+                      static_cast<std::size_t>(n));
+        cur += n;
+        return s;
+    }
+
+    /** Copy @p n raw bytes into @p out. */
+    bool
+    bytes(std::uint8_t *out, std::size_t n)
+    {
+        if (!want(n))
+            return false;
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = cur[i];
+        cur += n;
+        return true;
+    }
+
+    /** Bytes left unread. */
+    std::size_t remaining() const { return end - cur; }
+
+    /** False once any read ran past the end of the input. */
+    bool ok() const { return good; }
+
+  private:
+    bool
+    want(std::uint64_t n)
+    {
+        if (!good || n > static_cast<std::uint64_t>(end - cur)) {
+            good = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *cur;
+    const std::uint8_t *end;
+    bool good = true;
+};
+
+/**
+ * FNV-1a over a byte range; the integrity digest stamped into
+ * snapshot and result-cache files.
+ */
+std::uint64_t fnv1a(const std::uint8_t *p, std::size_t n,
+                    std::uint64_t seed = 1469598103934665603ull);
+
+/** Write @p bytes to @p path atomically (temp file + rename). */
+bool writeFileAtomic(const std::string &path,
+                     const std::vector<std::uint8_t> &bytes);
+
+/** Read all of @p path; false when it does not exist / can't read. */
+bool readFile(const std::string &path,
+              std::vector<std::uint8_t> &out);
+
+/** mkdir -p; false when the directory can't be created. */
+bool ensureDir(const std::string &path);
+
+} // namespace svf::ckpt
+
+#endif // SVF_CKPT_SERIALIZE_HH

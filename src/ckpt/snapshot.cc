@@ -1,0 +1,261 @@
+#include "ckpt/snapshot.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "ckpt/serialize.hh"
+#include "isa/program.hh"
+#include "sim/mem_image.hh"
+
+namespace svf::ckpt
+{
+
+namespace
+{
+
+constexpr char Magic[8] = {'S', 'V', 'F', 'C', 'K', 'P', 'T', '\0'};
+
+} // anonymous namespace
+
+std::uint64_t
+programHash(const isa::Program &prog)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix64 = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= static_cast<std::uint8_t>(v >> (8 * i));
+            h *= 1099511628211ull;
+        }
+    };
+    mix64(prog.entry);
+    mix64(prog.textBase);
+    mix64(prog.textSize);
+    mix64(prog.sections.size());
+    for (const auto &sec : prog.sections) {
+        mix64(sec.base);
+        mix64(sec.bytes.size());
+        h = fnv1a(sec.bytes.data(), sec.bytes.size(), h);
+    }
+    return h;
+}
+
+Snapshot
+Snapshot::capture(const sim::Emulator &emu)
+{
+    Snapshot s;
+    s.progHash = programHash(emu.program());
+    s.state = emu.archState();
+    emu.mem().forEachPage([&s](Addr addr, const std::uint8_t *bytes) {
+        PageImage p;
+        p.addr = addr;
+        p.bytes.assign(bytes, bytes + sim::MemImage::PageSize);
+        s.pages.push_back(std::move(p));
+    });
+    return s;
+}
+
+void
+Snapshot::restore(sim::Emulator &emu) const
+{
+    std::uint64_t have = programHash(emu.program());
+    if (have != progHash) {
+        fatal("snapshot/program mismatch: snapshot was taken on "
+              "program %016llx but the emulator runs %016llx",
+              (unsigned long long)progHash,
+              (unsigned long long)have);
+    }
+    emu.restoreArchState(state);
+    sim::MemImage &mem = emu.mem();
+    mem.reset();
+    for (const PageImage &p : pages)
+        mem.installPage(p.addr, p.bytes.data());
+}
+
+std::vector<std::uint8_t>
+Snapshot::serialize() const
+{
+    ByteWriter body;
+    body.str(workload);
+    body.str(input);
+    body.u64(scale);
+    body.u64(progHash);
+
+    body.u64(state.pc);
+    body.u64(state.lowSp);
+    body.u64(state.icount);
+    body.u8(state.halted ? 1 : 0);
+    body.str(state.output);
+    body.u32(static_cast<std::uint32_t>(state.regs.size()));
+    for (RegVal r : state.regs)
+        body.u64(r);
+
+    body.u64(pages.size());
+    for (const PageImage &p : pages) {
+        body.u64(p.addr);
+        body.bytes(p.bytes.data(), p.bytes.size());
+    }
+
+    ByteWriter out;
+    out.bytes(reinterpret_cast<const std::uint8_t *>(Magic),
+              sizeof(Magic));
+    out.u32(FormatVersion);
+    out.bytes(body.data().data(), body.data().size());
+    out.u64(fnv1a(body.data().data(), body.data().size()));
+    return out.data();
+}
+
+bool
+Snapshot::deserialize(const std::vector<std::uint8_t> &bytes,
+                      std::string &error)
+{
+    ByteReader r(bytes);
+    char magic[8] = {};
+    if (!r.bytes(reinterpret_cast<std::uint8_t *>(magic),
+                 sizeof(magic)) ||
+        std::memcmp(magic, Magic, sizeof(Magic)) != 0) {
+        error = "not a snapshot file (bad magic)";
+        return false;
+    }
+    std::uint32_t version = r.u32();
+    if (version != FormatVersion) {
+        error = "unsupported snapshot version " +
+                std::to_string(version) + " (expected " +
+                std::to_string(FormatVersion) + ")";
+        return false;
+    }
+    if (r.remaining() < 8) {
+        error = "truncated snapshot (no digest)";
+        return false;
+    }
+    // The digest covers exactly the body: everything between the
+    // version field and the trailing 8 digest bytes.
+    const std::uint8_t *body = bytes.data() + sizeof(Magic) + 4;
+    std::size_t body_len = r.remaining() - 8;
+    std::uint64_t want = fnv1a(body, body_len);
+
+    workload = r.str();
+    input = r.str();
+    scale = r.u64();
+    progHash = r.u64();
+
+    state.pc = r.u64();
+    state.lowSp = r.u64();
+    state.icount = r.u64();
+    state.halted = r.u8() != 0;
+    state.output = r.str();
+    std::uint32_t nregs = r.u32();
+    if (nregs != state.regs.size()) {
+        error = "snapshot register-file size mismatch";
+        return false;
+    }
+    for (RegVal &reg : state.regs)
+        reg = r.u64();
+
+    std::uint64_t npages = r.u64();
+    pages.clear();
+    for (std::uint64_t i = 0; i < npages && r.ok(); ++i) {
+        PageImage p;
+        p.addr = r.u64();
+        p.bytes.resize(sim::MemImage::PageSize);
+        r.bytes(p.bytes.data(), p.bytes.size());
+        pages.push_back(std::move(p));
+    }
+
+    std::uint64_t got = r.u64();
+    if (!r.ok()) {
+        error = "truncated snapshot body";
+        return false;
+    }
+    if (got != want) {
+        error = "snapshot integrity check failed (content digest "
+                "mismatch)";
+        return false;
+    }
+    if (r.remaining() != 0) {
+        error = "trailing bytes after snapshot digest";
+        return false;
+    }
+    return true;
+}
+
+bool
+Snapshot::saveFile(const std::string &path) const
+{
+    if (!writeFileAtomic(path, serialize())) {
+        warn("cannot write snapshot to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Snapshot::loadFile(const std::string &path, std::string &error)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(path, bytes)) {
+        error = "cannot read '" + path + "'";
+        return false;
+    }
+    return deserialize(bytes, error);
+}
+
+SnapshotStore::SnapshotStore(std::string dir) : _dir(std::move(dir))
+{
+    if (enabled() && !ensureDir(_dir)) {
+        warn("cannot create snapshot directory '%s'; checkpointing "
+             "disabled", _dir.c_str());
+        _dir.clear();
+    }
+}
+
+std::string
+SnapshotStore::path(std::uint64_t prog_hash,
+                    std::uint64_t icount) const
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "%016llx-%llu.ckpt",
+                  (unsigned long long)prog_hash,
+                  (unsigned long long)icount);
+    return _dir + "/" + name;
+}
+
+bool
+SnapshotStore::tryRestore(std::uint64_t prog_hash,
+                          std::uint64_t icount,
+                          sim::Emulator &emu) const
+{
+    if (!enabled())
+        return false;
+    std::string file = path(prog_hash, icount);
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(file, bytes))
+        return false;
+    Snapshot snap;
+    std::string error;
+    if (!snap.deserialize(bytes, error)) {
+        warn("ignoring snapshot '%s': %s", file.c_str(),
+             error.c_str());
+        return false;
+    }
+    if (snap.progHash != prog_hash || snap.state.icount != icount) {
+        warn("ignoring snapshot '%s': keyed state does not match "
+             "its content", file.c_str());
+        return false;
+    }
+    snap.restore(emu);
+    return true;
+}
+
+bool
+SnapshotStore::save(std::uint64_t prog_hash,
+                    const sim::Emulator &emu) const
+{
+    if (!enabled())
+        return false;
+    Snapshot snap = Snapshot::capture(emu);
+    svf_assert(snap.progHash == prog_hash);
+    return snap.saveFile(path(prog_hash, emu.instCount()));
+}
+
+} // namespace svf::ckpt

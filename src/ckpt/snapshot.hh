@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Versioned, endian-stable snapshots of full architectural state.
+ *
+ * A snapshot captures everything the functional emulator needs to
+ * resume bit-identically: the register file, PC, instruction count,
+ * halt flag, accumulated program output, $sp watermark, and every
+ * touched MemImage page (sparse — untouched memory reads as zero on
+ * both sides). Pages are serialized in ascending address order and
+ * covered by an FNV-1a content digest, so a corrupted or truncated
+ * file is rejected at load instead of resuming into garbage.
+ *
+ * Snapshots are bound to a program by content hash: restoring onto
+ * an emulator built from a different program is refused, because the
+ * predecoded text would silently diverge from the captured state.
+ *
+ * File format (all integers little-endian):
+ *
+ *   magic   "SVFCKPT\0"              8 bytes
+ *   version u32                      (FormatVersion)
+ *   body    ByteWriter record        (workload identity, arch state,
+ *                                     page count, pages)
+ *   digest  u64 FNV-1a over the body
+ */
+
+#ifndef SVF_CKPT_SNAPSHOT_HH
+#define SVF_CKPT_SNAPSHOT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/isa.hh"
+#include "sim/emulator.hh"
+
+namespace svf::isa { class Program; }
+
+namespace svf::ckpt
+{
+
+/** Content hash binding a snapshot to the program it was taken on. */
+std::uint64_t programHash(const isa::Program &prog);
+
+/** A captured machine state, decoded and ready to restore. */
+struct Snapshot
+{
+    /** Bumped on any incompatible layout change. */
+    static constexpr std::uint32_t FormatVersion = 1;
+
+    /** @name Provenance (how to rebuild the program) */
+    /// @{
+    std::string workload;       //!< registry name; "" = external
+    std::string input;
+    std::uint64_t scale = 0;
+    std::uint64_t progHash = 0; //!< programHash() of the program
+    /// @}
+
+    sim::EmuArchState state;
+
+    /** Touched pages, ascending page address. */
+    struct PageImage
+    {
+        Addr addr = 0;
+        std::vector<std::uint8_t> bytes;    //!< MemImage::PageSize
+    };
+    std::vector<PageImage> pages;
+
+    /** Capture @p emu (provenance fields are left to the caller). */
+    static Snapshot capture(const sim::Emulator &emu);
+
+    /**
+     * Restore into @p emu, which must be built from a program whose
+     * programHash() equals progHash (fatal otherwise). Replaces the
+     * whole MemImage content.
+     */
+    void restore(sim::Emulator &emu) const;
+
+    /** @name Serialization */
+    /// @{
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Parse @p bytes; returns false (and sets @p error) on a bad
+     * magic, unsupported version, truncation or digest mismatch.
+     */
+    bool deserialize(const std::vector<std::uint8_t> &bytes,
+                     std::string &error);
+
+    bool saveFile(const std::string &path) const;
+    bool loadFile(const std::string &path, std::string &error);
+    /// @}
+};
+
+/**
+ * A directory of snapshots keyed by (program hash, instruction
+ * count) — the fast-forward cache. The sampler consults it before
+ * functionally fast-forwarding and stores the state it arrives at,
+ * so a sweep that runs many machine configurations over one workload
+ * pays the fast-forward once.
+ */
+class SnapshotStore
+{
+  public:
+    /** @p dir empty disables the store (all ops become no-ops). */
+    explicit SnapshotStore(std::string dir);
+
+    bool enabled() const { return !_dir.empty(); }
+
+    /**
+     * Load the snapshot at (@p prog_hash, @p icount) into @p emu.
+     * @retval false when absent, unreadable or corrupt (corrupt
+     *         files warn and are ignored — they regenerate).
+     */
+    bool tryRestore(std::uint64_t prog_hash, std::uint64_t icount,
+                    sim::Emulator &emu) const;
+
+    /** Persist @p emu's state under (@p prog_hash, its icount). */
+    bool save(std::uint64_t prog_hash,
+              const sim::Emulator &emu) const;
+
+    /** The file path for a (hash, icount) pair (for tooling). */
+    std::string path(std::uint64_t prog_hash,
+                     std::uint64_t icount) const;
+
+  private:
+    std::string _dir;
+};
+
+} // namespace svf::ckpt
+
+#endif // SVF_CKPT_SNAPSHOT_HH

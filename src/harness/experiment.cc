@@ -1,9 +1,12 @@
 #include "harness/experiment.hh"
 
 #include <cmath>
+#include <vector>
 
+#include "base/config.hh"
 #include "base/hash.hh"
 #include "base/logging.hh"
+#include "ckpt/snapshot.hh"
 #include "sim/emulator.hh"
 #include "workloads/registry.hh"
 
@@ -18,6 +21,7 @@ RunSetup::key() const
     seed = hashCombine(seed, input);
     seed = hashCombine(seed, scale);
     seed = hashCombine(seed, maxInsts);
+    seed = sample.key(seed);
     seed = machine.key(seed);
     seed = hashCombine(seed, std::uint64_t(program != nullptr));
     if (program) {
@@ -38,40 +42,40 @@ RunSetup::key() const
     return seed;
 }
 
-RunResult
-runExperiment(const RunSetup &setup)
+namespace
 {
-    isa::Program prog;
-    const workloads::WorkloadSpec *spec = nullptr;
-    std::uint64_t scale = setup.scale;
-    if (setup.program) {
-        prog = *setup.program;
-    } else {
-        spec = &workloads::workload(setup.workload);
-        if (!scale)
-            scale = spec->defaultScale;
-        prog = spec->build(setup.input, scale);
-    }
 
-    sim::Emulator oracle(prog);
-    uarch::OooCore core(setup.machine, oracle);
-    core.run(setup.maxInsts);
+/** The unit (SVF / stack cache / hierarchy) counters of RunResult. */
+const std::vector<std::uint64_t RunResult::*> &
+unitCounterFields()
+{
+    static const std::vector<std::uint64_t RunResult::*> fields = {
+        &RunResult::svfQuadsIn,
+        &RunResult::svfQuadsOut,
+        &RunResult::svfFastLoads,
+        &RunResult::svfFastStores,
+        &RunResult::svfReroutedLoads,
+        &RunResult::svfReroutedStores,
+        &RunResult::svfWindowMisses,
+        &RunResult::svfDemandFills,
+        &RunResult::svfDisableEpisodes,
+        &RunResult::svfRefsWhileDisabled,
+        &RunResult::scQuadsIn,
+        &RunResult::scQuadsOut,
+        &RunResult::scHits,
+        &RunResult::scMisses,
+        &RunResult::dl1Hits,
+        &RunResult::dl1Misses,
+        &RunResult::l2Hits,
+        &RunResult::l2Misses,
+    };
+    return fields;
+}
 
-    RunResult r;
-    r.core = core.stats();
-    r.completed = oracle.halted();
-    r.output = oracle.output();
-    if (r.completed && spec) {
-        std::string expected = spec->expected(setup.input, scale);
-        r.outputOk = oracle.output() == expected;
-        if (!r.outputOk) {
-            warn("workload %s.%s output mismatch (got '%s', want "
-                 "'%s')", setup.workload.c_str(),
-                 setup.input.c_str(), oracle.output().c_str(),
-                 expected.c_str());
-        }
-    }
-
+/** Copy the cumulative unit counters out of @p core into @p r. */
+void
+collectUnitCounters(const uarch::OooCore &core, RunResult &r)
+{
     const core::SvfUnit &svf = core.svfUnit();
     if (svf.enabled()) {
         r.svfQuadsIn = svf.svf().quadsIn();
@@ -95,7 +99,213 @@ runExperiment(const RunSetup &setup)
     r.dl1Misses = core.hier().dl1().misses();
     r.l2Hits = core.hier().l2().hits();
     r.l2Misses = core.hier().l2().misses();
+}
+
+/** acc += (after - before), field-wise over the unit counters. */
+void
+accumulateUnitDelta(RunResult &acc, const RunResult &after,
+                    const RunResult &before)
+{
+    for (auto field : unitCounterFields())
+        acc.*field += after.*field - before.*field;
+}
+
+/** after - before over every CoreStats counter. */
+uarch::CoreStats
+coreStatsDelta(const uarch::CoreStats &after,
+               const uarch::CoreStats &before)
+{
+    uarch::CoreStats d;
+    for (const ckpt::CoreCounter &c : ckpt::coreCounters())
+        d.*(c.field) = after.*(c.field) - before.*(c.field);
+    return d;
+}
+
+/** Golden-output comparison shared by the full and sampled paths. */
+void
+checkOutput(const RunSetup &setup,
+            const workloads::WorkloadSpec *spec,
+            std::uint64_t scale, const sim::Emulator &oracle,
+            RunResult &r)
+{
+    r.completed = oracle.halted();
+    r.output = oracle.output();
+    if (r.completed && spec) {
+        std::string expected = spec->expected(setup.input, scale);
+        r.outputOk = oracle.output() == expected;
+        if (!r.outputOk) {
+            warn("workload %s.%s output mismatch (got '%s', want "
+                 "'%s')", setup.workload.c_str(),
+                 setup.input.c_str(), oracle.output().c_str(),
+                 expected.c_str());
+        }
+    }
+}
+
+/**
+ * The interval-sampled run: alternate functional fast-forwards
+ * (optionally snapshot-cached / structure-warming) with detailed
+ * windows, measuring only the post-warmup part of each window.
+ */
+RunResult
+runSampledExperiment(const RunSetup &setup, const isa::Program &prog,
+                     const workloads::WorkloadSpec *spec,
+                     std::uint64_t scale)
+{
+    sim::Emulator oracle(prog);
+    uarch::OooCore core(setup.machine, oracle);
+
+    ckpt::SnapshotStore store(setup.ckptDir);
+    const std::uint64_t phash =
+        store.enabled() ? ckpt::programHash(prog) : 0;
+    // Snapshots shortcut the functional stream, so they are only
+    // usable when that stream is not needed for warming.
+    const bool use_store =
+        store.enabled() && !setup.sample.functionalWarm;
+
+    ckpt::Sampler sampler(setup.sample, setup.maxInsts);
+    ckpt::CoreStatsAccum accum;
+    RunResult r;
+    std::vector<double> interval_ipc;
+    std::uint64_t ff_total = 0;
+    std::uint64_t warm_total = 0;
+
+    for (std::uint64_t i = 0;
+         i < sampler.intervalCount() && !oracle.halted(); ++i) {
+        ckpt::Sampler::Interval iv = sampler.interval(i);
+
+        if (oracle.instCount() < iv.ffTarget) {
+            if (!(use_store &&
+                  store.tryRestore(phash, iv.ffTarget, oracle))) {
+                ff_total += ckpt::fastForward(
+                    oracle, iv.ffTarget,
+                    setup.sample.functionalWarm ? &core : nullptr);
+                if (use_store &&
+                    oracle.instCount() == iv.ffTarget) {
+                    store.save(phash, oracle);
+                }
+            }
+        }
+        if (oracle.halted())
+            break;
+
+        if (iv.warmup) {
+            std::uint64_t before_warm = oracle.instCount();
+            core.run(iv.warmup);
+            warm_total += oracle.instCount() - before_warm;
+        }
+
+        uarch::CoreStats core_before = core.stats();
+        RunResult unit_before;
+        collectUnitCounters(core, unit_before);
+
+        core.run(iv.detailed);
+
+        uarch::CoreStats delta =
+            coreStatsDelta(core.stats(), core_before);
+        if (delta.committed == 0)
+            continue;       // program ended during warmup
+        RunResult unit_after;
+        collectUnitCounters(core, unit_after);
+        accumulateUnitDelta(r, unit_after, unit_before);
+        accum.add(delta);
+        interval_ipc.push_back(delta.ipc());
+    }
+
+    // Finish the run functionally so completion and program output
+    // mean the same thing they do for a full run.
+    ff_total += ckpt::fastForward(oracle, setup.maxInsts);
+
+    r.core = accum.total();
+    checkOutput(setup, spec, scale, oracle, r);
+
+    ckpt::SampleEstimate &est = r.sampled;
+    est.intervals = accum.intervals();
+    est.totalInsts = oracle.instCount();
+    est.ffInsts = ff_total;
+    est.warmupInsts = warm_total;
+    est.sampledInsts = r.core.committed;
+    est.sampledCycles = r.core.cycles;
+    double sum = 0.0, sumsq = 0.0;
+    for (double v : interval_ipc) {
+        sum += v;
+        sumsq += v * v;
+    }
+    if (!interval_ipc.empty()) {
+        double n = double(interval_ipc.size());
+        est.ipcMean = sum / n;
+        double var = sumsq / n - est.ipcMean * est.ipcMean;
+        est.ipcStddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    if (est.ipcMean > 0.0) {
+        est.estimatedCycles = static_cast<std::uint64_t>(
+            double(est.totalInsts) / est.ipcMean);
+    }
+    est.counterVariance.reserve(ckpt::coreCounters().size());
+    for (std::size_t c = 0; c < ckpt::coreCounters().size(); ++c)
+        est.counterVariance.push_back(accum.variance(c));
     return r;
+}
+
+} // anonymous namespace
+
+RunResult
+runExperiment(const RunSetup &setup)
+{
+    isa::Program prog;
+    const workloads::WorkloadSpec *spec = nullptr;
+    std::uint64_t scale = setup.scale;
+    if (setup.program) {
+        prog = *setup.program;
+    } else {
+        spec = &workloads::workload(setup.workload);
+        if (!scale)
+            scale = spec->defaultScale;
+        prog = spec->build(setup.input, scale);
+    }
+
+    if (setup.sample.enabled())
+        return runSampledExperiment(setup, prog, spec, scale);
+
+    sim::Emulator oracle(prog);
+    uarch::OooCore core(setup.machine, oracle);
+    core.run(setup.maxInsts);
+
+    RunResult r;
+    r.core = core.stats();
+    checkOutput(setup, spec, scale, oracle, r);
+    collectUnitCounters(core, r);
+    return r;
+}
+
+uarch::MachineConfig
+machineFromConfig(const Config &cfg)
+{
+    uarch::MachineConfig m = baselineConfig(
+        static_cast<unsigned>(cfg.getUint("width", 16)),
+        static_cast<unsigned>(cfg.getUint("dl1_ports", 2)),
+        cfg.getString("bpred", "perfect"));
+
+    if (cfg.getBool("svf", false)) {
+        applySvf(m,
+                 static_cast<std::uint32_t>(
+                     cfg.getUint("svf.kb", 8) * 1024 / 8),
+                 static_cast<unsigned>(cfg.getUint("svf.ports", 2)));
+        m.svf.noSquash = cfg.getBool("svf.no_squash", false);
+        m.svf.morphSpRefs = cfg.getBool("svf.morph", true);
+        m.svf.dynamicDisable = cfg.getBool("svf.dynamic", false);
+    }
+    if (cfg.getBool("stack_cache", false)) {
+        applyStackCache(
+            m, cfg.getUint("stack_cache.kb", 8) * 1024,
+            static_cast<unsigned>(cfg.getUint("svf.ports", 2)));
+    }
+    m.noAddrCalcOp = cfg.getBool("no_addr_cal_op", false);
+    m.contextSwitchPeriod = cfg.getUint("ctx_period", 0);
+    std::string sched = cfg.getString("sched", "");
+    if (!sched.empty())
+        m.sched = uarch::parseSchedKind(sched);
+    return m;
 }
 
 uarch::MachineConfig
@@ -160,8 +370,11 @@ hostMips(const RunResult &r, double wall_seconds)
 {
     if (wall_seconds <= 0.0)
         return 0.0;
-    double v = static_cast<double>(r.core.committed) /
-               wall_seconds / 1e6;
+    // A sampled run covered totalInsts of the program (most of them
+    // functionally) in this wall time; that is its effective rate.
+    std::uint64_t insts = r.sampled.enabled() ? r.sampled.totalInsts
+                                              : r.core.committed;
+    double v = static_cast<double>(insts) / wall_seconds / 1e6;
     return std::isfinite(v) ? v : 0.0;
 }
 
@@ -170,7 +383,10 @@ hostCyclesPerSec(const RunResult &r, double wall_seconds)
 {
     if (wall_seconds <= 0.0)
         return 0.0;
-    double v = static_cast<double>(r.core.cycles) / wall_seconds;
+    std::uint64_t cycles = r.sampled.enabled()
+                               ? r.sampled.estimatedCycles
+                               : r.core.cycles;
+    double v = static_cast<double>(cycles) / wall_seconds;
     return std::isfinite(v) ? v : 0.0;
 }
 

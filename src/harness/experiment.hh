@@ -11,9 +11,12 @@
 #include <memory>
 #include <string>
 
+#include "ckpt/sampler.hh"
 #include "isa/program.hh"
 #include "uarch/machine_config.hh"
 #include "uarch/ooo_core.hh"
+
+namespace svf { class Config; }
 
 namespace svf::harness
 {
@@ -28,6 +31,22 @@ struct RunSetup
     uarch::MachineConfig machine;
 
     /**
+     * Interval sampling schedule (ckpt/sampler.hh). Disabled by
+     * default: the whole budget runs through the cycle model. When
+     * enabled, maxInsts becomes the *functional* budget and only
+     * the sampled windows are simulated in detail.
+     */
+    ckpt::SamplePlan sample;
+
+    /**
+     * Snapshot directory for the sampler's fast-forward cache
+     * (ckpt/snapshot.hh). A host-side accelerator only — restoring
+     * a snapshot is bit-identical to fast-forwarding — so it is
+     * deliberately NOT part of key().
+     */
+    std::string ckptDir;
+
+    /**
      * When set, simulate this program instead of a registry
      * workload (svf-sim's asm= mode and custom-kernel benches).
      * No golden output is available, so the output check is skipped.
@@ -36,9 +55,10 @@ struct RunSetup
 
     /**
      * Canonical setup key: a hash of every field (the program
-     * content when explicit, every MachineConfig parameter
-     * included). Two setups that could simulate differently key
-     * apart; the runner memoizes results under this key.
+     * content when explicit, every MachineConfig parameter and the
+     * sampling plan included). Two setups that could simulate
+     * differently key apart; the runner memoizes results under this
+     * key, in memory and — with cache=DIR — on disk.
      */
     std::uint64_t key() const;
 };
@@ -78,6 +98,14 @@ struct RunResult
     std::uint64_t l2Misses = 0;
     /// @}
 
+    /**
+     * Whole-run estimates when the run was interval-sampled
+     * (sampled.enabled()); for sampled runs, `core` holds only the
+     * measured detailed windows' deltas (warmup and fast-forward
+     * excluded), so ipc() is the sampled IPC estimate.
+     */
+    ckpt::SampleEstimate sampled;
+
     /** Everything the program printed (svf-sim's report). */
     std::string output;
 
@@ -95,8 +123,17 @@ struct RunResult
     double ipc() const { return core.ipc(); }
 };
 
-/** Run one experiment. */
+/** Run one experiment (full or sampled, per setup.sample). */
 RunResult runExperiment(const RunSetup &setup);
+
+/**
+ * Build a MachineConfig from the standard key=value options
+ * (width=, dl1_ports=, bpred=, svf=, svf.kb=, svf.ports=,
+ * svf.no_squash=, svf.morph=, svf.dynamic=, stack_cache=,
+ * stack_cache.kb=, no_addr_cal_op=, ctx_period=, sched=). Shared by
+ * svf-sim and svf-ckpt so the two CLIs accept identical machines.
+ */
+uarch::MachineConfig machineFromConfig(const Config &cfg);
 
 /**
  * The paper's baseline machine: Table 2 shape at @p width with

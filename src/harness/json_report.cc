@@ -187,6 +187,15 @@ JsonReport::add(const JobOutcome &outcome)
         d.num("host_mips", hostMips(*r, outcome.wallSeconds));
         d.num("host_cycles_per_sec",
               hostCyclesPerSec(*r, outcome.wallSeconds));
+        if (r->sampled.enabled()) {
+            const ckpt::SampleEstimate &e = r->sampled;
+            d.num("sample_intervals", e.intervals);
+            d.num("total_insts", e.totalInsts);
+            d.num("ff_insts", e.ffInsts);
+            d.num("warmup_insts", e.warmupInsts);
+            d.num("est_cycles", e.estimatedCycles);
+            d.num("ipc_stddev", e.ipcStddev);
+        }
         w.field("derived", d.finish());
     } else if (const TrafficResult *t =
                    std::get_if<TrafficResult>(&outcome.value)) {

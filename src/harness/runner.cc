@@ -93,12 +93,17 @@ executeSetup(const JobSetup &setup)
                                      ps.maxInsts, ps.depthSamples);
 }
 
-Runner::Runner(RunnerOptions options) : opts(std::move(options))
+Runner::Runner(RunnerOptions options)
+    : opts(std::move(options)), diskCache(opts.cacheDir)
 {
     nThreads = opts.jobs ? opts.jobs
                          : std::thread::hardware_concurrency();
     if (nThreads == 0)
         nThreads = 1;
+    if (diskCache.enabled() && !opts.memoize) {
+        warn("cache=DIR requires memoization; disk cache disabled");
+        diskCache = ckpt::ResultCache("");
+    }
 }
 
 std::vector<JobOutcome>
@@ -150,6 +155,16 @@ Runner::run(const ExperimentPlan &plan)
                 results[i].value = hit->second;
                 results[i].cached = true;
                 ++nMemoHits;
+                report(i, true, 0.0);
+                continue;
+            }
+            ckpt::CachedValue from_disk;
+            if (diskCache.load(key, from_disk)) {
+                auto [it, ins] =
+                    memo.emplace(key, std::move(from_disk));
+                results[i].value = it->second;
+                results[i].cached = true;
+                ++nDiskHits;
                 report(i, true, 0.0);
                 continue;
             }
@@ -207,8 +222,10 @@ Runner::run(const ExperimentPlan &plan)
             results[i].wallSeconds = w.wallSeconds;
     }
     if (opts.memoize) {
-        for (const Work &w : work)
+        for (const Work &w : work) {
+            diskCache.store(results[w.firstJob].key, w.value);
             memo.emplace(results[w.firstJob].key, w.value);
+        }
     }
     svf_assert(done == total);
     return results;

@@ -32,6 +32,7 @@
 #include <variant>
 #include <vector>
 
+#include "ckpt/result_cache.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "harness/traffic.hh"
@@ -102,6 +103,12 @@ class ExperimentPlan
     const Job &job(size_t i) const { return _jobs.at(i); }
     const std::vector<Job> &jobs() const { return _jobs; }
 
+    /**
+     * Mutable job access: the bench layer applies plan-wide options
+     * (sampling schedule, snapshot directory) to already-built plans.
+     */
+    Job &job(size_t i) { return _jobs.at(i); }
+
   private:
     std::vector<Job> _jobs;
 };
@@ -114,6 +121,15 @@ struct RunnerOptions
 
     /** Memoize results by setup key across and within plans. */
     bool memoize = true;
+
+    /**
+     * Directory of the disk-persistent result cache
+     * (ckpt/result_cache.hh); empty disables it. Requires memoize.
+     * Results land there as they finish, and later runs — in this
+     * process or another — serve them back as cached without
+     * simulating.
+     */
+    std::string cacheDir;
 
     /** Invoked per finished job (see harness/reporting.hh). */
     ProgressHook progress;
@@ -139,6 +155,7 @@ class Runner
     /// @{
     std::uint64_t executions() const { return nExecuted; }
     std::uint64_t memoHits() const { return nMemoHits; }
+    std::uint64_t diskHits() const { return nDiskHits; }
     /// @}
 
     /**
@@ -157,8 +174,10 @@ class Runner
     unsigned nThreads;
     std::uint64_t nExecuted = 0;
     std::uint64_t nMemoHits = 0;
+    std::uint64_t nDiskHits = 0;
     double wallTotal = 0.0;
     std::unordered_map<std::uint64_t, JobValue> memo;
+    ckpt::ResultCache diskCache;
 };
 
 /** The canonical key of any job setup. */

@@ -213,6 +213,30 @@ Emulator::step(ExecInfo &info)
     return true;
 }
 
+EmuArchState
+Emulator::archState() const
+{
+    EmuArchState s;
+    s.regs = regs;
+    s.pc = curPc;
+    s.lowSp = lowSp;
+    s.icount = icount;
+    s.halted = isHalted;
+    s.output = out;
+    return s;
+}
+
+void
+Emulator::restoreArchState(const EmuArchState &state)
+{
+    regs = state.regs;
+    curPc = state.pc;
+    lowSp = state.lowSp;
+    icount = state.icount;
+    isHalted = state.halted;
+    out = state.output;
+}
+
 std::uint64_t
 Emulator::run(std::uint64_t max_insts)
 {

@@ -46,6 +46,21 @@ struct ExecInfo
 };
 
 /**
+ * The emulator's complete architectural register/bookkeeping state,
+ * exposed for the checkpoint subsystem (ckpt/snapshot.hh). Memory is
+ * not included — snapshots serialize the MemImage page set directly.
+ */
+struct EmuArchState
+{
+    std::array<RegVal, isa::NumRegs> regs{};
+    Addr pc = 0;
+    Addr lowSp = 0;
+    std::uint64_t icount = 0;
+    bool halted = false;
+    std::string output;
+};
+
+/**
  * Executes SVA programs at architectural level.
  */
 class Emulator
@@ -92,6 +107,22 @@ class Emulator
 
     /** Predecoded instruction at @p pc (must be within text). */
     const isa::DecodedInst &decodeAt(Addr pc) const;
+
+    /** The program this emulator executes. */
+    const isa::Program &program() const { return prog; }
+
+    /** @name Checkpointing (see ckpt/snapshot.hh) */
+    /// @{
+    /** Copy out the architectural state (memory excluded). */
+    EmuArchState archState() const;
+
+    /**
+     * Overwrite the architectural state. The emulator must have
+     * been constructed from the same program the state was captured
+     * on; memory is restored separately through mem().
+     */
+    void restoreArchState(const EmuArchState &state);
+    /// @}
 
   private:
     RegVal readReg(RegIndex r) const

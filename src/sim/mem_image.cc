@@ -1,6 +1,8 @@
 #include "sim/mem_image.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "base/bitfield.hh"
 #include "base/logging.hh"
@@ -109,6 +111,51 @@ MemImage::writeBytes(Addr a, const std::uint8_t *bytes, std::uint64_t n)
         bytes += chunk;
         n -= chunk;
     }
+}
+
+void
+MemImage::readBytes(Addr a, std::uint8_t *out, std::uint64_t n) const
+{
+    while (n > 0) {
+        std::uint64_t off = a % PageSize;
+        std::uint64_t chunk = std::min(n, PageSize - off);
+        auto it = pages.find(alignDown(a, PageSize));
+        if (it == pages.end())
+            std::memset(out, 0, chunk);
+        else
+            std::memcpy(out, it->second->data() + off, chunk);
+        a += chunk;
+        out += chunk;
+        n -= chunk;
+    }
+}
+
+void
+MemImage::forEachPage(
+    const std::function<void(Addr, const std::uint8_t *)> &fn) const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(pages.size());
+    for (const auto &kv : pages)
+        addrs.push_back(kv.first);
+    std::sort(addrs.begin(), addrs.end());
+    for (Addr a : addrs)
+        fn(a, pages.find(a)->second->data());
+}
+
+void
+MemImage::installPage(Addr page_addr, const std::uint8_t *bytes)
+{
+    svf_assert(page_addr % PageSize == 0);
+    Page &p = touchPage(page_addr);
+    std::memcpy(p.data(), bytes, PageSize);
+}
+
+void
+MemImage::reset()
+{
+    pages.clear();
+    invalidateLookupCache();
 }
 
 } // namespace svf::sim

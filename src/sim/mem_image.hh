@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -46,14 +47,55 @@ class MemImage
     void writeBytes(Addr a, const std::uint8_t *bytes,
                     std::uint64_t n);
 
+    /**
+     * Bulk read of @p n bytes into @p out; unallocated pages read as
+     * zero. Walks the page table directly rather than through the
+     * one-entry lookup cache, so interleaving bulk reads with the
+     * scalar accessors never perturbs the cache's hit pattern.
+     */
+    void readBytes(Addr a, std::uint8_t *out, std::uint64_t n) const;
+
     /** Number of pages that have been touched. */
     std::uint64_t pagesAllocated() const { return pages.size(); }
+
+    /**
+     * Visit every allocated page in ascending address order —
+     * the serialization path (ckpt/snapshot.hh). Deterministic
+     * regardless of allocation order, and bypasses the lookup cache
+     * entirely: the callback may read other pages through the scalar
+     * accessors without either walk corrupting the other.
+     *
+     * The callback must not allocate or remove pages.
+     */
+    void forEachPage(
+        const std::function<void(Addr, const std::uint8_t *)> &fn)
+        const;
+
+    /**
+     * Install a full page of content at page-aligned @p page_addr,
+     * allocating it if untouched (snapshot restore path).
+     */
+    void installPage(Addr page_addr, const std::uint8_t *bytes);
+
+    /** Drop every page; memory reads as zero again. */
+    void reset();
 
   private:
     using Page = std::array<std::uint8_t, PageSize>;
 
     const Page *findPage(Addr a) const;
     Page &touchPage(Addr a);
+
+    /**
+     * Any operation that removes or replaces pages must call this:
+     * a stale cache entry would otherwise keep serving the old
+     * page's bytes (or freed memory) for the cached address.
+     */
+    void invalidateLookupCache() const
+    {
+        lastPageAddr = ~Addr(0);
+        lastPage = nullptr;
+    }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
 

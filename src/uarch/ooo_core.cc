@@ -834,9 +834,26 @@ OooCore::panicDeadlock(std::uint64_t stalled_iters)
 }
 
 void
+OooCore::warmFunctional(const sim::ExecInfo &info)
+{
+    const isa::DecodedInst &di = *info.di;
+    if (di.memRef)
+        _hier.data(info.ea, di.store);
+    if (di.ctrl)
+        bpred->predictAndUpdate(info);
+}
+
+void
 OooCore::run(std::uint64_t max_insts)
 {
     fetchBudget = max_insts;
+
+    // Interval-boundary reset: a previous run() that exhausted its
+    // budget latched oracleDone to stop fetch while the window
+    // drained. A fresh budget reopens the front end unless the
+    // program really has halted — this is what makes run() resumable
+    // for the sampler's detailed windows.
+    oracleDone = oracle.halted();
 
     // Forward-progress guard: active (evaluated) cycles since the
     // last commit. An absolute cycle bound would be meaningless with

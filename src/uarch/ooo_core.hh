@@ -102,8 +102,26 @@ class OooCore
     /**
      * Simulate until the program halts and drains, or until
      * @p max_insts instructions have been fetched and drained.
+     *
+     * Resumable: the window drains completely before run() returns,
+     * so a later call picks up at the oracle's current position with
+     * warm caches, predictor and SVF state — the interval-sampling
+     * subsystem (ckpt/sampler.hh) alternates run() windows with
+     * functional fast-forwards of the shared oracle. Statistics
+     * accumulate monotonically across calls; callers measuring one
+     * window diff stats() around it.
      */
     void run(std::uint64_t max_insts = ~std::uint64_t(0));
+
+    /**
+     * Functional warming: account @p info to the caches and branch
+     * predictor without modeling any timing. The sampler calls this
+     * per fast-forwarded instruction so detailed windows start with
+     * warm structures even when the warmup window is short. Cache
+     * hit/miss counters advance — sampled measurements must diff
+     * around the detailed window, not read totals.
+     */
+    void warmFunctional(const sim::ExecInfo &info);
 
     const CoreStats &stats() const { return _stats; }
 

@@ -76,6 +76,26 @@ TEST(Config, UnusedKeysTracked)
     EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(Config, SuggestsNearestTouchedKey)
+{
+    Config cfg;
+    cfg.set("sampel", "1");     // transposition of "sample"
+    cfg.getString("sample", "");
+    cfg.getUint("insts", 0);
+    EXPECT_EQ(cfg.suggest("sampel"), "sample");
+    EXPECT_EQ(cfg.suggest("inst"), "insts");
+    // Nothing within edit distance 2: no suggestion.
+    EXPECT_EQ(cfg.suggest("completely_different"), "");
+}
+
+TEST(Config, SuggestIgnoresUntouchedKeys)
+{
+    Config cfg;
+    cfg.set("smaple", "1");
+    // No getter ran, so nothing is known to be a real key yet.
+    EXPECT_EQ(cfg.suggest("smaple"), "");
+}
+
 TEST(ConfigDeathTest, BadArgIsFatal)
 {
     const char *argv[] = {"prog", "notkeyvalue"};

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The disk-persistent result cache (ckpt/result_cache.hh) and its
+ * integration with the Runner's cache=DIR option:
+ *
+ *   - every JobValue kind round-trips through the cache files;
+ *   - corrupt or mismatched files are rejected and regenerate;
+ *   - a second Runner pointed at the same directory serves a whole
+ *     completed plan as cached=true without executing anything —
+ *     the cross-process memoization contract (the two Runners here
+ *     stand in for two processes; the directory is the only state
+ *     they share).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/result_cache.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+
+using namespace svf;
+
+namespace
+{
+
+/** A per-test cache directory, emptied of any prior run's files. */
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = testing::TempDir() + name;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return dir;
+}
+
+harness::ExperimentPlan
+smallPlan()
+{
+    harness::ExperimentPlan plan;
+
+    harness::RunSetup run;
+    run.workload = "gzip";
+    run.input = "log";
+    run.maxInsts = 20'000;
+    run.machine = harness::baselineConfig(8);
+    plan.add("gzip/base", run);
+
+    harness::RunSetup svf_run = run;
+    harness::applySvf(svf_run.machine, 1024, 2);
+    plan.add("gzip/svf", svf_run);
+
+    harness::TrafficSetup traffic;
+    traffic.workload = "gzip";
+    traffic.input = "log";
+    traffic.maxInsts = 30'000;
+    plan.add("gzip/traffic", traffic);
+
+    harness::ProfileSetup profile;
+    profile.workload = "gzip";
+    profile.input = "log";
+    profile.maxInsts = 30'000;
+    plan.add("gzip/profile", profile);
+
+    return plan;
+}
+
+TEST(ResultCache, RunResultRoundTrip)
+{
+    ckpt::ResultCache cache(freshDir("rescache_run"));
+    ASSERT_TRUE(cache.enabled());
+
+    harness::RunResult r;
+    r.core.cycles = 123;
+    r.core.committed = 456;
+    r.svfFastLoads = 7;
+    r.dl1Misses = 9;
+    r.output = "hello\n";
+    r.completed = true;
+    r.sampled.intervals = 3;
+    r.sampled.totalInsts = 1000;
+    r.sampled.ipcMean = 1.25;
+    r.sampled.counterVariance = {0.5, 1.5};
+
+    ASSERT_TRUE(cache.store(42, r));
+    ckpt::CachedValue out;
+    ASSERT_TRUE(cache.load(42, out));
+    const auto &got = std::get<harness::RunResult>(out);
+    EXPECT_EQ(got.core.cycles, 123u);
+    EXPECT_EQ(got.core.committed, 456u);
+    EXPECT_EQ(got.svfFastLoads, 7u);
+    EXPECT_EQ(got.dl1Misses, 9u);
+    EXPECT_EQ(got.output, "hello\n");
+    EXPECT_TRUE(got.completed);
+    EXPECT_EQ(got.sampled.intervals, 3u);
+    EXPECT_DOUBLE_EQ(got.sampled.ipcMean, 1.25);
+    ASSERT_EQ(got.sampled.counterVariance.size(), 2u);
+    EXPECT_DOUBLE_EQ(got.sampled.counterVariance[1], 1.5);
+    std::remove(cache.path(42).c_str());
+}
+
+TEST(ResultCache, MissAndDisabled)
+{
+    ckpt::ResultCache cache(freshDir("rescache_miss"));
+    ckpt::CachedValue out;
+    EXPECT_FALSE(cache.load(0xabcdef, out));
+
+    ckpt::ResultCache off("");
+    EXPECT_FALSE(off.enabled());
+    EXPECT_FALSE(off.store(1, harness::RunResult{}));
+    EXPECT_FALSE(off.load(1, out));
+}
+
+TEST(ResultCache, CorruptFileRejected)
+{
+    ckpt::ResultCache cache(freshDir("rescache_corrupt"));
+    harness::RunResult r;
+    r.core.cycles = 99;
+    ASSERT_TRUE(cache.store(7, r));
+
+    // Flip one byte in the middle of the payload.
+    std::string path = cache.path(7);
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(40);
+    char c;
+    f.seekg(40);
+    f.get(c);
+    f.seekp(40);
+    f.put(char(c ^ 0x10));
+    f.close();
+
+    ckpt::CachedValue out;
+    EXPECT_FALSE(cache.load(7, out));
+
+    // A key whose file holds a different key's record is rejected
+    // too (e.g. a file renamed by hand).
+    ASSERT_TRUE(cache.store(8, r));
+    std::rename(cache.path(8).c_str(), cache.path(9).c_str());
+    EXPECT_FALSE(cache.load(9, out));
+    std::remove(cache.path(7).c_str());
+    std::remove(cache.path(9).c_str());
+}
+
+TEST(RunnerDiskCache, SecondRunnerServesWholePlanCached)
+{
+    std::string dir = freshDir("rescache_runner");
+
+    harness::RunnerOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir;
+
+    harness::ExperimentPlan plan = smallPlan();
+
+    // First "process": everything executes, results land on disk.
+    harness::Runner first(opts);
+    auto res1 = first.run(plan);
+    EXPECT_EQ(first.executions(), plan.size());
+    EXPECT_EQ(first.diskHits(), 0u);
+
+    // Second "process": same directory, nothing executes.
+    harness::Runner second(opts);
+    auto res2 = second.run(plan);
+    EXPECT_EQ(second.executions(), 0u);
+    EXPECT_EQ(second.diskHits(), plan.size());
+    for (const auto &o : res2)
+        EXPECT_TRUE(o.cached) << o.name;
+
+    // And the served values are bit-identical to the computed ones.
+    for (size_t i = 0; i < res1.size(); ++i) {
+        EXPECT_EQ(res1[i].key, res2[i].key);
+        if (auto *a =
+                std::get_if<harness::RunResult>(&res1[i].value)) {
+            const auto &b = res2[i].run();
+            EXPECT_EQ(a->core.cycles, b.core.cycles);
+            EXPECT_EQ(a->core.committed, b.core.committed);
+            EXPECT_EQ(a->dl1Misses, b.dl1Misses);
+            EXPECT_EQ(a->output, b.output);
+        }
+    }
+
+    // Cleanup so reruns in the same temp dir start cold.
+    for (const auto &o : res1)
+        std::remove(
+            ckpt::ResultCache(dir).path(o.key).c_str());
+}
+
+TEST(RunnerDiskCache, CorruptEntryRegenerates)
+{
+    std::string dir = freshDir("rescache_regen");
+
+    harness::RunnerOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = dir;
+
+    harness::ExperimentPlan plan;
+    harness::RunSetup run;
+    run.workload = "gzip";
+    run.input = "log";
+    run.maxInsts = 10'000;
+    run.machine = harness::baselineConfig(8);
+    plan.add("gzip/one", run);
+
+    harness::Runner first(opts);
+    auto res1 = first.run(plan);
+
+    // Truncate the cached file to garbage.
+    std::string path = ckpt::ResultCache(dir).path(res1[0].key);
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "not a cache file";
+    }
+
+    harness::Runner second(opts);
+    auto res2 = second.run(plan);
+    EXPECT_EQ(second.diskHits(), 0u);
+    EXPECT_EQ(second.executions(), 1u);
+    EXPECT_FALSE(res2[0].cached);
+    EXPECT_EQ(res1[0].run().core.cycles, res2[0].run().core.cycles);
+
+    // The regenerated entry replaced the garbage.
+    ckpt::CachedValue out;
+    EXPECT_TRUE(ckpt::ResultCache(dir).load(res1[0].key, out));
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Interval sampling (ckpt/sampler.hh):
+ *
+ *   - SamplePlan parse/str round-trip, malformed-spec rejection and
+ *     setup-key separation (a sampled and a full run of the same
+ *     workload must never share a memoized result);
+ *   - the Sampler's interval arithmetic, including budgets too small
+ *     to hold the full warmup+detail window;
+ *   - fastForward targets absolute instruction counts and stops at
+ *     halt;
+ *   - CoreStatsAccum sums/means/variances;
+ *   - end-to-end: a sampled runExperiment is deterministic, covers
+ *     the same instruction stream as the full run, and estimates the
+ *     full run's IPC within a loose tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckpt/sampler.hh"
+#include "harness/experiment.hh"
+#include "sim/emulator.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+
+namespace
+{
+
+TEST(SamplePlan, ParseAndStr)
+{
+    ckpt::SamplePlan p = ckpt::SamplePlan::parse("10,2000,8000");
+    EXPECT_TRUE(p.enabled());
+    EXPECT_EQ(p.intervals, 10u);
+    EXPECT_EQ(p.warmupInsts, 2000u);
+    EXPECT_EQ(p.detailedInsts, 8000u);
+    EXPECT_FALSE(p.functionalWarm);
+    EXPECT_EQ(p.str(), "10,2000,8000");
+
+    ckpt::SamplePlan w = ckpt::SamplePlan::parse("4,0,500,warm");
+    EXPECT_TRUE(w.functionalWarm);
+    EXPECT_EQ(w.str(), "4,0,500,warm");
+
+    ckpt::SamplePlan off = ckpt::SamplePlan::parse("");
+    EXPECT_FALSE(off.enabled());
+}
+
+TEST(SamplePlanDeathTest, MalformedSpecsAreFatal)
+{
+    EXPECT_EXIT(ckpt::SamplePlan::parse("10"),
+                testing::ExitedWithCode(1), "bad sample spec");
+    EXPECT_EXIT(ckpt::SamplePlan::parse("10,abc,100"),
+                testing::ExitedWithCode(1), "bad sample spec");
+    EXPECT_EXIT(ckpt::SamplePlan::parse("10,0,0"),
+                testing::ExitedWithCode(1), "bad sample spec");
+    EXPECT_EXIT(ckpt::SamplePlan::parse("1,2,3,bogus"),
+                testing::ExitedWithCode(1), "bad sample spec");
+}
+
+TEST(SamplePlan, KeySeparatesPlans)
+{
+    harness::RunSetup full;
+    full.workload = "gzip";
+    full.input = "log";
+    full.machine = harness::baselineConfig(8);
+
+    harness::RunSetup sampled = full;
+    sampled.sample = ckpt::SamplePlan::parse("10,100,400");
+    EXPECT_NE(full.key(), sampled.key());
+
+    harness::RunSetup warmed = sampled;
+    warmed.sample.functionalWarm = true;
+    EXPECT_NE(sampled.key(), warmed.key());
+
+    // The snapshot directory is an accelerator, not an input.
+    harness::RunSetup with_dir = sampled;
+    with_dir.ckptDir = "/tmp/somewhere";
+    EXPECT_EQ(sampled.key(), with_dir.key());
+}
+
+TEST(Sampler, IntervalSchedule)
+{
+    ckpt::Sampler s(ckpt::SamplePlan::parse("10,200,800"), 100'000);
+    EXPECT_EQ(s.chunkInsts(), 10'000u);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        ckpt::Sampler::Interval iv = s.interval(i);
+        EXPECT_EQ(iv.ffTarget, i * 10'000 + 9'000) << i;
+        EXPECT_EQ(iv.warmup, 200u);
+        EXPECT_EQ(iv.detailed, 800u);
+    }
+}
+
+TEST(Sampler, ChunkSmallerThanWindowDropsFastForward)
+{
+    // 1000-inst chunks cannot hold 600+800: no fast-forward, and
+    // warmup is truncated before detail is.
+    ckpt::Sampler s(ckpt::SamplePlan::parse("10,600,800"), 10'000);
+    ckpt::Sampler::Interval iv = s.interval(3);
+    EXPECT_EQ(iv.ffTarget, 3'000u);
+    EXPECT_EQ(iv.detailed, 800u);
+    EXPECT_EQ(iv.warmup, 200u);
+}
+
+TEST(Sampler, FastForwardIsAbsoluteAndHaltAware)
+{
+    const workloads::WorkloadSpec &spec = workloads::workload("gzip");
+    isa::Program prog = spec.build("log", spec.defaultScale);
+    sim::Emulator emu(prog);
+    EXPECT_EQ(ckpt::fastForward(emu, 5'000), 5'000u);
+    EXPECT_EQ(emu.instCount(), 5'000u);
+    // Already past the target: no-op.
+    EXPECT_EQ(ckpt::fastForward(emu, 4'000), 0u);
+    EXPECT_EQ(emu.instCount(), 5'000u);
+}
+
+TEST(CoreStatsAccum, SumsMeansVariance)
+{
+    ckpt::CoreStatsAccum acc;
+    uarch::CoreStats a, b;
+    a.cycles = 100;
+    a.committed = 200;
+    b.cycles = 300;
+    b.committed = 200;
+    acc.add(a);
+    acc.add(b);
+    EXPECT_EQ(acc.intervals(), 2u);
+    // coreCounters() puts cycles first, committed second.
+    EXPECT_EQ(acc.sum(0), 400u);
+    EXPECT_DOUBLE_EQ(acc.mean(0), 200.0);
+    EXPECT_DOUBLE_EQ(acc.variance(0), 100.0 * 100.0);
+    EXPECT_DOUBLE_EQ(acc.variance(1), 0.0);
+    EXPECT_EQ(acc.total().cycles, 400u);
+    EXPECT_EQ(acc.total().committed, 400u);
+}
+
+harness::RunSetup
+mcfSetup()
+{
+    harness::RunSetup s;
+    s.workload = "mcf";
+    s.input = "inp";
+    s.maxInsts = 200'000;
+    s.machine = harness::baselineConfig(8);
+    return s;
+}
+
+TEST(SampledRun, DeterministicAndCoversTheRun)
+{
+    harness::RunSetup s = mcfSetup();
+    s.sample = ckpt::SamplePlan::parse("8,500,2000");
+
+    harness::RunResult a = harness::runExperiment(s);
+    harness::RunResult b = harness::runExperiment(s);
+
+    ASSERT_TRUE(a.sampled.enabled());
+    EXPECT_EQ(a.sampled.intervals, 8u);
+    EXPECT_EQ(a.sampled.totalInsts, 200'000u);
+    EXPECT_EQ(a.sampled.sampledInsts, a.core.committed);
+    EXPECT_EQ(a.sampled.ffInsts + a.sampled.warmupInsts +
+                  a.sampled.sampledInsts,
+              200'000u);
+
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.committed, b.core.committed);
+    EXPECT_EQ(a.sampled.estimatedCycles, b.sampled.estimatedCycles);
+    EXPECT_EQ(a.dl1Hits, b.dl1Hits);
+    EXPECT_EQ(a.output, b.output);
+}
+
+TEST(SampledRun, EstimatesFullRunIpc)
+{
+    harness::RunSetup full = mcfSetup();
+    harness::RunResult fr = harness::runExperiment(full);
+
+    harness::RunSetup sampled = mcfSetup();
+    sampled.sample = ckpt::SamplePlan::parse("10,2000,4000");
+    harness::RunResult sr = harness::runExperiment(sampled);
+
+    ASSERT_GT(fr.ipc(), 0.0);
+    ASSERT_GT(sr.sampled.ipcMean, 0.0);
+    double rel = std::fabs(sr.sampled.ipcMean - fr.ipc()) / fr.ipc();
+    EXPECT_LT(rel, 0.15)
+        << "sampled IPC " << sr.sampled.ipcMean << " vs full "
+        << fr.ipc();
+
+    double cyc_rel =
+        std::fabs(double(sr.sampled.estimatedCycles) -
+                  double(fr.core.cycles)) /
+        double(fr.core.cycles);
+    EXPECT_LT(cyc_rel, 0.15);
+}
+
+TEST(SampledRun, FunctionalWarmingAlsoEstimates)
+{
+    harness::RunSetup s = mcfSetup();
+    s.sample = ckpt::SamplePlan::parse("6,200,1500,warm");
+    harness::RunResult r = harness::runExperiment(s);
+    ASSERT_TRUE(r.sampled.enabled());
+    EXPECT_EQ(r.sampled.intervals, 6u);
+    EXPECT_GT(r.sampled.ipcMean, 0.0);
+}
+
+TEST(SampledRun, SnapshotStoreAcceleratesRepeatRuns)
+{
+    std::string dir = testing::TempDir() + "sampler_store";
+
+    harness::RunSetup s = mcfSetup();
+    s.sample = ckpt::SamplePlan::parse("4,500,1500");
+
+    harness::RunResult plain = harness::runExperiment(s);
+    s.ckptDir = dir;
+    harness::RunResult first = harness::runExperiment(s);   // fills
+    harness::RunResult second = harness::runExperiment(s);  // hits
+
+    // The store must not change any result — only host speed.
+    EXPECT_EQ(plain.core.cycles, first.core.cycles);
+    EXPECT_EQ(first.core.cycles, second.core.cycles);
+    EXPECT_EQ(plain.core.committed, second.core.committed);
+    EXPECT_EQ(plain.sampled.estimatedCycles,
+              second.sampled.estimatedCycles);
+    EXPECT_EQ(plain.output, second.output);
+}
+
+} // anonymous namespace

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The snapshot subsystem (ckpt/snapshot.hh, ckpt/serialize.hh) and
+ * the MemImage bulk paths it relies on:
+ *
+ *   - MemImage readBytes/forEachPage/installPage/reset semantics,
+ *     including the stale-lookup-cache regression: a scalar read
+ *     caches a page pointer, and reset()/installPage() must not
+ *     leave that pointer serving dead content;
+ *   - byte-level serialization primitives (round-trip, truncation);
+ *   - snapshot capture → serialize → deserialize → restore is
+ *     bit-identical: the resumed emulator's architectural state,
+ *     memory and subsequent execution match an uninterrupted run;
+ *   - a detailed (OooCore) run started from a restored snapshot
+ *     produces CoreStats identical to one started from a live
+ *     fast-forward to the same point — restore is transparent to
+ *     the timing model;
+ *   - corrupted or truncated snapshot files are rejected at load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/serialize.hh"
+#include "ckpt/snapshot.hh"
+#include "harness/experiment.hh"
+#include "sim/emulator.hh"
+#include "sim/mem_image.hh"
+#include "uarch/ooo_core.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(MemImageBulk, ReadBytesZeroFillsUnallocated)
+{
+    sim::MemImage m;
+    m.write64(0x1000, 0x1122334455667788ull);
+    std::vector<std::uint8_t> buf(16, 0xcc);
+    // First 8 bytes come from an untouched page, last 8 are data.
+    m.readBytes(0xff8, buf.data(), 16);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(buf[i], 0u) << i;
+    EXPECT_EQ(buf[8], 0x88u);
+    EXPECT_EQ(buf[15], 0x11u);
+}
+
+TEST(MemImageBulk, ReadBytesCrossesPages)
+{
+    sim::MemImage m;
+    const Addr base = sim::MemImage::PageSize - 4;
+    std::vector<std::uint8_t> data(8);
+    for (int i = 0; i < 8; ++i)
+        data[i] = std::uint8_t(i + 1);
+    m.writeBytes(base, data.data(), data.size());
+    std::vector<std::uint8_t> buf(8, 0);
+    m.readBytes(base, buf.data(), buf.size());
+    EXPECT_EQ(buf, data);
+}
+
+TEST(MemImageBulk, ForEachPageAscendingAndComplete)
+{
+    sim::MemImage m;
+    // Touch pages in descending order; the walk must sort them.
+    m.write8(5 * sim::MemImage::PageSize, 5);
+    m.write8(1 * sim::MemImage::PageSize, 1);
+    m.write8(3 * sim::MemImage::PageSize, 3);
+    std::vector<Addr> seen;
+    m.forEachPage([&](Addr a, const std::uint8_t *bytes) {
+        seen.push_back(a);
+        EXPECT_EQ(bytes[0], a / sim::MemImage::PageSize);
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 1 * sim::MemImage::PageSize);
+    EXPECT_EQ(seen[1], 3 * sim::MemImage::PageSize);
+    EXPECT_EQ(seen[2], 5 * sim::MemImage::PageSize);
+}
+
+TEST(MemImageBulk, InstallPageRoundTrip)
+{
+    sim::MemImage src;
+    for (Addr a = 0; a < 64; a += 8)
+        src.write64(0x2000 + a, a * 3 + 1);
+    sim::MemImage dst;
+    src.forEachPage([&](Addr a, const std::uint8_t *bytes) {
+        dst.installPage(a, bytes);
+    });
+    EXPECT_EQ(dst.pagesAllocated(), src.pagesAllocated());
+    for (Addr a = 0; a < 64; a += 8)
+        EXPECT_EQ(dst.read64(0x2000 + a), a * 3 + 1);
+}
+
+TEST(MemImageBulk, ResetInvalidatesLookupCache)
+{
+    sim::MemImage m;
+    m.write64(0x3000, 0xdeadbeefull);
+    // This read populates the one-entry lookup cache for the page.
+    EXPECT_EQ(m.read64(0x3000), 0xdeadbeefull);
+    m.reset();
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+    // A stale cache entry would serve the freed page here.
+    EXPECT_EQ(m.read64(0x3000), 0u);
+}
+
+TEST(MemImageBulk, InstallPageReplacesCachedContent)
+{
+    sim::MemImage m;
+    m.write64(0x4000, 111);
+    EXPECT_EQ(m.read64(0x4000), 111u);  // cache now points here
+    std::vector<std::uint8_t> page(sim::MemImage::PageSize, 0);
+    page[0] = 222;
+    m.installPage(0x4000, page.data());
+    EXPECT_EQ(m.read8(0x4000), 222u);
+}
+
+TEST(Serialize, RoundTrip)
+{
+    ckpt::ByteWriter w;
+    w.u8(0xab);
+    w.u32(0xdeadbeef);
+    w.u64(0x1122334455667788ull);
+    w.d64(3.14159);
+    const std::string embedded("hello\0world", 11);
+    w.str(embedded);
+    ckpt::ByteReader r(w.data());
+    EXPECT_EQ(r.u8(), 0xabu);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+    EXPECT_DOUBLE_EQ(r.d64(), 3.14159);
+    EXPECT_EQ(r.str(), embedded);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialize, TruncationIsSafe)
+{
+    ckpt::ByteWriter w;
+    w.u64(42);
+    std::vector<std::uint8_t> cut(w.data().begin(),
+                                  w.data().begin() + 3);
+    ckpt::ByteReader r(cut);
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_FALSE(r.ok());
+    // Further reads stay failed instead of walking off the buffer.
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_EQ(r.str(), "");
+}
+
+TEST(Serialize, LittleEndianOnDisk)
+{
+    ckpt::ByteWriter w;
+    w.u32(0x04030201);
+    ASSERT_EQ(w.data().size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(w.data()[i], i + 1);
+}
+
+/** Emulator positioned @p insts into a workload. */
+struct Positioned
+{
+    isa::Program prog;
+    std::unique_ptr<sim::Emulator> emu;
+
+    Positioned(const std::string &workload, const std::string &input,
+               std::uint64_t insts)
+    {
+        const workloads::WorkloadSpec &spec =
+            workloads::workload(workload);
+        prog = spec.build(input, spec.defaultScale);
+        emu = std::make_unique<sim::Emulator>(prog);
+        emu->run(insts);
+    }
+};
+
+void
+expectSameArchState(const sim::Emulator &a, const sim::Emulator &b)
+{
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.instCount(), b.instCount());
+    EXPECT_EQ(a.halted(), b.halted());
+    EXPECT_EQ(a.minSp(), b.minSp());
+    EXPECT_EQ(a.output(), b.output());
+    for (RegIndex r = 0; r < isa::NumRegs; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "reg " << unsigned(r);
+}
+
+TEST(Snapshot, CaptureSerializeRestoreBitIdentical)
+{
+    Positioned src("gzip", "log", 50'000);
+    ckpt::Snapshot snap = ckpt::Snapshot::capture(*src.emu);
+    EXPECT_EQ(snap.state.icount, 50'000u);
+    EXPECT_EQ(snap.progHash, ckpt::programHash(src.prog));
+
+    std::vector<std::uint8_t> bytes = snap.serialize();
+    ckpt::Snapshot loaded;
+    std::string error;
+    ASSERT_TRUE(loaded.deserialize(bytes, error)) << error;
+
+    Positioned dst("gzip", "log", 0);
+    loaded.restore(*dst.emu);
+    expectSameArchState(*src.emu, *dst.emu);
+
+    // Memory must match byte-for-byte everywhere either touched.
+    EXPECT_EQ(dst.emu->mem().pagesAllocated(),
+              src.emu->mem().pagesAllocated());
+    src.emu->mem().forEachPage([&](Addr a, const std::uint8_t *p) {
+        std::vector<std::uint8_t> got(sim::MemImage::PageSize);
+        dst.emu->mem().readBytes(a, got.data(), got.size());
+        EXPECT_EQ(std::memcmp(got.data(), p, got.size()), 0)
+            << "page " << std::hex << a;
+    });
+
+    // The resumed emulator's future must equal the original's.
+    src.emu->run(50'000);
+    dst.emu->run(50'000);
+    expectSameArchState(*src.emu, *dst.emu);
+}
+
+TEST(Snapshot, FileRoundTripWithProvenance)
+{
+    Positioned src("mcf", "inp", 20'000);
+    ckpt::Snapshot snap = ckpt::Snapshot::capture(*src.emu);
+    snap.workload = "mcf";
+    snap.input = "inp";
+    snap.scale = 0;
+
+    std::string path = tempPath("snap_roundtrip.ckpt");
+    ASSERT_TRUE(snap.saveFile(path));
+    ckpt::Snapshot loaded;
+    std::string error;
+    ASSERT_TRUE(loaded.loadFile(path, error)) << error;
+    EXPECT_EQ(loaded.workload, "mcf");
+    EXPECT_EQ(loaded.input, "inp");
+    EXPECT_EQ(loaded.progHash, snap.progHash);
+    EXPECT_EQ(loaded.state.icount, snap.state.icount);
+    EXPECT_EQ(loaded.pages.size(), snap.pages.size());
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, DetailedRunFromRestoreMatchesUninterrupted)
+{
+    const std::uint64_t ff = 60'000, detail = 40'000;
+
+    // Uninterrupted: live fast-forward, then the detailed window.
+    Positioned live("mcf", "inp", ff);
+    uarch::MachineConfig machine = harness::baselineConfig(8);
+    uarch::OooCore live_core(machine, *live.emu);
+    live_core.run(detail);
+
+    // Checkpointed: capture at the same point, restore into a fresh
+    // emulator, run the identical detailed window.
+    Positioned src("mcf", "inp", ff);
+    ckpt::Snapshot snap = ckpt::Snapshot::capture(*src.emu);
+    Positioned dst("mcf", "inp", 0);
+    snap.restore(*dst.emu);
+    uarch::OooCore ckpt_core(machine, *dst.emu);
+    ckpt_core.run(detail);
+
+    const uarch::CoreStats &a = live_core.stats();
+    const uarch::CoreStats &b = ckpt_core.stats();
+    for (const ckpt::CoreCounter &c : ckpt::coreCounters())
+        EXPECT_EQ(a.*(c.field), b.*(c.field)) << c.name;
+    expectSameArchState(*live.emu, *dst.emu);
+}
+
+TEST(Snapshot, CorruptionDetected)
+{
+    Positioned src("gzip", "log", 10'000);
+    ckpt::Snapshot snap = ckpt::Snapshot::capture(*src.emu);
+    std::vector<std::uint8_t> bytes = snap.serialize();
+
+    std::string error;
+    ckpt::Snapshot out;
+
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;    // body bit flip
+    EXPECT_FALSE(out.deserialize(flipped, error));
+
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.end() - 9);
+    EXPECT_FALSE(out.deserialize(truncated, error));
+
+    std::vector<std::uint8_t> badmagic = bytes;
+    badmagic[0] ^= 0xff;
+    EXPECT_FALSE(out.deserialize(badmagic, error));
+}
+
+TEST(Snapshot, RestoreOntoWrongProgramIsFatal)
+{
+    Positioned src("gzip", "log", 5'000);
+    ckpt::Snapshot snap = ckpt::Snapshot::capture(*src.emu);
+    Positioned other("mcf", "inp", 0);
+    EXPECT_EXIT(snap.restore(*other.emu),
+                testing::ExitedWithCode(1),
+                "snapshot/program mismatch");
+}
+
+TEST(SnapshotStore, SaveAndRestoreByIcount)
+{
+    std::string dir = tempPath("snapstore");
+    ckpt::SnapshotStore store(dir);
+    ASSERT_TRUE(store.enabled());
+
+    Positioned src("gzip", "log", 30'000);
+    std::uint64_t hash = ckpt::programHash(src.prog);
+    EXPECT_TRUE(store.save(hash, *src.emu));
+
+    Positioned dst("gzip", "log", 0);
+    EXPECT_FALSE(store.tryRestore(hash, 29'999, *dst.emu));
+    ASSERT_TRUE(store.tryRestore(hash, 30'000, *dst.emu));
+    expectSameArchState(*src.emu, *dst.emu);
+    std::remove(store.path(hash, 30'000).c_str());
+}
+
+TEST(SnapshotStore, DisabledStoreIsNoOp)
+{
+    ckpt::SnapshotStore store("");
+    EXPECT_FALSE(store.enabled());
+    Positioned src("gzip", "log", 1'000);
+    EXPECT_FALSE(store.save(ckpt::programHash(src.prog), *src.emu));
+}
+
+} // anonymous namespace

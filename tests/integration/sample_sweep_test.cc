@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tier-2 sampling accuracy sweep: for every workload, an
+ * interval-sampled run must estimate the full detailed run's IPC
+ * within a loose tolerance, and the run's coverage identity
+ * (fast-forwarded + warmup + measured = total) must hold.
+ *
+ * This is an accuracy smoke test, not a precision benchmark: the
+ * kernels are phase-heavy at small scales, so the tolerance is wide.
+ * Systematic breakage (sampling the wrong windows, counters leaking
+ * across the warmup boundary, a non-resumable core) shows up as
+ * order-of-magnitude errors, which is what this guards against.
+ *
+ * The plan uses functional warming: without it, workloads with
+ * large working sets (vortex most of all) pay cold caches at every
+ * window start and under-estimate IPC by 2x — the documented bias
+ * the ",warm" option exists to remove (docs/model.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+
+namespace
+{
+
+class SampleSweep : public testing::TestWithParam<const char *>
+{};
+
+TEST_P(SampleSweep, SampledIpcTracksFullRun)
+{
+    const workloads::WorkloadSpec &spec =
+        workloads::workload(GetParam());
+
+    harness::RunSetup full;
+    full.workload = spec.name;
+    full.input = spec.inputs[0];
+    full.maxInsts = 400'000;
+    full.machine = harness::baselineConfig(8);
+
+    harness::RunSetup sampled = full;
+    sampled.sample = ckpt::SamplePlan::parse("10,2000,8000,warm");
+
+    harness::RunResult fr = harness::runExperiment(full);
+    harness::RunResult sr = harness::runExperiment(sampled);
+
+    ASSERT_TRUE(sr.sampled.enabled());
+    EXPECT_EQ(sr.sampled.ffInsts + sr.sampled.warmupInsts +
+                  sr.sampled.sampledInsts,
+              sr.sampled.totalInsts);
+    EXPECT_EQ(sr.completed, fr.completed);
+    EXPECT_EQ(sr.output, fr.output);
+
+    ASSERT_GT(fr.ipc(), 0.0);
+    ASSERT_GT(sr.sampled.ipcMean, 0.0);
+    double rel = std::fabs(sr.sampled.ipcMean - fr.ipc()) / fr.ipc();
+    EXPECT_LT(rel, 0.25)
+        << spec.name << ": sampled IPC " << sr.sampled.ipcMean
+        << " vs full " << fr.ipc();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SampleSweep,
+    testing::Values("bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+                    "mcf", "parser", "perlbmk", "twolf", "vortex",
+                    "vpr"),
+    [](const testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+} // anonymous namespace

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * svf-ckpt: create, inspect and resume architectural snapshots.
+ *
+ * The checkpoint subsystem (src/ckpt/) is normally driven implicitly
+ * through sample=/ckpt= options; this tool exposes it directly so
+ * snapshots can be produced ahead of time, audited, and resumed into
+ * a detailed simulation from the command line.
+ *
+ * Usage:
+ *     svf-ckpt cmd=create workload=mcf [input=ref] [scale=N]
+ *              at=N file=mcf.ckpt
+ *     svf-ckpt cmd=create asm=prog.s at=N file=prog.ckpt
+ *     svf-ckpt cmd=inspect file=mcf.ckpt
+ *     svf-ckpt cmd=resume file=mcf.ckpt [insts=N] [width=16 svf=1
+ *              ... any machine option of svf-sim]
+ *
+ * Options:
+ *     cmd=create|inspect|resume        (required)
+ *     file=FILE        the snapshot file (required)
+ *     at=N             create: functional instructions to execute
+ *                      before capturing            (default 100000)
+ *     insts=N          resume: detailed instruction budget after the
+ *                      restore point               (default 1000000)
+ *     asm=FILE.s       create/resume: external program (a snapshot
+ *                      created from asm= records no registry
+ *                      provenance, so resume needs asm= again)
+ *
+ * resume also accepts every machine option svf-sim understands
+ * (width=, svf=, stack_cache=, sched=, ...).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/config.hh"
+#include "base/logging.hh"
+#include "ckpt/snapshot.hh"
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+
+namespace
+{
+
+isa::Program
+loadAsm(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open assembly file '%s'", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    try {
+        return isa::assemble(ss.str(), path);
+    } catch (const isa::AsmError &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+}
+
+int
+doCreate(const Config &cfg, const std::string &file)
+{
+    ckpt::Snapshot snap;
+    isa::Program prog;
+    std::string asm_path = cfg.getString("asm", "");
+    if (!asm_path.empty()) {
+        prog = loadAsm(asm_path);
+    } else {
+        snap.workload = cfg.getString("workload", "");
+        if (snap.workload.empty())
+            fatal("cmd=create needs workload=<name> or asm=<file.s>");
+        const workloads::WorkloadSpec &spec =
+            workloads::workload(snap.workload);
+        snap.input = cfg.getString("input", spec.inputs[0]);
+        snap.scale = cfg.getUint("scale", spec.defaultScale);
+        prog = spec.build(snap.input, snap.scale);
+    }
+
+    std::uint64_t at = cfg.getUint("at", 100'000);
+    sim::Emulator emu(prog);
+    emu.run(at);
+    if (emu.instCount() < at) {
+        warn("program halted after %llu instructions (at=%llu); "
+             "capturing the final state",
+             (unsigned long long)emu.instCount(),
+             (unsigned long long)at);
+    }
+
+    ckpt::Snapshot captured = ckpt::Snapshot::capture(emu);
+    captured.workload = snap.workload;
+    captured.input = snap.input;
+    captured.scale = snap.scale;
+    if (!captured.saveFile(file))
+        fatal("cannot write snapshot '%s'", file.c_str());
+    std::printf("wrote %s: icount=%llu pages=%zu prog=%016llx\n",
+                file.c_str(),
+                (unsigned long long)captured.state.icount,
+                captured.pages.size(),
+                (unsigned long long)captured.progHash);
+    return 0;
+}
+
+int
+doInspect(const std::string &file)
+{
+    ckpt::Snapshot snap;
+    std::string error;
+    if (!snap.loadFile(file, error))
+        fatal("%s: %s", file.c_str(), error.c_str());
+
+    std::printf("snapshot              %s\n", file.c_str());
+    std::printf("format version        %u\n", snap.FormatVersion);
+    if (snap.workload.empty()) {
+        std::printf("provenance            external program "
+                    "(resume needs asm=)\n");
+    } else {
+        std::printf("provenance            workload=%s input=%s "
+                    "scale=%llu\n",
+                    snap.workload.c_str(), snap.input.c_str(),
+                    (unsigned long long)snap.scale);
+    }
+    std::printf("program hash          %016llx\n",
+                (unsigned long long)snap.progHash);
+    std::printf("instruction count     %llu\n",
+                (unsigned long long)snap.state.icount);
+    std::printf("pc                    %08llx\n",
+                (unsigned long long)snap.state.pc);
+    std::printf("halted                %s\n",
+                snap.state.halted ? "yes" : "no");
+    std::printf("touched pages         %zu (%zu KiB)\n",
+                snap.pages.size(), snap.pages.size() * 4);
+    std::printf("min $sp               %08llx\n",
+                (unsigned long long)snap.state.lowSp);
+    std::printf("buffered output       %zu bytes\n",
+                snap.state.output.size());
+    return 0;
+}
+
+int
+doResume(const Config &cfg, const std::string &file)
+{
+    ckpt::Snapshot snap;
+    std::string error;
+    if (!snap.loadFile(file, error))
+        fatal("%s: %s", file.c_str(), error.c_str());
+
+    isa::Program prog;
+    std::string asm_path = cfg.getString("asm", "");
+    if (!asm_path.empty()) {
+        prog = loadAsm(asm_path);
+    } else if (!snap.workload.empty()) {
+        const workloads::WorkloadSpec &spec =
+            workloads::workload(snap.workload);
+        prog = spec.build(snap.input, snap.scale);
+    } else {
+        fatal("snapshot has no workload provenance; pass asm=<file.s>");
+    }
+
+    sim::Emulator oracle(prog);
+    snap.restore(oracle);
+
+    uarch::MachineConfig machine = harness::machineFromConfig(cfg);
+    uarch::OooCore core(machine, oracle);
+    std::uint64_t budget = cfg.getUint("insts", 1'000'000);
+    core.run(budget);
+
+    const uarch::CoreStats &s = core.stats();
+    std::printf("resumed at            %llu insts\n",
+                (unsigned long long)snap.state.icount);
+    std::printf("sim_cycles            %llu\n",
+                (unsigned long long)s.cycles);
+    std::printf("sim_insts             %llu\n",
+                (unsigned long long)s.committed);
+    std::printf("sim_IPC               %.4f\n", s.ipc());
+    std::printf("loads / stores        %llu / %llu\n",
+                (unsigned long long)s.loads,
+                (unsigned long long)s.stores);
+    std::printf("dl1 hits / misses     %llu / %llu\n",
+                (unsigned long long)core.hier().dl1().hits(),
+                (unsigned long long)core.hier().dl1().misses());
+    std::printf("program halted        %s\n",
+                oracle.halted() ? "yes" : "no (budget reached)");
+    if (!oracle.output().empty())
+        std::printf("program output:\n%s", oracle.output().c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = Config::fromArgs(argc, argv);
+    std::string cmd = cfg.getString("cmd", "");
+    std::string file = cfg.getString("file", "");
+    if (cmd.empty() || file.empty())
+        fatal("usage: svf-ckpt cmd=create|inspect|resume file=FILE "
+              "[options]  (see the header of tools/svf_ckpt.cc)");
+
+    int rc;
+    if (cmd == "create")
+        rc = doCreate(cfg, file);
+    else if (cmd == "inspect")
+        rc = doInspect(file);
+    else if (cmd == "resume")
+        rc = doResume(cfg, file);
+    else
+        fatal("unknown cmd '%s' (create|inspect|resume)", cmd.c_str());
+
+    cfg.warnUnused();
+    return rc;
+}

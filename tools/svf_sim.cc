@@ -32,6 +32,14 @@
  *     jobs=N           runner worker threads       (default 1)
  *     json=FILE        write the run as a JSON record
  *     progress=1       report job completion on stderr
+ *     sample=K,W,D[,warm]  interval-sample the run: K detailed
+ *                      windows of W warmup + D measured insts,
+ *                      fast-forwarding between them (",warm" adds
+ *                      functional cache/bpred warming)
+ *     ckpt=DIR         snapshot directory for the sampler's
+ *                      fast-forwards (see also: svf-ckpt)
+ *     cache=DIR        disk-persistent result cache; repeated
+ *                      identical invocations skip simulation
  */
 
 #include <cstdio>
@@ -84,37 +92,6 @@ loadProgram(const Config &cfg, std::string &display_name)
     std::uint64_t scale = cfg.getUint("scale", spec.defaultScale);
     display_name = name + "." + input;
     return spec.build(input, scale);
-}
-
-uarch::MachineConfig
-makeMachine(const Config &cfg)
-{
-    uarch::MachineConfig m = harness::baselineConfig(
-        static_cast<unsigned>(cfg.getUint("width", 16)),
-        static_cast<unsigned>(cfg.getUint("dl1_ports", 2)),
-        cfg.getString("bpred", "perfect"));
-
-    if (cfg.getBool("svf", false)) {
-        harness::applySvf(
-            m,
-            static_cast<std::uint32_t>(
-                cfg.getUint("svf.kb", 8) * 1024 / 8),
-            static_cast<unsigned>(cfg.getUint("svf.ports", 2)));
-        m.svf.noSquash = cfg.getBool("svf.no_squash", false);
-        m.svf.morphSpRefs = cfg.getBool("svf.morph", true);
-        m.svf.dynamicDisable = cfg.getBool("svf.dynamic", false);
-    }
-    if (cfg.getBool("stack_cache", false)) {
-        harness::applyStackCache(
-            m, cfg.getUint("stack_cache.kb", 8) * 1024,
-            static_cast<unsigned>(cfg.getUint("svf.ports", 2)));
-    }
-    m.noAddrCalcOp = cfg.getBool("no_addr_cal_op", false);
-    m.contextSwitchPeriod = cfg.getUint("ctx_period", 0);
-    std::string sched = cfg.getString("sched", "");
-    if (!sched.empty())
-        m.sched = uarch::parseSchedKind(sched);
-    return m;
 }
 
 void
@@ -182,6 +159,21 @@ dumpStats(const std::string &name, const uarch::MachineConfig &m,
                     (unsigned long long)s.scCtxBytes,
                     (unsigned long long)s.dl1CtxLines);
     }
+    if (r.sampled.enabled()) {
+        const ckpt::SampleEstimate &e = r.sampled;
+        std::printf("sampled intervals     %llu (%llu measured, "
+                    "%llu warmup, %llu fast-forwarded insts)\n",
+                    (unsigned long long)e.intervals,
+                    (unsigned long long)e.sampledInsts,
+                    (unsigned long long)e.warmupInsts,
+                    (unsigned long long)e.ffInsts);
+        std::printf("est_total_insts       %llu\n",
+                    (unsigned long long)e.totalInsts);
+        std::printf("est_cycles            %llu\n",
+                    (unsigned long long)e.estimatedCycles);
+        std::printf("est_IPC               %.4f (+/- %.4f across "
+                    "intervals)\n", e.ipcMean, e.ipcStddev);
+    }
     std::printf("program halted        %s\n",
                 r.completed ? "yes" : "no (budget reached)");
     if (!r.output.empty())
@@ -226,7 +218,10 @@ main(int argc, char **argv)
     } else {
         harness::RunSetup s;
         s.maxInsts = budget;
-        s.machine = makeMachine(cfg);
+        s.machine = harness::machineFromConfig(cfg);
+        s.sample =
+            ckpt::SamplePlan::parse(cfg.getString("sample", ""));
+        s.ckptDir = cfg.getString("ckpt", "");
         s.program =
             std::make_shared<const isa::Program>(std::move(prog));
 
@@ -235,6 +230,7 @@ main(int argc, char **argv)
 
         harness::RunnerOptions opts;
         opts.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
+        opts.cacheDir = cfg.getString("cache", "");
         if (cfg.getBool("progress", false))
             opts.progress = harness::stderrProgress();
         harness::Runner runner(opts);
@@ -250,8 +246,6 @@ main(int argc, char **argv)
         }
     }
 
-    for (const auto &key : cfg.unusedKeys())
-        std::fprintf(stderr, "warn: unused option '%s'\n",
-                     key.c_str());
+    cfg.warnUnused();
     return 0;
 }
