@@ -23,6 +23,11 @@
  *     ckpt=DIR     snapshot directory for the sampler fast-forwards
  *                  (ckpt/snapshot.hh); repeated sampled runs of the
  *                  same program skip re-emulation.
+ *     pjobs=N      worker threads *inside* each sampled run: the
+ *                  detailed windows of one job fan out over N
+ *                  threads (harness/experiment.hh). Results are
+ *                  byte-identical for any N. Clamped so jobs= times
+ *                  pjobs= never oversubscribes the host.
  *     cache=DIR    disk-persistent result cache (ckpt/result_cache
  *                  .hh): completed jobs are served as cached=true
  *                  across process runs.
@@ -31,11 +36,13 @@
 #ifndef SVF_BENCH_BENCH_UTIL_HH
 #define SVF_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -102,6 +109,7 @@ class Bench
         _sample = ckpt::SamplePlan::parse(
             _cfg.getString("sample", ""));
         _ckptDir = _cfg.getString("ckpt", "");
+        _pjobs = static_cast<unsigned>(_cfg.getUint("pjobs", 1));
         harness::RunnerOptions opts;
         opts.jobs =
             static_cast<unsigned>(_cfg.getUint("jobs", default_jobs));
@@ -109,6 +117,17 @@ class Bench
         if (_cfg.getBool("progress", false))
             opts.progress = harness::stderrProgress();
         _runner = std::make_unique<harness::Runner>(opts);
+        // Nest pjobs under jobs without oversubscribing: every
+        // Runner worker may spin up pjobs interval threads of its
+        // own, so their product is capped at the host's cores.
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 1;
+        unsigned outer = std::max(1u, _runner->threadCount());
+        unsigned cap = std::max(1u, hw / outer);
+        if (_pjobs == 0)
+            _pjobs = cap;       // pjobs=0: use whatever fits
+        _pjobs = std::min(_pjobs, cap);
         harness::banner(title, paper_ref);
     }
 
@@ -144,6 +163,7 @@ class Bench
                     continue;
                 rs->sample = _sample;
                 rs->ckptDir = _ckptDir;
+                rs->pjobs = _pjobs;
             }
             out = _runner->run(sampled);
         } else {
@@ -151,6 +171,21 @@ class Bench
         }
         _json.add(out);
         return out;
+    }
+
+    /** Interval worker threads per sampled run (clamped pjobs=). */
+    unsigned pjobs() const { return _pjobs; }
+
+    /**
+     * Feed one synthesized outcome into the JSON report — for
+     * measurements a bench takes outside the Runner (e.g. the
+     * fast-forward microbenchmarks of host_throughput) that should
+     * still reach json=FILE and the committed baselines.
+     */
+    void
+    addOutcome(const harness::JobOutcome &o)
+    {
+        _json.add(o);
     }
 
     /** Render @p t honouring csv=. */
@@ -180,6 +215,7 @@ class Bench
     std::string _jsonPath;
     ckpt::SamplePlan _sample;
     std::string _ckptDir;
+    unsigned _pjobs = 1;
     std::unique_ptr<harness::Runner> _runner;
     harness::JsonReport _json;
 };

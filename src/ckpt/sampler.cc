@@ -174,6 +174,15 @@ std::uint64_t
 fastForward(sim::Emulator &emu, std::uint64_t target_icount,
             uarch::OooCore *warm_core)
 {
+    if (!warm_core) {
+        // Nothing consumes per-instruction ExecInfo: take the
+        // batched interpreter, which is bit-identical to step()
+        // in every architectural respect.
+        if (emu.instCount() >= target_icount || emu.halted())
+            return 0;
+        return emu.runFast(target_icount - emu.instCount());
+    }
+
     std::uint64_t executed = 0;
     sim::ExecInfo info;
     while (emu.instCount() < target_icount && !emu.halted()) {

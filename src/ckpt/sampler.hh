@@ -178,9 +178,15 @@ class Sampler
  * Functionally execute @p emu up to @p target_icount instructions
  * (absolute, not relative) at full host speed.
  *
+ * Without a warm core this runs on the batched interpreter
+ * (Emulator::runFast) — several times faster than step() and
+ * bit-identical in every architectural respect.
+ *
  * @param warm_core when non-null, every skipped instruction also
  *        probes the core's caches and branch predictor
- *        (OooCore::warmFunctional) — functional warming.
+ *        (OooCore::warmFunctional) — functional warming. This path
+ *        still steps one instruction at a time: warming consumes the
+ *        per-instruction ExecInfo the batched loop elides.
  * @return instructions actually executed (short on early halt).
  */
 std::uint64_t fastForward(sim::Emulator &emu,

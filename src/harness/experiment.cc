@@ -1,6 +1,9 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "base/config.hh"
@@ -142,26 +145,74 @@ checkOutput(const RunSetup &setup,
     }
 }
 
+/** What one detailed measurement window produced. */
+struct IntervalResult
+{
+    bool measured = false;      //!< window committed > 0 insts
+    uarch::CoreStats delta;
+    RunResult unitBefore;       //!< unit counters around the window
+    RunResult unitAfter;
+    std::uint64_t warmInsts = 0;
+};
+
+/** Shared tail of both sampled engines: the derived estimate. */
+void
+finalizeSampleEstimate(RunResult &r, const ckpt::CoreStatsAccum &accum,
+                       const std::vector<double> &interval_ipc,
+                       std::uint64_t total_insts,
+                       std::uint64_t ff_insts,
+                       std::uint64_t warm_insts)
+{
+    ckpt::SampleEstimate &est = r.sampled;
+    est.intervals = accum.intervals();
+    est.totalInsts = total_insts;
+    est.ffInsts = ff_insts;
+    est.warmupInsts = warm_insts;
+    est.sampledInsts = r.core.committed;
+    est.sampledCycles = r.core.cycles;
+    double sum = 0.0, sumsq = 0.0;
+    for (double v : interval_ipc) {
+        sum += v;
+        sumsq += v * v;
+    }
+    if (!interval_ipc.empty()) {
+        double n = double(interval_ipc.size());
+        est.ipcMean = sum / n;
+        double var = sumsq / n - est.ipcMean * est.ipcMean;
+        est.ipcStddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    if (est.ipcMean > 0.0) {
+        est.estimatedCycles = static_cast<std::uint64_t>(
+            double(est.totalInsts) / est.ipcMean);
+    }
+    est.counterVariance.reserve(ckpt::coreCounters().size());
+    for (std::size_t c = 0; c < ckpt::coreCounters().size(); ++c)
+        est.counterVariance.push_back(accum.variance(c));
+}
+
 /**
- * The interval-sampled run: alternate functional fast-forwards
- * (optionally snapshot-cached / structure-warming) with detailed
- * windows, measuring only the post-warmup part of each window.
+ * Warm-plan sampled run: one oracle and one core walk the whole
+ * budget in order, functionally warming caches and predictors
+ * through every fast-forward gap.
+ *
+ * This path is deliberately serial and ignores setup.pjobs. Warming
+ * is a fold over the entire instruction stream — the cache state at
+ * a window reflects everything since program start — so intervals
+ * are not independent. Cutting the history down to a bounded lead-in
+ * (to make windows parallelizable) measurably starves workloads
+ * whose working set outlives one inter-window gap: vortex
+ * under-estimates IPC by ~2x with one chunk of warm history. Plans
+ * without ",warm" have no such coupling and take the parallel
+ * engine below. Snapshots are not reused here either: restoring one
+ * would skip the functional stream the warming needs.
  */
 RunResult
-runSampledExperiment(const RunSetup &setup, const isa::Program &prog,
+runSampledWarmSerial(const RunSetup &setup, const isa::Program &prog,
                      const workloads::WorkloadSpec *spec,
                      std::uint64_t scale)
 {
     sim::Emulator oracle(prog);
     uarch::OooCore core(setup.machine, oracle);
-
-    ckpt::SnapshotStore store(setup.ckptDir);
-    const std::uint64_t phash =
-        store.enabled() ? ckpt::programHash(prog) : 0;
-    // Snapshots shortcut the functional stream, so they are only
-    // usable when that stream is not needed for warming.
-    const bool use_store =
-        store.enabled() && !setup.sample.functionalWarm;
 
     ckpt::Sampler sampler(setup.sample, setup.maxInsts);
     ckpt::CoreStatsAccum accum;
@@ -174,18 +225,8 @@ runSampledExperiment(const RunSetup &setup, const isa::Program &prog,
          i < sampler.intervalCount() && !oracle.halted(); ++i) {
         ckpt::Sampler::Interval iv = sampler.interval(i);
 
-        if (oracle.instCount() < iv.ffTarget) {
-            if (!(use_store &&
-                  store.tryRestore(phash, iv.ffTarget, oracle))) {
-                ff_total += ckpt::fastForward(
-                    oracle, iv.ffTarget,
-                    setup.sample.functionalWarm ? &core : nullptr);
-                if (use_store &&
-                    oracle.instCount() == iv.ffTarget) {
-                    store.save(phash, oracle);
-                }
-            }
-        }
+        if (oracle.instCount() < iv.ffTarget)
+            ff_total += ckpt::fastForward(oracle, iv.ffTarget, &core);
         if (oracle.halted())
             break;
 
@@ -218,33 +259,165 @@ runSampledExperiment(const RunSetup &setup, const isa::Program &prog,
 
     r.core = accum.total();
     checkOutput(setup, spec, scale, oracle, r);
-
-    ckpt::SampleEstimate &est = r.sampled;
-    est.intervals = accum.intervals();
-    est.totalInsts = oracle.instCount();
-    est.ffInsts = ff_total;
-    est.warmupInsts = warm_total;
-    est.sampledInsts = r.core.committed;
-    est.sampledCycles = r.core.cycles;
-    double sum = 0.0, sumsq = 0.0;
-    for (double v : interval_ipc) {
-        sum += v;
-        sumsq += v * v;
-    }
-    if (!interval_ipc.empty()) {
-        double n = double(interval_ipc.size());
-        est.ipcMean = sum / n;
-        double var = sumsq / n - est.ipcMean * est.ipcMean;
-        est.ipcStddev = var > 0.0 ? std::sqrt(var) : 0.0;
-    }
-    if (est.ipcMean > 0.0) {
-        est.estimatedCycles = static_cast<std::uint64_t>(
-            double(est.totalInsts) / est.ipcMean);
-    }
-    est.counterVariance.reserve(ckpt::coreCounters().size());
-    for (std::size_t c = 0; c < ckpt::coreCounters().size(); ++c)
-        est.counterVariance.push_back(accum.variance(c));
+    finalizeSampleEstimate(r, accum, interval_ipc,
+                           oracle.instCount(), ff_total, warm_total);
     return r;
+}
+
+/**
+ * Cold-plan sampled run, in two phases.
+ *
+ * Phase 1 (serial): one purely functional pass over the whole budget
+ * on the batched interpreter, capturing an in-memory snapshot at
+ * every interval's detail point (and feeding the on-disk
+ * SnapshotStore when ckptDir is set). The pass runs to the end of
+ * the budget, so completion and program output mean the same thing
+ * they do for a full run.
+ *
+ * Phase 2 (parallel over setup.pjobs workers): each interval is an
+ * independent pure function — a fresh emulator + core restored from
+ * that interval's snapshot — so workers never share mutable state.
+ * Per-interval results land in order-indexed slots and are folded
+ * in interval order, so every counter, IPC estimate and stddev is
+ * byte-identical for any pjobs value.
+ */
+RunResult
+runSampledParallel(const RunSetup &setup, const isa::Program &prog,
+                   const workloads::WorkloadSpec *spec,
+                   std::uint64_t scale)
+{
+    ckpt::Sampler sampler(setup.sample, setup.maxInsts);
+    const std::uint64_t count = sampler.intervalCount();
+
+    ckpt::SnapshotStore store(setup.ckptDir);
+    const std::uint64_t phash = ckpt::programHash(prog);
+
+    // --- Phase 1: functional snapshot production --------------------
+    sim::Emulator producer(prog);
+    std::vector<ckpt::Snapshot> snaps(count);
+    std::vector<char> reached(count, 0);
+    for (std::uint64_t i = 0; i < count && !producer.halted(); ++i) {
+        ckpt::Sampler::Interval iv = sampler.interval(i);
+        if (producer.instCount() < iv.ffTarget) {
+            if (!(store.enabled() &&
+                  store.tryRestore(phash, iv.ffTarget, producer))) {
+                ckpt::fastForward(producer, iv.ffTarget);
+                if (store.enabled() &&
+                    producer.instCount() == iv.ffTarget) {
+                    store.save(phash, producer);
+                }
+            }
+        }
+        if (producer.halted())
+            break;
+        snaps[i] = ckpt::Snapshot::capture(producer);
+        snaps[i].workload = setup.workload;
+        snaps[i].input = setup.input;
+        snaps[i].scale = scale;
+        reached[i] = 1;
+    }
+    ckpt::fastForward(producer, setup.maxInsts);
+
+    // --- Phase 2: detailed windows, fanned out over pjobs -----------
+    std::vector<IntervalResult> results(count);
+
+    auto run_interval = [&](std::uint64_t i) {
+        ckpt::Sampler::Interval iv = sampler.interval(i);
+        sim::Emulator emu(prog);
+        uarch::OooCore core(setup.machine, emu);
+        snaps[i].restore(emu);
+
+        IntervalResult &out = results[i];
+        if (iv.warmup) {
+            std::uint64_t before_warm = emu.instCount();
+            core.run(iv.warmup);
+            out.warmInsts = emu.instCount() - before_warm;
+        }
+
+        uarch::CoreStats core_before = core.stats();
+        collectUnitCounters(core, out.unitBefore);
+        core.run(iv.detailed);
+        out.delta = coreStatsDelta(core.stats(), core_before);
+        if (out.delta.committed == 0)
+            return;         // program ended during warmup
+        collectUnitCounters(core, out.unitAfter);
+        out.measured = true;
+    };
+
+    std::uint64_t runnable = 0;
+    for (std::uint64_t i = 0; i < count; ++i)
+        runnable += reached[i] ? 1 : 0;
+    unsigned workers = std::max(1u, setup.pjobs);
+    if (runnable < workers)
+        workers = runnable ? static_cast<unsigned>(runnable) : 1;
+
+    if (workers <= 1) {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (reached[i])
+                run_interval(i);
+        }
+    } else {
+        std::atomic<std::uint64_t> next{0};
+        auto drain = [&]() {
+            for (;;) {
+                std::uint64_t i = next.fetch_add(1);
+                if (i >= count)
+                    break;
+                if (reached[i])
+                    run_interval(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(drain);
+        for (std::thread &th : pool)
+            th.join();
+    }
+
+    // --- Phase 3: fold in interval order ----------------------------
+    ckpt::CoreStatsAccum accum;
+    RunResult r;
+    std::vector<double> interval_ipc;
+    std::uint64_t warm_total = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const IntervalResult &res = results[i];
+        warm_total += res.warmInsts;
+        if (!res.measured)
+            continue;
+        accumulateUnitDelta(r, res.unitAfter, res.unitBefore);
+        accum.add(res.delta);
+        interval_ipc.push_back(res.delta.ipc());
+    }
+
+    r.core = accum.total();
+    checkOutput(setup, spec, scale, producer, r);
+
+    // Every instruction of the run was either measured in detail,
+    // burned as detailed warmup, or covered functionally; counting
+    // the last bucket by subtraction keeps the identity exact even
+    // though the windows re-execute instructions phase 1 already
+    // passed over.
+    std::uint64_t covered = warm_total + accum.total().committed;
+    std::uint64_t total = producer.instCount();
+    finalizeSampleEstimate(r, accum, interval_ipc, total,
+                           total > covered ? total - covered : 0,
+                           warm_total);
+    return r;
+}
+
+/**
+ * Interval-sampled run: warm plans walk serially (warming folds over
+ * the whole stream), cold plans fan their windows out over pjobs.
+ */
+RunResult
+runSampledExperiment(const RunSetup &setup, const isa::Program &prog,
+                     const workloads::WorkloadSpec *spec,
+                     std::uint64_t scale)
+{
+    if (setup.sample.functionalWarm)
+        return runSampledWarmSerial(setup, prog, spec, scale);
+    return runSampledParallel(setup, prog, spec, scale);
 }
 
 } // anonymous namespace

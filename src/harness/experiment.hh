@@ -47,6 +47,20 @@ struct RunSetup
     std::string ckptDir;
 
     /**
+     * Worker threads for the detailed windows of a sampled run.
+     * Intervals of a cold plan are independent by construction —
+     * each one restores from a snapshot produced by one functional
+     * pass — so any pjobs value produces byte-identical results (the
+     * per-interval statistics are folded in interval order
+     * regardless of which worker finished first). Warm plans
+     * (sample=...,warm) ignore pjobs and walk serially: functional
+     * warming folds over the whole instruction stream, so their
+     * windows are not independent. Host-side parallelism only, so
+     * like ckptDir it is deliberately NOT part of key().
+     */
+    unsigned pjobs = 1;
+
+    /**
      * When set, simulate this program instead of a registry
      * workload (svf-sim's asm= mode and custom-kernel benches).
      * No golden output is available, so the output check is skipped.

@@ -1,9 +1,10 @@
 #include "harness/json_report.hh"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "ckpt/serialize.hh"
 
 namespace svf::harness
 {
@@ -245,13 +246,17 @@ JsonReport::write(std::ostream &os) const
 bool
 JsonReport::writeFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out) {
+    // Temp file + rename: a sweep that crashes mid-write must never
+    // leave a truncated json=FILE behind a valid-looking name.
+    std::ostringstream os;
+    write(os);
+    const std::string &text = os.str();
+    std::vector<std::uint8_t> bytes(text.begin(), text.end());
+    if (!ckpt::writeFileAtomic(path, bytes)) {
         warn("cannot write JSON report to '%s'", path.c_str());
         return false;
     }
-    write(out);
-    return out.good();
+    return true;
 }
 
 } // namespace svf::harness

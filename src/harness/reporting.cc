@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 
 #include "base/logging.hh"
 
@@ -81,7 +82,12 @@ banner(const std::string &title, const std::string &paper_ref)
 ProgressHook
 stderrProgress()
 {
+    // Shared across every hook instance: concurrent reporters (pool
+    // workers of several runners, nested interval workers) must not
+    // tear lines into each other.
+    static std::mutex stderr_lock;
     return [](const JobProgress &p) {
+        std::lock_guard<std::mutex> g(stderr_lock);
         std::fprintf(stderr, "[%zu/%zu] %s (%.2fs%s)\n", p.done,
                      p.total, p.name.c_str(), p.wallSeconds,
                      p.cached ? ", cached" : "");

@@ -126,9 +126,15 @@ Runner::run(const ExperimentPlan &plan)
     std::vector<Work> work;
     std::vector<size_t> jobToWork(total, size_t(-1));
 
+    // `lock` serializes `done`, the run statistics and — critically —
+    // every opts.progress invocation: the pool workers, and any
+    // nested interval workers reporting through the same hook,
+    // deliver progress concurrently. report() takes it itself so
+    // no call site can forget.
     size_t done = 0;
     std::mutex lock;
     auto report = [&](size_t index, bool cached, double wall) {
+        std::lock_guard<std::mutex> g(lock);
         ++done;
         if (!opts.progress)
             return;
@@ -182,7 +188,8 @@ Runner::run(const ExperimentPlan &plan)
     }
 
     // Phase 2: execute the distinct work items over the pool.
-    // Workers write disjoint slots, so only progress needs the lock.
+    // Workers write disjoint slots; the shared statistics take the
+    // lock and report() locks internally, so it is called unlocked.
     std::atomic<size_t> next{0};
     auto worker = [&] {
         for (size_t w; (w = next.fetch_add(1)) < work.size();) {
@@ -191,9 +198,11 @@ Runner::run(const ExperimentPlan &plan)
             std::chrono::duration<double> dt =
                 std::chrono::steady_clock::now() - t0;
             work[w].wallSeconds = dt.count();
-            std::lock_guard<std::mutex> g(lock);
-            ++nExecuted;
-            wallTotal += work[w].wallSeconds;
+            {
+                std::lock_guard<std::mutex> g(lock);
+                ++nExecuted;
+                wallTotal += work[w].wallSeconds;
+            }
             report(work[w].firstJob, false, work[w].wallSeconds);
         }
     };

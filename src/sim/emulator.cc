@@ -1,5 +1,7 @@
 #include "sim/emulator.hh"
 
+#include <cstring>
+
 #include "base/bitfield.hh"
 #include "base/logging.hh"
 #include "isa/decode.hh"
@@ -246,5 +248,635 @@ Emulator::run(std::uint64_t max_insts)
         ++n;
     return n;
 }
+
+/**
+ * Handler indices for FastOp::handler. The IntOp blocks are laid out
+ * in isa::IntFunct order so translation is FH_Addq + funct (register
+ * forms) or FH_AddqL + funct (literal forms).
+ */
+enum FastHandler : std::uint8_t
+{
+    FH_Lda, FH_Ldah,
+    FH_Ldbu, FH_Ldl, FH_Ldq,
+    FH_Stb, FH_Stl, FH_Stq,
+    FH_Addq, FH_Subq, FH_Mulq, FH_And, FH_Bis, FH_Xor,
+    FH_Sll, FH_Srl, FH_Sra,
+    FH_Cmpeq, FH_Cmplt, FH_Cmple, FH_Cmpult, FH_Cmpule, FH_Umulh,
+    FH_AddqL, FH_SubqL, FH_MulqL, FH_AndL, FH_BisL, FH_XorL,
+    FH_SllL, FH_SrlL, FH_SraL,
+    FH_CmpeqL, FH_CmpltL, FH_CmpleL, FH_CmpultL, FH_CmpuleL,
+    FH_UmulhL,
+    FH_Jsr, FH_Br,
+    FH_Beq, FH_Bne, FH_Blt, FH_Ble, FH_Bgt, FH_Bge,
+    FH_Halt, FH_Putint, FH_Putc,
+    FH_BadPc,
+};
+
+void
+Emulator::buildFastOps()
+{
+    using namespace isa;
+
+    // Writes whose destination is $zero go to the sink slot one past
+    // the architectural file, so handlers never test the dest index.
+    auto wr = [](RegIndex r) -> std::uint8_t {
+        return r == RegZero ? NumRegs : r;
+    };
+
+    // One sentinel op sits past the last instruction so sequential
+    // flow can fall off the end of the text without a bounds check
+    // in the per-instruction footer: the sentinel dispatches to the
+    // bad-PC exit with `word` already naming the offending slot.
+    // Branches are the only other way out of the text, and they
+    // check their own (rarely out-of-range) targets.
+    fastOps.resize(decoded.size() + 1);
+    fastOps.back().handler = FH_BadPc;
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+        const DecodedInst &di = decoded[i];
+        FastOp &f = fastOps[i];
+        switch (di.op) {
+          case Opcode::Lda:
+            f.handler = FH_Lda;
+            f.a = wr(di.ra);
+            f.b = di.rb;
+            f.disp = di.disp;
+            break;
+
+          case Opcode::Ldah:
+            f.handler = FH_Ldah;
+            f.a = wr(di.ra);
+            f.b = di.rb;
+            // Pre-shift; -32768..32767 times 65536 stays in int32.
+            f.disp = di.disp * 65536;
+            break;
+
+          case Opcode::Ldbu:
+          case Opcode::Ldl:
+          case Opcode::Ldq:
+            f.handler = di.op == Opcode::Ldbu ? FH_Ldbu
+                      : di.op == Opcode::Ldl ? FH_Ldl : FH_Ldq;
+            f.a = wr(di.ra);
+            f.b = di.rb;
+            f.disp = di.disp;
+            break;
+
+          case Opcode::Stb:
+          case Opcode::Stl:
+          case Opcode::Stq:
+            f.handler = di.op == Opcode::Stb ? FH_Stb
+                      : di.op == Opcode::Stl ? FH_Stl : FH_Stq;
+            f.a = di.ra;        // store source: read, not redirected
+            f.b = di.rb;
+            f.disp = di.disp;
+            break;
+
+          case Opcode::IntOp:
+            f.a = di.ra;
+            f.c = wr(di.rc);
+            if (di.useLit) {
+                f.handler = static_cast<std::uint8_t>(
+                    FH_AddqL + static_cast<unsigned>(di.funct));
+                f.disp = di.lit;
+            } else {
+                f.handler = static_cast<std::uint8_t>(
+                    FH_Addq + static_cast<unsigned>(di.funct));
+                f.b = di.rb;
+            }
+            break;
+
+          case Opcode::Jsr:
+            f.handler = FH_Jsr;
+            f.a = wr(di.ra);
+            f.b = di.rb;
+            break;
+
+          case Opcode::Br:
+          case Opcode::Bsr:
+            f.handler = FH_Br;
+            f.a = wr(di.ra);
+            f.disp = 1 + di.disp;   // delta in text words
+            break;
+
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Ble:
+          case Opcode::Bgt:
+          case Opcode::Bge:
+            switch (di.op) {
+              case Opcode::Beq: f.handler = FH_Beq; break;
+              case Opcode::Bne: f.handler = FH_Bne; break;
+              case Opcode::Blt: f.handler = FH_Blt; break;
+              case Opcode::Ble: f.handler = FH_Ble; break;
+              case Opcode::Bgt: f.handler = FH_Bgt; break;
+              default: f.handler = FH_Bge; break;
+            }
+            f.a = di.ra;
+            f.disp = 1 + di.disp;   // delta in text words
+            break;
+
+          case Opcode::Sys:
+            f.handler = di.sys == SysFunct::Halt ? FH_Halt
+                      : di.sys == SysFunct::Putint ? FH_Putint
+                      : FH_Putc;
+            break;
+        }
+    }
+}
+
+/*
+ * Per-instruction epilogue: fold the just-executed instruction into
+ * the $sp watermark, charge it against the budget, and fetch the
+ * next FastOp. `word` tracks the PC in text-word units so sequential
+ * flow is ++word with no address arithmetic. No bounds check here:
+ * sequential flow can reach at most the FH_BadPc sentinel one slot
+ * past the text, and branch handlers check their own targets
+ * (underflow wraps to a huge index, so one unsigned compare covers
+ * both directions); both routes funnel into ff_bad_pc, which
+ * reconstructs the byte PC and panics like step() would.
+ */
+#define SVF_FF_FOOTER()                                              \
+    do {                                                             \
+        if (lregs[RegSP] < low_sp)                                   \
+            low_sp = lregs[RegSP];                                   \
+        if (++executed >= max_insts)                                 \
+            goto ff_done;                                            \
+        op = ops + word;                                             \
+    } while (0)
+
+#if defined(__GNUC__)
+// Threaded dispatch: each handler jumps straight to the next via a
+// computed goto, giving the host branch predictor one indirect jump
+// per guest instruction with per-site history.
+#define SVF_FF_CASE(x) lbl_##x
+#define SVF_FF_NEXT() do { SVF_FF_FOOTER(); \
+        goto *handlers[op->handler]; } while (0)
+#else
+// Portable fallback: one switch in a loop over the same handlers.
+#define SVF_FF_CASE(x) case x
+#define SVF_FF_NEXT() do { SVF_FF_FOOTER(); } while (0); break
+#endif
+
+std::uint64_t
+Emulator::runFast(std::uint64_t max_insts)
+{
+    using namespace isa;
+
+    if (isHalted || max_insts == 0)
+        return 0;
+    if (fastOps.empty())
+        buildFastOps();
+
+    const Addr text_base = prog.textBase;
+    const std::uint64_t text_words = fastOps.size() - 1; // sentinel
+    const FastOp *ops = fastOps.data();
+
+    // Direct-map page translation table, shared by loads and stores:
+    // one inline compare + load per access instead of the hash-map
+    // probe that pointer-chasing workloads pay when they alternate
+    // pages faster than MemImage's one-entry cache can follow. Only
+    // pages that exist are ever cached — loads from untouched memory
+    // take the slow path every time — so an allocating store can't
+    // leave a stale "untouched" translation behind. Pointers stay
+    // valid for the whole batch: pages never move.
+    constexpr Addr PageMask = sim::MemImage::PageSize - 1;
+    constexpr unsigned PageShift = 12;
+    static_assert(sim::MemImage::PageSize == Addr(1) << PageShift);
+    constexpr std::size_t TlbEntries = 256;
+    struct TransEntry
+    {
+        Addr page;
+        std::uint8_t *ptr;
+    };
+    TransEntry tlb[TlbEntries];
+    for (TransEntry &e : tlb)
+        e = {~Addr(0), nullptr};
+
+    auto load_ptr = [&](Addr ea) -> const std::uint8_t * {
+        Addr pa = ea & ~PageMask;
+        TransEntry &e = tlb[(ea >> PageShift) & (TlbEntries - 1)];
+        if (e.page != pa) {
+            std::uint8_t *p = memory.probePage(ea);
+            if (!p)
+                return nullptr;
+            e.page = pa;
+            e.ptr = p;
+        }
+        return e.ptr + (ea & PageMask);
+    };
+    auto store_ptr = [&](Addr ea) -> std::uint8_t * {
+        Addr pa = ea & ~PageMask;
+        TransEntry &e = tlb[(ea >> PageShift) & (TlbEntries - 1)];
+        if (e.page != pa) {
+            e.ptr = memory.pageForWrite(ea);
+            e.page = pa;
+        }
+        return e.ptr + (ea & PageMask);
+    };
+
+    // The register file lives in a local array for the whole batch so
+    // the memory stores above cannot alias it (uint8_t* may alias
+    // class members; a fresh local array provably doesn't overlap).
+    // Slot NumRegs is the $zero write sink; slot RegZero is only ever
+    // read and holds the architectural zero.
+    RegVal lregs[NumRegs + 1];
+    std::memcpy(lregs, regs.data(), sizeof(RegVal) * NumRegs);
+    lregs[NumRegs] = 0;
+
+    Addr low_sp = lowSp;
+    std::uint64_t executed = 0;
+    std::uint64_t word = (curPc - text_base) >> 2;
+    const FastOp *op;
+
+    if (curPc & 3)
+        decodeAt(curPc);            // panics with step()'s diagnostic
+    if (word >= text_words)
+        goto ff_bad_pc;
+    op = ops + word;
+
+#if defined(__GNUC__)
+    {
+        static const void *handlers[] = {
+            &&lbl_FH_Lda, &&lbl_FH_Ldah,
+            &&lbl_FH_Ldbu, &&lbl_FH_Ldl, &&lbl_FH_Ldq,
+            &&lbl_FH_Stb, &&lbl_FH_Stl, &&lbl_FH_Stq,
+            &&lbl_FH_Addq, &&lbl_FH_Subq, &&lbl_FH_Mulq,
+            &&lbl_FH_And, &&lbl_FH_Bis, &&lbl_FH_Xor,
+            &&lbl_FH_Sll, &&lbl_FH_Srl, &&lbl_FH_Sra,
+            &&lbl_FH_Cmpeq, &&lbl_FH_Cmplt, &&lbl_FH_Cmple,
+            &&lbl_FH_Cmpult, &&lbl_FH_Cmpule, &&lbl_FH_Umulh,
+            &&lbl_FH_AddqL, &&lbl_FH_SubqL, &&lbl_FH_MulqL,
+            &&lbl_FH_AndL, &&lbl_FH_BisL, &&lbl_FH_XorL,
+            &&lbl_FH_SllL, &&lbl_FH_SrlL, &&lbl_FH_SraL,
+            &&lbl_FH_CmpeqL, &&lbl_FH_CmpltL, &&lbl_FH_CmpleL,
+            &&lbl_FH_CmpultL, &&lbl_FH_CmpuleL, &&lbl_FH_UmulhL,
+            &&lbl_FH_Jsr, &&lbl_FH_Br,
+            &&lbl_FH_Beq, &&lbl_FH_Bne, &&lbl_FH_Blt,
+            &&lbl_FH_Ble, &&lbl_FH_Bgt, &&lbl_FH_Bge,
+            &&lbl_FH_Halt, &&lbl_FH_Putint, &&lbl_FH_Putc,
+            &&lbl_FH_BadPc,
+        };
+        goto *handlers[op->handler];
+#else
+    for (;;) {
+        switch (op->handler) {
+#endif
+
+        SVF_FF_CASE(FH_Lda):
+            lregs[op->a] = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Ldah):
+            lregs[op->a] = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Ldbu): {
+            Addr ea = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            const std::uint8_t *p = load_ptr(ea);
+            lregs[op->a] = p ? *p : 0;
+            ++word;
+            SVF_FF_NEXT();
+        }
+
+        SVF_FF_CASE(FH_Ldl): {
+            Addr ea = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            svf_assert((ea & 3) == 0);
+            std::uint32_t raw = 0;
+            if (const std::uint8_t *p = load_ptr(ea))
+                std::memcpy(&raw, p, 4);
+            lregs[op->a] = static_cast<RegVal>(
+                static_cast<std::int64_t>(
+                    static_cast<std::int32_t>(raw)));
+            ++word;
+            SVF_FF_NEXT();
+        }
+
+        SVF_FF_CASE(FH_Ldq): {
+            Addr ea = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            svf_assert((ea & 7) == 0);
+            std::uint64_t raw = 0;
+            if (const std::uint8_t *p = load_ptr(ea))
+                std::memcpy(&raw, p, 8);
+            lregs[op->a] = raw;
+            ++word;
+            SVF_FF_NEXT();
+        }
+
+        SVF_FF_CASE(FH_Stb): {
+            Addr ea = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            *store_ptr(ea) = static_cast<std::uint8_t>(lregs[op->a]);
+            ++word;
+            SVF_FF_NEXT();
+        }
+
+        SVF_FF_CASE(FH_Stl): {
+            Addr ea = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            svf_assert((ea & 3) == 0);
+            std::uint32_t raw =
+                static_cast<std::uint32_t>(lregs[op->a]);
+            std::memcpy(store_ptr(ea), &raw, 4);
+            ++word;
+            SVF_FF_NEXT();
+        }
+
+        SVF_FF_CASE(FH_Stq): {
+            Addr ea = lregs[op->b] + static_cast<RegVal>(
+                static_cast<std::int64_t>(op->disp));
+            svf_assert((ea & 7) == 0);
+            std::uint64_t raw = lregs[op->a];
+            std::memcpy(store_ptr(ea), &raw, 8);
+            ++word;
+            SVF_FF_NEXT();
+        }
+
+        SVF_FF_CASE(FH_Addq):
+            lregs[op->c] = lregs[op->a] + lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Subq):
+            lregs[op->c] = lregs[op->a] - lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Mulq):
+            lregs[op->c] = lregs[op->a] * lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_And):
+            lregs[op->c] = lregs[op->a] & lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Bis):
+            lregs[op->c] = lregs[op->a] | lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Xor):
+            lregs[op->c] = lregs[op->a] ^ lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Sll):
+            lregs[op->c] = lregs[op->a] << (lregs[op->b] & 63);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Srl):
+            lregs[op->c] = lregs[op->a] >> (lregs[op->b] & 63);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Sra):
+            lregs[op->c] = static_cast<RegVal>(
+                static_cast<std::int64_t>(lregs[op->a]) >>
+                (lregs[op->b] & 63));
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Cmpeq):
+            lregs[op->c] = lregs[op->a] == lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Cmplt):
+            lregs[op->c] = static_cast<std::int64_t>(lregs[op->a]) <
+                static_cast<std::int64_t>(lregs[op->b]);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Cmple):
+            lregs[op->c] = static_cast<std::int64_t>(lregs[op->a]) <=
+                static_cast<std::int64_t>(lregs[op->b]);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Cmpult):
+            lregs[op->c] = lregs[op->a] < lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Cmpule):
+            lregs[op->c] = lregs[op->a] <= lregs[op->b];
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Umulh):
+            lregs[op->c] = static_cast<RegVal>(
+                (static_cast<unsigned __int128>(lregs[op->a]) *
+                 static_cast<unsigned __int128>(lregs[op->b])) >> 64);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_AddqL):
+            lregs[op->c] = lregs[op->a] +
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_SubqL):
+            lregs[op->c] = lregs[op->a] -
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_MulqL):
+            lregs[op->c] = lregs[op->a] *
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_AndL):
+            lregs[op->c] = lregs[op->a] &
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_BisL):
+            lregs[op->c] = lregs[op->a] |
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_XorL):
+            lregs[op->c] = lregs[op->a] ^
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_SllL):
+            lregs[op->c] = lregs[op->a] << (op->disp & 63);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_SrlL):
+            lregs[op->c] = lregs[op->a] >> (op->disp & 63);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_SraL):
+            lregs[op->c] = static_cast<RegVal>(
+                static_cast<std::int64_t>(lregs[op->a]) >>
+                (op->disp & 63));
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_CmpeqL):
+            lregs[op->c] = lregs[op->a] ==
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_CmpltL):
+            lregs[op->c] = static_cast<std::int64_t>(lregs[op->a]) <
+                op->disp;
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_CmpleL):
+            lregs[op->c] = static_cast<std::int64_t>(lregs[op->a]) <=
+                op->disp;
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_CmpultL):
+            lregs[op->c] = lregs[op->a] <
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_CmpuleL):
+            lregs[op->c] = lregs[op->a] <=
+                static_cast<RegVal>(op->disp);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_UmulhL):
+            lregs[op->c] = static_cast<RegVal>(
+                (static_cast<unsigned __int128>(lregs[op->a]) *
+                 static_cast<unsigned __int128>(
+                     static_cast<RegVal>(op->disp))) >> 64);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Jsr): {
+            Addr target = lregs[op->b] & ~Addr(3);
+            lregs[op->a] = text_base + ((word + 1) << 2);
+            word = (target - text_base) >> 2;
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+        }
+
+        SVF_FF_CASE(FH_Br):
+            lregs[op->a] = text_base + ((word + 1) << 2);
+            word += static_cast<std::int64_t>(op->disp);
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Beq):
+            word += static_cast<std::int64_t>(lregs[op->a]) == 0
+                ? static_cast<std::int64_t>(op->disp) : 1;
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Bne):
+            word += static_cast<std::int64_t>(lregs[op->a]) != 0
+                ? static_cast<std::int64_t>(op->disp) : 1;
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Blt):
+            word += static_cast<std::int64_t>(lregs[op->a]) < 0
+                ? static_cast<std::int64_t>(op->disp) : 1;
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Ble):
+            word += static_cast<std::int64_t>(lregs[op->a]) <= 0
+                ? static_cast<std::int64_t>(op->disp) : 1;
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Bgt):
+            word += static_cast<std::int64_t>(lregs[op->a]) > 0
+                ? static_cast<std::int64_t>(op->disp) : 1;
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Bge):
+            word += static_cast<std::int64_t>(lregs[op->a]) >= 0
+                ? static_cast<std::int64_t>(op->disp) : 1;
+            if (word >= text_words)
+                goto ff_bad_pc;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Halt):
+            // Counts as executed and the PC still advances, exactly
+            // like step(); the watermark fold happens on the way out.
+            isHalted = true;
+            ++word;
+            if (lregs[RegSP] < low_sp)
+                low_sp = lregs[RegSP];
+            ++executed;
+            goto ff_done;
+
+        SVF_FF_CASE(FH_Putint):
+            out += std::to_string(
+                static_cast<std::int64_t>(lregs[RegA0]));
+            out += '\n';
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_Putc):
+            out += static_cast<char>(lregs[RegA0] & 0xff);
+            ++word;
+            SVF_FF_NEXT();
+
+        SVF_FF_CASE(FH_BadPc):
+            // The sentinel one slot past the text: sequential flow
+            // fell off the end, and `word` names the offending slot.
+            goto ff_bad_pc;
+
+#if defined(__GNUC__)
+    }
+#else
+        }
+    }
+#endif
+
+  ff_bad_pc:
+    // Reconstruct the byte PC (exact: both sides are word-aligned)
+    // and panic with the same diagnostic step() gives.
+    decodeAt(text_base + (word << 2));
+
+  ff_done:
+    std::memcpy(regs.data(), lregs, sizeof(RegVal) * NumRegs);
+    lowSp = low_sp;
+    icount += executed;
+    curPc = text_base + (word << 2);
+    return executed;
+}
+
+#undef SVF_FF_FOOTER
+#undef SVF_FF_CASE
+#undef SVF_FF_NEXT
 
 } // namespace svf::sim

@@ -83,6 +83,25 @@ class Emulator
     /** Run up to @p max_insts instructions; returns count executed. */
     std::uint64_t run(std::uint64_t max_insts);
 
+    /**
+     * Batched functional hot loop: execute up to @p max_insts
+     * instructions as a threaded-code interpreter over a compact
+     * pre-translated copy of the text (see FastOp). No ExecInfo is
+     * materialized, writes to $zero are pre-redirected to a sink
+     * slot, the register file lives in a local array for the whole
+     * batch, and memory runs through cached page pointers.
+     *
+     * Bit-identical to the same number of step() calls in every
+     * observable respect — archState() (registers, PC, icount,
+     * $sp watermark, halt flag, program output) and memory content,
+     * including which pages exist — just several times faster. The
+     * fast-forward half of interval sampling (ckpt::fastForward)
+     * runs on this.
+     *
+     * @return instructions executed (short on halt).
+     */
+    std::uint64_t runFast(std::uint64_t max_insts);
+
     /** Has a halt been executed? */
     bool halted() const { return isHalted; }
 
@@ -136,9 +155,30 @@ class Emulator
             regs[r] = v;
     }
 
+    /**
+     * One pre-translated instruction for runFast(): a direct handler
+     * index plus only the operand fields that handler reads, with
+     * displacements pre-scaled (Ldah's <<16; branches hold the next
+     * text-word delta) and $zero destinations redirected to the sink
+     * slot one past the architectural file. 8 bytes — a fraction of
+     * a DecodedInst — so the hot loop's working set stays small.
+     */
+    struct FastOp
+    {
+        std::uint8_t handler = 0;
+        std::uint8_t a = 0;     //!< source index, or redirected dest
+        std::uint8_t b = 0;     //!< source index
+        std::uint8_t c = 0;     //!< IntOp redirected dest
+        std::int32_t disp = 0;  //!< pre-scaled disp or literal
+    };
+
+    /** Translate decoded[] into fastOps (first runFast() call). */
+    void buildFastOps();
+
     const isa::Program &prog;
     MemImage memory;
     std::vector<isa::DecodedInst> decoded;  //!< indexed by text word
+    std::vector<FastOp> fastOps;            //!< runFast translation
     std::array<RegVal, isa::NumRegs> regs{};
     Addr curPc;
     Addr lowSp;

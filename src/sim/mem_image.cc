@@ -143,6 +143,28 @@ MemImage::forEachPage(
         fn(a, pages.find(a)->second->data());
 }
 
+const std::uint8_t *
+MemImage::peekPage(Addr a) const
+{
+    const Page *p = findPage(a);
+    return p ? p->data() : nullptr;
+}
+
+std::uint8_t *
+MemImage::probePage(Addr a)
+{
+    // findPage fills the mutable lookup cache with a non-const Page*;
+    // reusing it keeps the const overload as the single lookup path.
+    const Page *p = findPage(a);
+    return p ? const_cast<Page *>(p)->data() : nullptr;
+}
+
+std::uint8_t *
+MemImage::pageForWrite(Addr a)
+{
+    return touchPage(a).data();
+}
+
 void
 MemImage::installPage(Addr page_addr, const std::uint8_t *bytes)
 {

@@ -77,6 +77,33 @@ class MemImage
      */
     void installPage(Addr page_addr, const std::uint8_t *bytes);
 
+    /**
+     * @name Raw page access for the batched interpreter
+     *
+     * Emulator::runFast caches the returned base pointer across
+     * consecutive accesses to the same page, paying the page lookup
+     * only on page changes. Pointers stay valid until reset() — pages
+     * are never moved or dropped by ordinary reads and writes.
+     */
+    /// @{
+    /** Base of the page containing @p a, or nullptr if untouched
+     *  (never allocates — loads from untouched memory read zero). */
+    const std::uint8_t *peekPage(Addr a) const;
+
+    /**
+     * Writable twin of peekPage: base of the page containing @p a,
+     * or nullptr if untouched, never allocating. Lets the batched
+     * interpreter keep one translation table for loads and stores —
+     * only entries for pages that exist are ever cached, so a later
+     * allocating store can't leave a stale "untouched" translation.
+     */
+    std::uint8_t *probePage(Addr a);
+
+    /** Writable base of the page containing @p a, allocating it
+     *  (zero-filled) on first touch. */
+    std::uint8_t *pageForWrite(Addr a);
+    /// @}
+
     /** Drop every page; memory reads as zero again. */
     void reset();
 

@@ -82,8 +82,12 @@ TEST(Config, SuggestsNearestTouchedKey)
     cfg.set("sampel", "1");     // transposition of "sample"
     cfg.getString("sample", "");
     cfg.getUint("insts", 0);
+    cfg.getUint("pjobs", 1);
     EXPECT_EQ(cfg.suggest("sampel"), "sample");
     EXPECT_EQ(cfg.suggest("inst"), "insts");
+    // The interval-parallelism key (bench_util.hh pjobs=).
+    EXPECT_EQ(cfg.suggest("pjob"), "pjobs");
+    EXPECT_EQ(cfg.suggest("pjosb"), "pjobs");
     // Nothing within edit distance 2: no suggestion.
     EXPECT_EQ(cfg.suggest("completely_different"), "");
 }

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Parallel interval engine (harness/experiment.hh): a sampled run
+ * fans its detailed windows out over RunSetup::pjobs worker threads,
+ * and any thread count must produce byte-identical results — every
+ * CoreStats counter, every unit counter, the whole SampleEstimate
+ * (including the floating-point IPC statistics and per-counter
+ * variances, which are folded in interval order on purpose), the
+ * program output and the completion flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckpt/sampler.hh"
+#include "harness/experiment.hh"
+
+using namespace svf;
+
+namespace
+{
+
+void
+expectByteIdentical(const harness::RunResult &a,
+                    const harness::RunResult &b, unsigned pjobs)
+{
+    const std::string what = "pjobs=" + std::to_string(pjobs);
+    const auto &counters = ckpt::coreCounters();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        EXPECT_EQ(a.core.*(counters[i].field),
+                  b.core.*(counters[i].field))
+            << what << " counter " << counters[i].name;
+    }
+
+    EXPECT_EQ(a.svfQuadsIn, b.svfQuadsIn) << what;
+    EXPECT_EQ(a.svfQuadsOut, b.svfQuadsOut) << what;
+    EXPECT_EQ(a.svfFastLoads, b.svfFastLoads) << what;
+    EXPECT_EQ(a.svfFastStores, b.svfFastStores) << what;
+    EXPECT_EQ(a.svfReroutedLoads, b.svfReroutedLoads) << what;
+    EXPECT_EQ(a.svfReroutedStores, b.svfReroutedStores) << what;
+    EXPECT_EQ(a.svfWindowMisses, b.svfWindowMisses) << what;
+    EXPECT_EQ(a.svfDemandFills, b.svfDemandFills) << what;
+    EXPECT_EQ(a.svfDisableEpisodes, b.svfDisableEpisodes) << what;
+    EXPECT_EQ(a.svfRefsWhileDisabled, b.svfRefsWhileDisabled)
+        << what;
+    EXPECT_EQ(a.scQuadsIn, b.scQuadsIn) << what;
+    EXPECT_EQ(a.scQuadsOut, b.scQuadsOut) << what;
+    EXPECT_EQ(a.scHits, b.scHits) << what;
+    EXPECT_EQ(a.scMisses, b.scMisses) << what;
+    EXPECT_EQ(a.dl1Hits, b.dl1Hits) << what;
+    EXPECT_EQ(a.dl1Misses, b.dl1Misses) << what;
+    EXPECT_EQ(a.l2Hits, b.l2Hits) << what;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << what;
+
+    const ckpt::SampleEstimate &ea = a.sampled, &eb = b.sampled;
+    EXPECT_EQ(ea.intervals, eb.intervals) << what;
+    EXPECT_EQ(ea.totalInsts, eb.totalInsts) << what;
+    EXPECT_EQ(ea.ffInsts, eb.ffInsts) << what;
+    EXPECT_EQ(ea.warmupInsts, eb.warmupInsts) << what;
+    EXPECT_EQ(ea.sampledInsts, eb.sampledInsts) << what;
+    EXPECT_EQ(ea.sampledCycles, eb.sampledCycles) << what;
+    EXPECT_EQ(ea.estimatedCycles, eb.estimatedCycles) << what;
+    // Bit-identical, not approximately equal: the fold order is
+    // fixed regardless of which worker finished first.
+    EXPECT_EQ(ea.ipcMean, eb.ipcMean) << what;
+    EXPECT_EQ(ea.ipcStddev, eb.ipcStddev) << what;
+    EXPECT_EQ(ea.counterVariance, eb.counterVariance) << what;
+
+    EXPECT_EQ(a.output, b.output) << what;
+    EXPECT_EQ(a.outputOk, b.outputOk) << what;
+    EXPECT_EQ(a.completed, b.completed) << what;
+}
+
+void
+sweepPjobs(harness::RunSetup s)
+{
+    s.pjobs = 1;
+    harness::RunResult serial = harness::runExperiment(s);
+    ASSERT_TRUE(serial.sampled.enabled());
+    ASSERT_GT(serial.sampled.intervals, 0u);
+
+    for (unsigned pj : {2u, 8u}) {
+        s.pjobs = pj;
+        harness::RunResult parallel = harness::runExperiment(s);
+        expectByteIdentical(serial, parallel, pj);
+    }
+}
+
+harness::RunSetup
+mcfSetup()
+{
+    harness::RunSetup s;
+    s.workload = "mcf";
+    s.input = "inp";
+    s.maxInsts = 200'000;
+    s.machine = harness::baselineConfig(8);
+    return s;
+}
+
+TEST(ParallelSample, ByteIdenticalAcrossPjobs)
+{
+    harness::RunSetup s = mcfSetup();
+    s.sample = ckpt::SamplePlan::parse("8,500,2000");
+    sweepPjobs(s);
+}
+
+TEST(ParallelSample, ByteIdenticalAcrossPjobsWhenWarming)
+{
+    // Warm plans serialize (warming folds over the whole stream, so
+    // intervals are not independent); pjobs must still be a no-op on
+    // the results, which is what this pins down.
+    harness::RunSetup s = mcfSetup();
+    s.sample = ckpt::SamplePlan::parse("6,200,1500,warm");
+    sweepPjobs(s);
+}
+
+TEST(ParallelSample, ByteIdenticalOnSvfMachine)
+{
+    // The unit counters only move on an SVF machine; cover them too.
+    harness::RunSetup s = mcfSetup();
+    harness::applySvf(s.machine, 1024, 2);
+    s.sample = ckpt::SamplePlan::parse("8,500,2000");
+    sweepPjobs(s);
+}
+
+TEST(ParallelSample, PjobsDoesNotChangeTheSetupKey)
+{
+    harness::RunSetup a = mcfSetup();
+    a.sample = ckpt::SamplePlan::parse("8,500,2000");
+    harness::RunSetup b = a;
+    b.pjobs = 8;
+    // Host-side parallelism, like ckptDir, is not an input.
+    EXPECT_EQ(a.key(), b.key());
+}
+
+} // anonymous namespace

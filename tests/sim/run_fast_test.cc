@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Emulator::runFast equivalence (sim/emulator.hh):
+ *
+ * The batched interpreter must be bit-identical to the same number
+ * of step() calls in every observable respect — registers, PC,
+ * instruction count, $sp watermark, halt flag, program output, and
+ * the full memory image including which pages were allocated (loads
+ * from untouched memory must not materialize pages step() would not
+ * have). Serialized snapshots compare all of that in one blob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckpt/snapshot.hh"
+#include "sim/emulator.hh"
+#include "workloads/registry.hh"
+
+using namespace svf;
+
+namespace
+{
+
+/** Full observable-state comparison via the snapshot serializer. */
+void
+expectIdentical(const sim::Emulator &a, const sim::Emulator &b,
+                const std::string &what)
+{
+    sim::EmuArchState sa = a.archState();
+    sim::EmuArchState sb = b.archState();
+    EXPECT_EQ(sa.regs, sb.regs) << what;
+    EXPECT_EQ(sa.pc, sb.pc) << what;
+    EXPECT_EQ(sa.lowSp, sb.lowSp) << what;
+    EXPECT_EQ(sa.icount, sb.icount) << what;
+    EXPECT_EQ(sa.halted, sb.halted) << what;
+    EXPECT_EQ(sa.output, sb.output) << what;
+    EXPECT_EQ(a.mem().pagesAllocated(), b.mem().pagesAllocated())
+        << what;
+    EXPECT_EQ(ckpt::Snapshot::capture(a).serialize(),
+              ckpt::Snapshot::capture(b).serialize())
+        << what;
+}
+
+TEST(RunFast, MatchesStepOnEveryWorkload)
+{
+    for (const auto &w : workloads::allWorkloads()) {
+        for (const auto &in : w.inputs) {
+            isa::Program prog = w.build(in, w.defaultScale);
+            sim::Emulator stepped(prog);
+            sim::Emulator fast(prog);
+            std::uint64_t n_step = stepped.run(20'000);
+            std::uint64_t n_fast = fast.runFast(20'000);
+            EXPECT_EQ(n_step, n_fast) << w.name << "." << in;
+            expectIdentical(stepped, fast, w.name + "." + in);
+        }
+    }
+}
+
+TEST(RunFast, MatchesStepAcrossInterleavings)
+{
+    const workloads::WorkloadSpec &spec = workloads::workload("mcf");
+    isa::Program prog = spec.build("inp", spec.defaultScale);
+
+    sim::Emulator stepped(prog);
+    stepped.run(30'000);
+
+    // step / runFast / step must land in the identical state.
+    sim::Emulator mixed(prog);
+    mixed.run(3'000);
+    mixed.runFast(17'000);
+    mixed.run(10'000);
+    expectIdentical(stepped, mixed, "mcf interleaved");
+}
+
+TEST(RunFast, StopsShortOnHaltLikeStep)
+{
+    // A tiny scale halts well within the budget on both paths.
+    const workloads::WorkloadSpec &spec = workloads::workload("gzip");
+    isa::Program prog = spec.build("log", 1);
+
+    sim::Emulator stepped(prog);
+    sim::Emulator fast(prog);
+    std::uint64_t n_step = stepped.run(50'000'000);
+    std::uint64_t n_fast = fast.runFast(50'000'000);
+    ASSERT_TRUE(stepped.halted());
+    EXPECT_EQ(n_step, n_fast);
+    expectIdentical(stepped, fast, "gzip halt");
+
+    // Once halted, both refuse further work.
+    EXPECT_EQ(fast.runFast(100), 0u);
+    EXPECT_EQ(stepped.run(100), 0u);
+}
+
+TEST(RunFast, ZeroBudgetIsANoOp)
+{
+    const workloads::WorkloadSpec &spec = workloads::workload("mcf");
+    isa::Program prog = spec.build("inp", spec.defaultScale);
+    sim::Emulator emu(prog);
+    EXPECT_EQ(emu.runFast(0), 0u);
+    EXPECT_EQ(emu.instCount(), 0u);
+    EXPECT_EQ(emu.pc(), prog.entry);
+}
+
+} // anonymous namespace

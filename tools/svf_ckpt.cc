@@ -84,7 +84,7 @@ doCreate(const Config &cfg, const std::string &file)
 
     std::uint64_t at = cfg.getUint("at", 100'000);
     sim::Emulator emu(prog);
-    emu.run(at);
+    ckpt::fastForward(emu, at);
     if (emu.instCount() < at) {
         warn("program halted after %llu instructions (at=%llu); "
              "capturing the final state",

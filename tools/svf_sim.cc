@@ -38,6 +38,8 @@
  *                      functional cache/bpred warming)
  *     ckpt=DIR         snapshot directory for the sampler's
  *                      fast-forwards (see also: svf-ckpt)
+ *     pjobs=N          worker threads for a sampled run's detailed
+ *                      windows; results are byte-identical for any N
  *     cache=DIR        disk-persistent result cache; repeated
  *                      identical invocations skip simulation
  */
@@ -222,6 +224,8 @@ main(int argc, char **argv)
         s.sample =
             ckpt::SamplePlan::parse(cfg.getString("sample", ""));
         s.ckptDir = cfg.getString("ckpt", "");
+        s.pjobs =
+            static_cast<unsigned>(cfg.getUint("pjobs", 1));
         s.program =
             std::make_shared<const isa::Program>(std::move(prog));
 
