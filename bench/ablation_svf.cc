@@ -83,7 +83,7 @@ granuleAblation(bench::Bench &b, std::uint64_t budget)
         s.workload = bi.workload;
         s.input = bi.input;
         s.maxInsts = budget;
-        s.ctxSwitchPeriod = 400'000;
+        s.slicePeriod = 400'000;
         plan.add(bi.display() + "/8B", s);
 
         harness::TrafficSetup coarse = s;

@@ -31,6 +31,14 @@
  *     cache=DIR    disk-persistent result cache (ckpt/result_cache
  *                  .hh): completed jobs are served as cached=true
  *                  across process runs.
+ *     cores=N      run every cycle-model job on an N-core System
+ *                  (uarch/system.hh): the job's program replicated
+ *                  one per core over a shared L2, or one entry per
+ *                  core when the bench supplies a comma mix.
+ *     slice=Q      time-slice the job's programs on one core every Q
+ *                  committed instructions (multi-programming with
+ *                  real SVF/stack-cache/L1 displacement).
+ *     quantum=C    multi-core epoch length in cycles (default 1024).
  */
 
 #ifndef SVF_BENCH_BENCH_UTIL_HH
@@ -110,6 +118,7 @@ class Bench
             _cfg.getString("sample", ""));
         _ckptDir = _cfg.getString("ckpt", "");
         _pjobs = static_cast<unsigned>(_cfg.getUint("pjobs", 1));
+        harness::systemFromConfig(_cfg, _sys);
         harness::RunnerOptions opts;
         opts.jobs =
             static_cast<unsigned>(_cfg.getUint("jobs", default_jobs));
@@ -154,18 +163,27 @@ class Bench
     run(const harness::ExperimentPlan &plan)
     {
         std::vector<harness::JobOutcome> out;
-        if (_sample.enabled() || !_ckptDir.empty()) {
-            harness::ExperimentPlan sampled = plan;
-            for (size_t i = 0; i < sampled.size(); ++i) {
+        bool drive_mode = _sys.cores != 1 || _sys.slicePeriod != 0;
+        if (_sample.enabled() || !_ckptDir.empty() || drive_mode) {
+            harness::ExperimentPlan rewritten = plan;
+            for (size_t i = 0; i < rewritten.size(); ++i) {
                 auto *rs = std::get_if<harness::RunSetup>(
-                    &sampled.job(i).setup);
+                    &rewritten.job(i).setup);
                 if (!rs)
-                    continue;
+                    continue;   // cores=/slice= leave traffic and
+                                // profile jobs alone
                 rs->sample = _sample;
                 rs->ckptDir = _ckptDir;
                 rs->pjobs = _pjobs;
+                if (drive_mode) {
+                    // Never clobber a bench's own per-job drive
+                    // modes with the defaults.
+                    rs->cores = _sys.cores;
+                    rs->slicePeriod = _sys.slicePeriod;
+                    rs->sysQuantum = _sys.sysQuantum;
+                }
             }
-            out = _runner->run(sampled);
+            out = _runner->run(rewritten);
         } else {
             out = _runner->run(plan);
         }
@@ -216,6 +234,7 @@ class Bench
     ckpt::SamplePlan _sample;
     std::string _ckptDir;
     unsigned _pjobs = 1;
+    harness::RunSetup _sys;     //!< cores=/slice=/quantum= defaults
     std::unique_ptr<harness::Runner> _runner;
     harness::JsonReport _json;
 };

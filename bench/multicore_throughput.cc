@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Multi-core throughput and switch-rate sensitivity of the SVF.
+ *
+ * Two questions the paper leaves open:
+ *
+ *   [1] Does the SVF's speedup survive when N cores — each with a
+ *       private SVF and L1s — contend for one shared L2? The stack
+ *       is thread-private by construction, so the SVF should scale
+ *       perfectly while the load-balancing L2 pressure grows.
+ *
+ *   [2] Table 4 measures writeback traffic at one switch rate
+ *       (400k instructions). Does the SVF's bytes-per-switch
+ *       advantage over the stack cache survive a 10x higher rate,
+ *       where frames have less time to die before each flush? This
+ *       section runs the cycle model in slice= mode, so the flushes
+ *       interact with the pipeline and the refill misses are paid.
+ *
+ * Config keys beyond bench_util.hh's: mix=a,b[,c...] overrides the
+ * default program mix for both sections.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "base/str.hh"
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+#include "harness/reporting.hh"
+#include "harness/runner.hh"
+#include "stats/table.hh"
+
+using namespace svf;
+
+namespace
+{
+
+/** First @p n entries of the mix, comma-joined ("a,b,..."). */
+std::string
+mixList(const std::vector<std::string> &mix, std::size_t n)
+{
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!out.empty())
+            out += ",";
+        out += mix[i % mix.size()];
+    }
+    return out;
+}
+
+void
+scalingSection(bench::Bench &b, const std::vector<std::string> &mix)
+{
+    std::printf("\n[1] multi-core scaling: aggregate throughput of "
+                "N cores over one shared L2 (16-wide, 8KB SVF)\n");
+
+    harness::ExperimentPlan plan;
+    for (unsigned cores : {1u, 2u, 4u}) {
+        harness::RunSetup s;
+        s.workload = mixList(mix, cores);
+        s.maxInsts = b.budget();
+        s.machine = harness::baselineConfig(16, 2);
+        s.cores = cores;
+        plan.add("svf/x" + std::to_string(cores), s);
+        harness::applySvf(s.machine, 1024, 2);
+        plan.add("svf/x" + std::to_string(cores) + "/svf", s);
+    }
+    const auto res = b.run(plan);
+
+    stats::Table t({"cores", "agg IPC base", "agg IPC svf",
+                    "svf speedup", "l2 misses/kinst"});
+    for (size_t i = 0; i < 3; ++i) {
+        const harness::RunResult &base = res[i * 2].run();
+        const harness::RunResult &svf = res[i * 2 + 1].run();
+        // Aggregate IPC: summed committed over the across-cores
+        // maximum cycle count (the system ran that long).
+        double agg_base =
+            base.core.cycles
+                ? double(base.core.committed) / double(base.core.cycles)
+                : 0.0;
+        double agg_svf =
+            svf.core.cycles
+                ? double(svf.core.committed) / double(svf.core.cycles)
+                : 0.0;
+        t.addRow();
+        t.cell(std::uint64_t(1) << i);
+        t.cell(agg_base, 3);
+        t.cell(agg_svf, 3);
+        t.cell(harness::pct(harness::speedupPct(base, svf)));
+        t.cell(svf.core.committed
+                   ? 1000.0 * double(svf.l2Misses) /
+                         double(svf.core.committed)
+                   : 0.0,
+               2);
+    }
+    b.print(t);
+}
+
+void
+switchRateSection(bench::Bench &b,
+                  const std::vector<std::string> &mix)
+{
+    std::printf("\n[2] switch-rate sweep: cycle-model context-switch "
+                "traffic, %s round-robined on one core\n",
+                mixList(mix, 2).c_str());
+
+    const std::uint64_t periods[] = {400'000, 200'000, 100'000,
+                                     40'000};
+    harness::ExperimentPlan plan;
+    for (std::uint64_t period : periods) {
+        harness::RunSetup s;
+        s.workload = mixList(mix, 2);
+        s.maxInsts = b.budget();
+        s.machine = harness::baselineConfig(16, 2);
+        s.slicePeriod = period;
+        harness::RunSetup svf = s;
+        harness::applySvf(svf.machine, 1024, 2);
+        plan.add("slice/" + std::to_string(period) + "/svf", svf);
+        harness::RunSetup sc = s;
+        harness::applyStackCache(sc.machine, 8192, 2);
+        plan.add("slice/" + std::to_string(period) + "/stack$", sc);
+    }
+    const auto res = b.run(plan);
+
+    stats::Table t({"switch period", "switches", "svf B/switch",
+                    "stack$ B/switch", "ratio", "svf IPC",
+                    "stack$ IPC"});
+    for (size_t i = 0; i < std::size(periods); ++i) {
+        const harness::RunResult &svf = res[i * 2].run();
+        const harness::RunResult &sc = res[i * 2 + 1].run();
+        double n_svf =
+            svf.core.ctxSwitches ? double(svf.core.ctxSwitches) : 1.0;
+        double n_sc =
+            sc.core.ctxSwitches ? double(sc.core.ctxSwitches) : 1.0;
+        double svf_bytes = double(svf.core.svfCtxBytes) / n_svf;
+        double sc_bytes = double(sc.core.scCtxBytes) / n_sc;
+        t.addRow();
+        t.cell(periods[i]);
+        t.cell(svf.core.ctxSwitches);
+        t.cell(svf_bytes, 0);
+        t.cell(sc_bytes, 0);
+        t.cell(svf_bytes > 0.0 ? sc_bytes / svf_bytes : 0.0, 1);
+        t.cell(svf.ipc(), 3);
+        t.cell(sc.ipc(), 3);
+    }
+    b.print(t);
+
+    std::printf("\npaper: Table 4 reports a 3-20x per-switch "
+                "advantage at a 400k period; the advantage should "
+                "persist (and the absolute bytes shrink) as the "
+                "period drops, because per-word dirty bits track "
+                "exactly what each shorter slice touched.\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Bench b(argc, argv,
+                   "Multi-core throughput and context-switch rate "
+                   "sensitivity (shared L2, 8KB stack structures)",
+                   "beyond Table 4", 300'000);
+    b.jsonDefault("BENCH_multicore_throughput.json");
+
+    std::vector<std::string> mix;
+    for (const std::string &m :
+         split(b.cfg().getString("mix", "gzip,gcc,mcf,parser"), ','))
+        mix.push_back(m);
+
+    scalingSection(b, mix);
+    switchRateSection(b, mix);
+    return b.finish();
+}

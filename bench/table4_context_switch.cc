@@ -7,6 +7,12 @@
  * The SVF's per-word dirty bits and its invalidation of deallocated
  * frames leave far fewer bytes to flush than the stack cache's
  * whole-line writebacks.
+ *
+ * The switch injection rides the harness's slice= drive mode
+ * (harness/traffic.hh): slice=Q round-robins the workload's single
+ * stream in Q-instruction slices and charges a flush whenever a
+ * slice consumes its full period — bit-identical to the retired
+ * modulo injector. period= is accepted as a legacy spelling.
  */
 
 #include <cstdio>
@@ -27,7 +33,8 @@ main(int argc, char **argv)
                    "Table 4: Memory Traffic on Context Switches "
                    "(bytes per switch, 8KB structures)", "Table 4",
                    3'000'000);
-    std::uint64_t period = b.cfg().getUint("period", 400'000);
+    std::uint64_t period =
+        b.cfg().getUint("slice", b.cfg().getUint("period", 400'000));
 
     const auto inputs = bench::allInputs(true);
     harness::ExperimentPlan plan;
@@ -37,7 +44,7 @@ main(int argc, char **argv)
         s.input = bi.input;
         s.maxInsts = b.budget();
         s.capacityBytes = 8192;
-        s.ctxSwitchPeriod = period;
+        s.slicePeriod = period;
         plan.add(bi.display(), s);
     }
     const auto res = b.run(plan);

@@ -42,7 +42,7 @@ main(int argc, char **argv)
         s.input = input;
         s.maxInsts = insts;
         s.capacityBytes = 8192;
-        s.ctxSwitchPeriod = period;
+        s.slicePeriod = period;
         harness::TrafficResult r = harness::measureTraffic(s);
 
         double n = r.ctxSwitches ? double(r.ctxSwitches) : 1.0;

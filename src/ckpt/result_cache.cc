@@ -38,7 +38,7 @@ getCoreStats(ByteReader &r, uarch::CoreStats &s)
 }
 
 void
-putRun(ByteWriter &w, const harness::RunResult &res)
+putRunFlat(ByteWriter &w, const harness::RunResult &res)
 {
     putCoreStats(w, res.core);
     w.u64(res.svfQuadsIn);
@@ -78,8 +78,20 @@ putRun(ByteWriter &w, const harness::RunResult &res)
         w.d64(v);
 }
 
+/** putRunFlat plus the v2 per-core groups (one nesting level). */
 void
-getRun(ByteReader &r, harness::RunResult &res)
+putRun(ByteWriter &w, const harness::RunResult &res)
+{
+    putRunFlat(w, res);
+    w.u64(res.perCore.size());
+    for (const harness::RunResult &g : res.perCore) {
+        w.str(g.label);
+        putRunFlat(w, g);
+    }
+}
+
+void
+getRunFlat(ByteReader &r, harness::RunResult &res)
 {
     getCoreStats(r, res.core);
     res.svfQuadsIn = r.u64();
@@ -118,6 +130,20 @@ getRun(ByteReader &r, harness::RunResult &res)
     e.counterVariance.clear();
     for (std::uint64_t i = 0; i < nvar && r.ok(); ++i)
         e.counterVariance.push_back(r.d64());
+}
+
+void
+getRun(ByteReader &r, harness::RunResult &res)
+{
+    getRunFlat(r, res);
+    std::uint64_t ngroups = r.u64();
+    res.perCore.clear();
+    for (std::uint64_t i = 0; i < ngroups && r.ok(); ++i) {
+        harness::RunResult g;
+        g.label = r.str();
+        getRunFlat(r, g);
+        res.perCore.push_back(std::move(g));
+    }
 }
 
 void

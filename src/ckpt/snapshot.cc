@@ -40,46 +40,107 @@ programHash(const isa::Program &prog)
     return h;
 }
 
+namespace
+{
+
+std::vector<Snapshot::PageImage>
+capturePages(const sim::Emulator &emu)
+{
+    std::vector<Snapshot::PageImage> pages;
+    emu.mem().forEachPage(
+        [&pages](Addr addr, const std::uint8_t *bytes) {
+            Snapshot::PageImage p;
+            p.addr = addr;
+            p.bytes.assign(bytes, bytes + sim::MemImage::PageSize);
+            pages.push_back(std::move(p));
+        });
+    return pages;
+}
+
+void
+restoreCore(sim::Emulator &emu, std::uint64_t prog_hash,
+            const sim::EmuArchState &state,
+            const std::vector<Snapshot::PageImage> &pages)
+{
+    std::uint64_t have = programHash(emu.program());
+    if (have != prog_hash) {
+        fatal("snapshot/program mismatch: snapshot was taken on "
+              "program %016llx but the emulator runs %016llx",
+              (unsigned long long)prog_hash,
+              (unsigned long long)have);
+    }
+    emu.restoreArchState(state);
+    sim::MemImage &mem = emu.mem();
+    mem.reset();
+    for (const Snapshot::PageImage &p : pages)
+        mem.installPage(p.addr, p.bytes.data());
+}
+
+} // anonymous namespace
+
 Snapshot
 Snapshot::capture(const sim::Emulator &emu)
 {
     Snapshot s;
     s.progHash = programHash(emu.program());
     s.state = emu.archState();
-    emu.mem().forEachPage([&s](Addr addr, const std::uint8_t *bytes) {
-        PageImage p;
-        p.addr = addr;
-        p.bytes.assign(bytes, bytes + sim::MemImage::PageSize);
-        s.pages.push_back(std::move(p));
-    });
+    s.pages = capturePages(emu);
+    return s;
+}
+
+Snapshot
+Snapshot::captureMulti(const std::vector<const sim::Emulator *> &emus)
+{
+    svf_assert(!emus.empty());
+    Snapshot s = capture(*emus[0]);
+    for (std::size_t i = 1; i < emus.size(); ++i) {
+        CoreImage c;
+        c.progHash = programHash(emus[i]->program());
+        c.state = emus[i]->archState();
+        c.pages = capturePages(*emus[i]);
+        s.extraCores.push_back(std::move(c));
+    }
     return s;
 }
 
 void
 Snapshot::restore(sim::Emulator &emu) const
 {
-    std::uint64_t have = programHash(emu.program());
-    if (have != progHash) {
-        fatal("snapshot/program mismatch: snapshot was taken on "
-              "program %016llx but the emulator runs %016llx",
-              (unsigned long long)progHash,
-              (unsigned long long)have);
+    if (!extraCores.empty()) {
+        fatal("cannot restore a %u-core snapshot into a single "
+              "emulator (use restoreMulti)", coreCount());
     }
-    emu.restoreArchState(state);
-    sim::MemImage &mem = emu.mem();
-    mem.reset();
-    for (const PageImage &p : pages)
-        mem.installPage(p.addr, p.bytes.data());
+    restoreCore(emu, progHash, state, pages);
 }
 
-std::vector<std::uint8_t>
-Snapshot::serialize() const
+void
+Snapshot::restoreMulti(const std::vector<sim::Emulator *> &emus) const
 {
-    ByteWriter body;
+    if (emus.size() != coreCount()) {
+        fatal("snapshot has %u cores but %zu emulators were "
+              "supplied", coreCount(), emus.size());
+    }
+    restoreCore(*emus[0], progHash, state, pages);
+    for (std::size_t i = 1; i < emus.size(); ++i) {
+        const CoreImage &c = extraCores[i - 1];
+        restoreCore(*emus[i], c.progHash, c.state, c.pages);
+    }
+}
+
+namespace
+{
+
+void
+writeCoreRecord(ByteWriter &body, const std::string &workload,
+                const std::string &input, std::uint64_t scale,
+                std::uint64_t prog_hash,
+                const sim::EmuArchState &state,
+                const std::vector<Snapshot::PageImage> &pages)
+{
     body.str(workload);
     body.str(input);
     body.u64(scale);
-    body.u64(progHash);
+    body.u64(prog_hash);
 
     body.u64(state.pc);
     body.u64(state.lowSp);
@@ -91,9 +152,61 @@ Snapshot::serialize() const
         body.u64(r);
 
     body.u64(pages.size());
-    for (const PageImage &p : pages) {
+    for (const Snapshot::PageImage &p : pages) {
         body.u64(p.addr);
         body.bytes(p.bytes.data(), p.bytes.size());
+    }
+}
+
+bool
+readCoreRecord(ByteReader &r, std::string &workload,
+               std::string &input, std::uint64_t &scale,
+               std::uint64_t &prog_hash, sim::EmuArchState &state,
+               std::vector<Snapshot::PageImage> &pages,
+               std::string &error)
+{
+    workload = r.str();
+    input = r.str();
+    scale = r.u64();
+    prog_hash = r.u64();
+
+    state.pc = r.u64();
+    state.lowSp = r.u64();
+    state.icount = r.u64();
+    state.halted = r.u8() != 0;
+    state.output = r.str();
+    std::uint32_t nregs = r.u32();
+    if (r.ok() && nregs != state.regs.size()) {
+        error = "snapshot register-file size mismatch";
+        return false;
+    }
+    for (RegVal &reg : state.regs)
+        reg = r.u64();
+
+    std::uint64_t npages = r.u64();
+    pages.clear();
+    for (std::uint64_t i = 0; i < npages && r.ok(); ++i) {
+        Snapshot::PageImage p;
+        p.addr = r.u64();
+        p.bytes.resize(sim::MemImage::PageSize);
+        r.bytes(p.bytes.data(), p.bytes.size());
+        pages.push_back(std::move(p));
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+Snapshot::serialize() const
+{
+    ByteWriter body;
+    body.u32(coreCount());
+    writeCoreRecord(body, workload, input, scale, progHash, state,
+                    pages);
+    for (const CoreImage &c : extraCores) {
+        writeCoreRecord(body, c.workload, c.input, c.scale,
+                        c.progHash, c.state, c.pages);
     }
 
     ByteWriter out;
@@ -134,32 +247,23 @@ Snapshot::deserialize(const std::vector<std::uint8_t> &bytes,
     std::size_t body_len = r.remaining() - 8;
     std::uint64_t want = fnv1a(body, body_len);
 
-    workload = r.str();
-    input = r.str();
-    scale = r.u64();
-    progHash = r.u64();
-
-    state.pc = r.u64();
-    state.lowSp = r.u64();
-    state.icount = r.u64();
-    state.halted = r.u8() != 0;
-    state.output = r.str();
-    std::uint32_t nregs = r.u32();
-    if (nregs != state.regs.size()) {
-        error = "snapshot register-file size mismatch";
+    std::uint32_t ncores = r.u32();
+    if (r.ok() && ncores == 0) {
+        error = "snapshot has zero cores";
         return false;
     }
-    for (RegVal &reg : state.regs)
-        reg = r.u64();
-
-    std::uint64_t npages = r.u64();
-    pages.clear();
-    for (std::uint64_t i = 0; i < npages && r.ok(); ++i) {
-        PageImage p;
-        p.addr = r.u64();
-        p.bytes.resize(sim::MemImage::PageSize);
-        r.bytes(p.bytes.data(), p.bytes.size());
-        pages.push_back(std::move(p));
+    if (!readCoreRecord(r, workload, input, scale, progHash, state,
+                        pages, error)) {
+        return false;
+    }
+    extraCores.clear();
+    for (std::uint32_t i = 1; i < ncores && r.ok(); ++i) {
+        CoreImage c;
+        if (!readCoreRecord(r, c.workload, c.input, c.scale,
+                            c.progHash, c.state, c.pages, error)) {
+            return false;
+        }
+        extraCores.push_back(std::move(c));
     }
 
     std::uint64_t got = r.u64();

@@ -18,9 +18,16 @@
  *
  *   magic   "SVFCKPT\0"              8 bytes
  *   version u32                      (FormatVersion)
- *   body    ByteWriter record        (workload identity, arch state,
+ *   body    ByteWriter record        (core count, then per core:
+ *                                     workload identity, arch state,
  *                                     page count, pages)
  *   digest  u64 FNV-1a over the body
+ *
+ * Version 2 added the core count and the cores 1..N-1 records for
+ * multi-core Systems; a single-core snapshot is simply ncores == 1.
+ * The digest covers every core's record, so corruption anywhere in a
+ * multi-core image is caught. Version-1 files are rejected (and
+ * regenerate) — there is no silent cross-version read.
  */
 
 #ifndef SVF_CKPT_SNAPSHOT_HH
@@ -47,7 +54,7 @@ std::uint64_t programHash(const isa::Program &prog);
 struct Snapshot
 {
     /** Bumped on any incompatible layout change. */
-    static constexpr std::uint32_t FormatVersion = 1;
+    static constexpr std::uint32_t FormatVersion = 2;
 
     /** @name Provenance (how to rebuild the program) */
     /// @{
@@ -67,15 +74,52 @@ struct Snapshot
     };
     std::vector<PageImage> pages;
 
+    /**
+     * One additional core's full record (multi-core Systems). The
+     * top-level fields above are core 0; extraCores holds cores
+     * 1..N-1 in slot order.
+     */
+    struct CoreImage
+    {
+        std::string workload;
+        std::string input;
+        std::uint64_t scale = 0;
+        std::uint64_t progHash = 0;
+        sim::EmuArchState state;
+        std::vector<PageImage> pages;
+    };
+    std::vector<CoreImage> extraCores;
+
+    /** Total cores captured (1 for a classic snapshot). */
+    unsigned coreCount() const
+    {
+        return 1 + static_cast<unsigned>(extraCores.size());
+    }
+
     /** Capture @p emu (provenance fields are left to the caller). */
     static Snapshot capture(const sim::Emulator &emu);
 
     /**
+     * Capture one emulator per core slot, in slot order (provenance
+     * fields of every core are left to the caller).
+     */
+    static Snapshot
+    captureMulti(const std::vector<const sim::Emulator *> &emus);
+
+    /**
      * Restore into @p emu, which must be built from a program whose
      * programHash() equals progHash (fatal otherwise). Replaces the
-     * whole MemImage content.
+     * whole MemImage content. Fatal on a multi-core snapshot — use
+     * restoreMulti.
      */
     void restore(sim::Emulator &emu) const;
+
+    /**
+     * Restore all cores into one emulator per slot, in slot order.
+     * Each emulator must match its core's progHash; @p emus must
+     * have exactly coreCount() entries (fatal otherwise).
+     */
+    void restoreMulti(const std::vector<sim::Emulator *> &emus) const;
 
     /** @name Serialization */
     /// @{

@@ -47,6 +47,17 @@ class SpecSpTracker
     /** Number of interlock episodes observed. */
     std::uint64_t interlocks() const { return nInterlocks; }
 
+    /**
+     * Clear any pending interlock (oracle rebind: the blocking
+     * writer belonged to the outgoing program). The episode count
+     * survives — it spans the whole run.
+     */
+    void reset()
+    {
+        pendingValid = false;
+        pendingSeq = 0;
+    }
+
   private:
     bool pendingValid = false;
     InstSeq pendingSeq = 0;

@@ -111,4 +111,11 @@ SvfUnit::contextSwitchFlush()
     return _params.enabled ? file->contextSwitchFlush() : 0;
 }
 
+void
+SvfUnit::resyncSp(Addr sp)
+{
+    if (_params.enabled)
+        file->onSpUpdate(sp);
+}
+
 } // namespace svf::core

@@ -158,6 +158,15 @@ class SvfUnit
     /** Context switch: flush the SVF; returns bytes written back. */
     std::uint64_t contextSwitchFlush();
 
+    /**
+     * Re-anchor the window at @p sp without writing anything back —
+     * used when the core switches to a different program whose stack
+     * lives elsewhere. Callers flush first (contextSwitchFlush) so no
+     * dirty state is silently dropped; the slide itself is the same
+     * onSpUpdate path a $sp write takes.
+     */
+    void resyncSp(Addr sp);
+
     /** The underlying storage (stats and test access). */
     const StackValueFile &svf() const { return *file; }
     StackValueFile &svf() { return *file; }

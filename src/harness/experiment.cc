@@ -9,8 +9,10 @@
 #include "base/config.hh"
 #include "base/hash.hh"
 #include "base/logging.hh"
+#include "base/str.hh"
 #include "ckpt/snapshot.hh"
 #include "sim/emulator.hh"
+#include "uarch/system.hh"
 #include "workloads/registry.hh"
 
 namespace svf::harness
@@ -41,6 +43,14 @@ RunSetup::key() const
             }
             seed = hashCombine(seed, h);
         }
+    }
+    // Folded only when a System drive mode is active so every
+    // pre-existing single-core key (in-memory and on-disk caches)
+    // stays valid.
+    if (cores != 1 || slicePeriod != 0) {
+        seed = hashCombine(seed, std::uint64_t(cores));
+        seed = hashCombine(seed, slicePeriod);
+        seed = hashCombine(seed, std::uint64_t(sysQuantum));
     }
     return seed;
 }
@@ -124,6 +134,26 @@ coreStatsDelta(const uarch::CoreStats &after,
     return d;
 }
 
+/** Golden-output comparison for one program. */
+void
+checkProgramOutput(const workloads::WorkloadSpec *spec,
+                   const std::string &workload,
+                   const std::string &input, std::uint64_t scale,
+                   const sim::Emulator &oracle, RunResult &r)
+{
+    r.completed = oracle.halted();
+    r.output = oracle.output();
+    if (r.completed && spec) {
+        std::string expected = spec->expected(input, scale);
+        r.outputOk = oracle.output() == expected;
+        if (!r.outputOk) {
+            warn("workload %s.%s output mismatch (got '%s', want "
+                 "'%s')", workload.c_str(), input.c_str(),
+                 oracle.output().c_str(), expected.c_str());
+        }
+    }
+}
+
 /** Golden-output comparison shared by the full and sampled paths. */
 void
 checkOutput(const RunSetup &setup,
@@ -131,18 +161,111 @@ checkOutput(const RunSetup &setup,
             std::uint64_t scale, const sim::Emulator &oracle,
             RunResult &r)
 {
-    r.completed = oracle.halted();
-    r.output = oracle.output();
-    if (r.completed && spec) {
-        std::string expected = spec->expected(setup.input, scale);
-        r.outputOk = oracle.output() == expected;
-        if (!r.outputOk) {
-            warn("workload %s.%s output mismatch (got '%s', want "
-                 "'%s')", setup.workload.c_str(),
-                 setup.input.c_str(), oracle.output().c_str(),
-                 expected.c_str());
+    checkProgramOutput(spec, setup.workload, setup.input, scale,
+                       oracle, r);
+}
+
+/** One multi-program setup, resolved: per-slot programs and specs. */
+struct MultiSpec
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> inputs;
+    std::vector<std::string> labels;
+    std::vector<std::uint64_t> scales;
+    std::vector<const workloads::WorkloadSpec *> specs;
+    std::vector<std::shared_ptr<const isa::Program>> progs;
+
+    unsigned count() const
+    {
+        return static_cast<unsigned>(progs.size());
+    }
+};
+
+/**
+ * Expand the setup's comma lists into one program per slot.
+ * cores=N needs lists of length 1 (replicated) or N; slice mode
+ * takes as many programs as the longer list provides. An empty
+ * input entry means the workload's default input.
+ */
+MultiSpec
+resolvePrograms(const RunSetup &setup)
+{
+    MultiSpec ms;
+    if (setup.program) {
+        // Explicit-program mode: replicate across the cores.
+        unsigned n = setup.cores > 1 ? setup.cores : 1;
+        for (unsigned i = 0; i < n; ++i) {
+            ms.workloads.push_back(setup.program->name);
+            ms.inputs.emplace_back();
+            ms.scales.push_back(setup.scale);
+            ms.specs.push_back(nullptr);
+            ms.progs.push_back(setup.program);
+        }
+    } else {
+        std::vector<std::string> wl = split(setup.workload, ',');
+        std::vector<std::string> in = split(setup.input, ',');
+        std::size_t n = std::max(wl.size(), in.size());
+        if (setup.cores > 1)
+            n = setup.cores;
+        auto pick = [n](const std::vector<std::string> &v,
+                        std::size_t i, const char *what)
+            -> const std::string & {
+            if (v.size() != 1 && v.size() != n) {
+                fatal("%s list has %zu entries; expected 1 or %zu",
+                      what, v.size(), n);
+            }
+            return v[v.size() == 1 ? 0 : i];
+        };
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::string &w = pick(wl, i, "workload");
+            if (w.empty())
+                fatal("empty workload name in multi-program list");
+            const workloads::WorkloadSpec &spec =
+                workloads::workload(w);
+            std::string input = pick(in, i, "input");
+            if (input.empty())
+                input = spec.inputs[0];
+            std::uint64_t scale =
+                setup.scale ? setup.scale : spec.defaultScale;
+            ms.workloads.push_back(w);
+            ms.inputs.push_back(std::move(input));
+            ms.scales.push_back(scale);
+            ms.specs.push_back(&spec);
+            ms.progs.push_back(std::make_shared<isa::Program>(
+                spec.build(ms.inputs.back(), scale)));
         }
     }
+
+    // Group labels: the workload name, #slot-suffixed on repeats so
+    // JSON consumers can tell a mix's copies apart.
+    for (std::size_t i = 0; i < ms.workloads.size(); ++i) {
+        std::size_t dup = 0;
+        for (const std::string &w : ms.workloads)
+            dup += w == ms.workloads[i] ? 1 : 0;
+        ms.labels.push_back(
+            dup > 1 ? ms.workloads[i] + "#" + std::to_string(i)
+                    : ms.workloads[i]);
+    }
+    return ms;
+}
+
+/**
+ * Fold one per-core group into the aggregate: cycles is the maximum
+ * (the system ran as long as its slowest core), every other counter
+ * sums, and the correctness flags conjoin.
+ */
+void
+foldGroup(RunResult &agg, const RunResult &group)
+{
+    agg.core.cycles = std::max(agg.core.cycles, group.core.cycles);
+    for (const ckpt::CoreCounter &c : ckpt::coreCounters()) {
+        if (c.field != &uarch::CoreStats::cycles)
+            agg.core.*(c.field) += group.core.*(c.field);
+    }
+    for (auto field : unitCounterFields())
+        agg.*field += group.*field;
+    agg.completed = agg.completed && group.completed;
+    agg.outputOk = agg.outputOk && group.outputOk;
 }
 
 /** What one detailed measurement window produced. */
@@ -420,11 +543,273 @@ runSampledExperiment(const RunSetup &setup, const isa::Program &prog,
     return runSampledParallel(setup, prog, spec, scale);
 }
 
+/** The System shape a RunSetup describes. */
+uarch::SystemConfig
+systemConfig(const RunSetup &setup)
+{
+    uarch::SystemConfig sc;
+    sc.cores = setup.cores;
+    sc.slicePeriod = setup.slicePeriod;
+    sc.quantum = setup.sysQuantum;
+    sc.threads = setup.pjobs;    // host-side only, like sampling
+    sc.machine = setup.machine;
+    return sc;
+}
+
+/**
+ * Unit-counter snapshot of one core slot; in shared-L2 mode the L2
+ * figures are what this core observed at its port (the private L2
+ * the hierarchy still owns is bypassed and stays zero).
+ */
+RunResult
+unitSnapshotOf(const uarch::System &sys, unsigned c)
+{
+    RunResult u;
+    collectUnitCounters(sys.core(c), u);
+    if (const mem::SharedL2 *l2 = sys.sharedL2()) {
+        u.l2Hits = l2->portStats(c).hits;
+        u.l2Misses = l2->portStats(c).misses;
+    }
+    return u;
+}
+
+/** cores=N: one program per core over the shared L2. */
+RunResult
+runMultiCoreExperiment(const RunSetup &setup, const MultiSpec &ms)
+{
+    uarch::System sys(systemConfig(setup), ms.progs);
+    sys.run(setup.maxInsts);
+
+    RunResult agg;
+    agg.completed = true;
+    agg.outputOk = true;
+    for (unsigned i = 0; i < sys.cores(); ++i) {
+        RunResult g = unitSnapshotOf(sys, i);
+        g.label = ms.labels[i];
+        g.core = sys.core(i).stats();
+        checkProgramOutput(ms.specs[i], ms.workloads[i],
+                           ms.inputs[i], ms.scales[i], sys.emu(i),
+                           g);
+        foldGroup(agg, g);
+        agg.perCore.push_back(std::move(g));
+    }
+    return agg;
+}
+
+/** slice=Q: round-robin the programs on one core. */
+RunResult
+runSliceExperiment(const RunSetup &setup, const MultiSpec &ms)
+{
+    uarch::System sys(systemConfig(setup), ms.progs);
+    const unsigned n = sys.programs();
+
+    // Attribute each slice's counter deltas — including the switch
+    // flush at its end — to the program that ran it.
+    std::vector<RunResult> groups(n);
+    uarch::CoreStats core_before;
+    RunResult unit_before;
+    sys.onSliceBegin = [&](unsigned) {
+        core_before = sys.core(0).stats();
+        unit_before = unitSnapshotOf(sys, 0);
+    };
+    sys.onSliceEnd = [&](unsigned p) {
+        uarch::CoreStats delta =
+            coreStatsDelta(sys.core(0).stats(), core_before);
+        for (const ckpt::CoreCounter &c : ckpt::coreCounters())
+            groups[p].core.*(c.field) += delta.*(c.field);
+        accumulateUnitDelta(groups[p], unitSnapshotOf(sys, 0),
+                            unit_before);
+    };
+    sys.run(setup.maxInsts);
+
+    // Slices partition the core's run exactly, so the whole-run
+    // totals are the top-level counters and the groups sum to them.
+    RunResult agg;
+    agg.core = sys.core(0).stats();
+    collectUnitCounters(sys.core(0), agg);
+    agg.completed = true;
+    agg.outputOk = true;
+    for (unsigned p = 0; p < n; ++p) {
+        RunResult &g = groups[p];
+        g.label = ms.labels[p];
+        checkProgramOutput(ms.specs[p], ms.workloads[p],
+                           ms.inputs[p], ms.scales[p], sys.emu(p),
+                           g);
+        agg.completed = agg.completed && g.completed;
+        agg.outputOk = agg.outputOk && g.outputOk;
+    }
+    agg.perCore = std::move(groups);
+    return agg;
+}
+
+/**
+ * Sampled multi-core run. Phase 1 advances one functional producer
+ * per core and captures a multi-core snapshot at every detail
+ * point; phase 2 walks the intervals serially, each one restoring a
+ * fresh System (whose cores fan over pjobs host threads inside the
+ * epoch loop). Per-interval deltas aggregate across cores — cycles
+ * as the maximum, the rest summed — before feeding the estimator,
+ * so the estimate describes system throughput. Per-core groups are
+ * not produced on this path. The on-disk SnapshotStore is keyed for
+ * single-program states and stays out of it.
+ */
+RunResult
+runSampledMultiCore(const RunSetup &setup, const MultiSpec &ms)
+{
+    if (setup.sample.functionalWarm) {
+        fatal("sample=...,warm is not supported with cores>1 "
+              "(warming folds over one program's stream)");
+    }
+
+    ckpt::Sampler sampler(setup.sample, setup.maxInsts);
+    const std::uint64_t count = sampler.intervalCount();
+    const unsigned n = ms.count();
+
+    // --- Phase 1: functional snapshot production --------------------
+    std::vector<std::unique_ptr<sim::Emulator>> producers;
+    for (unsigned c = 0; c < n; ++c) {
+        producers.push_back(
+            std::make_unique<sim::Emulator>(*ms.progs[c]));
+    }
+
+    std::vector<ckpt::Snapshot> snaps(count);
+    std::vector<char> reached(count, 0);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ckpt::Sampler::Interval iv = sampler.interval(i);
+        bool any_live = false;
+        for (auto &p : producers) {
+            if (p->instCount() < iv.ffTarget)
+                ckpt::fastForward(*p, iv.ffTarget);
+            any_live = any_live || !p->halted();
+        }
+        if (!any_live)
+            break;
+        std::vector<const sim::Emulator *> views;
+        for (auto &p : producers)
+            views.push_back(p.get());
+        snaps[i] = ckpt::Snapshot::captureMulti(views);
+        snaps[i].workload = ms.workloads[0];
+        snaps[i].input = ms.inputs[0];
+        snaps[i].scale = ms.scales[0];
+        for (unsigned c = 1; c < n; ++c) {
+            ckpt::Snapshot::CoreImage &ci =
+                snaps[i].extraCores[c - 1];
+            ci.workload = ms.workloads[c];
+            ci.input = ms.inputs[c];
+            ci.scale = ms.scales[c];
+        }
+        reached[i] = 1;
+    }
+    for (auto &p : producers)
+        ckpt::fastForward(*p, setup.maxInsts);
+
+    // --- Phase 2: detailed windows, serial over intervals -----------
+    ckpt::CoreStatsAccum accum;
+    RunResult r;
+    std::vector<double> interval_ipc;
+    std::uint64_t warm_total = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!reached[i])
+            continue;
+        ckpt::Sampler::Interval iv = sampler.interval(i);
+        uarch::System sys(systemConfig(setup), ms.progs);
+        std::vector<sim::Emulator *> emus;
+        for (unsigned c = 0; c < n; ++c)
+            emus.push_back(&sys.emu(c));
+        snaps[i].restoreMulti(emus);
+
+        if (iv.warmup) {
+            std::uint64_t before_warm = 0, after_warm = 0;
+            for (unsigned c = 0; c < n; ++c)
+                before_warm += sys.emu(c).instCount();
+            sys.run(iv.warmup);
+            for (unsigned c = 0; c < n; ++c)
+                after_warm += sys.emu(c).instCount();
+            warm_total += after_warm - before_warm;
+        }
+
+        std::vector<uarch::CoreStats> core_before(n);
+        std::vector<RunResult> unit_before(n);
+        for (unsigned c = 0; c < n; ++c) {
+            core_before[c] = sys.core(c).stats();
+            unit_before[c] = unitSnapshotOf(sys, c);
+        }
+
+        sys.run(iv.detailed);
+
+        uarch::CoreStats agg_delta;
+        for (unsigned c = 0; c < n; ++c) {
+            uarch::CoreStats d = coreStatsDelta(
+                sys.core(c).stats(), core_before[c]);
+            agg_delta.cycles = std::max(agg_delta.cycles, d.cycles);
+            for (const ckpt::CoreCounter &cc : ckpt::coreCounters())
+                if (cc.field != &uarch::CoreStats::cycles)
+                    agg_delta.*(cc.field) += d.*(cc.field);
+        }
+        if (agg_delta.committed == 0)
+            continue;       // every program ended during warmup
+        for (unsigned c = 0; c < n; ++c) {
+            accumulateUnitDelta(r, unitSnapshotOf(sys, c),
+                                unit_before[c]);
+        }
+        accum.add(agg_delta);
+        interval_ipc.push_back(agg_delta.ipc());
+    }
+
+    // --- Phase 3: fold and finalize ---------------------------------
+    r.core = accum.total();
+    r.completed = true;
+    r.outputOk = true;
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < n; ++c) {
+        RunResult g;
+        checkProgramOutput(ms.specs[c], ms.workloads[c],
+                           ms.inputs[c], ms.scales[c],
+                           *producers[c], g);
+        r.completed = r.completed && g.completed;
+        r.outputOk = r.outputOk && g.outputOk;
+        total += producers[c]->instCount();
+    }
+    std::uint64_t covered = warm_total + accum.total().committed;
+    finalizeSampleEstimate(r, accum, interval_ipc, total,
+                           total > covered ? total - covered : 0,
+                           warm_total);
+    return r;
+}
+
 } // anonymous namespace
 
 RunResult
 runExperiment(const RunSetup &setup)
 {
+    if (setup.cores < 1)
+        fatal("cores=0 is meaningless (need at least one core)");
+    if (setup.cores > 1 && setup.slicePeriod) {
+        fatal("cores=%u with slice=%llu: time-slicing shares one "
+              "core by definition", setup.cores,
+              (unsigned long long)setup.slicePeriod);
+    }
+
+    if (setup.cores > 1 || setup.slicePeriod) {
+        MultiSpec ms = resolvePrograms(setup);
+        if (setup.sample.enabled()) {
+            if (setup.slicePeriod) {
+                fatal("sample= cannot be combined with slice= "
+                      "(a slice schedule is not an independent-"
+                      "interval stream)");
+            }
+            return runSampledMultiCore(setup, ms);
+        }
+        return setup.slicePeriod ? runSliceExperiment(setup, ms)
+                                 : runMultiCoreExperiment(setup, ms);
+    }
+
+    if (!setup.program &&
+        setup.workload.find(',') != std::string::npos) {
+        fatal("workload list '%s' needs cores=N or slice=Q",
+              setup.workload.c_str());
+    }
+
     isa::Program prog;
     const workloads::WorkloadSpec *spec = nullptr;
     std::uint64_t scale = setup.scale;
@@ -440,15 +825,36 @@ runExperiment(const RunSetup &setup)
     if (setup.sample.enabled())
         return runSampledExperiment(setup, prog, spec, scale);
 
-    sim::Emulator oracle(prog);
-    uarch::OooCore core(setup.machine, oracle);
-    core.run(setup.maxInsts);
+    // The single-core full run drives the same componentized System
+    // as the multi-core modes; a one-slot System degenerates to the
+    // legacy loop verbatim (pinned bit-identical on every workload
+    // by system_equiv_test).
+    std::shared_ptr<const isa::Program> program =
+        setup.program
+            ? setup.program
+            : std::make_shared<isa::Program>(std::move(prog));
+    std::vector<std::shared_ptr<const isa::Program>> progs{program};
+    uarch::System sys(systemConfig(setup), std::move(progs));
+    sys.run(setup.maxInsts);
 
     RunResult r;
-    r.core = core.stats();
-    checkOutput(setup, spec, scale, oracle, r);
-    collectUnitCounters(core, r);
+    r.core = sys.core(0).stats();
+    checkOutput(setup, spec, scale, sys.emu(0), r);
+    collectUnitCounters(sys.core(0), r);
     return r;
+}
+
+void
+systemFromConfig(const Config &cfg, RunSetup &setup)
+{
+    // Reading the keys here also registers them with the config's
+    // touched set, so warnUnused() can suggest cores=/slice=/
+    // quantum= for near-miss spellings.
+    setup.cores =
+        static_cast<unsigned>(cfg.getUint("cores", setup.cores));
+    setup.slicePeriod = cfg.getUint("slice", setup.slicePeriod);
+    setup.sysQuantum =
+        static_cast<Cycle>(cfg.getUint("quantum", setup.sysQuantum));
 }
 
 uarch::MachineConfig

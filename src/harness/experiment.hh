@@ -24,11 +24,32 @@ namespace svf::harness
 /** One simulation to run. */
 struct RunSetup
 {
-    std::string workload;       //!< registry short name
-    std::string input;          //!< input variant
+    /**
+     * Registry short name. With cores>1 or slice>0 this may be a
+     * comma-separated list (one program per core, or the programs to
+     * round-robin); a single name is replicated across cores.
+     */
+    std::string workload;
+    std::string input;          //!< input variant (comma list too)
     std::uint64_t scale = 0;    //!< 0 = the registry default scale
     std::uint64_t maxInsts = 500'000;
     uarch::MachineConfig machine;
+
+    /**
+     * @name System drive mode (uarch/system.hh)
+     * cores > 1 runs one program per core over a shared L2 in
+     * deterministic epochs of sysQuantum cycles; slicePeriod > 0
+     * round-robins the programs on one core, context-switching every
+     * slicePeriod committed instructions. The defaults (1, 0)
+     * reproduce the classic single-core run bit-identically — and
+     * are then excluded from key(), so existing cached results stay
+     * valid.
+     */
+    /// @{
+    unsigned cores = 1;
+    std::uint64_t slicePeriod = 0;
+    Cycle sysQuantum = 1024;
+    /// @}
 
     /**
      * Interval sampling schedule (ckpt/sampler.hh). Disabled by
@@ -80,6 +101,13 @@ struct RunSetup
 /** Everything measured by one simulation. */
 struct RunResult
 {
+    /**
+     * Group name when this result is a perCore entry (the core's or
+     * program's workload, suffixed #i when the mix repeats a name).
+     * Empty on a top-level result.
+     */
+    std::string label;
+
     uarch::CoreStats core;
 
     /** @name SVF statistics */
@@ -134,6 +162,16 @@ struct RunResult
     /** Did the program halt within the instruction budget? */
     bool completed = false;
 
+    /**
+     * Per-core (cores=N) or per-program (slice=Q) counter groups, in
+     * slot/program order. The top-level counters aggregate them:
+     * cycles is the across-cores maximum (the system ran that long),
+     * every other counter is the sum, and completed/outputOk are the
+     * conjunctions. Empty for classic single-program runs and for
+     * sampled multi-core runs (which estimate the aggregate only).
+     */
+    std::vector<RunResult> perCore;
+
     double ipc() const { return core.ipc(); }
 };
 
@@ -148,6 +186,14 @@ RunResult runExperiment(const RunSetup &setup);
  * svf-sim and svf-ckpt so the two CLIs accept identical machines.
  */
 uarch::MachineConfig machineFromConfig(const Config &cfg);
+
+/**
+ * Read the System drive-mode options — cores=N, slice=Q (committed
+ * instructions per time slice) and quantum=C (multi-core epoch
+ * length in cycles) — into @p setup. Shared by svf-sim and the
+ * bench harness so every CLI spells the modes identically.
+ */
+void systemFromConfig(const Config &cfg, RunSetup &setup);
 
 /**
  * The paper's baseline machine: Table 2 shape at @p width with

@@ -198,6 +198,25 @@ JsonReport::add(const JobOutcome &outcome)
             d.num("ipc_stddev", e.ipcStddev);
         }
         w.field("derived", d.finish());
+        if (!r->perCore.empty()) {
+            // One group per core (cores=N) or program (slice=Q), in
+            // slot/program order; top-level counters aggregate them.
+            std::string cores;
+            for (const RunResult &g : r->perCore) {
+                if (!cores.empty())
+                    cores += ", ";
+                ObjectWriter cw;
+                cw.str("name", g.label);
+                cw.field("counters", runCounters(g));
+                ObjectWriter cd;
+                cd.num("ipc", g.ipc());
+                cd.boolean("completed", g.completed);
+                cd.boolean("output_ok", g.outputOk);
+                cw.field("derived", cd.finish());
+                cores += cw.finish();
+            }
+            w.field("cores", "[" + cores + "]");
+        }
     } else if (const TrafficResult *t =
                    std::get_if<TrafficResult>(&outcome.value)) {
         w.str("kind", "traffic");

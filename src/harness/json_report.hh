@@ -18,8 +18,11 @@
  *         "cached": true | false,
  *         "wall_seconds": <number>,
  *         "counters": { "<snake_case>": <integer>, ... },
- *         "derived":  { "<snake_case>": <number>, ... }
- *       }, ...
+ *         "derived":  { "<snake_case>": <number>, ... },
+ *         "cores":    [ { "name": "<workload>", "counters": {...},
+ *                         "derived": {...} }, ... ]   // cores=N or
+ *       }, ...                                        // slice=Q runs
+ *                                                     // only
  *     ]
  *   }
  *

@@ -1,7 +1,13 @@
 #include "harness/traffic.hh"
 
+#include <memory>
+#include <vector>
+
 #include "base/hash.hh"
+#include "base/logging.hh"
+#include "base/str.hh"
 #include "core/svf_unit.hh"
+#include "isa/isa.hh"
 #include "mem/hierarchy.hh"
 #include "mem/stack_cache.hh"
 #include "sim/emulator.hh"
@@ -20,7 +26,7 @@ TrafficSetup::key() const
     seed = hashCombine(seed, scale);
     seed = hashCombine(seed, maxInsts);
     seed = hashCombine(seed, capacityBytes);
-    seed = hashCombine(seed, ctxSwitchPeriod);
+    seed = hashCombine(seed, slicePeriod);
     seed = hashCombine(seed, std::uint64_t(svfDirtyGranule));
     seed = hashCombine(seed, std::uint64_t(svfKillOnShrink));
     return hashCombine(seed, std::uint64_t(svfFillOnAlloc));
@@ -29,12 +35,39 @@ TrafficSetup::key() const
 TrafficResult
 measureTraffic(const TrafficSetup &setup)
 {
-    const workloads::WorkloadSpec &spec =
-        workloads::workload(setup.workload);
-    std::uint64_t scale = setup.scale ? setup.scale
-                                      : spec.defaultScale;
-    isa::Program prog = spec.build(setup.input, scale);
-    sim::Emulator emu(prog);
+    // One functional stream per comma-separated workload entry; the
+    // streams take turns through ONE SvfUnit and ONE StackCache, so a
+    // mix measures real inter-program displacement.
+    std::vector<std::string> names = split(setup.workload, ',');
+    std::vector<std::string> inputs = split(setup.input, ',');
+    std::size_t n = std::max(names.size(), inputs.size());
+    auto pick = [n](const std::vector<std::string> &v, std::size_t i,
+                    const char *what) -> const std::string & {
+        if (v.size() == 1)
+            return v[0];
+        if (v.size() != n)
+            fatal("traffic %s list has %zu entries for %zu streams",
+                  what, v.size(), n);
+        return v[i];
+    };
+    if (n > 1 && setup.slicePeriod == 0)
+        fatal("a traffic workload mix needs slice=N (the round-robin "
+              "period); got %zu workloads with slice=0", n);
+
+    std::vector<isa::Program> progs;
+    progs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const workloads::WorkloadSpec &spec =
+            workloads::workload(pick(names, i, "workload"));
+        const std::string &in = pick(inputs, i, "input");
+        std::uint64_t scale = setup.scale ? setup.scale
+                                          : spec.defaultScale;
+        progs.push_back(
+            spec.build(in.empty() ? spec.inputs[0] : in, scale));
+    }
+    std::vector<std::unique_ptr<sim::Emulator>> emus;
+    for (const isa::Program &p : progs)
+        emus.push_back(std::make_unique<sim::Emulator>(p));
 
     core::SvfUnitParams svf_params;
     svf_params.enabled = true;
@@ -51,20 +84,60 @@ measureTraffic(const TrafficSetup &setup)
     mem::StackCache sc(sc_params, hier);
 
     TrafficResult out;
+    std::vector<std::uint64_t> used(n, 0);
+    auto active = [&](std::size_t j) {
+        return !emus[j]->halted() && used[j] < setup.maxInsts;
+    };
+
+    std::size_t cur = 0;
+    std::size_t prev = 0;           // stream the structures last saw
     sim::ExecInfo info;
-    while (out.insts < setup.maxInsts && emu.step(info)) {
-        ++out.insts;
-        svf.classifyAndApply(info);
-        if (info.di->memRef &&
-            sim::classify(info.ea) == sim::Region::Stack) {
-            sc.access(info.ea, info.di->store);
+    while (true) {
+        std::size_t j = n;
+        for (std::size_t k = 0; k < n; ++k) {
+            std::size_t c = (cur + k) % n;
+            if (active(c)) {
+                j = c;
+                break;
+            }
         }
-        if (setup.ctxSwitchPeriod &&
-            out.insts % setup.ctxSwitchPeriod == 0) {
+        if (j == n)
+            break;
+
+        sim::Emulator &emu = *emus[j];
+        if (j != prev) {
+            // The incoming stream's TOS is wherever its own $sp
+            // points; the flush below already emptied the SVF, so
+            // this only repositions the window.
+            svf.resyncSp(emu.reg(isa::RegSP));
+            prev = j;
+        }
+
+        std::uint64_t quota = setup.maxInsts - used[j];
+        if (setup.slicePeriod && setup.slicePeriod < quota)
+            quota = setup.slicePeriod;
+        std::uint64_t done = 0;
+        while (done < quota && emu.step(info)) {
+            ++done;
+            svf.classifyAndApply(info);
+            if (info.di->memRef &&
+                sim::classify(info.ea) == sim::Region::Stack) {
+                sc.access(info.ea, info.di->store);
+            }
+        }
+        used[j] += done;
+        out.insts += done;
+
+        // A switch (and its writeback bill) is charged only when the
+        // slice consumed its full period — the old modulo injector's
+        // rule, which a halting or budget-capped tail slice never
+        // triggered.
+        if (setup.slicePeriod && done == setup.slicePeriod) {
             ++out.ctxSwitches;
             out.svfCtxBytes += svf.contextSwitchFlush();
             out.scCtxBytes += sc.contextSwitchFlush();
         }
+        cur = (j + 1) % n;
     }
 
     out.svfQuadsIn = svf.svf().quadsIn();

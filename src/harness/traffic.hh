@@ -43,16 +43,28 @@ struct TrafficResult
 /** Configuration for a traffic measurement. */
 struct TrafficSetup
 {
+    /**
+     * Registry short name, or — with slicePeriod > 0 — a
+     * comma-separated program mix that is round-robined through the
+     * shared structures (real inter-program displacement, the
+     * generalized Table 4 experiment).
+     */
     std::string workload;
-    std::string input;
+    std::string input;                  //!< comma list allowed too
     std::uint64_t scale = 0;            //!< 0 = registry default
-    std::uint64_t maxInsts = 5'000'000;
+    std::uint64_t maxInsts = 5'000'000; //!< per-stream budget
 
     /** Capacity in bytes for both structures (2/4/8KB in Table 3). */
     std::uint64_t capacityBytes = 8192;
 
-    /** Instructions between context switches; 0 disables. */
-    std::uint64_t ctxSwitchPeriod = 0;
+    /**
+     * Committed instructions per time slice; 0 disables slicing.
+     * With one stream this reproduces the classic flush-every-period
+     * injection bit-identically (a flush is charged only when a slice
+     * consumes its full period, exactly the old modulo rule); with a
+     * mix, streams alternate through the same SVF/stack cache.
+     */
+    std::uint64_t slicePeriod = 0;
 
     /** SVF dirty-bit granularity (8 = paper). */
     unsigned svfDirtyGranule = 8;

@@ -1,17 +1,22 @@
 #include "mem/hierarchy.hh"
 
+#include "mem/shared_l2.hh"
+
 namespace svf::mem
 {
 
-MemHierarchy::MemHierarchy(const HierarchyParams &params)
+MemHierarchy::MemHierarchy(const HierarchyParams &params,
+                           SharedL2 *shared, unsigned core_id)
     : _params(params), _il1(params.il1), _dl1(params.dl1),
-      _l2(params.l2)
+      _l2(params.l2), _shared(shared), _coreId(core_id)
 {
 }
 
 bool
 MemHierarchy::l2Access(Addr addr, bool write)
 {
+    if (_shared)
+        return _shared->access(_coreId, addr, write);
     CacheAccess l2a = _l2.access(addr, write);
     if (!l2a.hit)
         memTraffic += _l2.params().lineSize / 8;    // fill

@@ -34,15 +34,33 @@ struct HierarchyParams
     }
 };
 
+class SharedL2;
+
 /**
  * Composes IL1/DL1/L2/memory with the paper's end-to-end latencies:
  * a DL1 hit costs dl1.hitLatency, a DL1 miss that hits in L2 costs
  * l2.hitLatency, and an L2 miss costs memLatency.
+ *
+ * A hierarchy is either *standalone* (it owns its own L2 — the
+ * single-core configuration, bit-identical to what it always was)
+ * or *split*: the private IL1/DL1 levels stay per-core while every
+ * L2-level access goes out this core's port of a SharedL2 back end
+ * (see mem/shared_l2.hh). The split changes where L2 state lives,
+ * not any latency composition.
  */
 class MemHierarchy
 {
   public:
-    explicit MemHierarchy(const HierarchyParams &params);
+    /**
+     * @param params cache shapes and memory latency.
+     * @param shared when non-null, route all L2 accesses through
+     *        port @p core_id of this shared back end instead of the
+     *        private L2.
+     * @param core_id this core's port on @p shared.
+     */
+    explicit MemHierarchy(const HierarchyParams &params,
+                          SharedL2 *shared = nullptr,
+                          unsigned core_id = 0);
 
     /** Instruction fetch; returns total latency in cycles. */
     unsigned fetch(Addr addr);
@@ -74,8 +92,15 @@ class MemHierarchy
     const Cache &dl1() const { return _dl1; }
     const Cache &l2() const { return _l2; }
 
-    /** Quadwords moved between L2 and main memory. */
+    /**
+     * Quadwords moved between L2 and main memory. In split mode the
+     * traffic is accounted system-wide by the SharedL2 (a line fill
+     * serves every core), so the per-core figure here stays 0.
+     */
     std::uint64_t memQuads() const { return memTraffic; }
+
+    /** The shared back end, or nullptr when standalone. */
+    const SharedL2 *shared() const { return _shared; }
 
   private:
     /** L2 access including memory traffic accounting. */
@@ -85,6 +110,8 @@ class MemHierarchy
     Cache _il1;
     Cache _dl1;
     Cache _l2;
+    SharedL2 *_shared = nullptr;
+    unsigned _coreId = 0;
     std::uint64_t memTraffic = 0;
 };
 

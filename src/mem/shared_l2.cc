@@ -1,0 +1,46 @@
+#include "mem/shared_l2.hh"
+
+#include "base/logging.hh"
+
+namespace svf::mem
+{
+
+SharedL2::SharedL2(const CacheParams &l2, unsigned ncores)
+    : _l2(l2), _ports(ncores)
+{
+    svf_assert(ncores > 0);
+}
+
+bool
+SharedL2::access(unsigned id, Addr addr, bool write)
+{
+    Port &p = _ports[id];
+    Addr line = addr & ~Addr(_l2.params().lineSize - 1);
+    p.log.push_back({addr, write});
+    bool hit = p.filled.count(line) != 0 || _l2.probe(addr);
+    if (hit) {
+        ++p.stats.hits;
+    } else {
+        ++p.stats.misses;
+        p.filled.insert(line);
+    }
+    return hit;
+}
+
+void
+SharedL2::commitEpoch()
+{
+    for (Port &p : _ports) {
+        for (const LogEntry &e : p.log) {
+            CacheAccess a = _l2.access(e.addr, e.write);
+            if (!a.hit)
+                memTraffic += _l2.params().lineSize / 8;    // fill
+            if (a.writebackVictim)
+                memTraffic += _l2.params().lineSize / 8;
+        }
+        p.log.clear();
+        p.filled.clear();
+    }
+}
+
+} // namespace svf::mem

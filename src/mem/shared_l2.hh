@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Epoch-coherent shared L2 for the multi-core System.
+ *
+ * N cores share one L2 through per-core ports. To keep multi-core
+ * simulation deterministic for any host thread count, the tag array
+ * is only mutated at epoch barriers:
+ *
+ *   - Phase A (parallel, one host thread per core): access() probes
+ *     the *frozen* tags (Cache::probe, no state change) plus a
+ *     per-core overlay of lines this core already filled during the
+ *     current epoch, logs the access, and returns hit/miss. A core
+ *     only ever touches its own port, so phase A is race-free by
+ *     construction.
+ *   - Phase B (commitEpoch, serial, at the barrier): the logs are
+ *     replayed through the real Cache in core order, performing the
+ *     fills, LRU updates, dirty marking and writeback/memory-traffic
+ *     accounting.
+ *
+ * Within an epoch a core therefore sees the other cores' fills one
+ * epoch late ("epoch-coherent"). That staleness is the modeling
+ * price of determinism; it is bounded by the quantum and documented
+ * in docs/model.md. The per-port hit/miss counters reflect what the
+ * cores *observed* (and paid latency for); the underlying Cache's
+ * counters reflect the serial replay. Both are deterministic, and
+ * they may legitimately disagree.
+ */
+
+#ifndef SVF_MEM_SHARED_L2_HH
+#define SVF_MEM_SHARED_L2_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/cache.hh"
+
+namespace svf::mem
+{
+
+/** The shared L2 and its per-core ports. */
+class SharedL2
+{
+  public:
+    /** What one core observed at its port. */
+    struct PortStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t accesses() const { return hits + misses; }
+    };
+
+    /**
+     * @param l2 shape of the shared cache.
+     * @param ncores number of ports.
+     */
+    SharedL2(const CacheParams &l2, unsigned ncores);
+
+    /**
+     * Phase A: one access by core @p id. Deterministic given the
+     * epoch-start tags and this core's own earlier accesses; never
+     * mutates state shared with another core.
+     *
+     * @return true on an (observed) L2 hit.
+     */
+    bool access(unsigned id, Addr addr, bool write);
+
+    /**
+     * Phase B: replay every port's epoch log through the real cache
+     * in core order. Must be called with no core running (the
+     * barrier); also called once after the last epoch so the final
+     * tag state and traffic counters cover every access.
+     */
+    void commitEpoch();
+
+    unsigned ports() const
+    {
+        return static_cast<unsigned>(_ports.size());
+    }
+
+    const PortStats &portStats(unsigned id) const
+    {
+        return _ports[id].stats;
+    }
+
+    /** The shared cache (replay-order statistics and tag state). */
+    Cache &cache() { return _l2; }
+    const Cache &cache() const { return _l2; }
+
+    /** Quadwords moved between the shared L2 and main memory. */
+    std::uint64_t memQuads() const { return memTraffic; }
+
+  private:
+    struct LogEntry
+    {
+        Addr addr = 0;
+        bool write = false;
+    };
+
+    struct Port
+    {
+        std::vector<LogEntry> log;          //!< this epoch, in order
+        std::unordered_set<Addr> filled;    //!< lines filled this epoch
+        PortStats stats;
+    };
+
+    Cache _l2;
+    std::vector<Port> _ports;
+    std::uint64_t memTraffic = 0;
+};
+
+} // namespace svf::mem
+
+#endif // SVF_MEM_SHARED_L2_HH

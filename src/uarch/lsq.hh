@@ -65,6 +65,13 @@ class StoreWordMap
 
     size_t size() const { return map.size(); }
 
+    /**
+     * Drop everything. Needed at an oracle rebind: the next program
+     * restarts seqs at 0, so lazy pruning's "older than the RUU
+     * head" test would mistake a stale entry for a live store.
+     */
+    void clear() { map.clear(); }
+
   private:
     std::unordered_map<std::uint64_t, InstSeq> map;
 };

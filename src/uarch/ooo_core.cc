@@ -8,8 +8,10 @@
 namespace svf::uarch
 {
 
-OooCore::OooCore(const MachineConfig &config, sim::Emulator &oracle)
-    : cfg(config), oracle(oracle), _hier(config.hier),
+OooCore::OooCore(const MachineConfig &config, sim::Emulator &oracle,
+                 mem::SharedL2 *shared_l2, unsigned core_id)
+    : cfg(config), oracle(&oracle),
+      _hier(config.hier, shared_l2, core_id),
       ruu(config.ruuSize), lsq(config.lsqSize)
 {
     svf = std::make_unique<core::SvfUnit>(cfg.svf,
@@ -561,11 +563,7 @@ OooCore::doCommit()
 
         if (cfg.contextSwitchPeriod &&
             _stats.committed % cfg.contextSwitchPeriod == 0) {
-            ++_stats.ctxSwitches;
-            _stats.svfCtxBytes += svf->contextSwitchFlush();
-            if (sc)
-                _stats.scCtxBytes += sc->contextSwitchFlush();
-            _stats.dl1CtxLines += _hier.flushDl1(true);
+            forceContextSwitch();
         }
     }
 }
@@ -762,7 +760,7 @@ OooCore::doFetch()
                 break;
             }
             sim::ExecInfo info;
-            if (!oracle.step(info)) {
+            if (!oracle->step(info)) {
                 oracleDone = true;
                 break;
             }
@@ -844,17 +842,69 @@ OooCore::warmFunctional(const sim::ExecInfo &info)
 }
 
 void
-OooCore::run(std::uint64_t max_insts)
+OooCore::forceContextSwitch()
+{
+    ++_stats.ctxSwitches;
+    _stats.svfCtxBytes += svf->contextSwitchFlush();
+    if (sc)
+        _stats.scCtxBytes += sc->contextSwitchFlush();
+    _stats.dl1CtxLines += _hier.flushDl1(true);
+}
+
+void
+OooCore::rebindOracle(sim::Emulator &new_oracle)
+{
+    // The pipeline must be drained. (Not done(): a freshly built
+    // core has oracleDone still false yet is trivially rebindable.)
+    svf_assert(!fetchBuffer && ifq.empty() && ruu.empty() &&
+               replayQueue.empty());
+    oracle = &new_oracle;
+    oracleDone = new_oracle.halted();
+
+    // Every seq-keyed structure must go: the incoming program's
+    // sequence numbers restart at 0 and would alias stale entries
+    // (Ruu::bySeq indexes relative to the window head; StoreWordMap
+    // and the scheduler prune lazily by seq comparison).
+    for (auto &r : renameMap)
+        r = NoProducer;
+    stackStores.clear();
+    morphedLoadWords.clear();
+    windowStores.clear();
+    specSp.reset();
+    sched.reset();
+    issueEligibleAt.reset();
+    pendingSquashFrom = NoProducer;
+
+    // Front end restarts cleanly at the new program's PC.
+    fetchWaitSeq.reset();
+    fetchBuffer.reset();
+    lastFetchLine = ~Addr(0);
+    fetchResumeCycle = 0;
+    dispatchStallUntil = 0;
+
+    // The SVF window follows the incoming program's stack; the
+    // outgoing program's dirty words were written back by the
+    // caller's forceContextSwitch().
+    svf->resyncSp(new_oracle.reg(isa::RegSP));
+}
+
+void
+OooCore::beginRun(std::uint64_t max_insts)
 {
     fetchBudget = max_insts;
 
-    // Interval-boundary reset: a previous run() that exhausted its
+    // Interval-boundary reset: a previous window that exhausted its
     // budget latched oracleDone to stop fetch while the window
     // drained. A fresh budget reopens the front end unless the
-    // program really has halted — this is what makes run() resumable
-    // for the sampler's detailed windows.
-    oracleDone = oracle.halted();
+    // program really has halted — this is what makes windows
+    // resumable for the sampler's detailed intervals.
+    oracleDone = oracle->halted();
+    itersSinceCommit = 0;
+}
 
+bool
+OooCore::runUntil(Cycle limit)
+{
     // Forward-progress guard: active (evaluated) cycles since the
     // last commit. An absolute cycle bound would be meaningless with
     // idle-cycle skipping — `now` can legitimately exceed any fixed
@@ -862,10 +912,8 @@ OooCore::run(std::uint64_t max_insts)
     // legitimate commit gap is bounded by window size × memory
     // latency plus squash penalties, orders of magnitude below this.
     const std::uint64_t stall_limit = 10'000'000;
-    std::uint64_t iters_since_commit = 0;
 
-    while (!(oracleDone && !fetchBuffer && ifq.empty() &&
-             ruu.empty() && replayQueue.empty())) {
+    while (!done() && now < limit) {
         ++now;
         if (eventMode) {
             processEvents();
@@ -886,9 +934,9 @@ OooCore::run(std::uint64_t max_insts)
 
         bool committed = _stats.committed != committed_before;
         if (committed)
-            iters_since_commit = 0;
-        else if (++iters_since_commit > stall_limit)
-            panicDeadlock(iters_since_commit);
+            itersSinceCommit = 0;
+        else if (++itersSinceCommit > stall_limit)
+            panicDeadlock(itersSinceCommit);
 
         if (eventMode && !committed && issueUsed == 0 &&
             dispatched == 0 && fetched == 0) {
@@ -897,18 +945,30 @@ OooCore::run(std::uint64_t max_insts)
             // completion event, issue eligibility, dispatch-stall
             // expiry or fetch redirect. Jump there in one step; the
             // skipped cycles are statistically indistinguishable
-            // from ticking through them.
+            // from ticking through them. Clamp at the epoch barrier:
+            // the System must observe this core exactly at `limit`.
             Cycle next = nextWakeCycle();
             if (next == NoWake)
-                panicDeadlock(iters_since_commit);
-            if (next > now + 1) {
-                sched.stats().skippedCycles += next - now - 1;
-                now = next - 1;
+                panicDeadlock(itersSinceCommit);
+            Cycle target = next - 1;
+            if (limit != RunToCompletion && target > limit)
+                target = limit;
+            if (target > now) {
+                sched.stats().skippedCycles += target - now;
+                now = target;
             }
         }
     }
 
     _stats.cycles = now;
+    return done();
+}
+
+void
+OooCore::run(std::uint64_t max_insts)
+{
+    beginRun(max_insts);
+    runUntil(RunToCompletion);
 }
 
 } // namespace svf::uarch

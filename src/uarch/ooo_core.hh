@@ -88,6 +88,13 @@ struct CoreStats
 /**
  * The pipeline model. Construct with a config and a fresh oracle,
  * call run(), then read stats()/hier()/svfUnit() for results.
+ *
+ * A System (uarch/system.hh) may instead drive the core in bounded
+ * steps — beginRun() once, then runUntil() to successive epoch
+ * barriers — and, in time-sliced multi-programming, swap the oracle
+ * between programs with rebindOracle(). The classic run() is the
+ * composition beginRun + runUntil(RunToCompletion) and behaves
+ * exactly as it always did.
  */
 class OooCore
 {
@@ -96,8 +103,14 @@ class OooCore
      * @param config machine shape and stack-handling options.
      * @param oracle functional emulator positioned at the entry
      *               point; the core owns its advancement.
+     * @param shared_l2 when non-null, this core's hierarchy routes
+     *               L2 accesses through port @p core_id of the
+     *               shared back end instead of a private L2.
+     * @param core_id this core's slot (and SharedL2 port) index.
      */
-    OooCore(const MachineConfig &config, sim::Emulator &oracle);
+    OooCore(const MachineConfig &config, sim::Emulator &oracle,
+            mem::SharedL2 *shared_l2 = nullptr,
+            unsigned core_id = 0);
 
     /**
      * Simulate until the program halts and drains, or until
@@ -112,6 +125,58 @@ class OooCore
      * window diff stats() around it.
      */
     void run(std::uint64_t max_insts = ~std::uint64_t(0));
+
+    /** Sentinel cycle limit for runUntil: no limit. */
+    static constexpr Cycle RunToCompletion = ~Cycle(0);
+
+    /**
+     * Open a new fetch window of @p max_insts instructions (see
+     * run()'s resumability notes) without simulating any cycles.
+     * Pair with runUntil().
+     */
+    void beginRun(std::uint64_t max_insts = ~std::uint64_t(0));
+
+    /**
+     * Advance the pipeline until done() or until the core's clock
+     * reaches @p limit, whichever comes first. The idle-cycle skip
+     * clamps at the limit, so a core never runs ahead of an epoch
+     * barrier. Statistics accumulate exactly as with run().
+     *
+     * @return done() — true when the current window has fully
+     *         fetched and drained.
+     */
+    bool runUntil(Cycle limit);
+
+    /** Has the current window fully fetched and drained? */
+    bool
+    done() const
+    {
+        return oracleDone && !fetchBuffer && ifq.empty() &&
+               ruu.empty() && replayQueue.empty();
+    }
+
+    /** The core's current clock (monotone across windows). */
+    Cycle cycle() const { return now; }
+
+    /**
+     * Perform one context-switch flush (SVF, stack cache, DL1) and
+     * account it — the same action the ctx_period injector in
+     * doCommit() takes, exposed for slice-boundary switches driven
+     * by a System.
+     */
+    void forceContextSwitch();
+
+    /**
+     * Switch the core to a different program's oracle (time-sliced
+     * multi-programming). The pipeline must be drained (done());
+     * callers flush microarchitectural stack state first via
+     * forceContextSwitch(). Clears every seq-keyed structure — the
+     * new program restarts sequence numbers at 0, so stale entries
+     * would alias — and re-anchors the SVF window at the incoming
+     * program's $sp. Caches and predictor keep their (displaced)
+     * contents: that displacement is the point of slice mode.
+     */
+    void rebindOracle(sim::Emulator &new_oracle);
 
     /**
      * Functional warming: account @p info to the caches and branch
@@ -215,7 +280,7 @@ class OooCore
     static constexpr Cycle NoWake = ~Cycle(0);
 
     MachineConfig cfg;
-    sim::Emulator &oracle;
+    sim::Emulator *oracle;    //!< rebindable (never null)
     mem::MemHierarchy _hier;
     std::unique_ptr<core::SvfUnit> svf;
     std::unique_ptr<mem::StackCache> sc;
@@ -285,6 +350,13 @@ class OooCore
     /// @}
 
     Cycle dispatchStallUntil = 0;
+
+    /**
+     * Forward-progress guard: active (evaluated) cycles since the
+     * last commit, persisted across runUntil() calls so an epoch
+     * barrier cannot reset the deadlock clock.
+     */
+    std::uint64_t itersSinceCommit = 0;
 };
 
 } // namespace svf::uarch

@@ -132,6 +132,21 @@ class IssueScheduler
         unknownAddrStores.clear();
     }
 
+    /**
+     * Full reset for an oracle rebind (time-sliced
+     * multi-programming): derived state *and* the event heap go —
+     * after a rebind the new program restarts sequence numbers at 0,
+     * so a stale event's seq could alias a live entry and popEventDue
+     * validation would wrongly accept it. Stats survive; they
+     * describe the host run, not one program.
+     */
+    void
+    reset()
+    {
+        clearDerived();
+        events = decltype(events)();
+    }
+
     SchedStats &stats() { return _stats; }
     const SchedStats &stats() const { return _stats; }
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Componentized machine model: N core slots over one shared L2, or
+ * one core time-slicing N programs.
+ *
+ * Historically one OooCore owned the world — its own oracle, its own
+ * full MemHierarchy — and every layer above assumed that. System
+ * breaks the assumption along the two axes the paper's Table 4
+ * gestures at:
+ *
+ *   - **cores=N** (true multi-core): one SVA program per core, each
+ *     slot bundling its own sim::Emulator oracle, OooCore, SVF /
+ *     stack cache and private L1I/L1D, all sharing one L2 through a
+ *     mem::SharedL2 back end. Cores advance in lockstep epochs of a
+ *     fixed cycle quantum; within an epoch the harness may fan the
+ *     slots over host threads, and at each barrier the shared L2
+ *     commits (see mem/shared_l2.hh). Results are byte-identical
+ *     for any host thread count.
+ *   - **slice=Q** (time-sliced multi-programming): one core, N
+ *     programs round-robined every Q committed instructions with a
+ *     real context-switch flush between slices — the SVF, stack
+ *     cache and DL1 displacement the legacy ctx_period injector
+ *     could only fake against a single program's own footprint.
+ *
+ * cores=1 with no slicing degenerates to exactly the legacy
+ * single-core path (same calls, same order), which is what makes
+ * this refactor safe: that equivalence is pinned by
+ * system_equiv_test on every workload.
+ */
+
+#ifndef SVF_UARCH_SYSTEM_HH
+#define SVF_UARCH_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/shared_l2.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+
+namespace svf::uarch
+{
+
+/** Shape of the whole machine (all cores identical). */
+struct SystemConfig
+{
+    /** Number of core slots (each gets its own program). */
+    unsigned cores = 1;
+
+    /**
+     * Committed instructions per time slice; 0 disables slicing.
+     * Requires cores == 1 (slicing shares one core by definition).
+     */
+    std::uint64_t slicePeriod = 0;
+
+    /**
+     * Epoch length in cycles for the multi-core barrier. Bounds the
+     * staleness of cross-core L2 visibility; does not exist
+     * micro-architecturally. Irrelevant when cores == 1.
+     */
+    Cycle quantum = 1024;
+
+    /**
+     * Host threads to fan the core slots over inside an epoch.
+     * Purely a host-side knob: results are identical for any value.
+     */
+    unsigned threads = 1;
+
+    /** Per-core machine shape. */
+    MachineConfig machine;
+};
+
+/**
+ * The machine: core slots, their oracles, and the shared L2.
+ * Construct with one program per slot (multi-core) or N programs
+ * for one slot (slice mode), call run(), then read per-core state
+ * through core(i)/emu(i).
+ */
+class System
+{
+  public:
+    /**
+     * @param config machine shape and drive mode.
+     * @param progs one program per core (cores=N), or the programs
+     *        to round-robin (slice mode). Held alive by the System.
+     */
+    System(const SystemConfig &config,
+           std::vector<std::shared_ptr<const isa::Program>> progs);
+
+    /**
+     * Run every program to completion, or until each has fetched
+     * @p max_insts instructions (per program, matching the legacy
+     * single-core budget semantics). Resumable like OooCore::run().
+     */
+    void run(std::uint64_t max_insts = ~std::uint64_t(0));
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    unsigned programs() const
+    {
+        return static_cast<unsigned>(emus.size());
+    }
+
+    OooCore &core(unsigned i) { return *cores_[i]; }
+    const OooCore &core(unsigned i) const { return *cores_[i]; }
+    sim::Emulator &emu(unsigned i) { return *emus[i]; }
+    const sim::Emulator &emu(unsigned i) const { return *emus[i]; }
+
+    /** The shared back end; nullptr when cores == 1. */
+    const mem::SharedL2 *sharedL2() const { return shared.get(); }
+
+    const SystemConfig &config() const { return cfg; }
+
+    /**
+     * @name Slice bracketing hooks
+     * Called around each slice with the program index, before the
+     * first instruction of the slice and after the slice's
+     * context-switch flush respectively — so a caller diffing core
+     * stats around a slice attributes the switch cost to the
+     * program that incurred it. Both optional.
+     */
+    /// @{
+    std::function<void(unsigned prog)> onSliceBegin;
+    std::function<void(unsigned prog)> onSliceEnd;
+    /// @}
+
+  private:
+    void runMultiCore(std::uint64_t max_insts);
+    void runSliced(std::uint64_t max_insts);
+
+    SystemConfig cfg;
+    std::vector<std::shared_ptr<const isa::Program>> progs;
+    std::vector<std::unique_ptr<sim::Emulator>> emus;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+    std::unique_ptr<mem::SharedL2> shared;
+
+    /**
+     * Multi-core epoch clock, persisted across run() calls so a
+     * resumed run continues on the same barrier grid.
+     */
+    Cycle epochEnd = 0;
+
+    /** Slice-mode round-robin cursor (persists across run calls). */
+    unsigned curProgram = 0;
+
+    /** Per-program instructions consumed (slice-mode budgeting). */
+    std::vector<std::uint64_t> used;
+};
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_SYSTEM_HH

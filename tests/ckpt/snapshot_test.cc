@@ -308,6 +308,72 @@ TEST(Snapshot, RestoreOntoWrongProgramIsFatal)
                 "snapshot/program mismatch");
 }
 
+TEST(SnapshotMulti, CaptureRestoreRoundTrip)
+{
+    Positioned a("gzip", "log", 30'000);
+    Positioned b("mcf", "inp", 20'000);
+    ckpt::Snapshot snap =
+        ckpt::Snapshot::captureMulti({a.emu.get(), b.emu.get()});
+    EXPECT_EQ(snap.coreCount(), 2u);
+    EXPECT_EQ(snap.state.icount, 30'000u);
+    ASSERT_EQ(snap.extraCores.size(), 1u);
+    EXPECT_EQ(snap.extraCores[0].state.icount, 20'000u);
+
+    // Serialization is deterministic and round-trips losslessly.
+    std::vector<std::uint8_t> bytes = snap.serialize();
+    EXPECT_EQ(bytes, snap.serialize());
+    ckpt::Snapshot loaded;
+    std::string error;
+    ASSERT_TRUE(loaded.deserialize(bytes, error)) << error;
+    EXPECT_EQ(loaded.coreCount(), 2u);
+
+    Positioned a2("gzip", "log", 0);
+    Positioned b2("mcf", "inp", 0);
+    loaded.restoreMulti({a2.emu.get(), b2.emu.get()});
+    expectSameArchState(*a.emu, *a2.emu);
+    expectSameArchState(*b.emu, *b2.emu);
+
+    // Every core's future must equal its original's.
+    a.emu->run(20'000);
+    a2.emu->run(20'000);
+    b.emu->run(20'000);
+    b2.emu->run(20'000);
+    expectSameArchState(*a.emu, *a2.emu);
+    expectSameArchState(*b.emu, *b2.emu);
+}
+
+TEST(SnapshotMulti, CorruptionInSecondCoreDetected)
+{
+    Positioned a("gzip", "log", 5'000);
+    Positioned b("mcf", "inp", 5'000);
+    ckpt::Snapshot snap =
+        ckpt::Snapshot::captureMulti({a.emu.get(), b.emu.get()});
+    std::vector<std::uint8_t> bytes = snap.serialize();
+
+    // The digest covers the whole multi-core body: a flip in the
+    // LAST core's pages must be caught too.
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[flipped.size() - 12] ^= 0x01;
+    ckpt::Snapshot out;
+    std::string error;
+    EXPECT_FALSE(out.deserialize(flipped, error));
+}
+
+TEST(SnapshotMulti, SingleRestoreOfMultiSnapshotIsFatal)
+{
+    Positioned a("gzip", "log", 1'000);
+    Positioned b("mcf", "inp", 1'000);
+    ckpt::Snapshot snap =
+        ckpt::Snapshot::captureMulti({a.emu.get(), b.emu.get()});
+    Positioned dst("gzip", "log", 0);
+    EXPECT_EXIT(snap.restore(*dst.emu),
+                testing::ExitedWithCode(1),
+                "use restoreMulti");
+    EXPECT_EXIT(snap.restoreMulti({dst.emu.get()}),
+                testing::ExitedWithCode(1),
+                "2 cores but 1 emulators");
+}
+
 TEST(SnapshotStore, SaveAndRestoreByIcount)
 {
     std::string dir = tempPath("snapstore");

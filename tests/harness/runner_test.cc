@@ -61,7 +61,7 @@ mixedPlan()
     plan.add("gzip/traffic", traffic);
 
     TrafficSetup ctx = traffic;
-    ctx.ctxSwitchPeriod = 40'000;
+    ctx.slicePeriod = 40'000;
     plan.add("gzip/traffic-ctx", ctx);
 
     ProfileSetup profile;
@@ -364,8 +364,8 @@ TEST(SetupKeys, EveryTrafficSetupFieldPerturbsTheKey)
     perturbed("scale", [](auto &s) { s.scale = 3; });
     perturbed("maxInsts", [](auto &s) { s.maxInsts = 100'001; });
     perturbed("capacityBytes", [](auto &s) { s.capacityBytes = 4096; });
-    perturbed("ctxSwitchPeriod",
-              [](auto &s) { s.ctxSwitchPeriod = 400'000; });
+    perturbed("slicePeriod",
+              [](auto &s) { s.slicePeriod = 400'000; });
     perturbed("svfDirtyGranule",
               [](auto &s) { s.svfDirtyGranule = 32; });
     perturbed("svfKillOnShrink",

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * tier2 multicore smoke (ctest -L multicore_smoke): drive the
+ * componentized System hard enough to shake out races and
+ * displacement bugs that the fast tier1 checks can't reach —
+ * 2-core shared-L2 runs and 2-program slice runs to completion,
+ * with the golden-output check on every program. Built for the
+ * Release and TSan CI jobs both; under TSan the epoch fan-out is
+ * the interesting part.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+namespace
+{
+
+uarch::MachineConfig
+svfMachine()
+{
+    auto m = baselineConfig(16, 2);
+    applySvf(m, 1024, 2);
+    return m;
+}
+
+TEST(MulticoreSmoke, TwoCoresRunMixToCompletion)
+{
+    RunSetup setup;
+    setup.workload = "gzip,parser";
+    setup.scale = workloads::workload("gzip").testScale;
+    setup.cores = 2;
+    setup.pjobs = 2;            // fan the cores over real threads
+    setup.maxInsts = 100'000'000;
+    setup.machine = svfMachine();
+
+    RunResult r = runExperiment(setup);
+    ASSERT_EQ(r.perCore.size(), 2u);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.outputOk);
+    for (const RunResult &g : r.perCore) {
+        EXPECT_TRUE(g.completed) << g.label;
+        EXPECT_TRUE(g.outputOk) << g.label;
+        EXPECT_GT(g.core.committed, 0u) << g.label;
+    }
+    // The cores really shared the L2.
+    EXPECT_GT(r.l2Hits + r.l2Misses, 0u);
+}
+
+TEST(MulticoreSmoke, TwoProgramSliceRunsToCompletion)
+{
+    RunSetup setup;
+    setup.workload = "gzip,parser";
+    setup.scale = workloads::workload("gzip").testScale;
+    setup.slicePeriod = 20'000;
+    setup.maxInsts = 100'000'000;
+    setup.machine = svfMachine();
+
+    RunResult r = runExperiment(setup);
+    ASSERT_EQ(r.perCore.size(), 2u);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.outputOk);
+    for (const RunResult &g : r.perCore) {
+        EXPECT_TRUE(g.completed) << g.label;
+        EXPECT_TRUE(g.outputOk) << g.label;
+    }
+    EXPECT_GT(r.core.ctxSwitches, 0u);
+    EXPECT_GT(r.core.svfCtxBytes, 0u);
+}
+
+TEST(MulticoreSmoke, FourCoresDeterministicAcrossThreadCounts)
+{
+    RunSetup setup;
+    setup.workload = "gzip,gcc,mcf,parser";
+    setup.cores = 4;
+    setup.maxInsts = 60'000;
+    setup.machine = svfMachine();
+
+    setup.pjobs = 1;
+    RunResult serial = runExperiment(setup);
+    setup.pjobs = 4;
+    RunResult threaded = runExperiment(setup);
+
+    EXPECT_EQ(serial.core.cycles, threaded.core.cycles);
+    EXPECT_EQ(serial.core.committed, threaded.core.committed);
+    EXPECT_EQ(serial.l2Hits, threaded.l2Hits);
+    EXPECT_EQ(serial.l2Misses, threaded.l2Misses);
+    ASSERT_EQ(serial.perCore.size(), threaded.perCore.size());
+    for (size_t i = 0; i < serial.perCore.size(); ++i) {
+        EXPECT_EQ(serial.perCore[i].core.cycles,
+                  threaded.perCore[i].core.cycles) << i;
+        EXPECT_EQ(serial.perCore[i].dl1Misses,
+                  threaded.perCore[i].dl1Misses) << i;
+    }
+}
+
+} // anonymous namespace
+} // namespace svf::harness

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The uarch::System compatibility contract (uarch/system.hh):
+ *
+ *   - cores=1 slice=0 — the default every existing experiment uses —
+ *     is bit-identical to driving an OooCore directly: every
+ *     CoreStats counter and every SVF/stack-cache/hierarchy unit
+ *     counter matches on all registered workloads, for the
+ *     baseline, the SVF machine, and the SVF machine with the
+ *     legacy ctx_period flush injector;
+ *   - cores=N produces byte-identical results regardless of how
+ *     many harness threads fan the cores out (pjobs=);
+ *   - slice=Q runs are deterministic from run to run and commit the
+ *     full per-program budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/sampler.hh"
+#include "harness/experiment.hh"
+#include "sim/emulator.hh"
+#include "uarch/ooo_core.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+namespace
+{
+
+struct ConfigCase
+{
+    std::string name;
+    uarch::MachineConfig machine;
+};
+
+std::vector<ConfigCase>
+configs()
+{
+    std::vector<ConfigCase> out;
+    out.push_back({"base16_2p", baselineConfig(16, 2)});
+    {
+        auto m = baselineConfig(16, 2);
+        applySvf(m, 1024, 2);
+        out.push_back({"svf8k_2p", m});
+    }
+    {
+        auto m = baselineConfig(16, 2);
+        applySvf(m, 1024, 2);
+        m.contextSwitchPeriod = 10'000;
+        out.push_back({"svf_ctxswitch", m});
+    }
+    return out;
+}
+
+/** The pre-System drive loop: one oracle, one core, run(). */
+RunResult
+legacyRun(const isa::Program &prog, const uarch::MachineConfig &m,
+          std::uint64_t budget)
+{
+    sim::Emulator oracle(prog);
+    uarch::OooCore core(m, oracle);
+    core.run(budget);
+
+    RunResult r;
+    r.core = core.stats();
+    r.completed = oracle.halted();
+    r.output = oracle.output();
+    const core::SvfUnit &svf = core.svfUnit();
+    if (svf.enabled()) {
+        r.svfQuadsIn = svf.svf().quadsIn();
+        r.svfQuadsOut = svf.svf().quadsOut();
+        r.svfFastLoads = svf.fastLoads();
+        r.svfFastStores = svf.fastStores();
+        r.svfReroutedLoads = svf.reroutedLoads();
+        r.svfReroutedStores = svf.reroutedStores();
+        r.svfWindowMisses = svf.windowMisses();
+        r.svfDemandFills = svf.svf().demandFills();
+        r.svfDisableEpisodes = svf.disableEpisodes();
+        r.svfRefsWhileDisabled = svf.refsWhileDisabled();
+    }
+    if (const mem::StackCache *sc = core.stackCache()) {
+        r.scQuadsIn = sc->quadsIn();
+        r.scQuadsOut = sc->quadsOut();
+        r.scHits = sc->hits();
+        r.scMisses = sc->misses();
+    }
+    r.dl1Hits = core.hier().dl1().hits();
+    r.dl1Misses = core.hier().dl1().misses();
+    r.l2Hits = core.hier().l2().hits();
+    r.l2Misses = core.hier().l2().misses();
+    return r;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b,
+                const std::string &what)
+{
+    for (const ckpt::CoreCounter &c : ckpt::coreCounters()) {
+        EXPECT_EQ(a.core.*(c.field), b.core.*(c.field))
+            << what << ": CoreStats::" << c.name;
+    }
+    EXPECT_EQ(a.svfQuadsIn, b.svfQuadsIn) << what;
+    EXPECT_EQ(a.svfQuadsOut, b.svfQuadsOut) << what;
+    EXPECT_EQ(a.svfFastLoads, b.svfFastLoads) << what;
+    EXPECT_EQ(a.svfFastStores, b.svfFastStores) << what;
+    EXPECT_EQ(a.svfReroutedLoads, b.svfReroutedLoads) << what;
+    EXPECT_EQ(a.svfReroutedStores, b.svfReroutedStores) << what;
+    EXPECT_EQ(a.svfWindowMisses, b.svfWindowMisses) << what;
+    EXPECT_EQ(a.svfDemandFills, b.svfDemandFills) << what;
+    EXPECT_EQ(a.svfDisableEpisodes, b.svfDisableEpisodes) << what;
+    EXPECT_EQ(a.svfRefsWhileDisabled, b.svfRefsWhileDisabled)
+        << what;
+    EXPECT_EQ(a.scQuadsIn, b.scQuadsIn) << what;
+    EXPECT_EQ(a.scQuadsOut, b.scQuadsOut) << what;
+    EXPECT_EQ(a.scHits, b.scHits) << what;
+    EXPECT_EQ(a.scMisses, b.scMisses) << what;
+    EXPECT_EQ(a.dl1Hits, b.dl1Hits) << what;
+    EXPECT_EQ(a.dl1Misses, b.dl1Misses) << what;
+    EXPECT_EQ(a.l2Hits, b.l2Hits) << what;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << what;
+    EXPECT_EQ(a.completed, b.completed) << what;
+    EXPECT_EQ(a.output, b.output) << what;
+}
+
+TEST(SystemEquiv, SingleCoreMatchesLegacyPathEverywhere)
+{
+    for (const auto &spec : workloads::allWorkloads()) {
+        for (const ConfigCase &cc : configs()) {
+            RunSetup setup;
+            setup.workload = spec.name;
+            setup.input = spec.inputs[0];
+            setup.scale = spec.testScale;
+            setup.maxInsts = 100'000'000;   // run to completion
+            setup.machine = cc.machine;
+            RunResult sys = runExperiment(setup);
+            EXPECT_TRUE(sys.perCore.empty());
+
+            isa::Program prog =
+                spec.build(spec.inputs[0], spec.testScale);
+            RunResult legacy =
+                legacyRun(prog, cc.machine, setup.maxInsts);
+            expectIdentical(sys, legacy,
+                            spec.name + "/" + cc.name);
+        }
+    }
+}
+
+TEST(SystemEquiv, MultiCoreIndependentOfThreadCount)
+{
+    RunSetup setup;
+    setup.workload = "gzip,gcc";
+    setup.cores = 2;
+    setup.maxInsts = 40'000;
+    setup.machine = baselineConfig(16, 2);
+    applySvf(setup.machine, 1024, 2);
+
+    setup.pjobs = 1;
+    RunResult serial = runExperiment(setup);
+    setup.pjobs = 4;
+    RunResult threaded = runExperiment(setup);
+
+    expectIdentical(serial, threaded, "2-core pjobs 1 vs 4");
+    ASSERT_EQ(serial.perCore.size(), 2u);
+    ASSERT_EQ(threaded.perCore.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(serial.perCore[i].label, threaded.perCore[i].label);
+        expectIdentical(serial.perCore[i], threaded.perCore[i],
+                        "2-core group " + serial.perCore[i].label);
+    }
+    // Aggregate semantics: cycles is the across-cores max, committed
+    // the sum.
+    EXPECT_EQ(serial.core.cycles,
+              std::max(serial.perCore[0].core.cycles,
+                       serial.perCore[1].core.cycles));
+    EXPECT_EQ(serial.core.committed,
+              serial.perCore[0].core.committed +
+                  serial.perCore[1].core.committed);
+}
+
+TEST(SystemEquiv, SliceRunsAreDeterministic)
+{
+    RunSetup setup;
+    setup.workload = "gzip,gcc";
+    setup.slicePeriod = 10'000;
+    setup.maxInsts = 40'000;
+    setup.machine = baselineConfig(16, 2);
+    applySvf(setup.machine, 1024, 2);
+
+    RunResult a = runExperiment(setup);
+    RunResult b = runExperiment(setup);
+    expectIdentical(a, b, "slice run-to-run");
+    ASSERT_EQ(a.perCore.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        expectIdentical(a.perCore[i], b.perCore[i],
+                        "slice group " + a.perCore[i].label);
+        // Each program got its full per-program budget.
+        EXPECT_EQ(a.perCore[i].core.committed, setup.maxInsts);
+    }
+    // The slices context-switched with real flushes.
+    EXPECT_GE(a.core.ctxSwitches, 6u);
+    EXPECT_GT(a.core.svfCtxBytes, 0u);
+}
+
+TEST(SystemEquiv, QuantumIsInKeyOnlyForDriveModes)
+{
+    RunSetup a;
+    a.workload = "gzip";
+    RunSetup b = a;
+    b.sysQuantum = 4096;
+    // cores=1 slice=0: the quantum can't matter, and the key must
+    // not change (existing caches stay valid).
+    EXPECT_EQ(a.key(), b.key());
+
+    a.cores = 2;
+    b.cores = 2;
+    EXPECT_NE(a.key(), b.key());
+    b.sysQuantum = a.sysQuantum;
+    EXPECT_EQ(a.key(), b.key());
+
+    RunSetup sliced = a;
+    sliced.cores = 1;
+    sliced.slicePeriod = 10'000;
+    EXPECT_NE(sliced.key(), a.key());
+}
+
+} // anonymous namespace
+} // namespace svf::harness

@@ -123,7 +123,7 @@ TEST(Traffic, ContextSwitchAccounting)
     ts.input = "ref";
     ts.scale = spec.testScale;
     ts.maxInsts = 100'000'000;
-    ts.ctxSwitchPeriod = 10'000;
+    ts.slicePeriod = 10'000;
     TrafficResult r = measureTraffic(ts);
     EXPECT_GT(r.ctxSwitches, 5u);
     EXPECT_GT(r.scCtxBytes, 0u);

@@ -116,6 +116,7 @@ doInspect(const std::string &file)
 
     std::printf("snapshot              %s\n", file.c_str());
     std::printf("format version        %u\n", snap.FormatVersion);
+    std::printf("cores                 %u\n", snap.coreCount());
     if (snap.workload.empty()) {
         std::printf("provenance            external program "
                     "(resume needs asm=)\n");
@@ -139,6 +140,17 @@ doInspect(const std::string &file)
                 (unsigned long long)snap.state.lowSp);
     std::printf("buffered output       %zu bytes\n",
                 snap.state.output.size());
+    for (std::size_t i = 0; i < snap.extraCores.size(); ++i) {
+        const ckpt::Snapshot::CoreImage &c = snap.extraCores[i];
+        std::printf("core %-2zu               workload=%s "
+                    "icount=%llu pages=%zu prog=%016llx\n",
+                    i + 1,
+                    c.workload.empty() ? "(external)"
+                                       : c.workload.c_str(),
+                    (unsigned long long)c.state.icount,
+                    c.pages.size(),
+                    (unsigned long long)c.progHash);
+    }
     return 0;
 }
 

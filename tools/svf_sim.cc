@@ -27,6 +27,14 @@
  *     sched=scan|event issue scheduler implementation; statistics
  *                      are bit-identical, only host speed differs
  *                      (default $SVF_SCHED, else event)
+ *     cores=N          N-core System over a shared L2; workload= may
+ *                      be a comma mix (one program per core), a
+ *                      single name is replicated      (default 1)
+ *     slice=Q          time-slice the workload= mix on one core
+ *                      every Q committed instructions (default off)
+ *     quantum=C        multi-core epoch length in cycles
+ *                      (default 1024; statistics are identical for
+ *                      any jobs=/pjobs= thread count)
  *     functional=1     skip the cycle model (emulate only)
  *     dump_asm=1       disassemble the program before running
  *     jobs=N           runner worker threads       (default 1)
@@ -178,6 +186,18 @@ dumpStats(const std::string &name, const uarch::MachineConfig &m,
     }
     std::printf("program halted        %s\n",
                 r.completed ? "yes" : "no (budget reached)");
+    for (const harness::RunResult &g : r.perCore) {
+        std::printf("core[%s]  cycles=%llu insts=%llu IPC=%.4f "
+                    "dl1=%llu/%llu l2=%llu/%llu halted=%s\n",
+                    g.label.c_str(),
+                    (unsigned long long)g.core.cycles,
+                    (unsigned long long)g.core.committed, g.ipc(),
+                    (unsigned long long)g.dl1Hits,
+                    (unsigned long long)g.dl1Misses,
+                    (unsigned long long)g.l2Hits,
+                    (unsigned long long)g.l2Misses,
+                    g.completed ? "yes" : "no");
+    }
     if (!r.output.empty())
         std::printf("program output:\n%s", r.output.c_str());
 }
@@ -189,11 +209,31 @@ main(int argc, char **argv)
 {
     Config cfg = Config::fromArgs(argc, argv);
 
+    harness::RunSetup sys;
+    harness::systemFromConfig(cfg, sys);
+    bool drive_mode = sys.cores != 1 || sys.slicePeriod != 0;
+    bool functional = cfg.getBool("functional", false);
+    // Registry workload mixes (workload=a,b,...) only exist under a
+    // drive mode; everything else goes through the classic
+    // single-program loader (which an asm= drive-mode run also uses:
+    // its one program is replicated across the cores).
+    bool registry_multi = drive_mode && !functional &&
+                          cfg.getString("asm", "").empty();
+
     std::string name;
-    isa::Program prog = loadProgram(cfg, name);
+    isa::Program prog;
+    if (registry_multi) {
+        name = cfg.getString("workload", "");
+        if (name.empty())
+            fatal("cores=/slice= need workload=<name[,name...]>");
+    } else {
+        prog = loadProgram(cfg, name);
+    }
     std::uint64_t budget = cfg.getUint("insts", 1'000'000);
 
-    if (cfg.getBool("dump_asm", false)) {
+    if (registry_multi && cfg.getBool("dump_asm", false)) {
+        warn("dump_asm= is ignored for a cores=/slice= workload mix");
+    } else if (cfg.getBool("dump_asm", false)) {
         for (Addr pc = prog.textBase;
              pc < prog.textBase + prog.textSize; pc += 4) {
             isa::DecodedInst di;
@@ -205,7 +245,7 @@ main(int argc, char **argv)
         }
     }
 
-    if (cfg.getBool("functional", false)) {
+    if (functional) {
         sim::Emulator emu(prog);
         emu.run(budget);
         std::printf("-- %s: functional run --\n", name.c_str());
@@ -221,13 +261,22 @@ main(int argc, char **argv)
         harness::RunSetup s;
         s.maxInsts = budget;
         s.machine = harness::machineFromConfig(cfg);
+        s.cores = sys.cores;
+        s.slicePeriod = sys.slicePeriod;
+        s.sysQuantum = sys.sysQuantum;
         s.sample =
             ckpt::SamplePlan::parse(cfg.getString("sample", ""));
         s.ckptDir = cfg.getString("ckpt", "");
         s.pjobs =
             static_cast<unsigned>(cfg.getUint("pjobs", 1));
-        s.program =
-            std::make_shared<const isa::Program>(std::move(prog));
+        if (registry_multi) {
+            s.workload = name;
+            s.input = cfg.getString("input", "");
+            s.scale = cfg.getUint("scale", 0);
+        } else {
+            s.program =
+                std::make_shared<const isa::Program>(std::move(prog));
+        }
 
         harness::ExperimentPlan plan;
         plan.add(name, s);
