@@ -39,7 +39,7 @@ class ResultCache
 {
   public:
     /** Bumped whenever any serialized result layout changes. */
-    static constexpr std::uint32_t FormatVersion = 2;
+    static constexpr std::uint32_t FormatVersion = 3;
 
     /** @p dir empty disables the cache (all ops become no-ops). */
     explicit ResultCache(std::string dir);

@@ -18,8 +18,8 @@ SamplePlan::parse(const std::string &spec)
         return plan;
     std::vector<std::string> parts = split(spec, ',');
     if (parts.size() < 3 || parts.size() > 4) {
-        fatal("bad sample spec '%s': expected K,W,D or K,W,D,warm",
-              spec.c_str());
+        fatal("bad sample spec '%s': expected K,W,D, K,W,D,warm or "
+              "K,W,D,pwarm", spec.c_str());
     }
     std::uint64_t vals[3] = {};
     for (int i = 0; i < 3; ++i) {
@@ -34,9 +34,11 @@ SamplePlan::parse(const std::string &spec)
     if (parts.size() == 4) {
         if (parts[3] == "warm")
             plan.functionalWarm = true;
+        else if (parts[3] == "pwarm")
+            plan.parallelWarm = true;
         else
             fatal("bad sample spec '%s': trailing field must be "
-                  "'warm'", spec.c_str());
+                  "'warm' or 'pwarm'", spec.c_str());
     }
     if (plan.intervals > 0 && plan.detailedInsts == 0) {
         fatal("bad sample spec '%s': detailed window D must be "
@@ -53,6 +55,8 @@ SamplePlan::str() const
                     std::to_string(detailedInsts);
     if (functionalWarm)
         s += ",warm";
+    if (parallelWarm)
+        s += ",pwarm";
     return s;
 }
 
@@ -62,7 +66,11 @@ SamplePlan::key(std::uint64_t seed) const
     seed = hashCombine(seed, intervals);
     seed = hashCombine(seed, warmupInsts);
     seed = hashCombine(seed, detailedInsts);
-    return hashCombine(seed, std::uint64_t(functionalWarm));
+    seed = hashCombine(seed, std::uint64_t(functionalWarm));
+    // Folded only when set so pre-existing plan keys stay valid.
+    if (parallelWarm)
+        seed = hashCombine(seed, std::uint64_t(2));
+    return seed;
 }
 
 const std::vector<CoreCounter> &
@@ -85,6 +93,7 @@ coreCounters()
         {"dl1_ctx_lines", &S::dl1CtxLines},
         {"disambig_scans", &S::disambigScans},
         {"disambig_scan_steps", &S::disambigScanSteps},
+        {"disambig_filter_hits", &S::disambigFilterHits},
         {"reroute_checks", &S::rerouteChecks},
         {"reroute_scan_steps", &S::rerouteScanSteps},
     };

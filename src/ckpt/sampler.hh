@@ -51,22 +51,38 @@ struct SamplePlan
      * Warm caches and the branch predictor functionally during
      * fast-forward (OooCore::warmFunctional). Costs host time per
      * skipped instruction but removes most cold-structure bias when
-     * W is small relative to the fast-forwarded gap.
+     * W is small relative to the fast-forwarded gap. Warming folds
+     * over the whole stream, so this plan runs serially.
      */
     bool functionalWarm = false;
+
+    /**
+     * Parallelizable variant of functionalWarm: each interval's
+     * worker replays functional warming from the previous interval's
+     * snapshot, so its warm history is bounded to one chunk of the
+     * stream instead of all of it — intervals become independent and
+     * fan out over pjobs. A different estimator than ",warm" (the
+     * truncated history shifts counters on workloads whose working
+     * set outlives a chunk), so it is keyed as its own config.
+     */
+    bool parallelWarm = false;
 
     bool enabled() const { return intervals > 0; }
 
     /**
-     * Parse "K,W,D" or "K,W,D,warm" (fatal on malformed input);
-     * an empty string returns a disabled plan.
+     * Parse "K,W,D", "K,W,D,warm" or "K,W,D,pwarm" (fatal on
+     * malformed input); an empty string returns a disabled plan.
      */
     static SamplePlan parse(const std::string &spec);
 
-    /** "K,W,D[,warm]" round-trip of parse(). */
+    /** "K,W,D[,warm|,pwarm]" round-trip of parse(). */
     std::string str() const;
 
-    /** Fold every field into @p seed (see base/hash.hh). */
+    /**
+     * Fold every field into @p seed (see base/hash.hh).
+     * parallelWarm is folded only when set, so every pre-existing
+     * plan key (in-memory and on-disk caches) stays valid.
+     */
     std::uint64_t key(std::uint64_t seed) const;
 };
 

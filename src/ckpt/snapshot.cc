@@ -1,7 +1,10 @@
 #include "ckpt/snapshot.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "base/logging.hh"
 #include "ckpt/serialize.hh"
@@ -43,24 +46,27 @@ programHash(const isa::Program &prog)
 namespace
 {
 
-std::vector<Snapshot::PageImage>
-capturePages(const sim::Emulator &emu)
+using SharedPagesPtr = sim::MemImage::SharedPagesPtr;
+
+/** Keys of @p pages in ascending order — the deterministic walk
+ *  shared by serialization and the content digest. */
+std::vector<Addr>
+sortedPageAddrs(const SharedPagesPtr &pages)
 {
-    std::vector<Snapshot::PageImage> pages;
-    emu.mem().forEachPage(
-        [&pages](Addr addr, const std::uint8_t *bytes) {
-            Snapshot::PageImage p;
-            p.addr = addr;
-            p.bytes.assign(bytes, bytes + sim::MemImage::PageSize);
-            pages.push_back(std::move(p));
-        });
-    return pages;
+    std::vector<Addr> addrs;
+    if (pages) {
+        addrs.reserve(pages->size());
+        for (const auto &kv : *pages)
+            addrs.push_back(kv.first);
+        std::sort(addrs.begin(), addrs.end());
+    }
+    return addrs;
 }
 
 void
 restoreCore(sim::Emulator &emu, std::uint64_t prog_hash,
             const sim::EmuArchState &state,
-            const std::vector<Snapshot::PageImage> &pages)
+            const SharedPagesPtr &pages)
 {
     std::uint64_t have = programHash(emu.program());
     if (have != prog_hash) {
@@ -70,10 +76,9 @@ restoreCore(sim::Emulator &emu, std::uint64_t prog_hash,
               (unsigned long long)have);
     }
     emu.restoreArchState(state);
-    sim::MemImage &mem = emu.mem();
-    mem.reset();
-    for (const Snapshot::PageImage &p : pages)
-        mem.installPage(p.addr, p.bytes.data());
+    // O(1) in page data: the emulator's image re-points at the
+    // frozen shared map; its first write to any page CoW-copies.
+    emu.mem().adoptPages(pages);
 }
 
 } // anonymous namespace
@@ -84,7 +89,7 @@ Snapshot::capture(const sim::Emulator &emu)
     Snapshot s;
     s.progHash = programHash(emu.program());
     s.state = emu.archState();
-    s.pages = capturePages(emu);
+    s.pages = emu.mem().freezePages();
     return s;
 }
 
@@ -97,7 +102,7 @@ Snapshot::captureMulti(const std::vector<const sim::Emulator *> &emus)
         CoreImage c;
         c.progHash = programHash(emus[i]->program());
         c.state = emus[i]->archState();
-        c.pages = capturePages(*emus[i]);
+        c.pages = emus[i]->mem().freezePages();
         s.extraCores.push_back(std::move(c));
     }
     return s;
@@ -135,7 +140,7 @@ writeCoreRecord(ByteWriter &body, const std::string &workload,
                 const std::string &input, std::uint64_t scale,
                 std::uint64_t prog_hash,
                 const sim::EmuArchState &state,
-                const std::vector<Snapshot::PageImage> &pages)
+                const SharedPagesPtr &pages)
 {
     body.str(workload);
     body.str(input);
@@ -151,10 +156,12 @@ writeCoreRecord(ByteWriter &body, const std::string &workload,
     for (RegVal r : state.regs)
         body.u64(r);
 
-    body.u64(pages.size());
-    for (const Snapshot::PageImage &p : pages) {
-        body.u64(p.addr);
-        body.bytes(p.bytes.data(), p.bytes.size());
+    std::vector<Addr> addrs = sortedPageAddrs(pages);
+    body.u64(addrs.size());
+    for (Addr a : addrs) {
+        body.u64(a);
+        body.bytes(pages->find(a)->second->data(),
+                   sim::MemImage::PageSize);
     }
 }
 
@@ -162,8 +169,7 @@ bool
 readCoreRecord(ByteReader &r, std::string &workload,
                std::string &input, std::uint64_t &scale,
                std::uint64_t &prog_hash, sim::EmuArchState &state,
-               std::vector<Snapshot::PageImage> &pages,
-               std::string &error)
+               SharedPagesPtr &pages, std::string &error)
 {
     workload = r.str();
     input = r.str();
@@ -184,14 +190,14 @@ readCoreRecord(ByteReader &r, std::string &workload,
         reg = r.u64();
 
     std::uint64_t npages = r.u64();
-    pages.clear();
+    auto loaded = std::make_shared<sim::MemImage::SharedPages>();
     for (std::uint64_t i = 0; i < npages && r.ok(); ++i) {
-        Snapshot::PageImage p;
-        p.addr = r.u64();
-        p.bytes.resize(sim::MemImage::PageSize);
-        r.bytes(p.bytes.data(), p.bytes.size());
-        pages.push_back(std::move(p));
+        Addr addr = r.u64();
+        auto page = std::make_shared<sim::MemImage::Page>();
+        r.bytes(page->data(), page->size());
+        (*loaded)[addr] = std::move(page);
     }
+    pages = std::move(loaded);
     return true;
 }
 

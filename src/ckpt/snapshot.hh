@@ -41,6 +41,7 @@
 #include "base/types.hh"
 #include "isa/isa.hh"
 #include "sim/emulator.hh"
+#include "sim/mem_image.hh"
 
 namespace svf::isa { class Program; }
 
@@ -66,13 +67,21 @@ struct Snapshot
 
     sim::EmuArchState state;
 
-    /** Touched pages, ascending page address. */
-    struct PageImage
+    /**
+     * The touched pages as an immutable shared map (see
+     * MemImage::freezePages). Capturing freezes the source image and
+     * restoring adopts the map, so neither direction copies page
+     * content — restore() into any number of worker emulators is
+     * O(1) per page. May be null (no pages). Serialization walks the
+     * map in ascending address order, so the on-disk format is
+     * unchanged from the deep-copy representation.
+     */
+    sim::MemImage::SharedPagesPtr pages;
+
+    std::uint64_t pageCount() const
     {
-        Addr addr = 0;
-        std::vector<std::uint8_t> bytes;    //!< MemImage::PageSize
-    };
-    std::vector<PageImage> pages;
+        return pages ? pages->size() : 0;
+    }
 
     /**
      * One additional core's full record (multi-core Systems). The
@@ -86,7 +95,12 @@ struct Snapshot
         std::uint64_t scale = 0;
         std::uint64_t progHash = 0;
         sim::EmuArchState state;
-        std::vector<PageImage> pages;
+        sim::MemImage::SharedPagesPtr pages;
+
+        std::uint64_t pageCount() const
+        {
+            return pages ? pages->size() : 0;
+        }
     };
     std::vector<CoreImage> extraCores;
 
@@ -96,7 +110,12 @@ struct Snapshot
         return 1 + static_cast<unsigned>(extraCores.size());
     }
 
-    /** Capture @p emu (provenance fields are left to the caller). */
+    /**
+     * Capture @p emu (provenance fields are left to the caller).
+     * Freezes the emulator's MemImage (see MemImage::freezePages):
+     * no page content is copied, the live image and the snapshot
+     * share the frozen pages from here on.
+     */
     static Snapshot capture(const sim::Emulator &emu);
 
     /**

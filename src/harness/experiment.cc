@@ -1,8 +1,10 @@
 #include "harness/experiment.hh"
 
 #include <algorithm>
-#include <atomic>
+#include <condition_variable>
 #include <cmath>
+#include <deque>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -388,21 +390,91 @@ runSampledWarmSerial(const RunSetup &setup, const isa::Program &prog,
 }
 
 /**
- * Cold-plan sampled run, in two phases.
+ * A small bounded MPMC queue of interval indices: the snapshot
+ * producer publishes, the detailed workers consume. The bound
+ * throttles the producer when every worker is busy, capping how many
+ * not-yet-consumed snapshots sit in flight; close() wakes everyone
+ * once production ends. All snaps[] writes made before a push() are
+ * visible to the popper (the queue mutex orders them).
+ */
+class IntervalQueue
+{
+  public:
+    explicit IntervalQueue(std::size_t cap) : capacity(cap) {}
+
+    void push(std::uint64_t i)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        notFull.wait(lock, [this] {
+            return q.size() < capacity;
+        });
+        q.push_back(i);
+        notEmpty.notify_one();
+    }
+
+    /** @retval false queue closed and drained — worker is done. */
+    bool pop(std::uint64_t &i)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        notEmpty.wait(lock, [this] {
+            return !q.empty() || closed;
+        });
+        if (q.empty())
+            return false;
+        i = q.front();
+        q.pop_front();
+        notFull.notify_one();
+        return true;
+    }
+
+    void close()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        closed = true;
+        notEmpty.notify_all();
+    }
+
+  private:
+    std::mutex mu;
+    std::condition_variable notEmpty, notFull;
+    std::deque<std::uint64_t> q;
+    std::size_t capacity;
+    bool closed = false;
+};
+
+/**
+ * Cold-plan ("K,W,D") and parallel-warm ("K,W,D,pwarm") sampled run
+ * as a producer/consumer pipeline — there is no phase barrier
+ * between snapshot production and detailed simulation.
  *
- * Phase 1 (serial): one purely functional pass over the whole budget
- * on the batched interpreter, capturing an in-memory snapshot at
- * every interval's detail point (and feeding the on-disk
- * SnapshotStore when ckptDir is set). The pass runs to the end of
- * the budget, so completion and program output mean the same thing
- * they do for a full run.
+ * The producer (the calling thread) makes one purely functional pass
+ * over the whole budget on the batched interpreter, capturing an
+ * in-memory snapshot at every interval's detail point (and feeding
+ * the on-disk SnapshotStore when ckptDir is set). Capture freezes
+ * the producer's pages copy-on-write, so a snapshot costs only the
+ * pages the producer dirtied since the previous one. Each capture
+ * publishes interval indices to a bounded queue, so detailed workers
+ * start consuming while the pass is still running; the pass then
+ * runs to the end of the budget, so completion and program output
+ * mean the same thing they do for a full run.
  *
- * Phase 2 (parallel over setup.pjobs workers): each interval is an
- * independent pure function — a fresh emulator + core restored from
- * that interval's snapshot — so workers never share mutable state.
- * Per-interval results land in order-indexed slots and are folded
- * in interval order, so every counter, IPC estimate and stddev is
- * byte-identical for any pjobs value.
+ * pjobs consumer workers each run one interval at a time into its
+ * order-indexed result slot. Every interval is an independent pure
+ * function of its snapshot(s) — a fresh emulator + core, restored
+ * O(1) by adopting frozen pages — so workers never share mutable
+ * state, and folding in interval order keeps every counter, IPC
+ * estimate and stddev byte-identical for any pjobs value.
+ *
+ * Plan variants only differ in what a worker replays before its
+ * measured window:
+ *  - cold: restore snaps[i] at the detail point, optional detailed
+ *    warmup W, measure D. Interval i is published once snaps[i]
+ *    exists.
+ *  - pwarm: restore snaps[i-1] (interval 0 starts from program
+ *    start), then functionally warm caches and predictors while
+ *    re-executing forward to the detail point — one chunk of warm
+ *    history per interval instead of ",warm"'s whole-stream fold.
+ *    Interval i is published once snaps[i-1] exists.
  */
 RunResult
 runSampledParallel(const RunSetup &setup, const isa::Program &prog,
@@ -411,44 +483,28 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
 {
     ckpt::Sampler sampler(setup.sample, setup.maxInsts);
     const std::uint64_t count = sampler.intervalCount();
+    const bool pwarm = setup.sample.parallelWarm;
 
     ckpt::SnapshotStore store(setup.ckptDir);
     const std::uint64_t phash = ckpt::programHash(prog);
 
-    // --- Phase 1: functional snapshot production --------------------
-    sim::Emulator producer(prog);
     std::vector<ckpt::Snapshot> snaps(count);
-    std::vector<char> reached(count, 0);
-    for (std::uint64_t i = 0; i < count && !producer.halted(); ++i) {
-        ckpt::Sampler::Interval iv = sampler.interval(i);
-        if (producer.instCount() < iv.ffTarget) {
-            if (!(store.enabled() &&
-                  store.tryRestore(phash, iv.ffTarget, producer))) {
-                ckpt::fastForward(producer, iv.ffTarget);
-                if (store.enabled() &&
-                    producer.instCount() == iv.ffTarget) {
-                    store.save(phash, producer);
-                }
-            }
-        }
-        if (producer.halted())
-            break;
-        snaps[i] = ckpt::Snapshot::capture(producer);
-        snaps[i].workload = setup.workload;
-        snaps[i].input = setup.input;
-        snaps[i].scale = scale;
-        reached[i] = 1;
-    }
-    ckpt::fastForward(producer, setup.maxInsts);
-
-    // --- Phase 2: detailed windows, fanned out over pjobs -----------
     std::vector<IntervalResult> results(count);
 
     auto run_interval = [&](std::uint64_t i) {
         ckpt::Sampler::Interval iv = sampler.interval(i);
         sim::Emulator emu(prog);
         uarch::OooCore core(setup.machine, emu);
-        snaps[i].restore(emu);
+        if (pwarm) {
+            // Bounded warm history: replay this chunk functionally
+            // from the previous interval's snapshot, warming the
+            // caches and branch predictor along the way.
+            if (i > 0)
+                snaps[i - 1].restore(emu);
+            ckpt::fastForward(emu, iv.ffTarget, &core);
+        } else {
+            snaps[i].restore(emu);
+        }
 
         IntervalResult &out = results[i];
         if (iv.warmup) {
@@ -467,38 +523,54 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
         out.measured = true;
     };
 
-    std::uint64_t runnable = 0;
-    for (std::uint64_t i = 0; i < count; ++i)
-        runnable += reached[i] ? 1 : 0;
-    unsigned workers = std::max(1u, setup.pjobs);
-    if (runnable < workers)
-        workers = runnable ? static_cast<unsigned>(runnable) : 1;
+    const unsigned workers = std::max(1u, setup.pjobs);
+    IntervalQueue queue(std::max<std::size_t>(8, 2 * workers));
 
-    if (workers <= 1) {
-        for (std::uint64_t i = 0; i < count; ++i) {
-            if (reached[i])
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back([&]() {
+            std::uint64_t i;
+            while (queue.pop(i))
                 run_interval(i);
-        }
-    } else {
-        std::atomic<std::uint64_t> next{0};
-        auto drain = [&]() {
-            for (;;) {
-                std::uint64_t i = next.fetch_add(1);
-                if (i >= count)
-                    break;
-                if (reached[i])
-                    run_interval(i);
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned t = 0; t < workers; ++t)
-            pool.emplace_back(drain);
-        for (std::thread &th : pool)
-            th.join();
+        });
     }
 
-    // --- Phase 3: fold in interval order ----------------------------
+    // --- Producer: functional pass, publishing as it goes -----------
+    sim::Emulator producer(prog);
+    if (pwarm && count > 0)
+        queue.push(0);      // interval 0 warms from program start
+    for (std::uint64_t i = 0; i < count && !producer.halted(); ++i) {
+        ckpt::Sampler::Interval iv = sampler.interval(i);
+        if (producer.instCount() < iv.ffTarget) {
+            if (!(store.enabled() &&
+                  store.tryRestore(phash, iv.ffTarget, producer))) {
+                ckpt::fastForward(producer, iv.ffTarget);
+                if (store.enabled() &&
+                    producer.instCount() == iv.ffTarget) {
+                    store.save(phash, producer);
+                }
+            }
+        }
+        if (producer.halted())
+            break;
+        snaps[i] = ckpt::Snapshot::capture(producer);
+        snaps[i].workload = setup.workload;
+        snaps[i].input = setup.input;
+        snaps[i].scale = scale;
+        // snaps[i] unlocks interval i (cold: its restore point) or
+        // interval i+1 (pwarm: the start of its warm replay).
+        if (!pwarm)
+            queue.push(i);
+        else if (i + 1 < count)
+            queue.push(i + 1);
+    }
+    ckpt::fastForward(producer, setup.maxInsts);
+    queue.close();
+    for (std::thread &th : pool)
+        th.join();
+
+    // --- Fold in interval order -------------------------------------
     ckpt::CoreStatsAccum accum;
     RunResult r;
     std::vector<double> interval_ipc;
@@ -530,8 +602,9 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
 }
 
 /**
- * Interval-sampled run: warm plans walk serially (warming folds over
- * the whole stream), cold plans fan their windows out over pjobs.
+ * Interval-sampled run: ",warm" plans walk serially (whole-stream
+ * warming folds over the entire budget), cold and ",pwarm" plans
+ * take the pipelined engine and fan out over pjobs.
  */
 RunResult
 runSampledExperiment(const RunSetup &setup, const isa::Program &prog,
@@ -656,9 +729,10 @@ runSliceExperiment(const RunSetup &setup, const MultiSpec &ms)
 RunResult
 runSampledMultiCore(const RunSetup &setup, const MultiSpec &ms)
 {
-    if (setup.sample.functionalWarm) {
-        fatal("sample=...,warm is not supported with cores>1 "
-              "(warming folds over one program's stream)");
+    if (setup.sample.functionalWarm || setup.sample.parallelWarm) {
+        fatal("sample=...,%s is not supported with cores>1 "
+              "(warming replays one program's stream)",
+              setup.sample.functionalWarm ? "warm" : "pwarm");
     }
 
     ckpt::Sampler sampler(setup.sample, setup.maxInsts);
@@ -884,6 +958,9 @@ machineFromConfig(const Config &cfg)
     std::string sched = cfg.getString("sched", "");
     if (!sched.empty())
         m.sched = uarch::parseSchedKind(sched);
+    std::string disambig = cfg.getString("disambig", "");
+    if (!disambig.empty())
+        m.disambig = uarch::parseDisambigKind(disambig);
     return m;
 }
 

@@ -77,6 +77,7 @@ runCounters(const RunResult &r)
     w.num("lsq_forwards", r.core.lsqForwards);
     w.num("disambig_scans", r.core.disambigScans);
     w.num("disambig_scan_steps", r.core.disambigScanSteps);
+    w.num("disambig_filter_hits", r.core.disambigFilterHits);
     w.num("reroute_checks", r.core.rerouteChecks);
     w.num("reroute_scan_steps", r.core.rerouteScanSteps);
     w.num("ctx_switches", r.core.ctxSwitches);

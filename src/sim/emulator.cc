@@ -431,14 +431,22 @@ Emulator::runFast(std::uint64_t max_insts)
     const std::uint64_t text_words = fastOps.size() - 1; // sentinel
     const FastOp *ops = fastOps.data();
 
-    // Direct-map page translation table, shared by loads and stores:
-    // one inline compare + load per access instead of the hash-map
-    // probe that pointer-chasing workloads pay when they alternate
-    // pages faster than MemImage's one-entry cache can follow. Only
-    // pages that exist are ever cached — loads from untouched memory
-    // take the slow path every time — so an allocating store can't
-    // leave a stale "untouched" translation behind. Pointers stay
-    // valid for the whole batch: pages never move.
+    // Direct-map page translation tables: one inline compare + load
+    // per access instead of the hash-map probe that pointer-chasing
+    // workloads pay when they alternate pages faster than MemImage's
+    // one-entry cache can follow. Loads and stores keep separate
+    // tables so a load never forces a copy-on-write: the load table
+    // may point into frozen snapshot base pages (read-only), the
+    // store table only ever holds private overlay pages. Only pages
+    // that exist are ever cached in the load table — loads from
+    // untouched memory take the slow path every time — so an
+    // allocating store can't leave a stale "untouched" translation
+    // behind. The two tables share their indexing, and a store
+    // slow-path refreshes the load entry for its page: the first
+    // write CoW-copies the page, so any read-only translation of the
+    // old frozen bytes must die with it. Pointers stay valid for the
+    // whole batch: pages never move outside freeze/adopt/reset, none
+    // of which can run mid-batch.
     constexpr Addr PageMask = sim::MemImage::PageSize - 1;
     constexpr unsigned PageShift = 12;
     static_assert(sim::MemImage::PageSize == Addr(1) << PageShift);
@@ -448,15 +456,23 @@ Emulator::runFast(std::uint64_t max_insts)
         Addr page;
         std::uint8_t *ptr;
     };
-    TransEntry tlb[TlbEntries];
-    for (TransEntry &e : tlb)
+    struct TransEntryRo
+    {
+        Addr page;
+        const std::uint8_t *ptr;
+    };
+    TransEntryRo ltlb[TlbEntries];
+    TransEntry stlb[TlbEntries];
+    for (TransEntryRo &e : ltlb)
+        e = {~Addr(0), nullptr};
+    for (TransEntry &e : stlb)
         e = {~Addr(0), nullptr};
 
     auto load_ptr = [&](Addr ea) -> const std::uint8_t * {
         Addr pa = ea & ~PageMask;
-        TransEntry &e = tlb[(ea >> PageShift) & (TlbEntries - 1)];
+        TransEntryRo &e = ltlb[(ea >> PageShift) & (TlbEntries - 1)];
         if (e.page != pa) {
-            std::uint8_t *p = memory.probePage(ea);
+            const std::uint8_t *p = memory.peekPage(ea);
             if (!p)
                 return nullptr;
             e.page = pa;
@@ -466,10 +482,12 @@ Emulator::runFast(std::uint64_t max_insts)
     };
     auto store_ptr = [&](Addr ea) -> std::uint8_t * {
         Addr pa = ea & ~PageMask;
-        TransEntry &e = tlb[(ea >> PageShift) & (TlbEntries - 1)];
+        std::size_t idx = (ea >> PageShift) & (TlbEntries - 1);
+        TransEntry &e = stlb[idx];
         if (e.page != pa) {
             e.ptr = memory.pageForWrite(ea);
             e.page = pa;
+            ltlb[idx] = {pa, e.ptr};
         }
         return e.ptr + (ea & PageMask);
     };

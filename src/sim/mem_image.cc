@@ -23,29 +23,56 @@ MemImage::findPage(Addr a) const
 {
     Addr page_addr = alignDown(a, PageSize);
     if (page_addr == lastPageAddr)
-        return lastPage;
+        return lastPageRo;
     auto it = pages.find(page_addr);
-    if (it == pages.end())
-        return nullptr;
+    if (it != pages.end()) {
+        lastPageAddr = page_addr;
+        lastPageRo = it->second.get();
+        lastPageRw = it->second.get();
+        return lastPageRo;
+    }
+    if (base) {
+        auto bit = base->find(page_addr);
+        if (bit != base->end()) {
+            lastPageAddr = page_addr;
+            lastPageRo = bit->second.get();
+            lastPageRw = nullptr;   // frozen: never hand out writable
+            return lastPageRo;
+        }
+    }
+    return nullptr;
+}
+
+MemImage::Page &
+MemImage::overlaySlot(Addr page_addr, bool copy_base)
+{
+    auto &slot = pages[page_addr];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        const Page *from = nullptr;
+        if (copy_base && base) {
+            auto bit = base->find(page_addr);
+            if (bit != base->end())
+                from = bit->second.get();
+        }
+        if (from)
+            *slot = *from;
+        else
+            slot->fill(0);
+    }
     lastPageAddr = page_addr;
-    lastPage = it->second.get();
-    return lastPage;
+    lastPageRo = slot.get();
+    lastPageRw = slot.get();
+    return *slot;
 }
 
 MemImage::Page &
 MemImage::touchPage(Addr a)
 {
     Addr page_addr = alignDown(a, PageSize);
-    if (page_addr == lastPageAddr)
-        return *lastPage;
-    auto &slot = pages[page_addr];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
-    }
-    lastPageAddr = page_addr;
-    lastPage = slot.get();
-    return *lastPage;
+    if (page_addr == lastPageAddr && lastPageRw)
+        return *lastPageRw;
+    return overlaySlot(page_addr, true);
 }
 
 std::uint8_t
@@ -119,15 +146,36 @@ MemImage::readBytes(Addr a, std::uint8_t *out, std::uint64_t n) const
     while (n > 0) {
         std::uint64_t off = a % PageSize;
         std::uint64_t chunk = std::min(n, PageSize - off);
-        auto it = pages.find(alignDown(a, PageSize));
-        if (it == pages.end())
-            std::memset(out, 0, chunk);
+        Addr page_addr = alignDown(a, PageSize);
+        const Page *p = nullptr;
+        auto it = pages.find(page_addr);
+        if (it != pages.end()) {
+            p = it->second.get();
+        } else if (base) {
+            auto bit = base->find(page_addr);
+            if (bit != base->end())
+                p = bit->second.get();
+        }
+        if (p)
+            std::memcpy(out, p->data() + off, chunk);
         else
-            std::memcpy(out, it->second->data() + off, chunk);
+            std::memset(out, 0, chunk);
         a += chunk;
         out += chunk;
         n -= chunk;
     }
+}
+
+std::uint64_t
+MemImage::pagesAllocated() const
+{
+    if (!base)
+        return pages.size();
+    std::uint64_t n = pages.size();
+    for (const auto &kv : *base)
+        if (pages.find(kv.first) == pages.end())
+            ++n;
+    return n;
 }
 
 void
@@ -135,12 +183,48 @@ MemImage::forEachPage(
     const std::function<void(Addr, const std::uint8_t *)> &fn) const
 {
     std::vector<Addr> addrs;
-    addrs.reserve(pages.size());
+    addrs.reserve(pages.size() + (base ? base->size() : 0));
     for (const auto &kv : pages)
         addrs.push_back(kv.first);
+    if (base)
+        for (const auto &kv : *base)
+            if (pages.find(kv.first) == pages.end())
+                addrs.push_back(kv.first);
     std::sort(addrs.begin(), addrs.end());
-    for (Addr a : addrs)
-        fn(a, pages.find(a)->second->data());
+    for (Addr a : addrs) {
+        auto it = pages.find(a);
+        if (it != pages.end())
+            fn(a, it->second->data());
+        else
+            fn(a, base->find(a)->second->data());
+    }
+}
+
+MemImage::SharedPagesPtr
+MemImage::freezePages() const
+{
+    if (!pages.empty() || !base) {
+        auto merged = std::make_shared<SharedPages>();
+        if (base)
+            *merged = *base;    // shallow: shared_ptr copies only
+        for (auto &kv : pages)
+            (*merged)[kv.first] =
+                std::shared_ptr<const Page>(kv.second.release());
+        pages.clear();
+        base = std::move(merged);
+        // Overlay pages kept their heap addresses but lost
+        // writability; a stale lastPageRw would bypass CoW.
+        invalidateLookupCache();
+    }
+    return base;
+}
+
+void
+MemImage::adoptPages(SharedPagesPtr frozen)
+{
+    pages.clear();
+    base = std::move(frozen);
+    invalidateLookupCache();
 }
 
 const std::uint8_t *
@@ -153,10 +237,22 @@ MemImage::peekPage(Addr a) const
 std::uint8_t *
 MemImage::probePage(Addr a)
 {
-    // findPage fills the mutable lookup cache with a non-const Page*;
-    // reusing it keeps the const overload as the single lookup path.
-    const Page *p = findPage(a);
-    return p ? const_cast<Page *>(p)->data() : nullptr;
+    // runFast shares one translation table between loads and stores,
+    // so every pointer handed out here may be written through: a hit
+    // on a frozen base page must CoW-copy before translation.
+    Addr page_addr = alignDown(a, PageSize);
+    if (page_addr == lastPageAddr && lastPageRw)
+        return lastPageRw->data();
+    auto it = pages.find(page_addr);
+    if (it != pages.end()) {
+        lastPageAddr = page_addr;
+        lastPageRo = it->second.get();
+        lastPageRw = it->second.get();
+        return lastPageRw->data();
+    }
+    if (base && base->find(page_addr) != base->end())
+        return overlaySlot(page_addr, true).data();
+    return nullptr;
 }
 
 std::uint8_t *
@@ -169,7 +265,9 @@ void
 MemImage::installPage(Addr page_addr, const std::uint8_t *bytes)
 {
     svf_assert(page_addr % PageSize == 0);
-    Page &p = touchPage(page_addr);
+    // Full-page overwrite: seeding the overlay copy from a shadowed
+    // base page would be immediately thrown away.
+    Page &p = overlaySlot(page_addr, false);
     std::memcpy(p.data(), bytes, PageSize);
 }
 
@@ -177,6 +275,7 @@ void
 MemImage::reset()
 {
     pages.clear();
+    base.reset();
     invalidateLookupCache();
 }
 

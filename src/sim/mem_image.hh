@@ -22,11 +22,25 @@ namespace svf::sim
 /**
  * A sparse byte-addressable memory backed by demand-allocated 4KB
  * pages. Untouched memory reads as zero, matching demand-zero pages.
+ *
+ * The image is layered for copy-on-write snapshots: a shared,
+ * immutable *base* map of pages (reference-counted, produced by
+ * freezePages()) underneath a private mutable *overlay*. Reads serve
+ * whichever layer holds the page (overlay shadows base); the first
+ * write to a base page copies it into the overlay. adoptPages() makes
+ * restoring a snapshot O(1) in page data — any number of images (one
+ * per worker thread) can share one frozen base, because frozen pages
+ * are never written through and shared_ptr refcounts are atomic.
  */
 class MemImage
 {
   public:
     static constexpr std::uint64_t PageSize = 4096;
+
+    using Page = std::array<std::uint8_t, PageSize>;
+    using SharedPages =
+        std::unordered_map<Addr, std::shared_ptr<const Page>>;
+    using SharedPagesPtr = std::shared_ptr<const SharedPages>;
 
     MemImage() = default;
 
@@ -49,21 +63,23 @@ class MemImage
 
     /**
      * Bulk read of @p n bytes into @p out; unallocated pages read as
-     * zero. Walks the page table directly rather than through the
+     * zero. Walks the page tables directly rather than through the
      * one-entry lookup cache, so interleaving bulk reads with the
      * scalar accessors never perturbs the cache's hit pattern.
      */
     void readBytes(Addr a, std::uint8_t *out, std::uint64_t n) const;
 
-    /** Number of pages that have been touched. */
-    std::uint64_t pagesAllocated() const { return pages.size(); }
+    /** Number of distinct pages that have been touched (a base page
+     *  shadowed by an overlay copy counts once). */
+    std::uint64_t pagesAllocated() const;
 
     /**
      * Visit every allocated page in ascending address order —
      * the serialization path (ckpt/snapshot.hh). Deterministic
      * regardless of allocation order, and bypasses the lookup cache
      * entirely: the callback may read other pages through the scalar
-     * accessors without either walk corrupting the other.
+     * accessors without either walk corrupting the other. Overlay
+     * pages shadow their base twins.
      *
      * The callback must not allocate or remove pages.
      */
@@ -78,12 +94,33 @@ class MemImage
     void installPage(Addr page_addr, const std::uint8_t *bytes);
 
     /**
+     * @name Copy-on-write snapshot interface
+     *
+     * freezePages() flattens base + overlay into a single immutable
+     * shared map and re-points this image at it — no page content is
+     * copied (overlay pages change owner, base pages change refcount)
+     * and the observable bytes are unchanged, which is why it is
+     * const. The returned map may outlive this image and may be
+     * adopted by any number of other images concurrently; frozen
+     * pages are never written (a write CoW-copies into the private
+     * overlay first).
+     */
+    /// @{
+    SharedPagesPtr freezePages() const;
+
+    /** Replace all content with the frozen map @p frozen (snapshot
+     *  restore). O(1) in page data. */
+    void adoptPages(SharedPagesPtr frozen);
+    /// @}
+
+    /**
      * @name Raw page access for the batched interpreter
      *
      * Emulator::runFast caches the returned base pointer across
      * consecutive accesses to the same page, paying the page lookup
-     * only on page changes. Pointers stay valid until reset() — pages
-     * are never moved or dropped by ordinary reads and writes.
+     * only on page changes. Pointers stay valid until reset(),
+     * freezePages() or adoptPages() — ordinary reads and writes never
+     * move or drop pages.
      */
     /// @{
     /** Base of the page containing @p a, or nullptr if untouched
@@ -92,10 +129,12 @@ class MemImage
 
     /**
      * Writable twin of peekPage: base of the page containing @p a,
-     * or nullptr if untouched, never allocating. Lets the batched
-     * interpreter keep one translation table for loads and stores —
-     * only entries for pages that exist are ever cached, so a later
-     * allocating store can't leave a stale "untouched" translation.
+     * or nullptr if untouched, never allocating fresh memory. Lets
+     * the batched interpreter keep one translation table for loads
+     * and stores — only entries for pages that exist are ever cached,
+     * so a later allocating store can't leave a stale "untouched"
+     * translation. A hit on a frozen base page CoW-copies it into the
+     * overlay (the caller may write through the pointer).
      */
     std::uint8_t *probePage(Addr a);
 
@@ -104,32 +143,41 @@ class MemImage
     std::uint8_t *pageForWrite(Addr a);
     /// @}
 
-    /** Drop every page; memory reads as zero again. */
+    /** Drop every page (base and overlay); memory reads as zero. */
     void reset();
 
   private:
-    using Page = std::array<std::uint8_t, PageSize>;
-
     const Page *findPage(Addr a) const;
     Page &touchPage(Addr a);
+    /** Overlay slot for @p page_addr; when @p copy_base, a shadowed
+     *  base page's content seeds the copy, else it starts zeroed. */
+    Page &overlaySlot(Addr page_addr, bool copy_base);
 
     /**
-     * Any operation that removes or replaces pages must call this:
-     * a stale cache entry would otherwise keep serving the old
-     * page's bytes (or freed memory) for the cached address.
+     * Any operation that removes or replaces pages must call this: a
+     * stale entry would otherwise keep serving the old page's bytes
+     * (or freed memory) for the cached address. The cache is split
+     * into a read pointer and a write pointer — a base page may be
+     * cached for reading (lastPageRw == nullptr) without ever being
+     * handed out writable.
      */
     void invalidateLookupCache() const
     {
         lastPageAddr = ~Addr(0);
-        lastPage = nullptr;
+        lastPageRo = nullptr;
+        lastPageRw = nullptr;
     }
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    // Mutable so that freezePages() can be const: flattening the
+    // layers changes ownership bookkeeping, never observable bytes.
+    mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    mutable SharedPagesPtr base;
 
     // One-entry lookup cache; instruction-dense pages make this hit
     // nearly always.
     mutable Addr lastPageAddr = ~Addr(0);
-    mutable Page *lastPage = nullptr;
+    mutable const Page *lastPageRo = nullptr;
+    mutable Page *lastPageRw = nullptr;
 };
 
 } // namespace svf::sim

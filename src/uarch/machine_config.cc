@@ -36,6 +36,35 @@ defaultSchedKind()
     return kind;
 }
 
+const char *
+disambigKindName(DisambigKind kind)
+{
+    return kind == DisambigKind::Scan ? "scan" : "filter";
+}
+
+DisambigKind
+parseDisambigKind(const std::string &name)
+{
+    if (name == "scan")
+        return DisambigKind::Scan;
+    if (name == "filter")
+        return DisambigKind::Filter;
+    fatal("disambiguation mode must be 'scan' or 'filter' (got '%s')",
+          name.c_str());
+}
+
+DisambigKind
+defaultDisambigKind()
+{
+    static const DisambigKind kind = [] {
+        const char *env = std::getenv("SVF_DISAMBIG");
+        if (!env || !*env)
+            return DisambigKind::Filter;
+        return parseDisambigKind(env);
+    }();
+    return kind;
+}
+
 MachineConfig
 MachineConfig::wide4()
 {
@@ -94,7 +123,12 @@ MachineConfig::key(std::uint64_t seed) const
     seed = stackCache.key(seed);
     seed = hashCombine(seed, std::uint64_t(noAddrCalcOp));
     seed = hashCombine(seed, contextSwitchPeriod);
-    return hashCombine(seed, std::uint64_t(sched));
+    seed = hashCombine(seed, std::uint64_t(sched));
+    // Folded only for the non-default Scan so existing keys of
+    // default-mode configs stay valid across the cache format.
+    if (disambig == DisambigKind::Scan)
+        seed = hashCombine(seed, std::uint64_t(3));
+    return seed;
 }
 
 MachineConfig

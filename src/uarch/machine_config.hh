@@ -51,6 +51,44 @@ SchedKind parseSchedKind(const std::string &name);
 SchedKind defaultSchedKind();
 
 /**
+ * How resolveDisambiguation finds older overlapping stores.
+ *
+ * Both modes produce the identical simulated machine — every cycle
+ * count, forwarding decision and squash is the same. They differ in
+ * host cost and in the two scan-accounting counters:
+ *
+ *   - Scan:   backward walk over the in-window store deque on every
+ *             call; disambig_scan_steps counts one per store
+ *             examined (~2.7 per committed instruction on
+ *             store-heavy runs).
+ *   - Filter: a small counting address-hash filter over the
+ *             quadword granules of in-flight stores answers most
+ *             calls in O(1) — only provably non-matching walks are
+ *             skipped (a hash hit, even a false one, falls back to
+ *             the exact walk), so the resolution is exact.
+ *             disambig_filter_hits counts the skipped walks and
+ *             disambig_scan_steps only the fallback walks' steps.
+ */
+enum class DisambigKind : std::uint8_t
+{
+    Scan,
+    Filter,
+};
+
+/** "scan" / "filter". */
+const char *disambigKindName(DisambigKind kind);
+
+/** Parse a disambiguation-mode name; fatal() on anything unknown. */
+DisambigKind parseDisambigKind(const std::string &name);
+
+/**
+ * Process-wide default disambiguation mode: $SVF_DISAMBIG when set
+ * ("scan" or "filter"), otherwise Filter. Read once, at the first
+ * MachineConfig construction.
+ */
+DisambigKind defaultDisambigKind();
+
+/**
  * Full configuration of one simulated machine, combining the Table 2
  * processor model with the SVF / stack cache options of Section 5.
  */
@@ -144,6 +182,16 @@ struct MachineConfig
      * which is what lets one plan cross-check both.
      */
     SchedKind sched = defaultSchedKind();
+
+    /**
+     * Store-queue disambiguation implementation (host-performance
+     * switch; the simulated machine is identical either way — only
+     * disambig_scan_steps and disambig_filter_hits move). Defaults
+     * to $SVF_DISAMBIG, or Filter. Folded into key() only when set
+     * to the non-default Scan so existing default-config keys stay
+     * stable.
+     */
+    DisambigKind disambig = defaultDisambigKind();
 
     /** Table 2's 4-wide machine. */
     static MachineConfig wide4();

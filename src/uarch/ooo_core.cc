@@ -20,8 +20,91 @@ OooCore::OooCore(const MachineConfig &config, sim::Emulator &oracle,
         sc = std::make_unique<mem::StackCache>(cfg.stackCache, _hier);
     bpred = makePredictor(cfg.bpred);
     eventMode = cfg.sched == SchedKind::Event;
+    filterMode = cfg.disambig == DisambigKind::Filter;
     for (auto &r : renameMap)
         r = NoProducer;
+}
+
+void
+OooCore::storeFilterAdd(Addr ea, unsigned size, InstSeq seq)
+{
+    // memSize <= 8, so a store covers at most two quadword granules.
+    // Dispatch and replay re-dispatch both push seqs in increasing
+    // order onto a suffix-cleared list, so appending keeps every
+    // granule's seq vector sorted — the windowStores invariant.
+    std::uint64_t first = ea >> 3;
+    std::uint64_t last = (ea + size - 1) >> 3;
+    storesByGranule[first].push_back(seq);
+    if (last != first)
+        storesByGranule[last].push_back(seq);
+}
+
+void
+OooCore::storeFilterRemove(Addr ea, unsigned size, InstSeq seq)
+{
+    // Stores leave from the window's ends only: commit drops the
+    // oldest (each granule vector's front), squash replay drops the
+    // youngest (its back).
+    auto drop = [&](std::uint64_t g) {
+        auto it = storesByGranule.find(g);
+        svf_assert(it != storesByGranule.end());
+        std::vector<InstSeq> &v = it->second;
+        if (v.back() == seq) {
+            v.pop_back();
+        } else {
+            svf_assert(v.front() == seq);
+            v.erase(v.begin());
+        }
+        if (v.empty())
+            storesByGranule.erase(it);
+    };
+    std::uint64_t first = ea >> 3;
+    std::uint64_t last = (ea + size - 1) >> 3;
+    drop(first);
+    if (last != first)
+        drop(last);
+}
+
+void
+OooCore::resolveDisambiguationFiltered(RuuEntry &e)
+{
+    // A byte overlap implies a shared quadword granule, so only the
+    // same-granule stores of the load can match; the youngest older
+    // overlapping store per granule, maximized over the load's (at
+    // most two) granules, is the store the full backward walk finds.
+    const isa::DecodedInst &ldi = *e.info.di;
+    std::uint64_t first = e.info.ea >> 3;
+    std::uint64_t last = (e.info.ea + ldi.memSize - 1) >> 3;
+    bool walked = false;
+    InstSeq best = NoProducer;
+    for (std::uint64_t g = first; g <= last; ++g) {
+        auto git = storesByGranule.find(g);
+        if (git == storesByGranule.end())
+            continue;
+        const std::vector<InstSeq> &v = git->second;
+        auto it = std::lower_bound(v.begin(), v.end(), e.seq);
+        while (it != v.begin()) {
+            --it;
+            walked = true;
+            ++_stats.disambigScanSteps;
+            const RuuEntry &s = ruu.bySeq(*it);
+            if (rangesOverlap(s.info.ea, s.info.di->memSize,
+                              e.info.ea, ldi.memSize)) {
+                if (best == NoProducer || *it > best)
+                    best = *it;
+                break;      // youngest older match in this granule
+            }
+        }
+    }
+    if (!walked)
+        ++_stats.disambigFilterHits;
+    if (best != NoProducer) {
+        const RuuEntry &s = ruu.bySeq(best);
+        e.fwdStore = best;
+        e.fwdCovers = rangeCovers(s.info.ea, s.info.di->memSize,
+                                  e.info.ea, ldi.memSize);
+    }
+    e.disambigDone = true;
 }
 
 bool
@@ -43,6 +126,10 @@ OooCore::resolveDisambiguation(RuuEntry &e)
     // one step per store, not one per RUU entry — a window full of
     // ALU ops costs nothing here.
     ++_stats.disambigScans;
+    if (filterMode) {
+        resolveDisambiguationFiltered(e);
+        return;
+    }
     const isa::DecodedInst &ldi = *e.info.di;
     auto it = std::lower_bound(windowStores.begin(),
                                windowStores.end(), e.seq);
@@ -481,8 +568,10 @@ OooCore::performReplay(InstSeq from)
         ruu.popBack();
         if (e.info.di->memRef)
             lsq.remove();
-        if (e.isStore)
+        if (e.isStore) {
             windowStores.pop_back();
+            storeFilterRemove(e.info.ea, e.info.di->memSize, e.seq);
+        }
         e.issued = false;
         replayQueue.push_front(std::move(e));
     }
@@ -538,6 +627,7 @@ OooCore::doCommit()
             lsq.remove();
             if (e.isStore) {
                 windowStores.pop_front();
+                storeFilterRemove(e.info.ea, di.memSize, e.seq);
             } else if (e.route == MemRoute::SvfFast) {
                 auto mit = morphedLoadWords.find(e.info.ea >> 3);
                 if (mit != morphedLoadWords.end()) {
@@ -598,10 +688,12 @@ OooCore::doDispatch()
                               e.route == MemRoute::SvfReroute)) {
                 stackStores.record(e.info.ea, e.seq);
             }
-            if (e.isStore)
+            if (e.isStore) {
                 windowStores.push_back(e.seq);
-            else if (e.isLoad && e.route == MemRoute::SvfFast)
+                storeFilterAdd(e.info.ea, e.info.di->memSize, e.seq);
+            } else if (e.isLoad && e.route == MemRoute::SvfFast) {
                 morphedLoadWords[e.info.ea >> 3].insert(e.seq);
+            }
             if (e.info.di->memRef)
                 lsq.add();
             e.dispatchCycle = now;
@@ -723,10 +815,12 @@ OooCore::doDispatch()
                           e.route == MemRoute::SvfReroute)) {
             stackStores.record(f.info.ea, e.seq);
         }
-        if (e.isStore)
+        if (e.isStore) {
             windowStores.push_back(e.seq);
-        else if (e.isLoad && e.route == MemRoute::SvfFast)
+            storeFilterAdd(f.info.ea, di.memSize, e.seq);
+        } else if (e.isLoad && e.route == MemRoute::SvfFast) {
             morphedLoadWords[f.info.ea >> 3].insert(e.seq);
+        }
 
         if (specSp.onDispatch(di, e.seq))
             ++_stats.spInterlocks;
@@ -870,6 +964,7 @@ OooCore::rebindOracle(sim::Emulator &new_oracle)
     stackStores.clear();
     morphedLoadWords.clear();
     windowStores.clear();
+    storesByGranule.clear();
     specSp.reset();
     sched.reset();
     issueEligibleAt.reset();

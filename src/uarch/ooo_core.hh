@@ -24,6 +24,7 @@
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "core/spec_sp.hh"
 #include "core/svf_unit.hh"
@@ -66,6 +67,7 @@ struct CoreStats
     /// @{
     std::uint64_t disambigScans = 0;     //!< resolveDisambiguation calls
     std::uint64_t disambigScanSteps = 0; //!< stores examined by those
+    std::uint64_t disambigFilterHits = 0; //!< scans the filter answered
     std::uint64_t rerouteChecks = 0;     //!< checkRerouteCollision calls
     std::uint64_t rerouteScanSteps = 0;  //!< morphed loads examined
     /// @}
@@ -306,6 +308,35 @@ class OooCore
      * window.
      */
     std::deque<InstSeq> windowStores;
+
+    /** @name Store-address disambiguation filter (DisambigKind::Filter)
+     * In-flight stores indexed by the quadword granules they cover,
+     * each granule's seqs kept in program order (the same append /
+     * pop-in-order discipline that keeps windowStores sorted). A
+     * byte overlap implies a shared granule, so
+     * resolveDisambiguation needs to examine only the same-granule
+     * stores of the load — the youngest older overlapping one per
+     * granule, maximized over the load's (at most two) granules, is
+     * exactly the store the full backward walk would have found.
+     * Most loads touch granules with no store at all and resolve in
+     * O(1). Maintained unconditionally (two hash ops per store) so
+     * $SVF_DISAMBIG can flip per process without state divergence.
+     */
+    /// @{
+    std::unordered_map<std::uint64_t, std::vector<InstSeq>>
+        storesByGranule;
+
+    /** True once, from cfg.disambig — checked in the scan hot path. */
+    bool filterMode = false;
+
+    void storeFilterAdd(Addr ea, unsigned size, InstSeq seq);
+
+    /** Remove @p seq (the oldest or youngest in-flight store). */
+    void storeFilterRemove(Addr ea, unsigned size, InstSeq seq);
+
+    /** The granule-indexed equivalent of the full backward walk. */
+    void resolveDisambiguationFiltered(RuuEntry &e);
+    /// @}
 
     /**
      * In-window decode-morphed (SvfFast) loads by quadword address

@@ -246,7 +246,7 @@ TEST(Snapshot, FileRoundTripWithProvenance)
     EXPECT_EQ(loaded.input, "inp");
     EXPECT_EQ(loaded.progHash, snap.progHash);
     EXPECT_EQ(loaded.state.icount, snap.state.icount);
-    EXPECT_EQ(loaded.pages.size(), snap.pages.size());
+    EXPECT_EQ(loaded.pageCount(), snap.pageCount());
     std::remove(path.c_str());
 }
 

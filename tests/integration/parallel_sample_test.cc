@@ -122,6 +122,57 @@ TEST(ParallelSample, ByteIdenticalOnSvfMachine)
     sweepPjobs(s);
 }
 
+TEST(ParallelSample, ByteIdenticalAcrossPjobsWhenParallelWarming)
+{
+    // The pwarm plan is the parallel counterpart of ",warm": each
+    // worker replays one chunk of functional warming from the
+    // previous interval's snapshot, so intervals are independent
+    // and the pjobs sweep must stay byte-identical.
+    harness::RunSetup s = mcfSetup();
+    s.sample = ckpt::SamplePlan::parse("6,200,1500,pwarm");
+    sweepPjobs(s);
+}
+
+// --- Stress: many intervals through the pipelined engine ------------
+//
+// 64+ intervals keep the producer, the bounded queue and all workers
+// live simultaneously for the whole run — the regime where a race
+// between snapshot publication and consumption, or a fold-order slip,
+// would actually show up (and where TSan gets real interleavings to
+// chew on; the CI TSan job runs these by name).
+
+TEST(ParallelSample, StressManyIntervals)
+{
+    harness::RunSetup s = mcfSetup();
+    s.maxInsts = 640'000;
+    s.sample = ckpt::SamplePlan::parse("64,200,800");
+    sweepPjobs(s);
+}
+
+TEST(ParallelSample, StressManyIntervalsParallelWarm)
+{
+    harness::RunSetup s = mcfSetup();
+    s.maxInsts = 640'000;
+    s.sample = ckpt::SamplePlan::parse("64,200,800,pwarm");
+    sweepPjobs(s);
+}
+
+TEST(ParallelSample, StressManyIntervalsMultiCore)
+{
+    // cores>1 snapshots every program at once (captureMulti) into
+    // the same frozen CoW page sets and the windows restore them
+    // via restoreMulti; the fold is serial over intervals, so pjobs
+    // must be a byte-exact no-op here too.
+    harness::RunSetup s;
+    s.workload = "mcf,gzip";
+    s.input = "inp,program";
+    s.cores = 2;
+    s.maxInsts = 320'000;
+    s.machine = harness::baselineConfig(8);
+    s.sample = ckpt::SamplePlan::parse("64,100,400");
+    sweepPjobs(s);
+}
+
 TEST(ParallelSample, PjobsDoesNotChangeTheSetupKey)
 {
     harness::RunSetup a = mcfSetup();

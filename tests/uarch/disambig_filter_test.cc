@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Scan vs filter store disambiguation: exact resolution, cheaper.
+ *
+ * The granule filter (uarch/ooo_core.hh, DisambigKind::Filter) may
+ * only skip backward walks that would provably find nothing — so a
+ * run under DisambigKind::Scan and one under Filter must agree on
+ * every simulated counter. The only permitted deltas are the two
+ * host-accounting counters: disambig_scan_steps (filter skips walks,
+ * so it can only drop) and disambig_filter_hits (zero under Scan).
+ *
+ * This suite diffs the full RunResult across *all* workloads in the
+ * registry, checks the filter actually fires (a hit rate of zero
+ * would mean the tentpole is a no-op), and pins scan/event scheduler
+ * identity of the new counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "uarch/ooo_core.hh"
+#include "workloads/registry.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+constexpr std::uint64_t kInsts = 20'000;
+
+#define SVF_EXPECT_FIELD_EQ(field)                                   \
+    EXPECT_EQ(scan.field, filt.field) << what << ": " #field
+
+/** Everything but the two accounting counters must match exactly. */
+void
+expectIdenticalButAccounting(const harness::RunResult &scan,
+                             const harness::RunResult &filt,
+                             const std::string &what)
+{
+    SVF_EXPECT_FIELD_EQ(core.cycles);
+    SVF_EXPECT_FIELD_EQ(core.committed);
+    SVF_EXPECT_FIELD_EQ(core.loads);
+    SVF_EXPECT_FIELD_EQ(core.stores);
+    SVF_EXPECT_FIELD_EQ(core.branches);
+    SVF_EXPECT_FIELD_EQ(core.mispredicts);
+    SVF_EXPECT_FIELD_EQ(core.squashes);
+    SVF_EXPECT_FIELD_EQ(core.spInterlocks);
+    SVF_EXPECT_FIELD_EQ(core.lsqForwards);
+    SVF_EXPECT_FIELD_EQ(core.disambigScans);
+    SVF_EXPECT_FIELD_EQ(core.rerouteChecks);
+    SVF_EXPECT_FIELD_EQ(core.rerouteScanSteps);
+    SVF_EXPECT_FIELD_EQ(core.ctxSwitches);
+    SVF_EXPECT_FIELD_EQ(core.svfCtxBytes);
+    SVF_EXPECT_FIELD_EQ(core.scCtxBytes);
+    SVF_EXPECT_FIELD_EQ(core.dl1CtxLines);
+    SVF_EXPECT_FIELD_EQ(svfQuadsIn);
+    SVF_EXPECT_FIELD_EQ(svfQuadsOut);
+    SVF_EXPECT_FIELD_EQ(svfFastLoads);
+    SVF_EXPECT_FIELD_EQ(svfFastStores);
+    SVF_EXPECT_FIELD_EQ(svfReroutedLoads);
+    SVF_EXPECT_FIELD_EQ(svfReroutedStores);
+    SVF_EXPECT_FIELD_EQ(svfWindowMisses);
+    SVF_EXPECT_FIELD_EQ(svfDemandFills);
+    SVF_EXPECT_FIELD_EQ(svfDisableEpisodes);
+    SVF_EXPECT_FIELD_EQ(svfRefsWhileDisabled);
+    SVF_EXPECT_FIELD_EQ(scQuadsIn);
+    SVF_EXPECT_FIELD_EQ(scQuadsOut);
+    SVF_EXPECT_FIELD_EQ(scHits);
+    SVF_EXPECT_FIELD_EQ(scMisses);
+    SVF_EXPECT_FIELD_EQ(dl1Hits);
+    SVF_EXPECT_FIELD_EQ(dl1Misses);
+    SVF_EXPECT_FIELD_EQ(l2Hits);
+    SVF_EXPECT_FIELD_EQ(l2Misses);
+    SVF_EXPECT_FIELD_EQ(completed);
+    SVF_EXPECT_FIELD_EQ(outputOk);
+    SVF_EXPECT_FIELD_EQ(output);
+}
+
+#undef SVF_EXPECT_FIELD_EQ
+
+/**
+ * Every workload in the registry, baseline SVF machine: Scan and
+ * Filter agree on the simulated machine, and the filter both fires
+ * and pays (steps can only drop; Scan never counts a hit).
+ */
+TEST(DisambigFilter, AllWorkloadsBitIdenticalExceptAccounting)
+{
+    for (const auto &spec : workloads::allWorkloads()) {
+        harness::RunSetup s;
+        s.workload = spec.name;
+        s.input = spec.inputs.front();
+        s.maxInsts = kInsts;
+        s.machine = harness::baselineConfig(16);
+        harness::applySvf(s.machine, 1024, 2);
+
+        s.machine.disambig = DisambigKind::Scan;
+        harness::RunResult scan = harness::runExperiment(s);
+
+        s.machine.disambig = DisambigKind::Filter;
+        harness::RunResult filt = harness::runExperiment(s);
+
+        const std::string what = spec.name + "." + spec.inputs.front();
+        expectIdenticalButAccounting(scan, filt, what);
+
+        EXPECT_EQ(scan.core.disambigFilterHits, 0u) << what;
+        EXPECT_LE(filt.core.disambigScanSteps,
+                  scan.core.disambigScanSteps) << what;
+        if (scan.core.disambigScans > 0) {
+            // The filter must answer a real share of the scans —
+            // otherwise it is dead weight on the hot path.
+            EXPECT_GT(filt.core.disambigFilterHits, 0u) << what;
+            EXPECT_LE(filt.core.disambigFilterHits,
+                      filt.core.disambigScans) << what;
+        }
+        ASSERT_FALSE(HasFailure())
+            << "first divergence at " << what;
+    }
+}
+
+/**
+ * The new counter is part of the simulated-bookkeeping contract:
+ * scan and event schedulers must report the identical hit count.
+ */
+TEST(DisambigFilter, FilterHitsSchedulerIndependent)
+{
+    harness::RunSetup s;
+    s.workload = "mcf";
+    s.input = "inp";
+    s.maxInsts = kInsts;
+    s.machine = harness::baselineConfig(16);
+    harness::applySvf(s.machine, 1024, 2);
+    s.machine.disambig = DisambigKind::Filter;
+
+    s.machine.sched = SchedKind::Scan;
+    harness::RunResult scan_sched = harness::runExperiment(s);
+
+    s.machine.sched = SchedKind::Event;
+    harness::RunResult event_sched = harness::runExperiment(s);
+
+    EXPECT_GT(scan_sched.core.disambigFilterHits, 0u);
+    EXPECT_EQ(scan_sched.core.disambigFilterHits,
+              event_sched.core.disambigFilterHits);
+    EXPECT_EQ(scan_sched.core.disambigScanSteps,
+              event_sched.core.disambigScanSteps);
+}
+
+/**
+ * Key discipline: the default (Filter) must hash like it always did
+ * so existing memoized results stay addressable, while the
+ * non-default Scan must hash apart so the runner never serves one
+ * mode's accounting for the other's request.
+ */
+TEST(DisambigFilter, KeyFoldsOnlyNonDefaultMode)
+{
+    MachineConfig a = harness::baselineConfig(16);
+    MachineConfig b = harness::baselineConfig(16);
+    b.disambig = DisambigKind::Filter;
+    EXPECT_EQ(a.key(), b.key());
+
+    b.disambig = DisambigKind::Scan;
+    EXPECT_NE(a.key(), b.key());
+}
+
+} // anonymous namespace
+} // namespace svf::uarch

@@ -125,6 +125,7 @@ expectCoreStatsEq(const CoreStats &scan, const CoreStats &event,
     SVF_EXPECT_FIELD_EQ(lsqForwards);
     SVF_EXPECT_FIELD_EQ(disambigScans);
     SVF_EXPECT_FIELD_EQ(disambigScanSteps);
+    SVF_EXPECT_FIELD_EQ(disambigFilterHits);
     SVF_EXPECT_FIELD_EQ(rerouteChecks);
     SVF_EXPECT_FIELD_EQ(rerouteScanSteps);
     SVF_EXPECT_FIELD_EQ(ctxSwitches);

@@ -101,7 +101,7 @@ doCreate(const Config &cfg, const std::string &file)
     std::printf("wrote %s: icount=%llu pages=%zu prog=%016llx\n",
                 file.c_str(),
                 (unsigned long long)captured.state.icount,
-                captured.pages.size(),
+                (size_t)captured.pageCount(),
                 (unsigned long long)captured.progHash);
     return 0;
 }
@@ -135,7 +135,8 @@ doInspect(const std::string &file)
     std::printf("halted                %s\n",
                 snap.state.halted ? "yes" : "no");
     std::printf("touched pages         %zu (%zu KiB)\n",
-                snap.pages.size(), snap.pages.size() * 4);
+                (size_t)snap.pageCount(),
+                (size_t)snap.pageCount() * 4);
     std::printf("min $sp               %08llx\n",
                 (unsigned long long)snap.state.lowSp);
     std::printf("buffered output       %zu bytes\n",
@@ -148,7 +149,7 @@ doInspect(const std::string &file)
                     c.workload.empty() ? "(external)"
                                        : c.workload.c_str(),
                     (unsigned long long)c.state.icount,
-                    c.pages.size(),
+                    (size_t)c.pageCount(),
                     (unsigned long long)c.progHash);
     }
     return 0;
