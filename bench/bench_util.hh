@@ -13,7 +13,17 @@
  *     jobs=N       worker threads (default: hardware concurrency)
  *     json=FILE    write the machine-readable report (json_report.hh)
  *     csv=1        render tables as CSV
- *     progress=1   per-job progress lines on stderr
+ *     progress=1   per-job progress lines on stderr (progress=2:
+ *                  one \r-overwritten status line instead)
+ *     trace=FILE[,cats][,start,len]  event-trace the plan's one
+ *                  cycle-model job (trace/trace.hh): binary at FILE
+ *                  plus Chrome/Perfetto JSON at FILE.json. A pure
+ *                  observer — counters stay bit-identical — so the
+ *                  job is re-simulated even when memoized results
+ *                  exist. Refused for plans with several cycle-model
+ *                  jobs (they would race for one file).
+ *     prof=1       host phase profiler (harness/prof.hh): phase
+ *                  wall/CPU breakdown in the "profile" JSON section.
  *     sample=K,W,D[,warm]  interval-sample every cycle-model job:
  *                  K detailed windows of W warmup + D measured
  *                  instructions, fast-forwarding between them
@@ -55,11 +65,14 @@
 #include <vector>
 
 #include "base/config.hh"
+#include "base/logging.hh"
 #include "ckpt/sampler.hh"
 #include "harness/json_report.hh"
+#include "harness/prof.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
 #include "stats/table.hh"
+#include "trace/trace.hh"
 #include "workloads/registry.hh"
 
 namespace svf::bench
@@ -118,12 +131,24 @@ class Bench
             _cfg.getString("sample", ""));
         _ckptDir = _cfg.getString("ckpt", "");
         _pjobs = static_cast<unsigned>(_cfg.getUint("pjobs", 1));
+        _trace = trace::TraceSpec::parse(
+            _cfg.getString("trace", ""));
+        _prof = _cfg.getBool("prof", false);
+        if (_prof)
+            harness::prof::Profiler::instance().enable(true);
         harness::systemFromConfig(_cfg, _sys);
         harness::RunnerOptions opts;
         opts.jobs =
             static_cast<unsigned>(_cfg.getUint("jobs", default_jobs));
         opts.cacheDir = _cfg.getString("cache", "");
-        if (_cfg.getBool("progress", false))
+        // A memoized hit would skip the simulation that produces the
+        // trace file, so tracing forces every job to actually run.
+        if (_trace.enabled())
+            opts.memoize = false;
+        std::uint64_t progress = _cfg.getUint("progress", 0);
+        if (progress >= 2)
+            opts.progress = harness::statusProgress();
+        else if (progress)
             opts.progress = harness::stderrProgress();
         _runner = std::make_unique<harness::Runner>(opts);
         // Nest pjobs under jobs without oversubscribing: every
@@ -164,7 +189,27 @@ class Bench
     {
         std::vector<harness::JobOutcome> out;
         bool drive_mode = _sys.cores != 1 || _sys.slicePeriod != 0;
-        if (_sample.enabled() || !_ckptDir.empty() || drive_mode) {
+        if (_trace.enabled()) {
+            if (drive_mode) {
+                fatal("trace= with cores=/slice= would interleave "
+                      "several streams into '%s'; drop one",
+                      _trace.path.c_str());
+            }
+            size_t cycle_jobs = 0;
+            for (size_t i = 0; i < plan.size(); ++i) {
+                cycle_jobs += std::holds_alternative<
+                    harness::RunSetup>(plan.job(i).setup);
+            }
+            if (cycle_jobs != 1) {
+                fatal("trace=%s needs exactly one cycle-model job "
+                      "in the plan (got %zu): every job would "
+                      "overwrite the same file — narrow the bench "
+                      "or drop trace=", _trace.path.c_str(),
+                      cycle_jobs);
+            }
+        }
+        if (_sample.enabled() || !_ckptDir.empty() || drive_mode ||
+            _trace.enabled()) {
             harness::ExperimentPlan rewritten = plan;
             for (size_t i = 0; i < rewritten.size(); ++i) {
                 auto *rs = std::get_if<harness::RunSetup>(
@@ -175,6 +220,7 @@ class Bench
                 rs->sample = _sample;
                 rs->ckptDir = _ckptDir;
                 rs->pjobs = _pjobs;
+                rs->trace = _trace;
                 if (drive_mode) {
                     // Never clobber a bench's own per-job drive
                     // modes with the defaults.
@@ -220,11 +266,22 @@ class Bench
     int
     finish()
     {
+        if (_prof) {
+            _json.setProfile(
+                harness::prof::Profiler::instance().reportJson());
+        }
         if (!_jsonPath.empty())
             _json.writeFile(_jsonPath);
         _cfg.warnUnused();
         return 0;
     }
+
+    /** JSON report under construction (host_throughput's profile
+     *  table reads the same data it will emit). */
+    harness::JsonReport &json() { return _json; }
+
+    /** Was prof=1 given? */
+    bool profEnabled() const { return _prof; }
 
   private:
     Config _cfg;
@@ -234,6 +291,8 @@ class Bench
     ckpt::SamplePlan _sample;
     std::string _ckptDir;
     unsigned _pjobs = 1;
+    trace::TraceSpec _trace;
+    bool _prof = false;
     harness::RunSetup _sys;     //!< cores=/slice=/quantum= defaults
     std::unique_ptr<harness::Runner> _runner;
     harness::JsonReport _json;

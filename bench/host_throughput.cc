@@ -25,12 +25,22 @@
  *     pjobs= worker counts (harness/experiment.hh), verified
  *     byte-identical across thread counts.
  *
+ * Two observability gates ride along. The trace-overhead gate pins
+ * the cost of the compiled-in emit sites (trace/trace.hh): a run
+ * with a muted tracer attached (mask=0, every event rejected at the
+ * emit check) does strictly more per-site work than the tracing-off
+ * null-pointer test, so "muted within 2% of off" bounds what
+ * tracing-off can cost. And the host phase profiler (harness/
+ * prof.hh) is always armed here: the wall/CPU breakdown is printed
+ * as a table and embedded in the JSON report's "profile" section.
+ *
  * Extra config keys beyond the standard bench_util set:
  *     baseline=FILE   committed BENCH_host_throughput.json to
  *                     compare against (absent jobs are ignored)
  *     tolerance=PCT   allowed host-MIPS regression (default 30)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -42,11 +52,14 @@
 
 #include "base/hash.hh"
 #include "bench_util.hh"
+#include "harness/counters.hh"
 #include "harness/experiment.hh"
+#include "harness/prof.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
 #include "sim/emulator.hh"
 #include "stats/table.hh"
+#include "trace/trace.hh"
 
 using namespace svf;
 
@@ -164,13 +177,19 @@ sameArchState(const sim::Emulator &a, const sim::Emulator &b)
            sa.halted == sb.halted && sa.output == sb.output;
 }
 
-/** Every observable field of two sampled results, byte-compared. */
+/**
+ * Every observable field of two sampled results, byte-compared. The
+ * counters go through the registry (harness/counters.hh) so a
+ * counter added there is automatically part of this identity check;
+ * only the sampling estimate and the correctness flags sit outside
+ * the registry and stay enumerated by hand.
+ */
 bool
 sameSampledResult(const harness::RunResult &a,
                   const harness::RunResult &b)
 {
-    for (const ckpt::CoreCounter &c : ckpt::coreCounters()) {
-        if (a.core.*(c.field) != b.core.*(c.field))
+    for (const harness::CounterDef *d : harness::runCounters()) {
+        if (d->get(a) != d->get(b))
             return false;
     }
     const ckpt::SampleEstimate &ea = a.sampled, &eb = b.sampled;
@@ -186,22 +205,7 @@ sameSampledResult(const harness::RunResult &a,
         ea.counterVariance != eb.counterVariance) {
         return false;
     }
-    return a.svfQuadsIn == b.svfQuadsIn &&
-           a.svfQuadsOut == b.svfQuadsOut &&
-           a.svfFastLoads == b.svfFastLoads &&
-           a.svfFastStores == b.svfFastStores &&
-           a.svfReroutedLoads == b.svfReroutedLoads &&
-           a.svfReroutedStores == b.svfReroutedStores &&
-           a.svfWindowMisses == b.svfWindowMisses &&
-           a.svfDemandFills == b.svfDemandFills &&
-           a.svfDisableEpisodes == b.svfDisableEpisodes &&
-           a.svfRefsWhileDisabled == b.svfRefsWhileDisabled &&
-           a.scQuadsIn == b.scQuadsIn &&
-           a.scQuadsOut == b.scQuadsOut &&
-           a.scHits == b.scHits && a.scMisses == b.scMisses &&
-           a.dl1Hits == b.dl1Hits && a.dl1Misses == b.dl1Misses &&
-           a.l2Hits == b.l2Hits && a.l2Misses == b.l2Misses &&
-           a.output == b.output && a.outputOk == b.outputOk &&
+    return a.output == b.output && a.outputOk == b.outputOk &&
            a.completed == b.completed;
 }
 
@@ -219,6 +223,11 @@ main(int argc, char **argv)
     b.jsonDefault("BENCH_host_throughput.json");
     std::string baseline_path = b.cfg().getString("baseline", "");
     double tolerance = b.cfg().getDouble("tolerance", 30.0);
+
+    // This bench is the one place the host phase profiler is always
+    // armed: the breakdown table below and the report's "profile"
+    // section are part of its committed output.
+    harness::prof::Profiler::instance().enable(true);
 
     const std::vector<Scenario> scenarios = buildScenarios();
     harness::ExperimentPlan plan;
@@ -463,6 +472,98 @@ main(int argc, char **argv)
         }
     }
 
+    // Trace-overhead gate: the emit sites stay compiled into the
+    // fetch/issue/commit loops even when nobody traces, so their
+    // tracing-off cost must be noise. That cost (a null tracer test
+    // per site) cannot be isolated in-process, but a muted tracer —
+    // attached, mask=0, every event rejected by the emit check — runs
+    // a strict superset of the off path's per-site work. Best-of-N
+    // wall with the reps interleaved so host noise lands on both
+    // arms: muted more than 2% over off fails the bench.
+    if (trace::kTracingCompiled) {
+        harness::RunSetup s;
+        s.workload = scenarios[0].workload;
+        s.input = scenarios[0].input;
+        s.maxInsts = 4 * b.budget();
+        s.machine = scenarios[0].machine;
+
+        trace::TraceSpec muted;
+        muted.path = "BENCH_trace_gate.tmp.bin";
+        muted.mask = 0;
+
+        // Measurement discipline, earned the hard way on this
+        // container: wall time charges the muted arm for the
+        // trace-file flush (pure I/O) and swings ±3% with scheduler
+        // weather, so each leg is the profiler's detailed_window
+        // phase *thread-CPU* delta — exactly the loop the emit
+        // sites live in. Per-arm minima looked right (interference
+        // only adds time) but flaked both ways: one anomalously
+        // fast window (frequency burst, accounting quantum) pins an
+        // arm's minimum below its intrinsic cost and the ratio
+        // swings ±3%. The statistic here is robust on both sides —
+        // 16 alternating legs per arm, drop each arm's single
+        // fastest leg, average the next four (a trimmed lower
+        // mean). When even those four trimmed legs disagree by more
+        // than the 2%% bar, the host plainly cannot resolve 2%% and
+        // the gate reports the measurement as inconclusive instead
+        // of calling scheduler weather a regression.
+        const auto dw = [] {
+            return harness::prof::Profiler::instance().report()
+                .phase[unsigned(harness::prof::Phase::DetailedWindow)]
+                .cpuSeconds;
+        };
+        constexpr int kLegs = 16;       // per arm
+        constexpr int kTrimLo = 1;      // drop the fastest leg
+        constexpr int kKeep = 4;        // average the next four
+        std::vector<double> cpu[2];     // off, muted
+        for (int t = 0; t < 2 * kLegs; ++t) {
+            int arm = t % 2;
+            s.trace = arm ? muted : trace::TraceSpec();
+            double t0 = dw();
+            harness::runExperiment(s);
+            cpu[arm].push_back(dw() - t0);
+        }
+        std::remove(muted.path.c_str());
+        std::remove((muted.path + ".json").c_str());
+
+        double stat[2] = {0.0, 0.0};
+        double disp = 0.0;
+        for (int arm = 0; arm < 2; ++arm) {
+            std::sort(cpu[arm].begin(), cpu[arm].end());
+            for (int i = kTrimLo; i < kTrimLo + kKeep; ++i)
+                stat[arm] += cpu[arm][i];
+            stat[arm] /= kKeep;
+            if (cpu[arm][kTrimLo] > 0.0)
+                disp = std::max(disp, cpu[arm][kTrimLo + kKeep - 1] /
+                                          cpu[arm][kTrimLo] - 1.0);
+        }
+        bool resolvable = disp <= 0.02;
+        double pct = stat[0] > 0.0
+            ? (stat[1] / stat[0] - 1.0) * 100.0 : 0.0;
+        std::printf("\ntrace emit-site overhead (%s, muted tracer "
+                    "vs off, trimmed lower mean of %d legs/arm): "
+                    "%+.1f%% (per-arm dispersion %.1f%%)\n",
+                    scenarios[0].name.c_str(), kLegs, pct,
+                    disp * 100.0);
+        if (stat[0] > 0.0 && stat[1] > stat[0] * 1.02) {
+            if (resolvable) {
+                std::fprintf(stderr,
+                             "FAIL: muted tracing costs %.1f%% > 2%% "
+                             "— the emit fast path got too heavy\n",
+                             pct);
+                rc = 1;
+            } else {
+                std::fprintf(stderr,
+                             "warning: trace overhead gate "
+                             "inconclusive — trimmed legs disagree "
+                             "by %.1f%% within one arm (host too "
+                             "loaded to resolve 2%%); measured "
+                             "%+.1f%% not gated\n",
+                             disp * 100.0, pct);
+            }
+        }
+    }
+
     for (const harness::JobOutcome &o : extra)
         b.addOutcome(o);
 
@@ -482,6 +583,37 @@ main(int argc, char **argv)
         std::ostringstream ss;
         ss << in.rdbuf();
         text = ss.str();
+    }
+
+    // Where the host time went: phase breakdown from the always-armed
+    // profiler — the detailed windows dominate, and the fast-forward /
+    // snapshot / queue rows show what the sampled scaling runs paid.
+    {
+        harness::prof::Profiler::Report pr =
+            harness::prof::Profiler::instance().report();
+        stats::Table pt({"phase", "wall s", "cpu s", "count"});
+        for (unsigned p = 0;
+             p < unsigned(harness::prof::Phase::NumPhases); ++p) {
+            const auto &ph = pr.phase[p];
+            if (ph.count == 0)
+                continue;
+            char wall[32], cpu[32], count[32];
+            std::snprintf(wall, sizeof(wall), "%.3f", ph.wallSeconds);
+            std::snprintf(cpu, sizeof(cpu), "%.3f", ph.cpuSeconds);
+            std::snprintf(count, sizeof(count), "%llu",
+                          (unsigned long long)ph.count);
+            pt.addRow();
+            pt.cell(harness::prof::phaseName(harness::prof::Phase(p)));
+            pt.cell(wall);
+            pt.cell(cpu);
+            pt.cell(count);
+        }
+        std::printf("\nhost phase profile (%.2fs elapsed, queue "
+                    "high-water %llu):\n\n", pr.elapsedSeconds,
+                    (unsigned long long)pr.queueDepthHighWater);
+        b.print(pt);
+        b.json().setProfile(
+            harness::prof::Profiler::instance().reportJson());
     }
 
     if (b.finish() != 0)

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The one declaration site for every simulated run counter.
+ */
+
+#include "harness/counters.hh"
+
+#include <deque>
+
+#include "base/logging.hh"
+
+namespace svf::harness
+{
+
+CounterDef::CounterDef(stats::Group *parent, std::string name,
+                       std::string desc, std::string unit, Fold fold,
+                       CoreField core_field, RunField run_field)
+    : stats::Info(parent, std::move(name), std::move(desc)),
+      _unit(std::move(unit)), _fold(fold), _coreField(core_field),
+      _runField(run_field)
+{
+    svf_assert((core_field != nullptr) != (run_field != nullptr),
+               "a counter has exactly one storage field");
+}
+
+std::uint64_t
+CounterDef::get(const RunResult &r) const
+{
+    return _coreField ? r.core.*_coreField : r.*_runField;
+}
+
+std::uint64_t &
+CounterDef::ref(RunResult &r) const
+{
+    return _coreField ? r.core.*_coreField : r.*_runField;
+}
+
+namespace
+{
+
+struct Registry
+{
+    stats::Group group{"run"};
+    std::deque<CounterDef> defs;  // Info is non-copyable; stable addrs
+    std::vector<const CounterDef *> order;
+
+    void
+    core(const char *name, const char *desc, const char *unit,
+         Fold fold, CounterDef::CoreField f)
+    {
+        defs.emplace_back(&group, name, desc, unit, fold, f, nullptr);
+        order.push_back(&defs.back());
+    }
+
+    void
+    unit_(const char *name, const char *desc, const char *unit,
+          CounterDef::RunField f)
+    {
+        defs.emplace_back(&group, name, desc, unit, Fold::Sum, nullptr,
+                          f);
+        order.push_back(&defs.back());
+    }
+
+    Registry()
+    {
+        using CS = uarch::CoreStats;
+        using RR = RunResult;
+
+        // CoreStats-backed counters, in the frozen JSON order.
+        core("cycles", "core clock cycles simulated", "cycles",
+             Fold::Max, &CS::cycles);
+        core("committed", "instructions committed", "insts",
+             Fold::Sum, &CS::committed);
+        core("loads", "load instructions committed", "insts",
+             Fold::Sum, &CS::loads);
+        core("stores", "store instructions committed", "insts",
+             Fold::Sum, &CS::stores);
+        core("branches", "branch instructions committed", "insts",
+             Fold::Sum, &CS::branches);
+        core("mispredicts", "branch mispredictions", "events",
+             Fold::Sum, &CS::mispredicts);
+        core("squashes", "pipeline squashes (redirects and reroute "
+             "replays)", "events", Fold::Sum, &CS::squashes);
+        core("sp_interlocks", "dispatch interlocks on a speculative "
+             "stack pointer", "events", Fold::Sum, &CS::spInterlocks);
+        core("lsq_forwards", "loads forwarded from an older in-window "
+             "store", "events", Fold::Sum, &CS::lsqForwards);
+        core("disambig_scans", "load disambiguation lookups", "events",
+             Fold::Sum, &CS::disambigScans);
+        core("disambig_scan_steps", "older-store entries examined "
+             "across all disambiguation scans", "events", Fold::Sum,
+             &CS::disambigScanSteps);
+        core("disambig_filter_hits", "disambiguation lookups answered "
+             "by the granule index without a walk", "events",
+             Fold::Sum, &CS::disambigFilterHits);
+        core("reroute_checks", "morphed-load collision checks at "
+             "store issue", "events", Fold::Sum, &CS::rerouteChecks);
+        core("reroute_scan_steps", "morphed-load word entries examined "
+             "by collision checks", "events", Fold::Sum,
+             &CS::rerouteScanSteps);
+        core("ctx_switches", "context switches performed", "events",
+             Fold::Sum, &CS::ctxSwitches);
+        core("svf_ctx_bytes", "bytes the SVF wrote back across context "
+             "switches", "bytes", Fold::Sum, &CS::svfCtxBytes);
+        core("sc_ctx_bytes", "bytes the stack cache wrote back across "
+             "context switches", "bytes", Fold::Sum, &CS::scCtxBytes);
+        core("dl1_ctx_lines", "DL1 lines displaced by context "
+             "switches", "lines", Fold::Sum, &CS::dl1CtxLines);
+
+        // Unit traffic counters collected after the run.
+        unit_("svf_quads_in", "quadwords read into the SVF from "
+              "memory", "quads", &RR::svfQuadsIn);
+        unit_("svf_quads_out", "quadwords the SVF spilled to memory",
+              "quads", &RR::svfQuadsOut);
+        unit_("svf_fast_loads", "loads satisfied by SVF morphing",
+              "insts", &RR::svfFastLoads);
+        unit_("svf_fast_stores", "stores satisfied by SVF morphing",
+              "insts", &RR::svfFastStores);
+        unit_("svf_rerouted_loads", "loads rerouted to the SVF after "
+              "address calculation", "insts", &RR::svfReroutedLoads);
+        unit_("svf_rerouted_stores", "stores rerouted to the SVF after "
+              "address calculation", "insts", &RR::svfReroutedStores);
+        unit_("svf_window_misses", "stack references outside the SVF "
+              "window", "events", &RR::svfWindowMisses);
+        unit_("svf_demand_fills", "demand fills on first-touch morphed "
+              "references", "events", &RR::svfDemandFills);
+        unit_("svf_disable_episodes", "dynamic-disable throttle "
+              "episodes", "events", &RR::svfDisableEpisodes);
+        unit_("svf_refs_while_disabled", "stack references bypassed "
+              "while the SVF was throttled", "events",
+              &RR::svfRefsWhileDisabled);
+        unit_("sc_quads_in", "quadwords the stack cache filled from "
+              "memory", "quads", &RR::scQuadsIn);
+        unit_("sc_quads_out", "quadwords the stack cache wrote back",
+              "quads", &RR::scQuadsOut);
+        unit_("sc_hits", "stack cache hits", "events", &RR::scHits);
+        unit_("sc_misses", "stack cache misses", "events",
+              &RR::scMisses);
+        unit_("dl1_hits", "data L1 hits", "events", &RR::dl1Hits);
+        unit_("dl1_misses", "data L1 misses", "events",
+              &RR::dl1Misses);
+        unit_("l2_hits", "unified L2 hits", "events", &RR::l2Hits);
+        unit_("l2_misses", "unified L2 misses", "events",
+              &RR::l2Misses);
+    }
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+const std::vector<const CounterDef *> &
+runCounters()
+{
+    return registry().order;
+}
+
+const stats::Group &
+runCounterGroup()
+{
+    return registry().group;
+}
+
+const CounterDef *
+findCounter(std::string_view name)
+{
+    for (const CounterDef *d : runCounters())
+        if (d->name() == name)
+            return d;
+    return nullptr;
+}
+
+} // namespace svf::harness

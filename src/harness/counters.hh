@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Self-describing registry of every simulated run counter.
+ *
+ * Before this registry existed, each RunResult counter was plumbed
+ * by hand through five different places — JSON emission, the
+ * per-core "cores" array, the fold across cores, the sampled
+ * interval delta, and every equivalence test's field-by-field diff —
+ * so adding a counter meant five edits and a missed one meant a
+ * silent hole in a regression gate. Here each counter is declared
+ * once, as a stats::Info carrying its snake_case JSON name,
+ * description, unit, fold rule, and the member pointer that reaches
+ * its storage, and every consumer iterates runCounters().
+ *
+ * Two storage classes exist for historical layout reasons:
+ * CoreStats-backed counters live in RunResult::core (the cycle
+ * model's own accounting) and unit counters live directly in
+ * RunResult (SVF / stack-cache / hierarchy traffic collected after
+ * the run). The registry abstracts the difference: get()/ref() reach
+ * either through the right member pointer.
+ *
+ * Deliberately NOT migrated: ckpt::coreCounters(), the name/field
+ * table the snapshot result cache serializes through. Its order is
+ * on-disk format (result_cache FormatVersion 3) and the ckpt layer
+ * sits below harness, so it stays a separate table —
+ * tests/harness/counters_test pins that every one of its entries
+ * matches this registry by name and member pointer.
+ */
+
+#ifndef SVF_HARNESS_COUNTERS_HH
+#define SVF_HARNESS_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "stats/group.hh"
+#include "stats/stats.hh"
+#include "uarch/ooo_core.hh"
+
+namespace svf::harness
+{
+
+/** How a counter aggregates across cores / interval groups. */
+enum class Fold
+{
+    Sum,  // additive event counts (everything but cycles)
+    Max,  // cycles: cores run the same epochs, wall time is the max
+};
+
+/** One registered run counter. */
+class CounterDef : public stats::Info
+{
+  public:
+    using CoreField = std::uint64_t uarch::CoreStats::*;
+    using RunField = std::uint64_t RunResult::*;
+
+    CounterDef(stats::Group *parent, std::string name, std::string desc,
+               std::string unit, Fold fold, CoreField core_field,
+               RunField run_field);
+
+    const std::string &unit() const { return _unit; }
+    Fold fold() const { return _fold; }
+
+    /** True when storage is RunResult::core (CoreStats). */
+    bool fromCoreStats() const { return _coreField != nullptr; }
+
+    /** The CoreStats member, or null for a unit counter. */
+    CoreField coreField() const { return _coreField; }
+
+    std::uint64_t get(const RunResult &r) const;
+    std::uint64_t &ref(RunResult &r) const;
+
+    /** Descriptor dump renders the unit (values live in results). */
+    std::string render() const override { return _unit; }
+    void reset() override {}
+
+  private:
+    std::string _unit;
+    Fold _fold;
+    CoreField _coreField;
+    RunField _runField;
+};
+
+/**
+ * Every RunResult counter, in the canonical emission order (which is
+ * frozen: it is the key order of the JSON "counters" object and the
+ * column order golden files compare against).
+ */
+const std::vector<const CounterDef *> &runCounters();
+
+/** The registry group itself (self-describing dumps, tests). */
+const stats::Group &runCounterGroup();
+
+/** Look a counter up by JSON name; null when unknown. */
+const CounterDef *findCounter(std::string_view name);
+
+} // namespace svf::harness
+
+#endif // SVF_HARNESS_COUNTERS_HH

@@ -13,6 +13,8 @@
 #include "base/logging.hh"
 #include "base/str.hh"
 #include "ckpt/snapshot.hh"
+#include "harness/counters.hh"
+#include "harness/prof.hh"
 #include "sim/emulator.hh"
 #include "uarch/system.hh"
 #include "workloads/registry.hh"
@@ -60,33 +62,6 @@ RunSetup::key() const
 namespace
 {
 
-/** The unit (SVF / stack cache / hierarchy) counters of RunResult. */
-const std::vector<std::uint64_t RunResult::*> &
-unitCounterFields()
-{
-    static const std::vector<std::uint64_t RunResult::*> fields = {
-        &RunResult::svfQuadsIn,
-        &RunResult::svfQuadsOut,
-        &RunResult::svfFastLoads,
-        &RunResult::svfFastStores,
-        &RunResult::svfReroutedLoads,
-        &RunResult::svfReroutedStores,
-        &RunResult::svfWindowMisses,
-        &RunResult::svfDemandFills,
-        &RunResult::svfDisableEpisodes,
-        &RunResult::svfRefsWhileDisabled,
-        &RunResult::scQuadsIn,
-        &RunResult::scQuadsOut,
-        &RunResult::scHits,
-        &RunResult::scMisses,
-        &RunResult::dl1Hits,
-        &RunResult::dl1Misses,
-        &RunResult::l2Hits,
-        &RunResult::l2Misses,
-    };
-    return fields;
-}
-
 /** Copy the cumulative unit counters out of @p core into @p r. */
 void
 collectUnitCounters(const uarch::OooCore &core, RunResult &r)
@@ -116,13 +91,15 @@ collectUnitCounters(const uarch::OooCore &core, RunResult &r)
     r.l2Misses = core.hier().l2().misses();
 }
 
-/** acc += (after - before), field-wise over the unit counters. */
+/** acc += (after - before) over the registry's unit counters. */
 void
 accumulateUnitDelta(RunResult &acc, const RunResult &after,
                     const RunResult &before)
 {
-    for (auto field : unitCounterFields())
-        acc.*field += after.*field - before.*field;
+    for (const CounterDef *d : runCounters()) {
+        if (!d->fromCoreStats())
+            d->ref(acc) += d->get(after) - d->get(before);
+    }
 }
 
 /** after - before over every CoreStats counter. */
@@ -259,13 +236,12 @@ resolvePrograms(const RunSetup &setup)
 void
 foldGroup(RunResult &agg, const RunResult &group)
 {
-    agg.core.cycles = std::max(agg.core.cycles, group.core.cycles);
-    for (const ckpt::CoreCounter &c : ckpt::coreCounters()) {
-        if (c.field != &uarch::CoreStats::cycles)
-            agg.core.*(c.field) += group.core.*(c.field);
+    for (const CounterDef *d : runCounters()) {
+        if (d->fold() == Fold::Max)
+            d->ref(agg) = std::max(d->get(agg), d->get(group));
+        else
+            d->ref(agg) += d->get(group);
     }
-    for (auto field : unitCounterFields())
-        agg.*field += group.*field;
     agg.completed = agg.completed && group.completed;
     agg.outputOk = agg.outputOk && group.outputOk;
 }
@@ -278,6 +254,7 @@ struct IntervalResult
     RunResult unitBefore;       //!< unit counters around the window
     RunResult unitAfter;
     std::uint64_t warmInsts = 0;
+    std::vector<trace::Event> events;   //!< this interval's trace
 };
 
 /** Shared tail of both sampled engines: the derived estimate. */
@@ -338,6 +315,9 @@ runSampledWarmSerial(const RunSetup &setup, const isa::Program &prog,
 {
     sim::Emulator oracle(prog);
     uarch::OooCore core(setup.machine, oracle);
+    trace::CoreTracer tracer(setup.trace, 0);
+    if (setup.trace.enabled())
+        core.attachTracer(&tracer);
 
     ckpt::Sampler sampler(setup.sample, setup.maxInsts);
     ckpt::CoreStatsAccum accum;
@@ -350,11 +330,14 @@ runSampledWarmSerial(const RunSetup &setup, const isa::Program &prog,
          i < sampler.intervalCount() && !oracle.halted(); ++i) {
         ckpt::Sampler::Interval iv = sampler.interval(i);
 
-        if (oracle.instCount() < iv.ffTarget)
+        if (oracle.instCount() < iv.ffTarget) {
+            prof::ScopedPhase ph(prof::Phase::FastForward);
             ff_total += ckpt::fastForward(oracle, iv.ffTarget, &core);
+        }
         if (oracle.halted())
             break;
 
+        prof::ScopedPhase ph(prof::Phase::DetailedWindow);
         if (iv.warmup) {
             std::uint64_t before_warm = oracle.instCount();
             core.run(iv.warmup);
@@ -380,12 +363,17 @@ runSampledWarmSerial(const RunSetup &setup, const isa::Program &prog,
 
     // Finish the run functionally so completion and program output
     // mean the same thing they do for a full run.
-    ff_total += ckpt::fastForward(oracle, setup.maxInsts);
+    {
+        prof::ScopedPhase ph(prof::Phase::FastForward);
+        ff_total += ckpt::fastForward(oracle, setup.maxInsts);
+    }
 
     r.core = accum.total();
     checkOutput(setup, spec, scale, oracle, r);
     finalizeSampleEstimate(r, accum, interval_ipc,
                            oracle.instCount(), ff_total, warm_total);
+    if (setup.trace.enabled())
+        trace::writeAll(setup.trace, tracer.take());
     return r;
 }
 
@@ -404,17 +392,20 @@ class IntervalQueue
 
     void push(std::uint64_t i)
     {
+        prof::ScopedPhase ph(prof::Phase::QueueWait);
         std::unique_lock<std::mutex> lock(mu);
         notFull.wait(lock, [this] {
             return q.size() < capacity;
         });
         q.push_back(i);
+        prof::Profiler::instance().noteQueueDepth(q.size());
         notEmpty.notify_one();
     }
 
     /** @retval false queue closed and drained — worker is done. */
     bool pop(std::uint64_t &i)
     {
+        prof::ScopedPhase ph(prof::Phase::QueueWait);
         std::unique_lock<std::mutex> lock(mu);
         notEmpty.wait(lock, [this] {
             return !q.empty() || closed;
@@ -495,17 +486,26 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
         ckpt::Sampler::Interval iv = sampler.interval(i);
         sim::Emulator emu(prog);
         uarch::OooCore core(setup.machine, emu);
+        // Stream id = interval index, so a merged sampled trace keeps
+        // the windows apart even though their cycle counters restart.
+        trace::CoreTracer tracer(setup.trace,
+                                 static_cast<std::uint32_t>(i));
+        if (setup.trace.enabled())
+            core.attachTracer(&tracer);
         if (pwarm) {
             // Bounded warm history: replay this chunk functionally
             // from the previous interval's snapshot, warming the
             // caches and branch predictor along the way.
+            prof::ScopedPhase ph(prof::Phase::WarmReplay);
             if (i > 0)
                 snaps[i - 1].restore(emu);
             ckpt::fastForward(emu, iv.ffTarget, &core);
         } else {
+            prof::ScopedPhase ph(prof::Phase::SnapshotRestore);
             snaps[i].restore(emu);
         }
 
+        prof::ScopedPhase ph(prof::Phase::DetailedWindow);
         IntervalResult &out = results[i];
         if (iv.warmup) {
             std::uint64_t before_warm = emu.instCount();
@@ -517,6 +517,8 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
         collectUnitCounters(core, out.unitBefore);
         core.run(iv.detailed);
         out.delta = coreStatsDelta(core.stats(), core_before);
+        if (setup.trace.enabled())
+            out.events = tracer.take();
         if (out.delta.committed == 0)
             return;         // program ended during warmup
         collectUnitCounters(core, out.unitAfter);
@@ -543,6 +545,7 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
     for (std::uint64_t i = 0; i < count && !producer.halted(); ++i) {
         ckpt::Sampler::Interval iv = sampler.interval(i);
         if (producer.instCount() < iv.ffTarget) {
+            prof::ScopedPhase ph(prof::Phase::FastForward);
             if (!(store.enabled() &&
                   store.tryRestore(phash, iv.ffTarget, producer))) {
                 ckpt::fastForward(producer, iv.ffTarget);
@@ -554,7 +557,10 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
         }
         if (producer.halted())
             break;
-        snaps[i] = ckpt::Snapshot::capture(producer);
+        {
+            prof::ScopedPhase ph(prof::Phase::SnapshotCapture);
+            snaps[i] = ckpt::Snapshot::capture(producer);
+        }
         snaps[i].workload = setup.workload;
         snaps[i].input = setup.input;
         snaps[i].scale = scale;
@@ -565,7 +571,10 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
         else if (i + 1 < count)
             queue.push(i + 1);
     }
-    ckpt::fastForward(producer, setup.maxInsts);
+    {
+        prof::ScopedPhase ph(prof::Phase::FastForward);
+        ckpt::fastForward(producer, setup.maxInsts);
+    }
     queue.close();
     for (std::thread &th : pool)
         th.join();
@@ -574,16 +583,26 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
     ckpt::CoreStatsAccum accum;
     RunResult r;
     std::vector<double> interval_ipc;
+    std::vector<trace::Event> all_events;
     std::uint64_t warm_total = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
-        const IntervalResult &res = results[i];
+        IntervalResult &res = results[i];
         warm_total += res.warmInsts;
+        // Merging in interval order keeps the trace file independent
+        // of which worker finished first, like every other counter.
+        if (!res.events.empty()) {
+            all_events.insert(all_events.end(), res.events.begin(),
+                              res.events.end());
+            res.events.clear();
+        }
         if (!res.measured)
             continue;
         accumulateUnitDelta(r, res.unitAfter, res.unitBefore);
         accum.add(res.delta);
         interval_ipc.push_back(res.delta.ipc());
     }
+    if (setup.trace.enabled())
+        trace::writeAll(setup.trace, all_events);
 
     r.core = accum.total();
     checkOutput(setup, spec, scale, producer, r);
@@ -863,6 +882,13 @@ runExperiment(const RunSetup &setup)
               "core by definition", setup.cores,
               (unsigned long long)setup.slicePeriod);
     }
+    if (setup.trace.enabled() &&
+        (setup.cores > 1 || setup.slicePeriod)) {
+        fatal("trace= is only supported for single-program runs "
+              "(cores=%u, slice=%llu would interleave streams); "
+              "drop cores=/slice= or trace=", setup.cores,
+              (unsigned long long)setup.slicePeriod);
+    }
 
     if (setup.cores > 1 || setup.slicePeriod) {
         MultiSpec ms = resolvePrograms(setup);
@@ -909,12 +935,20 @@ runExperiment(const RunSetup &setup)
             : std::make_shared<isa::Program>(std::move(prog));
     std::vector<std::shared_ptr<const isa::Program>> progs{program};
     uarch::System sys(systemConfig(setup), std::move(progs));
-    sys.run(setup.maxInsts);
+    trace::CoreTracer tracer(setup.trace, 0);
+    if (setup.trace.enabled())
+        sys.core(0).attachTracer(&tracer);
+    {
+        prof::ScopedPhase ph(prof::Phase::DetailedWindow);
+        sys.run(setup.maxInsts);
+    }
 
     RunResult r;
     r.core = sys.core(0).stats();
     checkOutput(setup, spec, scale, sys.emu(0), r);
     collectUnitCounters(sys.core(0), r);
+    if (setup.trace.enabled())
+        trace::writeAll(setup.trace, tracer.take());
     return r;
 }
 

@@ -13,6 +13,7 @@
 
 #include "ckpt/sampler.hh"
 #include "isa/program.hh"
+#include "trace/trace.hh"
 #include "uarch/machine_config.hh"
 #include "uarch/ooo_core.hh"
 
@@ -80,6 +81,18 @@ struct RunSetup
      * like ckptDir it is deliberately NOT part of key().
      */
     unsigned pjobs = 1;
+
+    /**
+     * Event tracing sink (trace/trace.hh; trace=FILE[,cats][,start,
+     * len]). Tracing is an observer: every simulated counter is
+     * bit-identical with it on, off, or compiled out, so like
+     * ckptDir and pjobs it is deliberately NOT part of key().
+     * Supported for single-core runs (full, and sampled cold/pwarm/
+     * warm plans — sampled traces carry one stream per interval);
+     * refused for cores>1 / slice= runs, which would interleave N
+     * streams into one file.
+     */
+    trace::TraceSpec trace;
 
     /**
      * When set, simulate this program instead of a registry

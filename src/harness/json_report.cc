@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "ckpt/serialize.hh"
+#include "harness/counters.hh"
 
 namespace svf::harness
 {
@@ -63,45 +64,14 @@ class ObjectWriter
 };
 
 std::string
-runCounters(const RunResult &r)
+runCountersJson(const RunResult &r)
 {
+    // Registry-driven: the key order is the registry's frozen
+    // declaration order, which reproduces the legacy hand-written
+    // emission byte-for-byte (pinned by counters_test).
     ObjectWriter w;
-    w.num("cycles", r.core.cycles);
-    w.num("committed", r.core.committed);
-    w.num("loads", r.core.loads);
-    w.num("stores", r.core.stores);
-    w.num("branches", r.core.branches);
-    w.num("mispredicts", r.core.mispredicts);
-    w.num("squashes", r.core.squashes);
-    w.num("sp_interlocks", r.core.spInterlocks);
-    w.num("lsq_forwards", r.core.lsqForwards);
-    w.num("disambig_scans", r.core.disambigScans);
-    w.num("disambig_scan_steps", r.core.disambigScanSteps);
-    w.num("disambig_filter_hits", r.core.disambigFilterHits);
-    w.num("reroute_checks", r.core.rerouteChecks);
-    w.num("reroute_scan_steps", r.core.rerouteScanSteps);
-    w.num("ctx_switches", r.core.ctxSwitches);
-    w.num("svf_ctx_bytes", r.core.svfCtxBytes);
-    w.num("sc_ctx_bytes", r.core.scCtxBytes);
-    w.num("dl1_ctx_lines", r.core.dl1CtxLines);
-    w.num("svf_quads_in", r.svfQuadsIn);
-    w.num("svf_quads_out", r.svfQuadsOut);
-    w.num("svf_fast_loads", r.svfFastLoads);
-    w.num("svf_fast_stores", r.svfFastStores);
-    w.num("svf_rerouted_loads", r.svfReroutedLoads);
-    w.num("svf_rerouted_stores", r.svfReroutedStores);
-    w.num("svf_window_misses", r.svfWindowMisses);
-    w.num("svf_demand_fills", r.svfDemandFills);
-    w.num("svf_disable_episodes", r.svfDisableEpisodes);
-    w.num("svf_refs_while_disabled", r.svfRefsWhileDisabled);
-    w.num("sc_quads_in", r.scQuadsIn);
-    w.num("sc_quads_out", r.scQuadsOut);
-    w.num("sc_hits", r.scHits);
-    w.num("sc_misses", r.scMisses);
-    w.num("dl1_hits", r.dl1Hits);
-    w.num("dl1_misses", r.dl1Misses);
-    w.num("l2_hits", r.l2Hits);
-    w.num("l2_misses", r.l2Misses);
+    for (const CounterDef *d : runCounters())
+        w.num(d->name(), d->get(r));
     return w.finish();
 }
 
@@ -179,7 +149,7 @@ JsonReport::add(const JobOutcome &outcome)
 
     if (const RunResult *r = std::get_if<RunResult>(&outcome.value)) {
         w.str("kind", "run");
-        w.field("counters", runCounters(*r));
+        w.field("counters", runCountersJson(*r));
         ObjectWriter d;
         d.num("ipc", r->ipc());
         d.boolean("completed", r->completed);
@@ -208,7 +178,7 @@ JsonReport::add(const JobOutcome &outcome)
                     cores += ", ";
                 ObjectWriter cw;
                 cw.str("name", g.label);
-                cw.field("counters", runCounters(g));
+                cw.field("counters", runCountersJson(g));
                 ObjectWriter cd;
                 cd.num("ipc", g.ipc());
                 cd.boolean("completed", g.completed);
@@ -260,7 +230,10 @@ JsonReport::write(std::ostream &os) const
             os << ",";
         os << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ]";
+    if (!profile.empty())
+        os << ",\n  \"profile\": " << profile;
+    os << "\n}\n";
 }
 
 bool

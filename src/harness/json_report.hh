@@ -23,7 +23,9 @@
  *                         "derived": {...} }, ... ]   // cores=N or
  *       }, ...                                        // slice=Q runs
  *                                                     // only
- *     ]
+ *     ],
+ *     "profile": { ... }   // host phase breakdown (prof=1 only;
+ *                          // prof::Profiler::reportJson() schema)
  *   }
  *
  * Keys are emitted as hex strings: a 64-bit setup key does not
@@ -55,6 +57,14 @@ class JsonReport
     /** Number of records collected. */
     size_t size() const { return records.size(); }
 
+    /**
+     * Attach a host phase-profile section (a pre-rendered JSON
+     * object, prof::Profiler::reportJson()). Emitted as a top-level
+     * "profile" key after the jobs array; empty = omitted, so
+     * reports without prof= keep the exact legacy document.
+     */
+    void setProfile(std::string json) { profile = std::move(json); }
+
     /** Write the complete document to @p os. */
     void write(std::ostream &os) const;
 
@@ -63,6 +73,7 @@ class JsonReport
 
   private:
     std::vector<std::string> records;   //!< pre-rendered objects
+    std::string profile;                //!< "profile" section, raw JSON
 };
 
 /** JSON string escaping (exposed for tests). */

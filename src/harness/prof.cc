@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Phase profiler internals: per-thread atomic accumulation slots.
+ */
+
+#include "harness/prof.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <time.h>
+
+namespace svf::harness::prof
+{
+
+namespace
+{
+
+constexpr unsigned kNumPhases = static_cast<unsigned>(Phase::NumPhases);
+
+std::atomic<bool> gEnabled{false};
+std::atomic<std::uint64_t> gQueueHighWater{0};
+std::atomic<double> gEnabledAt{0};
+
+double
+wallNow()
+{
+    using clk = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clk::now().time_since_epoch())
+        .count();
+}
+
+double
+threadCpuNow()
+{
+#ifdef CLOCK_THREAD_CPUTIME_ID
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+#endif
+    return 0;
+}
+
+// atomic<double>::fetch_add is C++20 but not universally lowered;
+// use a CAS loop so any conforming libatomic works.
+void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+/**
+ * One accumulation slot per thread that ever timed a phase. Slots
+ * are registered once under a mutex and then written only by their
+ * owning thread (atomically, so report() can read concurrently);
+ * they outlive their threads — the registry never shrinks, so a
+ * report after the pool has been torn down still sees every worker.
+ */
+struct Profiler::Slot
+{
+    std::atomic<double> wall[kNumPhases] = {};
+    std::atomic<double> cpu[kNumPhases] = {};
+    std::atomic<std::uint64_t> count[kNumPhases] = {};
+};
+
+namespace
+{
+
+std::mutex gSlotLock;
+std::vector<std::unique_ptr<Profiler::Slot>> gSlots;
+
+} // namespace
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::FastForward: return "fast_forward";
+      case Phase::SnapshotCapture: return "snapshot_capture";
+      case Phase::SnapshotRestore: return "snapshot_restore";
+      case Phase::WarmReplay: return "warm_replay";
+      case Phase::DetailedWindow: return "detailed_window";
+      case Phase::QueueWait: return "queue_wait";
+      case Phase::CacheLookup: return "cache_lookup";
+      case Phase::NumPhases: break;
+    }
+    return "?";
+}
+
+bool
+profilingEnabled()
+{
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler p;
+    return p;
+}
+
+void
+Profiler::enable(bool on)
+{
+    if (on) {
+        // Restart the aggregation window: zero whatever a previous
+        // arm accumulated so elapsed and phase totals line up.
+        std::lock_guard<std::mutex> g(gSlotLock);
+        for (auto &s : gSlots) {
+            for (unsigned p = 0; p < kNumPhases; ++p) {
+                s->wall[p].store(0, std::memory_order_relaxed);
+                s->cpu[p].store(0, std::memory_order_relaxed);
+                s->count[p].store(0, std::memory_order_relaxed);
+            }
+        }
+        gQueueHighWater.store(0, std::memory_order_relaxed);
+        gEnabledAt.store(wallNow(), std::memory_order_relaxed);
+    }
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Profiler::noteQueueDepth(std::size_t depth)
+{
+    if (!profilingEnabled())
+        return;
+    std::uint64_t cur = gQueueHighWater.load(std::memory_order_relaxed);
+    while (cur < depth &&
+           !gQueueHighWater.compare_exchange_weak(
+               cur, depth, std::memory_order_relaxed))
+        ;
+}
+
+Profiler::Slot &
+Profiler::threadSlot()
+{
+    thread_local Slot *slot = nullptr;
+    if (!slot) {
+        std::lock_guard<std::mutex> g(gSlotLock);
+        gSlots.push_back(std::make_unique<Slot>());
+        slot = gSlots.back().get();
+    }
+    return *slot;
+}
+
+Profiler::Report
+Profiler::report() const
+{
+    Report r;
+    const double t0 = gEnabledAt.load(std::memory_order_relaxed);
+    r.elapsedSeconds = t0 ? wallNow() - t0 : 0;
+    r.queueDepthHighWater =
+        gQueueHighWater.load(std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> g(gSlotLock);
+    std::size_t wi = 0;
+    for (const auto &s : gSlots) {
+        WorkerTotals w;
+        char name[16];
+        std::snprintf(name, sizeof(name), "w%zu", wi++);
+        w.name = name;
+        for (unsigned p = 0; p < kNumPhases; ++p) {
+            const double wall = s->wall[p].load(std::memory_order_relaxed);
+            r.phase[p].wallSeconds += wall;
+            r.phase[p].cpuSeconds +=
+                s->cpu[p].load(std::memory_order_relaxed);
+            r.phase[p].count +=
+                s->count[p].load(std::memory_order_relaxed);
+            w.busySeconds += wall;
+        }
+        r.workers.push_back(std::move(w));
+    }
+    return r;
+}
+
+std::string
+Profiler::reportJson() const
+{
+    const Report r = report();
+    std::string out;
+    char buf[192];
+
+    std::snprintf(buf, sizeof(buf),
+                  "{\"elapsed_seconds\": %.6f, "
+                  "\"queue_depth_high_water\": %llu, \"phases\": {",
+                  r.elapsedSeconds,
+                  static_cast<unsigned long long>(r.queueDepthHighWater));
+    out += buf;
+    for (unsigned p = 0; p < kNumPhases; ++p) {
+        const auto &ph = r.phase[p];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"%s\": {\"wall_seconds\": %.6f, "
+                      "\"cpu_seconds\": %.6f, \"count\": %llu}",
+                      p ? ", " : "",
+                      phaseName(static_cast<Phase>(p)),
+                      ph.wallSeconds, ph.cpuSeconds,
+                      static_cast<unsigned long long>(ph.count));
+        out += buf;
+    }
+    out += "}, \"workers\": [";
+    bool first = true;
+    for (const auto &w : r.workers) {
+        // Threads that never timed a phase (e.g. registered by a
+        // previous arm) would render as all-zero noise.
+        if (w.busySeconds <= 0)
+            continue;
+        const double util = r.elapsedSeconds > 0
+                                ? w.busySeconds / r.elapsedSeconds
+                                : 0;
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"name\": \"%s\", \"busy_seconds\": %.6f, "
+                      "\"utilization\": %.4f}",
+                      first ? "" : ", ", w.name.c_str(),
+                      w.busySeconds, util);
+        out += buf;
+        first = false;
+    }
+    out += "]}";
+    return out;
+}
+
+ScopedPhase::ScopedPhase(Phase p)
+    : phase(p), active(profilingEnabled())
+{
+    if (!active)
+        return;
+    wall0 = wallNow();
+    cpu0 = threadCpuNow();
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    if (!active)
+        return;
+    auto &slot = Profiler::instance().threadSlot();
+    const unsigned p = static_cast<unsigned>(phase);
+    atomicAdd(slot.wall[p], wallNow() - wall0);
+    atomicAdd(slot.cpu[p], threadCpuNow() - cpu0);
+    slot.count[p].fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace svf::harness::prof

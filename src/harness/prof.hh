@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Host-side phase profiler for the experiment harness.
+ *
+ * Answers "where did the wall time go?" for a sampled, pipelined
+ * run: scoped RAII timers classify host time into phases
+ * (fast-forward, snapshot capture/restore, warm replay, detailed
+ * windows, queue waits, memo/disk-cache lookups), accumulated into
+ * per-thread slots so the report can show both the per-phase totals
+ * and each worker's utilization. This is pure host observability —
+ * it never touches simulated state and is not part of any setup key.
+ *
+ * Off by default; `prof=1` (or Profiler::enable) arms it. The
+ * disabled fast path is one relaxed atomic load per ScopedPhase, so
+ * instrumented hot paths cost nothing measurable when idle. When
+ * armed, per-thread slots use C++20 atomic<double> accumulation so
+ * concurrent workers and a reporting thread stay race-free.
+ *
+ * The report lands in JsonReport as the document-level "profile"
+ * section (phase wall/CPU seconds + counts, worker busy seconds and
+ * utilization, IntervalQueue depth high-water) and as the breakdown
+ * table bench/host_throughput prints.
+ */
+
+#ifndef SVF_HARNESS_PROF_HH
+#define SVF_HARNESS_PROF_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svf::harness::prof
+{
+
+/** Host phases the harness attributes time to. */
+enum class Phase : unsigned
+{
+    FastForward,      // batched functional interpreter between windows
+    SnapshotCapture,  // producer freezing CoW snapshots
+    SnapshotRestore,  // worker adopting a snapshot (or disk restore)
+    WarmReplay,       // ,pwarm one-chunk functional warming
+    DetailedWindow,   // cycle model: warmup + measured window
+    QueueWait,        // IntervalQueue blocking (producer or worker)
+    CacheLookup,      // runner memo + disk result-cache probes
+    NumPhases
+};
+
+/** Snake_case display name ("fast_forward", ...). */
+const char *phaseName(Phase p);
+
+/** True when the profiler is armed (inline fast path for scopes). */
+bool profilingEnabled();
+
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    /** Arm/disarm; arming (re)starts the elapsed clock. */
+    void enable(bool on);
+
+    /** Record an IntervalQueue depth observation (high-water max). */
+    void noteQueueDepth(std::size_t depth);
+
+    struct PhaseTotals
+    {
+        double wallSeconds = 0;
+        double cpuSeconds = 0;
+        std::uint64_t count = 0;
+    };
+
+    struct WorkerTotals
+    {
+        std::string name;       // registration order: "w0", "w1", ...
+        double busySeconds = 0; // sum of phase wall time in that thread
+    };
+
+    struct Report
+    {
+        double elapsedSeconds = 0;
+        std::uint64_t queueDepthHighWater = 0;
+        PhaseTotals phase[static_cast<unsigned>(Phase::NumPhases)];
+        std::vector<WorkerTotals> workers;
+    };
+
+    /** Snapshot the totals accumulated since enable(true). */
+    Report report() const;
+
+    /**
+     * Render report() as the JSON object JsonReport embeds under
+     * "profile" (see docs/observability.md for the schema).
+     */
+    std::string reportJson() const;
+
+    /** Opaque per-thread accumulation slot (defined in prof.cc). */
+    struct Slot;
+
+  private:
+    friend class ScopedPhase;
+    Slot &threadSlot();
+};
+
+/**
+ * RAII phase timer. Construct on entry to an instrumented region;
+ * the destructor adds the region's wall and thread-CPU time to the
+ * calling thread's slot. No-op (one atomic load) when disarmed.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase p);
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Phase phase;
+    bool active;
+    double wall0 = 0;
+    double cpu0 = 0;
+};
+
+} // namespace svf::harness::prof
+
+#endif // SVF_HARNESS_PROF_HH

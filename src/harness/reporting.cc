@@ -1,6 +1,7 @@
 #include "harness/reporting.hh"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <mutex>
 
@@ -79,18 +80,81 @@ banner(const std::string &title, const std::string &paper_ref)
                 "==========\n");
 }
 
+namespace
+{
+
+// Shared across every emitter: concurrent reporters (pool workers of
+// several runners, nested interval workers) must not tear lines into
+// each other, and a durable line must never land mid-status.
+std::mutex &
+sinkLock()
+{
+    static std::mutex m;
+    return m;
+}
+
+// Length of the status currently painted on the terminal (0 = none).
+// Guarded by sinkLock().
+std::size_t gStatusLen = 0;
+
+/** Blank the painted status. Caller holds sinkLock(). */
+void
+clearStatusLocked()
+{
+    if (!gStatusLen)
+        return;
+    std::fprintf(stderr, "\r%*s\r", static_cast<int>(gStatusLen), "");
+    gStatusLen = 0;
+}
+
+} // anonymous namespace
+
+void
+logLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> g(sinkLock());
+    clearStatusLocked();
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void
+logStatus(const std::string &status)
+{
+    std::lock_guard<std::mutex> g(sinkLock());
+    // Overpaint in place; pad with spaces when the previous status
+    // was longer so no stale tail survives the \r.
+    std::fprintf(stderr, "\r%s", status.c_str());
+    if (status.size() < gStatusLen) {
+        std::fprintf(stderr, "%*s",
+                     static_cast<int>(gStatusLen - status.size()), "");
+    }
+    std::fflush(stderr);
+    gStatusLen = status.size();
+}
+
 ProgressHook
 stderrProgress()
 {
-    // Shared across every hook instance: concurrent reporters (pool
-    // workers of several runners, nested interval workers) must not
-    // tear lines into each other.
-    static std::mutex stderr_lock;
     return [](const JobProgress &p) {
-        std::lock_guard<std::mutex> g(stderr_lock);
-        std::fprintf(stderr, "[%zu/%zu] %s (%.2fs%s)\n", p.done,
-                     p.total, p.name.c_str(), p.wallSeconds,
-                     p.cached ? ", cached" : "");
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "[%zu/%zu] %s (%.2fs%s)",
+                      p.done, p.total, p.name.c_str(), p.wallSeconds,
+                      p.cached ? ", cached" : "");
+        logLine(buf);
+    };
+}
+
+ProgressHook
+statusProgress()
+{
+    return [](const JobProgress &p) {
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), "[%zu/%zu] %s", p.done,
+                      p.total, p.name.c_str());
+        if (p.done == p.total)
+            logLine(buf);       // finish with a durable line
+        else
+            logStatus(buf);
     };
 }
 

@@ -38,6 +38,29 @@ std::string rate(double per_sec, int prec = 2);
 void banner(const std::string &title, const std::string &paper_ref);
 
 /**
+ * @name Serialized stderr sink
+ *
+ * Every progress emitter — the Runner's per-job hook and any
+ * transient worker status from the sampled pipeline — writes through
+ * these two calls. They share one mutex and a \r-safe line
+ * discipline: a status is painted with \r and no trailing newline
+ * (the next status overwrites it in place), and a durable line first
+ * blanks whatever status is still on screen. Concurrent reporters
+ * therefore never tear half-lines into each other, and a finished
+ * line is never left glued to a stale status fragment.
+ */
+/// @{
+
+/** Print a durable line (newline-terminated) to stderr. */
+void logLine(const std::string &line);
+
+/** Paint a transient status line; the next logStatus/logLine
+ *  overwrites it. */
+void logStatus(const std::string &status);
+
+/// @}
+
+/**
  * @name Runner progress reporting
  *
  * The experiment runner (harness/runner.hh) reports each finished
@@ -62,6 +85,13 @@ using ProgressHook = std::function<void(const JobProgress &)>;
 
 /** A hook that prints "[done/total] name (wall)" lines to stderr. */
 ProgressHook stderrProgress();
+
+/**
+ * A hook that paints the same "[done/total] name" as a transient
+ * \r-overwritten status instead of one durable line per job —
+ * progress=2 in the bench harness, for wide sweeps on one terminal.
+ */
+ProgressHook statusProgress();
 
 /// @}
 

@@ -7,6 +7,7 @@
 
 #include "base/hash.hh"
 #include "base/logging.hh"
+#include "harness/prof.hh"
 #include "workloads/registry.hh"
 
 namespace svf::harness
@@ -156,6 +157,7 @@ Runner::run(const ExperimentPlan &plan)
         results[i].name = job.name;
         results[i].key = key;
         if (opts.memoize) {
+            prof::ScopedPhase ph(prof::Phase::CacheLookup);
             auto hit = memo.find(key);
             if (hit != memo.end()) {
                 results[i].value = hit->second;

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Trace spec parsing and the binary / Chrome-JSON writers.
+ */
+
+#include "trace/trace.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/str.hh"
+#include "ckpt/serialize.hh"
+
+namespace svf::trace
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic[4] = {'S', 'V', 'F', 'T'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+struct CategoryDef
+{
+    const char *name;
+    std::uint32_t bit;
+};
+
+constexpr CategoryDef kCategories[] = {
+    {"core", CatCore},         {"svf", CatSvf},
+    {"sc", CatSc},             {"cache", CatCache},
+    {"disambig", CatDisambig}, {"replay", CatReplay},
+};
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Fetch: return "fetch";
+      case Op::Issue: return "issue";
+      case Op::Commit: return "commit";
+      case Op::SvfAlloc: return "svf_alloc";
+      case Op::SvfSpill: return "svf_spill";
+      case Op::SvfFill: return "svf_fill";
+      case Op::SvfMorph: return "svf_morph";
+      case Op::SvfReroute: return "svf_reroute";
+      case Op::SvfWriteback: return "svf_writeback";
+      case Op::ScHit: return "sc_hit";
+      case Op::ScMiss: return "sc_miss";
+      case Op::Dl1Miss: return "dl1_miss";
+      case Op::L2Miss: return "l2_miss";
+      case Op::DisambigScan: return "disambig_scan";
+      case Op::DisambigFilterHit: return "disambig_filter_hit";
+      case Op::RerouteSquash: return "reroute_squash";
+      case Op::NumOps: break;
+    }
+    return "?";
+}
+
+const char *
+categoryName(std::uint32_t bit)
+{
+    for (const auto &c : kCategories)
+        if (c.bit == bit)
+            return c.name;
+    return "?";
+}
+
+std::uint32_t
+parseCategories(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    for (const auto &tok : split(spec, '+')) {
+        if (tok == "all") {
+            mask |= CatAll;
+            continue;
+        }
+        if (tok == "none")
+            continue;
+        bool found = false;
+        for (const auto &c : kCategories) {
+            if (tok == c.name) {
+                mask |= c.bit;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("trace: unknown category '%s' (valid: core, svf, sc, "
+                  "cache, disambig, replay, all, none)", tok.c_str());
+    }
+    return mask;
+}
+
+std::string
+categoriesStr(std::uint32_t mask)
+{
+    if ((mask & CatAll) == CatAll)
+        return "all";
+    if (!mask)
+        return "none";
+    std::string out;
+    for (const auto &c : kCategories) {
+        if (mask & c.bit) {
+            if (!out.empty())
+                out += '+';
+            out += c.name;
+        }
+    }
+    return out;
+}
+
+TraceSpec
+TraceSpec::parse(const std::string &spec)
+{
+    TraceSpec t;
+    if (spec.empty())
+        return t;
+
+    auto parts = split(spec, ',');
+    t.path = parts[0];
+    if (t.path.empty())
+        fatal("trace: empty file name in 'trace=%s'", spec.c_str());
+
+    // Grammar after the path: one optional non-numeric category list,
+    // then an optional numeric start,len pair.
+    std::size_t i = 1;
+    std::uint64_t n;
+    if (i < parts.size() && !parseUint(parts[i], n))
+        t.mask = parseCategories(parts[i++]);
+    if (i < parts.size()) {
+        if (i + 1 >= parts.size() || !parseUint(parts[i], t.start) ||
+            !parseUint(parts[i + 1], t.len))
+            fatal("trace: expected 'start,len' cycle window in "
+                  "'trace=%s' (grammar: FILE[,cats][,start,len])",
+                  spec.c_str());
+        i += 2;
+    }
+    if (i != parts.size())
+        fatal("trace: trailing junk in 'trace=%s' (grammar: "
+              "FILE[,cats][,start,len])", spec.c_str());
+    return t;
+}
+
+std::string
+TraceSpec::str() const
+{
+    if (!enabled())
+        return "";
+    std::string out = path + "," + categoriesStr(mask);
+    if (start || len) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ",%llu,%llu",
+                      static_cast<unsigned long long>(start),
+                      static_cast<unsigned long long>(len));
+        out += buf;
+    }
+    return out;
+}
+
+bool
+writeBinary(const std::string &path, const std::vector<Event> &events)
+{
+    ckpt::ByteWriter w;
+    for (auto b : kMagic)
+        w.u8(b);
+    w.u32(kFormatVersion);
+    w.u64(events.size());
+    for (const auto &e : events) {
+        w.u64(e.cycle);
+        w.u32(e.op);
+        w.u32(e.stream);
+        w.u64(e.a0);
+        w.u64(e.a1);
+    }
+    w.u64(ckpt::fnv1a(w.data().data(), w.data().size()));
+    if (!ckpt::writeFileAtomic(path, w.data())) {
+        warn("trace: could not write '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readBinary(const std::string &path, std::vector<Event> &out)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!ckpt::readFile(path, bytes)) {
+        warn("trace: could not read '%s'", path.c_str());
+        return false;
+    }
+    if (bytes.size() < sizeof(kMagic) + 4 + 8 + 8) {
+        warn("trace: '%s' is truncated", path.c_str());
+        return false;
+    }
+    const std::size_t body = bytes.size() - 8;
+    ckpt::ByteReader digest_r(bytes.data() + body, 8);
+    if (digest_r.u64() != ckpt::fnv1a(bytes.data(), body)) {
+        warn("trace: '%s' failed its digest check", path.c_str());
+        return false;
+    }
+    ckpt::ByteReader r(bytes.data(), body);
+    for (auto b : kMagic) {
+        if (r.u8() != b) {
+            warn("trace: '%s' is not an svf_trace binary", path.c_str());
+            return false;
+        }
+    }
+    if (std::uint32_t v = r.u32(); v != kFormatVersion) {
+        warn("trace: '%s' has format version %u, expected %u",
+             path.c_str(), v, kFormatVersion);
+        return false;
+    }
+    const std::uint64_t count = r.u64();
+    out.clear();
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+        Event e;
+        e.cycle = r.u64();
+        e.op = r.u32();
+        e.stream = r.u32();
+        e.a0 = r.u64();
+        e.a1 = r.u64();
+        out.push_back(e);
+    }
+    if (!r.ok() || out.size() != count) {
+        warn("trace: '%s' ended early (%zu of %llu events)",
+             path.c_str(), out.size(),
+             static_cast<unsigned long long>(count));
+        return false;
+    }
+    return true;
+}
+
+bool
+writeChromeJson(const std::string &path, const std::vector<Event> &events)
+{
+    // Chrome trace-event format, JSON-object flavor: one instant
+    // event per record, ts = cycle (microsecond units as far as the
+    // viewer cares — only relative spacing matters), pid = stream
+    // (core or sample interval), tid = category bit index so
+    // Perfetto groups each category on its own track.
+    std::string out;
+    out.reserve(96 * events.size() + 64);
+    out += "{\"traceEvents\":[\n";
+    char buf[256];
+    bool first = true;
+    for (const auto &e : events) {
+        const Op op = static_cast<Op>(e.op);
+        unsigned tid = 0;
+        for (std::uint32_t bits = opCategory(op); bits > 1; bits >>= 1)
+            ++tid;
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                      "\"ts\":%llu,\"pid\":%u,\"tid\":%u,\"s\":\"t\","
+                      "\"args\":{\"a0\":%llu,\"a1\":%llu}}",
+                      first ? "" : ",\n", opName(op),
+                      categoryName(opCategory(op)),
+                      static_cast<unsigned long long>(e.cycle),
+                      e.stream, tid,
+                      static_cast<unsigned long long>(e.a0),
+                      static_cast<unsigned long long>(e.a1));
+        out += buf;
+        first = false;
+    }
+    out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+    std::vector<std::uint8_t> bytes(out.begin(), out.end());
+    if (!ckpt::writeFileAtomic(path, bytes)) {
+        warn("trace: could not write '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+writeAll(const TraceSpec &spec, const std::vector<Event> &events)
+{
+    // Compiled-out builds (SVF_TRACING=OFF) write nothing at all: an
+    // empty-but-valid stream would read as "the machine did nothing"
+    // rather than "nothing was recorded".
+    if (!kTracingCompiled)
+        return false;
+    bool ok = writeBinary(spec.path, events);
+    ok = writeChromeJson(spec.path + ".json", events) && ok;
+    return ok;
+}
+
+} // namespace svf::trace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Simulation event tracing.
+ *
+ * A per-core, lock-free event sink the cycle model can feed from its
+ * hot loops: each OooCore owns at most one CoreTracer pointer, every
+ * emit is a bounds-checked push_back into that tracer's private
+ * buffer, and buffers are only merged after the owning thread has
+ * finished (interval-order fold in the sampled engine, straight take
+ * for full runs) — no locks, no atomics, no sharing while hot.
+ *
+ * Tracing is an observer, never a participant: with the tracer null
+ * (trace= absent) the only cost is an untaken branch per emit site,
+ * and with it attached the simulated counters are bit-identical to
+ * the untraced run (pinned by tests/integration/trace_equiv_test).
+ * `trace=` is therefore excluded from the setup key, like ckpt= and
+ * pjobs=.
+ *
+ * Output is written twice per run: a compact binary stream at FILE
+ * (magic/version/digest-protected, see writeBinary) and a Chrome
+ * trace-event JSON at FILE.json that loads directly into Perfetto
+ * (ui.perfetto.dev) or chrome://tracing, with one instant event per
+ * record (ts = cycle, pid = core or sample interval). The
+ * tools/svf_trace CLI dumps, filters, summarizes and re-converts the
+ * binary form.
+ *
+ * Compile-out: configure with -DSVF_TRACING=OFF to define
+ * SVF_TRACE_DISABLED, which turns every SVF_TRACE macro into a no-op
+ * and lets the compiler drop the `if (tracer)` diff blocks via
+ * kTracingCompiled. Counters are bit-identical in either build.
+ */
+
+#ifndef SVF_TRACE_TRACE_HH
+#define SVF_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svf::trace
+{
+
+/** Every traced event type. Keep opName() and kOpCategory in sync. */
+enum class Op : std::uint32_t
+{
+    Fetch,              // a0=seq, a1=pc
+    Issue,              // a0=seq, a1=mem route (MemRoute) or 0
+    Commit,             // a0=seq, a1=pc
+    SvfAlloc,           // a0=ea,  a1=quadwords allocated (kill-on-grow)
+    SvfSpill,           // a0=ea,  a1=quadwords spilled to memory
+    SvfFill,            // a0=seq, a1=ea (demand fill on a morphed ref)
+    SvfMorph,           // a0=seq, a1=ea (front-end morph)
+    SvfReroute,         // a0=seq, a1=ea (post-addr-calc reroute)
+    SvfWriteback,       // a0=bytes written back on context switch
+    ScHit,              // a0=ea,  a1=is_write
+    ScMiss,             // a0=ea,  a1=is_write
+    Dl1Miss,            // a0=ea,  a1=is_write
+    L2Miss,             // a0=ea,  a1=is_write
+    DisambigScan,       // a0=seq, a1=ea (load walked older stores)
+    DisambigFilterHit,  // a0=seq, a1=ea (granule index skipped the walk)
+    RerouteSquash,      // a0=squashed-from seq, a1=colliding store seq
+    NumOps
+};
+
+/** Category bits, OR-able into TraceSpec::mask. */
+enum Category : std::uint32_t
+{
+    CatCore = 1u << 0,      // fetch / issue / commit
+    CatSvf = 1u << 1,       // SVF alloc/spill/fill/morph/reroute/writeback
+    CatSc = 1u << 2,        // stack-cache hit/miss
+    CatCache = 1u << 3,     // DL1 / L2 miss
+    CatDisambig = 1u << 4,  // disambiguation scans and filter hits
+    CatReplay = 1u << 5,    // reroute-collision squash replay
+    CatAll = (1u << 6) - 1,
+};
+
+/** Display name of one op ("commit", "svf_morph", ...). */
+const char *opName(Op op);
+
+/** Category bit of one op (inline table — emit fast path). */
+inline constexpr std::uint32_t kOpCategory[] = {
+    CatCore,     // Fetch
+    CatCore,     // Issue
+    CatCore,     // Commit
+    CatSvf,      // SvfAlloc
+    CatSvf,      // SvfSpill
+    CatSvf,      // SvfFill
+    CatSvf,      // SvfMorph
+    CatSvf,      // SvfReroute
+    CatSvf,      // SvfWriteback
+    CatSc,       // ScHit
+    CatSc,       // ScMiss
+    CatCache,    // Dl1Miss
+    CatCache,    // L2Miss
+    CatDisambig, // DisambigScan
+    CatDisambig, // DisambigFilterHit
+    CatReplay,   // RerouteSquash
+};
+static_assert(sizeof(kOpCategory) / sizeof(kOpCategory[0]) ==
+              static_cast<std::size_t>(Op::NumOps));
+
+inline std::uint32_t
+opCategory(Op op)
+{
+    return kOpCategory[static_cast<unsigned>(op)];
+}
+
+/** Display name of one category bit ("core", "svf", ...). */
+const char *categoryName(std::uint32_t bit);
+
+/**
+ * Parse a '+'-joined category list ("svf+cache"); "all" and "none"
+ * are accepted. Fatals with the valid names on an unknown token.
+ */
+std::uint32_t parseCategories(const std::string &spec);
+
+/** Render a mask back to a '+'-joined list. */
+std::string categoriesStr(std::uint32_t mask);
+
+/**
+ * Where and what to trace, parsed from the config value
+ * `trace=FILE[,cats][,start,len]`:
+ *
+ *   trace=svf.trace                   everything, whole run
+ *   trace=svf.trace,svf+replay        two categories only
+ *   trace=svf.trace,5000,2000         cycles [5000, 7000)
+ *   trace=svf.trace,cache,0,10000     combined
+ *
+ * The cycle window is in core cycles; in a sampled run each detailed
+ * window's core starts at cycle 0, so the window applies per
+ * interval. Not part of the setup key.
+ */
+struct TraceSpec
+{
+    std::string path;                       // empty => tracing off
+    std::uint32_t mask = CatAll;
+    std::uint64_t start = 0;
+    std::uint64_t len = 0;                  // 0 => unbounded
+
+    bool enabled() const { return !path.empty(); }
+
+    /** Parse the config-value grammar above; fatal on misuse. */
+    static TraceSpec parse(const std::string &spec);
+
+    /** Render back to the config-value form (diagnostics). */
+    std::string str() const;
+};
+
+/** One traced event: 32 bytes, fixed layout (see writeBinary). */
+struct Event
+{
+    std::uint64_t cycle;
+    std::uint32_t op;       // Op
+    std::uint32_t stream;   // core id, or sample interval index
+    std::uint64_t a0;
+    std::uint64_t a1;
+};
+
+/**
+ * The per-core sink. One owner thread appends through emit(); the
+ * harness takes the buffer after the run. Category mask and cycle
+ * window are folded into the emit fast path so a masked-out armed
+ * tracer costs one compare per site.
+ */
+class CoreTracer
+{
+  public:
+    CoreTracer(const TraceSpec &spec, std::uint32_t stream)
+        : mask(spec.mask), first(spec.start),
+          last(spec.len ? spec.start + spec.len : ~std::uint64_t(0)),
+          streamId(stream)
+    {
+    }
+
+    void
+    emit(std::uint64_t cycle, Op op, std::uint64_t a0, std::uint64_t a1)
+    {
+        if (!(mask & opCategory(op)))
+            return;
+        if (cycle < first || cycle >= last)
+            return;
+        buf.push_back({cycle, static_cast<std::uint32_t>(op), streamId,
+                       a0, a1});
+    }
+
+    /**
+     * Would any event in @p cats pass the category filter? Emit
+     * sites that must do extra read-only work to *construct* an
+     * event (the counter-diff blocks in uarch/ooo_core.cc) check
+     * this first, so a narrow trace= only pays for the categories
+     * it keeps.
+     */
+    bool wants(std::uint32_t cats) const { return (mask & cats) != 0; }
+
+    const std::vector<Event> &events() const { return buf; }
+    std::vector<Event> take() { return std::move(buf); }
+
+  private:
+    std::uint32_t mask;
+    std::uint64_t first;
+    std::uint64_t last;
+    std::uint32_t streamId;
+    std::vector<Event> buf;
+};
+
+/**
+ * Write the compact binary stream ("SVFT", version 1, count, raw
+ * events, FNV-1a digest; atomic temp+rename). Warns and returns
+ * false on I/O failure.
+ */
+bool writeBinary(const std::string &path, const std::vector<Event> &events);
+
+/** Read a binary stream back; false on missing/corrupt/mismatched. */
+bool readBinary(const std::string &path, std::vector<Event> &out);
+
+/** Write Chrome trace-event JSON (Perfetto-loadable). */
+bool writeChromeJson(const std::string &path,
+                     const std::vector<Event> &events);
+
+/**
+ * Emit both formats for one finished run: binary at spec.path and
+ * Chrome JSON at spec.path + ".json". Returns false (after warning)
+ * if either write failed. In a compiled-out build (SVF_TRACING=OFF)
+ * nothing is written and false is returned — no file, rather than a
+ * valid-looking empty trace.
+ */
+bool writeAll(const TraceSpec &spec, const std::vector<Event> &events);
+
+/** True when the emit sites are compiled in (SVF_TRACING=ON). */
+#ifdef SVF_TRACE_DISABLED
+inline constexpr bool kTracingCompiled = false;
+#else
+inline constexpr bool kTracingCompiled = true;
+#endif
+
+} // namespace svf::trace
+
+/**
+ * Emit-site macro: null-checks the tracer and vanishes entirely under
+ * SVF_TRACE_DISABLED. `op` is a bare Op enumerator name.
+ */
+#ifdef SVF_TRACE_DISABLED
+#define SVF_TRACE(tracer, cycle, op, a0, a1) ((void)0)
+#else
+#define SVF_TRACE(tracer, cycle, op, a0, a1)                                 \
+    do {                                                                     \
+        if (tracer)                                                          \
+            (tracer)->emit((cycle), ::svf::trace::Op::op, (a0), (a1));       \
+    } while (0)
+#endif
+
+#endif // SVF_TRACE_TRACE_HH

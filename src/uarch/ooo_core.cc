@@ -4,6 +4,7 @@
 
 #include "base/bitfield.hh"
 #include "base/logging.hh"
+#include "trace/trace.hh"
 
 namespace svf::uarch
 {
@@ -23,6 +24,47 @@ OooCore::OooCore(const MachineConfig &config, sim::Emulator &oracle,
     filterMode = cfg.disambig == DisambigKind::Filter;
     for (auto &r : renameMap)
         r = NoProducer;
+}
+
+unsigned
+OooCore::hierData(Addr ea, bool write)
+{
+    // Untraced: exactly _hier.data(). Traced: diff the miss counters
+    // around the access to recover which level missed — reads only,
+    // so the access itself (and every simulated counter) is
+    // bit-identical either way.
+    if (!trace::kTracingCompiled || !tracer ||
+        !tracer->wants(trace::CatCache)) {
+        return _hier.data(ea, write);
+    }
+    const std::uint64_t d = _hier.dl1().misses();
+    const std::uint64_t l = _hier.l2().misses();
+    const unsigned lat = _hier.data(ea, write);
+    if (_hier.dl1().misses() != d)
+        SVF_TRACE(tracer, now, Dl1Miss, ea, write);
+    if (_hier.l2().misses() != l)
+        SVF_TRACE(tracer, now, L2Miss, ea, write);
+    return lat;
+}
+
+unsigned
+OooCore::scAccess(Addr ea, bool write)
+{
+    if (!trace::kTracingCompiled || !tracer ||
+        !tracer->wants(trace::CatCache)) {
+        return sc->access(ea, write).latency;
+    }
+    const std::uint64_t m = sc->misses();
+    const std::uint64_t d = _hier.dl1().misses();
+    const std::uint64_t l = _hier.l2().misses();
+    const unsigned lat = sc->access(ea, write).latency;
+    tracer->emit(now, sc->misses() != m ? trace::Op::ScMiss
+                                        : trace::Op::ScHit, ea, write);
+    if (_hier.dl1().misses() != d)
+        tracer->emit(now, trace::Op::Dl1Miss, ea, write);
+    if (_hier.l2().misses() != l)
+        tracer->emit(now, trace::Op::L2Miss, ea, write);
+    return lat;
 }
 
 void
@@ -96,8 +138,10 @@ OooCore::resolveDisambiguationFiltered(RuuEntry &e)
             }
         }
     }
-    if (!walked)
+    if (!walked) {
         ++_stats.disambigFilterHits;
+        SVF_TRACE(tracer, now, DisambigFilterHit, e.seq, e.info.ea);
+    }
     if (best != NoProducer) {
         const RuuEntry &s = ruu.bySeq(best);
         e.fwdStore = best;
@@ -126,6 +170,7 @@ OooCore::resolveDisambiguation(RuuEntry &e)
     // one step per store, not one per RUU entry — a window full of
     // ALU ops costs nothing here.
     ++_stats.disambigScans;
+    SVF_TRACE(tracer, now, DisambigScan, e.seq, e.info.ea);
     if (filterMode) {
         resolveDisambiguationFiltered(e);
         return;
@@ -189,6 +234,7 @@ OooCore::checkRerouteCollision(const RuuEntry &store)
         ld.lsqForward = true;
     }
     if (squash_from != NoProducer) {
+        SVF_TRACE(tracer, now, RerouteSquash, squash_from, store.seq);
         // Defer the pipeline squash to the end of the issue pass
         // (removing entries would invalidate the walk).
         pendingSquashFrom = std::min(pendingSquashFrom, squash_from);
@@ -261,7 +307,7 @@ OooCore::tryIssueMem(RuuEntry &e, bool older_store_addr_unknown)
         e.issued = true;
         if (e.stackRef.fill) {
             // Demand fill: one quadword read through the DL1 path.
-            e.completeCycle = now + _hier.data(e.info.ea, false);
+            e.completeCycle = now + hierData(e.info.ea, false);
         } else {
             e.completeCycle = now + cfg.svf.svf.hitLatency;
         }
@@ -304,7 +350,7 @@ OooCore::tryIssueMem(RuuEntry &e, bool older_store_addr_unknown)
             return false;
         ++dl1PortsUsed;
         latency = forward ? cfg.storeForwardLat
-                          : _hier.data(e.info.ea, false);
+                          : hierData(e.info.ea, false);
         break;
       case MemRoute::StackCache: {
         if (scPortsUsed >= sc->params().ports)
@@ -313,7 +359,7 @@ OooCore::tryIssueMem(RuuEntry &e, bool older_store_addr_unknown)
         if (forward) {
             latency = cfg.storeForwardLat;
         } else {
-            latency = sc->access(e.info.ea, false).latency;
+            latency = scAccess(e.info.ea, false);
         }
         break;
       }
@@ -324,7 +370,7 @@ OooCore::tryIssueMem(RuuEntry &e, bool older_store_addr_unknown)
         if (forward) {
             latency = cfg.storeForwardLat;
         } else if (e.stackRef.fill) {
-            latency = cfg.agenLat + _hier.data(e.info.ea, false);
+            latency = cfg.agenLat + hierData(e.info.ea, false);
         } else {
             latency = cfg.agenLat + cfg.svf.svf.hitLatency;
         }
@@ -368,6 +414,8 @@ OooCore::tryIssueEntry(RuuEntry &e, bool older_store_addr_unknown)
 
     if (issued_now) {
         ++issueUsed;
+        SVF_TRACE(tracer, now, Issue, e.seq,
+                  di.memRef ? static_cast<std::uint64_t>(e.route) : 0);
         if (e.mispredicted && fetchWaitSeq &&
             *fetchWaitSeq == e.seq) {
             fetchResumeCycle = e.completeCycle +
@@ -607,13 +655,13 @@ OooCore::doCommit()
                 if (dl1PortsUsed >= cfg.dl1Ports)
                     return;
                 ++dl1PortsUsed;
-                _hier.data(e.info.ea, true);
+                hierData(e.info.ea, true);
                 break;
               case MemRoute::StackCache:
                 if (scPortsUsed >= sc->params().ports)
                     return;
                 ++scPortsUsed;
-                sc->access(e.info.ea, true);
+                scAccess(e.info.ea, true);
                 break;
               case MemRoute::SvfReroute:
               case MemRoute::SvfFast:
@@ -647,6 +695,7 @@ OooCore::doCommit()
                 ++_stats.mispredicts;
         }
 
+        SVF_TRACE(tracer, now, Commit, e.seq, e.info.pc);
         specSp.onComplete(e.seq);
         ruu.popFront();
         ++_stats.committed;
@@ -718,8 +767,50 @@ OooCore::doDispatch()
         e.mispredicted = f.mispredicted;
 
         // Classify against the SVF and apply its architectural
-        // effects in program order.
-        e.stackRef = svf->classifyAndApply(f.info);
+        // effects in program order. When traced, diff the SVF's own
+        // bookkeeping around the call to recover window allocations,
+        // spill/fill traffic and the morph/reroute decision — reads
+        // only, so the classification itself is untouched.
+        if (trace::kTracingCompiled && tracer &&
+            tracer->wants(trace::CatSvf) && svf->enabled()) {
+            const core::StackValueFile &sv = svf->svf();
+            const Addr base = sv.windowBase();
+            const std::uint64_t qi = sv.quadsIn();
+            const std::uint64_t qo = sv.quadsOut();
+            e.stackRef = svf->classifyAndApply(f.info);
+            if (sv.windowBase() < base) {
+                tracer->emit(now, trace::Op::SvfAlloc, sv.windowBase(),
+                             (base - sv.windowBase()) >> 3);
+            }
+            if (sv.quadsOut() != qo) {
+                tracer->emit(now, trace::Op::SvfSpill, f.info.ea,
+                             sv.quadsOut() - qo);
+            }
+            if (e.stackRef.fill) {
+                tracer->emit(now, trace::Op::SvfFill, e.seq,
+                             f.info.ea);
+            } else if (sv.quadsIn() != qi) {
+                // fill-on-allocate ablation: bulk fill, no single ref.
+                tracer->emit(now, trace::Op::SvfFill, f.info.ea,
+                             sv.quadsIn() - qi);
+            }
+            switch (e.stackRef.kind) {
+              case core::StackRefKind::MorphLoad:
+              case core::StackRefKind::MorphStore:
+                tracer->emit(now, trace::Op::SvfMorph, e.seq,
+                             f.info.ea);
+                break;
+              case core::StackRefKind::RerouteLoad:
+              case core::StackRefKind::RerouteStore:
+                tracer->emit(now, trace::Op::SvfReroute, e.seq,
+                             f.info.ea);
+                break;
+              case core::StackRefKind::None:
+                break;
+            }
+        } else {
+            e.stackRef = svf->classifyAndApply(f.info);
+        }
 
         if (di.memRef) {
             e.isLoad = di.load;
@@ -894,6 +985,7 @@ OooCore::doFetch()
         if (f.mispredicted)
             fetchWaitSeq = f.info.seq;
 
+        SVF_TRACE(tracer, now, Fetch, f.info.seq, f.info.pc);
         ifq.push_back(std::move(f));
         ++fetched;
         if (stop_group)
@@ -939,7 +1031,10 @@ void
 OooCore::forceContextSwitch()
 {
     ++_stats.ctxSwitches;
-    _stats.svfCtxBytes += svf->contextSwitchFlush();
+    const std::uint64_t svf_bytes = svf->contextSwitchFlush();
+    _stats.svfCtxBytes += svf_bytes;
+    SVF_TRACE(tracer, now, SvfWriteback, svf_bytes,
+              _stats.ctxSwitches);
     if (sc)
         _stats.scCtxBytes += sc->contextSwitchFlush();
     _stats.dl1CtxLines += _hier.flushDl1(true);

@@ -36,6 +36,11 @@
 #include "uarch/ruu.hh"
 #include "uarch/sched.hh"
 
+namespace svf::trace
+{
+class CoreTracer;
+} // namespace svf::trace
+
 namespace svf::uarch
 {
 
@@ -200,6 +205,15 @@ class OooCore
      */
     const SchedStats &schedStats() const { return sched.stats(); }
 
+    /**
+     * Attach (or detach, with nullptr) a trace sink. Purely an
+     * observer: the emit sites read state the model already computed
+     * and never feed anything back, so counters are bit-identical
+     * with or without a tracer (tests/integration/trace_equiv_test).
+     * The tracer must outlive the traced run; it is not owned.
+     */
+    void attachTracer(trace::CoreTracer *t) { tracer = t; }
+
     mem::MemHierarchy &hier() { return _hier; }
     const mem::MemHierarchy &hier() const { return _hier; }
     core::SvfUnit &svfUnit() { return *svf; }
@@ -274,6 +288,17 @@ class OooCore
     bool tryIssueMem(RuuEntry &e, bool older_store_addr_unknown);
     void resolveDisambiguation(RuuEntry &e);
     void checkRerouteCollision(const RuuEntry &store);
+
+    /**
+     * @name Traced hierarchy accesses
+     * Identical to _hier.data() / sc->access().latency, plus a miss
+     * event emitted when a tracer is attached (detected by diffing
+     * the hit/miss counters around the access — reads only).
+     */
+    /// @{
+    unsigned hierData(Addr ea, bool write);
+    unsigned scAccess(Addr ea, bool write);
+    /// @}
 
     [[noreturn]] void panicDeadlock(std::uint64_t stalled_iters);
 
@@ -359,6 +384,9 @@ class OooCore
 
     Cycle now = 0;
     CoreStats _stats;
+
+    /** Optional event sink (attachTracer); null = tracing off. */
+    trace::CoreTracer *tracer = nullptr;
 
     /** @name Per-cycle resource counters */
     /// @{

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Counter registry (harness/counters.hh) contract tests.
+ *
+ * The registry is the one declaration site every consumer iterates —
+ * JSON emission, per-core groups, cross-core folds, sampled deltas,
+ * the equivalence tests' diffs. These tests pin the contract that
+ * lets the migration be invisible: every legacy counter name is
+ * still present, in the frozen JSON order, reaching the same storage
+ * and emitting the same value; the fold rules are unchanged; and the
+ * deliberately-unmigrated ckpt::coreCounters() table stays
+ * name-and-field consistent with the registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/sampler.hh"
+#include "harness/counters.hh"
+#include "harness/json_report.hh"
+#include "harness/runner.hh"
+
+namespace svf::harness
+{
+namespace
+{
+
+/** The frozen JSON emission order (pre-registry hand-written list). */
+const std::vector<std::string> kLegacyOrder = {
+    "cycles", "committed", "loads", "stores", "branches",
+    "mispredicts", "squashes", "sp_interlocks", "lsq_forwards",
+    "disambig_scans", "disambig_scan_steps", "disambig_filter_hits",
+    "reroute_checks", "reroute_scan_steps", "ctx_switches",
+    "svf_ctx_bytes", "sc_ctx_bytes", "dl1_ctx_lines",
+    "svf_quads_in", "svf_quads_out", "svf_fast_loads",
+    "svf_fast_stores", "svf_rerouted_loads", "svf_rerouted_stores",
+    "svf_window_misses", "svf_demand_fills", "svf_disable_episodes",
+    "svf_refs_while_disabled", "sc_quads_in", "sc_quads_out",
+    "sc_hits", "sc_misses", "dl1_hits", "dl1_misses", "l2_hits",
+    "l2_misses",
+};
+
+TEST(CounterRegistry, LegacyNamesInFrozenOrder)
+{
+    const auto &defs = runCounters();
+    ASSERT_EQ(defs.size(), kLegacyOrder.size());
+    for (std::size_t i = 0; i < defs.size(); ++i)
+        EXPECT_EQ(defs[i]->name(), kLegacyOrder[i]) << "index " << i;
+}
+
+TEST(CounterRegistry, SelfDescription)
+{
+    for (const CounterDef *d : runCounters()) {
+        EXPECT_FALSE(d->desc().empty()) << d->name();
+        EXPECT_FALSE(d->unit().empty()) << d->name();
+        EXPECT_EQ(findCounter(d->name()), d);
+    }
+    EXPECT_EQ(findCounter("no_such_counter"), nullptr);
+}
+
+/** cycles folds as the across-cores max; everything else sums. */
+TEST(CounterRegistry, FoldDiscipline)
+{
+    for (const CounterDef *d : runCounters()) {
+        if (d->name() == "cycles")
+            EXPECT_EQ(d->fold(), Fold::Max) << d->name();
+        else
+            EXPECT_EQ(d->fold(), Fold::Sum) << d->name();
+    }
+}
+
+/** get()/ref() reach the same storage; ref writes what get reads. */
+TEST(CounterRegistry, StorageRoundTrip)
+{
+    RunResult r;
+    std::uint64_t v = 1;
+    for (const CounterDef *d : runCounters())
+        d->ref(r) = v++;
+    v = 1;
+    for (const CounterDef *d : runCounters())
+        EXPECT_EQ(d->get(r), v++) << d->name();
+}
+
+/**
+ * ckpt::coreCounters() is deliberately NOT migrated (its order is
+ * the snapshot result cache's on-disk format, and ckpt sits below
+ * harness) — so pin that the two tables can never drift: every ckpt
+ * entry must appear in the registry under the same name, reaching
+ * the same CoreStats member, and the registry must have no
+ * CoreStats-backed counter the ckpt table misses.
+ */
+TEST(CounterRegistry, CkptTableConsistent)
+{
+    std::size_t core_backed = 0;
+    for (const CounterDef *d : runCounters())
+        core_backed += d->fromCoreStats();
+    EXPECT_EQ(ckpt::coreCounters().size(), core_backed);
+
+    for (const ckpt::CoreCounter &c : ckpt::coreCounters()) {
+        const CounterDef *d = findCounter(c.name);
+        ASSERT_NE(d, nullptr) << c.name;
+        EXPECT_TRUE(d->fromCoreStats()) << c.name;
+        EXPECT_EQ(d->coreField(), c.field) << c.name;
+    }
+}
+
+/**
+ * JSON emission: every legacy counter name appears in the rendered
+ * record with the value the registry reads — the migration must be
+ * byte-invisible to BENCH_*.json consumers.
+ */
+TEST(CounterRegistry, JsonEmitsEveryNameWithSameValue)
+{
+    RunResult r;
+    std::uint64_t v = 1000;
+    for (const CounterDef *d : runCounters())
+        d->ref(r) = v++;
+
+    JobOutcome o;
+    o.name = "probe";
+    o.value = r;
+    JsonReport report;
+    report.add(o);
+    std::ostringstream os;
+    report.write(os);
+    const std::string doc = os.str();
+
+    for (const CounterDef *d : runCounters()) {
+        std::string expect = "\"" + d->name() +
+                             "\": " + std::to_string(d->get(r));
+        EXPECT_NE(doc.find(expect), std::string::npos)
+            << "missing " << expect;
+    }
+}
+
+} // anonymous namespace
+} // namespace svf::harness

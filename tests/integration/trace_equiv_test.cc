@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tracing is an observer: counters are bit-identical with trace= off
+ * or on (and, via the SVF_TRACING=OFF CI configuration, compiled
+ * out — this suite runs unchanged in that build, where the traced
+ * run simply produces no file).
+ *
+ * Coverage: every workload in the registry × both issue schedulers
+ * on the SVF machine (the emit sites live in the scheduler-driven
+ * dispatch/issue/commit loops), a full RunResult diff per run via
+ * the counter registry; plus the sampled engines (serial warm and
+ * parallel cold with pjobs=2, whose per-interval tracers merge in
+ * interval order) and the trace file's own integrity (binary
+ * round-trip, category/window filtering at emit time).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/counters.hh"
+#include "harness/experiment.hh"
+#include "trace/trace.hh"
+#include "uarch/machine_config.hh"
+#include "workloads/registry.hh"
+
+namespace svf::harness
+{
+namespace
+{
+
+constexpr std::uint64_t kInsts = 20'000;
+
+std::string
+tracePath(const std::string &tag)
+{
+    return testing::TempDir() + "trace_equiv_" + tag + ".bin";
+}
+
+void
+removeTrace(const std::string &path)
+{
+    std::remove(path.c_str());
+    std::remove((path + ".json").c_str());
+}
+
+/** Full registry diff plus correctness flags and program output. */
+void
+expectRunResultsEq(const RunResult &off, const RunResult &on,
+                   const std::string &what)
+{
+    for (const CounterDef *d : runCounters())
+        EXPECT_EQ(d->get(off), d->get(on)) << what << ": " << d->name();
+    EXPECT_EQ(off.completed, on.completed) << what;
+    EXPECT_EQ(off.outputOk, on.outputOk) << what;
+    EXPECT_EQ(off.output, on.output) << what;
+}
+
+/** Run @p setup untraced and traced; both must agree exactly. */
+void
+expectTraceInvisible(RunSetup setup, const std::string &tag)
+{
+    setup.trace = trace::TraceSpec();
+    RunResult off = runExperiment(setup);
+
+    const std::string path = tracePath(tag);
+    setup.trace = trace::TraceSpec::parse(path);
+    RunResult on = runExperiment(setup);
+
+    expectRunResultsEq(off, on, tag);
+
+    std::vector<trace::Event> events;
+    if (trace::kTracingCompiled) {
+        // The traced run must actually have produced a loadable,
+        // digest-valid, non-empty stream.
+        ASSERT_TRUE(trace::readBinary(path, events)) << tag;
+        EXPECT_GT(events.size(), 0u) << tag;
+    } else {
+        EXPECT_FALSE(trace::readBinary(path, events)) << tag;
+    }
+    removeTrace(path);
+}
+
+/** All 12 workloads × scan/event sched, full-run engine. */
+TEST(TraceEquiv, AllWorkloadsBothSchedsBitIdentical)
+{
+    for (const auto &spec : workloads::allWorkloads()) {
+        for (uarch::SchedKind sched :
+             {uarch::SchedKind::Scan, uarch::SchedKind::Event}) {
+            RunSetup s;
+            s.workload = spec.name;
+            s.input = spec.inputs.front();
+            s.maxInsts = kInsts;
+            s.machine = baselineConfig(16);
+            applySvf(s.machine, 1024, 2);
+            s.machine.sched = sched;
+
+            const std::string tag =
+                spec.name + (sched == uarch::SchedKind::Scan
+                                 ? "_scan" : "_event");
+            expectTraceInvisible(s, tag);
+            ASSERT_FALSE(HasFailure())
+                << "first divergence at " << tag;
+        }
+    }
+}
+
+/** The stack-cache machine exercises the ScHit/ScMiss emit sites. */
+TEST(TraceEquiv, StackCacheMachineBitIdentical)
+{
+    RunSetup s;
+    s.workload = "mcf";
+    s.input = "inp";
+    s.maxInsts = kInsts;
+    s.machine = baselineConfig(16);
+    applyStackCache(s.machine, 8 * 1024, 2);
+    expectTraceInvisible(s, "stack_cache");
+}
+
+/** Context switching exercises the SvfWriteback emit site. */
+TEST(TraceEquiv, ContextSwitchMachineBitIdentical)
+{
+    RunSetup s;
+    s.workload = "gzip";
+    s.input = "program";
+    s.maxInsts = kInsts;
+    s.machine = baselineConfig(16);
+    applySvf(s.machine, 1024, 2);
+    s.machine.contextSwitchPeriod = 5'000;
+    expectTraceInvisible(s, "ctx_switch");
+}
+
+/** Sampled parallel engine, pjobs=2: per-interval tracers merge in
+ *  interval order and never perturb the counters. */
+TEST(TraceEquiv, SampledParallelBitIdentical)
+{
+    RunSetup s;
+    s.workload = "mcf";
+    s.input = "inp";
+    s.maxInsts = 200'000;
+    s.machine = baselineConfig(16);
+    applySvf(s.machine, 1024, 2);
+    s.sample = ckpt::SamplePlan::parse("4,500,4000");
+    s.pjobs = 2;
+    expectTraceInvisible(s, "sampled_cold");
+
+    if (trace::kTracingCompiled) {
+        // Worker-order independence of the merged stream: same trace
+        // for pjobs=1 and pjobs=2.
+        const std::string p1 = tracePath("pjobs1");
+        const std::string p2 = tracePath("pjobs2");
+        s.trace = trace::TraceSpec::parse(p1);
+        s.pjobs = 1;
+        runExperiment(s);
+        s.trace = trace::TraceSpec::parse(p2);
+        s.pjobs = 2;
+        runExperiment(s);
+        std::vector<trace::Event> e1, e2;
+        ASSERT_TRUE(trace::readBinary(p1, e1));
+        ASSERT_TRUE(trace::readBinary(p2, e2));
+        ASSERT_EQ(e1.size(), e2.size());
+        for (std::size_t i = 0; i < e1.size(); ++i) {
+            ASSERT_TRUE(e1[i].cycle == e2[i].cycle &&
+                        e1[i].op == e2[i].op &&
+                        e1[i].stream == e2[i].stream &&
+                        e1[i].a0 == e2[i].a0 && e1[i].a1 == e2[i].a1)
+                << "event " << i << " differs between pjobs=1 and 2";
+        }
+        removeTrace(p1);
+        removeTrace(p2);
+    }
+}
+
+/** Sampled serial warm engine. */
+TEST(TraceEquiv, SampledWarmBitIdentical)
+{
+    RunSetup s;
+    s.workload = "gzip";
+    s.input = "program";
+    s.maxInsts = 200'000;
+    s.machine = baselineConfig(16);
+    applySvf(s.machine, 1024, 2);
+    s.sample = ckpt::SamplePlan::parse("3,500,4000,warm");
+    expectTraceInvisible(s, "sampled_warm");
+}
+
+/** Category mask and cycle window filter at emit time. */
+TEST(TraceEquiv, CategoryAndWindowFiltering)
+{
+    if (!trace::kTracingCompiled)
+        GTEST_SKIP() << "emit sites compiled out (SVF_TRACING=OFF)";
+
+    RunSetup s;
+    s.workload = "mcf";
+    s.input = "inp";
+    s.maxInsts = kInsts;
+    s.machine = baselineConfig(16);
+    applySvf(s.machine, 1024, 2);
+
+    const std::string path = tracePath("filtered");
+    s.trace = trace::TraceSpec::parse(path + ",svf+cache,100,5000");
+    runExperiment(s);
+
+    std::vector<trace::Event> events;
+    ASSERT_TRUE(trace::readBinary(path, events));
+    EXPECT_GT(events.size(), 0u);
+    for (const trace::Event &e : events) {
+        std::uint32_t cat = trace::opCategory(trace::Op(e.op));
+        EXPECT_TRUE(cat == trace::CatSvf || cat == trace::CatCache)
+            << trace::opName(trace::Op(e.op));
+        EXPECT_GE(e.cycle, 100u);
+        EXPECT_LT(e.cycle, 5100u);
+    }
+    removeTrace(path);
+}
+
+} // anonymous namespace
+} // namespace svf::harness

@@ -1,0 +1,75 @@
+# End-to-end trace smoke test (ctest -L trace_smoke).
+#
+# Traces a stall_heavy-style detailed window (mcf on the SVF
+# machine), then drives every svf-trace subcommand against the
+# result: summarize must see events (it exits 1 on an empty or
+# corrupt stream), a category filter must still match, and the
+# converted Chrome JSON must be well-formed enough for Perfetto
+# (braces balanced, traceEvents present — checked textually so the
+# smoke test needs no JSON parser on the host).
+#
+# Usage: cmake -DSVF_SIM=... -DSVF_TRACE=... -DWORK_DIR=... -P this
+
+set(TRACE_BIN "${WORK_DIR}/trace_smoke.bin")
+file(REMOVE "${TRACE_BIN}" "${TRACE_BIN}.json")
+
+execute_process(
+    COMMAND "${SVF_SIM}" workload=mcf insts=100000 svf=1
+            "trace=${TRACE_BIN}"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "svf-sim trace= run failed (rc=${rc})")
+endif()
+
+if(NOT EXISTS "${TRACE_BIN}" OR NOT EXISTS "${TRACE_BIN}.json")
+    message(FATAL_ERROR "trace= did not produce both output files")
+endif()
+
+# summarize exits 1 when the stream is empty, corrupt or unreadable.
+execute_process(
+    COMMAND "${SVF_TRACE}" summarize "${TRACE_BIN}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE summary)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "svf-trace summarize failed (rc=${rc})")
+endif()
+if(NOT summary MATCHES "commit")
+    message(FATAL_ERROR "summary lists no commit events:\n${summary}")
+endif()
+
+# Category filtering must keep a non-empty SVF subset.
+execute_process(
+    COMMAND "${SVF_TRACE}" summarize "${TRACE_BIN}" cats=svf
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "svf-trace cats=svf filter matched nothing")
+endif()
+
+# convert re-emits Chrome JSON from the (filtered) binary.
+execute_process(
+    COMMAND "${SVF_TRACE}" convert "${TRACE_BIN}" cats=core
+            "out=${TRACE_BIN}.core.json"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "svf-trace convert failed (rc=${rc})")
+endif()
+
+# Well-formedness of the Perfetto-loadable JSON: key present, braces
+# and brackets balanced.
+foreach(json "${TRACE_BIN}.json" "${TRACE_BIN}.core.json")
+    file(READ "${json}" text)
+    if(NOT text MATCHES "\"traceEvents\"")
+        message(FATAL_ERROR "${json}: no traceEvents key")
+    endif()
+    string(REGEX MATCHALL "{" opens "${text}")
+    string(REGEX MATCHALL "}" closes "${text}")
+    list(LENGTH opens n_open)
+    list(LENGTH closes n_close)
+    if(NOT n_open EQUAL n_close)
+        message(FATAL_ERROR
+                "${json}: unbalanced braces (${n_open}/${n_close})")
+    endif()
+endforeach()
+
+file(REMOVE "${TRACE_BIN}" "${TRACE_BIN}.json"
+     "${TRACE_BIN}.core.json")
+message(STATUS "trace smoke OK")

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/counters.hh"
 #include "harness/experiment.hh"
 #include "isa/builder.hh"
 #include "sim/emulator.hh"
@@ -107,63 +108,33 @@ benchConfigs()
     return out;
 }
 
-#define SVF_EXPECT_FIELD_EQ(field)                                   \
-    EXPECT_EQ(scan.field, event.field) << what << ": " #field
-
+/** Registry-driven diff: every CoreStats counter, by name. */
 void
 expectCoreStatsEq(const CoreStats &scan, const CoreStats &event,
                   const std::string &what)
 {
-    SVF_EXPECT_FIELD_EQ(cycles);
-    SVF_EXPECT_FIELD_EQ(committed);
-    SVF_EXPECT_FIELD_EQ(loads);
-    SVF_EXPECT_FIELD_EQ(stores);
-    SVF_EXPECT_FIELD_EQ(branches);
-    SVF_EXPECT_FIELD_EQ(mispredicts);
-    SVF_EXPECT_FIELD_EQ(squashes);
-    SVF_EXPECT_FIELD_EQ(spInterlocks);
-    SVF_EXPECT_FIELD_EQ(lsqForwards);
-    SVF_EXPECT_FIELD_EQ(disambigScans);
-    SVF_EXPECT_FIELD_EQ(disambigScanSteps);
-    SVF_EXPECT_FIELD_EQ(disambigFilterHits);
-    SVF_EXPECT_FIELD_EQ(rerouteChecks);
-    SVF_EXPECT_FIELD_EQ(rerouteScanSteps);
-    SVF_EXPECT_FIELD_EQ(ctxSwitches);
-    SVF_EXPECT_FIELD_EQ(svfCtxBytes);
-    SVF_EXPECT_FIELD_EQ(scCtxBytes);
-    SVF_EXPECT_FIELD_EQ(dl1CtxLines);
+    for (const harness::CounterDef *d : harness::runCounters()) {
+        if (!d->fromCoreStats())
+            continue;
+        EXPECT_EQ(scan.*(d->coreField()), event.*(d->coreField()))
+            << what << ": " << d->name();
+    }
 }
 
+/** Registry-driven diff: every RunResult counter plus correctness. */
 void
 expectRunResultsEq(const harness::RunResult &scan,
                    const harness::RunResult &event,
                    const std::string &what)
 {
-    expectCoreStatsEq(scan.core, event.core, what);
-    SVF_EXPECT_FIELD_EQ(svfQuadsIn);
-    SVF_EXPECT_FIELD_EQ(svfQuadsOut);
-    SVF_EXPECT_FIELD_EQ(svfFastLoads);
-    SVF_EXPECT_FIELD_EQ(svfFastStores);
-    SVF_EXPECT_FIELD_EQ(svfReroutedLoads);
-    SVF_EXPECT_FIELD_EQ(svfReroutedStores);
-    SVF_EXPECT_FIELD_EQ(svfWindowMisses);
-    SVF_EXPECT_FIELD_EQ(svfDemandFills);
-    SVF_EXPECT_FIELD_EQ(svfDisableEpisodes);
-    SVF_EXPECT_FIELD_EQ(svfRefsWhileDisabled);
-    SVF_EXPECT_FIELD_EQ(scQuadsIn);
-    SVF_EXPECT_FIELD_EQ(scQuadsOut);
-    SVF_EXPECT_FIELD_EQ(scHits);
-    SVF_EXPECT_FIELD_EQ(scMisses);
-    SVF_EXPECT_FIELD_EQ(dl1Hits);
-    SVF_EXPECT_FIELD_EQ(dl1Misses);
-    SVF_EXPECT_FIELD_EQ(l2Hits);
-    SVF_EXPECT_FIELD_EQ(l2Misses);
-    SVF_EXPECT_FIELD_EQ(completed);
-    SVF_EXPECT_FIELD_EQ(outputOk);
-    SVF_EXPECT_FIELD_EQ(output);
+    for (const harness::CounterDef *d : harness::runCounters()) {
+        EXPECT_EQ(d->get(scan), d->get(event))
+            << what << ": " << d->name();
+    }
+    EXPECT_EQ(scan.completed, event.completed) << what;
+    EXPECT_EQ(scan.outputOk, event.outputOk) << what;
+    EXPECT_EQ(scan.output, event.output) << what;
 }
-
-#undef SVF_EXPECT_FIELD_EQ
 
 /** Every bench machine point × several workloads, both schedulers. */
 TEST(SchedEquiv, BenchConfigsBitIdentical)

@@ -50,6 +50,17 @@
  *                      windows; results are byte-identical for any N
  *     cache=DIR        disk-persistent result cache; repeated
  *                      identical invocations skip simulation
+ *     trace=FILE[,cats][,start,len]  event-trace the run (trace/
+ *                      trace.hh): compact binary at FILE plus
+ *                      Chrome/Perfetto JSON at FILE.json; inspect
+ *                      with svf-trace. cats is a '+'-joined subset
+ *                      of core+svf+sc+cache+disambig+replay; start,
+ *                      len bound the traced cycle window. A pure
+ *                      observer: statistics are bit-identical with
+ *                      tracing on, off, or compiled out.
+ *     prof=1           host phase profiler (harness/prof.hh): print
+ *                      the wall/CPU phase breakdown after the run
+ *                      and embed it in json=FILE as "profile"
  */
 
 #include <cstdio>
@@ -61,8 +72,10 @@
 #include "base/logging.hh"
 #include "harness/experiment.hh"
 #include "harness/json_report.hh"
+#include "harness/prof.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
+#include "trace/trace.hh"
 #include "isa/assembler.hh"
 #include "isa/decode.hh"
 #include "isa/disasm.hh"
@@ -269,6 +282,7 @@ main(int argc, char **argv)
         s.ckptDir = cfg.getString("ckpt", "");
         s.pjobs =
             static_cast<unsigned>(cfg.getUint("pjobs", 1));
+        s.trace = trace::TraceSpec::parse(cfg.getString("trace", ""));
         if (registry_multi) {
             s.workload = name;
             s.input = cfg.getString("input", "");
@@ -284,17 +298,45 @@ main(int argc, char **argv)
         harness::RunnerOptions opts;
         opts.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
         opts.cacheDir = cfg.getString("cache", "");
+        // A cached hit would skip the simulation that writes the
+        // trace file.
+        if (s.trace.enabled())
+            opts.memoize = false;
         if (cfg.getBool("progress", false))
             opts.progress = harness::stderrProgress();
+        bool prof_on = cfg.getBool("prof", false);
+        if (prof_on)
+            harness::prof::Profiler::instance().enable(true);
         harness::Runner runner(opts);
         const auto res = runner.run(plan);
 
         dumpStats(name, s.machine, res[0].run());
+        if (prof_on) {
+            harness::prof::Profiler::Report pr =
+                harness::prof::Profiler::instance().report();
+            std::printf("\n-- host phase profile (%.2fs elapsed) --\n",
+                        pr.elapsedSeconds);
+            for (unsigned p = 0;
+                 p < unsigned(harness::prof::Phase::NumPhases); ++p) {
+                if (!pr.phase[p].count)
+                    continue;
+                std::printf("%-18s %8.3fs wall  %8.3fs cpu  %8llu x\n",
+                            harness::prof::phaseName(
+                                harness::prof::Phase(p)),
+                            pr.phase[p].wallSeconds,
+                            pr.phase[p].cpuSeconds,
+                            (unsigned long long)pr.phase[p].count);
+            }
+        }
 
         std::string json_path = cfg.getString("json", "");
         if (!json_path.empty()) {
             harness::JsonReport report;
             report.add(res);
+            if (prof_on) {
+                report.setProfile(harness::prof::Profiler::instance()
+                                      .reportJson());
+            }
             report.writeFile(json_path);
         }
     }

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * svf-trace: inspect and convert binary simulation traces.
+ *
+ * Works on the compact binary stream `trace=FILE` writes (see
+ * trace/trace.hh for the format; the Chrome JSON sibling at
+ * FILE.json needs no tool — load it straight into Perfetto).
+ *
+ * Usage:
+ *     svf-trace summarize FILE [cats=svf+cache] [start=N] [len=N]
+ *     svf-trace dump      FILE [cats=...] [start=N] [len=N] [limit=N]
+ *     svf-trace convert   FILE [out=FILE.json] [cats=...] [start=N]
+ *                              [len=N]
+ *
+ * All three subcommands share the filter options: cats= keeps only
+ * the '+'-joined categories, start=/len= keep only the cycle window
+ * [start, start+len). Exits 1 when the file is missing/corrupt or
+ * the filter leaves zero events — so a CI smoke test can assert a
+ * trace is both well-formed and non-empty in one invocation.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/logging.hh"
+#include "trace/trace.hh"
+
+using namespace svf;
+
+namespace
+{
+
+struct Filter
+{
+    std::uint32_t mask = trace::CatAll;
+    std::uint64_t start = 0;
+    std::uint64_t len = 0;      // 0 => unbounded
+
+    bool
+    keep(const trace::Event &e) const
+    {
+        if (!(mask & trace::opCategory(trace::Op(e.op))))
+            return false;
+        if (e.cycle < start)
+            return false;
+        if (len && e.cycle >= start + len)
+            return false;
+        return true;
+    }
+};
+
+std::vector<trace::Event>
+loadFiltered(const std::string &path, const Filter &f)
+{
+    std::vector<trace::Event> events;
+    if (!trace::readBinary(path, events))
+        fatal("cannot read trace '%s' (missing or corrupt)",
+              path.c_str());
+    std::vector<trace::Event> out;
+    out.reserve(events.size());
+    for (const trace::Event &e : events) {
+        if (f.keep(e))
+            out.push_back(e);
+    }
+    return out;
+}
+
+int
+summarize(const std::string &path, const Filter &f)
+{
+    std::vector<trace::Event> events = loadFiltered(path, f);
+    if (events.empty()) {
+        std::fprintf(stderr, "%s: no events match the filter\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::uint64_t per_op[unsigned(trace::Op::NumOps)] = {};
+    std::uint64_t min_cycle = ~std::uint64_t(0), max_cycle = 0;
+    std::uint32_t min_stream = ~std::uint32_t(0), max_stream = 0;
+    for (const trace::Event &e : events) {
+        ++per_op[e.op];
+        min_cycle = std::min(min_cycle, e.cycle);
+        max_cycle = std::max(max_cycle, e.cycle);
+        min_stream = std::min(min_stream, e.stream);
+        max_stream = std::max(max_stream, e.stream);
+    }
+
+    std::printf("%s: %zu events, cycles [%llu, %llu], streams "
+                "%u..%u\n", path.c_str(), events.size(),
+                (unsigned long long)min_cycle,
+                (unsigned long long)max_cycle, min_stream, max_stream);
+    for (unsigned op = 0; op < unsigned(trace::Op::NumOps); ++op) {
+        if (!per_op[op])
+            continue;
+        std::printf("  %-20s %-9s %llu\n",
+                    trace::opName(trace::Op(op)),
+                    trace::categoryName(
+                        trace::opCategory(trace::Op(op))),
+                    (unsigned long long)per_op[op]);
+    }
+    return 0;
+}
+
+int
+dump(const std::string &path, const Filter &f, std::uint64_t limit)
+{
+    std::vector<trace::Event> events = loadFiltered(path, f);
+    if (events.empty()) {
+        std::fprintf(stderr, "%s: no events match the filter\n",
+                     path.c_str());
+        return 1;
+    }
+    std::uint64_t n = 0;
+    for (const trace::Event &e : events) {
+        if (limit && n++ >= limit) {
+            std::printf("... (%zu more)\n", events.size() - limit);
+            break;
+        }
+        std::printf("%10llu  s%-4u %-20s a0=0x%llx a1=0x%llx\n",
+                    (unsigned long long)e.cycle, e.stream,
+                    trace::opName(trace::Op(e.op)),
+                    (unsigned long long)e.a0,
+                    (unsigned long long)e.a1);
+    }
+    return 0;
+}
+
+int
+convert(const std::string &path, const Filter &f,
+        const std::string &out_path)
+{
+    std::vector<trace::Event> events = loadFiltered(path, f);
+    if (events.empty()) {
+        std::fprintf(stderr, "%s: no events match the filter\n",
+                     path.c_str());
+        return 1;
+    }
+    if (!trace::writeChromeJson(out_path, events))
+        return 1;
+    std::printf("%s: wrote %zu events (Chrome trace-event JSON; "
+                "load at ui.perfetto.dev)\n", out_path.c_str(),
+                events.size());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: svf-trace summarize|dump|convert FILE "
+                     "[cats=a+b] [start=N] [len=N] [limit=N] "
+                     "[out=FILE]\n");
+        return 2;
+    }
+    std::string cmd = argv[1];
+    std::string path = argv[2];
+
+    // Remaining args use the standard key=value grammar.
+    Config cfg = Config::fromArgs(argc - 2, argv + 2);
+    Filter f;
+    std::string cats = cfg.getString("cats", "");
+    if (!cats.empty())
+        f.mask = trace::parseCategories(cats);
+    f.start = cfg.getUint("start", 0);
+    f.len = cfg.getUint("len", 0);
+
+    int rc;
+    if (cmd == "summarize") {
+        rc = summarize(path, f);
+    } else if (cmd == "dump") {
+        rc = dump(path, f, cfg.getUint("limit", 0));
+    } else if (cmd == "convert") {
+        rc = convert(path, f,
+                     cfg.getString("out", path + ".json"));
+    } else {
+        std::fprintf(stderr, "unknown subcommand '%s' (expected "
+                     "summarize, dump or convert)\n", cmd.c_str());
+        return 2;
+    }
+    cfg.warnUnused();
+    return rc;
+}
