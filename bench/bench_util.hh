@@ -41,6 +41,12 @@
  *     cache=DIR    disk-persistent result cache (ckpt/result_cache
  *                  .hh): completed jobs are served as cached=true
  *                  across process runs.
+ *     server=SPEC  run the plan on an svf_simd daemon instead of an
+ *                  in-process Runner (serve/client.hh): SPEC is a
+ *                  Unix socket path or a TCP loopback port. Results
+ *                  and the json= report are byte-identical either
+ *                  way; trace= is refused (client-local file),
+ *                  cache= is ignored (the daemon owns the cache).
  *     cores=N      run every cycle-model job on an N-core System
  *                  (uarch/system.hh): the job's program replicated
  *                  one per core over a shared L2, or one entry per
@@ -71,6 +77,7 @@
 #include "harness/prof.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
+#include "serve/client.hh"
 #include "stats/table.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
@@ -137,19 +144,26 @@ class Bench
         if (_prof)
             harness::prof::Profiler::instance().enable(true);
         harness::systemFromConfig(_cfg, _sys);
+        _server = _cfg.getString("server", "");
         harness::RunnerOptions opts;
         opts.jobs =
             static_cast<unsigned>(_cfg.getUint("jobs", default_jobs));
         opts.cacheDir = _cfg.getString("cache", "");
+        if (!_server.empty() && !opts.cacheDir.empty()) {
+            warn("cache= is ignored with server=: the daemon owns "
+                 "the result cache");
+            opts.cacheDir.clear();
+        }
         // A memoized hit would skip the simulation that produces the
         // trace file, so tracing forces every job to actually run.
         if (_trace.enabled())
             opts.memoize = false;
         std::uint64_t progress = _cfg.getUint("progress", 0);
         if (progress >= 2)
-            opts.progress = harness::statusProgress();
+            _progress = harness::statusProgress();
         else if (progress)
-            opts.progress = harness::stderrProgress();
+            _progress = harness::stderrProgress();
+        opts.progress = _progress;
         _runner = std::make_unique<harness::Runner>(opts);
         // Nest pjobs under jobs without oversubscribing: every
         // Runner worker may spin up pjobs interval threads of its
@@ -190,6 +204,10 @@ class Bench
         std::vector<harness::JobOutcome> out;
         bool drive_mode = _sys.cores != 1 || _sys.slicePeriod != 0;
         if (_trace.enabled()) {
+            if (!_server.empty()) {
+                fatal("trace= writes client-local files; drop "
+                      "server= or trace=");
+            }
             if (drive_mode) {
                 fatal("trace= with cores=/slice= would interleave "
                       "several streams into '%s'; drop one",
@@ -229,9 +247,9 @@ class Bench
                     rs->sysQuantum = _sys.sysQuantum;
                 }
             }
-            out = _runner->run(rewritten);
+            out = execPlan(rewritten);
         } else {
-            out = _runner->run(plan);
+            out = execPlan(plan);
         }
         _json.add(out);
         return out;
@@ -284,6 +302,22 @@ class Bench
     bool profEnabled() const { return _prof; }
 
   private:
+    /** Local Runner or the server= daemon, same outcome contract. */
+    std::vector<harness::JobOutcome>
+    execPlan(const harness::ExperimentPlan &plan)
+    {
+        if (_server.empty())
+            return _runner->run(plan);
+        serve::Client client;
+        std::vector<harness::JobOutcome> out;
+        std::string err;
+        if (!client.connect(_server, err))
+            fatal("%s", err.c_str());
+        if (!client.runPlan(plan, out, err, _progress))
+            fatal("%s", err.c_str());
+        return out;
+    }
+
     Config _cfg;
     std::uint64_t _budget = 0;
     bool _csv = false;
@@ -293,7 +327,9 @@ class Bench
     unsigned _pjobs = 1;
     trace::TraceSpec _trace;
     bool _prof = false;
+    std::string _server;
     harness::RunSetup _sys;     //!< cores=/slice=/quantum= defaults
+    harness::ProgressHook _progress;
     std::unique_ptr<harness::Runner> _runner;
     harness::JsonReport _json;
 };

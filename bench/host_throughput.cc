@@ -23,7 +23,11 @@
  *     before the rates are reported;
  *   - sampled_mcf/pjobsN: one interval-sampled run at several
  *     pjobs= worker counts (harness/experiment.hh), verified
- *     byte-identical across thread counts.
+ *     byte-identical across thread counts;
+ *   - dispatch/local vs dispatch/served: a cache-hit request served
+ *     by a local Runner memo against the same request round-tripped
+ *     through an in-process svf-simd on a Unix socket, with the
+ *     daemon's dispatch overhead gated at < 5 ms/request.
  *
  * Two observability gates ride along. The trace-overhead gate pins
  * the cost of the compiled-in emit sites (trace/trace.hh): a run
@@ -57,6 +61,8 @@
 #include "harness/prof.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/emulator.hh"
 #include "stats/table.hh"
 #include "trace/trace.hh"
@@ -561,6 +567,112 @@ main(int argc, char **argv)
                              "%+.1f%% not gated\n",
                              disp * 100.0, pct);
             }
+        }
+    }
+
+    // Served-vs-local dispatch overhead: the same cache-hit request
+    // answered by an in-process svf-simd (Unix socket round trip,
+    // JSON decode, memo lookup, result re-encode) against a local
+    // Runner memo lookup. Both arms repeat a plan the engine has
+    // already executed, so simulation cost is out of the picture and
+    // the per-request wall time is pure dispatch. The daemon is
+    // allowed < 5 ms/request on top of essentially-free local memo
+    // service; more than that means the protocol path grew real work
+    // (per-request allocation storms, lock convoys, Nagle stalls)
+    // and thin-client sweeps would feel it at every job.
+    {
+        harness::RunSetup s;
+        s.workload = "gzip";
+        s.input = "log";
+        s.maxInsts = 60'000;
+        s.machine = harness::baselineConfig(8);
+        harness::ExperimentPlan plan;
+        plan.add("served_rt", s);
+
+        serve::ServerOptions so;
+        // cwd-relative keeps the path under the sockaddr_un limit no
+        // matter where the build tree lives.
+        so.unixPath = "BENCH_served.sock.tmp";
+        so.service.engine.threads = 1;
+        serve::Server server(so);
+        std::string err;
+        constexpr int kReqs = 50;
+        double served_s = -1.0, local_s = -1.0;
+        harness::RunResult served_r;
+        if (!server.start(err)) {
+            std::fprintf(stderr,
+                         "FAIL: served-dispatch bench: %s\n",
+                         err.c_str());
+            rc = 1;
+        } else {
+            serve::Client cli;
+            std::vector<harness::JobOutcome> out;
+            bool ok = cli.connect(so.unixPath, err);
+            // Warm-up executes on the daemon; every timed round trip
+            // after it is a memo hit.
+            ok = ok && cli.runPlan(plan, out, err);
+            if (ok) {
+                served_r = out[0].run();
+                auto t0 = std::chrono::steady_clock::now();
+                for (int i = 0; ok && i < kReqs; ++i) {
+                    std::vector<harness::JobOutcome> hit;
+                    ok = cli.runPlan(plan, hit, err);
+                }
+                std::chrono::duration<double> dt =
+                    std::chrono::steady_clock::now() - t0;
+                if (ok)
+                    served_s = dt.count() / kReqs;
+            }
+            if (!ok) {
+                std::fprintf(stderr,
+                             "FAIL: served-dispatch bench: %s\n",
+                             err.c_str());
+                rc = 1;
+            }
+        }
+
+        {
+            harness::RunnerOptions ro;
+            ro.jobs = 1;
+            harness::Runner local(ro);
+            local.run(plan);
+            auto t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < kReqs; ++i)
+                local.run(plan);
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            local_s = dt.count() / kReqs;
+        }
+
+        if (served_s >= 0.0) {
+            std::printf("\ncache-hit dispatch (gzip.log, %d "
+                        "round trips):\n", kReqs);
+            std::printf("  local memo:   %8.3f ms/request\n",
+                        local_s * 1e3);
+            std::printf("  served (unix):%8.3f ms/request "
+                        "(+%.3f ms daemon overhead)\n",
+                        served_s * 1e3,
+                        (served_s - local_s) * 1e3);
+            if (served_s - local_s > 0.005) {
+                std::fprintf(stderr,
+                             "FAIL: daemon cache-hit overhead "
+                             "%.3f ms/request > 5 ms\n",
+                             (served_s - local_s) * 1e3);
+                rc = 1;
+            }
+            // Baseline rows: host MIPS here reads "simulated insts
+            // delivered per dispatch second", the sweep-side figure
+            // of merit for cache-served jobs.
+            std::uint64_t rt_seed =
+                hashCombine(s.key(), std::uint64_t(kReqs));
+            extra.push_back(pseudoOutcome(
+                "dispatch/local",
+                hashCombine(rt_seed, std::string("local")),
+                served_r, local_s));
+            extra.push_back(pseudoOutcome(
+                "dispatch/served",
+                hashCombine(rt_seed, std::string("served")),
+                served_r, served_s));
         }
     }
 

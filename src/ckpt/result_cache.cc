@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "base/logging.hh"
 #include "ckpt/sampler.hh"
@@ -235,7 +238,92 @@ constexpr std::uint8_t KindRun = 0;
 constexpr std::uint8_t KindTraffic = 1;
 constexpr std::uint8_t KindProfile = 2;
 
+/**
+ * Advisory per-key flock guard (`<key>.res.lock`): shared for reads,
+ * exclusive for writes. Writes are already atomic (unique temp +
+ * rename), so same-process races cannot tear an entry; the lock is
+ * for *shared-owner* directories — a daemon and standalone CLIs
+ * pointed at one cache=DIR — where it serializes whole read/write
+ * cycles across processes, including filesystems whose rename is
+ * less atomic than POSIX promises. Closing the fd releases the lock;
+ * acquisition failure degrades to the unlocked (still rename-safe)
+ * behaviour rather than failing the cache op.
+ */
+class FileLock
+{
+  public:
+    FileLock(const std::string &path, bool exclusive)
+    {
+        fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd >= 0 &&
+            ::flock(fd, exclusive ? LOCK_EX : LOCK_SH) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    ~FileLock()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd = -1;
+};
+
 } // anonymous namespace
+
+std::vector<std::uint8_t>
+encodeValue(const CachedValue &value)
+{
+    ByteWriter w;
+    if (const auto *run = std::get_if<harness::RunResult>(&value)) {
+        w.u8(KindRun);
+        putRun(w, *run);
+    } else if (const auto *traffic =
+                   std::get_if<harness::TrafficResult>(&value)) {
+        w.u8(KindTraffic);
+        putTraffic(w, *traffic);
+    } else {
+        w.u8(KindProfile);
+        putProfile(w, std::get<workloads::StackProfile>(value));
+    }
+    return w.data();
+}
+
+bool
+decodeValue(const std::uint8_t *data, std::size_t len,
+            CachedValue &out)
+{
+    ByteReader r(data, len);
+    std::uint8_t kind = r.u8();
+    if (kind == KindRun) {
+        harness::RunResult res;
+        getRun(r, res);
+        out = std::move(res);
+    } else if (kind == KindTraffic) {
+        harness::TrafficResult res;
+        getTraffic(r, res);
+        out = res;
+    } else if (kind == KindProfile) {
+        workloads::StackProfile p;
+        getProfile(r, p);
+        out = std::move(p);
+    } else {
+        return false;
+    }
+    return r.ok() && r.remaining() == 0;
+}
+
+bool
+decodeValue(const std::vector<std::uint8_t> &bytes, CachedValue &out)
+{
+    return decodeValue(bytes.data(), bytes.size(), out);
+}
 
 ResultCache::ResultCache(std::string dir) : _dir(std::move(dir))
 {
@@ -263,18 +351,8 @@ ResultCache::store(std::uint64_t key, const CachedValue &value) const
 
     ByteWriter body;
     body.u64(key);
-    if (const auto *run = std::get_if<harness::RunResult>(&value)) {
-        body.u8(KindRun);
-        putRun(body, *run);
-    } else if (const auto *traffic =
-                   std::get_if<harness::TrafficResult>(&value)) {
-        body.u8(KindTraffic);
-        putTraffic(body, *traffic);
-    } else {
-        body.u8(KindProfile);
-        putProfile(body,
-                   std::get<workloads::StackProfile>(value));
-    }
+    std::vector<std::uint8_t> payload = encodeValue(value);
+    body.bytes(payload.data(), payload.size());
 
     ByteWriter out;
     out.bytes(reinterpret_cast<const std::uint8_t *>(Magic),
@@ -282,6 +360,7 @@ ResultCache::store(std::uint64_t key, const CachedValue &value) const
     out.u32(FormatVersion);
     out.bytes(body.data().data(), body.data().size());
     out.u64(fnv1a(body.data().data(), body.data().size()));
+    FileLock guard(path(key) + ".lock", /*exclusive=*/true);
     if (!writeFileAtomic(path(key), out.data())) {
         warn("cannot persist result %016llx to '%s'",
              (unsigned long long)key, _dir.c_str());
@@ -296,6 +375,7 @@ ResultCache::load(std::uint64_t key, CachedValue &out) const
     if (!enabled())
         return false;
     std::string file = path(key);
+    FileLock guard(file + ".lock", /*exclusive=*/false);
     std::vector<std::uint8_t> bytes;
     if (!readFile(file, bytes))
         return false;
@@ -316,6 +396,11 @@ ResultCache::load(std::uint64_t key, CachedValue &out) const
     }
     const std::uint8_t *body = bytes.data() + sizeof(Magic) + 4;
     std::size_t body_len = r.remaining() - 8;
+    if (body_len < 9) {     // key + kind byte at minimum
+        warn("ignoring cached result '%s': truncated body",
+             file.c_str());
+        return false;
+    }
     if (fnv1a(body, body_len) !=
         ByteReader(body + body_len, 8).u64()) {
         warn("ignoring cached result '%s': digest mismatch",
@@ -328,25 +413,7 @@ ResultCache::load(std::uint64_t key, CachedValue &out) const
              file.c_str());
         return false;
     }
-    std::uint8_t kind = r.u8();
-    if (kind == KindRun) {
-        harness::RunResult res;
-        getRun(r, res);
-        out = std::move(res);
-    } else if (kind == KindTraffic) {
-        harness::TrafficResult res;
-        getTraffic(r, res);
-        out = res;
-    } else if (kind == KindProfile) {
-        workloads::StackProfile p;
-        getProfile(r, p);
-        out = std::move(p);
-    } else {
-        warn("ignoring cached result '%s': unknown kind %u",
-             file.c_str(), unsigned(kind));
-        return false;
-    }
-    if (!r.ok() || r.remaining() != 8) {
+    if (!decodeValue(body + 8, body_len - 8, out)) {
         warn("ignoring cached result '%s': malformed payload",
              file.c_str());
         return false;

@@ -19,9 +19,11 @@
 #ifndef SVF_CKPT_RESULT_CACHE_HH
 #define SVF_CKPT_RESULT_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/traffic.hh"
@@ -38,8 +40,12 @@ using CachedValue = std::variant<harness::RunResult,
 class ResultCache
 {
   public:
-    /** Bumped whenever any serialized result layout changes. */
-    static constexpr std::uint32_t FormatVersion = 3;
+    /**
+     * Bumped whenever any serialized result layout changes.
+     * v4: ckpt::coreCounters() became the registry-derived table
+     * (harness/counters.hh), which reordered the CoreStats fields.
+     */
+    static constexpr std::uint32_t FormatVersion = 4;
 
     /** @p dir empty disables the cache (all ops become no-ops). */
     explicit ResultCache(std::string dir);
@@ -58,6 +64,27 @@ class ResultCache
   private:
     std::string _dir;
 };
+
+/**
+ * @name Value wire codec
+ *
+ * The cache's kind-tagged payload encoding (kind byte + per-type
+ * serializer, no file framing), exposed so the serve layer ships
+ * results over the socket with exactly the bytes the disk cache
+ * round-trips — a decoded value is bit-identical to a local run.
+ */
+/// @{
+
+/** Serialize @p value (kind byte + payload; endian-stable). */
+std::vector<std::uint8_t> encodeValue(const CachedValue &value);
+
+/** Decode encodeValue() output; false on malformed/trailing bytes. */
+bool decodeValue(const std::uint8_t *data, std::size_t len,
+                 CachedValue &out);
+bool decodeValue(const std::vector<std::uint8_t> &bytes,
+                 CachedValue &out);
+
+/// @}
 
 } // namespace svf::ckpt
 

@@ -5,6 +5,7 @@
 #include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/str.hh"
+#include "harness/counters.hh"
 #include "sim/emulator.hh"
 
 namespace svf::ckpt
@@ -76,27 +77,20 @@ SamplePlan::key(std::uint64_t seed) const
 const std::vector<CoreCounter> &
 coreCounters()
 {
-    using S = uarch::CoreStats;
-    static const std::vector<CoreCounter> counters = {
-        {"cycles", &S::cycles},
-        {"committed", &S::committed},
-        {"loads", &S::loads},
-        {"stores", &S::stores},
-        {"branches", &S::branches},
-        {"mispredicts", &S::mispredicts},
-        {"squashes", &S::squashes},
-        {"sp_interlocks", &S::spInterlocks},
-        {"lsq_forwards", &S::lsqForwards},
-        {"ctx_switches", &S::ctxSwitches},
-        {"svf_ctx_bytes", &S::svfCtxBytes},
-        {"sc_ctx_bytes", &S::scCtxBytes},
-        {"dl1_ctx_lines", &S::dl1CtxLines},
-        {"disambig_scans", &S::disambigScans},
-        {"disambig_scan_steps", &S::disambigScanSteps},
-        {"disambig_filter_hits", &S::disambigFilterHits},
-        {"reroute_checks", &S::rerouteChecks},
-        {"reroute_scan_steps", &S::rerouteScanSteps},
-    };
+    // The CoreStats-backed subsequence of the harness counter
+    // registry, in registry order. This order is the result cache's
+    // on-disk serialization order (ResultCache::FormatVersion 4 —
+    // deriving the table retired the hand-written copy, whose order
+    // differed, hence the bump). The registry name strings outlive
+    // the process (function-local static deque), so borrowing the
+    // c_str() is safe.
+    static const std::vector<CoreCounter> counters = [] {
+        std::vector<CoreCounter> t;
+        for (const harness::CounterDef *d : harness::runCounters())
+            if (d->fromCoreStats())
+                t.push_back({d->name().c_str(), d->coreField()});
+        return t;
+    }();
     return counters;
 }
 

@@ -93,7 +93,12 @@ struct CoreCounter
     std::uint64_t uarch::CoreStats::*field;
 };
 
-/** Every CoreStats counter, cycles and committed first. */
+/**
+ * Every CoreStats counter, cycles and committed first. Derived from
+ * the harness counter registry (its CoreStats-backed subsequence, in
+ * registry order) so counters have a single declaration site; the
+ * order is the result cache's serialization order.
+ */
 const std::vector<CoreCounter> &coreCounters();
 
 /**

@@ -19,12 +19,13 @@
  * the run). The registry abstracts the difference: get()/ref() reach
  * either through the right member pointer.
  *
- * Deliberately NOT migrated: ckpt::coreCounters(), the name/field
- * table the snapshot result cache serializes through. Its order is
- * on-disk format (result_cache FormatVersion 3) and the ckpt layer
- * sits below harness, so it stays a separate table —
- * tests/harness/counters_test pins that every one of its entries
- * matches this registry by name and member pointer.
+ * ckpt::coreCounters() — the name/field table the result cache
+ * serializes CoreStats through — is *derived* from this registry (its
+ * entries are the CoreStats-backed subsequence, in registry order),
+ * so there is exactly one declaration site. That order is on-disk
+ * format: deriving it retired the hand-written ckpt copy, whose order
+ * differed, which is why result_cache FormatVersion moved 3 → 4.
+ * tests/harness/counters_test pins the positional equivalence.
  */
 
 #ifndef SVF_HARNESS_COUNTERS_HH

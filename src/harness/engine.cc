@@ -1,0 +1,336 @@
+#include "harness/engine.hh"
+
+#include <exception>
+
+#include "base/logging.hh"
+#include "harness/prof.hh"
+
+namespace svf::harness
+{
+
+TicketState
+JobTicket::state() const
+{
+    std::lock_guard<std::mutex> g(_m);
+    return _state;
+}
+
+bool
+JobTicket::finished() const
+{
+    TicketState s = state();
+    return s == TicketState::Done || s == TicketState::Rejected ||
+           s == TicketState::Failed;
+}
+
+void
+JobTicket::wait() const
+{
+    std::unique_lock<std::mutex> l(_m);
+    _cv.wait(l, [&] {
+        return _state == TicketState::Done ||
+               _state == TicketState::Rejected ||
+               _state == TicketState::Failed;
+    });
+}
+
+JobEngine::JobEngine(EngineOptions options)
+    : opts(std::move(options)), cache(opts.cacheDir),
+      tStart(std::chrono::steady_clock::now())
+{
+    nThreads = opts.threads ? opts.threads
+                            : std::thread::hardware_concurrency();
+    if (nThreads == 0)
+        nThreads = 1;
+    if (cache.enabled() && !opts.memoize) {
+        warn("cache=DIR requires memoization; disk cache disabled");
+        cache = ckpt::ResultCache("");
+    }
+    counts.threads = nThreads;
+    if (!opts.manual) {
+        workers.reserve(nThreads);
+        for (unsigned t = 0; t < nThreads; ++t)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+JobEngine::~JobEngine()
+{
+    drain();
+}
+
+void
+JobEngine::drain()
+{
+    {
+        std::lock_guard<std::mutex> g(lock);
+        if (stopping)
+            return;
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+    workers.clear();
+    eventCv.notify_all();
+}
+
+double
+JobEngine::uptimeSeconds() const
+{
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - tStart;
+    return dt.count();
+}
+
+void
+JobEngine::finishTicket(const TicketPtr &t, TicketState state,
+                        TicketSource source, double wall,
+                        const JobValue *value, const std::string &err)
+{
+    std::function<void(JobTicket &)> hook;
+    {
+        std::lock_guard<std::mutex> g(t->_m);
+        t->_state = state;
+        t->_source = source;
+        t->_wallSeconds = wall;
+        std::chrono::duration<double> q =
+            std::chrono::steady_clock::now() - t->_tSubmit;
+        t->_queueSeconds = q.count() - wall;
+        if (t->_queueSeconds < 0.0)
+            t->_queueSeconds = 0.0;
+        if (value)
+            t->_value = *value;
+        t->_error = err;
+        hook = std::move(t->_onDone);
+        t->_onDone = nullptr;
+    }
+    t->_cv.notify_all();
+    eventCv.notify_all();
+    if (hook)
+        hook(*t);
+}
+
+TicketPtr
+JobEngine::submit(const JobSetup &setup, const std::string &client,
+                  std::function<void(JobTicket &)> on_done)
+{
+    TicketPtr t = std::make_shared<JobTicket>();
+    t->_key = setupKey(setup);
+    t->_client = client;
+    t->_onDone = std::move(on_done);
+    t->_tSubmit = std::chrono::steady_clock::now();
+
+    bool notify_worker = false;
+    {
+        std::unique_lock<std::mutex> l(lock);
+        if (opts.memoize) {
+            prof::ScopedPhase ph(prof::Phase::CacheLookup);
+            auto hit = memo.find(t->_key);
+            if (hit != memo.end()) {
+                ++counts.memoHits;
+                JobValue v = hit->second;
+                l.unlock();
+                finishTicket(t, TicketState::Done, TicketSource::Memo,
+                             0.0, &v, "");
+                return t;
+            }
+            ckpt::CachedValue from_disk;
+            if (cache.load(t->_key, from_disk)) {
+                auto [it, ins] =
+                    memo.emplace(t->_key, std::move(from_disk));
+                ++counts.diskHits;
+                JobValue v = it->second;
+                l.unlock();
+                finishTicket(t, TicketState::Done, TicketSource::Disk,
+                             0.0, &v, "");
+                return t;
+            }
+            auto fl = inflight.find(t->_key);
+            if (fl != inflight.end()) {
+                ++counts.inflightAttached;
+                if (fl->second->running) {
+                    std::lock_guard<std::mutex> g(t->_m);
+                    t->_state = TicketState::Running;
+                }
+                fl->second->attached.push_back(t);
+                l.unlock();
+                eventCv.notify_all();
+                return t;
+            }
+        }
+        if (opts.maxQueued && queuedCount >= opts.maxQueued) {
+            ++counts.rejected;
+            l.unlock();
+            finishTicket(t, TicketState::Rejected,
+                         TicketSource::Executed, 0.0, nullptr,
+                         "queue full");
+            return t;
+        }
+
+        ItemPtr item = std::make_shared<Item>();
+        item->setup = setup;
+        item->key = t->_key;
+        item->client = client;
+        item->primary = t;
+        if (opts.memoize)
+            inflight.emplace(t->_key, item);
+        auto [q, fresh] = queues.try_emplace(client);
+        if (fresh)
+            rrClients.push_back(client);
+        q->second.push_back(std::move(item));
+        ++queuedCount;
+        notify_worker = true;
+    }
+    if (notify_worker) {
+        workCv.notify_one();
+        eventCv.notify_all();
+    }
+    return t;
+}
+
+JobEngine::ItemPtr
+JobEngine::popLocked()
+{
+    if (queuedCount == 0)
+        return nullptr;
+    for (std::size_t scanned = 0; scanned < rrClients.size();
+         ++scanned) {
+        std::deque<ItemPtr> &q = queues[rrClients[rrNext]];
+        rrNext = (rrNext + 1) % rrClients.size();
+        if (q.empty())
+            continue;
+        ItemPtr item = std::move(q.front());
+        q.pop_front();
+        --queuedCount;
+        return item;
+    }
+    return nullptr;
+}
+
+void
+JobEngine::execute(const ItemPtr &item)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    JobValue value;
+    std::string err;
+    bool ok = true;
+    try {
+        value = executeSetup(item->setup);
+    } catch (const std::exception &e) {
+        ok = false;
+        err = e.what();
+    }
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+
+    std::vector<TicketPtr> waiters;
+    {
+        std::lock_guard<std::mutex> g(lock);
+        if (ok) {
+            ++counts.executed;
+            counts.wallTotal += dt.count();
+            if (opts.memoize)
+                memo.emplace(item->key, value);
+        }
+        if (opts.memoize)
+            inflight.erase(item->key);
+        --counts.running;
+        waiters = std::move(item->attached);
+    }
+    // Disk persistence and ticket completion happen unlocked: the
+    // store is file IO and the completions run user callbacks.
+    if (ok)
+        cache.store(item->key, value);
+    finishTicket(item->primary,
+                 ok ? TicketState::Done : TicketState::Failed,
+                 TicketSource::Executed, dt.count(),
+                 ok ? &value : nullptr, err);
+    for (const TicketPtr &w : waiters)
+        finishTicket(w, ok ? TicketState::Done : TicketState::Failed,
+                     TicketSource::Inflight, 0.0,
+                     ok ? &value : nullptr, err);
+}
+
+/**
+ * Caller holds the engine lock: `attached` may only be read or
+ * grown under it (submit appends concurrently). Ticket mutexes nest
+ * inside the engine lock; nothing ever takes them the other way.
+ */
+void
+JobEngine::markRunningLocked(const ItemPtr &item)
+{
+    item->running = true;
+    ++counts.running;
+    {
+        std::lock_guard<std::mutex> g(item->primary->_m);
+        item->primary->_state = TicketState::Running;
+    }
+    for (const TicketPtr &w : item->attached) {
+        std::lock_guard<std::mutex> g(w->_m);
+        w->_state = TicketState::Running;
+    }
+    eventCv.notify_all();
+}
+
+void
+JobEngine::workerLoop()
+{
+    while (true) {
+        ItemPtr item;
+        {
+            std::unique_lock<std::mutex> l(lock);
+            workCv.wait(l, [&] {
+                return stopping || queuedCount > 0;
+            });
+            if (stopping)
+                return;
+            item = popLocked();
+            if (!item)
+                continue;
+            markRunningLocked(item);
+        }
+        execute(item);
+    }
+}
+
+bool
+JobEngine::runOne()
+{
+    ItemPtr item;
+    {
+        std::lock_guard<std::mutex> g(lock);
+        item = popLocked();
+        if (!item)
+            return false;
+        markRunningLocked(item);
+    }
+    execute(item);
+    return true;
+}
+
+bool
+JobEngine::waitEvent(std::chrono::milliseconds timeout) const
+{
+    std::unique_lock<std::mutex> l(lock);
+    return eventCv.wait_for(l, timeout) == std::cv_status::no_timeout;
+}
+
+EngineStats
+JobEngine::stats() const
+{
+    std::lock_guard<std::mutex> g(lock);
+    EngineStats s = counts;
+    s.queueDepth = queuedCount;
+    s.threads = nThreads;
+    return s;
+}
+
+void
+JobEngine::clearMemo()
+{
+    std::lock_guard<std::mutex> g(lock);
+    memo.clear();
+}
+
+} // namespace svf::harness

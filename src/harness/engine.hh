@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Submit/wait job engine: the execution core under harness::Runner
+ * and the serve layer's daemon.
+ *
+ * Runner's original design was plan-scoped: dedup, memoization and
+ * the worker pool all lived inside one run() call, so two concurrent
+ * plans — or two processes — could not share an execution. The
+ * JobEngine extracts that machinery into a persistent service:
+ * callers submit() individual JobSetups and get back a ticket they
+ * can wait on, while a long-lived worker pool drains a fair
+ * admission queue behind a three-level store:
+ *
+ *   1. in-memory memo (setup key -> JobValue),
+ *   2. the disk result cache (ckpt/result_cache.hh) when configured,
+ *   3. live execution — with *in-flight dedup*: a submit whose key
+ *      is already queued or running attaches to that execution
+ *      instead of enqueueing a second one, and every attached ticket
+ *      completes the moment the one execution does.
+ *
+ * Admission is fair across clients: each client id gets its own FIFO
+ * and the pool round-robins over clients, so one caller enqueueing a
+ * thousand windows cannot starve another's two. The queue is
+ * optionally bounded; a submit past the bound is rejected
+ * immediately (backpressure) rather than blocking the socket thread.
+ *
+ * Tickets are self-contained (own mutex/cv), so waiting threads
+ * never touch engine internals, and a manual mode (threads
+ * configured but not started) lets tests drive the queue one item at
+ * a time for deterministic fairness/dedup assertions.
+ */
+
+#ifndef SVF_HARNESS_ENGINE_HH
+#define SVF_HARNESS_ENGINE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ckpt/result_cache.hh"
+#include "harness/runner.hh"
+
+namespace svf::harness
+{
+
+/** Where a ticket's value came from. */
+enum class TicketSource
+{
+    Executed,   //!< simulated by this engine
+    Memo,       //!< in-memory memo hit
+    Disk,       //!< disk result-cache hit
+    Inflight,   //!< attached to an execution already in flight
+};
+
+/** Ticket lifecycle; Done/Rejected/Failed are terminal. */
+enum class TicketState
+{
+    Queued,
+    Running,
+    Done,
+    Rejected,   //!< bounded queue full (backpressure)
+    Failed,     //!< execution threw
+};
+
+class JobEngine;
+
+/**
+ * One submitted job. Self-synchronized: state()/wait()/value() are
+ * safe from any thread and remain valid after the engine is gone.
+ */
+class JobTicket
+{
+  public:
+    std::uint64_t key() const { return _key; }
+    const std::string &client() const { return _client; }
+
+    TicketState state() const;
+
+    /** Block until the ticket reaches a terminal state. */
+    void wait() const;
+
+    /** Terminal? (Done, Rejected or Failed.) */
+    bool finished() const;
+
+    /** @name Valid once finished() */
+    /// @{
+    TicketSource source() const { return _source; }
+    double wallSeconds() const { return _wallSeconds; }
+    double queueSeconds() const { return _queueSeconds; }
+    const JobValue &value() const { return _value; }
+    const std::string &error() const { return _error; }
+    /// @}
+
+    /** Cache semantics of the outcome (anything but Executed). */
+    bool cached() const { return _source != TicketSource::Executed; }
+
+  private:
+    friend class JobEngine;
+
+    void finish(TicketState state, TicketSource source);
+
+    mutable std::mutex _m;
+    mutable std::condition_variable _cv;
+    TicketState _state = TicketState::Queued;
+
+    std::uint64_t _key = 0;
+    std::string _client;
+    TicketSource _source = TicketSource::Executed;
+    double _wallSeconds = 0.0;
+    double _queueSeconds = 0.0;
+    JobValue _value;
+    std::string _error;
+    std::function<void(JobTicket &)> _onDone;
+    std::chrono::steady_clock::time_point _tSubmit;
+};
+
+using TicketPtr = std::shared_ptr<JobTicket>;
+
+/** Engine knobs (RunnerOptions and the daemon both map onto this). */
+struct EngineOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+
+    /**
+     * Memoize by setup key and dedup in-flight identical setups.
+     * Off, every submit executes (Runner's memoize=false contract).
+     */
+    bool memoize = true;
+
+    /** Disk result cache directory; empty disables (needs memoize). */
+    std::string cacheDir;
+
+    /** Max queued (not yet running) items; 0 = unbounded. */
+    std::size_t maxQueued = 0;
+
+    /**
+     * Do not start worker threads; the owner steps the queue with
+     * runOne(). Deterministic mode for protocol tests.
+     */
+    bool manual = false;
+};
+
+/** A point-in-time engine statistics snapshot. */
+struct EngineStats
+{
+    std::uint64_t executed = 0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t inflightAttached = 0;
+    std::uint64_t rejected = 0;
+    std::size_t queueDepth = 0;     //!< queued, not yet running
+    unsigned running = 0;           //!< items executing right now
+    double wallTotal = 0.0;         //!< summed execution seconds
+    unsigned threads = 0;
+};
+
+class JobEngine
+{
+  public:
+    explicit JobEngine(EngineOptions options = {});
+
+    /** Stops workers (running items finish; queued never run). */
+    ~JobEngine();
+
+    JobEngine(const JobEngine &) = delete;
+    JobEngine &operator=(const JobEngine &) = delete;
+
+    /**
+     * Submit one setup under @p client's queue. Returns a ticket
+     * that may already be finished (memo/disk hit, or rejection by
+     * backpressure). @p on_done, when set, fires exactly once as the
+     * ticket reaches a terminal state — synchronously inside
+     * submit() for immediate hits/rejects, from a worker thread
+     * otherwise; never with engine or ticket locks held.
+     */
+    TicketPtr submit(const JobSetup &setup,
+                     const std::string &client = "",
+                     std::function<void(JobTicket &)> on_done = {});
+
+    /**
+     * Manual mode: run the next queued item (fair order) on the
+     * calling thread. False when the queue is empty.
+     */
+    bool runOne();
+
+    /**
+     * Stop accepting executions and join the workers: running items
+     * complete (and persist), queued items stay queued forever — the
+     * daemon journals them for its next start. Idempotent.
+     */
+    void drain();
+
+    /**
+     * Block up to @p timeout for any ticket state transition
+     * (coarse-grained change notification for event streamers).
+     * True when notified, false on timeout.
+     */
+    bool waitEvent(std::chrono::milliseconds timeout) const;
+
+    EngineStats stats() const;
+
+    /** Drop all memoized results (not the disk cache). */
+    void clearMemo();
+
+    unsigned threadCount() const { return nThreads; }
+    const ckpt::ResultCache &diskCache() const { return cache; }
+
+    /** Seconds since construction (utilization denominator). */
+    double uptimeSeconds() const;
+
+  private:
+    /** One distinct in-flight setup; every duplicate attaches. */
+    struct Item
+    {
+        JobSetup setup;
+        std::uint64_t key = 0;
+        std::string client;
+        TicketPtr primary;
+        std::vector<TicketPtr> attached;
+        bool running = false;
+    };
+    using ItemPtr = std::shared_ptr<Item>;
+
+    void workerLoop();
+    ItemPtr popLocked();
+    void markRunningLocked(const ItemPtr &item);
+    void execute(const ItemPtr &item);
+    void finishTicket(const TicketPtr &t, TicketState state,
+                      TicketSource source, double wall,
+                      const JobValue *value, const std::string &err);
+
+    EngineOptions opts;
+    unsigned nThreads;
+    ckpt::ResultCache cache;
+    std::chrono::steady_clock::time_point tStart;
+
+    mutable std::mutex lock;
+    std::condition_variable workCv;         //!< workers: queue/stop
+    mutable std::condition_variable eventCv; //!< observers: any change
+    bool stopping = false;
+
+    std::unordered_map<std::uint64_t, JobValue> memo;
+    std::unordered_map<std::uint64_t, ItemPtr> inflight;
+
+    /** Per-client FIFOs + first-appearance round-robin order. */
+    std::unordered_map<std::string, std::deque<ItemPtr>> queues;
+    std::vector<std::string> rrClients;
+    std::size_t rrNext = 0;
+    std::size_t queuedCount = 0;
+
+    EngineStats counts;     //!< cumulative fields only
+    std::vector<std::thread> workers;
+};
+
+} // namespace svf::harness
+
+#endif // SVF_HARNESS_ENGINE_HH

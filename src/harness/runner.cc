@@ -1,13 +1,11 @@
 #include "harness/runner.hh"
 
-#include <atomic>
-#include <chrono>
+#include <condition_variable>
 #include <mutex>
-#include <thread>
 
 #include "base/hash.hh"
 #include "base/logging.hh"
-#include "harness/prof.hh"
+#include "harness/engine.hh"
 #include "workloads/registry.hh"
 
 namespace svf::harness
@@ -94,17 +92,54 @@ executeSetup(const JobSetup &setup)
                                      ps.maxInsts, ps.depthSamples);
 }
 
-Runner::Runner(RunnerOptions options)
-    : opts(std::move(options)), diskCache(opts.cacheDir)
+Runner::Runner(RunnerOptions options) : opts(std::move(options))
 {
-    nThreads = opts.jobs ? opts.jobs
-                         : std::thread::hardware_concurrency();
-    if (nThreads == 0)
-        nThreads = 1;
-    if (diskCache.enabled() && !opts.memoize) {
-        warn("cache=DIR requires memoization; disk cache disabled");
-        diskCache = ckpt::ResultCache("");
-    }
+    EngineOptions eo;
+    eo.threads = opts.jobs;
+    eo.memoize = opts.memoize;
+    eo.cacheDir = opts.cacheDir;
+    eng = std::make_unique<JobEngine>(eo);
+}
+
+Runner::~Runner() = default;
+
+unsigned
+Runner::threadCount() const
+{
+    return eng->threadCount();
+}
+
+std::uint64_t
+Runner::executions() const
+{
+    return eng->stats().executed;
+}
+
+std::uint64_t
+Runner::memoHits() const
+{
+    // In-flight attachment is what an in-plan duplicate became when
+    // dedup moved from the plan into the engine; both count here.
+    EngineStats s = eng->stats();
+    return s.memoHits + s.inflightAttached;
+}
+
+std::uint64_t
+Runner::diskHits() const
+{
+    return eng->stats().diskHits;
+}
+
+double
+Runner::totalWallSeconds() const
+{
+    return eng->stats().wallTotal;
+}
+
+void
+Runner::clearCache()
+{
+    eng->clearMemo();
 }
 
 std::vector<JobOutcome>
@@ -113,132 +148,69 @@ Runner::run(const ExperimentPlan &plan)
     const size_t total = plan.size();
     std::vector<JobOutcome> results(total);
 
-    /**
-     * One entry per *distinct* setup key that must actually be
-     * simulated this run; every plan job points at one.
-     */
-    struct Work
-    {
-        const JobSetup *setup = nullptr;
-        size_t firstJob = 0;        //!< earliest job with this key
-        JobValue value;
-        double wallSeconds = 0.0;
-    };
-    std::vector<Work> work;
-    std::vector<size_t> jobToWork(total, size_t(-1));
-
-    // `lock` serializes `done`, the run statistics and — critically —
-    // every opts.progress invocation: the pool workers, and any
-    // nested interval workers reporting through the same hook,
-    // deliver progress concurrently. report() takes it itself so
-    // no call site can forget.
+    // `lock` serializes `done` and — critically — every
+    // opts.progress invocation: engine workers, and any nested
+    // interval workers reporting through the same hook, deliver
+    // progress concurrently. The per-ticket completion hooks run
+    // detached from ticket waits, so run() must also wait for
+    // `done == total` before returning: a hook may fire after the
+    // last wait() returns, and it references these locals.
     size_t done = 0;
     std::mutex lock;
+    std::condition_variable doneCv;
     auto report = [&](size_t index, bool cached, double wall) {
-        std::lock_guard<std::mutex> g(lock);
+        std::unique_lock<std::mutex> g(lock);
         ++done;
-        if (!opts.progress)
-            return;
-        JobProgress p;
-        p.index = index;
-        p.done = done;
-        p.total = total;
-        p.name = plan.job(index).name;
-        p.wallSeconds = wall;
-        p.cached = cached;
-        opts.progress(p);
+        if (opts.progress) {
+            JobProgress p;
+            p.index = index;
+            p.done = done;
+            p.total = total;
+            p.name = plan.job(index).name;
+            p.wallSeconds = wall;
+            p.cached = cached;
+            opts.progress(p);
+        }
+        // Notify while still holding the lock: the cv and this
+        // closure are stack-local to run(), and the waiter may
+        // destroy them the moment it can reacquire the mutex — an
+        // unlocked notify would touch a dead condition_variable.
+        if (done == total)
+            doneCv.notify_all();
     };
 
-    // Phase 1: resolve memo hits, dedup the rest into work items.
-    std::unordered_map<std::uint64_t, size_t> keyToWork;
+    // Submit everything in plan order: cache hits report (and
+    // resolve) synchronously, executions as their tickets finish.
+    std::vector<TicketPtr> tickets(total);
     for (size_t i = 0; i < total; ++i) {
         const Job &job = plan.job(i);
-        std::uint64_t key = setupKey(job.setup);
         results[i].name = job.name;
-        results[i].key = key;
-        if (opts.memoize) {
-            prof::ScopedPhase ph(prof::Phase::CacheLookup);
-            auto hit = memo.find(key);
-            if (hit != memo.end()) {
-                results[i].value = hit->second;
-                results[i].cached = true;
-                ++nMemoHits;
-                report(i, true, 0.0);
-                continue;
-            }
-            ckpt::CachedValue from_disk;
-            if (diskCache.load(key, from_disk)) {
-                auto [it, ins] =
-                    memo.emplace(key, std::move(from_disk));
-                results[i].value = it->second;
-                results[i].cached = true;
-                ++nDiskHits;
-                report(i, true, 0.0);
-                continue;
-            }
-            auto [it, fresh] = keyToWork.try_emplace(key,
-                                                     work.size());
-            if (!fresh) {
-                jobToWork[i] = it->second;
-                results[i].cached = true;
-                ++nMemoHits;
-                continue;
-            }
-        }
-        jobToWork[i] = work.size();
-        work.push_back(Work{&job.setup, i, {}, 0.0});
+        tickets[i] = eng->submit(
+            job.setup, "",
+            [&report, i](JobTicket &t) {
+                report(i, t.cached(),
+                       t.cached() ? 0.0 : t.wallSeconds());
+            });
+        results[i].key = tickets[i]->key();
     }
 
-    // Phase 2: execute the distinct work items over the pool.
-    // Workers write disjoint slots; the shared statistics take the
-    // lock and report() locks internally, so it is called unlocked.
-    std::atomic<size_t> next{0};
-    auto worker = [&] {
-        for (size_t w; (w = next.fetch_add(1)) < work.size();) {
-            auto t0 = std::chrono::steady_clock::now();
-            work[w].value = executeSetup(*work[w].setup);
-            std::chrono::duration<double> dt =
-                std::chrono::steady_clock::now() - t0;
-            work[w].wallSeconds = dt.count();
-            {
-                std::lock_guard<std::mutex> g(lock);
-                ++nExecuted;
-                wallTotal += work[w].wallSeconds;
-            }
-            report(work[w].firstJob, false, work[w].wallSeconds);
-        }
-    };
-    unsigned pool = unsigned(std::min<size_t>(nThreads, work.size()));
-    if (pool <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(pool);
-        for (unsigned t = 0; t < pool; ++t)
-            threads.emplace_back(worker);
-        for (std::thread &t : threads)
-            t.join();
-    }
-
-    // Phase 3: fan results out to every job in submission order and
-    // fill the cross-run memo cache.
+    // Collect in submission order.
     for (size_t i = 0; i < total; ++i) {
-        if (jobToWork[i] == size_t(-1))
-            continue;                   // already served by the memo
-        const Work &w = work[jobToWork[i]];
-        results[i].value = w.value;
-        if (results[i].cached)
-            report(i, true, 0.0);       // in-plan duplicate
-        else
-            results[i].wallSeconds = w.wallSeconds;
+        tickets[i]->wait();
+        const JobTicket &t = *tickets[i];
+        if (t.state() == TicketState::Failed)
+            panic("job '%s' failed: %s", plan.job(i).name.c_str(),
+                  t.error().c_str());
+        svf_assert(t.state() == TicketState::Done);
+        results[i].value = t.value();
+        results[i].cached = t.cached();
+        results[i].wallSeconds = t.cached() ? 0.0 : t.wallSeconds();
     }
-    if (opts.memoize) {
-        for (const Work &w : work) {
-            diskCache.store(results[w.firstJob].key, w.value);
-            memo.emplace(results[w.firstJob].key, w.value);
-        }
+
+    {
+        std::unique_lock<std::mutex> l(lock);
+        doneCv.wait(l, [&] { return done == total; });
     }
-    svf_assert(done == total);
     return results;
 }
 

@@ -27,12 +27,11 @@
 #define SVF_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <variant>
 #include <vector>
 
-#include "ckpt/result_cache.hh"
 #include "harness/experiment.hh"
 #include "harness/reporting.hh"
 #include "harness/traffic.hh"
@@ -135,27 +134,44 @@ struct RunnerOptions
     ProgressHook progress;
 };
 
+class JobEngine;
+
 /**
  * Executes plans. Results are deterministic and submission-ordered
  * regardless of thread count or completion order; duplicate setups
  * within a plan are simulated once and fanned out.
+ *
+ * Since the engine extraction the Runner is a thin plan adapter over
+ * harness::JobEngine (harness/engine.hh): it submits every job,
+ * waits the tickets in submission order, and translates ticket
+ * states back into the historical outcome/statistics contract. The
+ * engine owns the worker pool, memo, disk cache and in-flight dedup;
+ * it persists across run() calls, so a Runner reused across plan
+ * phases still carries its cache forward.
  */
 class Runner
 {
   public:
     explicit Runner(RunnerOptions options = {});
+    ~Runner();
 
     /** Execute every job of @p plan; results align with indices. */
     std::vector<JobOutcome> run(const ExperimentPlan &plan);
 
     /** Worker threads this runner will use for large plans. */
-    unsigned threadCount() const { return nThreads; }
+    unsigned threadCount() const;
 
-    /** @name Memo cache statistics (cumulative across run calls) */
+    /**
+     * @name Memo cache statistics (cumulative across run calls)
+     *
+     * memoHits() counts both memo-cache hits and in-plan duplicates
+     * that attached to an in-flight execution — the historical
+     * definition from when dedup was plan-scoped.
+     */
     /// @{
-    std::uint64_t executions() const { return nExecuted; }
-    std::uint64_t memoHits() const { return nMemoHits; }
-    std::uint64_t diskHits() const { return nDiskHits; }
+    std::uint64_t executions() const;
+    std::uint64_t memoHits() const;
+    std::uint64_t diskHits() const;
     /// @}
 
     /**
@@ -164,20 +180,17 @@ class Runner
      * CPU-seconds of simulation, not elapsed time — with N worker
      * threads, elapsed time can be up to N× smaller.
      */
-    double totalWallSeconds() const { return wallTotal; }
+    double totalWallSeconds() const;
 
     /** Drop all memoized results. */
-    void clearCache() { memo.clear(); }
+    void clearCache();
+
+    /** The underlying submit/wait engine (serve layer, tests). */
+    JobEngine &jobEngine() { return *eng; }
 
   private:
     RunnerOptions opts;
-    unsigned nThreads;
-    std::uint64_t nExecuted = 0;
-    std::uint64_t nMemoHits = 0;
-    std::uint64_t nDiskHits = 0;
-    double wallTotal = 0.0;
-    std::unordered_map<std::uint64_t, JobValue> memo;
-    ckpt::ResultCache diskCache;
+    std::unique_ptr<JobEngine> eng;
 };
 
 /** The canonical key of any job setup. */

@@ -1,0 +1,290 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "ckpt/result_cache.hh"
+#include "serve/wire.hh"
+
+namespace svf::serve
+{
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    rdbuf.clear();
+}
+
+bool
+Client::connect(const std::string &spec, std::string &err)
+{
+    close();
+    if (spec.empty()) {
+        err = "empty server spec";
+        return false;
+    }
+
+    bool all_digits = true;
+    for (char c : spec)
+        all_digits &= bool(std::isdigit(
+            static_cast<unsigned char>(c)));
+
+    if (all_digits) {
+        unsigned long port = std::strtoul(spec.c_str(), nullptr, 10);
+        if (port == 0 || port > 65535) {
+            err = "bad server port '" + spec + "'";
+            return false;
+        }
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            err = "socket() failed";
+            return false;
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(std::uint16_t(port));
+        if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) !=
+            0) {
+            err = "cannot connect to 127.0.0.1:" + spec +
+                  " — is svf_simd running?";
+            close();
+            return false;
+        }
+        return true;
+    }
+
+    sockaddr_un addr{};
+    if (spec.size() >= sizeof(addr.sun_path)) {
+        err = "unix socket path too long: " + spec;
+        return false;
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = "socket() failed";
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, spec.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        err = "cannot connect to " + spec +
+              " — is svf_simd running?";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::writeLine(const std::string &line, std::string &err)
+{
+    std::string buf = line + "\n";
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::send(fd, buf.data() + off, buf.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            err = "server connection lost (write)";
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+bool
+Client::readLine(std::string &line, std::string &err)
+{
+    while (true) {
+        std::size_t nl = rdbuf.find('\n');
+        if (nl != std::string::npos) {
+            line = rdbuf.substr(0, nl);
+            rdbuf.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            err = "server connection lost (read) — jobs stay "
+                  "journaled server-side; retry when it is back";
+            return false;
+        }
+        rdbuf.append(chunk, std::size_t(n));
+    }
+}
+
+bool
+Client::runJobs(
+    const std::vector<std::pair<std::string, harness::JobSetup>>
+        &jobs,
+    std::vector<harness::JobOutcome> &out, std::string &err,
+    const harness::ProgressHook &progress,
+    const std::string &client_id)
+{
+    out.clear();
+    if (jobs.empty())
+        return true;
+    if (fd < 0) {
+        err = "not connected";
+        return false;
+    }
+
+    std::uint64_t id = nextId++;
+    std::string line =
+        wire::renderRunRequest(id, client_id, jobs, err);
+    if (line.empty())
+        return false;
+    if (!writeLine(line, err))
+        return false;
+
+    out.resize(jobs.size());
+    std::vector<bool> have(jobs.size(), false);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        out[i].name = jobs[i].first;
+        out[i].key = harness::setupKey(jobs[i].second);
+    }
+
+    std::size_t done = 0;
+    while (done < jobs.size()) {
+        std::string ev_line;
+        if (!readLine(ev_line, err))
+            return false;
+        JsonValue ev;
+        std::string jerr;
+        if (!parseJson(ev_line, ev, jerr) || !ev.isObject()) {
+            err = "malformed server event: " + jerr;
+            return false;
+        }
+        std::string kind = ev.getString("event");
+        const JsonValue *idv = ev.find("id");
+        if (idv && idv->isNumber() &&
+            std::uint64_t(idv->number) != id)
+            continue;   // stale event from a previous request
+
+        const JsonValue *jobv = ev.find("job");
+        long index = jobv && jobv->isNumber() ? long(jobv->number)
+                                              : -1;
+
+        if (kind == "error") {
+            std::string msg = ev.getString("message", "(no message)");
+            if (index < 0) {
+                err = "server rejected the request: " + msg;
+                return false;
+            }
+            err = "job '" + jobs[std::size_t(index)].first +
+                  "' failed on the server: " + msg;
+            return false;
+        }
+        if (kind != "done")
+            continue;   // queued / running progress events
+        if (index < 0 || std::size_t(index) >= jobs.size() ||
+            have[std::size_t(index)])
+            continue;
+        std::size_t at = std::size_t(index);
+
+        std::vector<std::uint8_t> payload;
+        ckpt::CachedValue value;
+        if (!wire::hexDecode(ev.getString("result"), payload) ||
+            !ckpt::decodeValue(payload, value)) {
+            err = "undecodable result payload for job '" +
+                  jobs[at].first + "' (version skew?)";
+            return false;
+        }
+        const JsonValue *cachedv = ev.find("cached");
+        const JsonValue *wallv = ev.find("wall_seconds");
+        out[at].cached = cachedv && cachedv->isBool() &&
+                         cachedv->boolean;
+        out[at].wallSeconds =
+            out[at].cached
+                ? 0.0
+                : (wallv && wallv->isNumber() ? wallv->number : 0.0);
+        out[at].value = std::move(value);   // same variant type
+        have[at] = true;
+        ++done;
+
+        if (progress) {
+            harness::JobProgress p;
+            p.index = at;
+            p.done = done;
+            p.total = jobs.size();
+            p.name = out[at].name;
+            p.wallSeconds = out[at].wallSeconds;
+            p.cached = out[at].cached;
+            progress(p);
+        }
+    }
+    return true;
+}
+
+bool
+Client::runPlan(const harness::ExperimentPlan &plan,
+                std::vector<harness::JobOutcome> &out,
+                std::string &err,
+                const harness::ProgressHook &progress,
+                const std::string &client_id)
+{
+    std::vector<std::pair<std::string, harness::JobSetup>> jobs;
+    jobs.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        jobs.emplace_back(plan.job(i).name, plan.job(i).setup);
+    return runJobs(jobs, out, err, progress, client_id);
+}
+
+bool
+Client::stats(std::string &out, std::string &err)
+{
+    if (fd < 0) {
+        err = "not connected";
+        return false;
+    }
+    if (!writeLine(wire::renderStatsRequest(), err))
+        return false;
+    while (true) {
+        std::string line;
+        if (!readLine(line, err))
+            return false;
+        JsonValue ev;
+        std::string jerr;
+        if (!parseJson(line, ev, jerr) || !ev.isObject()) {
+            err = "malformed server event: " + jerr;
+            return false;
+        }
+        std::string kind = ev.getString("event");
+        if (kind == "error") {
+            err = ev.getString("message", "(no message)");
+            return false;
+        }
+        if (kind != "stats")
+            continue;
+        // Re-slice the raw line: the stats object is everything the
+        // daemon rendered, and round-tripping it through JsonValue
+        // would reformat numbers.
+        std::size_t at = line.find("\"stats\":");
+        std::size_t end = line.rfind('}');
+        if (at == std::string::npos || end == std::string::npos ||
+            end <= at + 8) {
+            err = "malformed stats event";
+            return false;
+        }
+        out = line.substr(at + 8, end - (at + 8));
+        return true;
+    }
+}
+
+} // namespace svf::serve

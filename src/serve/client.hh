@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Thin client for the svf_simd daemon.
+ *
+ * `server=SPEC` in a bench binary or svf_sim routes the experiment
+ * plan here instead of a local Runner: the plan's jobs are rendered
+ * as one wire request, the daemon's `done` events are decoded back
+ * into harness::JobOutcomes (bit-identical payloads — see
+ * serve/wire.hh), and table assembly proceeds exactly as before.
+ * SPEC is a Unix socket path, or digits for a TCP loopback port.
+ */
+
+#ifndef SVF_SERVE_CLIENT_HH
+#define SVF_SERVE_CLIENT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/reporting.hh"
+#include "harness/runner.hh"
+
+namespace svf::serve
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to @p spec: all-digits = TCP 127.0.0.1:spec, anything
+     * else = Unix socket path. False + @p err on failure.
+     */
+    bool connect(const std::string &spec, std::string &err);
+
+    bool connected() const { return fd >= 0; }
+    void close();
+
+    /**
+     * Execute @p jobs on the server; outcomes align with indices
+     * (submission order, like Runner::run). @p progress, when set,
+     * fires per finished job with the usual done-count bookkeeping.
+     * False + @p err on connection loss, protocol errors, or any
+     * failed job.
+     */
+    bool runJobs(
+        const std::vector<std::pair<std::string, harness::JobSetup>>
+            &jobs,
+        std::vector<harness::JobOutcome> &out, std::string &err,
+        const harness::ProgressHook &progress = {},
+        const std::string &client_id = "");
+
+    /** Plan flavour of runJobs (the bench layer has a plan). */
+    bool runPlan(const harness::ExperimentPlan &plan,
+                 std::vector<harness::JobOutcome> &out,
+                 std::string &err,
+                 const harness::ProgressHook &progress = {},
+                 const std::string &client_id = "");
+
+    /** The stats verb: daemon statistics as a JSON object string. */
+    bool stats(std::string &out, std::string &err);
+
+  private:
+    bool writeLine(const std::string &line, std::string &err);
+    bool readLine(std::string &line, std::string &err);
+
+    int fd = -1;
+    std::string rdbuf;
+    std::uint64_t nextId = 1;
+};
+
+} // namespace svf::serve
+
+#endif // SVF_SERVE_CLIENT_HH

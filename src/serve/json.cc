@@ -1,0 +1,302 @@
+#include "serve/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace svf::serve
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &kv : obj)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(const std::string &key,
+                     const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str : fallback;
+}
+
+namespace
+{
+
+/** Hard cap on nesting so hostile input cannot blow the stack. */
+constexpr int MaxDepth = 64;
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    const char *begin;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at byte " + std::to_string(p - begin);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (std::size_t(end - p) < len ||
+            std::string_view(p, len) != std::string_view(word, len))
+            return fail("bad literal");
+        p += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            unsigned char c = static_cast<unsigned char>(*p);
+            if (c < 0x20)
+                return fail("control character in string");
+            if (c != '\\') {
+                out.push_back(*p++);
+                continue;
+            }
+            if (++p >= end)
+                return fail("truncated escape");
+            char e = *p++;
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (end - p < 4)
+                    return fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p++;
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the code point (surrogate pairs are
+                // passed through as two 3-byte sequences; the
+                // protocol never emits them).
+                if (v < 0x80) {
+                    out.push_back(char(v));
+                } else if (v < 0x800) {
+                    out.push_back(char(0xC0 | (v >> 6)));
+                    out.push_back(char(0x80 | (v & 0x3F)));
+                } else {
+                    out.push_back(char(0xE0 | (v >> 12)));
+                    out.push_back(char(0x80 | ((v >> 6) & 0x3F)));
+                    out.push_back(char(0x80 | (v & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;    // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p)))
+            ++p;
+        if (p < end && *p == '.') {
+            ++p;
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        std::string text(start, p);
+        char *parsed_end = nullptr;
+        out.number = std::strtod(text.c_str(), &parsed_end);
+        if (text.empty() || parsed_end != text.c_str() + text.size())
+            return fail("bad number");
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > MaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++p;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.arr.push_back(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &err)
+{
+    Parser ps{text.data(), text.data() + text.size(), text.data(), ""};
+    out = JsonValue();
+    if (!ps.parseValue(out, 0)) {
+        err = ps.err;
+        return false;
+    }
+    ps.skipWs();
+    if (ps.p != ps.end) {
+        err = "trailing garbage at byte " +
+              std::to_string(ps.p - ps.begin);
+        return false;
+    }
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(char(c));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace svf::serve

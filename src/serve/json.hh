@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON value model and recursive-descent parser.
+ *
+ * The serve protocol (serve/wire.hh) is NDJSON: one JSON object per
+ * line in both directions. Nothing in the repo previously *read*
+ * JSON — harness/json_report.hh only writes it — so this is the
+ * smallest parser that covers the protocol: the full JSON grammar,
+ * objects kept in insertion order, numbers as double (the protocol
+ * carries every precision-critical quantity — keys, counters,
+ * results — as strings, so double round-tripping is never on the
+ * correctness path). Depth and input-size limits are enforced by the
+ * caller (the server caps request lines before parsing).
+ */
+
+#ifndef SVF_SERVE_JSON_HH
+#define SVF_SERVE_JSON_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace svf::serve
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member as string; @p fallback when absent/not a string. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage rejected). False sets @p err to a message with a
+ * byte offset.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &err);
+
+/** Escape @p s for embedding in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace svf::serve
+
+#endif // SVF_SERVE_JSON_HH

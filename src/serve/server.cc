@@ -1,0 +1,320 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "harness/prof.hh"
+
+namespace svf::serve
+{
+
+namespace
+{
+
+/** Write all of @p line + '\n'; false once the peer is gone. */
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string buf = line + "\n";
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        ssize_t n = ::send(fd, buf.data() + off, buf.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+Server::Server(const ServerOptions &options) : opts(options)
+{
+    if (opts.heartbeatSeconds <= 0.0)
+        opts.heartbeatSeconds = 1.0;
+    svc = std::make_unique<SimService>(opts.service);
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string &err)
+{
+    if (opts.unixPath.empty() && opts.port < 0) {
+        err = "no listener configured (need --listen or --port)";
+        return false;
+    }
+    if (::pipe(stopPipe) != 0) {
+        err = "pipe() failed";
+        return false;
+    }
+
+    if (!opts.unixPath.empty()) {
+        sockaddr_un addr{};
+        if (opts.unixPath.size() >= sizeof(addr.sun_path)) {
+            err = "unix socket path too long: " + opts.unixPath;
+            return false;
+        }
+        unixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unixFd < 0) {
+            err = "socket(AF_UNIX) failed";
+            return false;
+        }
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        // A stale socket file from a dead daemon would fail bind();
+        // the journal, not the socket, is the durable state.
+        ::unlink(opts.unixPath.c_str());
+        if (::bind(unixFd, (const sockaddr *)&addr, sizeof(addr)) !=
+                0 ||
+            ::listen(unixFd, 64) != 0) {
+            err = "cannot bind unix socket " + opts.unixPath;
+            return false;
+        }
+    }
+
+    if (opts.port >= 0) {
+        tcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcpFd < 0) {
+            err = "socket(AF_INET) failed";
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(std::uint16_t(opts.port));
+        if (::bind(tcpFd, (const sockaddr *)&addr, sizeof(addr)) !=
+                0 ||
+            ::listen(tcpFd, 64) != 0) {
+            err = "cannot bind 127.0.0.1:" +
+                  std::to_string(opts.port);
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        ::getsockname(tcpFd, (sockaddr *)&bound, &len);
+        boundPort = ntohs(bound.sin_port);
+    }
+
+    std::size_t replayed = svc->replayJournal();
+    if (replayed)
+        inform("svf_simd: replayed %zu journaled request(s)",
+               replayed);
+
+    acceptor = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    stopping.store(true);
+    if (stopPipe[1] >= 0) {
+        char b = 0;
+        // Best-effort, async-signal-safe wakeup.
+        [[maybe_unused]] ssize_t n = ::write(stopPipe[1], &b, 1);
+    }
+}
+
+void
+Server::serveForever()
+{
+    if (acceptor.joinable())
+        acceptor.join();
+    stop();
+}
+
+void
+Server::stop()
+{
+    if (stopped)
+        return;
+    stopped = true;
+    requestStop();
+    if (acceptor.joinable())
+        acceptor.join();
+
+    if (unixFd >= 0) {
+        ::close(unixFd);
+        unixFd = -1;
+        ::unlink(opts.unixPath.c_str());
+    }
+    if (tcpFd >= 0) {
+        ::close(tcpFd);
+        tcpFd = -1;
+    }
+
+    // Unblock every connection reader, then join.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> l(connLock);
+        for (int fd : connFds)
+            ::shutdown(fd, SHUT_RDWR);
+        threads.swap(connThreads);
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+
+    svc->drain();
+
+    for (int i = 0; i < 2; ++i) {
+        if (stopPipe[i] >= 0) {
+            ::close(stopPipe[i]);
+            stopPipe[i] = -1;
+        }
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping.load()) {
+        pollfd fds[3];
+        nfds_t n = 0;
+        fds[n++] = {stopPipe[0], POLLIN, 0};
+        int unix_at = -1, tcp_at = -1;
+        if (unixFd >= 0) {
+            unix_at = int(n);
+            fds[n++] = {unixFd, POLLIN, 0};
+        }
+        if (tcpFd >= 0) {
+            tcp_at = int(n);
+            fds[n++] = {tcpFd, POLLIN, 0};
+        }
+        if (::poll(fds, n, -1) < 0)
+            continue;
+        if (fds[0].revents)
+            break;
+
+        for (int at : {unix_at, tcp_at}) {
+            if (at < 0 || !(fds[at].revents & POLLIN))
+                continue;
+            int fd = ::accept(fds[at].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            std::lock_guard<std::mutex> l(connLock);
+            std::uint64_t id = nextConn++;
+            connFds.push_back(fd);
+            connThreads.emplace_back(
+                [this, fd, id] { handleConnection(fd, id); });
+        }
+    }
+}
+
+void
+Server::streamRun(const ActiveRun &run, const SimService::Emit &emit)
+{
+    auto ms = std::chrono::milliseconds(
+        long(opts.heartbeatSeconds * 1000.0));
+    std::vector<bool> announced(run.tickets.size(), false);
+    auto last_beat = std::chrono::steady_clock::now();
+
+    auto unfinished = [&] {
+        for (const auto &t : run.tickets)
+            if (!t->finished())
+                return true;
+        return false;
+    };
+
+    while (unfinished() && !stopping.load()) {
+        svc->engine().waitEvent(std::chrono::milliseconds(100));
+        auto now = std::chrono::steady_clock::now();
+        bool beat = now - last_beat >= ms;
+        for (std::size_t i = 0; i < run.tickets.size(); ++i) {
+            const harness::JobTicket &t = *run.tickets[i];
+            if (t.state() != harness::TicketState::Running)
+                continue;
+            if (announced[i] && !beat)
+                continue;
+            std::string profile;
+            if (harness::prof::profilingEnabled()) {
+                profile = harness::prof::Profiler::instance()
+                              .reportJson();
+            }
+            emit(wire::eventRunning(run.id, i, t.key(), profile));
+            announced[i] = true;
+        }
+        if (beat)
+            last_beat = now;
+    }
+
+    // A stop while jobs are queued/running: the engine drain will
+    // finish the running ones; the journal covers the rest. The
+    // client sees EOF and can retry against the next daemon.
+    for (const auto &t : run.tickets)
+        if (t->finished())
+            t->wait();
+}
+
+void
+Server::handleConnection(int fd, std::uint64_t conn_id)
+{
+    std::string conn_client = "conn-" + std::to_string(conn_id);
+
+    auto write_lock = std::make_shared<std::mutex>();
+    SimService::Emit emit = [fd, write_lock](const std::string &line) {
+        std::lock_guard<std::mutex> l(*write_lock);
+        writeLine(fd, line);
+    };
+
+    std::string buf;
+    char chunk[4096];
+    // One request line past the service cap is still read (so the
+    // error event can name its size), but not unboundedly.
+    std::size_t hard_cap = (opts.service.maxRequestBytes
+                                ? opts.service.maxRequestBytes
+                                : (1u << 20)) +
+                           4096;
+
+    bool open = true;
+    while (open && !stopping.load()) {
+        std::size_t nl = buf.find('\n');
+        if (nl == std::string::npos) {
+            if (buf.size() > hard_cap) {
+                emit(wire::eventError(0, -1,
+                                      "request too large"));
+                break;
+            }
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                break;
+            buf.append(chunk, std::size_t(n));
+            continue;
+        }
+        std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+
+        ActiveRun run = svc->handle(line, conn_client, emit);
+        if (!run.tickets.empty())
+            streamRun(run, emit);
+    }
+
+    ::close(fd);
+    std::lock_guard<std::mutex> l(connLock);
+    connFds.erase(std::remove(connFds.begin(), connFds.end(), fd),
+                  connFds.end());
+}
+
+} // namespace svf::serve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Socket front end of the svf_simd daemon.
+ *
+ * Listens on a Unix-domain socket (`--listen PATH`) and/or a TCP
+ * loopback port (`--port N`, 0 = ephemeral), accepts NDJSON request
+ * lines and streams NDJSON events back (serve/wire.hh). Each
+ * connection gets its own thread; the engine behind the shared
+ * SimService is what bounds actual simulation concurrency, so
+ * connection threads are cheap blocked readers.
+ *
+ * While a connection's run request is in flight the server emits a
+ * `running` event when a job starts and then heartbeats (~1 s) with a
+ * host phase-profiler snapshot, so thin clients can show live
+ * progress for multi-minute simulations.
+ *
+ * Shutdown is graceful: requestStop() (async-signal-safe — the
+ * SIGTERM handler calls it) wakes the accept loop via a self-pipe;
+ * stop() then closes the listeners, unblocks and joins every
+ * connection, and drains the engine — running jobs finish and
+ * persist, queued jobs stay journaled for the next start.
+ */
+
+#ifndef SVF_SERVE_SERVER_HH
+#define SVF_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace svf::serve
+{
+
+/** Server knobs (the daemon CLI maps onto this). */
+struct ServerOptions
+{
+    /** Unix-domain socket path; empty = no unix listener. */
+    std::string unixPath;
+
+    /** TCP loopback port; -1 = no TCP listener, 0 = ephemeral. */
+    int port = -1;
+
+    /** Seconds between `running` heartbeats (0 = default 1.0). */
+    double heartbeatSeconds = 0.0;
+
+    ServiceOptions service;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the listeners, replay the journal, start the accept
+     * thread. False + @p err when a socket can't be set up.
+     */
+    bool start(std::string &err);
+
+    /** Block until requestStop(), then shut down gracefully. */
+    void serveForever();
+
+    /**
+     * Wake the accept loop so serveForever()/stop() can proceed.
+     * Async-signal-safe (one write() on a self-pipe).
+     */
+    void requestStop();
+
+    /**
+     * Graceful shutdown: stop accepting, unblock and join every
+     * connection, drain the engine. Idempotent; also called by the
+     * destructor.
+     */
+    void stop();
+
+    /** Actual TCP port (after start(); useful with port 0). */
+    int tcpPort() const { return boundPort; }
+
+    SimService &service() { return *svc; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd, std::uint64_t conn_id);
+
+    /** Stream `running` events/heartbeats until @p run finishes. */
+    void streamRun(const ActiveRun &run, const SimService::Emit &emit);
+
+    ServerOptions opts;
+    std::unique_ptr<SimService> svc;
+
+    int unixFd = -1;
+    int tcpFd = -1;
+    int boundPort = -1;
+    int stopPipe[2] = {-1, -1};
+    std::atomic<bool> stopping{false};
+    bool stopped = false;
+
+    std::thread acceptor;
+
+    std::mutex connLock;
+    std::vector<int> connFds;
+    std::vector<std::thread> connThreads;
+    std::uint64_t nextConn = 0;
+};
+
+} // namespace svf::serve
+
+#endif // SVF_SERVE_SERVER_HH

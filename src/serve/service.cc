@@ -1,0 +1,383 @@
+#include "serve/service.hh"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "ckpt/serialize.hh"
+
+namespace svf::serve
+{
+
+namespace
+{
+
+/** Latency ring capacity: enough for stable percentiles, bounded. */
+constexpr std::size_t LatencyRing = 4096;
+
+constexpr std::size_t DefaultMaxRequest = 1 << 20;
+
+std::string
+doubleJson(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+/** p-th percentile of a sample set (nearest-rank; 0 when empty). */
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    std::size_t rank = std::size_t(p * double(samples.size() - 1) + 0.5);
+    return samples[std::min(rank, samples.size() - 1)];
+}
+
+std::string
+latencyJson(const std::vector<double> &samples)
+{
+    return "{\"count\":" + std::to_string(samples.size()) +
+           ",\"p50\":" + doubleJson(percentile(samples, 0.50)) +
+           ",\"p90\":" + doubleJson(percentile(samples, 0.90)) +
+           ",\"p99\":" + doubleJson(percentile(samples, 0.99)) + "}";
+}
+
+const char *
+sourceName(harness::TicketSource s)
+{
+    switch (s) {
+      case harness::TicketSource::Executed: return "executed";
+      case harness::TicketSource::Memo: return "memo";
+      case harness::TicketSource::Disk: return "disk";
+      case harness::TicketSource::Inflight: return "inflight";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+SimService::SimService(const ServiceOptions &options) : opts(options)
+{
+    if (opts.maxRequestBytes == 0)
+        opts.maxRequestBytes = DefaultMaxRequest;
+    if (!opts.journalDir.empty() && !ckpt::ensureDir(opts.journalDir)) {
+        warn("serve: cannot create journal dir '%s'; journaling off",
+             opts.journalDir.c_str());
+        opts.journalDir.clear();
+    }
+    eng = std::make_unique<harness::JobEngine>(opts.engine);
+}
+
+SimService::~SimService()
+{
+    drain();
+}
+
+void
+SimService::drain()
+{
+    eng->drain();
+}
+
+std::string
+SimService::journalWrite(const std::string &line)
+{
+    if (opts.journalDir.empty())
+        return "";
+    std::size_t seq;
+    {
+        std::lock_guard<std::mutex> l(statsLock);
+        seq = journalSeq++;
+    }
+    char name[48];
+    std::snprintf(name, sizeof(name), "%08zu.req.json", seq);
+    std::string path = opts.journalDir + "/" + name;
+    std::vector<std::uint8_t> bytes(line.begin(), line.end());
+    if (!ckpt::writeFileAtomic(path, bytes)) {
+        warn("serve: journal write failed: %s", path.c_str());
+        return "";
+    }
+    return path;
+}
+
+void
+SimService::recordLatency(const harness::JobTicket &t)
+{
+    std::lock_guard<std::mutex> l(statsLock);
+    auto push = [](std::vector<double> &ring, std::size_t at,
+                   double v) {
+        if (ring.size() < LatencyRing)
+            ring.push_back(v);
+        else
+            ring[at % LatencyRing] = v;
+    };
+    push(totalLat, latNext, t.queueSeconds() + t.wallSeconds());
+    if (t.source() == harness::TicketSource::Executed) {
+        push(queueWait, latNext, t.queueSeconds());
+        push(execWall, latNext, t.wallSeconds());
+    }
+    ++latNext;
+}
+
+ActiveRun
+SimService::submitRun(const wire::Request &req,
+                      const std::string &line, const Emit &emit)
+{
+    std::string journal = journalWrite(line);
+
+    ActiveRun run;
+    run.id = req.id;
+
+    // The journal entry survives until the *last* job of the request
+    // completes; a shared countdown in the completion callbacks does
+    // the unlink.
+    struct Pending
+    {
+        std::mutex m;
+        std::size_t left;
+        std::string journal;
+    };
+    auto pending = std::make_shared<Pending>();
+    pending->left = req.jobs.size();
+    pending->journal = journal;
+
+    {
+        std::lock_guard<std::mutex> l(statsLock);
+        ++requests;
+    }
+
+    for (std::size_t i = 0; i < req.jobs.size(); ++i) {
+        const wire::JobRequest &job = req.jobs[i];
+        std::uint64_t id = req.id;
+        auto on_done = [this, emit, pending, id, i](
+                           harness::JobTicket &t) {
+            recordLatency(t);
+            switch (t.state()) {
+              case harness::TicketState::Done:
+                emit(wire::eventDone(id, i, t.key(), t.cached(),
+                                     sourceName(t.source()),
+                                     t.wallSeconds(),
+                                     ckpt::encodeValue(t.value())));
+                break;
+              case harness::TicketState::Rejected:
+                emit(wire::eventError(
+                    id, long(i),
+                    "queue full — retry later (backpressure)"));
+                break;
+              default:
+                emit(wire::eventError(
+                    id, long(i),
+                    t.error().empty() ? "execution failed"
+                                      : t.error()));
+            }
+            bool last = false;
+            std::string path;
+            {
+                std::lock_guard<std::mutex> l(pending->m);
+                last = --pending->left == 0;
+                path = pending->journal;
+            }
+            if (last && !path.empty())
+                std::remove(path.c_str());
+        };
+
+        auto stats_before = eng->stats();
+        harness::TicketPtr t =
+            eng->submit(job.setup,
+                        req.client.empty() ? "" : req.client, on_done);
+        if (!t->finished()) {
+            emit(wire::eventQueued(req.id, i, job.name, job.key,
+                                   stats_before.queueDepth));
+        }
+        run.tickets.push_back(std::move(t));
+        run.names.push_back(job.name);
+    }
+    return run;
+}
+
+ActiveRun
+SimService::handle(const std::string &line,
+                   const std::string &fallback_client,
+                   const Emit &emit)
+{
+    if (line.size() > opts.maxRequestBytes) {
+        std::lock_guard<std::mutex> l(statsLock);
+        ++badRequests;
+        emit(wire::eventError(
+            0, -1,
+            "request too large (" + std::to_string(line.size()) +
+                " bytes, limit " +
+                std::to_string(opts.maxRequestBytes) + ")"));
+        return {};
+    }
+
+    wire::Request req;
+    std::string err;
+    if (!wire::parseRequest(line, req, err)) {
+        std::lock_guard<std::mutex> l(statsLock);
+        ++badRequests;
+        emit(wire::eventError(req.id, -1, err));
+        return {};
+    }
+    if (req.client.empty())
+        req.client = fallback_client;
+
+    switch (req.verb) {
+      case wire::Request::Verb::Ping:
+        emit(wire::eventPong(req.id));
+        return {};
+      case wire::Request::Verb::Stats:
+        emit(wire::eventStats(req.id, statsJson()));
+        return {};
+      case wire::Request::Verb::Run:
+        return submitRun(req, line, emit);
+    }
+    return {};
+}
+
+std::size_t
+SimService::replayJournal()
+{
+    if (opts.journalDir.empty())
+        return 0;
+
+    std::vector<std::string> entries;
+    if (DIR *d = opendir(opts.journalDir.c_str())) {
+        while (struct dirent *e = readdir(d)) {
+            std::string name = e->d_name;
+            if (name.size() > 9 &&
+                name.compare(name.size() - 9, 9, ".req.json") == 0)
+                entries.push_back(name);
+        }
+        closedir(d);
+    }
+    std::sort(entries.begin(), entries.end());
+
+    std::size_t replayed = 0;
+    for (const std::string &name : entries) {
+        std::string path = opts.journalDir + "/" + name;
+        std::vector<std::uint8_t> bytes;
+        if (!ckpt::readFile(path, bytes)) {
+            std::remove(path.c_str());
+            continue;
+        }
+        std::string line(bytes.begin(), bytes.end());
+
+        // Keep the replay's sequence numbers ahead of the recovered
+        // entries so a fresh request can't collide with one of them.
+        std::uint64_t seq = 0;
+        {
+            std::lock_guard<std::mutex> l(statsLock);
+            if (std::sscanf(name.c_str(), "%llu",
+                            (unsigned long long *)&seq) == 1 &&
+                seq >= journalSeq)
+                journalSeq = seq + 1;
+        }
+
+        wire::Request req;
+        std::string err;
+        if (!wire::parseRequest(line, req, err) ||
+            req.verb != wire::Request::Verb::Run) {
+            warn("serve: dropping bad journal entry %s: %s",
+                 name.c_str(), err.c_str());
+            std::remove(path.c_str());
+            continue;
+        }
+
+        // Re-submit with no event sink: the results land in the
+        // memo/disk caches, which is all a retrying client needs.
+        struct Pending
+        {
+            std::mutex m;
+            std::size_t left;
+            std::string journal;
+        };
+        auto pending = std::make_shared<Pending>();
+        pending->left = req.jobs.size();
+        pending->journal = path;
+        for (const wire::JobRequest &job : req.jobs) {
+            eng->submit(job.setup, "journal-replay",
+                        [this, pending](harness::JobTicket &t) {
+                            recordLatency(t);
+                            bool last = false;
+                            std::string p;
+                            {
+                                std::lock_guard<std::mutex> l(
+                                    pending->m);
+                                last = --pending->left == 0;
+                                p = pending->journal;
+                            }
+                            if (last)
+                                std::remove(p.c_str());
+                        });
+        }
+        ++replayed;
+    }
+    {
+        std::lock_guard<std::mutex> l(statsLock);
+        journalReplayed = replayed;
+    }
+    return replayed;
+}
+
+std::string
+SimService::statsJson() const
+{
+    harness::EngineStats s = eng->stats();
+
+    std::vector<double> qw, ew, tl;
+    std::uint64_t reqs, bad;
+    std::size_t replayed;
+    {
+        std::lock_guard<std::mutex> l(statsLock);
+        qw = queueWait;
+        ew = execWall;
+        tl = totalLat;
+        reqs = requests;
+        bad = badRequests;
+        replayed = journalReplayed;
+    }
+
+    std::uint64_t lookups =
+        s.executed + s.memoHits + s.diskHits + s.inflightAttached;
+    double hit_rate =
+        lookups ? double(s.memoHits + s.diskHits +
+                         s.inflightAttached) /
+                      double(lookups)
+                : 0.0;
+    double uptime = eng->uptimeSeconds();
+    double util = (uptime > 0.0 && s.threads > 0)
+                      ? s.wallTotal / (uptime * double(s.threads))
+                      : 0.0;
+
+    std::string json = "{";
+    json += "\"uptime_seconds\":" + doubleJson(uptime);
+    json += ",\"threads\":" + std::to_string(s.threads);
+    json += ",\"requests\":" + std::to_string(reqs);
+    json += ",\"bad_requests\":" + std::to_string(bad);
+    json += ",\"executed\":" + std::to_string(s.executed);
+    json += ",\"memo_hits\":" + std::to_string(s.memoHits);
+    json += ",\"disk_hits\":" + std::to_string(s.diskHits);
+    json += ",\"inflight_attached\":" +
+            std::to_string(s.inflightAttached);
+    json += ",\"rejected\":" + std::to_string(s.rejected);
+    json += ",\"cache_hit_rate\":" + doubleJson(hit_rate);
+    json += ",\"queue_depth\":" + std::to_string(s.queueDepth);
+    json += ",\"running\":" + std::to_string(s.running);
+    json += ",\"worker_utilization\":" + doubleJson(util);
+    json += ",\"wall_total_seconds\":" + doubleJson(s.wallTotal);
+    json += ",\"journal_replayed\":" + std::to_string(replayed);
+    json += ",\"latency\":{";
+    json += "\"queue_wait\":" + latencyJson(qw);
+    json += ",\"execute\":" + latencyJson(ew);
+    json += ",\"total\":" + latencyJson(tl);
+    json += "}}";
+    return json;
+}
+
+} // namespace svf::serve

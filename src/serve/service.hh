@@ -1,0 +1,142 @@
+/**
+ * @file
+ * SimService: the daemon's brain, transport-agnostic.
+ *
+ * One SimService sits between the socket layer (serve/server.hh) and
+ * one harness::JobEngine. It turns request lines into engine
+ * submissions and engine completions back into NDJSON event lines,
+ * without knowing what a socket is — the server hands it an emit
+ * callback per connection, and the protocol tests hand it a
+ * string-collecting lambda and a manual-mode engine.
+ *
+ * Crash durability: every accepted run request is journaled to
+ * `<journalDir>/<seq>.req.json` (the raw request line, written via
+ * the same atomic temp+rename discipline as every other artifact)
+ * before any job is submitted, and unlinked when the last job of the
+ * request completes. A daemon that dies mid-flight replays the
+ * leftover journal on its next start — the requests execute into the
+ * shared result cache, so the retrying client gets disk hits.
+ */
+
+#ifndef SVF_SERVE_SERVICE_HH
+#define SVF_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/engine.hh"
+#include "serve/wire.hh"
+
+namespace svf::serve
+{
+
+/** Service knobs (the daemon CLI maps onto this). */
+struct ServiceOptions
+{
+    /** Engine configuration (threads, cache dir, queue bound). */
+    harness::EngineOptions engine;
+
+    /** In-flight request journal directory; empty disables. */
+    std::string journalDir;
+
+    /** Max request-line bytes accepted (0 = the 1 MiB default). */
+    std::size_t maxRequestBytes = 0;
+};
+
+/**
+ * One handled request's live jobs, for event streaming: the server
+ * polls these tickets to emit `running` heartbeats while the
+ * completion callbacks emit `done`/`error` lines.
+ */
+struct ActiveRun
+{
+    std::uint64_t id = 0;
+    std::vector<harness::TicketPtr> tickets;
+    std::vector<std::string> names;
+};
+
+class SimService
+{
+  public:
+    /** NDJSON sink for one connection. MUST be thread-safe: done
+     *  callbacks fire on engine worker threads. */
+    using Emit = std::function<void(const std::string &)>;
+
+    explicit SimService(const ServiceOptions &options);
+    ~SimService();
+
+    SimService(const SimService &) = delete;
+    SimService &operator=(const SimService &) = delete;
+
+    /**
+     * Handle one request line: parse, validate, answer. Emits the
+     * immediate events (`queued`, `stats`, `pong`, `error`, plus any
+     * `done` served straight from the caches) synchronously; jobs
+     * that go to the queue emit their `done`/`error` later, from
+     * worker threads, through the same @p emit.
+     *
+     * @param fallback_client fairness queue id when the request
+     *        carries no "client" field (the server passes its
+     *        connection id so anonymous clients still get per-
+     *        connection fairness).
+     * @return the run's live tickets (empty for non-run verbs and
+     *         rejected requests) so the caller can stream `running`
+     *         heartbeats and block for completion.
+     */
+    ActiveRun handle(const std::string &line,
+                     const std::string &fallback_client,
+                     const Emit &emit);
+
+    /** The stats verb's payload (also the `svf_simd --stats` body). */
+    std::string statsJson() const;
+
+    /**
+     * Replay journaled requests left over from a previous process:
+     * submit their jobs (results land in the caches), unlink each
+     * journal entry as its request completes. Returns the number of
+     * requests replayed. Call once, after construction, before
+     * serving.
+     */
+    std::size_t replayJournal();
+
+    /** Finish running jobs, stop the workers. Queued items stay
+     *  journaled for the next start. */
+    void drain();
+
+    harness::JobEngine &engine() { return *eng; }
+
+  private:
+    /** Journal @p line; returns the entry path ("" when disabled). */
+    std::string journalWrite(const std::string &line);
+
+    /** Record one finished job's latencies for the stats verb. */
+    void recordLatency(const harness::JobTicket &t);
+
+    /** Submit @p req's jobs with event-emitting callbacks. */
+    ActiveRun submitRun(const wire::Request &req,
+                        const std::string &line, const Emit &emit);
+
+    ServiceOptions opts;
+    std::unique_ptr<harness::JobEngine> eng;
+
+    /** @name Latency sample rings (protected by statsLock) */
+    /// @{
+    mutable std::mutex statsLock;
+    std::vector<double> queueWait;  //!< executed jobs: queue seconds
+    std::vector<double> execWall;   //!< executed jobs: run seconds
+    std::vector<double> totalLat;   //!< every job: submit-to-done
+    std::size_t latNext = 0;        //!< ring cursor
+    std::uint64_t requests = 0;     //!< run requests accepted
+    std::uint64_t badRequests = 0;  //!< rejected at parse/validate
+    std::size_t journalSeq = 0;
+    std::size_t journalReplayed = 0;
+    /// @}
+};
+
+} // namespace svf::serve
+
+#endif // SVF_SERVE_SERVICE_HH

@@ -1,0 +1,752 @@
+#include "serve/wire.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/str.hh"
+#include "workloads/registry.hh"
+
+namespace svf::serve::wire
+{
+
+namespace
+{
+
+/** @name Config-string value codecs (all non-fatal) */
+/// @{
+
+std::string
+u64Str(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+boolStr(bool v)
+{
+    return v ? "1" : "0";
+}
+
+/** Shortest round-trip double rendering ("%.17g" upper bound). */
+std::string
+doubleStr(double v)
+{
+    char buf[64];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/**
+ * Field extractor over a mutable copy of the config map: take*()
+ * erases what it consumes so decode can reject leftovers (typo'd
+ * or unknown keys) instead of silently ignoring them.
+ */
+struct Fields
+{
+    ConfigMap m;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    bool
+    takeStr(const std::string &key, std::string &out)
+    {
+        auto it = m.find(key);
+        if (it == m.end())
+            return true;        // absent: keep default
+        out = it->second;
+        m.erase(it);
+        return true;
+    }
+
+    bool
+    takeU64(const std::string &key, std::uint64_t &out)
+    {
+        auto it = m.find(key);
+        if (it == m.end())
+            return true;
+        if (!parseUint(it->second, out))
+            return fail("bad value for '" + key + "': '" +
+                        it->second + "'");
+        m.erase(it);
+        return true;
+    }
+
+    bool
+    takeUnsigned(const std::string &key, unsigned &out)
+    {
+        std::uint64_t v = out;
+        if (!takeU64(key, v))
+            return false;
+        if (v > 0xffffffffu)
+            return fail("value for '" + key + "' out of range");
+        out = unsigned(v);
+        return true;
+    }
+
+    bool
+    takeU32(const std::string &key, std::uint32_t &out)
+    {
+        unsigned v = out;
+        if (!takeUnsigned(key, v))
+            return false;
+        out = v;
+        return true;
+    }
+
+    bool
+    takeBool(const std::string &key, bool &out)
+    {
+        auto it = m.find(key);
+        if (it == m.end())
+            return true;
+        if (it->second == "0")
+            out = false;
+        else if (it->second == "1")
+            out = true;
+        else
+            return fail("bad value for '" + key +
+                        "': expected 0 or 1");
+        m.erase(it);
+        return true;
+    }
+
+    bool
+    takeDouble(const std::string &key, double &out)
+    {
+        auto it = m.find(key);
+        if (it == m.end())
+            return true;
+        char *end = nullptr;
+        double v = std::strtod(it->second.c_str(), &end);
+        if (it->second.empty() ||
+            end != it->second.c_str() + it->second.size())
+            return fail("bad value for '" + key + "'");
+        out = v;
+        m.erase(it);
+        return true;
+    }
+};
+
+/// @}
+
+/** "name,size,assoc,line,lat" composite for one cache level. */
+std::string
+cacheStr(const mem::CacheParams &c)
+{
+    return c.name + "," + u64Str(c.size) + "," + u64Str(c.assoc) +
+           "," + u64Str(c.lineSize) + "," + u64Str(c.hitLatency);
+}
+
+bool
+cacheFromStr(const std::string &s, mem::CacheParams &c,
+             std::string &err)
+{
+    std::vector<std::string> parts = split(s, ',');
+    std::uint64_t size, assoc, line, lat;
+    if (parts.size() != 5 || !parseUint(parts[1], size) ||
+        !parseUint(parts[2], assoc) || !parseUint(parts[3], line) ||
+        !parseUint(parts[4], lat)) {
+        err = "bad cache spec '" + s + "'";
+        return false;
+    }
+    c.name = parts[0];
+    c.size = size;
+    c.assoc = unsigned(assoc);
+    c.lineSize = unsigned(line);
+    c.hitLatency = unsigned(lat);
+    return true;
+}
+
+void
+machineToConfig(const uarch::MachineConfig &m, ConfigMap &out)
+{
+    out["m.fetch_width"] = u64Str(m.fetchWidth);
+    out["m.decode_width"] = u64Str(m.decodeWidth);
+    out["m.issue_width"] = u64Str(m.issueWidth);
+    out["m.commit_width"] = u64Str(m.commitWidth);
+    out["m.ifq"] = u64Str(m.ifqSize);
+    out["m.ruu"] = u64Str(m.ruuSize);
+    out["m.lsq"] = u64Str(m.lsqSize);
+    out["m.int_alu"] = u64Str(m.intAlu);
+    out["m.int_mult"] = u64Str(m.intMult);
+    out["m.il1"] = cacheStr(m.hier.il1);
+    out["m.dl1"] = cacheStr(m.hier.dl1);
+    out["m.l2"] = cacheStr(m.hier.l2);
+    out["m.mem_lat"] = u64Str(m.hier.memLatency);
+    out["m.dl1_ports"] = u64Str(m.dl1Ports);
+    out["m.store_fwd_lat"] = u64Str(m.storeForwardLat);
+    out["m.agen_lat"] = u64Str(m.agenLat);
+    out["m.bpred"] = m.bpred;
+    out["m.redirect_penalty"] = u64Str(m.redirectPenalty);
+    out["m.sched_lat"] = u64Str(m.schedLatency);
+    out["m.max_taken"] = u64Str(m.maxTakenPerFetch);
+    out["m.svf.enabled"] = boolStr(m.svf.enabled);
+    out["m.svf.entries"] = u64Str(m.svf.svf.entries);
+    out["m.svf.ports"] = u64Str(m.svf.svf.ports);
+    out["m.svf.hit_lat"] = u64Str(m.svf.svf.hitLatency);
+    out["m.svf.kill_on_shrink"] = boolStr(m.svf.svf.killOnShrink);
+    out["m.svf.fill_on_alloc"] = boolStr(m.svf.svf.fillOnAlloc);
+    out["m.svf.granule"] = u64Str(m.svf.svf.dirtyGranule);
+    out["m.svf.morph_all"] = boolStr(m.svf.morphAllStackRefs);
+    out["m.svf.morph_sp"] = boolStr(m.svf.morphSpRefs);
+    out["m.svf.no_squash"] = boolStr(m.svf.noSquash);
+    out["m.svf.squash_penalty"] = u64Str(m.svf.squashPenalty);
+    out["m.svf.dyn_disable"] = boolStr(m.svf.dynamicDisable);
+    out["m.svf.monitor_refs"] = u64Str(m.svf.monitorRefs);
+    out["m.svf.miss_rate"] = doubleStr(m.svf.missRateThreshold);
+    out["m.svf.disable_refs"] = u64Str(m.svf.disableRefs);
+    out["m.sc.enabled"] = boolStr(m.stackCacheEnabled);
+    out["m.sc.size"] = u64Str(m.stackCache.size);
+    out["m.sc.line"] = u64Str(m.stackCache.lineSize);
+    out["m.sc.hit_lat"] = u64Str(m.stackCache.hitLatency);
+    out["m.sc.ports"] = u64Str(m.stackCache.ports);
+    out["m.no_addr_calc_op"] = boolStr(m.noAddrCalcOp);
+    out["m.ctx_period"] = u64Str(m.contextSwitchPeriod);
+    out["m.sched"] = uarch::schedKindName(m.sched);
+    out["m.disambig"] = uarch::disambigKindName(m.disambig);
+}
+
+bool
+machineFromFields(Fields &f, uarch::MachineConfig &m)
+{
+    bool ok = f.takeUnsigned("m.fetch_width", m.fetchWidth) &&
+              f.takeUnsigned("m.decode_width", m.decodeWidth) &&
+              f.takeUnsigned("m.issue_width", m.issueWidth) &&
+              f.takeUnsigned("m.commit_width", m.commitWidth) &&
+              f.takeUnsigned("m.ifq", m.ifqSize) &&
+              f.takeUnsigned("m.ruu", m.ruuSize) &&
+              f.takeUnsigned("m.lsq", m.lsqSize) &&
+              f.takeUnsigned("m.int_alu", m.intAlu) &&
+              f.takeUnsigned("m.int_mult", m.intMult) &&
+              f.takeUnsigned("m.mem_lat", m.hier.memLatency) &&
+              f.takeUnsigned("m.dl1_ports", m.dl1Ports) &&
+              f.takeUnsigned("m.store_fwd_lat", m.storeForwardLat) &&
+              f.takeUnsigned("m.agen_lat", m.agenLat) &&
+              f.takeStr("m.bpred", m.bpred) &&
+              f.takeUnsigned("m.redirect_penalty",
+                             m.redirectPenalty) &&
+              f.takeUnsigned("m.sched_lat", m.schedLatency) &&
+              f.takeUnsigned("m.max_taken", m.maxTakenPerFetch) &&
+              f.takeBool("m.svf.enabled", m.svf.enabled) &&
+              f.takeU32("m.svf.entries", m.svf.svf.entries) &&
+              f.takeUnsigned("m.svf.ports", m.svf.svf.ports) &&
+              f.takeUnsigned("m.svf.hit_lat", m.svf.svf.hitLatency) &&
+              f.takeBool("m.svf.kill_on_shrink",
+                         m.svf.svf.killOnShrink) &&
+              f.takeBool("m.svf.fill_on_alloc",
+                         m.svf.svf.fillOnAlloc) &&
+              f.takeUnsigned("m.svf.granule",
+                             m.svf.svf.dirtyGranule) &&
+              f.takeBool("m.svf.morph_all", m.svf.morphAllStackRefs) &&
+              f.takeBool("m.svf.morph_sp", m.svf.morphSpRefs) &&
+              f.takeBool("m.svf.no_squash", m.svf.noSquash) &&
+              f.takeUnsigned("m.svf.squash_penalty",
+                             m.svf.squashPenalty) &&
+              f.takeBool("m.svf.dyn_disable", m.svf.dynamicDisable) &&
+              f.takeUnsigned("m.svf.monitor_refs",
+                             m.svf.monitorRefs) &&
+              f.takeDouble("m.svf.miss_rate",
+                           m.svf.missRateThreshold) &&
+              f.takeUnsigned("m.svf.disable_refs",
+                             m.svf.disableRefs) &&
+              f.takeBool("m.sc.enabled", m.stackCacheEnabled) &&
+              f.takeU64("m.sc.size", m.stackCache.size) &&
+              f.takeUnsigned("m.sc.line", m.stackCache.lineSize) &&
+              f.takeUnsigned("m.sc.hit_lat",
+                             m.stackCache.hitLatency) &&
+              f.takeUnsigned("m.sc.ports", m.stackCache.ports) &&
+              f.takeBool("m.no_addr_calc_op", m.noAddrCalcOp) &&
+              f.takeU64("m.ctx_period", m.contextSwitchPeriod);
+    if (!ok)
+        return false;
+
+    for (const char *level : {"m.il1", "m.dl1", "m.l2"}) {
+        std::string spec;
+        if (!f.takeStr(level, spec))
+            return false;
+        if (spec.empty())
+            continue;
+        mem::CacheParams *c = level[2] == 'i'
+                                  ? &m.hier.il1
+                                  : (level[3] == 'l' &&
+                                     level[4] == '1')
+                                        ? &m.hier.dl1
+                                        : &m.hier.l2;
+        std::string cerr;
+        if (!cacheFromStr(spec, *c, cerr))
+            return f.fail(cerr);
+    }
+
+    std::string sched;
+    if (!f.takeStr("m.sched", sched))
+        return false;
+    if (!sched.empty()) {
+        if (sched == "scan")
+            m.sched = uarch::SchedKind::Scan;
+        else if (sched == "event")
+            m.sched = uarch::SchedKind::Event;
+        else
+            return f.fail("bad scheduler '" + sched + "'");
+    }
+    std::string disambig;
+    if (!f.takeStr("m.disambig", disambig))
+        return false;
+    if (!disambig.empty()) {
+        if (disambig == "scan")
+            m.disambig = uarch::DisambigKind::Scan;
+        else if (disambig == "filter")
+            m.disambig = uarch::DisambigKind::Filter;
+        else
+            return f.fail("bad disambig mode '" + disambig + "'");
+    }
+    return true;
+}
+
+/** Non-fatal SamplePlan::parse (same grammar, error out-param). */
+bool
+sampleFromStr(const std::string &spec, ckpt::SamplePlan &plan,
+              std::string &err)
+{
+    plan = ckpt::SamplePlan();
+    if (spec.empty())
+        return true;
+    std::vector<std::string> parts = split(spec, ',');
+    std::uint64_t vals[3] = {};
+    if (parts.size() < 3 || parts.size() > 4 ||
+        !parseUint(parts[0], vals[0]) ||
+        !parseUint(parts[1], vals[1]) ||
+        !parseUint(parts[2], vals[2])) {
+        err = "bad sample spec '" + spec + "'";
+        return false;
+    }
+    plan.intervals = vals[0];
+    plan.warmupInsts = vals[1];
+    plan.detailedInsts = vals[2];
+    if (parts.size() == 4) {
+        if (parts[3] == "warm")
+            plan.functionalWarm = true;
+        else if (parts[3] == "pwarm")
+            plan.parallelWarm = true;
+        else {
+            err = "bad sample spec '" + spec + "'";
+            return false;
+        }
+    }
+    if (plan.intervals > 0 && plan.detailedInsts == 0) {
+        err = "bad sample spec '" + spec + "': D must be positive";
+        return false;
+    }
+    return true;
+}
+
+/** Validate a (possibly comma-listed) workload name field. */
+bool
+validWorkloads(const std::string &names, std::string &err)
+{
+    for (const std::string &w : split(names, ',')) {
+        if (!workloads::findWorkload(w)) {
+            err = "unknown workload '" + w + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+setupToConfig(const harness::JobSetup &setup, ConfigMap &out,
+              std::string &err)
+{
+    out.clear();
+    if (const auto *rs = std::get_if<harness::RunSetup>(&setup)) {
+        if (rs->program) {
+            err = "explicit programs (asm=) cannot be shipped to a "
+                  "server";
+            return false;
+        }
+        if (rs->trace.enabled()) {
+            err = "trace= writes client-local files and cannot be "
+                  "shipped to a server";
+            return false;
+        }
+        out["kind"] = "run";
+        out["workload"] = rs->workload;
+        out["input"] = rs->input;
+        out["scale"] = u64Str(rs->scale);
+        out["insts"] = u64Str(rs->maxInsts);
+        out["cores"] = u64Str(rs->cores);
+        out["slice"] = u64Str(rs->slicePeriod);
+        out["quantum"] = u64Str(rs->sysQuantum);
+        out["sample"] = rs->sample.str();
+        // ckptDir and pjobs are host-side accelerators, not part of
+        // the setup key; the daemon applies its own policy.
+        machineToConfig(rs->machine, out);
+        return true;
+    }
+    if (const auto *ts = std::get_if<harness::TrafficSetup>(&setup)) {
+        out["kind"] = "traffic";
+        out["workload"] = ts->workload;
+        out["input"] = ts->input;
+        out["scale"] = u64Str(ts->scale);
+        out["insts"] = u64Str(ts->maxInsts);
+        out["capacity"] = u64Str(ts->capacityBytes);
+        out["slice"] = u64Str(ts->slicePeriod);
+        out["granule"] = u64Str(ts->svfDirtyGranule);
+        out["kill_on_shrink"] = boolStr(ts->svfKillOnShrink);
+        out["fill_on_alloc"] = boolStr(ts->svfFillOnAlloc);
+        return true;
+    }
+    const auto &ps = std::get<harness::ProfileSetup>(setup);
+    out["kind"] = "profile";
+    out["workload"] = ps.workload;
+    out["input"] = ps.input;
+    out["scale"] = u64Str(ps.scale);
+    out["insts"] = u64Str(ps.maxInsts);
+    out["depth_samples"] = u64Str(ps.depthSamples);
+    return true;
+}
+
+bool
+setupFromConfig(const ConfigMap &config, harness::JobSetup &out,
+                std::string &err)
+{
+    Fields f{config, ""};
+    std::string kind;
+    if (!f.takeStr("kind", kind)) {
+        err = f.err;
+        return false;
+    }
+
+    bool ok = false;
+    if (kind == "run") {
+        harness::RunSetup rs;
+        std::string sample;
+        ok = f.takeStr("workload", rs.workload) &&
+             f.takeStr("input", rs.input) &&
+             f.takeU64("scale", rs.scale) &&
+             f.takeU64("insts", rs.maxInsts) &&
+             f.takeUnsigned("cores", rs.cores) &&
+             f.takeU64("slice", rs.slicePeriod) &&
+             f.takeU64("quantum", rs.sysQuantum) &&
+             f.takeStr("sample", sample) &&
+             machineFromFields(f, rs.machine);
+        if (ok)
+            ok = sampleFromStr(sample, rs.sample, f.err);
+        if (ok)
+            ok = validWorkloads(rs.workload, f.err);
+        if (ok)
+            out = std::move(rs);
+    } else if (kind == "traffic") {
+        harness::TrafficSetup ts;
+        ok = f.takeStr("workload", ts.workload) &&
+             f.takeStr("input", ts.input) &&
+             f.takeU64("scale", ts.scale) &&
+             f.takeU64("insts", ts.maxInsts) &&
+             f.takeU64("capacity", ts.capacityBytes) &&
+             f.takeU64("slice", ts.slicePeriod) &&
+             f.takeUnsigned("granule", ts.svfDirtyGranule) &&
+             f.takeBool("kill_on_shrink", ts.svfKillOnShrink) &&
+             f.takeBool("fill_on_alloc", ts.svfFillOnAlloc);
+        if (ok)
+            ok = validWorkloads(ts.workload, f.err);
+        if (ok)
+            out = std::move(ts);
+    } else if (kind == "profile") {
+        harness::ProfileSetup ps;
+        ok = f.takeStr("workload", ps.workload) &&
+             f.takeStr("input", ps.input) &&
+             f.takeU64("scale", ps.scale) &&
+             f.takeU64("insts", ps.maxInsts) &&
+             f.takeUnsigned("depth_samples", ps.depthSamples);
+        if (ok)
+            ok = validWorkloads(ps.workload, f.err);
+        if (ok)
+            out = std::move(ps);
+    } else {
+        err = "unknown job kind '" + kind + "'";
+        return false;
+    }
+
+    if (!ok) {
+        err = f.err.empty() ? "malformed job config" : f.err;
+        return false;
+    }
+    if (!f.m.empty()) {
+        err = "unknown config key '" + f.m.begin()->first + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+keyHex(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)key);
+    return buf;
+}
+
+namespace
+{
+
+bool
+keyFromHex(const std::string &hex, std::uint64_t &out)
+{
+    if (hex.size() != 16)
+        return false;
+    out = 0;
+    for (char c : hex) {
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= std::uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= std::uint64_t(c - 'a' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+parseRequest(const std::string &line, Request &out, std::string &err)
+{
+    JsonValue doc;
+    if (!parseJson(line, doc, err))
+        return false;
+    if (!doc.isObject()) {
+        err = "request is not a JSON object";
+        return false;
+    }
+
+    std::string verb = doc.getString("verb");
+    const JsonValue *id = doc.find("id");
+    out = Request();
+    if (id && id->isNumber())
+        out.id = std::uint64_t(id->number);
+    out.client = doc.getString("client");
+
+    if (verb == "stats") {
+        out.verb = Request::Verb::Stats;
+        return true;
+    }
+    if (verb == "ping") {
+        out.verb = Request::Verb::Ping;
+        return true;
+    }
+    if (verb != "run") {
+        err = verb.empty() ? "missing verb"
+                           : "unknown verb '" + verb + "'";
+        return false;
+    }
+
+    out.verb = Request::Verb::Run;
+    const JsonValue *jobs = doc.find("jobs");
+    if (!jobs || !jobs->isArray() || jobs->arr.empty()) {
+        err = "run request without jobs";
+        return false;
+    }
+    for (std::size_t i = 0; i < jobs->arr.size(); ++i) {
+        const JsonValue &j = jobs->arr[i];
+        std::string where = "job " + std::to_string(i);
+        if (!j.isObject()) {
+            err = where + ": not an object";
+            return false;
+        }
+        JobRequest req;
+        req.name = j.getString("name");
+        std::string key_hex = j.getString("key");
+        if (!keyFromHex(key_hex, req.key)) {
+            err = where + ": missing or malformed key";
+            return false;
+        }
+        const JsonValue *cfg = j.find("config");
+        if (!cfg || !cfg->isObject()) {
+            err = where + ": missing config object";
+            return false;
+        }
+        ConfigMap config;
+        for (const auto &kv : cfg->obj) {
+            if (!kv.second.isString()) {
+                err = where + ": config value for '" + kv.first +
+                      "' is not a string";
+                return false;
+            }
+            config[kv.first] = kv.second.str;
+        }
+        std::string derr;
+        if (!setupFromConfig(config, req.setup, derr)) {
+            err = where + ": " + derr;
+            return false;
+        }
+        std::uint64_t derived = harness::setupKey(req.setup);
+        if (derived != req.key) {
+            err = where + ": setup key mismatch (client " + key_hex +
+                  ", server " + keyHex(derived) +
+                  ") — lossy wire encoding or version skew";
+            return false;
+        }
+        out.jobs.push_back(std::move(req));
+    }
+    return true;
+}
+
+std::string
+renderRunRequest(
+    std::uint64_t id, const std::string &client,
+    const std::vector<std::pair<std::string, harness::JobSetup>>
+        &jobs,
+    std::string &err)
+{
+    std::string line = "{\"verb\":\"run\",\"id\":" + u64Str(id) +
+                       ",\"client\":\"" + jsonEscape(client) +
+                       "\",\"jobs\":[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ConfigMap config;
+        if (!setupToConfig(jobs[i].second, config, err))
+            return "";
+        if (i)
+            line += ",";
+        line += "{\"name\":\"" + jsonEscape(jobs[i].first) +
+                "\",\"key\":\"" +
+                keyHex(harness::setupKey(jobs[i].second)) +
+                "\",\"config\":{";
+        bool first = true;
+        for (const auto &kv : config) {
+            if (!first)
+                line += ",";
+            first = false;
+            line += "\"" + jsonEscape(kv.first) + "\":\"" +
+                    jsonEscape(kv.second) + "\"";
+        }
+        line += "}}";
+    }
+    line += "]}";
+    return line;
+}
+
+std::string
+renderStatsRequest()
+{
+    return "{\"verb\":\"stats\"}";
+}
+
+std::string
+renderPingRequest()
+{
+    return "{\"verb\":\"ping\"}";
+}
+
+std::string
+eventQueued(std::uint64_t id, std::size_t index,
+            const std::string &name, std::uint64_t key,
+            std::size_t position)
+{
+    return "{\"event\":\"queued\",\"id\":" + u64Str(id) +
+           ",\"job\":" + u64Str(index) + ",\"name\":\"" +
+           jsonEscape(name) + "\",\"key\":\"" + keyHex(key) +
+           "\",\"position\":" + u64Str(position) + "}";
+}
+
+std::string
+eventRunning(std::uint64_t id, std::size_t index, std::uint64_t key,
+             const std::string &profile_json)
+{
+    std::string line = "{\"event\":\"running\",\"id\":" + u64Str(id) +
+                       ",\"job\":" + u64Str(index) + ",\"key\":\"" +
+                       keyHex(key) + "\"";
+    if (!profile_json.empty())
+        line += ",\"profile\":" + profile_json;
+    return line + "}";
+}
+
+std::string
+eventDone(std::uint64_t id, std::size_t index, std::uint64_t key,
+          bool cached, const std::string &source, double wall_seconds,
+          const std::vector<std::uint8_t> &payload)
+{
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.6f", wall_seconds);
+    return "{\"event\":\"done\",\"id\":" + u64Str(id) +
+           ",\"job\":" + u64Str(index) + ",\"key\":\"" +
+           keyHex(key) + "\",\"cached\":" +
+           (cached ? "true" : "false") + ",\"source\":\"" + source +
+           "\",\"wall_seconds\":" + wall + ",\"result\":\"" +
+           hexEncode(payload) + "\"}";
+}
+
+std::string
+eventError(std::uint64_t id, long index, const std::string &message)
+{
+    std::string line = "{\"event\":\"error\",\"id\":" + u64Str(id);
+    if (index >= 0)
+        line += ",\"job\":" + u64Str(std::uint64_t(index));
+    return line + ",\"message\":\"" + jsonEscape(message) + "\"}";
+}
+
+std::string
+eventStats(std::uint64_t id, const std::string &stats_json)
+{
+    return "{\"event\":\"stats\",\"id\":" + u64Str(id) +
+           ",\"stats\":" + stats_json + "}";
+}
+
+std::string
+eventPong(std::uint64_t id)
+{
+    return "{\"event\":\"pong\",\"id\":" + u64Str(id) + "}";
+}
+
+std::string
+hexEncode(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+hexDecode(const std::string &hex, std::vector<std::uint8_t> &out)
+{
+    if (hex.size() % 2)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    auto nib = [](char c, int &v) {
+        if (c >= '0' && c <= '9')
+            v = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v = c - 'a' + 10;
+        else
+            return false;
+        return true;
+    };
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi, lo;
+        if (!nib(hex[i], hi) || !nib(hex[i + 1], lo))
+            return false;
+        out.push_back(std::uint8_t((hi << 4) | lo));
+    }
+    return true;
+}
+
+} // namespace svf::serve::wire

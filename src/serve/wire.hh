@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Wire codec for the svf_simd protocol (see docs/serving.md).
+ *
+ * The protocol is NDJSON — one JSON object per line in each
+ * direction. A request names a verb; the `run` verb carries a list
+ * of jobs, each a *flat config-string map* using the same keys the
+ * bench CLI already accepts (workload=, insts=, machine fields under
+ * `m.`), so a machine is fully described as data and the existing
+ * canonical setup keys become the wire-level cache identity: the
+ * client sends the key it computed locally, the server re-derives it
+ * from the decoded setup, and any mismatch — a missed field, a
+ * version skew — is rejected instead of silently simulating the
+ * wrong machine or poisoning the shared cache.
+ *
+ * Results travel as the result cache's own payload encoding
+ * (ckpt::encodeValue), hex-armored into a `done` event, so a decoded
+ * value is bit-identical to a locally simulated one — the property
+ * the `server=` byte-identity pin rests on.
+ *
+ * Everything here is non-fatal by design: the daemon turns malformed
+ * input into `error` events, never into fatal(). Setups that cannot
+ * ship (explicit asm programs, trace sinks writing client-local
+ * files) are refused at encode time.
+ */
+
+#ifndef SVF_SERVE_WIRE_HH
+#define SVF_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "serve/json.hh"
+
+namespace svf::serve::wire
+{
+
+/** Flat, canonically ordered config-string view of a setup. */
+using ConfigMap = std::map<std::string, std::string>;
+
+/**
+ * Encode @p setup as config strings (includes the "kind" entry:
+ * run / traffic / profile). False + @p err when the setup cannot be
+ * shipped (explicit program, trace sink, snapshot dir).
+ */
+bool setupToConfig(const harness::JobSetup &setup, ConfigMap &out,
+                   std::string &err);
+
+/**
+ * Decode a config map produced by setupToConfig. Strict: unknown
+ * keys, malformed values and unknown workload names all fail with a
+ * message. Missing keys keep their defaults — full-fidelity
+ * transport is enforced by the caller's key verification, not here.
+ */
+bool setupFromConfig(const ConfigMap &config, harness::JobSetup &out,
+                     std::string &err);
+
+/** One job of a run request. */
+struct JobRequest
+{
+    std::string name;           //!< display name (report row)
+    std::uint64_t key = 0;      //!< client-computed setup key
+    harness::JobSetup setup;    //!< decoded, key-verified
+};
+
+/** A parsed request line. */
+struct Request
+{
+    enum class Verb { Run, Stats, Ping };
+    Verb verb = Verb::Ping;
+    std::uint64_t id = 0;       //!< client-chosen request id
+    std::string client;         //!< fairness queue id
+    std::vector<JobRequest> jobs;
+};
+
+/**
+ * Parse and validate one request line: JSON shape, verb, per-job
+ * config decode and setup-key verification. False + @p err rejects
+ * the whole request.
+ */
+bool parseRequest(const std::string &line, Request &out,
+                  std::string &err);
+
+/** @name Request rendering (client side) */
+/// @{
+std::string renderRunRequest(
+    std::uint64_t id, const std::string &client,
+    const std::vector<std::pair<std::string, harness::JobSetup>>
+        &jobs,
+    std::string &err);
+std::string renderStatsRequest();
+std::string renderPingRequest();
+/// @}
+
+/** @name Event rendering (server side) */
+/// @{
+std::string eventQueued(std::uint64_t id, std::size_t index,
+                        const std::string &name, std::uint64_t key,
+                        std::size_t position);
+std::string eventRunning(std::uint64_t id, std::size_t index,
+                         std::uint64_t key,
+                         const std::string &profile_json);
+std::string eventDone(std::uint64_t id, std::size_t index,
+                      std::uint64_t key, bool cached,
+                      const std::string &source, double wall_seconds,
+                      const std::vector<std::uint8_t> &payload);
+std::string eventError(std::uint64_t id, long index,
+                       const std::string &message);
+std::string eventStats(std::uint64_t id, const std::string &stats_json);
+std::string eventPong(std::uint64_t id);
+/// @}
+
+/** @name Hex armor for result payloads */
+/// @{
+std::string hexEncode(const std::vector<std::uint8_t> &bytes);
+bool hexDecode(const std::string &hex,
+               std::vector<std::uint8_t> &out);
+/// @}
+
+/** "%016llx" of a setup key (the cache identity in reports). */
+std::string keyHex(std::uint64_t key);
+
+} // namespace svf::serve::wire
+
+#endif // SVF_SERVE_WIRE_HH

@@ -65,13 +65,21 @@ allWorkloads()
     return specs;
 }
 
-const WorkloadSpec &
-workload(const std::string &name)
+const WorkloadSpec *
+findWorkload(const std::string &name)
 {
     for (const auto &w : allWorkloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
+    return nullptr;
+}
+
+const WorkloadSpec &
+workload(const std::string &name)
+{
+    if (const WorkloadSpec *w = findWorkload(name))
+        return *w;
     fatal("unknown workload '%s'", name.c_str());
 }
 

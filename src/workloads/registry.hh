@@ -65,6 +65,13 @@ const std::vector<WorkloadSpec> &allWorkloads();
 /** Lookup by short name; fatal() on unknown names. */
 const WorkloadSpec &workload(const std::string &name);
 
+/**
+ * Non-fatal lookup; null on unknown names. The serve layer
+ * validates wire requests with this so a bad workload name becomes
+ * a protocol error event instead of daemon death.
+ */
+const WorkloadSpec *findWorkload(const std::string &name);
+
 /** @name Per-benchmark builders and golden models */
 /// @{
 isa::Program buildBzip2(const std::string &input, std::uint64_t scale);

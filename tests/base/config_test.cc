@@ -88,6 +88,11 @@ TEST(Config, SuggestsNearestTouchedKey)
     // The interval-parallelism key (bench_util.hh pjobs=).
     EXPECT_EQ(cfg.suggest("pjob"), "pjobs");
     EXPECT_EQ(cfg.suggest("pjosb"), "pjobs");
+    // The daemon key (bench_util.hh server=): every bench queries
+    // it, so its typos get the did-you-mean treatment too.
+    cfg.getString("server", "");
+    EXPECT_EQ(cfg.suggest("servr"), "server");
+    EXPECT_EQ(cfg.suggest("sever"), "server");
     // Nothing within edit distance 2: no suggestion.
     EXPECT_EQ(cfg.suggest("completely_different"), "");
 }

@@ -115,6 +115,93 @@ TEST(ResultCache, MissAndDisabled)
     EXPECT_FALSE(off.load(1, out));
 }
 
+TEST(ResultCache, TruncatedFileRejectedAndRegenerates)
+{
+    ckpt::ResultCache cache(freshDir("rescache_trunc"));
+    harness::RunResult r;
+    r.core.cycles = 1234;
+    r.output = "payload\n";
+    ASSERT_TRUE(cache.store(5, r));
+
+    // Truncate below even the header: load must fail cleanly, not
+    // underflow into a huge body read.
+    std::string path = cache.path(5);
+    std::filesystem::resize_file(path, 4);
+    ckpt::CachedValue out;
+    EXPECT_FALSE(cache.load(5, out));
+
+    // Truncate mid-payload: digest check rejects.
+    ASSERT_TRUE(cache.store(5, r));
+    auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - 3);
+    EXPECT_FALSE(cache.load(5, out));
+
+    // A fresh store over the truncated file regenerates it.
+    ASSERT_TRUE(cache.store(5, r));
+    ASSERT_TRUE(cache.load(5, out));
+    EXPECT_EQ(std::get<harness::RunResult>(out).core.cycles, 1234u);
+    EXPECT_EQ(std::get<harness::RunResult>(out).output, "payload\n");
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+}
+
+TEST(ResultCache, SharedOwnersInterleaveSafely)
+{
+    // Two ResultCache instances on one directory stand in for the
+    // daemon and a serverless run sharing cache=DIR: per-key flock
+    // serializes their writes, and a reader never sees a torn file.
+    std::string dir = freshDir("rescache_shared");
+    ckpt::ResultCache daemon(dir);
+    ckpt::ResultCache local(dir);
+
+    harness::RunResult r;
+    r.core.cycles = 777;
+    ASSERT_TRUE(daemon.store(11, r));
+
+    ckpt::CachedValue out;
+    ASSERT_TRUE(local.load(11, out));
+    EXPECT_EQ(std::get<harness::RunResult>(out).core.cycles, 777u);
+
+    // Either owner may overwrite; the other reads the new value.
+    r.core.cycles = 778;
+    ASSERT_TRUE(local.store(11, r));
+    ASSERT_TRUE(daemon.load(11, out));
+    EXPECT_EQ(std::get<harness::RunResult>(out).core.cycles, 778u);
+
+    // The lock guard leaves its sidecar file; it is empty metadata,
+    // not cache payload, and never confuses a load.
+    EXPECT_TRUE(
+        std::filesystem::exists(daemon.path(11) + ".lock"));
+    std::remove(daemon.path(11).c_str());
+    std::remove((daemon.path(11) + ".lock").c_str());
+}
+
+TEST(ValueCodec, RoundTripsAndRejectsTrailingBytes)
+{
+    harness::RunResult r;
+    r.core.cycles = 42;
+    r.output = "x";
+    std::vector<std::uint8_t> bytes =
+        ckpt::encodeValue(ckpt::CachedValue(r));
+    ASSERT_FALSE(bytes.empty());
+
+    ckpt::CachedValue out;
+    ASSERT_TRUE(ckpt::decodeValue(bytes, out));
+    EXPECT_EQ(std::get<harness::RunResult>(out).core.cycles, 42u);
+
+    // Trailing garbage, truncation, and bad kind bytes all reject.
+    std::vector<std::uint8_t> longer = bytes;
+    longer.push_back(0);
+    EXPECT_FALSE(ckpt::decodeValue(longer, out));
+    std::vector<std::uint8_t> shorter(bytes.begin(),
+                                      bytes.end() - 1);
+    EXPECT_FALSE(ckpt::decodeValue(shorter, out));
+    std::vector<std::uint8_t> badkind = bytes;
+    badkind[0] = 0x7f;
+    EXPECT_FALSE(ckpt::decodeValue(badkind, out));
+    EXPECT_FALSE(ckpt::decodeValue(nullptr, 0, out));
+}
+
 TEST(ResultCache, CorruptFileRejected)
 {
     ckpt::ResultCache cache(freshDir("rescache_corrupt"));

@@ -8,8 +8,8 @@
  * lets the migration be invisible: every legacy counter name is
  * still present, in the frozen JSON order, reaching the same storage
  * and emitting the same value; the fold rules are unchanged; and the
- * deliberately-unmigrated ckpt::coreCounters() table stays
- * name-and-field consistent with the registry.
+ * registry-derived ckpt::coreCounters() table is positionally
+ * identical to the registry's CoreStats-backed subsequence.
  */
 
 #include <gtest/gtest.h>
@@ -86,25 +86,24 @@ TEST(CounterRegistry, StorageRoundTrip)
 }
 
 /**
- * ckpt::coreCounters() is deliberately NOT migrated (its order is
- * the snapshot result cache's on-disk format, and ckpt sits below
- * harness) — so pin that the two tables can never drift: every ckpt
- * entry must appear in the registry under the same name, reaching
- * the same CoreStats member, and the registry must have no
- * CoreStats-backed counter the ckpt table misses.
+ * ckpt::coreCounters() is derived from the registry: it must be
+ * exactly the CoreStats-backed subsequence, positionally — same
+ * names, same member pointers, same order. That order is the result
+ * cache's on-disk serialization order (FormatVersion 4), so any
+ * drift here is a silent cache-format change.
  */
 TEST(CounterRegistry, CkptTableConsistent)
 {
-    std::size_t core_backed = 0;
+    std::vector<const CounterDef *> core_backed;
     for (const CounterDef *d : runCounters())
-        core_backed += d->fromCoreStats();
-    EXPECT_EQ(ckpt::coreCounters().size(), core_backed);
+        if (d->fromCoreStats())
+            core_backed.push_back(d);
+    ASSERT_EQ(ckpt::coreCounters().size(), core_backed.size());
 
-    for (const ckpt::CoreCounter &c : ckpt::coreCounters()) {
-        const CounterDef *d = findCounter(c.name);
-        ASSERT_NE(d, nullptr) << c.name;
-        EXPECT_TRUE(d->fromCoreStats()) << c.name;
-        EXPECT_EQ(d->coreField(), c.field) << c.name;
+    for (std::size_t i = 0; i < core_backed.size(); ++i) {
+        const ckpt::CoreCounter &c = ckpt::coreCounters()[i];
+        EXPECT_EQ(core_backed[i]->name(), c.name) << "index " << i;
+        EXPECT_EQ(core_backed[i]->coreField(), c.field) << c.name;
     }
 }
 

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * The svf_simd protocol and service core (serve/):
+ *
+ *   - JSON parsing (serve/json.hh): structure, escapes, rejects;
+ *   - the wire codec: every setup kind and machine variant
+ *     round-trips config strings with its canonical key intact,
+ *     unknown keys / bad values / key mismatches are rejected;
+ *   - SimService request handling over a *manual* JobEngine
+ *     (harness/engine.hh): deterministic in-flight dedup, per-client
+ *     round-robin fairness, backpressure rejects, malformed and
+ *     oversized request errors, journal write + replay;
+ *   - result payloads: a `done` event decodes to the bit-identical
+ *     value a local executeSetup produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/result_cache.hh"
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
+#include "serve/json.hh"
+#include "serve/service.hh"
+#include "serve/wire.hh"
+
+using namespace svf;
+using namespace svf::serve;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = testing::TempDir() + name;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return dir;
+}
+
+harness::RunSetup
+smallRun(std::uint64_t insts = 20'000)
+{
+    harness::RunSetup run;
+    run.workload = "gzip";
+    run.input = "log";
+    run.maxInsts = insts;
+    run.machine = harness::baselineConfig(8);
+    return run;
+}
+
+/** Collects every emitted NDJSON line (manual mode: same thread). */
+struct Sink
+{
+    std::mutex m;
+    std::vector<std::string> lines;
+
+    SimService::Emit
+    emit()
+    {
+        return [this](const std::string &line) {
+            std::lock_guard<std::mutex> l(m);
+            lines.push_back(line);
+        };
+    }
+
+    /** The parsed "event" field of line @p i. */
+    std::string
+    kind(std::size_t i)
+    {
+        JsonValue v;
+        std::string err;
+        EXPECT_TRUE(parseJson(lines.at(i), v, err)) << err;
+        return v.getString("event");
+    }
+
+    std::size_t
+    count(const std::string &kind_name)
+    {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < lines.size(); ++i)
+            n += kind(i) == kind_name;
+        return n;
+    }
+};
+
+ServiceOptions
+manualService(std::size_t max_queued = 0)
+{
+    ServiceOptions o;
+    o.engine.manual = true;
+    o.engine.threads = 1;
+    o.engine.maxQueued = max_queued;
+    return o;
+}
+
+std::string
+runLine(const std::vector<std::pair<std::string, harness::JobSetup>>
+            &jobs,
+        std::uint64_t id = 1, const std::string &client = "")
+{
+    std::string err;
+    std::string line = wire::renderRunRequest(id, client, jobs, err);
+    EXPECT_TRUE(err.empty()) << err;
+    return line;
+}
+
+TEST(Json, ParsesStructuresAndEscapes)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(
+        "{\"a\":[1,2.5,-3e2],\"s\":\"x\\n\\u0041\",\"b\":true,"
+        "\"n\":null,\"o\":{\"k\":\"v\"}}",
+        v, err)) << err;
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    EXPECT_DOUBLE_EQ(a->arr[1].number, 2.5);
+    EXPECT_DOUBLE_EQ(a->arr[2].number, -300.0);
+    EXPECT_EQ(v.getString("s"), "x\nA");
+    EXPECT_TRUE(v.find("b")->boolean);
+    EXPECT_TRUE(v.find("n")->isNull());
+    EXPECT_EQ(v.find("o")->getString("k"), "v");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\":}", v, err));
+    EXPECT_FALSE(parseJson("{\"a\":1", v, err));
+    EXPECT_FALSE(parseJson("[1,2,]", v, err));
+    EXPECT_FALSE(parseJson("tru", v, err));
+    EXPECT_FALSE(parseJson("{} garbage", v, err));
+    EXPECT_FALSE(parseJson("\"unterminated", v, err));
+    EXPECT_FALSE(parseJson("", v, err));
+
+    // Nesting bomb stays a parse error, not a stack overflow.
+    std::string deep(200, '[');
+    EXPECT_FALSE(parseJson(deep, v, err));
+}
+
+TEST(Wire, EveryKindRoundTripsWithKeyIntact)
+{
+    std::vector<std::pair<std::string, harness::JobSetup>> setups;
+
+    harness::RunSetup base = smallRun();
+    setups.emplace_back("base", base);
+
+    harness::RunSetup svf_run = smallRun();
+    harness::applySvf(svf_run.machine, 1024, 2);
+    svf_run.machine.svf.dynamicDisable = true;
+    svf_run.machine.svf.missRateThreshold = 0.37;
+    setups.emplace_back("svf", svf_run);
+
+    harness::RunSetup sc_run = smallRun();
+    sc_run.machine.stackCacheEnabled = true;
+    sc_run.machine.sched = uarch::SchedKind::Scan;
+    sc_run.machine.disambig = uarch::DisambigKind::Scan;
+    setups.emplace_back("sc", sc_run);
+
+    harness::RunSetup sampled = smallRun();
+    sampled.sample = ckpt::SamplePlan::parse("4,1000,2000,warm");
+    sampled.cores = 2;
+    setups.emplace_back("sampled", sampled);
+
+    harness::TrafficSetup traffic;
+    traffic.workload = "gzip";
+    traffic.input = "log";
+    traffic.maxInsts = 30'000;
+    setups.emplace_back("traffic", traffic);
+
+    harness::ProfileSetup profile;
+    profile.workload = "gzip";
+    profile.input = "log";
+    profile.maxInsts = 30'000;
+    setups.emplace_back("profile", profile);
+
+    for (const auto &[name, setup] : setups) {
+        wire::ConfigMap config;
+        std::string err;
+        ASSERT_TRUE(wire::setupToConfig(setup, config, err))
+            << name << ": " << err;
+        harness::JobSetup decoded;
+        ASSERT_TRUE(wire::setupFromConfig(config, decoded, err))
+            << name << ": " << err;
+        EXPECT_EQ(harness::setupKey(decoded),
+                  harness::setupKey(setup))
+            << name << ": lossy wire encoding";
+    }
+}
+
+TEST(Wire, RefusesUnshippableSetups)
+{
+    wire::ConfigMap config;
+    std::string err;
+
+    harness::RunSetup traced = smallRun();
+    traced.trace.path = "/tmp/t.bin";
+    EXPECT_FALSE(wire::setupToConfig(traced, config, err));
+
+    harness::RunSetup prog = smallRun();
+    prog.program = std::make_shared<const isa::Program>();
+    EXPECT_FALSE(wire::setupToConfig(prog, config, err));
+}
+
+TEST(Wire, DecodeRejectsBadConfigs)
+{
+    wire::ConfigMap config;
+    std::string err;
+    ASSERT_TRUE(wire::setupToConfig(smallRun(), config, err));
+
+    harness::JobSetup out;
+    {
+        auto c = config;
+        c["no_such_key"] = "1";
+        EXPECT_FALSE(wire::setupFromConfig(c, out, err));
+        EXPECT_NE(err.find("no_such_key"), std::string::npos) << err;
+    }
+    {
+        auto c = config;
+        c["insts"] = "not-a-number";
+        EXPECT_FALSE(wire::setupFromConfig(c, out, err));
+    }
+    {
+        auto c = config;
+        c["workload"] = "no_such_workload";
+        EXPECT_FALSE(wire::setupFromConfig(c, out, err));
+    }
+    {
+        auto c = config;
+        c["m.svf.enabled"] = "yes";     // bools are 0/1
+        EXPECT_FALSE(wire::setupFromConfig(c, out, err));
+    }
+    {
+        auto c = config;
+        c["kind"] = "banana";
+        EXPECT_FALSE(wire::setupFromConfig(c, out, err));
+    }
+}
+
+TEST(Wire, ParseRequestVerifiesSetupKeys)
+{
+    std::string line = runLine({{"j", smallRun()}});
+
+    wire::Request req;
+    std::string err;
+    ASSERT_TRUE(wire::parseRequest(line, req, err)) << err;
+    ASSERT_EQ(req.jobs.size(), 1u);
+    EXPECT_EQ(req.jobs[0].key,
+              harness::setupKey(harness::JobSetup(smallRun())));
+
+    // Tamper with the client key: the whole request is rejected.
+    std::string key_hex = wire::keyHex(req.jobs[0].key);
+    std::string bad_hex = key_hex;
+    bad_hex[0] = bad_hex[0] == '0' ? '1' : '0';
+    std::string tampered = line;
+    tampered.replace(tampered.find(key_hex), key_hex.size(),
+                     bad_hex);
+    EXPECT_FALSE(wire::parseRequest(tampered, req, err));
+    EXPECT_NE(err.find("mismatch"), std::string::npos) << err;
+}
+
+TEST(Wire, ParseRequestRejectsBadShapes)
+{
+    wire::Request req;
+    std::string err;
+    EXPECT_FALSE(wire::parseRequest("not json", req, err));
+    EXPECT_FALSE(wire::parseRequest("[1,2,3]", req, err));
+    EXPECT_FALSE(wire::parseRequest("{\"verb\":\"banana\"}", req,
+                                    err));
+    EXPECT_FALSE(wire::parseRequest("{\"verb\":\"run\"}", req, err));
+    EXPECT_FALSE(wire::parseRequest(
+        "{\"verb\":\"run\",\"jobs\":[]}", req, err));
+    EXPECT_FALSE(wire::parseRequest(
+        "{\"verb\":\"run\",\"jobs\":[{\"name\":\"x\"}]}", req, err));
+    EXPECT_TRUE(wire::parseRequest("{\"verb\":\"ping\"}", req, err));
+    EXPECT_EQ(req.verb, wire::Request::Verb::Ping);
+}
+
+TEST(Wire, HexArmorRoundTrips)
+{
+    std::vector<std::uint8_t> bytes{0x00, 0x01, 0xab, 0xff, 0x10};
+    std::string hex = wire::hexEncode(bytes);
+    EXPECT_EQ(hex, "0001abff10");
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(wire::hexDecode(hex, back));
+    EXPECT_EQ(back, bytes);
+    EXPECT_FALSE(wire::hexDecode("abc", back));     // odd length
+    EXPECT_FALSE(wire::hexDecode("zz", back));      // bad digit
+}
+
+TEST(ServeService, InflightDedupExecutesOnce)
+{
+    SimService svc(manualService());
+    Sink sink;
+
+    // The same fresh setup from two clients, two requests: the
+    // second submit attaches to the first's in-flight execution.
+    harness::JobSetup setup(smallRun(21'000));
+    ActiveRun a = svc.handle(runLine({{"j", setup}}, 1, "alice"),
+                             "conn-a", sink.emit());
+    ActiveRun b = svc.handle(runLine({{"j", setup}}, 2, "bob"),
+                             "conn-b", sink.emit());
+    ASSERT_EQ(a.tickets.size(), 1u);
+    ASSERT_EQ(b.tickets.size(), 1u);
+    EXPECT_FALSE(a.tickets[0]->finished());
+    EXPECT_FALSE(b.tickets[0]->finished());
+
+    // One queue item runs both tickets to completion...
+    EXPECT_TRUE(svc.engine().runOne());
+    EXPECT_TRUE(a.tickets[0]->finished());
+    EXPECT_TRUE(b.tickets[0]->finished());
+    EXPECT_EQ(b.tickets[0]->source(),
+              harness::TicketSource::Inflight);
+    // ...and there is nothing else queued.
+    EXPECT_FALSE(svc.engine().runOne());
+
+    harness::EngineStats s = svc.engine().stats();
+    EXPECT_EQ(s.executed, 1u);
+    EXPECT_EQ(s.inflightAttached, 1u);
+    EXPECT_EQ(sink.count("done"), 2u);
+
+    // The dedup is observable through the stats verb too.
+    Sink stats_sink;
+    svc.handle("{\"verb\":\"stats\"}", "conn-a", stats_sink.emit());
+    ASSERT_EQ(stats_sink.lines.size(), 1u);
+    JsonValue ev;
+    std::string err;
+    ASSERT_TRUE(parseJson(stats_sink.lines[0], ev, err)) << err;
+    const JsonValue *stats = ev.find("stats");
+    ASSERT_TRUE(stats && stats->isObject());
+    EXPECT_DOUBLE_EQ(stats->find("inflight_attached")->number, 1.0);
+    EXPECT_DOUBLE_EQ(stats->find("executed")->number, 1.0);
+}
+
+TEST(ServeService, RoundRobinFairnessAcrossClients)
+{
+    SimService svc(manualService());
+    Sink sink;
+
+    // alice floods three jobs, then bob sends two. Round-robin
+    // serves alice, bob, alice, bob, alice — not alice's whole
+    // backlog first.
+    std::vector<std::pair<std::string, harness::JobSetup>> a_jobs = {
+        {"a1", smallRun(31'000)},
+        {"a2", smallRun(32'000)},
+        {"a3", smallRun(33'000)},
+    };
+    std::vector<std::pair<std::string, harness::JobSetup>> b_jobs = {
+        {"b1", smallRun(34'000)},
+        {"b2", smallRun(35'000)},
+    };
+    ActiveRun a = svc.handle(runLine(a_jobs, 1, "alice"), "conn-a",
+                             sink.emit());
+    ActiveRun b = svc.handle(runLine(b_jobs, 2, "bob"), "conn-b",
+                             sink.emit());
+
+    std::vector<std::string> order;
+    auto note_new = [&] {
+        for (std::size_t i = 0; i < a.tickets.size(); ++i) {
+            if (a.tickets[i]->finished() &&
+                std::find(order.begin(), order.end(), a.names[i]) ==
+                    order.end())
+                order.push_back(a.names[i]);
+        }
+        for (std::size_t i = 0; i < b.tickets.size(); ++i) {
+            if (b.tickets[i]->finished() &&
+                std::find(order.begin(), order.end(), b.names[i]) ==
+                    order.end())
+                order.push_back(b.names[i]);
+        }
+    };
+    while (svc.engine().runOne())
+        note_new();
+
+    std::vector<std::string> expect = {"a1", "b1", "a2", "b2", "a3"};
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ServeService, BackpressureRejectsPastTheBound)
+{
+    SimService svc(manualService(/*max_queued=*/1));
+    Sink sink;
+
+    std::vector<std::pair<std::string, harness::JobSetup>> jobs = {
+        {"fits", smallRun(41'000)},
+        {"rejected", smallRun(42'000)},
+    };
+    ActiveRun run = svc.handle(runLine(jobs, 1, "alice"), "conn-a",
+                               sink.emit());
+    ASSERT_EQ(run.tickets.size(), 2u);
+    EXPECT_FALSE(run.tickets[0]->finished());
+    EXPECT_EQ(run.tickets[1]->state(),
+              harness::TicketState::Rejected);
+    EXPECT_EQ(sink.count("error"), 1u);
+    EXPECT_NE(sink.lines.back().find("queue full"),
+              std::string::npos);
+    EXPECT_EQ(svc.engine().stats().rejected, 1u);
+
+    while (svc.engine().runOne()) {}
+    EXPECT_EQ(sink.count("done"), 1u);
+}
+
+TEST(ServeService, MalformedAndOversizedRequestsError)
+{
+    ServiceOptions opts = manualService();
+    opts.maxRequestBytes = 256;
+    SimService svc(opts);
+
+    Sink sink;
+    ActiveRun run =
+        svc.handle("{\"verb\":", "conn-a", sink.emit());
+    EXPECT_TRUE(run.tickets.empty());
+    ASSERT_EQ(sink.lines.size(), 1u);
+    EXPECT_EQ(sink.kind(0), "error");
+
+    Sink big_sink;
+    std::string big(1024, 'x');
+    run = svc.handle(big, "conn-a", big_sink.emit());
+    EXPECT_TRUE(run.tickets.empty());
+    ASSERT_EQ(big_sink.lines.size(), 1u);
+    EXPECT_NE(big_sink.lines[0].find("too large"),
+              std::string::npos);
+
+    JsonValue ev;
+    std::string err;
+    Sink ping_sink;
+    svc.handle("{\"verb\":\"ping\",\"id\":7}", "conn-a",
+               ping_sink.emit());
+    ASSERT_TRUE(parseJson(ping_sink.lines.at(0), ev, err)) << err;
+    EXPECT_EQ(ev.getString("event"), "pong");
+    EXPECT_DOUBLE_EQ(ev.find("id")->number, 7.0);
+}
+
+TEST(ServeService, DoneEventPayloadIsBitIdentical)
+{
+    SimService svc(manualService());
+    Sink sink;
+
+    harness::JobSetup setup(smallRun(22'000));
+    svc.handle(runLine({{"j", setup}}), "conn-a", sink.emit());
+    while (svc.engine().runOne()) {}
+
+    ASSERT_EQ(sink.count("done"), 1u);
+    JsonValue ev;
+    std::string err;
+    ASSERT_TRUE(parseJson(sink.lines.back(), ev, err)) << err;
+
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(
+        wire::hexDecode(ev.getString("result"), payload));
+    ckpt::CachedValue value;
+    ASSERT_TRUE(ckpt::decodeValue(payload, value));
+
+    harness::JobValue local = harness::executeSetup(setup);
+    const auto &got = std::get<harness::RunResult>(value);
+    const auto &want = std::get<harness::RunResult>(local);
+    EXPECT_EQ(got.core.cycles, want.core.cycles);
+    EXPECT_EQ(got.core.committed, want.core.committed);
+    EXPECT_EQ(got.dl1Hits, want.dl1Hits);
+    EXPECT_EQ(got.dl1Misses, want.dl1Misses);
+    EXPECT_EQ(got.output, want.output);
+
+    // The exact bytes match the disk cache's encoding of the same
+    // value — the transport adds nothing and loses nothing.
+    EXPECT_EQ(payload, ckpt::encodeValue(local));
+}
+
+TEST(ServeService, JournalPersistsAndReplays)
+{
+    std::string dir = freshDir("serve_journal");
+
+    harness::JobSetup setup(smallRun(23'000));
+    std::string line = runLine({{"j", setup}}, 9, "alice");
+
+    {
+        // First daemon: accepts the request but dies (drains) with
+        // the job still queued — the journal entry survives.
+        ServiceOptions opts = manualService();
+        opts.journalDir = dir;
+        SimService svc(opts);
+        Sink sink;
+        svc.handle(line, "conn-a", sink.emit());
+        std::size_t entries = 0;
+        for ([[maybe_unused]] const auto &e :
+             std::filesystem::directory_iterator(dir))
+            ++entries;
+        EXPECT_EQ(entries, 1u);
+    }
+
+    // Second daemon: replays the journal, executes, unlinks.
+    ServiceOptions opts = manualService();
+    opts.journalDir = dir;
+    SimService svc(opts);
+    EXPECT_EQ(svc.replayJournal(), 1u);
+    while (svc.engine().runOne()) {}
+    EXPECT_EQ(svc.engine().stats().executed, 1u);
+
+    std::size_t left = 0;
+    for ([[maybe_unused]] const auto &e :
+         std::filesystem::directory_iterator(dir))
+        ++left;
+    EXPECT_EQ(left, 0u);
+}
+
+TEST(ServeService, JournalEntryUnlinkedOnCompletion)
+{
+    std::string dir = freshDir("serve_journal_done");
+
+    ServiceOptions opts = manualService();
+    opts.journalDir = dir;
+    SimService svc(opts);
+    Sink sink;
+    svc.handle(runLine({{"j", smallRun(24'000)}}), "conn-a",
+               sink.emit());
+    while (svc.engine().runOne()) {}
+    EXPECT_EQ(sink.count("done"), 1u);
+
+    std::size_t left = 0;
+    for ([[maybe_unused]] const auto &e :
+         std::filesystem::directory_iterator(dir))
+        ++left;
+    EXPECT_EQ(left, 0u);
+}
+
+} // anonymous namespace

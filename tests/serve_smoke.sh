@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the svf_simd daemon (tier2; CI Release job runs
+# it via `ctest -L serve_smoke`):
+#
+#   1. start svf-simd on a Unix socket with a result cache;
+#   2. pre-populate the cache with a serverless svf-sim run;
+#   3. two concurrent clients sweep the same fresh setup — the daemon
+#      must execute it exactly once (dedup observable in stats);
+#   4. served JSON reports are byte-for-byte identical to serverless
+#      ones for cache-served runs;
+#   5. SIGTERM drains gracefully: the daemon exits 0 on its own.
+#
+# Usage: serve_smoke.sh <svf-sim> <svf-simd> <work-dir>
+set -u
+
+SVF_SIM=$1
+SVF_SIMD=$2
+WORK=$3/serve_smoke
+SOCK=$WORK/svf.sock
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail() {
+    echo "serve_smoke: FAIL: $*" >&2
+    [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+    exit 1
+}
+
+# A setup small enough to simulate twice in seconds.
+ARGS="workload=mcf scale=60 insts=150000"
+
+# -- 1. daemon up ----------------------------------------------------
+"$SVF_SIMD" --listen "$SOCK" cache="$WORK/cache" \
+    journal="$WORK/journal" jobs=2 >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 50); do
+    [ -S "$SOCK" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died on start"
+    sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon never opened $SOCK"
+
+# -- 2. serverless baseline populates the shared cache ---------------
+# First run executes and stores; the second is served from disk, so
+# its report is the canonical fully-cached serverless output.
+"$SVF_SIM" $ARGS cache="$WORK/cache" \
+    >/dev/null 2>&1 || fail "serverless run failed"
+"$SVF_SIM" $ARGS cache="$WORK/cache" json="$WORK/local.json" \
+    >"$WORK/local.txt" 2>/dev/null || fail "serverless rerun failed"
+grep -q '"cached": true' "$WORK/local.json" ||
+    fail "serverless rerun was not served from the cache"
+
+# -- 3. served run: byte-identical to serverless ---------------------
+"$SVF_SIM" $ARGS server="$SOCK" json="$WORK/served.json" \
+    >"$WORK/served.txt" 2>/dev/null || fail "served run failed"
+cmp -s "$WORK/local.json" "$WORK/served.json" ||
+    fail "served json= differs from serverless (diff: $(diff \
+        "$WORK/local.json" "$WORK/served.json" | head -4))"
+cmp -s "$WORK/local.txt" "$WORK/served.txt" ||
+    fail "served stdout differs from serverless"
+
+# -- 4. concurrent clients, fresh setup, one execution ---------------
+FRESH="workload=gzip input=log insts=120000"
+"$SVF_SIM" $FRESH server="$SOCK" >"$WORK/c1.txt" 2>&1 &
+C1=$!
+"$SVF_SIM" $FRESH server="$SOCK" >"$WORK/c2.txt" 2>&1 &
+C2=$!
+wait "$C1" || fail "concurrent client 1 failed"
+wait "$C2" || fail "concurrent client 2 failed"
+cmp -s "$WORK/c1.txt" "$WORK/c2.txt" ||
+    fail "concurrent clients got different statistics"
+
+STATS=$("$SVF_SIMD" --stats "$SOCK") || fail "stats verb failed"
+echo "$STATS" > "$WORK/stats.json"
+# The fresh setup must have executed exactly once: the second client
+# was served by in-flight dedup, the memo, or the disk cache.
+case "$STATS" in
+    *'"executed":1,'*) : ;;
+    *) fail "expected exactly 1 execution, stats: $STATS" ;;
+esac
+
+# -- 5. graceful SIGTERM drain ---------------------------------------
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID"
+    fail "daemon did not exit within 10s of SIGTERM"
+fi
+wait "$DAEMON_PID"
+RC=$?
+[ "$RC" -eq 0 ] || fail "daemon exited $RC, expected 0"
+grep -q "drained, exiting" "$WORK/daemon.log" ||
+    fail "daemon log missing the drain marker"
+[ -S "$SOCK" ] && fail "daemon left its socket file behind"
+
+echo "serve_smoke: PASS"

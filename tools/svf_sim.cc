@@ -61,6 +61,13 @@
  *     prof=1           host phase profiler (harness/prof.hh): print
  *                      the wall/CPU phase breakdown after the run
  *                      and embed it in json=FILE as "profile"
+ *     server=SPEC      run on an svf_simd daemon instead of in
+ *                      process (serve/client.hh): SPEC is a Unix
+ *                      socket path or a TCP loopback port. Needs a
+ *                      registry workload (asm= cannot be shipped);
+ *                      trace= is refused, cache= is the daemon's
+ *                      business. Statistics and json= output are
+ *                      byte-identical to a local run.
  */
 
 #include <cstdio>
@@ -75,6 +82,7 @@
 #include "harness/prof.hh"
 #include "harness/reporting.hh"
 #include "harness/runner.hh"
+#include "serve/client.hh"
 #include "trace/trace.hh"
 #include "isa/assembler.hh"
 #include "isa/decode.hh"
@@ -226,20 +234,45 @@ main(int argc, char **argv)
     harness::systemFromConfig(cfg, sys);
     bool drive_mode = sys.cores != 1 || sys.slicePeriod != 0;
     bool functional = cfg.getBool("functional", false);
+    std::string server = cfg.getString("server", "");
     // Registry workload mixes (workload=a,b,...) only exist under a
     // drive mode; everything else goes through the classic
     // single-program loader (which an asm= drive-mode run also uses:
     // its one program is replicated across the cores).
     bool registry_multi = drive_mode && !functional &&
                           cfg.getString("asm", "").empty();
+    // Timing runs of a registry workload are keyed by name, not by a
+    // locally built program, so they share cache identity with the
+    // bench plans — and can be shipped to an svf_simd daemon
+    // (server=). dump_asm= still needs the program in hand.
+    bool registry_byname = !registry_multi && !functional &&
+                           cfg.getString("asm", "").empty() &&
+                           !cfg.getBool("dump_asm", false);
 
     std::string name;
+    std::string sel_input;
+    std::uint64_t sel_scale = 0;
     isa::Program prog;
     if (registry_multi) {
         name = cfg.getString("workload", "");
         if (name.empty())
             fatal("cores=/slice= need workload=<name[,name...]>");
+    } else if (registry_byname) {
+        std::string wname = cfg.getString("workload", "");
+        if (wname.empty())
+            fatal("pass workload=<name> or asm=<file.s>  (workloads: "
+                  "bzip2 crafty eon gap gcc gzip mcf parser perlbmk "
+                  "twolf vortex vpr)");
+        const workloads::WorkloadSpec &spec =
+            workloads::workload(wname);
+        sel_input = cfg.getString("input", spec.inputs[0]);
+        sel_scale = cfg.getUint("scale", 0);
+        name = wname + "." + sel_input;
     } else {
+        if (!server.empty()) {
+            fatal("server= needs a registry workload (asm=/dump_asm= "
+                  "programs cannot be shipped to a daemon)");
+        }
         prog = loadProgram(cfg, name);
     }
     std::uint64_t budget = cfg.getUint("insts", 1'000'000);
@@ -257,6 +290,9 @@ main(int argc, char **argv)
             }
         }
     }
+
+    if (functional && !server.empty())
+        fatal("functional=1 runs locally; drop server=");
 
     if (functional) {
         sim::Emulator emu(prog);
@@ -287,6 +323,10 @@ main(int argc, char **argv)
             s.workload = name;
             s.input = cfg.getString("input", "");
             s.scale = cfg.getUint("scale", 0);
+        } else if (registry_byname) {
+            s.workload = name.substr(0, name.rfind('.'));
+            s.input = sel_input;
+            s.scale = sel_scale;
         } else {
             s.program =
                 std::make_shared<const isa::Program>(std::move(prog));
@@ -295,20 +335,43 @@ main(int argc, char **argv)
         harness::ExperimentPlan plan;
         plan.add(name, s);
 
-        harness::RunnerOptions opts;
-        opts.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
-        opts.cacheDir = cfg.getString("cache", "");
-        // A cached hit would skip the simulation that writes the
-        // trace file.
-        if (s.trace.enabled())
-            opts.memoize = false;
-        if (cfg.getBool("progress", false))
-            opts.progress = harness::stderrProgress();
         bool prof_on = cfg.getBool("prof", false);
         if (prof_on)
             harness::prof::Profiler::instance().enable(true);
-        harness::Runner runner(opts);
-        const auto res = runner.run(plan);
+
+        std::vector<harness::JobOutcome> res;
+        if (!server.empty()) {
+            if (s.trace.enabled()) {
+                fatal("trace= writes client-local files; drop "
+                      "server= or trace=");
+            }
+            if (!cfg.getString("cache", "").empty()) {
+                warn("cache= is ignored with server=: the daemon "
+                     "owns the result cache");
+            }
+            serve::Client client;
+            std::string err;
+            if (!client.connect(server, err))
+                fatal("%s", err.c_str());
+            harness::ProgressHook hook;
+            if (cfg.getBool("progress", false))
+                hook = harness::stderrProgress();
+            if (!client.runPlan(plan, res, err, hook))
+                fatal("%s", err.c_str());
+        } else {
+            harness::RunnerOptions opts;
+            opts.jobs =
+                static_cast<unsigned>(cfg.getUint("jobs", 1));
+            opts.cacheDir = cfg.getString("cache", "");
+            // A cached hit would skip the simulation that writes the
+            // trace file.
+            if (s.trace.enabled())
+                opts.memoize = false;
+            if (cfg.getBool("progress", false))
+                opts.progress = harness::stderrProgress();
+            harness::Runner runner(opts);
+            res = runner.run(plan);
+        }
 
         dumpStats(name, s.machine, res[0].run());
         if (prof_on) {

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * svf-simd: the persistent simulation-as-a-service daemon.
+ *
+ * Serves the svf_simd NDJSON protocol (serve/wire.hh, docs/
+ * serving.md): thin clients (`svf-sim server=...`, bench binaries
+ * with `server=...`) submit experiment plans as JSON and stream back
+ * progress events and bit-identical results. One daemon amortizes
+ * the worker pool, the in-memory memo and the disk result cache over
+ * every client, dedups identical in-flight setups, and schedules
+ * fairly across clients.
+ *
+ * Usage:
+ *     svf-simd --listen /tmp/svf.sock [options]
+ *     svf-simd --port 7777 [options]
+ *     svf-simd --stats /tmp/svf.sock     one-shot stats client
+ *
+ * Options (key=value, bench-style):
+ *     jobs=N       worker threads        (default: hw concurrency)
+ *     cache=DIR    disk result cache shared with local runs
+ *     journal=DIR  in-flight request journal: requests accepted but
+ *                  not finished when the daemon dies are re-executed
+ *                  on the next start
+ *     queue=N      max queued jobs before submits are rejected with
+ *                  a backpressure error (default: unbounded)
+ *     prof=1       host phase profiler; `running` heartbeats carry
+ *                  snapshots and stats includes phase latencies
+ *
+ * SIGTERM/SIGINT drain gracefully: running simulations finish and
+ * persist to the cache, queued ones stay journaled, then exit 0.
+ */
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/logging.hh"
+#include "harness/prof.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace svf;
+
+namespace
+{
+
+serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+int
+statsClient(const std::string &spec)
+{
+    serve::Client client;
+    std::string err, stats;
+    if (!client.connect(spec, err) || !client.stats(stats, err)) {
+        std::fprintf(stderr, "svf-simd: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", stats.c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions opts;
+    std::vector<char *> cfg_args;
+    cfg_args.push_back(argv[0]);
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--listen") {
+            opts.unixPath = need_value("--listen");
+        } else if (arg == "--port") {
+            opts.port = std::atoi(need_value("--port").c_str());
+        } else if (arg == "--stats") {
+            return statsClient(need_value("--stats"));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: svf-simd --listen PATH | --port N "
+                "[jobs=N] [cache=DIR] [journal=DIR] [queue=N] "
+                "[prof=1]\n"
+                "       svf-simd --stats PATH|PORT\n");
+            return 0;
+        } else {
+            cfg_args.push_back(argv[i]);
+        }
+    }
+
+    Config cfg = Config::fromArgs(int(cfg_args.size()),
+                                  cfg_args.data());
+    opts.service.engine.threads =
+        static_cast<unsigned>(cfg.getUint("jobs", 0));
+    opts.service.engine.cacheDir = cfg.getString("cache", "");
+    opts.service.engine.maxQueued = cfg.getUint("queue", 0);
+    opts.service.journalDir = cfg.getString("journal", "");
+    if (cfg.getBool("prof", false))
+        harness::prof::Profiler::instance().enable(true);
+    cfg.warnUnused();
+
+    if (opts.unixPath.empty() && opts.port < 0)
+        fatal("pass --listen PATH and/or --port N (0 = ephemeral)");
+
+    serve::Server server(opts);
+    g_server = &server;
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::string err;
+    if (!server.start(err))
+        fatal("svf-simd: %s", err.c_str());
+
+    if (!opts.unixPath.empty())
+        inform("svf-simd: listening on %s", opts.unixPath.c_str());
+    if (opts.port >= 0)
+        inform("svf-simd: listening on 127.0.0.1:%d",
+               server.tcpPort());
+
+    server.serveForever();
+    inform("svf-simd: drained, exiting");
+    g_server = nullptr;
+    return 0;
+}
