@@ -155,6 +155,66 @@ extractHostMips(const std::string &text, const std::string &job)
 }
 
 /**
+ * Pull profile.phases.<phase>.wall_seconds out of a committed
+ * svf-bench-1 document, same string-scan idiom as extractHostMips.
+ * @return -1 when the baseline has no such phase.
+ */
+double
+extractPhaseWall(const std::string &text, const char *phase)
+{
+    size_t prof = text.find("\"profile\":");
+    if (prof == std::string::npos)
+        return -1.0;
+    std::string anchor = std::string("\"") + phase + "\": {";
+    size_t at = text.find(anchor, prof);
+    if (at == std::string::npos)
+        return -1.0;
+    std::string field = "\"wall_seconds\": ";
+    size_t f = text.find(field, at);
+    if (f == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + f + field.size(), nullptr);
+}
+
+/**
+ * The baseline's whole "profile" object (balanced-brace substring),
+ * for re-embedding as "profile_baseline" in the fresh report. Empty
+ * when the baseline predates profile sections.
+ */
+std::string
+extractProfileObject(const std::string &text)
+{
+    size_t prof = text.find("\"profile\":");
+    if (prof == std::string::npos)
+        return "";
+    size_t open = text.find('{', prof);
+    if (open == std::string::npos)
+        return "";
+    int depth = 0;
+    for (size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '{')
+            ++depth;
+        else if (text[i] == '}' && --depth == 0)
+            return text.substr(open, i - open + 1);
+    }
+    return "";
+}
+
+/** profile.elapsed_seconds of a committed baseline, or -1. */
+double
+extractProfileElapsed(const std::string &text)
+{
+    size_t prof = text.find("\"profile\":");
+    if (prof == std::string::npos)
+        return -1.0;
+    std::string field = "\"elapsed_seconds\": ";
+    size_t f = text.find(field, prof);
+    if (f == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + f + field.size(), nullptr);
+}
+
+/**
  * Wrap a hand-timed measurement as a Runner-style outcome. @p key
  * must be the setup's canonical key (or a stable synthesized one for
  * measurements without a RunSetup) — a zero key in the JSON would
@@ -726,6 +786,15 @@ main(int argc, char **argv)
         b.print(pt);
         b.json().setProfile(
             harness::prof::Profiler::instance().reportJson());
+        // Carry the baseline's breakdown forward: a regenerated
+        // baseline document then holds both before and after
+        // profiles, so a committed perf change documents what it
+        // moved.
+        if (!text.empty()) {
+            std::string bp = extractProfileObject(text);
+            if (!bp.empty())
+                b.json().setProfileBaseline(bp);
+        }
     }
 
     if (b.finish() != 0)
@@ -749,6 +818,49 @@ main(int argc, char **argv)
                              "%.1f%% (tolerance %.0f%%)\n",
                              o.name.c_str(), -delta, tolerance);
                 rc = 1;
+            }
+        }
+
+        // Profile diff: phase-by-phase against the same committed
+        // baseline. Shares of elapsed time, not absolute seconds —
+        // a uniformly faster or slower host shifts every wall
+        // figure but leaves the breakdown alone, so a share that
+        // grows is a phase that genuinely got more expensive
+        // relative to the rest of the run. Flagging is a warning,
+        // not a failure: the MIPS rows above are the gate, this
+        // names the phase that moved. Tiny phases (< 2% of the
+        // baseline run) are skipped — microsecond rows flap.
+        double base_elapsed = extractProfileElapsed(text);
+        if (base_elapsed > 0.0) {
+            harness::prof::Profiler::Report pr =
+                harness::prof::Profiler::instance().report();
+            std::printf("\nprofile diff vs baseline "
+                        "(share of elapsed):\n");
+            for (unsigned p = 0;
+                 p < unsigned(harness::prof::Phase::NumPhases);
+                 ++p) {
+                const char *name =
+                    harness::prof::phaseName(harness::prof::Phase(p));
+                double bw = extractPhaseWall(text, name);
+                if (bw < 0.0)
+                    continue;   // phase absent from the baseline
+                double bshare = bw / base_elapsed;
+                double cshare = pr.elapsedSeconds > 0.0
+                    ? pr.phase[p].wallSeconds / pr.elapsedSeconds
+                    : 0.0;
+                bool flagged = bshare >= 0.02 &&
+                               cshare > bshare * 1.10;
+                std::printf("  %-18s %5.1f%% -> %5.1f%%%s\n", name,
+                            bshare * 100.0, cshare * 100.0,
+                            flagged ? "  ** regressed >10%" : "");
+                if (flagged) {
+                    std::fprintf(stderr,
+                                 "WARN: phase '%s' grew from "
+                                 "%.1f%% to %.1f%% of the run "
+                                 "(>10%% relative)\n",
+                                 name, bshare * 100.0,
+                                 cshare * 100.0);
+                }
             }
         }
     }

@@ -18,9 +18,9 @@ SamplePlan::parse(const std::string &spec)
     if (spec.empty())
         return plan;
     std::vector<std::string> parts = split(spec, ',');
-    if (parts.size() < 3 || parts.size() > 4) {
-        fatal("bad sample spec '%s': expected K,W,D, K,W,D,warm or "
-              "K,W,D,pwarm", spec.c_str());
+    if (parts.size() < 3 || parts.size() > 5) {
+        fatal("bad sample spec '%s': expected K,W,D with optional "
+              ",warm/,pwarm and ,adapt flags", spec.c_str());
     }
     std::uint64_t vals[3] = {};
     for (int i = 0; i < 3; ++i) {
@@ -32,14 +32,21 @@ SamplePlan::parse(const std::string &spec)
     plan.intervals = vals[0];
     plan.warmupInsts = vals[1];
     plan.detailedInsts = vals[2];
-    if (parts.size() == 4) {
-        if (parts[3] == "warm")
+    for (std::size_t i = 3; i < parts.size(); ++i) {
+        if (parts[i] == "warm" && !plan.parallelWarm &&
+            !plan.functionalWarm) {
             plan.functionalWarm = true;
-        else if (parts[3] == "pwarm")
+        } else if (parts[i] == "pwarm" && !plan.functionalWarm &&
+                   !plan.parallelWarm) {
             plan.parallelWarm = true;
-        else
-            fatal("bad sample spec '%s': trailing field must be "
-                  "'warm' or 'pwarm'", spec.c_str());
+        } else if (parts[i] == "adapt" && !plan.adaptive) {
+            plan.adaptive = true;
+        } else {
+            fatal("bad sample spec '%s': trailing field '%s' must be "
+                  "'warm', 'pwarm' or 'adapt' (each at most once, "
+                  "warm and pwarm mutually exclusive)",
+                  spec.c_str(), parts[i].c_str());
+        }
     }
     if (plan.intervals > 0 && plan.detailedInsts == 0) {
         fatal("bad sample spec '%s': detailed window D must be "
@@ -58,6 +65,8 @@ SamplePlan::str() const
         s += ",warm";
     if (parallelWarm)
         s += ",pwarm";
+    if (adaptive)
+        s += ",adapt";
     return s;
 }
 
@@ -71,6 +80,8 @@ SamplePlan::key(std::uint64_t seed) const
     // Folded only when set so pre-existing plan keys stay valid.
     if (parallelWarm)
         seed = hashCombine(seed, std::uint64_t(2));
+    if (adaptive)
+        seed = hashCombine(seed, std::uint64_t(3));
     return seed;
 }
 

@@ -67,21 +67,46 @@ struct SamplePlan
      */
     bool parallelWarm = false;
 
+    /**
+     * Adaptive window sizing: run each measured window in slices of
+     * D/8 and stop early once the cumulative window IPC has
+     * converged (relative change below AdaptTolerance on two
+     * consecutive slices), capping at D. Stable intervals stop after
+     * a fraction of D; phase-change intervals run the full window.
+     * The decision is a pure function of the interval's own
+     * simulation, so results stay byte-identical across pjobs. A
+     * different estimator than the plain plan (windows are shorter),
+     * so it is keyed as its own config.
+     */
+    bool adaptive = false;
+
+    /** Relative cumulative-IPC change below which a slice counts
+     *  as converged. */
+    static constexpr double AdaptTolerance = 0.01;
+
+    /** Slices per detailed window when adaptive. */
+    static constexpr std::uint64_t AdaptSlices = 8;
+
+    /** Converged slices (consecutive) required to stop a window. */
+    static constexpr unsigned AdaptStableSlices = 2;
+
     bool enabled() const { return intervals > 0; }
 
     /**
-     * Parse "K,W,D", "K,W,D,warm" or "K,W,D,pwarm" (fatal on
-     * malformed input); an empty string returns a disabled plan.
+     * Parse "K,W,D" with optional trailing ",warm"/",pwarm" and
+     * ",adapt" flags (fatal on malformed input); an empty string
+     * returns a disabled plan.
      */
     static SamplePlan parse(const std::string &spec);
 
-    /** "K,W,D[,warm|,pwarm]" round-trip of parse(). */
+    /** "K,W,D[,warm|,pwarm][,adapt]" round-trip of parse(). */
     std::string str() const;
 
     /**
      * Fold every field into @p seed (see base/hash.hh).
-     * parallelWarm is folded only when set, so every pre-existing
-     * plan key (in-memory and on-disk caches) stays valid.
+     * parallelWarm and adaptive are folded only when set, so every
+     * pre-existing plan key (in-memory and on-disk caches) stays
+     * valid.
      */
     std::uint64_t key(std::uint64_t seed) const;
 };

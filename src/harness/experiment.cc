@@ -113,6 +113,76 @@ coreStatsDelta(const uarch::CoreStats &after,
     return d;
 }
 
+/**
+ * Run one measured detailed window of up to @p detailed committed
+ * instructions on @p core and return its CoreStats delta — the
+ * measured sample.
+ *
+ * Plain plans run the window in one shot (core.run, which drains
+ * before returning) and the delta is measured around it, exactly as
+ * the sampled engines always did.
+ *
+ * Adaptive plans (",adapt") advance the same window in small cycle
+ * steps (beginRun/runUntil, no intermediate drains) and watch the
+ * cumulative window IPC at every SamplePlan::AdaptSlices'th of the
+ * budget: once its relative change stays below
+ * SamplePlan::AdaptTolerance for AdaptStableSlices consecutive
+ * checkpoints, the window is measured mid-flight — no drain bubble
+ * biases a truncated sample — the unfetched remainder of the budget
+ * is abandoned (truncateRun), and the in-flight tail drains outside
+ * the measurement. Stable code regions settle after a few slices;
+ * windows that straddle a phase change keep moving the cumulative
+ * IPC and run out the full budget, in which case the drained full
+ * window is returned, same shape as the plain estimator. Every
+ * decision reads only this window's own simulated deltas, so an
+ * interval's result is the same pure function of its snapshot it
+ * always was — byte-identical for any pjobs value.
+ */
+uarch::CoreStats
+runDetailedWindow(uarch::OooCore &core, const ckpt::SamplePlan &plan,
+                  std::uint64_t detailed,
+                  const uarch::CoreStats &before)
+{
+    if (!plan.adaptive || detailed < ckpt::SamplePlan::AdaptSlices) {
+        core.run(detailed);
+        return coreStatsDelta(core.stats(), before);
+    }
+
+    // Simulated-cycle granularity of the convergence checks; coarse
+    // enough to stay off the hot path, fine enough that a checkpoint
+    // lands near every slice boundary.
+    constexpr Cycle kCheckCycles = 256;
+
+    const std::uint64_t slice =
+        detailed / ckpt::SamplePlan::AdaptSlices;
+    std::uint64_t target = slice;
+    double prev_ipc = 0.0;
+    unsigned stable = 0;
+    core.beginRun(detailed);
+    while (true) {
+        bool done = core.runUntil(core.cycle() + kCheckCycles);
+        uarch::CoreStats d = coreStatsDelta(core.stats(), before);
+        if (done)
+            return d;       // full window (or halt), drained
+        if (d.committed < target)
+            continue;
+        double ipc = d.ipc();
+        if (prev_ipc > 0.0 &&
+            std::abs(ipc - prev_ipc) <=
+                ckpt::SamplePlan::AdaptTolerance * prev_ipc) {
+            if (++stable >= ckpt::SamplePlan::AdaptStableSlices) {
+                core.truncateRun();
+                core.runUntil(uarch::OooCore::RunToCompletion);
+                return d;   // measured before the drain tail
+            }
+        } else {
+            stable = 0;
+        }
+        prev_ipc = ipc;
+        target += slice;
+    }
+}
+
 /** Golden-output comparison for one program. */
 void
 checkProgramOutput(const workloads::WorkloadSpec *spec,
@@ -348,10 +418,9 @@ runSampledWarmSerial(const RunSetup &setup, const isa::Program &prog,
         RunResult unit_before;
         collectUnitCounters(core, unit_before);
 
-        core.run(iv.detailed);
-
         uarch::CoreStats delta =
-            coreStatsDelta(core.stats(), core_before);
+            runDetailedWindow(core, setup.sample, iv.detailed,
+                              core_before);
         if (delta.committed == 0)
             continue;       // program ended during warmup
         RunResult unit_after;
@@ -515,8 +584,8 @@ runSampledParallel(const RunSetup &setup, const isa::Program &prog,
 
         uarch::CoreStats core_before = core.stats();
         collectUnitCounters(core, out.unitBefore);
-        core.run(iv.detailed);
-        out.delta = coreStatsDelta(core.stats(), core_before);
+        out.delta = runDetailedWindow(core, setup.sample,
+                                      iv.detailed, core_before);
         if (setup.trace.enabled())
             out.events = tracer.take();
         if (out.delta.committed == 0)

@@ -233,6 +233,8 @@ JsonReport::write(std::ostream &os) const
     os << "  ]";
     if (!profile.empty())
         os << ",\n  \"profile\": " << profile;
+    if (!profileBaseline.empty())
+        os << ",\n  \"profile_baseline\": " << profileBaseline;
     os << "\n}\n";
 }
 

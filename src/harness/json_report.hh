@@ -65,6 +65,19 @@ class JsonReport
      */
     void setProfile(std::string json) { profile = std::move(json); }
 
+    /**
+     * Attach the *baseline* run's phase profile (the "profile"
+     * object of the committed report this run was compared
+     * against). Emitted as "profile_baseline", so a regenerated
+     * baseline document carries both before and after breakdowns;
+     * empty = omitted.
+     */
+    void
+    setProfileBaseline(std::string json)
+    {
+        profileBaseline = std::move(json);
+    }
+
     /** Write the complete document to @p os. */
     void write(std::ostream &os) const;
 
@@ -74,6 +87,7 @@ class JsonReport
   private:
     std::vector<std::string> records;   //!< pre-rendered objects
     std::string profile;                //!< "profile" section, raw JSON
+    std::string profileBaseline;        //!< "profile_baseline" section
 };
 
 /** JSON string escaping (exposed for tests). */

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <variant>
 
 #include "base/logging.hh"
 #include "ckpt/serialize.hh"
+#include "harness/prof.hh"
 
 namespace svf::serve
 {
@@ -120,6 +122,19 @@ SimService::recordLatency(const harness::JobTicket &t)
     if (t.source() == harness::TicketSource::Executed) {
         push(queueWait, latNext, t.queueSeconds());
         push(execWall, latNext, t.wallSeconds());
+        // Aggregate host throughput: simulated instructions the
+        // daemon actually executed (cache hits spent no sim time)
+        // over the wall seconds they took. Sampled runs covered
+        // totalInsts of their program, same convention as
+        // harness::hostMips.
+        if (t.state() == harness::TicketState::Done) {
+            if (const auto *r =
+                    std::get_if<harness::RunResult>(&t.value())) {
+                simInsts += r->sampled.enabled()
+                    ? r->sampled.totalInsts : r->core.committed;
+                simWall += t.wallSeconds();
+            }
+        }
     }
     ++latNext;
 }
@@ -331,7 +346,8 @@ SimService::statsJson() const
     harness::EngineStats s = eng->stats();
 
     std::vector<double> qw, ew, tl;
-    std::uint64_t reqs, bad;
+    std::uint64_t reqs, bad, insts;
+    double insts_wall;
     std::size_t replayed;
     {
         std::lock_guard<std::mutex> l(statsLock);
@@ -340,6 +356,8 @@ SimService::statsJson() const
         tl = totalLat;
         reqs = requests;
         bad = badRequests;
+        insts = simInsts;
+        insts_wall = simWall;
         replayed = journalReplayed;
     }
 
@@ -372,6 +390,16 @@ SimService::statsJson() const
     json += ",\"worker_utilization\":" + doubleJson(util);
     json += ",\"wall_total_seconds\":" + doubleJson(s.wallTotal);
     json += ",\"journal_replayed\":" + std::to_string(replayed);
+    // Aggregate host throughput over every executed run job, and
+    // the host phase profiler's totals (all zero unless the daemon
+    // was started with prof=1).
+    json += ",\"sim_insts\":" + std::to_string(insts);
+    json += ",\"aggregate_host_mips\":" +
+            doubleJson(insts_wall > 0.0
+                           ? double(insts) / (insts_wall * 1e6)
+                           : 0.0);
+    json += ",\"profile\":" +
+            harness::prof::Profiler::instance().reportJson();
     json += ",\"latency\":{";
     json += "\"queue_wait\":" + latencyJson(qw);
     json += ",\"execute\":" + latencyJson(ew);

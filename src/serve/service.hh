@@ -130,6 +130,8 @@ class SimService
     std::vector<double> execWall;   //!< executed jobs: run seconds
     std::vector<double> totalLat;   //!< every job: submit-to-done
     std::size_t latNext = 0;        //!< ring cursor
+    std::uint64_t simInsts = 0;     //!< simulated insts, executed runs
+    double simWall = 0.0;           //!< wall seconds behind simInsts
     std::uint64_t requests = 0;     //!< run requests accepted
     std::uint64_t badRequests = 0;  //!< rejected at parse/validate
     std::size_t journalSeq = 0;

@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "base/types.hh"
+#include "uarch/word_map.hh"
 
 namespace svf::uarch
 {
@@ -23,7 +25,9 @@ namespace svf::uarch
  * Section 3.2 collision squash.
  *
  * Entries are pruned lazily: a lookup returning a sequence number
- * older than the RUU head means "no in-flight store".
+ * older than the RUU head means "no in-flight store". Backed by a
+ * flat open-addressed table (word_map.hh), so record/lookup are one
+ * probe with no node allocation.
  */
 class StoreWordMap
 {
@@ -31,7 +35,7 @@ class StoreWordMap
     /** Record a store of @p seq covering the word of @p addr. */
     void record(Addr addr, InstSeq seq)
     {
-        map[addr >> 3] = seq;
+        map.slot(addr >> 3) = seq;
     }
 
     /**
@@ -43,10 +47,10 @@ class StoreWordMap
      */
     InstSeq lookup(Addr addr, InstSeq oldest_inflight) const
     {
-        auto it = map.find(addr >> 3);
-        if (it == map.end() || it->second < oldest_inflight)
+        const InstSeq *s = map.find(addr >> 3);
+        if (!s || *s < oldest_inflight)
             return NoStore;
-        return it->second;
+        return *s;
     }
 
     /** Sentinel for "no in-flight store to that word". */
@@ -55,15 +59,18 @@ class StoreWordMap
     /** Drop stale entries to bound memory (called occasionally). */
     void prune(InstSeq oldest_inflight)
     {
-        for (auto it = map.begin(); it != map.end();) {
-            if (it->second < oldest_inflight)
-                it = map.erase(it);
-            else
-                ++it;
-        }
+        std::vector<std::pair<std::uint64_t, InstSeq>> live;
+        live.reserve(map.liveSlots());
+        map.forEach([&](std::uint64_t word, InstSeq seq) {
+            if (seq >= oldest_inflight)
+                live.emplace_back(word, seq);
+        });
+        map.clear();
+        for (const auto &[word, seq] : live)
+            map.slot(word) = seq;
     }
 
-    size_t size() const { return map.size(); }
+    size_t size() const { return map.liveSlots(); }
 
     /**
      * Drop everything. Needed at an oracle rebind: the next program
@@ -73,7 +80,7 @@ class StoreWordMap
     void clear() { map.clear(); }
 
   private:
-    std::unordered_map<std::uint64_t, InstSeq> map;
+    FlatWordMap<InstSeq> map;
 };
 
 /** Simple LSQ occupancy counter. */

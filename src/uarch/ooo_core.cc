@@ -22,6 +22,7 @@ OooCore::OooCore(const MachineConfig &config, sim::Emulator &oracle,
     bpred = makePredictor(cfg.bpred);
     eventMode = cfg.sched == SchedKind::Event;
     filterMode = cfg.disambig == DisambigKind::Filter;
+    sched.configure(cfg.ruuSize);
     for (auto &r : renameMap)
         r = NoProducer;
 }
@@ -76,9 +77,9 @@ OooCore::storeFilterAdd(Addr ea, unsigned size, InstSeq seq)
     // granule's seq vector sorted — the windowStores invariant.
     std::uint64_t first = ea >> 3;
     std::uint64_t last = (ea + size - 1) >> 3;
-    storesByGranule[first].push_back(seq);
+    storesByGranule.slot(first).push_back(seq);
     if (last != first)
-        storesByGranule[last].push_back(seq);
+        storesByGranule.slot(last).push_back(seq);
 }
 
 void
@@ -87,18 +88,17 @@ OooCore::storeFilterRemove(Addr ea, unsigned size, InstSeq seq)
     // Stores leave from the window's ends only: commit drops the
     // oldest (each granule vector's front), squash replay drops the
     // youngest (its back).
+    // An emptied vector means "no stores on this granule"; it stays
+    // in its slot as a ready-made pool for the next one.
     auto drop = [&](std::uint64_t g) {
-        auto it = storesByGranule.find(g);
-        svf_assert(it != storesByGranule.end());
-        std::vector<InstSeq> &v = it->second;
-        if (v.back() == seq) {
-            v.pop_back();
+        std::vector<InstSeq> *v = storesByGranule.find(g);
+        svf_assert(v && !v->empty());
+        if (v->back() == seq) {
+            v->pop_back();
         } else {
-            svf_assert(v.front() == seq);
-            v.erase(v.begin());
+            svf_assert(v->front() == seq);
+            v->erase(v->begin());
         }
-        if (v.empty())
-            storesByGranule.erase(it);
     };
     std::uint64_t first = ea >> 3;
     std::uint64_t last = (ea + size - 1) >> 3;
@@ -120,10 +120,10 @@ OooCore::resolveDisambiguationFiltered(RuuEntry &e)
     bool walked = false;
     InstSeq best = NoProducer;
     for (std::uint64_t g = first; g <= last; ++g) {
-        auto git = storesByGranule.find(g);
-        if (git == storesByGranule.end())
+        const std::vector<InstSeq> *gv = storesByGranule.find(g);
+        if (!gv || gv->empty())
             continue;
-        const std::vector<InstSeq> &v = git->second;
+        const std::vector<InstSeq> &v = *gv;
         auto it = std::lower_bound(v.begin(), v.end(), e.seq);
         while (it != v.begin()) {
             --it;
@@ -195,6 +195,23 @@ OooCore::resolveDisambiguation(RuuEntry &e)
 }
 
 void
+OooCore::morphedLoadAdd(Addr ea, InstSeq seq)
+{
+    // Fresh dispatch appends in increasing seq order; replay
+    // re-dispatch can hit a (word, seq) pair that was never lazily
+    // pruned, so insert sorted with dedup — exactly std::set
+    // semantics, minus the node allocations.
+    std::vector<InstSeq> &v = morphedLoadWords.slot(ea >> 3);
+    if (v.empty() || v.back() < seq) {
+        v.push_back(seq);
+        return;
+    }
+    auto it = std::lower_bound(v.begin(), v.end(), seq);
+    if (it == v.end() || *it != seq)
+        v.insert(it, seq);
+}
+
+void
 OooCore::checkRerouteCollision(const RuuEntry &store)
 {
     // Section 3.2: a store through a $gpr followed by a colliding
@@ -205,21 +222,24 @@ OooCore::checkRerouteCollision(const RuuEntry &store)
     // exactly those — the forward walk visits candidates, not the
     // whole younger half of the window.
     ++_stats.rerouteChecks;
-    auto mit = morphedLoadWords.find(store.info.ea >> 3);
-    if (mit == morphedLoadWords.end())
+    std::vector<InstSeq> *seqs =
+        morphedLoadWords.find(store.info.ea >> 3);
+    if (!seqs || seqs->empty())
         return;
 
     InstSeq squash_from = NoProducer;
-    std::set<InstSeq> &seqs = mit->second;
-    for (auto it = seqs.upper_bound(store.seq); it != seqs.end();) {
+    std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(seqs->begin(), seqs->end(), store.seq) -
+        seqs->begin());
+    while (idx < seqs->size()) {
         ++_stats.rerouteScanSteps;
-        if (!ruu.contains(*it)) {
+        if (!ruu.contains((*seqs)[idx])) {
             // Squashed and not yet re-dispatched: prune in place.
-            it = seqs.erase(it);
+            seqs->erase(seqs->begin() + idx);
             continue;
         }
-        RuuEntry &ld = ruu.bySeq(*it);
-        ++it;
+        RuuEntry &ld = ruu.bySeq((*seqs)[idx]);
+        ++idx;
         if (ld.svfProducer != NoProducer &&
             ld.svfProducer >= store.seq) {
             continue;           // already repaired, or the load
@@ -466,23 +486,20 @@ OooCore::doIssueEvent()
 
     if (!sched.candidates.empty()) {
         // The candidate walk visits the same unissued entries in the
-        // same program order as the full scan, and the merge with
-        // unknownAddrStores reproduces the scan's cumulative "older
-        // store address unknown" prefix flag exactly: a store stays
-        // in the set until its completion event fires, which is the
-        // cycle the scan's !completed(now) first turns false.
-        auto us = sched.unknownAddrStores.begin();
-        const auto us_end = sched.unknownAddrStores.end();
-        bool older_store_addr_unknown = false;
+        // same program order as the full scan, and the scan's
+        // cumulative "older store address unknown" prefix flag for a
+        // candidate collapses to one comparison: it is set iff some
+        // unknown-address store precedes the candidate, i.e. iff
+        // min(unknownAddrStores) < seq. The set is stable for the
+        // walk's duration (erasures happen in processEvents, before
+        // the walk; insertions at dispatch, after it), and a store
+        // stays in it until its completion event fires — the cycle
+        // the scan's !completed(now) first turns false.
+        const InstSeq min_unknown = sched.unknownAddrStores.first();
 
-        for (auto it = sched.candidates.begin();
-             it != sched.candidates.end() &&
-                 issueUsed < cfg.issueWidth;) {
-            InstSeq seq = *it;
-            while (us != us_end && *us < seq) {
-                older_store_addr_unknown = true;
-                ++us;
-            }
+        for (InstSeq seq = sched.candidates.first();
+             seq != SeqRing::End && issueUsed < cfg.issueWidth;
+             seq = sched.candidates.next(seq)) {
             RuuEntry &e = ruu.bySeq(seq);
             if (now < e.dispatchCycle + cfg.schedLatency) {
                 // Dispatch happens in program order, so
@@ -492,15 +509,13 @@ OooCore::doIssueEvent()
                 issueEligibleAt = e.dispatchCycle + cfg.schedLatency;
                 break;
             }
-            if (tryIssueEntry(e, older_store_addr_unknown)) {
+            if (tryIssueEntry(e, min_unknown < seq)) {
                 sched.pushEvent(e.completeCycle, e.seq);
-                it = sched.candidates.erase(it);
-            } else {
-                // Lost a port or an operand gate the classifier
-                // cannot see (LSQ/SVF forwarding); re-arbitrate on
-                // the next active cycle.
-                ++it;
+                sched.candidates.erase(seq);
             }
+            // Otherwise: lost a port or an operand gate the
+            // classifier cannot see (LSQ/SVF forwarding);
+            // re-arbitrate on the next active cycle.
         }
     }
 
@@ -526,12 +541,9 @@ OooCore::processEvents()
         // when the scan's !completed(now) check would flip.
         sched.unknownAddrStores.erase(ev->seq);
 
-        auto it = sched.waiters.find(ev->seq);
-        if (it == sched.waiters.end())
+        if (!sched.takeWaiters(ev->seq, wakeScratch))
             continue;
-        std::vector<InstSeq> list = std::move(it->second);
-        sched.waiters.erase(it);
-        for (InstSeq w : list) {
+        for (InstSeq w : wakeScratch) {
             ++sched.stats().wakeups;
             if (!ruu.contains(w))
                 continue;
@@ -540,6 +552,7 @@ OooCore::processEvents()
                 continue;
             schedClassify(e);
         }
+        wakeScratch.clear();
     }
 }
 
@@ -677,11 +690,13 @@ OooCore::doCommit()
                 windowStores.pop_front();
                 storeFilterRemove(e.info.ea, di.memSize, e.seq);
             } else if (e.route == MemRoute::SvfFast) {
-                auto mit = morphedLoadWords.find(e.info.ea >> 3);
-                if (mit != morphedLoadWords.end()) {
-                    mit->second.erase(e.seq);
-                    if (mit->second.empty())
-                        morphedLoadWords.erase(mit);
+                std::vector<InstSeq> *v =
+                    morphedLoadWords.find(e.info.ea >> 3);
+                if (v) {
+                    auto it = std::lower_bound(v->begin(), v->end(),
+                                               e.seq);
+                    if (it != v->end() && *it == e.seq)
+                        v->erase(it);
                 }
             }
             if (di.load)
@@ -741,7 +756,7 @@ OooCore::doDispatch()
                 windowStores.push_back(e.seq);
                 storeFilterAdd(e.info.ea, e.info.di->memSize, e.seq);
             } else if (e.isLoad && e.route == MemRoute::SvfFast) {
-                morphedLoadWords[e.info.ea >> 3].insert(e.seq);
+                morphedLoadAdd(e.info.ea, e.seq);
             }
             if (e.info.di->memRef)
                 lsq.add();
@@ -910,7 +925,7 @@ OooCore::doDispatch()
             windowStores.push_back(e.seq);
             storeFilterAdd(f.info.ea, di.memSize, e.seq);
         } else if (e.isLoad && e.route == MemRoute::SvfFast) {
-            morphedLoadWords[f.info.ea >> 3].insert(e.seq);
+            morphedLoadAdd(f.info.ea, e.seq);
         }
 
         if (specSp.onDispatch(di, e.seq))

@@ -22,8 +22,6 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "core/spec_sp.hh"
@@ -35,6 +33,7 @@
 #include "uarch/machine_config.hh"
 #include "uarch/ruu.hh"
 #include "uarch/sched.hh"
+#include "uarch/word_map.hh"
 
 namespace svf::trace
 {
@@ -161,6 +160,16 @@ class OooCore
         return oracleDone && !fetchBuffer && ifq.empty() &&
                ruu.empty() && replayQueue.empty();
     }
+
+    /**
+     * Abandon the unfetched remainder of the current window: the
+     * front end stops consuming the oracle, and run()/runUntil()
+     * then only drain what is already in flight. The adaptive
+     * sampler (sample=...,adapt) calls this when a measured window
+     * has converged before its full budget. A later beginRun()
+     * reopens the front end as usual.
+     */
+    void truncateRun() { fetchBudget = 0; }
 
     /** The core's current clock (monotone across windows). */
     Cycle cycle() const { return now; }
@@ -344,12 +353,13 @@ class OooCore
      * granule, maximized over the load's (at most two) granules, is
      * exactly the store the full backward walk would have found.
      * Most loads touch granules with no store at all and resolve in
-     * O(1). Maintained unconditionally (two hash ops per store) so
+     * O(1). Maintained unconditionally (two probes per store) so
      * $SVF_DISAMBIG can flip per process without state divergence.
+     * Backed by a FlatWordMap: an emptied granule's vector stays in
+     * its slot as a preallocated pool for the next store there.
      */
     /// @{
-    std::unordered_map<std::uint64_t, std::vector<InstSeq>>
-        storesByGranule;
+    FlatWordMap<std::vector<InstSeq>> storesByGranule;
 
     /** True once, from cfg.disambig — checked in the scan hot path. */
     bool filterMode = false;
@@ -365,12 +375,18 @@ class OooCore
 
     /**
      * In-window decode-morphed (SvfFast) loads by quadword address
-     * (both schedulers). Bounds checkRerouteCollision to same-word
-     * loads. Squashed entries are pruned lazily — re-dispatch
-     * re-inserts the same (word, seq) pair.
+     * (both schedulers), each word's seqs a sorted vector
+     * (morphedLoadAdd dedups: squashed entries are pruned lazily and
+     * re-dispatch re-inserts the same (word, seq) pair). Bounds
+     * checkRerouteCollision to same-word loads.
      */
-    std::unordered_map<std::uint64_t, std::set<InstSeq>>
-        morphedLoadWords;
+    FlatWordMap<std::vector<InstSeq>> morphedLoadWords;
+
+    /** Sorted-dedup insert into morphedLoadWords. */
+    void morphedLoadAdd(Addr ea, InstSeq seq);
+
+    /** Scratch for processEvents' waiter hand-off (reused). */
+    std::vector<InstSeq> wakeScratch;
 
     /**
      * Earliest issue-eligibility (dispatchCycle + schedLatency) seen

@@ -9,8 +9,9 @@
 #define SVF_UARCH_RUU_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "core/svf_unit.hh"
 #include "sim/emulator.hh"
@@ -86,52 +87,74 @@ struct RuuEntry
 /**
  * The RUU proper: a bounded FIFO of in-flight instructions with
  * sequence-number lookup.
+ *
+ * Storage is a power-of-two ring over a flat vector. In-flight seqs
+ * are contiguous ([front.seq, front.seq + size)) — dispatch assigns
+ * them in order and squash/commit only trim the ends — so an entry's
+ * slot is simply `seq & mask`: bySeq() is one masked index with no
+ * deque two-level indirection, and push/pop never allocate (a
+ * departing entry's slot is overwritten in place when the window
+ * wraps back around).
  */
 class Ruu
 {
   public:
     /** @param size maximum in-flight instructions. */
-    explicit Ruu(unsigned size) : capacity(size) {}
+    explicit Ruu(unsigned size) : capacity(size)
+    {
+        std::size_t cap = 1;
+        while (cap < size)
+            cap <<= 1;
+        slots.resize(cap);
+        mask = cap - 1;
+    }
 
-    bool full() const { return entries.size() >= capacity; }
-    bool empty() const { return entries.empty(); }
-    size_t size() const { return entries.size(); }
+    bool full() const { return count >= capacity; }
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
 
-    /** Append at the tail (dispatch). */
+    /** Append at the tail (dispatch); seqs must stay contiguous. */
     RuuEntry &push(RuuEntry &&e)
     {
-        entries.push_back(std::move(e));
-        return entries.back();
+        if (count == 0)
+            headSeq = e.seq;
+        else
+            svf_assert(e.seq == headSeq + count);
+        RuuEntry &s = slots[(headSeq + count) & mask];
+        s = std::move(e);
+        ++count;
+        return s;
     }
 
     /** Oldest entry. */
-    RuuEntry &front() { return entries.front(); }
+    RuuEntry &front() { return slots[headSeq & mask]; }
 
     /** Youngest entry. */
-    RuuEntry &back() { return entries.back(); }
+    RuuEntry &back() { return slots[(headSeq + count - 1) & mask]; }
 
     /** Remove the oldest entry (commit). */
-    void popFront() { entries.pop_front(); }
+    void popFront()
+    {
+        ++headSeq;
+        --count;
+    }
 
     /** Remove the youngest entry (squash/replay). */
-    void popBack() { entries.pop_back(); }
+    void popBack() { --count; }
 
     /** Is @p seq still in flight? */
     bool contains(InstSeq seq) const
     {
-        return !entries.empty() && seq >= entries.front().seq &&
-               seq <= entries.back().seq;
+        return count != 0 && seq >= headSeq &&
+               seq < headSeq + count;
     }
 
     /** Entry for @p seq; caller must check contains(). */
-    RuuEntry &bySeq(InstSeq seq)
-    {
-        return entries[seq - entries.front().seq];
-    }
+    RuuEntry &bySeq(InstSeq seq) { return slots[seq & mask]; }
 
     const RuuEntry &bySeq(InstSeq seq) const
     {
-        return entries[seq - entries.front().seq];
+        return slots[seq & mask];
     }
 
     /**
@@ -145,15 +168,48 @@ class Ruu
         return bySeq(seq).completed(now);
     }
 
-    /** Iteration support (oldest first). */
-    auto begin() { return entries.begin(); }
-    auto end() { return entries.end(); }
-    auto begin() const { return entries.begin(); }
-    auto end() const { return entries.end(); }
+    /** @name Iteration support (oldest first) */
+    /// @{
+    template <typename R, typename E>
+    class Iter
+    {
+      public:
+        Iter(R *r, InstSeq s) : r(r), s(s) {}
+        E &operator*() const { return r->slots[s & r->mask]; }
+        Iter &operator++()
+        {
+            ++s;
+            return *this;
+        }
+        bool operator!=(const Iter &o) const { return s != o.s; }
+        bool operator==(const Iter &o) const { return s == o.s; }
+
+      private:
+        R *r;
+        InstSeq s;
+    };
+
+    auto begin() { return Iter<Ruu, RuuEntry>(this, headSeq); }
+    auto end()
+    {
+        return Iter<Ruu, RuuEntry>(this, headSeq + count);
+    }
+    auto begin() const
+    {
+        return Iter<const Ruu, const RuuEntry>(this, headSeq);
+    }
+    auto end() const
+    {
+        return Iter<const Ruu, const RuuEntry>(this, headSeq + count);
+    }
+    /// @}
 
   private:
     unsigned capacity;
-    std::deque<RuuEntry> entries;
+    std::vector<RuuEntry> slots;
+    std::uint64_t mask = 0;
+    InstSeq headSeq = 0;
+    std::size_t count = 0;
 };
 
 } // namespace svf::uarch

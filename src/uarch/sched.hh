@@ -12,26 +12,39 @@
  * in which nothing can happen at all.
  *
  * Three structures, all keyed by sequence number so they survive the
- * RUU's deque reallocation:
+ * RUU's storage reuse, and all sized to the RUU window (configure()):
  *
  *   - **candidates** — unissued entries whose register sources are
  *     all complete, in program order. Only these are walked by the
  *     issue stage; an entry that loses a structural port simply
- *     stays in the set and re-arbitrates next cycle.
+ *     stays in the set and re-arbitrates next cycle. A SeqRing
+ *     (ring-indexed bitmap, seq_ring.hh): insert/erase are bit
+ *     flips and the program-order walk is a word scan, not a
+ *     red-black-tree traversal.
  *   - **waiters** — per-producer lists of entries blocked on that
  *     producer's completion. An entry waits on its first incomplete
  *     source; when that completes it either re-registers on the next
- *     incomplete source or graduates to the candidate set.
+ *     incomplete source or graduates to the candidate set. Lists
+ *     live in a ring-indexed slot pool: a producer's slot is
+ *     `seq & mask` (unique among live seqs, same argument as the
+ *     SeqRing), list vectors are recycled generation-stamped — no
+ *     hash, no node churn.
  *   - **unknownAddrStores** — stores whose address is not yet known
- *     (not early-resolved and not completed). The issue walk merges
- *     this ordered set with the candidates to reproduce the scan's
- *     "older store address unknown" prefix barrier exactly.
+ *     (not early-resolved and not completed), also a SeqRing. The
+ *     issue walk only needs its *minimum*: the scan's cumulative
+ *     "older store address unknown" prefix flag for a candidate c is
+ *     exactly (min unknown seq) < c, and the set is stable for the
+ *     duration of one walk (erasures happen in processEvents, which
+ *     runs before the walk; insertions at dispatch, after it).
  *
- * Completions are a min-heap of (cycle, seq) events pushed at issue
- * time. Events are validated against the live RUU entry when popped
- * (a squash can orphan them), so stale events are harmless. The heap
- * top also bounds how far the core may fast-forward `now` when a
- * cycle does no work.
+ * Completions are a hand-rolled binary min-heap of (cycle, seq)
+ * events pushed at issue time. Events are validated against the live
+ * RUU entry when popped (a squash can orphan them), so stale events
+ * are harmless. The heap top also bounds how far the core may
+ * fast-forward `now` when a cycle does no work. reset() releases the
+ * heap's backing storage — long daemon runs reuse one core across
+ * many plan jobs, and the high-water mark of one job must not linger
+ * for the rest.
  *
  * The OooCore owns all policy (what "ready" means, issue order, port
  * arbitration); this class is deliberately mechanism-only so the
@@ -44,12 +57,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <queue>
-#include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
+#include "uarch/seq_ring.hh"
 
 namespace svf::uarch
 {
@@ -74,37 +86,91 @@ struct CompletionEvent
 class IssueScheduler
 {
   public:
-    /** Unissued, source-complete entries in program order. */
-    std::set<InstSeq> candidates;
+    IssueScheduler() { configure(64); }
 
-    /** Producer seq -> entries waiting on its completion. */
-    std::unordered_map<InstSeq, std::vector<InstSeq>> waiters;
+    /**
+     * Size every seq-indexed structure for a window of @p span
+     * in-flight instructions (the RUU size). Must be called before
+     * the first dispatch; resizing implies a full reset.
+     */
+    void
+    configure(std::uint64_t span)
+    {
+        candidates.configure(span);
+        unknownAddrStores.configure(span);
+        std::uint64_t cap = 64;
+        while (cap < span)
+            cap <<= 1;
+        waiterLists.assign(cap, {});
+        waiterOwner.assign(cap, NoOwner);
+        waiterGen.assign(cap, 0);
+        waiterMask = cap - 1;
+        wgen = 1;
+        events.clear();
+        _stats = SchedStats{};
+    }
+
+    /** Unissued, source-complete entries in program order. */
+    SeqRing candidates;
 
     /** Stores whose address is still unknown, in program order. */
-    std::set<InstSeq> unknownAddrStores;
+    SeqRing unknownAddrStores;
 
     /** Register @p waiter as blocked on @p producer. */
     void
     addWaiter(InstSeq producer, InstSeq waiter)
     {
-        waiters[producer].push_back(waiter);
+        std::uint64_t i = producer & waiterMask;
+        if (waiterGen[i] != wgen || waiterOwner[i] != producer) {
+            waiterLists[i].clear();
+            waiterGen[i] = wgen;
+            waiterOwner[i] = producer;
+        }
+        waiterLists[i].push_back(waiter);
+    }
+
+    /**
+     * Move @p producer's waiter list into @p out (swapped, so the
+     * caller's scratch capacity recirculates into the slot pool) and
+     * clear the slot. @retval false nobody was waiting.
+     */
+    bool
+    takeWaiters(InstSeq producer, std::vector<InstSeq> &out)
+    {
+        std::uint64_t i = producer & waiterMask;
+        if (waiterGen[i] != wgen || waiterOwner[i] != producer)
+            return false;
+        out.swap(waiterLists[i]);
+        waiterGen[i] = 0;
+        waiterOwner[i] = NoOwner;
+        return true;
     }
 
     /** Schedule a completion notification for @p seq at @p cycle. */
     void
     pushEvent(Cycle cycle, InstSeq seq)
     {
-        events.push({cycle, seq});
+        events.push_back({cycle, seq});
+        std::size_t i = events.size() - 1;
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!earlier(events[i], events[parent]))
+                break;
+            std::swap(events[i], events[parent]);
+            i = parent;
+        }
     }
 
     /** Pop the next event due at or before @p now, if any. */
     std::optional<CompletionEvent>
     popEventDue(Cycle now)
     {
-        if (events.empty() || events.top().cycle > now)
+        if (events.empty() || events.front().cycle > now)
             return std::nullopt;
-        CompletionEvent ev = events.top();
-        events.pop();
+        CompletionEvent ev = events.front();
+        events.front() = events.back();
+        events.pop_back();
+        siftDown();
         ++_stats.events;
         return ev;
     }
@@ -115,7 +181,7 @@ class IssueScheduler
     {
         if (events.empty())
             return std::nullopt;
-        return events.top().cycle;
+        return events.front().cycle;
     }
 
     /**
@@ -128,8 +194,8 @@ class IssueScheduler
     clearDerived()
     {
         candidates.clear();
-        waiters.clear();
         unknownAddrStores.clear();
+        ++wgen;                 // waiter slots recycle lazily
     }
 
     /**
@@ -137,33 +203,63 @@ class IssueScheduler
      * multi-programming): derived state *and* the event heap go —
      * after a rebind the new program restarts sequence numbers at 0,
      * so a stale event's seq could alias a live entry and popEventDue
-     * validation would wrongly accept it. Stats survive; they
-     * describe the host run, not one program.
+     * validation would wrongly accept it. The heap's backing storage
+     * is released too: between a daemon's plan jobs this is the only
+     * structure whose high-water footprint would otherwise persist.
+     * Stats survive; they describe the host run, not one program.
      */
     void
     reset()
     {
         clearDerived();
-        events = decltype(events)();
+        events.clear();
+        events.shrink_to_fit();
     }
 
     SchedStats &stats() { return _stats; }
     const SchedStats &stats() const { return _stats; }
 
   private:
-    struct Later
-    {
-        bool
-        operator()(const CompletionEvent &a,
-                   const CompletionEvent &b) const
-        {
-            return a.cycle > b.cycle ||
-                   (a.cycle == b.cycle && a.seq > b.seq);
-        }
-    };
+    static constexpr InstSeq NoOwner = ~InstSeq(0);
 
-    std::priority_queue<CompletionEvent,
-                        std::vector<CompletionEvent>, Later> events;
+    static bool
+    earlier(const CompletionEvent &a, const CompletionEvent &b)
+    {
+        return a.cycle < b.cycle ||
+               (a.cycle == b.cycle && a.seq < b.seq);
+    }
+
+    void
+    siftDown()
+    {
+        const std::size_t n = events.size();
+        std::size_t i = 0;
+        while (true) {
+            std::size_t l = 2 * i + 1;
+            if (l >= n)
+                break;
+            std::size_t m = l;
+            if (l + 1 < n && earlier(events[l + 1], events[l]))
+                m = l + 1;
+            if (!earlier(events[m], events[i]))
+                break;
+            std::swap(events[i], events[m]);
+            i = m;
+        }
+    }
+
+    /** @name Ring-indexed waiter-list slot pool */
+    /// @{
+    std::vector<std::vector<InstSeq>> waiterLists;
+    std::vector<InstSeq> waiterOwner;
+    std::vector<std::uint64_t> waiterGen;
+    std::uint64_t waiterMask = 63;
+    std::uint64_t wgen = 1;
+    /// @}
+
+    /** Binary min-heap ordered by (cycle, seq). */
+    std::vector<CompletionEvent> events;
+
     SchedStats _stats;
 };
 

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * SeqRing: an ordered set of in-flight sequence numbers backed by a
+ * ring-indexed bitmap.
+ *
+ * The event scheduler's candidate and unknown-address-store sets only
+ * ever hold sequence numbers of instructions currently in the RUU,
+ * and the RUU is a window: max live seq - min live seq < ruuSize. A
+ * power-of-two bitmap of at least ruuSize bits therefore gives every
+ * live seq a unique slot at `seq & mask`, and ordered iteration is a
+ * circular word scan from the minimum — a handful of ctz operations
+ * instead of a red-black-tree walk with one cache-missing node per
+ * element. insert/erase are single bit flips; erase of the minimum
+ * rescans (bounded by words(), typically 4–8 words) to keep `first()`
+ * O(1), which the issue walk calls every active cycle.
+ *
+ * The capacity must strictly exceed the *live span* of the seqs ever
+ * stored (capacity >= ruuSize suffices for RUU-resident seqs). With
+ * the exact-minimum invariant, a stored seq is always reconstructed
+ * unambiguously: for any live s, s - first() < capacity.
+ */
+
+#ifndef SVF_UARCH_SEQ_RING_HH
+#define SVF_UARCH_SEQ_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace svf::uarch
+{
+
+class SeqRing
+{
+  public:
+    /** Sentinel: "no element" (acts as +infinity in comparisons). */
+    static constexpr InstSeq End = ~InstSeq(0);
+
+    SeqRing() { configure(64); }
+
+    /** Size for a window of @p span in-flight seqs (rounds to pow2). */
+    void
+    configure(std::uint64_t span)
+    {
+        std::uint64_t cap = 64;
+        while (cap < span)
+            cap <<= 1;
+        words.assign(cap >> 6, 0);
+        mask = cap - 1;
+        count = 0;
+        lo = End;
+    }
+
+    bool empty() const { return count == 0; }
+    std::uint64_t size() const { return count; }
+
+    /** Smallest element, or End when empty. O(1). */
+    InstSeq first() const { return count ? lo : End; }
+
+    bool
+    contains(InstSeq seq) const
+    {
+        if (count == 0 || seq < lo || seq - lo > mask)
+            return false;
+        std::uint64_t b = seq & mask;
+        return (words[b >> 6] >> (b & 63)) & 1;
+    }
+
+    /** Idempotent insert (matching std::set semantics). */
+    void
+    insert(InstSeq seq)
+    {
+        svf_assert(count == 0 ||
+                   (seq >= lo ? seq - lo : lo - seq) <= mask);
+        std::uint64_t b = seq & mask;
+        std::uint64_t bit = std::uint64_t(1) << (b & 63);
+        if (words[b >> 6] & bit)
+            return;
+        words[b >> 6] |= bit;
+        ++count;
+        if (seq < lo || count == 1)
+            lo = seq;
+    }
+
+    /** Idempotent erase; rescans for the new minimum if needed. */
+    void
+    erase(InstSeq seq)
+    {
+        if (count == 0 || seq < lo || seq - lo > mask)
+            return;
+        std::uint64_t b = seq & mask;
+        std::uint64_t bit = std::uint64_t(1) << (b & 63);
+        if (!(words[b >> 6] & bit))
+            return;
+        words[b >> 6] &= ~bit;
+        --count;
+        if (count == 0)
+            lo = End;
+        else if (seq == lo)
+            lo = scanFrom(seq + 1);
+    }
+
+    /**
+     * Smallest element strictly greater than @p seq, or End. Safe to
+     * call on a just-erased @p seq (the issue walk's erase-as-you-go
+     * pattern).
+     */
+    InstSeq
+    next(InstSeq seq) const
+    {
+        if (count == 0)
+            return End;
+        if (seq < lo)
+            return lo;
+        if (seq - lo >= mask)
+            return End;
+        return scanFrom(seq + 1);
+    }
+
+    /** Drop every element. O(words). */
+    void
+    clear()
+    {
+        if (count) {
+            for (std::uint64_t &w : words)
+                w = 0;
+            count = 0;
+        }
+        lo = End;
+    }
+
+  private:
+    /**
+     * First set bit at or after @p from (a seq with from - lo <=
+     * capacity), reconstructed to a full seq; End when none remain in
+     * [from, lo + capacity).
+     */
+    InstSeq
+    scanFrom(InstSeq from) const
+    {
+        const std::uint64_t cap = mask + 1;
+        std::uint64_t remaining = lo + cap - from;    // bits to scan
+        std::uint64_t b = from & mask;
+        std::uint64_t w = words[b >> 6] >> (b & 63);
+        InstSeq base = from;
+        while (true) {
+            if (w) {
+                std::uint64_t d = std::uint64_t(__builtin_ctzll(w));
+                return d < remaining ? base + d : End;
+            }
+            std::uint64_t stepped = 64 - (b & 63);
+            if (stepped >= remaining)
+                return End;
+            remaining -= stepped;
+            base += stepped;
+            b = (b + stepped) & mask;
+            w = words[b >> 6];
+        }
+    }
+
+    std::vector<std::uint64_t> words;
+    std::uint64_t mask = 63;
+    std::uint64_t count = 0;
+    InstSeq lo = End;
+};
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_SEQ_RING_HH

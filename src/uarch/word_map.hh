@@ -1,0 +1,210 @@
+/**
+ * @file
+ * FlatWordMap: an open-addressed hash map from word/granule indices
+ * to small values, tuned for the core's per-dispatch hot paths.
+ *
+ * The three word-keyed structures the dispatcher and LSQ touch every
+ * memory instruction (StoreWordMap, the disambiguation filter's
+ * granule index, the morphed-load word index) were all
+ * std::unordered_map — one node allocation per insert, a pointer
+ * chase per lookup, and wholesale rehash/rebuild churn on replay.
+ * This map keeps everything in one flat slot array:
+ *
+ *  - linear probing over a power-of-two table, multiplicative hash;
+ *  - generation-stamped clearing: clear() is a counter bump, stale
+ *    slots are recycled lazily on their next use;
+ *  - no per-slot deletion. Vector-valued maps treat an *empty*
+ *    vector as absent, so "erase" is value.clear() — the vector's
+ *    capacity stays behind as a preallocated pool for the next store
+ *    or morphed load that lands on the same word, and probe chains
+ *    are never broken. Dead slots are dropped at the next rehash.
+ *
+ * Values must be default-constructible; vector values additionally
+ * get reset (not reallocated) when a stale slot is recycled.
+ */
+
+#ifndef SVF_UARCH_WORD_MAP_HH
+#define SVF_UARCH_WORD_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace svf::uarch
+{
+
+namespace detail
+{
+
+/** Is this value "absent" for rehash-dropping purposes? */
+template <typename V>
+inline bool wordMapDead(const V &) { return false; }
+
+template <typename T>
+inline bool wordMapDead(const std::vector<T> &v) { return v.empty(); }
+
+/** Recycle a stale slot's value in place. */
+template <typename V>
+inline void wordMapReset(V &) {}
+
+template <typename T>
+inline void wordMapReset(std::vector<T> &v) { v.clear(); }
+
+} // namespace detail
+
+template <typename V>
+class FlatWordMap
+{
+  public:
+    FlatWordMap() { rebuild(InitialCap); }
+
+    /** Value for @p key, inserting a fresh one when absent. */
+    V &
+    slot(std::uint64_t key)
+    {
+        if ((used + 1) * 4 > cap() * 3)
+            grow();
+        Slot *s = probe(key);
+        if (s->gen != gen || s->key != key) {
+            s->gen = gen;
+            s->key = key;
+            detail::wordMapReset(s->value);
+            ++used;
+        }
+        return s->value;
+    }
+
+    /** Value for @p key, or nullptr when never inserted. */
+    const V *
+    find(std::uint64_t key) const
+    {
+        const Slot *s = probe(key);
+        if (s->gen != gen || s->key != key)
+            return nullptr;
+        return &s->value;
+    }
+
+    V *
+    find(std::uint64_t key)
+    {
+        return const_cast<V *>(
+            static_cast<const FlatWordMap *>(this)->find(key));
+    }
+
+    /** O(1): stale slots recycle lazily on next use. */
+    void
+    clear()
+    {
+        ++gen;
+        used = 0;
+    }
+
+    /** Slots inserted since the last clear (dead ones included). */
+    std::size_t liveSlots() const { return used; }
+
+    /**
+     * Visit every (key, value) inserted since the last clear().
+     * Order is unspecified; @p fn may mutate the value.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Slot &s : slots) {
+            if (s.gen == gen)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint64_t gen = 0;      //!< 0 = never used (gen starts 1)
+        V value{};
+    };
+
+    static constexpr std::size_t InitialCap = 64;
+
+    std::size_t cap() const { return slots.size(); }
+
+    std::size_t
+    indexOf(std::uint64_t key) const
+    {
+        // Fibonacci multiplicative hash; word indices arrive nearly
+        // sequential, and this spreads runs while staying one mul.
+        return (key * 0x9E3779B97F4A7C15ull) >> shift;
+    }
+
+    /** First slot that holds @p key or is free for it. */
+    const Slot *
+    probe(std::uint64_t key) const
+    {
+        std::size_t i = indexOf(key);
+        const std::size_t mask = cap() - 1;
+        while (true) {
+            const Slot &s = slots[i];
+            if (s.gen != gen || s.key == key)
+                return &s;
+            i = (i + 1) & mask;
+        }
+    }
+
+    Slot *
+    probe(std::uint64_t key)
+    {
+        return const_cast<Slot *>(
+            static_cast<const FlatWordMap *>(this)->probe(key));
+    }
+
+    void
+    rebuild(std::size_t n)
+    {
+        slots.assign(n, Slot{});
+        shift = 64;
+        for (std::size_t c = n; c > 1; c >>= 1)
+            --shift;
+        gen = 1;
+        used = 0;
+    }
+
+    /**
+     * Live slots crossed the load-factor bound: migrate them into a
+     * fresh table, dropping dead (empty-vector) ones, and double the
+     * capacity only if the live set alone still crowds the table.
+     */
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        const std::uint64_t old_gen = gen;
+        std::size_t live = 0;
+        for (const Slot &s : old) {
+            if (s.gen == old_gen && !detail::wordMapDead(s.value))
+                ++live;
+        }
+        std::size_t n = old.size();
+        while ((live + 1) * 2 > n)
+            n <<= 1;
+        rebuild(n);
+        for (Slot &s : old) {
+            if (s.gen != old_gen || detail::wordMapDead(s.value))
+                continue;
+            Slot *d = probe(s.key);
+            d->gen = gen;
+            d->key = s.key;
+            d->value = std::move(s.value);
+            ++used;
+        }
+    }
+
+    std::vector<Slot> slots;
+    unsigned shift = 58;
+    std::uint64_t gen = 1;
+    std::size_t used = 0;
+};
+
+} // namespace svf::uarch
+
+#endif // SVF_UARCH_WORD_MAP_HH

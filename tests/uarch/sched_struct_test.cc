@@ -1,0 +1,410 @@
+/**
+ * @file
+ * The scheduler's host data structures (uarch/seq_ring.hh,
+ * uarch/word_map.hh) and the adaptive sampled window
+ * (sample=...,adapt).
+ *
+ * SeqRing and FlatWordMap replaced std::set / std::unordered_map on
+ * the core's per-cycle paths; they must behave as drop-in value
+ * replacements. The property tests here drive both through long
+ * randomized operation sequences shaped like the core's real usage
+ * (a sliding window of live sequence numbers; word keys that arrive
+ * nearly sequential, with replay-style clears) and diff every
+ * observable against the reference container after every step.
+ *
+ * The end-to-end half runs every workload on three machine points
+ * chosen to exercise each new structure (plain wide-16 under the
+ * granule filter, the SVF machine's morphed-load paths, and the
+ * tiny-window SVF machine's reroute/collision storms) under both
+ * SchedKinds and diffs the full counter registry — the structures
+ * are host-side only, so every simulated counter must match.
+ *
+ * The adapt tests pin the new plan flag's setup-key discipline and
+ * the estimator contract: adaptive windows land within the plain
+ * plan's per-interval IPC spread while measuring strictly fewer
+ * instructions, identically for any pjobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.hh"
+#include "ckpt/sampler.hh"
+#include "harness/counters.hh"
+#include "harness/experiment.hh"
+#include "uarch/machine_config.hh"
+#include "uarch/seq_ring.hh"
+#include "uarch/word_map.hh"
+#include "workloads/registry.hh"
+
+namespace svf::uarch
+{
+namespace
+{
+
+/** Walk @p ring from first() and diff against the full @p ref set. */
+void
+expectRingEqualsSet(SeqRing &ring, const std::set<InstSeq> &ref,
+                    const char *what)
+{
+    ASSERT_EQ(ring.first(),
+              ref.empty() ? SeqRing::End : *ref.begin())
+        << what;
+    InstSeq at = ring.first();
+    auto it = ref.begin();
+    while (at != SeqRing::End) {
+        ASSERT_NE(it, ref.end()) << what << ": ring has extra "
+                                 << at;
+        ASSERT_EQ(at, *it) << what;
+        at = ring.next(at);
+        ++it;
+    }
+    ASSERT_EQ(it, ref.end()) << what << ": ring lost elements";
+}
+
+TEST(SeqRing, MatchesReferenceSetUnderRandomOps)
+{
+    constexpr std::uint64_t kSpan = 256;   // the RUU window
+    constexpr int kOps = 20000;
+
+    SeqRing ring;
+    ring.configure(kSpan);
+    std::set<InstSeq> ref;
+    std::mt19937_64 rng(0x5e41 ^ 0x1234);
+
+    // base mimics the RUU head: live seqs stay in [base, base+span).
+    InstSeq base = 0;
+    for (int op = 0; op < kOps; ++op) {
+        switch (rng() % 6) {
+          case 0:
+          case 1: {     // insert (idempotent on repeats)
+            InstSeq s = base + rng() % kSpan;
+            ring.insert(s);
+            ref.insert(s);
+            break;
+          }
+          case 2: {     // erase a present element (often the min)
+            if (ref.empty())
+                break;
+            auto it = ref.begin();
+            if (rng() % 2) {
+                it = ref.lower_bound(base + rng() % kSpan);
+                if (it == ref.end())
+                    it = ref.begin();
+            }
+            ring.erase(*it);
+            ref.erase(it);
+            break;
+          }
+          case 3: {     // erase an arbitrary (maybe absent) seq
+            InstSeq s = base + rng() % kSpan;
+            ring.erase(s);
+            ref.erase(s);
+            break;
+          }
+          case 4: {     // commit: advance the window head
+            InstSeq step = rng() % (kSpan / 4);
+            base += step;
+            while (!ref.empty() && *ref.begin() < base) {
+                ring.erase(*ref.begin());
+                ref.erase(ref.begin());
+            }
+            break;
+          }
+          case 5: {     // replay/rebuild: clear, reinsert a subset
+            if (rng() % 8 != 0)
+                break;
+            ring.clear();
+            std::set<InstSeq> keep;
+            for (InstSeq s : ref) {
+                if (rng() % 2) {
+                    ring.insert(s);
+                    keep.insert(s);
+                }
+            }
+            ref = std::move(keep);
+            break;
+          }
+        }
+        // contains() on random probes + the full ordered walk.
+        InstSeq probe = base + rng() % kSpan;
+        ASSERT_EQ(ring.contains(probe), ref.count(probe) != 0);
+        expectRingEqualsSet(ring, ref, "after op");
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+TEST(SeqRing, NextFromArbitraryPositions)
+{
+    SeqRing ring;
+    ring.configure(64);
+    std::set<InstSeq> ref = {1000, 1003, 1017, 1040, 1062};
+    for (InstSeq s : ref)
+        ring.insert(s);
+    // next() from every point in the window, present or not.
+    for (InstSeq from = 995; from < 1070; ++from) {
+        auto it = ref.upper_bound(from);
+        ASSERT_EQ(ring.next(from),
+                  it == ref.end() ? SeqRing::End : *it)
+            << "next(" << from << ")";
+    }
+    ASSERT_EQ(ring.first(), 1000u);
+}
+
+TEST(FlatWordMap, MatchesReferenceMapUnderRandomOps)
+{
+    constexpr int kOps = 30000;
+    FlatWordMap<std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::mt19937_64 rng(0xf1a7);
+
+    // Word indices like the LSQ sees: clustered runs around a few
+    // hot bases (stack frames) plus a sparse heap tail.
+    auto random_key = [&]() -> std::uint64_t {
+        std::uint64_t base[] = {0x1000, 0x2000, 0x77777, rng() % 64};
+        return base[rng() % 4] + rng() % 512;
+    };
+
+    for (int op = 0; op < kOps; ++op) {
+        switch (rng() % 4) {
+          case 0:
+          case 1: {     // write
+            std::uint64_t k = random_key(), v = rng();
+            map.slot(k) = v;
+            ref[k] = v;
+            break;
+          }
+          case 2: {     // read (maybe absent)
+            std::uint64_t k = random_key();
+            const std::uint64_t *got = map.find(k);
+            auto it = ref.find(k);
+            if (it == ref.end()) {
+                ASSERT_EQ(got, nullptr) << "key " << k;
+            } else {
+                ASSERT_NE(got, nullptr) << "key " << k;
+                ASSERT_EQ(*got, it->second);
+            }
+            break;
+          }
+          case 3: {     // generation clear (rare, like a rebind)
+            if (rng() % 64 == 0) {
+                map.clear();
+                ref.clear();
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(map.liveSlots(), ref.size());
+    }
+    // Final full-content diff via forEach.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    map.forEach([&](std::uint64_t k, std::uint64_t v) {
+        got.emplace_back(k, v);
+    });
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> want(
+        ref.begin(), ref.end());
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want);
+}
+
+TEST(FlatWordMap, EmptyVectorMeansAbsentAndSurvivesGrow)
+{
+    FlatWordMap<std::vector<InstSeq>> map;
+    std::unordered_map<std::uint64_t, std::vector<InstSeq>> ref;
+    std::mt19937_64 rng(0xbeef);
+
+    for (int op = 0; op < 20000; ++op) {
+        std::uint64_t k = rng() % 4096;
+        if (rng() % 3 != 0) {
+            InstSeq v = rng();
+            map.slot(k).push_back(v);
+            ref[k].push_back(v);
+        } else {
+            // "erase": clear the vector in place, keep the slot.
+            if (std::vector<InstSeq> *v = map.find(k))
+                v->clear();
+            ref.erase(k);
+        }
+    }
+    // Live contents (non-empty vectors) must match exactly even
+    // though grow() ran many times and dropped dead slots.
+    std::size_t live = 0;
+    map.forEach([&](std::uint64_t k, std::vector<InstSeq> &v) {
+        if (v.empty()) {
+            ASSERT_EQ(ref.count(k), 0u) << "key " << k;
+            return;
+        }
+        ++live;
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end()) << "key " << k;
+        ASSERT_EQ(v, it->second) << "key " << k;
+    });
+    ASSERT_EQ(live, ref.size());
+}
+
+/** Registry-driven diff: every RunResult counter plus correctness. */
+void
+expectRunResultsEq(const harness::RunResult &a,
+                   const harness::RunResult &b,
+                   const std::string &what)
+{
+    for (const harness::CounterDef *d : harness::runCounters()) {
+        EXPECT_EQ(d->get(a), d->get(b)) << what << ": " << d->name();
+    }
+    EXPECT_EQ(a.completed, b.completed) << what;
+    EXPECT_EQ(a.outputOk, b.outputOk) << what;
+    EXPECT_EQ(a.output, b.output) << what;
+}
+
+/**
+ * Every workload × three machines chosen for the new structures'
+ * hot paths, scan vs event scheduler, full-registry diff.
+ */
+TEST(SchedStruct, AllWorkloadsThreeMachinesBitIdentical)
+{
+    struct NamedConfig
+    {
+        std::string name;
+        MachineConfig machine;
+    };
+    std::vector<NamedConfig> machines;
+    {
+        // Granule filter: storesByGranule is the disambiguation path.
+        MachineConfig m = harness::baselineConfig(16);
+        m.disambig = DisambigKind::Filter;
+        machines.push_back({"wide16_filter", m});
+    }
+    {
+        // SVF: StoreWordMap forwarding + morphedLoadWords.
+        MachineConfig m = harness::baselineConfig(16);
+        harness::applySvf(m, 1024, 2);
+        machines.push_back({"svf", m});
+    }
+    {
+        // Tiny SVF window: demand fills, reroutes, collision
+        // squashes — the replay paths that clear and rebuild.
+        MachineConfig m = harness::baselineConfig(16);
+        harness::applySvf(m, 64, 1);
+        machines.push_back({"svf_tiny", m});
+    }
+
+    for (const workloads::WorkloadSpec &spec :
+         workloads::allWorkloads()) {
+        for (const NamedConfig &nc : machines) {
+            harness::RunSetup s;
+            s.workload = spec.name;
+            s.input = spec.inputs.front();
+            s.maxInsts = 8000;
+
+            s.machine = nc.machine;
+            s.machine.sched = SchedKind::Scan;
+            harness::RunResult scan = harness::runExperiment(s);
+
+            s.machine = nc.machine;
+            s.machine.sched = SchedKind::Event;
+            harness::RunResult event = harness::runExperiment(s);
+
+            expectRunResultsEq(scan, event,
+                               nc.name + "/" + spec.name);
+            ASSERT_FALSE(HasFailure())
+                << "first divergence at " << nc.name << "/"
+                << spec.name;
+        }
+    }
+}
+
+TEST(AdaptPlan, ParseStrKeyDiscipline)
+{
+    using ckpt::SamplePlan;
+    SamplePlan plain = SamplePlan::parse("8,2000,8000");
+    SamplePlan adapt = SamplePlan::parse("8,2000,8000,adapt");
+    SamplePlan both = SamplePlan::parse("8,2000,8000,pwarm,adapt");
+
+    EXPECT_FALSE(plain.adaptive);
+    EXPECT_TRUE(adapt.adaptive);
+    EXPECT_TRUE(both.adaptive);
+    EXPECT_TRUE(both.parallelWarm);
+
+    // str() round-trips through parse().
+    EXPECT_EQ(adapt.str(), "8,2000,8000,adapt");
+    EXPECT_EQ(both.str(), "8,2000,8000,pwarm,adapt");
+    EXPECT_EQ(SamplePlan::parse(both.str()).str(), both.str());
+
+    // adapt is its own keyed config, and the flagless key did not
+    // move (pre-existing caches stay valid).
+    const std::uint64_t seed = 0x1234;
+    EXPECT_NE(plain.key(seed), adapt.key(seed));
+    EXPECT_NE(both.key(seed), adapt.key(seed));
+    EXPECT_NE(both.key(seed),
+              SamplePlan::parse("8,2000,8000,pwarm").key(seed));
+}
+
+/**
+ * The adapt estimator contract on workloads whose windows converge:
+ * whole-run IPC within the plain plan's per-interval spread, with
+ * strictly fewer instructions measured in detail.
+ */
+TEST(AdaptPlan, WithinPlainSpreadWithFewerDetailedInsts)
+{
+    for (const char *workload : {"gzip", "gcc", "twolf"}) {
+        harness::RunSetup s;
+        s.workload = workload;
+        s.maxInsts = 400000;
+        s.machine = harness::baselineConfig(16);
+
+        s.sample = ckpt::SamplePlan::parse("8,2000,8000");
+        harness::RunResult plain = harness::runExperiment(s);
+
+        s.sample = ckpt::SamplePlan::parse("8,2000,8000,adapt");
+        harness::RunResult adapt = harness::runExperiment(s);
+
+        ASSERT_GT(plain.sampled.intervals, 0u) << workload;
+        ASSERT_GT(adapt.sampled.intervals, 0u) << workload;
+        EXPECT_LT(adapt.sampled.sampledInsts,
+                  plain.sampled.sampledInsts) << workload;
+        EXPECT_LT(adapt.sampled.sampledCycles,
+                  plain.sampled.sampledCycles) << workload;
+        EXPECT_LE(std::abs(adapt.sampled.ipcMean -
+                           plain.sampled.ipcMean),
+                  plain.sampled.ipcStddev)
+            << workload << ": adapt " << adapt.sampled.ipcMean
+            << " vs plain " << plain.sampled.ipcMean << " +/- "
+            << plain.sampled.ipcStddev;
+    }
+}
+
+/** Adaptive windows are a pure function of their snapshot: the
+ *  worker count must not change a byte. */
+TEST(AdaptPlan, ResultIndependentOfPjobs)
+{
+    harness::RunSetup s;
+    s.workload = "gcc";
+    s.maxInsts = 400000;
+    s.machine = harness::baselineConfig(16);
+    s.sample = ckpt::SamplePlan::parse("8,2000,8000,adapt");
+
+    s.pjobs = 1;
+    harness::RunResult one = harness::runExperiment(s);
+    s.pjobs = 4;
+    harness::RunResult four = harness::runExperiment(s);
+
+    expectRunResultsEq(one, four, "adapt pjobs 1 vs 4");
+    EXPECT_EQ(one.sampled.sampledInsts, four.sampled.sampledInsts);
+    EXPECT_EQ(one.sampled.sampledCycles, four.sampled.sampledCycles);
+    EXPECT_EQ(one.sampled.ipcMean, four.sampled.ipcMean);
+    EXPECT_EQ(one.sampled.ipcStddev, four.sampled.ipcStddev);
+    EXPECT_EQ(one.sampled.estimatedCycles,
+              four.sampled.estimatedCycles);
+}
+
+} // anonymous namespace
+} // namespace svf::uarch
